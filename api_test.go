@@ -1,0 +1,146 @@
+package pallas
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"pallas/internal/corpus"
+)
+
+func TestRenderWorkflowPublicAPI(t *testing.T) {
+	a := New(Config{})
+	res, err := a.AnalyzeSource("w.c", `
+int fast(int order) {
+	if (order == 0)
+		return 1;
+	return 0;
+}`, "fastpath fast\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := res.RenderWorkflow("fast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"workflow fast", "Sin", "Sout", "yes:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("workflow missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := res.RenderWorkflow("missing"); err == nil {
+		t.Error("unknown function should error")
+	}
+}
+
+func TestInferSpecPublicAPI(t *testing.T) {
+	a := New(Config{})
+	res, err := a.AnalyzeSource("i.c", `
+int fast(int a, int mode_flags) { return a; }
+int slow(int a, int mode_flags) {
+	if (mode_flags)
+		return -1;
+	return a;
+}`, "pair fast slow\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sugg, err := res.InferSpec("fast", "slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var haveImmutable bool
+	for _, s := range sugg {
+		if s.Directive == "immutable mode_flags" {
+			haveImmutable = true
+		}
+	}
+	if !haveImmutable {
+		t.Errorf("suggestions = %+v", sugg)
+	}
+}
+
+// TestAnalyzerConcurrentUse runs many analyses through one Analyzer from
+// concurrent goroutines; the Analyzer must be stateless and race-free.
+func TestAnalyzerConcurrentUse(t *testing.T) {
+	a := New(Config{})
+	srcs := []struct {
+		src, spec string
+		warnings  int
+	}{
+		{`int f(int x, int m) { m = 0; return x; }`, "fastpath f\nimmutable m\n", 1},
+		{`int g(int x, int m) { if (m) return 1; return x; }`, "fastpath g\nimmutable m\n", 0},
+		{`int h(int p) { return p; }`, "fastpath h\ncond p\n", 1},
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 16; i++ {
+		for _, s := range srcs {
+			wg.Add(1)
+			s := s
+			go func() {
+				defer wg.Done()
+				res, err := a.AnalyzeSource("c.c", s.src, s.spec)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(res.Report.Warnings) != s.warnings {
+					errs <- &mismatchError{got: len(res.Report.Warnings), want: s.warnings}
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+type mismatchError struct{ got, want int }
+
+func (e *mismatchError) Error() string {
+	return "warning count mismatch"
+}
+
+// TestAnalyzeFileEndToEnd exercises the disk-based pipeline: corpus cases
+// written out as .c + .pls pairs and re-analyzed through AnalyzeFile must
+// reproduce their registry verdicts.
+func TestAnalyzeFileEndToEnd(t *testing.T) {
+	reg := corpus.Generate()
+	dir := t.TempDir()
+	a := New(Config{})
+	n := 0
+	for _, c := range reg.BySystem(corpus.SDN) {
+		if n >= 8 {
+			break
+		}
+		n++
+		src := filepath.Join(dir, fmt.Sprintf("case%d.c", n))
+		spec := filepath.Join(dir, fmt.Sprintf("case%d.pls", n))
+		if err := os.WriteFile(src, []byte(c.Source), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(spec, []byte(c.Spec), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		specText, err := os.ReadFile(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := a.AnalyzeFile(src, string(specText))
+		if err != nil {
+			t.Fatalf("%s: %v", c.ID, err)
+		}
+		if len(res.Report.Warnings) != 1 || res.Report.Warnings[0].Finding != c.Finding {
+			t.Errorf("%s: warnings = %+v", c.ID, res.Report.Warnings)
+		}
+	}
+	if n == 0 {
+		t.Fatal("no SDN cases")
+	}
+}

@@ -1,0 +1,393 @@
+package pallas
+
+// Benchmark harness: one benchmark per paper table and figure (regenerating
+// the artifact end to end), plus micro-benchmarks for the pipeline stages
+// (preprocess, parse, CFG, path extraction, checking). Run with
+//
+//	go test -bench=. -benchmem
+//
+// The per-table benches exercise exactly the code paths cmd/pallas-eval runs;
+// custom metrics report the reproduced headline numbers (bugs, warnings,
+// accuracy) so a bench run doubles as a results check.
+
+import (
+	"testing"
+
+	"pallas/internal/cfg"
+	"pallas/internal/corpus"
+	"pallas/internal/cparse"
+	"pallas/internal/eval"
+	"pallas/internal/paths"
+	"pallas/internal/study"
+)
+
+// BenchmarkTable1Detection reruns the full corpus (224 fast-path cases)
+// through all five checkers — the paper's headline experiment.
+func BenchmarkTable1Detection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := eval.RunTable1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.TotalBugs), "bugs")
+			b.ReportMetric(float64(res.TotalWarnings), "warnings")
+			b.ReportMetric(res.Accuracy()*100, "accuracy%")
+		}
+	}
+}
+
+// BenchmarkTable2Study recomputes the fast-path population statistics.
+func BenchmarkTable2Study(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := study.Table2(study.Dataset())
+		if len(rows) != 4 {
+			b.Fatal("bad table 2")
+		}
+	}
+}
+
+// BenchmarkTable3Distribution recomputes the category distribution.
+func BenchmarkTable3Distribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t3 := study.Table3(study.Dataset())
+		if len(t3) != 4 {
+			b.Fatal("bad table 3")
+		}
+	}
+}
+
+// BenchmarkTable4Consequences recomputes the consequence matrix.
+func BenchmarkTable4Consequences(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t4 := study.Table4(study.Dataset())
+		if len(t4) != 5 {
+			b.Fatal("bad table 4")
+		}
+	}
+}
+
+// BenchmarkTable5Extraction regenerates the symbolic-extraction example.
+func BenchmarkTable5Extraction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.RunTable5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable6Inventory renders the software inventory.
+func BenchmarkTable6Inventory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if eval.RenderTable6() == "" {
+			b.Fatal("empty table 6")
+		}
+	}
+}
+
+// BenchmarkTable7NewBugs re-detects the 34 Table-7 bugs.
+func BenchmarkTable7NewBugs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := eval.RunTable7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(res.Detected)), "detected")
+			b.ReportMetric(res.MeanLatentYears, "latent-years")
+		}
+	}
+}
+
+// BenchmarkTable8Completeness reruns the 62-bug injection experiment.
+func BenchmarkTable8Completeness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := eval.RunTable8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Detected), "detected")
+			b.ReportMetric(float64(res.Total), "total")
+		}
+	}
+}
+
+// BenchmarkFigure1Workflows renders the three motivating workflows.
+func BenchmarkFigure1Workflows(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.RunFigure(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2KeyElements renders the key-element model.
+func BenchmarkFigure2KeyElements(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.RunFigure(2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigures3to9Bugs reproduces all seven bug walkthroughs.
+func BenchmarkFigures3to9Bugs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for n := 3; n <= 9; n++ {
+			if _, err := eval.RunFigure(n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFalsePositiveAnalysis reruns the §5.3 FP attribution.
+func BenchmarkFalsePositiveAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := eval.RunFP()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Total), "false-positives")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline micro-benchmarks (the paper reports 1-2 minutes per fast path on
+// Clang; these measure the same stages on this front-end).
+// ---------------------------------------------------------------------------
+
+func corpusSource(b *testing.B) (string, string) {
+	b.Helper()
+	sc := corpus.ShowcaseByID("fig1a")
+	return sc.Source, sc.FastFunc
+}
+
+// BenchmarkParse measures C parsing alone.
+func BenchmarkParse(b *testing.B) {
+	src, _ := corpusSource(b)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cparse.Parse("bench.c", src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCFGBuild measures CFG construction for all functions.
+func BenchmarkCFGBuild(b *testing.B) {
+	src, _ := corpusSource(b)
+	tu, err := cparse.Parse("bench.c", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fns := tu.Funcs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, fn := range fns {
+			if _, err := cfg.Build(fn); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkPathExtraction measures bounded symbolic path enumeration.
+func BenchmarkPathExtraction(b *testing.B) {
+	src, fn := corpusSource(b)
+	tu, err := cparse.Parse("bench.c", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex := paths.NewExtractor(tu, paths.DefaultConfig())
+		if _, err := ex.Extract(fn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheckOneFastPath measures the full check of a single fast path —
+// the unit the paper quotes "1-2 minutes" for (theirs includes Clang).
+func BenchmarkCheckOneFastPath(b *testing.B) {
+	sc := corpus.ShowcaseByID("table5")
+	a := New(Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := a.AnalyzeSource("bench.c", sc.Source, sc.Spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Report.Warnings) == 0 {
+			b.Fatal("expected a warning")
+		}
+	}
+}
+
+// BenchmarkAnalyzeWholeCorpusSerial measures end-to-end corpus analysis cost
+// per case (the fleet the evaluation runs).
+func BenchmarkAnalyzeWholeCorpusSerial(b *testing.B) {
+	reg := corpus.Generate()
+	a := New(Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := reg.Cases[i%len(reg.Cases)]
+		if _, err := a.AnalyzeSource(c.File, c.Source, c.Spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Parallel fans the corpus over a worker pool; compare with
+// BenchmarkTable1Detection for the scaling headroom of the analysis.
+func BenchmarkTable1Parallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := eval.RunTable1Parallel(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TotalBugs != 155 {
+			b.Fatalf("bugs = %d", res.TotalBugs)
+		}
+	}
+}
+
+// BenchmarkCheckerAblation measures the per-checker decomposition run.
+func BenchmarkCheckerAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := eval.RunAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range res.Rows {
+				b.ReportMetric(float64(r.Bugs), r.Checker+"-bugs")
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation benches: design choices DESIGN.md calls out.
+// ---------------------------------------------------------------------------
+
+// BenchmarkAblationInlineDepth compares path extraction with and without
+// callee summarization (InlineDepth 0 vs 2): the summary machinery is what
+// lets the checkers see through helpers without multiplying paths.
+func BenchmarkAblationInlineDepth(b *testing.B) {
+	src, fn := corpusSource(b)
+	tu, err := cparse.Parse("bench.c", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, depth := range []int{0, 2} {
+		name := "depth0"
+		if depth == 2 {
+			name = "depth2"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ex := paths.NewExtractor(tu, paths.Config{MaxPaths: 512, MaxBlockVisits: 2, InlineDepth: depth})
+				if _, err := ex.Extract(fn); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScalingCorpusFraction sweeps the workload size (¼, ½, full
+// corpus) to show analysis cost scales linearly in cases.
+func BenchmarkScalingCorpusFraction(b *testing.B) {
+	reg := corpus.Generate()
+	a := New(Config{})
+	for _, frac := range []struct {
+		name string
+		div  int
+	}{{"quarter", 4}, {"half", 2}, {"full", 1}} {
+		n := len(reg.Cases) / frac.div
+		b.Run(frac.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, c := range reg.Cases[:n] {
+					if _, err := a.AnalyzeSource(c.File, c.Source, c.Spec); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(n), "cases")
+		})
+	}
+}
+
+// BenchmarkBigFile measures the subsystem-scale unit end to end (parse,
+// extract, all five checkers) — the closest analogue to the paper's
+// per-fast-path cost on merged subsystem sources.
+func BenchmarkBigFile(b *testing.B) {
+	src, spec := corpus.BigFile()
+	a := New(Config{})
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := a.AnalyzeSource("mm/page_alloc.c", src, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Report.Warnings) != 2 {
+			b.Fatalf("warnings = %d", len(res.Report.Warnings))
+		}
+	}
+}
+
+// BenchmarkAllSubsystemUnits analyzes all seven subsystem-scale units (one
+// per evaluated system) end to end.
+func BenchmarkAllSubsystemUnits(b *testing.B) {
+	units := []func() (string, string){
+		corpus.BigFile, corpus.BigFileNet, corpus.BigFileFS, corpus.BigFileDev,
+		corpus.BigFileWB, corpus.BigFileSDN, corpus.BigFileMob,
+	}
+	a := New(Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		warnings := 0
+		for _, get := range units {
+			src, spec := get()
+			res, err := a.AnalyzeSource("unit.c", src, spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			warnings += len(res.Report.Warnings)
+		}
+		if warnings != 18 {
+			b.Fatalf("warnings = %d, want 18 across the seven units", warnings)
+		}
+	}
+}
+
+// BenchmarkAblationLoopBound compares 1 vs 2 vs 3 block visits: the loop
+// bound trades path coverage against enumeration cost.
+func BenchmarkAblationLoopBound(b *testing.B) {
+	sc := corpus.ShowcaseByID("fig1a")
+	tu, err := cparse.Parse("bench.c", sc.Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, visits := range []int{1, 2, 3} {
+		b.Run(map[int]string{1: "visits1", 2: "visits2", 3: "visits3"}[visits], func(b *testing.B) {
+			nPaths := 0
+			for i := 0; i < b.N; i++ {
+				ex := paths.NewExtractor(tu, paths.Config{MaxPaths: 4096, MaxBlockVisits: visits, InlineDepth: 2})
+				fp, err := ex.Extract(sc.SlowFunc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				nPaths = len(fp.Paths)
+			}
+			b.ReportMetric(float64(nPaths), "paths")
+		})
+	}
+}

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderTableAll(t *testing.T) {
+	wants := map[int]string{
+		1: "155/224",
+		2: "Num. of fast paths",
+		3: "distribution of fast-path bugs",
+		4: "consequences of fast-path bugs",
+		5: "Signature",
+		6: "Open vSwitch",
+		7: "mpt3sas_base.c",
+		8: "61/62",
+	}
+	for n, want := range wants {
+		out, err := renderTable(n)
+		if err != nil {
+			t.Fatalf("table %d: %v", n, err)
+		}
+		if !strings.Contains(out, want) {
+			t.Errorf("table %d missing %q:\n%s", n, want, out)
+		}
+	}
+	if _, err := renderTable(9); err == nil {
+		t.Error("table 9 should error")
+	}
+}

@@ -1,0 +1,361 @@
+// Command pallas is the command-line front door to the Pallas toolkit.
+//
+// Usage:
+//
+//	pallas check    [-spec file] [-checker name] [-json] file.c
+//	pallas paths    -func name [-db out.json] file.c
+//	pallas workflow -func name file.c
+//	pallas diff     -fast f -slow g [-suggest] file.c
+//	pallas corpus   [-system SYS] [-show id]
+//
+// check runs the five semantic checkers over a C file (spec directives may
+// come from -spec and/or inline `// @pallas:` annotations). paths prints the
+// Table-5-style symbolic execution paths of one function. workflow renders
+// the Figure-1-style ASCII workflow. diff compares a fast path against its
+// slow path (the study's code-comparison tool). corpus browses the built-in
+// synthetic evaluation corpus.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pallas"
+	"pallas/internal/cfg"
+	"pallas/internal/corpus"
+	"pallas/internal/cparse"
+	"pallas/internal/difftool"
+	"pallas/internal/infer"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "check":
+		err = cmdCheck(os.Args[2:])
+	case "paths":
+		err = cmdPaths(os.Args[2:])
+	case "workflow":
+		err = cmdWorkflow(os.Args[2:])
+	case "diff":
+		err = cmdDiff(os.Args[2:])
+	case "corpus":
+		err = cmdCorpus(os.Args[2:])
+	case "infer":
+		err = cmdInfer(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "pallas: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pallas:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `pallas — semantic-aware checking for fast-path bugs (ASPLOS'17)
+
+commands:
+  check    [-spec file] [-checker name] [-json] [-html out] file.c...  run the checkers
+  paths    -func name [-db out.json] file.c              print symbolic paths
+  workflow -func name [-dot] file.c                      render the workflow
+  diff     -fast f -slow g [-suggest] file.c             compare fast vs slow
+  infer    -fast f -slow g file.c                        propose spec directives
+  corpus   [-system SYS] [-show id] [-export dir]        browse/export the corpus
+`)
+}
+
+func cmdCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	specPath := fs.String("spec", "", "spec file with semantic directives")
+	checker := fs.String("checker", "", "run only the named checker")
+	asJSON := fs.Bool("json", false, "emit JSON")
+	htmlOut := fs.String("html", "", "additionally write an HTML report to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("check: want at least one C file")
+	}
+	specText := ""
+	if *specPath != "" {
+		b, err := os.ReadFile(*specPath)
+		if err != nil {
+			return err
+		}
+		specText = string(b)
+	}
+	cfg := pallas.Config{}
+	if *checker != "" {
+		cfg.Checkers = []string{*checker}
+	}
+	totalWarnings := 0
+	for _, path := range fs.Args() {
+		res, err := pallas.New(cfg).AnalyzeFile(path, specText)
+		if err != nil {
+			return err
+		}
+		totalWarnings += len(res.Report.Warnings)
+		if *htmlOut != "" {
+			// With several inputs, suffix the HTML file per input.
+			out := *htmlOut
+			if fs.NArg() > 1 {
+				out = strings.TrimSuffix(out, ".html") + "-" + sanitize(filepath.Base(path)) + ".html"
+			}
+			if err := writeHTMLReport(res, out); err != nil {
+				return err
+			}
+		}
+		if *asJSON {
+			if err := res.Report.WriteJSON(os.Stdout); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := res.Report.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(res.Report.Summary())
+	}
+	if totalWarnings > 0 && !*asJSON {
+		os.Exit(1)
+	}
+	return nil
+}
+
+func writeHTMLReport(res *pallas.Result, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := res.Report.WriteHTML(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// sanitize maps a file name into a safe HTML-suffix fragment.
+func sanitize(name string) string {
+	var sb strings.Builder
+	for _, r := range name {
+		if (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9') {
+			sb.WriteRune(r)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+func cmdPaths(args []string) error {
+	fs := flag.NewFlagSet("paths", flag.ExitOnError)
+	fn := fs.String("func", "", "function to extract")
+	dbOut := fs.String("db", "", "write the path database to this JSON file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 || *fn == "" {
+		return fmt.Errorf("paths: want -func name and one C file")
+	}
+	b, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	a := pallas.New(pallas.Config{})
+	fp, err := a.ExtractPaths(fs.Arg(0), string(b), *fn)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d path(s) of %s", len(fp.Paths), fp.Signature)
+	if fp.Truncated {
+		fmt.Print(" (truncated)")
+	}
+	fmt.Println()
+	for _, p := range fp.Paths {
+		fmt.Print(p)
+	}
+	if *dbOut != "" {
+		res, err := a.AnalyzeSource(fs.Arg(0), string(b), "fastpath "+*fn+"\n")
+		if err != nil {
+			return err
+		}
+		if err := res.Paths.Save(*dbOut); err != nil {
+			return err
+		}
+		fmt.Printf("path database written to %s\n", *dbOut)
+	}
+	return nil
+}
+
+func cmdWorkflow(args []string) error {
+	fs := flag.NewFlagSet("workflow", flag.ExitOnError)
+	fn := fs.String("func", "", "function to render")
+	dot := fs.Bool("dot", false, "emit Graphviz dot instead of ASCII")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 || *fn == "" {
+		return fmt.Errorf("workflow: want -func name and one C file")
+	}
+	b, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	tu, err := cparse.Parse(fs.Arg(0), string(b))
+	if err != nil {
+		return err
+	}
+	f := tu.Func(*fn)
+	if f == nil {
+		return fmt.Errorf("workflow: no function %q", *fn)
+	}
+	g, err := cfg.Build(f)
+	if err != nil {
+		return err
+	}
+	if *dot {
+		fmt.Print(g.Dot())
+	} else {
+		fmt.Print(cfg.RenderWorkflow(g))
+	}
+	return nil
+}
+
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	fast := fs.String("fast", "", "fast-path function")
+	slow := fs.String("slow", "", "slow-path function")
+	suggest := fs.Bool("suggest", false, "suggest spec directives from the diff")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 || *fast == "" || *slow == "" {
+		return fmt.Errorf("diff: want -fast f -slow g and one C file")
+	}
+	b, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	tu, err := cparse.Parse(fs.Arg(0), string(b))
+	if err != nil {
+		return err
+	}
+	ff, sf := tu.Func(*fast), tu.Func(*slow)
+	if ff == nil || sf == nil {
+		return fmt.Errorf("diff: function not found (fast=%v slow=%v)", ff != nil, sf != nil)
+	}
+	d := difftool.Compare(tu, ff, sf)
+	fmt.Print(d.String())
+	if *suggest {
+		fmt.Println("suggested spec directives:")
+		for _, s := range d.SuggestSpec() {
+			fmt.Println("  " + s)
+		}
+	}
+	return nil
+}
+
+func cmdInfer(args []string) error {
+	fs := flag.NewFlagSet("infer", flag.ExitOnError)
+	fast := fs.String("fast", "", "fast-path function")
+	slow := fs.String("slow", "", "slow-path function")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 || *fast == "" || *slow == "" {
+		return fmt.Errorf("infer: want -fast f -slow g and one C file")
+	}
+	b, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	tu, err := cparse.Parse(fs.Arg(0), string(b))
+	if err != nil {
+		return err
+	}
+	sugg, err := infer.Infer(tu, *fast, *slow, infer.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# %d suggested directive(s); review before use\n", len(sugg))
+	for _, s := range sugg {
+		fmt.Printf("%-50s # %.0f%% — %s\n", s.Directive, s.Confidence*100, s.Reason)
+	}
+	return nil
+}
+
+func cmdCorpus(args []string) error {
+	fs := flag.NewFlagSet("corpus", flag.ExitOnError)
+	system := fs.String("system", "", "filter by system (MM FS NET DEV WB SDN MOB)")
+	show := fs.String("show", "", "print one case (source + spec) by id")
+	export := fs.String("export", "", "write every case as <dir>/<id>.c + .pls")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	reg := corpus.Generate()
+	if *export != "" {
+		n, err := exportCorpus(reg, *export, *system)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("exported %d case(s) to %s\n", n, *export)
+		return nil
+	}
+	if *show != "" {
+		c := reg.Get(*show)
+		if c == nil {
+			return fmt.Errorf("corpus: no case %q", *show)
+		}
+		fmt.Printf("case %s  [%s, %s, %s]\n", c.ID, c.System, c.Kind, c.Finding)
+		fmt.Printf("file: %s\noperation: %s\nconsequence: %s\n", c.File, c.Operation, c.Consequence)
+		fmt.Println("--- spec ---")
+		fmt.Print(c.Spec)
+		fmt.Println("--- source ---")
+		fmt.Print(c.Source)
+		return nil
+	}
+	for _, c := range reg.Cases {
+		if *system != "" && !strings.EqualFold(string(c.System), *system) {
+			continue
+		}
+		fmt.Printf("%-36s %-4s %-5s %s\n", c.ID, c.System, c.Kind, c.Finding)
+	}
+	return nil
+}
+
+// exportCorpus writes each case's source and spec under dir, one pair of
+// files per case (slashes in IDs become directories).
+func exportCorpus(reg *corpus.Registry, dir, system string) (int, error) {
+	n := 0
+	for _, c := range reg.Cases {
+		if system != "" && !strings.EqualFold(string(c.System), system) {
+			continue
+		}
+		base := filepath.Join(dir, filepath.FromSlash(c.ID))
+		if err := os.MkdirAll(filepath.Dir(base), 0o755); err != nil {
+			return n, err
+		}
+		if err := os.WriteFile(base+".c", []byte(c.Source), 0o644); err != nil {
+			return n, err
+		}
+		if err := os.WriteFile(base+".pls", []byte(c.Spec), 0o644); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}

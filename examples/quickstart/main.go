@@ -1,0 +1,56 @@
+// Quickstart: analyze a small fast path with the Pallas public API.
+//
+// The fast path below clobbers the immutable allocation mask — the classic
+// deep bug from the paper's page-allocation example. The semantic information
+// Pallas needs is one inline annotation: which variable is immutable.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"pallas"
+)
+
+const src = `
+// @pallas: fastpath get_page_fast
+// @pallas: immutable gfp_mask
+struct page { unsigned long private; };
+
+struct page *get_page_fast(unsigned long gfp_mask, int order, struct page *pool)
+{
+	if (order == 0) {
+		/* deep bug: the immutable allocation mask is overwritten, so the
+		 * NEXT allocation runs with corrupted behaviour flags. */
+		gfp_mask = gfp_mask & 7;
+		pool->private = gfp_mask;
+		return pool;
+	}
+	return 0;
+}
+`
+
+func main() {
+	analyzer := pallas.New(pallas.Config{})
+	res, err := analyzer.AnalyzeSource("quickstart.c", src, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== warnings ==")
+	if err := res.Report.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n== extracted execution paths ==")
+	fp := res.Paths.FuncPaths("get_page_fast")
+	for _, p := range fp.Paths {
+		fmt.Print(p)
+	}
+
+	fmt.Println("\n== summary ==")
+	fmt.Print(res.Report.Summary())
+}

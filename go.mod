@@ -1,0 +1,3 @@
+module pallas
+
+go 1.22

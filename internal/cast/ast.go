@@ -1,0 +1,559 @@
+// Package cast defines the abstract syntax tree for the Pallas C subset and
+// helpers for walking and printing it.
+package cast
+
+import (
+	"pallas/internal/ctok"
+)
+
+// Node is the interface implemented by all AST nodes.
+type Node interface {
+	Pos() ctok.Pos
+}
+
+// ---------------------------------------------------------------------------
+// Types
+// ---------------------------------------------------------------------------
+
+// Type describes a (possibly derived) C type. Pallas does not need full type
+// checking; it records enough structure for field-sensitivity and layout
+// estimation (rule 5.1 reasons about struct field sizes).
+type Type struct {
+	// Name is the base type spelling: "int", "unsigned long", "struct page",
+	// "gfp_t" (typedef), "void", ...
+	Name string
+	// Stars is the pointer depth (e.g. 2 for "struct page **").
+	Stars int
+	// ArrayLens holds sizes of array dimensions; -1 for unsized ([]).
+	ArrayLens []int
+	// Const records a const qualifier anywhere in the declaration.
+	Const bool
+}
+
+// String renders the type roughly as C source.
+func (t Type) String() string {
+	s := t.Name
+	if t.Const {
+		s = "const " + s
+	}
+	for i := 0; i < t.Stars; i++ {
+		s += "*"
+	}
+	for _, n := range t.ArrayLens {
+		if n < 0 {
+			s += "[]"
+		} else {
+			s += arraySuffix(n)
+		}
+	}
+	return s
+}
+
+func arraySuffix(n int) string {
+	// small helper to avoid fmt in the hot path
+	if n == 0 {
+		return "[0]"
+	}
+	digits := 0
+	for v := n; v > 0; v /= 10 {
+		digits++
+	}
+	buf := make([]byte, digits+2)
+	buf[0] = '['
+	buf[len(buf)-1] = ']'
+	for i, v := digits, n; v > 0; v /= 10 {
+		buf[i] = byte('0' + v%10)
+		i--
+	}
+	return string(buf)
+}
+
+// IsPointer reports whether the type is a pointer.
+func (t Type) IsPointer() bool { return t.Stars > 0 }
+
+// SizeOf estimates the byte size of the type on x86-64 (rule 5.1 uses this to
+// reason about cache-line footprint). Unknown types count as 8.
+func (t Type) SizeOf() int {
+	if t.Stars > 0 {
+		return 8
+	}
+	var base int
+	switch t.Name {
+	case "char", "signed char", "unsigned char", "bool", "u8", "s8", "uint8_t", "int8_t":
+		base = 1
+	case "short", "unsigned short", "u16", "s16", "uint16_t", "int16_t":
+		base = 2
+	case "int", "unsigned", "unsigned int", "float", "u32", "s32", "uint32_t", "int32_t", "gfp_t", "pid_t":
+		base = 4
+	case "long", "unsigned long", "long long", "unsigned long long", "double",
+		"u64", "s64", "uint64_t", "int64_t", "size_t", "ssize_t", "loff_t", "sector_t", "dma_addr_t":
+		base = 8
+	case "void":
+		base = 0
+	default:
+		base = 8
+	}
+	n := base
+	for _, l := range t.ArrayLens {
+		if l > 0 {
+			n *= l
+		}
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// IdentExpr is a variable or function reference.
+type IdentExpr struct {
+	Name string
+	P    ctok.Pos
+}
+
+// IntExpr is an integer literal.
+type IntExpr struct {
+	Text  string // original spelling
+	Value int64
+	P     ctok.Pos
+}
+
+// FloatExpr is a floating literal.
+type FloatExpr struct {
+	Text string
+	P    ctok.Pos
+}
+
+// StrExpr is a string literal.
+type StrExpr struct {
+	Value string
+	P     ctok.Pos
+}
+
+// CharExpr is a character literal.
+type CharExpr struct {
+	Value string
+	P     ctok.Pos
+}
+
+// UnaryExpr is a prefix operator: ! ~ - + * & ++ -- sizeof.
+type UnaryExpr struct {
+	Op ctok.Kind
+	X  Expr
+	P  ctok.Pos
+}
+
+// PostfixExpr is x++ or x--.
+type PostfixExpr struct {
+	Op ctok.Kind // Inc or Dec
+	X  Expr
+	P  ctok.Pos
+}
+
+// BinaryExpr is a binary operator application.
+type BinaryExpr struct {
+	Op   ctok.Kind
+	L, R Expr
+	P    ctok.Pos
+}
+
+// AssignExpr is an assignment, possibly compound (+= etc.).
+type AssignExpr struct {
+	Op   ctok.Kind // Assign, AddAssign, ...
+	L, R Expr
+	P    ctok.Pos
+}
+
+// CondExpr is the ternary operator c ? t : f.
+type CondExpr struct {
+	Cond, Then, Else Expr
+	P                ctok.Pos
+}
+
+// CallExpr is a function call.
+type CallExpr struct {
+	Fun  Expr // usually *IdentExpr
+	Args []Expr
+	P    ctok.Pos
+}
+
+// MemberExpr is x.field or x->field.
+type MemberExpr struct {
+	X     Expr
+	Field string
+	Arrow bool // true for ->
+	P     ctok.Pos
+}
+
+// IndexExpr is x[i].
+type IndexExpr struct {
+	X, Index Expr
+	P        ctok.Pos
+}
+
+// CastExpr is (type)x.
+type CastExpr struct {
+	Type Type
+	X    Expr
+	P    ctok.Pos
+}
+
+// SizeofTypeExpr is sizeof(type).
+type SizeofTypeExpr struct {
+	Type Type
+	P    ctok.Pos
+}
+
+// CommaExpr is "a, b" (sequence).
+type CommaExpr struct {
+	L, R Expr
+	P    ctok.Pos
+}
+
+// InitListExpr is a brace initializer { a, b, ... }.
+type InitListExpr struct {
+	Elems []Expr
+	P     ctok.Pos
+}
+
+func (e *IdentExpr) Pos() ctok.Pos      { return e.P }
+func (e *IntExpr) Pos() ctok.Pos        { return e.P }
+func (e *FloatExpr) Pos() ctok.Pos      { return e.P }
+func (e *StrExpr) Pos() ctok.Pos        { return e.P }
+func (e *CharExpr) Pos() ctok.Pos       { return e.P }
+func (e *UnaryExpr) Pos() ctok.Pos      { return e.P }
+func (e *PostfixExpr) Pos() ctok.Pos    { return e.P }
+func (e *BinaryExpr) Pos() ctok.Pos     { return e.P }
+func (e *AssignExpr) Pos() ctok.Pos     { return e.P }
+func (e *CondExpr) Pos() ctok.Pos       { return e.P }
+func (e *CallExpr) Pos() ctok.Pos       { return e.P }
+func (e *MemberExpr) Pos() ctok.Pos     { return e.P }
+func (e *IndexExpr) Pos() ctok.Pos      { return e.P }
+func (e *CastExpr) Pos() ctok.Pos       { return e.P }
+func (e *SizeofTypeExpr) Pos() ctok.Pos { return e.P }
+func (e *CommaExpr) Pos() ctok.Pos      { return e.P }
+func (e *InitListExpr) Pos() ctok.Pos   { return e.P }
+
+func (*IdentExpr) exprNode()      {}
+func (*IntExpr) exprNode()        {}
+func (*FloatExpr) exprNode()      {}
+func (*StrExpr) exprNode()        {}
+func (*CharExpr) exprNode()       {}
+func (*UnaryExpr) exprNode()      {}
+func (*PostfixExpr) exprNode()    {}
+func (*BinaryExpr) exprNode()     {}
+func (*AssignExpr) exprNode()     {}
+func (*CondExpr) exprNode()       {}
+func (*CallExpr) exprNode()       {}
+func (*MemberExpr) exprNode()     {}
+func (*IndexExpr) exprNode()      {}
+func (*CastExpr) exprNode()       {}
+func (*SizeofTypeExpr) exprNode() {}
+func (*CommaExpr) exprNode()      {}
+func (*InitListExpr) exprNode()   {}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// DeclStmt is a local declaration, possibly with an initializer.
+type DeclStmt struct {
+	Type Type
+	Name string
+	Init Expr // may be nil
+	P    ctok.Pos
+}
+
+// ExprStmt wraps an expression used as a statement.
+type ExprStmt struct {
+	X Expr
+	P ctok.Pos
+}
+
+// CompoundStmt is a { ... } block.
+type CompoundStmt struct {
+	Stmts []Stmt
+	P     ctok.Pos
+}
+
+// IfStmt is if (Cond) Then [else Else].
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+	P    ctok.Pos
+}
+
+// WhileStmt is while (Cond) Body.
+type WhileStmt struct {
+	Cond Expr
+	Body Stmt
+	P    ctok.Pos
+}
+
+// DoWhileStmt is do Body while (Cond);
+type DoWhileStmt struct {
+	Body Stmt
+	Cond Expr
+	P    ctok.Pos
+}
+
+// ForStmt is for (Init; Cond; Post) Body. Init may be a DeclStmt or ExprStmt.
+type ForStmt struct {
+	Init Stmt // may be nil
+	Cond Expr // may be nil
+	Post Expr // may be nil
+	Body Stmt
+	P    ctok.Pos
+}
+
+// SwitchStmt is switch (Tag) { cases }.
+type SwitchStmt struct {
+	Tag   Expr
+	Cases []*CaseClause
+	P     ctok.Pos
+}
+
+// CaseClause is one case/default arm of a switch.
+type CaseClause struct {
+	Values []Expr // nil for default
+	Body   []Stmt
+	P      ctok.Pos
+}
+
+// ReturnStmt is return [expr];
+type ReturnStmt struct {
+	X Expr // may be nil
+	P ctok.Pos
+}
+
+// BreakStmt is break;
+type BreakStmt struct{ P ctok.Pos }
+
+// ContinueStmt is continue;
+type ContinueStmt struct{ P ctok.Pos }
+
+// GotoStmt is goto label;
+type GotoStmt struct {
+	Label string
+	P     ctok.Pos
+}
+
+// LabelStmt is label: stmt.
+type LabelStmt struct {
+	Name string
+	Stmt Stmt // may be nil when label precedes '}'
+	P    ctok.Pos
+}
+
+// EmptyStmt is a bare semicolon.
+type EmptyStmt struct{ P ctok.Pos }
+
+func (s *DeclStmt) Pos() ctok.Pos     { return s.P }
+func (s *ExprStmt) Pos() ctok.Pos     { return s.P }
+func (s *CompoundStmt) Pos() ctok.Pos { return s.P }
+func (s *IfStmt) Pos() ctok.Pos       { return s.P }
+func (s *WhileStmt) Pos() ctok.Pos    { return s.P }
+func (s *DoWhileStmt) Pos() ctok.Pos  { return s.P }
+func (s *ForStmt) Pos() ctok.Pos      { return s.P }
+func (s *SwitchStmt) Pos() ctok.Pos   { return s.P }
+func (s *CaseClause) Pos() ctok.Pos   { return s.P }
+func (s *ReturnStmt) Pos() ctok.Pos   { return s.P }
+func (s *BreakStmt) Pos() ctok.Pos    { return s.P }
+func (s *ContinueStmt) Pos() ctok.Pos { return s.P }
+func (s *GotoStmt) Pos() ctok.Pos     { return s.P }
+func (s *LabelStmt) Pos() ctok.Pos    { return s.P }
+func (s *EmptyStmt) Pos() ctok.Pos    { return s.P }
+
+func (*DeclStmt) stmtNode()     {}
+func (*ExprStmt) stmtNode()     {}
+func (*CompoundStmt) stmtNode() {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*DoWhileStmt) stmtNode()  {}
+func (*ForStmt) stmtNode()      {}
+func (*SwitchStmt) stmtNode()   {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*GotoStmt) stmtNode()     {}
+func (*LabelStmt) stmtNode()    {}
+func (*EmptyStmt) stmtNode()    {}
+
+// ---------------------------------------------------------------------------
+// Top-level declarations
+// ---------------------------------------------------------------------------
+
+// Param is one function parameter.
+type Param struct {
+	Type Type
+	Name string // may be "" in prototypes
+	P    ctok.Pos
+}
+
+// FuncDecl is a function definition or prototype (Body == nil).
+type FuncDecl struct {
+	Ret     Type
+	Name    string
+	Params  []Param
+	Varargs bool
+	Body    *CompoundStmt // nil for prototypes
+	Static  bool
+	Inline  bool
+	P       ctok.Pos
+}
+
+// Field is one struct/union member.
+type Field struct {
+	Type Type
+	Name string
+	Bits int // bit-field width, 0 if none
+	P    ctok.Pos
+}
+
+// RecordDecl is a struct or union definition.
+type RecordDecl struct {
+	Union  bool
+	Name   string // tag; "" for anonymous
+	Fields []Field
+	P      ctok.Pos
+}
+
+// EnumDecl is an enum definition.
+type EnumDecl struct {
+	Name    string
+	Members []EnumMember
+	P       ctok.Pos
+}
+
+// EnumMember is one enumerator with its resolved value.
+type EnumMember struct {
+	Name  string
+	Value int64
+	P     ctok.Pos
+}
+
+// TypedefDecl is a typedef.
+type TypedefDecl struct {
+	Name string
+	Type Type
+	P    ctok.Pos
+}
+
+// VarDecl is a global variable declaration.
+type VarDecl struct {
+	Type   Type
+	Name   string
+	Init   Expr // may be nil
+	Static bool
+	Extern bool
+	P      ctok.Pos
+}
+
+func (d *FuncDecl) Pos() ctok.Pos    { return d.P }
+func (d *RecordDecl) Pos() ctok.Pos  { return d.P }
+func (d *EnumDecl) Pos() ctok.Pos    { return d.P }
+func (d *TypedefDecl) Pos() ctok.Pos { return d.P }
+func (d *VarDecl) Pos() ctok.Pos     { return d.P }
+
+// Decl is a top-level declaration.
+type Decl interface {
+	Node
+	declNode()
+}
+
+func (*FuncDecl) declNode()    {}
+func (*RecordDecl) declNode()  {}
+func (*EnumDecl) declNode()    {}
+func (*TypedefDecl) declNode() {}
+func (*VarDecl) declNode()     {}
+
+// Annotation is a structured `@pallas:` comment found in the source.
+type Annotation struct {
+	Text string // the annotation payload after "@pallas:"
+	P    ctok.Pos
+}
+
+// TranslationUnit is one parsed (pre-merged) source file.
+type TranslationUnit struct {
+	File        string
+	Decls       []Decl
+	Annotations []Annotation
+}
+
+// Pos implements Node; it reports the position of the first declaration.
+func (tu *TranslationUnit) Pos() ctok.Pos {
+	if len(tu.Decls) > 0 {
+		return tu.Decls[0].Pos()
+	}
+	return ctok.Pos{File: tu.File, Line: 1, Col: 1}
+}
+
+// Funcs returns the function definitions (with bodies) in declaration order.
+func (tu *TranslationUnit) Funcs() []*FuncDecl {
+	var out []*FuncDecl
+	for _, d := range tu.Decls {
+		if f, ok := d.(*FuncDecl); ok && f.Body != nil {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Func returns the function definition with the given name, or nil.
+func (tu *TranslationUnit) Func(name string) *FuncDecl {
+	for _, d := range tu.Decls {
+		if f, ok := d.(*FuncDecl); ok && f.Name == name && f.Body != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// Record returns the struct/union with the given tag, or nil.
+func (tu *TranslationUnit) Record(tag string) *RecordDecl {
+	for _, d := range tu.Decls {
+		if r, ok := d.(*RecordDecl); ok && r.Name == tag {
+			return r
+		}
+	}
+	return nil
+}
+
+// Globals returns the global variable declarations.
+func (tu *TranslationUnit) Globals() []*VarDecl {
+	var out []*VarDecl
+	for _, d := range tu.Decls {
+		if v, ok := d.(*VarDecl); ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// EnumValue looks up an enumerator value by name.
+func (tu *TranslationUnit) EnumValue(name string) (int64, bool) {
+	for _, d := range tu.Decls {
+		if e, ok := d.(*EnumDecl); ok {
+			for _, m := range e.Members {
+				if m.Name == name {
+					return m.Value, true
+				}
+			}
+		}
+	}
+	return 0, false
+}

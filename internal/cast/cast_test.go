@@ -1,0 +1,321 @@
+package cast
+
+import (
+	"strings"
+	"testing"
+
+	"pallas/internal/ctok"
+)
+
+func id(n string) *IdentExpr { return &IdentExpr{Name: n} }
+
+func TestTypeString(t *testing.T) {
+	cases := []struct {
+		ty   Type
+		want string
+	}{
+		{Type{Name: "int"}, "int"},
+		{Type{Name: "struct page", Stars: 1}, "struct page*"},
+		{Type{Name: "char", Stars: 2}, "char**"},
+		{Type{Name: "int", ArrayLens: []int{32}}, "int[32]"},
+		{Type{Name: "int", ArrayLens: []int{-1}}, "int[]"},
+		{Type{Name: "int", Const: true}, "const int"},
+		{Type{Name: "u8", ArrayLens: []int{0}}, "u8[0]"},
+	}
+	for _, c := range cases {
+		if got := c.ty.String(); got != c.want {
+			t.Errorf("%+v: %q, want %q", c.ty, got, c.want)
+		}
+	}
+}
+
+func TestTypeSizeOf(t *testing.T) {
+	cases := []struct {
+		ty   Type
+		want int
+	}{
+		{Type{Name: "char"}, 1},
+		{Type{Name: "short"}, 2},
+		{Type{Name: "int"}, 4},
+		{Type{Name: "long"}, 8},
+		{Type{Name: "struct page", Stars: 1}, 8}, // pointer
+		{Type{Name: "int", ArrayLens: []int{8}}, 32},
+		{Type{Name: "struct opaque"}, 8}, // unknown default
+		{Type{Name: "void"}, 0},
+	}
+	for _, c := range cases {
+		if got := c.ty.SizeOf(); got != c.want {
+			t.Errorf("%s: size %d, want %d", c.ty, got, c.want)
+		}
+	}
+}
+
+func TestExprString(t *testing.T) {
+	e := &BinaryExpr{
+		Op: ctok.AndAnd,
+		L:  &BinaryExpr{Op: ctok.EqEq, L: id("order"), R: &IntExpr{Text: "0", Value: 0}},
+		R:  &UnaryExpr{Op: ctok.Not, X: id("table")},
+	}
+	if got := ExprString(e); got != "(order == 0) && !table" {
+		t.Errorf("got %q", got)
+	}
+	m := &MemberExpr{X: id("page"), Field: "private", Arrow: true}
+	if got := ExprString(m); got != "page->private" {
+		t.Errorf("member = %q", got)
+	}
+	c := &CallExpr{Fun: id("f"), Args: []Expr{id("a"), &IntExpr{Text: "1", Value: 1}}}
+	if got := ExprString(c); got != "f(a, 1)" {
+		t.Errorf("call = %q", got)
+	}
+	ix := &IndexExpr{X: id("cpus"), Index: &IntExpr{Text: "0"}}
+	if got := ExprString(ix); got != "cpus[0]" {
+		t.Errorf("index = %q", got)
+	}
+	deref := &UnaryExpr{Op: ctok.Star, X: id("p")}
+	if got := ExprString(deref); got != "*p" {
+		t.Errorf("deref = %q", got)
+	}
+	addr := &UnaryExpr{Op: ctok.Amp, X: id("x")}
+	if got := ExprString(addr); got != "&x" {
+		t.Errorf("addr = %q", got)
+	}
+	cond := &CondExpr{Cond: id("c"), Then: id("a"), Else: id("b")}
+	if got := ExprString(cond); got != "c ? a : b" {
+		t.Errorf("ternary = %q", got)
+	}
+}
+
+func TestRootIdent(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{id("a"), "a"},
+		{&MemberExpr{X: id("a"), Field: "b", Arrow: true}, "a"},
+		{&IndexExpr{X: &MemberExpr{X: id("a"), Field: "b"}, Index: id("i")}, "a"},
+		{&UnaryExpr{Op: ctok.Star, X: id("p")}, "p"},
+		{&CastExpr{Type: Type{Name: "int"}, X: id("x")}, "x"},
+		{&IntExpr{Text: "3", Value: 3}, ""},
+	}
+	for _, c := range cases {
+		if got := RootIdent(c.e); got != c.want {
+			t.Errorf("RootIdent(%s) = %q, want %q", ExprString(c.e), got, c.want)
+		}
+	}
+}
+
+func TestIdentsOrderAndDedup(t *testing.T) {
+	e := &BinaryExpr{Op: ctok.Plus,
+		L: &BinaryExpr{Op: ctok.Plus, L: id("b"), R: id("a")},
+		R: id("b")}
+	got := Idents(e)
+	if len(got) != 2 || got[0] != "b" || got[1] != "a" {
+		t.Errorf("idents = %v", got)
+	}
+}
+
+func TestUsesIdentAndField(t *testing.T) {
+	e := &MemberExpr{X: id("inode"), Field: "i_state", Arrow: true}
+	if !UsesIdent(e, "inode") || UsesIdent(e, "i_state") {
+		t.Error("UsesIdent confuses fields with idents")
+	}
+	if !UsesField(e, "i_state") || UsesField(e, "inode") {
+		t.Error("UsesField confuses idents with fields")
+	}
+}
+
+func TestCalls(t *testing.T) {
+	s := &CompoundStmt{Stmts: []Stmt{
+		&ExprStmt{X: &CallExpr{Fun: id("lock")}},
+		&ExprStmt{X: &CallExpr{Fun: id("unlock")}},
+		&ExprStmt{X: &CallExpr{Fun: id("lock")}},
+	}}
+	got := Calls(s)
+	if len(got) != 2 || got[0] != "lock" || got[1] != "unlock" {
+		t.Errorf("calls = %v", got)
+	}
+}
+
+func TestWalkPrune(t *testing.T) {
+	e := &BinaryExpr{Op: ctok.Plus, L: id("a"), R: id("b")}
+	visited := 0
+	Walk(e, func(Node) bool {
+		visited++
+		return false // prune immediately
+	})
+	if visited != 1 {
+		t.Errorf("visited %d nodes after prune, want 1", visited)
+	}
+}
+
+func TestStmtStringShapes(t *testing.T) {
+	s := &IfStmt{
+		Cond: id("x"),
+		Then: &ReturnStmt{X: &IntExpr{Text: "1", Value: 1}},
+		Else: &CompoundStmt{Stmts: []Stmt{&BreakStmt{}}},
+	}
+	out := StmtString(s)
+	for _, want := range []string{"if (x)", "return 1;", "else", "break;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	sw := &SwitchStmt{Tag: id("v"), Cases: []*CaseClause{
+		{Values: []Expr{&IntExpr{Text: "1", Value: 1}}, Body: []Stmt{&BreakStmt{}}},
+		{Values: nil, Body: []Stmt{&ReturnStmt{}}},
+	}}
+	out = StmtString(sw)
+	for _, want := range []string{"switch (v)", "case 1:", "default:", "return;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestDeclString(t *testing.T) {
+	f := &FuncDecl{
+		Ret: Type{Name: "int"}, Name: "f", Static: true,
+		Params: []Param{{Type: Type{Name: "int"}, Name: "a"}},
+		Body:   &CompoundStmt{Stmts: []Stmt{&ReturnStmt{X: id("a")}}},
+	}
+	out := DeclString(f)
+	if !strings.Contains(out, "static int f(int a)") || !strings.Contains(out, "return a;") {
+		t.Errorf("func decl:\n%s", out)
+	}
+	r := &RecordDecl{Name: "page", Fields: []Field{
+		{Type: Type{Name: "unsigned long"}, Name: "flags"},
+		{Type: Type{Name: "int"}, Name: "bits", Bits: 4},
+	}}
+	out = DeclString(r)
+	if !strings.Contains(out, "struct page {") || !strings.Contains(out, "bits : 4;") {
+		t.Errorf("record decl:\n%s", out)
+	}
+	v := &VarDecl{Type: Type{Name: "int"}, Name: "g", Init: &IntExpr{Text: "3", Value: 3}, Static: true}
+	if out := DeclString(v); !strings.Contains(out, "static int g = 3;") {
+		t.Errorf("var decl: %s", out)
+	}
+}
+
+func TestTranslationUnitHelpers(t *testing.T) {
+	tu := &TranslationUnit{File: "t.c", Decls: []Decl{
+		&EnumDecl{Name: "e", Members: []EnumMember{{Name: "A", Value: 7}},
+			P: ctok.Pos{File: "t.c", Line: 1, Col: 1}},
+		&VarDecl{Type: Type{Name: "int"}, Name: "g"},
+		&FuncDecl{Ret: Type{Name: "int"}, Name: "f", Body: &CompoundStmt{}},
+		&FuncDecl{Ret: Type{Name: "int"}, Name: "proto"},
+		&RecordDecl{Name: "page"},
+	}}
+	if tu.Func("f") == nil || tu.Func("proto") != nil || tu.Func("zzz") != nil {
+		t.Error("Func lookup wrong")
+	}
+	if len(tu.Funcs()) != 1 {
+		t.Error("Funcs should exclude prototypes")
+	}
+	if tu.Record("page") == nil || tu.Record("zone") != nil {
+		t.Error("Record lookup wrong")
+	}
+	if len(tu.Globals()) != 1 {
+		t.Error("Globals wrong")
+	}
+	if v, ok := tu.EnumValue("A"); !ok || v != 7 {
+		t.Error("EnumValue wrong")
+	}
+	if _, ok := tu.EnumValue("B"); ok {
+		t.Error("EnumValue false positive")
+	}
+	if !tu.Pos().IsValid() {
+		t.Error("Pos invalid")
+	}
+}
+
+func TestExprStringRemainingNodes(t *testing.T) {
+	comma := &CommaExpr{L: id("a"), R: id("b")}
+	if got := ExprString(comma); got != "a, b" {
+		t.Errorf("comma = %q", got)
+	}
+	il := &InitListExpr{Elems: []Expr{&IntExpr{Text: "1", Value: 1}, &IntExpr{Text: "2", Value: 2}}}
+	if got := ExprString(il); got != "{1, 2}" {
+		t.Errorf("initlist = %q", got)
+	}
+	cast := &CastExpr{Type: Type{Name: "unsigned long"}, X: id("x")}
+	if got := ExprString(cast); got != "(unsigned long)x" {
+		t.Errorf("cast = %q", got)
+	}
+	st := &SizeofTypeExpr{Type: Type{Name: "struct page", Stars: 1}}
+	if got := ExprString(st); got != "sizeof(struct page*)" {
+		t.Errorf("sizeof = %q", got)
+	}
+	sz := &UnaryExpr{Op: ctok.KwSizeof, X: id("v")}
+	if got := ExprString(sz); got != "sizeof(v)" {
+		t.Errorf("sizeof expr = %q", got)
+	}
+	pf := &PostfixExpr{Op: ctok.Inc, X: id("i")}
+	if got := ExprString(pf); got != "i++" {
+		t.Errorf("postfix = %q", got)
+	}
+	as := &AssignExpr{Op: ctok.AddAssign, L: id("s"), R: id("d")}
+	if got := ExprString(as); got != "s += d" {
+		t.Errorf("assign = %q", got)
+	}
+	str := &StrExpr{Value: "hi"}
+	if got := ExprString(str); got != `"hi"` {
+		t.Errorf("string = %q", got)
+	}
+	ch := &CharExpr{Value: "c"}
+	if got := ExprString(ch); got != "'c'" {
+		t.Errorf("char = %q", got)
+	}
+	fl := &FloatExpr{Text: "2.5"}
+	if got := ExprString(fl); got != "2.5" {
+		t.Errorf("float = %q", got)
+	}
+}
+
+func TestStmtStringRemainingNodes(t *testing.T) {
+	w := &WhileStmt{Cond: id("c"), Body: &ContinueStmt{}}
+	if out := StmtString(w); !strings.Contains(out, "while (c)") || !strings.Contains(out, "continue;") {
+		t.Errorf("while:\n%s", out)
+	}
+	dw := &DoWhileStmt{Body: &EmptyStmt{}, Cond: id("c")}
+	if out := StmtString(dw); !strings.Contains(out, "do") || !strings.Contains(out, "while (c);") {
+		t.Errorf("do-while:\n%s", out)
+	}
+	f := &ForStmt{
+		Init: &DeclStmt{Type: Type{Name: "int"}, Name: "i", Init: &IntExpr{Text: "0"}},
+		Cond: &BinaryExpr{Op: ctok.Lt, L: id("i"), R: id("n")},
+		Post: &PostfixExpr{Op: ctok.Inc, X: id("i")},
+		Body: &GotoStmt{Label: "out"},
+	}
+	out := StmtString(f)
+	if !strings.Contains(out, "for (int i = 0; i < n; i++)") || !strings.Contains(out, "goto out;") {
+		t.Errorf("for:\n%s", out)
+	}
+	lb := &LabelStmt{Name: "out", Stmt: &ReturnStmt{}}
+	if out := StmtString(lb); !strings.Contains(out, "out:") {
+		t.Errorf("label:\n%s", out)
+	}
+}
+
+func TestDeclStringRemainingNodes(t *testing.T) {
+	td := &TypedefDecl{Name: "u64x", Type: Type{Name: "unsigned long long"}}
+	if out := DeclString(td); !strings.Contains(out, "typedef unsigned long long u64x;") {
+		t.Errorf("typedef: %s", out)
+	}
+	en := &EnumDecl{Name: "modes", Members: []EnumMember{{Name: "A", Value: 1}}}
+	if out := DeclString(en); !strings.Contains(out, "enum modes") || !strings.Contains(out, "A = 1,") {
+		t.Errorf("enum: %s", out)
+	}
+	un := &RecordDecl{Union: true, Name: "u", Fields: []Field{{Type: Type{Name: "int"}, Name: "raw"}}}
+	if out := DeclString(un); !strings.Contains(out, "union u {") {
+		t.Errorf("union: %s", out)
+	}
+	proto := &FuncDecl{Ret: Type{Name: "void"}, Name: "p", Varargs: true,
+		Params: []Param{{Type: Type{Name: "int"}, Name: "a"}}}
+	if out := DeclString(proto); !strings.Contains(out, "void p(int a, ...);") {
+		t.Errorf("proto: %s", out)
+	}
+	ext := &VarDecl{Type: Type{Name: "int"}, Name: "g", Extern: true}
+	if out := DeclString(ext); !strings.Contains(out, "extern int g;") {
+		t.Errorf("extern: %s", out)
+	}
+}

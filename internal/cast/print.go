@@ -1,0 +1,354 @@
+package cast
+
+import (
+	"fmt"
+	"strings"
+
+	"pallas/internal/ctok"
+)
+
+// ExprString renders an expression as C source (canonical spacing).
+func ExprString(e Expr) string {
+	var sb strings.Builder
+	writeExpr(&sb, e)
+	return sb.String()
+}
+
+func writeExpr(sb *strings.Builder, e Expr) {
+	switch x := e.(type) {
+	case nil:
+		return
+	case *IdentExpr:
+		sb.WriteString(x.Name)
+	case *IntExpr:
+		sb.WriteString(x.Text)
+	case *FloatExpr:
+		sb.WriteString(x.Text)
+	case *StrExpr:
+		fmt.Fprintf(sb, "%q", x.Value)
+	case *CharExpr:
+		sb.WriteString("'" + x.Value + "'")
+	case *UnaryExpr:
+		if x.Op == ctok.KwSizeof {
+			sb.WriteString("sizeof(")
+			writeExpr(sb, x.X)
+			sb.WriteString(")")
+			return
+		}
+		sb.WriteString(unaryOpText(x.Op))
+		if needsParens(x.X) {
+			sb.WriteString("(")
+			writeExpr(sb, x.X)
+			sb.WriteString(")")
+		} else {
+			writeExpr(sb, x.X)
+		}
+	case *PostfixExpr:
+		writeExpr(sb, x.X)
+		sb.WriteString(x.Op.String())
+	case *BinaryExpr:
+		writeOperand(sb, x.L)
+		sb.WriteString(" " + x.Op.String() + " ")
+		writeOperand(sb, x.R)
+	case *AssignExpr:
+		writeExpr(sb, x.L)
+		sb.WriteString(" " + x.Op.String() + " ")
+		writeExpr(sb, x.R)
+	case *CondExpr:
+		writeOperand(sb, x.Cond)
+		sb.WriteString(" ? ")
+		writeOperand(sb, x.Then)
+		sb.WriteString(" : ")
+		writeOperand(sb, x.Else)
+	case *CallExpr:
+		writeExpr(sb, x.Fun)
+		sb.WriteString("(")
+		for i, a := range x.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			writeExpr(sb, a)
+		}
+		sb.WriteString(")")
+	case *MemberExpr:
+		writeOperand(sb, x.X)
+		if x.Arrow {
+			sb.WriteString("->")
+		} else {
+			sb.WriteString(".")
+		}
+		sb.WriteString(x.Field)
+	case *IndexExpr:
+		writeOperand(sb, x.X)
+		sb.WriteString("[")
+		writeExpr(sb, x.Index)
+		sb.WriteString("]")
+	case *CastExpr:
+		sb.WriteString("(" + x.Type.String() + ")")
+		writeOperand(sb, x.X)
+	case *SizeofTypeExpr:
+		sb.WriteString("sizeof(" + x.Type.String() + ")")
+	case *CommaExpr:
+		writeExpr(sb, x.L)
+		sb.WriteString(", ")
+		writeExpr(sb, x.R)
+	case *InitListExpr:
+		sb.WriteString("{")
+		for i, el := range x.Elems {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			writeExpr(sb, el)
+		}
+		sb.WriteString("}")
+	default:
+		fmt.Fprintf(sb, "<?expr %T>", e)
+	}
+}
+
+func unaryOpText(k ctok.Kind) string {
+	switch k {
+	case ctok.Star:
+		return "*"
+	case ctok.Amp:
+		return "&"
+	default:
+		return k.String()
+	}
+}
+
+// writeOperand parenthesizes composite sub-expressions for readability.
+func writeOperand(sb *strings.Builder, e Expr) {
+	if needsParens(e) {
+		sb.WriteString("(")
+		writeExpr(sb, e)
+		sb.WriteString(")")
+		return
+	}
+	writeExpr(sb, e)
+}
+
+func needsParens(e Expr) bool {
+	switch e.(type) {
+	case *BinaryExpr, *CondExpr, *AssignExpr, *CommaExpr, *CastExpr:
+		return true
+	}
+	return false
+}
+
+// StmtString renders a statement tree as indented C source.
+func StmtString(s Stmt) string {
+	var sb strings.Builder
+	writeStmt(&sb, s, 0)
+	return sb.String()
+}
+
+func indent(sb *strings.Builder, n int) {
+	for i := 0; i < n; i++ {
+		sb.WriteString("\t")
+	}
+}
+
+func writeStmt(sb *strings.Builder, s Stmt, depth int) {
+	switch x := s.(type) {
+	case nil:
+		return
+	case *DeclStmt:
+		indent(sb, depth)
+		sb.WriteString(x.Type.String() + " " + x.Name)
+		if x.Init != nil {
+			sb.WriteString(" = ")
+			writeExpr(sb, x.Init)
+		}
+		sb.WriteString(";\n")
+	case *ExprStmt:
+		indent(sb, depth)
+		writeExpr(sb, x.X)
+		sb.WriteString(";\n")
+	case *CompoundStmt:
+		indent(sb, depth)
+		sb.WriteString("{\n")
+		for _, st := range x.Stmts {
+			writeStmt(sb, st, depth+1)
+		}
+		indent(sb, depth)
+		sb.WriteString("}\n")
+	case *IfStmt:
+		indent(sb, depth)
+		sb.WriteString("if (")
+		writeExpr(sb, x.Cond)
+		sb.WriteString(")\n")
+		writeStmt(sb, x.Then, depth+blockExtra(x.Then))
+		if x.Else != nil {
+			indent(sb, depth)
+			sb.WriteString("else\n")
+			writeStmt(sb, x.Else, depth+blockExtra(x.Else))
+		}
+	case *WhileStmt:
+		indent(sb, depth)
+		sb.WriteString("while (")
+		writeExpr(sb, x.Cond)
+		sb.WriteString(")\n")
+		writeStmt(sb, x.Body, depth+blockExtra(x.Body))
+	case *DoWhileStmt:
+		indent(sb, depth)
+		sb.WriteString("do\n")
+		writeStmt(sb, x.Body, depth+blockExtra(x.Body))
+		indent(sb, depth)
+		sb.WriteString("while (")
+		writeExpr(sb, x.Cond)
+		sb.WriteString(");\n")
+	case *ForStmt:
+		indent(sb, depth)
+		sb.WriteString("for (")
+		switch init := x.Init.(type) {
+		case nil:
+		case *DeclStmt:
+			sb.WriteString(init.Type.String() + " " + init.Name)
+			if init.Init != nil {
+				sb.WriteString(" = ")
+				writeExpr(sb, init.Init)
+			}
+		case *ExprStmt:
+			writeExpr(sb, init.X)
+		}
+		sb.WriteString("; ")
+		writeExpr(sb, x.Cond)
+		sb.WriteString("; ")
+		writeExpr(sb, x.Post)
+		sb.WriteString(")\n")
+		writeStmt(sb, x.Body, depth+blockExtra(x.Body))
+	case *SwitchStmt:
+		indent(sb, depth)
+		sb.WriteString("switch (")
+		writeExpr(sb, x.Tag)
+		sb.WriteString(") {\n")
+		for _, c := range x.Cases {
+			if c.Values == nil {
+				indent(sb, depth)
+				sb.WriteString("default:\n")
+			} else {
+				for _, v := range c.Values {
+					indent(sb, depth)
+					sb.WriteString("case ")
+					writeExpr(sb, v)
+					sb.WriteString(":\n")
+				}
+			}
+			for _, st := range c.Body {
+				writeStmt(sb, st, depth+1)
+			}
+		}
+		indent(sb, depth)
+		sb.WriteString("}\n")
+	case *ReturnStmt:
+		indent(sb, depth)
+		sb.WriteString("return")
+		if x.X != nil {
+			sb.WriteString(" ")
+			writeExpr(sb, x.X)
+		}
+		sb.WriteString(";\n")
+	case *BreakStmt:
+		indent(sb, depth)
+		sb.WriteString("break;\n")
+	case *ContinueStmt:
+		indent(sb, depth)
+		sb.WriteString("continue;\n")
+	case *GotoStmt:
+		indent(sb, depth)
+		sb.WriteString("goto " + x.Label + ";\n")
+	case *LabelStmt:
+		indent(sb, max(depth-1, 0))
+		sb.WriteString(x.Name + ":\n")
+		writeStmt(sb, x.Stmt, depth)
+	case *EmptyStmt:
+		indent(sb, depth)
+		sb.WriteString(";\n")
+	default:
+		indent(sb, depth)
+		fmt.Fprintf(sb, "<?stmt %T>\n", s)
+	}
+}
+
+// blockExtra returns 0 when the statement prints its own braces at the same
+// depth, 1 when it should be indented as a simple body.
+func blockExtra(s Stmt) int {
+	if _, ok := s.(*CompoundStmt); ok {
+		return 0
+	}
+	return 1
+}
+
+// DeclString renders a top-level declaration as C source.
+func DeclString(d Decl) string {
+	var sb strings.Builder
+	switch x := d.(type) {
+	case *FuncDecl:
+		if x.Static {
+			sb.WriteString("static ")
+		}
+		if x.Inline {
+			sb.WriteString("inline ")
+		}
+		sb.WriteString(x.Ret.String() + " " + x.Name + "(")
+		for i, p := range x.Params {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(p.Type.String())
+			if p.Name != "" {
+				sb.WriteString(" " + p.Name)
+			}
+		}
+		if x.Varargs {
+			if len(x.Params) > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString("...")
+		}
+		sb.WriteString(")")
+		if x.Body == nil {
+			sb.WriteString(";\n")
+		} else {
+			sb.WriteString("\n")
+			writeStmt(&sb, x.Body, 0)
+		}
+	case *RecordDecl:
+		kw := "struct"
+		if x.Union {
+			kw = "union"
+		}
+		sb.WriteString(kw + " " + x.Name + " {\n")
+		for _, f := range x.Fields {
+			sb.WriteString("\t" + f.Type.String() + " " + f.Name)
+			if f.Bits > 0 {
+				fmt.Fprintf(&sb, " : %d", f.Bits)
+			}
+			sb.WriteString(";\n")
+		}
+		sb.WriteString("};\n")
+	case *EnumDecl:
+		sb.WriteString("enum " + x.Name + " {\n")
+		for _, m := range x.Members {
+			fmt.Fprintf(&sb, "\t%s = %d,\n", m.Name, m.Value)
+		}
+		sb.WriteString("};\n")
+	case *TypedefDecl:
+		sb.WriteString("typedef " + x.Type.String() + " " + x.Name + ";\n")
+	case *VarDecl:
+		if x.Extern {
+			sb.WriteString("extern ")
+		}
+		if x.Static {
+			sb.WriteString("static ")
+		}
+		sb.WriteString(x.Type.String() + " " + x.Name)
+		if x.Init != nil {
+			sb.WriteString(" = ")
+			writeExpr(&sb, x.Init)
+		}
+		sb.WriteString(";\n")
+	}
+	return sb.String()
+}

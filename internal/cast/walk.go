@@ -1,0 +1,189 @@
+package cast
+
+import "pallas/internal/ctok"
+
+// Walk traverses the AST rooted at n in depth-first order, calling fn for each
+// node. If fn returns false the children of the node are not visited.
+func Walk(n Node, fn func(Node) bool) {
+	if n == nil || !fn(n) {
+		return
+	}
+	switch x := n.(type) {
+	// Expressions.
+	case *UnaryExpr:
+		Walk(x.X, fn)
+	case *PostfixExpr:
+		Walk(x.X, fn)
+	case *BinaryExpr:
+		Walk(x.L, fn)
+		Walk(x.R, fn)
+	case *AssignExpr:
+		Walk(x.L, fn)
+		Walk(x.R, fn)
+	case *CondExpr:
+		Walk(x.Cond, fn)
+		Walk(x.Then, fn)
+		Walk(x.Else, fn)
+	case *CallExpr:
+		Walk(x.Fun, fn)
+		for _, a := range x.Args {
+			Walk(a, fn)
+		}
+	case *MemberExpr:
+		Walk(x.X, fn)
+	case *IndexExpr:
+		Walk(x.X, fn)
+		Walk(x.Index, fn)
+	case *CastExpr:
+		Walk(x.X, fn)
+	case *CommaExpr:
+		Walk(x.L, fn)
+		Walk(x.R, fn)
+	case *InitListExpr:
+		for _, e := range x.Elems {
+			Walk(e, fn)
+		}
+
+	// Statements.
+	case *DeclStmt:
+		Walk(x.Init, fn)
+	case *ExprStmt:
+		Walk(x.X, fn)
+	case *CompoundStmt:
+		for _, s := range x.Stmts {
+			Walk(s, fn)
+		}
+	case *IfStmt:
+		Walk(x.Cond, fn)
+		Walk(x.Then, fn)
+		Walk(x.Else, fn)
+	case *WhileStmt:
+		Walk(x.Cond, fn)
+		Walk(x.Body, fn)
+	case *DoWhileStmt:
+		Walk(x.Body, fn)
+		Walk(x.Cond, fn)
+	case *ForStmt:
+		Walk(x.Init, fn)
+		Walk(x.Cond, fn)
+		Walk(x.Post, fn)
+		Walk(x.Body, fn)
+	case *SwitchStmt:
+		Walk(x.Tag, fn)
+		for _, c := range x.Cases {
+			Walk(c, fn)
+		}
+	case *CaseClause:
+		for _, v := range x.Values {
+			Walk(v, fn)
+		}
+		for _, s := range x.Body {
+			Walk(s, fn)
+		}
+	case *ReturnStmt:
+		Walk(x.X, fn)
+	case *LabelStmt:
+		Walk(x.Stmt, fn)
+
+	// Declarations.
+	case *FuncDecl:
+		Walk(x.Body, fn)
+	case *VarDecl:
+		Walk(x.Init, fn)
+	case *TranslationUnit:
+		for _, d := range x.Decls {
+			Walk(d, fn)
+		}
+	}
+}
+
+// Idents collects the distinct identifier names referenced in the subtree,
+// in first-appearance order.
+func Idents(n Node) []string {
+	seen := map[string]bool{}
+	var out []string
+	Walk(n, func(m Node) bool {
+		if id, ok := m.(*IdentExpr); ok && !seen[id.Name] {
+			seen[id.Name] = true
+			out = append(out, id.Name)
+		}
+		return true
+	})
+	return out
+}
+
+// UsesIdent reports whether the subtree references the identifier name.
+func UsesIdent(n Node, name string) bool {
+	found := false
+	Walk(n, func(m Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := m.(*IdentExpr); ok && id.Name == name {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// UsesField reports whether the subtree contains a member access to field.
+func UsesField(n Node, field string) bool {
+	found := false
+	Walk(n, func(m Node) bool {
+		if found {
+			return false
+		}
+		if me, ok := m.(*MemberExpr); ok && me.Field == field {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// Calls collects the names of directly-called functions in the subtree,
+// in first-appearance order (duplicates removed).
+func Calls(n Node) []string {
+	seen := map[string]bool{}
+	var out []string
+	Walk(n, func(m Node) bool {
+		if c, ok := m.(*CallExpr); ok {
+			if id, ok := c.Fun.(*IdentExpr); ok && !seen[id.Name] {
+				seen[id.Name] = true
+				out = append(out, id.Name)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// RootIdent returns the base identifier of an lvalue expression:
+// a, a.b, a->b, a[i].c all yield "a". Returns "" if none.
+func RootIdent(e Expr) string {
+	for {
+		switch x := e.(type) {
+		case *IdentExpr:
+			return x.Name
+		case *MemberExpr:
+			e = x.X
+		case *IndexExpr:
+			e = x.X
+		case *UnaryExpr:
+			if x.Op == ctok.Star || x.Op == ctok.Amp {
+				e = x.X
+				continue
+			}
+			return ""
+		case *CastExpr:
+			e = x.X
+		case *CommaExpr:
+			e = x.R
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package cfg
+
+import "sort"
+
+// ReversePostorder returns the blocks of g in reverse postorder from the
+// entry — the canonical iteration order for forward dataflow analyses.
+func (g *Graph) ReversePostorder() []*Block {
+	seen := map[*Block]bool{}
+	var post []*Block
+	var visit func(*Block)
+	visit = func(b *Block) {
+		if b == nil || seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, e := range b.Succs {
+			visit(e.To)
+		}
+		post = append(post, b)
+	}
+	visit(g.Entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// Dominators computes the immediate-dominator map using the Cooper-Harvey-
+// Kennedy iterative algorithm. The entry block maps to itself; unreachable
+// blocks are absent.
+func (g *Graph) Dominators() map[*Block]*Block {
+	rpo := g.ReversePostorder()
+	index := map[*Block]int{}
+	for i, b := range rpo {
+		index[b] = i
+	}
+	idom := map[*Block]*Block{g.Entry: g.Entry}
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for index[a] > index[b] {
+				a = idom[a]
+			}
+			for index[b] > index[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range rpo {
+			if b == g.Entry {
+				continue
+			}
+			var newIdom *Block
+			for _, p := range b.Preds {
+				if _, ok := idom[p]; !ok {
+					continue // predecessor not yet processed / unreachable
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom == nil {
+				continue
+			}
+			if idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether a dominates b (reflexively).
+func (g *Graph) Dominates(a, b *Block) bool {
+	idom := g.Dominators()
+	for {
+		if a == b {
+			return true
+		}
+		parent, ok := idom[b]
+		if !ok || parent == b {
+			return false
+		}
+		b = parent
+	}
+}
+
+// BackEdges returns the (tail, head) pairs where head dominates tail — the
+// natural-loop back edges. Results are ordered by (tail.ID, head.ID).
+func (g *Graph) BackEdges() [][2]*Block {
+	idom := g.Dominators()
+	dominates := func(a, b *Block) bool {
+		for {
+			if a == b {
+				return true
+			}
+			parent, ok := idom[b]
+			if !ok || parent == b {
+				return false
+			}
+			b = parent
+		}
+	}
+	var out [][2]*Block
+	for _, b := range g.Blocks {
+		for _, e := range b.Succs {
+			if dominates(e.To, b) {
+				out = append(out, [2]*Block{b, e.To})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0].ID != out[j][0].ID {
+			return out[i][0].ID < out[j][0].ID
+		}
+		return out[i][1].ID < out[j][1].ID
+	})
+	return out
+}
+
+// NaturalLoop returns the blocks of the natural loop of back edge
+// (tail, head): head plus every block that reaches tail without passing
+// through head.
+func (g *Graph) NaturalLoop(tail, head *Block) []*Block {
+	inLoop := map[*Block]bool{head: true}
+	var stack []*Block
+	if !inLoop[tail] {
+		inLoop[tail] = true
+		stack = append(stack, tail)
+	}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range b.Preds {
+			if !inLoop[p] {
+				inLoop[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	var out []*Block
+	for _, b := range g.Blocks {
+		if inLoop[b] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// CyclomaticComplexity returns E - N + 2 for the function's CFG, a standard
+// measure of path-richness (fast paths are typically much simpler than their
+// slow paths).
+func (g *Graph) CyclomaticComplexity() int {
+	return g.NumEdges() - len(g.Blocks) + 2
+}

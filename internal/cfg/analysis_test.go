@@ -1,0 +1,164 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+
+	"pallas/internal/cast"
+)
+
+func TestReversePostorderStartsAtEntry(t *testing.T) {
+	g := buildFor(t, `
+int f(int a) {
+	if (a) return 1;
+	return 0;
+}`, "f")
+	rpo := g.ReversePostorder()
+	if len(rpo) == 0 || rpo[0] != g.Entry {
+		t.Fatal("RPO must start at entry")
+	}
+	// Every block visited exactly once.
+	seen := map[int]bool{}
+	for _, b := range rpo {
+		if seen[b.ID] {
+			t.Fatalf("block %d repeated", b.ID)
+		}
+		seen[b.ID] = true
+	}
+}
+
+func TestDominators(t *testing.T) {
+	g := buildFor(t, `
+int f(int a) {
+	int r = 0;
+	if (a > 0)
+		r = 1;
+	else
+		r = 2;
+	return r;
+}`, "f")
+	idom := g.Dominators()
+	if idom[g.Entry] != g.Entry {
+		t.Fatal("entry must self-dominate")
+	}
+	// The entry dominates every reachable block.
+	for _, b := range g.ReversePostorder() {
+		if !g.Dominates(g.Entry, b) {
+			t.Errorf("entry should dominate B%d", b.ID)
+		}
+	}
+	// The then-branch does not dominate the join.
+	var thenBlock, join *Block
+	for _, b := range g.Blocks {
+		for _, s := range b.Stmts {
+			text := strings.TrimSpace(strings.ReplaceAll(cast.StmtString(s), "\n", ""))
+			if text == "r = 1;" {
+				thenBlock = b
+			}
+			if strings.HasPrefix(text, "return") {
+				join = b
+			}
+		}
+	}
+	if thenBlock == nil || join == nil {
+		t.Fatal("blocks not found")
+	}
+	if g.Dominates(thenBlock, join) {
+		t.Error("then-branch must not dominate the join")
+	}
+}
+
+func TestBackEdgesAndNaturalLoop(t *testing.T) {
+	g := buildFor(t, `
+int f(int n) {
+	int s = 0;
+	int i;
+	for (i = 0; i < n; i++)
+		s += i;
+	return s;
+}`, "f")
+	backs := g.BackEdges()
+	if len(backs) != 1 {
+		t.Fatalf("want 1 back edge, got %d", len(backs))
+	}
+	loop := g.NaturalLoop(backs[0][0], backs[0][1])
+	if len(loop) < 2 {
+		t.Fatalf("loop too small: %d blocks", len(loop))
+	}
+	// The loop must contain the head and the tail.
+	has := func(target *Block) bool {
+		for _, b := range loop {
+			if b == target {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(backs[0][0]) || !has(backs[0][1]) {
+		t.Error("loop must contain both ends of its back edge")
+	}
+}
+
+func TestNoBackEdgesInStraightLine(t *testing.T) {
+	g := buildFor(t, `int f(int a) { if (a) return 1; return 0; }`, "f")
+	if n := len(g.BackEdges()); n != 0 {
+		t.Fatalf("acyclic CFG reports %d back edges", n)
+	}
+}
+
+func TestCyclomaticComplexity(t *testing.T) {
+	straight := buildFor(t, `int f(void) { return 0; }`, "f")
+	if c := straight.CyclomaticComplexity(); c != 1 {
+		t.Errorf("straight-line complexity = %d, want 1", c)
+	}
+	branchy := buildFor(t, `
+int f(int a, int b) {
+	if (a) return 1;
+	if (b) return 2;
+	return 0;
+}`, "f")
+	if c := branchy.CyclomaticComplexity(); c != 3 {
+		t.Errorf("two-branch complexity = %d, want 3", c)
+	}
+}
+
+func TestRenderWorkflowShapes(t *testing.T) {
+	g := buildFor(t, `
+int f(int order) {
+	if (order == 0)
+		return 1;
+	return 0;
+}`, "f")
+	out := RenderWorkflow(g)
+	for _, want := range []string{"workflow f", "Sin", "Sout", "order == 0", "yes:", "no:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("workflow missing %q:\n%s", want, out)
+		}
+	}
+	loopy := buildFor(t, `
+int g(int n) {
+	while (n > 0)
+		n--;
+	return n;
+}`, "g")
+	if out := RenderWorkflow(loopy); !strings.Contains(out, "loop back") {
+		t.Errorf("loop annotation missing:\n%s", out)
+	}
+}
+
+func TestRenderKeyElements(t *testing.T) {
+	g := buildFor(t, `
+int f(int pred, int err) {
+	if (pred)
+		return 0;
+	if (err)
+		return -1;
+	return 1;
+}`, "f")
+	out := RenderKeyElements(g, []string{"pred"}, []string{"err"})
+	for _, want := range []string{"Sin", "Ct", "Cfau", "Serr: return -1", "Sout: return 0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("key elements missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,497 @@
+// Package cfg builds control-flow graphs for parsed C functions. The path
+// extractor (internal/paths) enumerates execution paths over these graphs;
+// the checkers reason about conditions and state updates attached to edges
+// and blocks.
+package cfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pallas/internal/cast"
+	"pallas/internal/ctok"
+)
+
+// EdgeKind classifies a CFG edge.
+type EdgeKind int
+
+// Edge kinds.
+const (
+	Always  EdgeKind = iota // unconditional fallthrough / jump
+	True                    // branch taken when the block condition is true
+	False                   // branch taken when the block condition is false
+	Case                    // switch case match
+	Default                 // switch default
+)
+
+// String names the edge kind.
+func (k EdgeKind) String() string {
+	switch k {
+	case Always:
+		return "always"
+	case True:
+		return "true"
+	case False:
+		return "false"
+	case Case:
+		return "case"
+	case Default:
+		return "default"
+	}
+	return fmt.Sprintf("EdgeKind(%d)", int(k))
+}
+
+// Edge is one control transfer.
+type Edge struct {
+	To    *Block
+	Kind  EdgeKind
+	Label string // case value text for Case edges
+}
+
+// Block is one basic block. A block carries a straight-line statement list
+// and, if it branches, the branch condition.
+type Block struct {
+	ID    int
+	Stmts []cast.Stmt // DeclStmt / ExprStmt / ReturnStmt only
+	// Cond is the branch condition when the block ends in a conditional or
+	// switch; nil otherwise.
+	Cond cast.Expr
+	// Switch marks Cond as a switch tag rather than a boolean condition.
+	Switch bool
+	Succs  []Edge
+	Preds  []*Block
+
+	// Return holds the function's return expression when this block ends in
+	// an explicit return statement (the ReturnStmt also appears in Stmts).
+	Return *cast.ReturnStmt
+}
+
+// HasTerminatorCond reports whether the block ends with a branch condition.
+func (b *Block) HasTerminatorCond() bool { return b.Cond != nil }
+
+// Graph is the CFG of one function.
+type Graph struct {
+	Fn     *cast.FuncDecl
+	Entry  *Block
+	Exit   *Block // synthetic; all returns and falling-off-end lead here
+	Blocks []*Block
+}
+
+// builder state.
+type builder struct {
+	g      *Graph
+	nextID int
+	labels map[string]*Block
+	gotos  []pendingGoto
+	// break/continue targets (innermost last)
+	breaks    []*Block
+	continues []*Block
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+	pos   ctok.Pos
+}
+
+// Build constructs the CFG for fn. fn must have a body.
+func Build(fn *cast.FuncDecl) (*Graph, error) {
+	if fn.Body == nil {
+		return nil, fmt.Errorf("cfg: function %s has no body", fn.Name)
+	}
+	b := &builder{g: &Graph{Fn: fn}, labels: map[string]*Block{}}
+	b.g.Exit = b.newBlock() // allocate exit first so it is stable
+	entry := b.newBlock()
+	b.g.Entry = entry
+	last := b.stmts(entry, fn.Body.Stmts)
+	if last != nil {
+		b.link(last, b.g.Exit, Always, "")
+	}
+	// Resolve gotos.
+	var unresolved []string
+	for _, pg := range b.gotos {
+		target, ok := b.labels[pg.label]
+		if !ok {
+			unresolved = append(unresolved, fmt.Sprintf("%s: goto %s has no label", pg.pos, pg.label))
+			continue
+		}
+		b.link(pg.from, target, Always, "")
+	}
+	b.prune()
+	if len(unresolved) > 0 {
+		return b.g, fmt.Errorf("cfg: %s", strings.Join(unresolved, "; "))
+	}
+	return b.g, nil
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{ID: b.nextID}
+	b.nextID++
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) link(from, to *Block, kind EdgeKind, label string) {
+	from.Succs = append(from.Succs, Edge{To: to, Kind: kind, Label: label})
+	to.Preds = append(to.Preds, from)
+}
+
+// stmts lowers a statement list starting in cur; returns the block where
+// control continues, or nil if control cannot fall through (return/goto...).
+func (b *builder) stmts(cur *Block, list []cast.Stmt) *Block {
+	for _, s := range list {
+		if cur == nil {
+			// Unreachable code after return/goto: still lower labels inside
+			// it (they may be goto targets), starting a fresh block.
+			if !containsLabel(s) {
+				continue
+			}
+			cur = b.newBlock()
+		}
+		cur = b.stmt(cur, s)
+	}
+	return cur
+}
+
+func containsLabel(s cast.Stmt) bool {
+	found := false
+	cast.Walk(s, func(n cast.Node) bool {
+		if _, ok := n.(*cast.LabelStmt); ok {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func (b *builder) stmt(cur *Block, s cast.Stmt) *Block {
+	switch x := s.(type) {
+	case *cast.DeclStmt, *cast.ExprStmt:
+		cur.Stmts = append(cur.Stmts, s)
+		return cur
+	case *cast.EmptyStmt:
+		return cur
+	case *cast.CompoundStmt:
+		return b.stmts(cur, x.Stmts)
+	case *cast.ReturnStmt:
+		cur.Stmts = append(cur.Stmts, x)
+		cur.Return = x
+		b.link(cur, b.g.Exit, Always, "")
+		return nil
+	case *cast.IfStmt:
+		cur.Cond = x.Cond
+		thenB := b.newBlock()
+		b.link(cur, thenB, True, "")
+		thenEnd := b.stmt(thenB, x.Then)
+		var elseEnd *Block
+		join := b.newBlock()
+		if x.Else != nil {
+			elseB := b.newBlock()
+			b.link(cur, elseB, False, "")
+			elseEnd = b.stmt(elseB, x.Else)
+		} else {
+			b.link(cur, join, False, "")
+		}
+		if thenEnd != nil {
+			b.link(thenEnd, join, Always, "")
+		}
+		if elseEnd != nil {
+			b.link(elseEnd, join, Always, "")
+		}
+		return join
+	case *cast.WhileStmt:
+		head := b.newBlock()
+		b.link(cur, head, Always, "")
+		head.Cond = x.Cond
+		body := b.newBlock()
+		after := b.newBlock()
+		b.link(head, body, True, "")
+		b.link(head, after, False, "")
+		b.pushLoop(after, head)
+		bodyEnd := b.stmt(body, x.Body)
+		b.popLoop()
+		if bodyEnd != nil {
+			b.link(bodyEnd, head, Always, "")
+		}
+		return after
+	case *cast.DoWhileStmt:
+		body := b.newBlock()
+		b.link(cur, body, Always, "")
+		cond := b.newBlock()
+		after := b.newBlock()
+		b.pushLoop(after, cond)
+		bodyEnd := b.stmt(body, x.Body)
+		b.popLoop()
+		if bodyEnd != nil {
+			b.link(bodyEnd, cond, Always, "")
+		}
+		cond.Cond = x.Cond
+		b.link(cond, body, True, "")
+		b.link(cond, after, False, "")
+		return after
+	case *cast.ForStmt:
+		if x.Init != nil {
+			cur = b.stmt(cur, x.Init)
+		}
+		head := b.newBlock()
+		b.link(cur, head, Always, "")
+		body := b.newBlock()
+		after := b.newBlock()
+		if x.Cond != nil {
+			head.Cond = x.Cond
+			b.link(head, body, True, "")
+			b.link(head, after, False, "")
+		} else {
+			b.link(head, body, Always, "")
+		}
+		post := b.newBlock()
+		b.pushLoop(after, post)
+		bodyEnd := b.stmt(body, x.Body)
+		b.popLoop()
+		if bodyEnd != nil {
+			b.link(bodyEnd, post, Always, "")
+		}
+		if x.Post != nil {
+			post.Stmts = append(post.Stmts, &cast.ExprStmt{X: x.Post, P: x.Post.Pos()})
+		}
+		b.link(post, head, Always, "")
+		return after
+	case *cast.SwitchStmt:
+		cur.Cond = x.Tag
+		cur.Switch = true
+		after := b.newBlock()
+		b.pushLoop(after, nil) // break targets after; continue passes through
+		// Lower case bodies with fallthrough between consecutive clauses.
+		caseBlocks := make([]*Block, len(x.Cases))
+		for i := range x.Cases {
+			caseBlocks[i] = b.newBlock()
+		}
+		hasDefault := false
+		for i, c := range x.Cases {
+			if c.Values == nil {
+				hasDefault = true
+				b.link(cur, caseBlocks[i], Default, "")
+			} else {
+				for _, v := range c.Values {
+					b.link(cur, caseBlocks[i], Case, cast.ExprString(v))
+				}
+			}
+			end := b.stmts(caseBlocks[i], c.Body)
+			if end != nil {
+				if i+1 < len(x.Cases) {
+					b.link(end, caseBlocks[i+1], Always, "")
+				} else {
+					b.link(end, after, Always, "")
+				}
+			}
+		}
+		if !hasDefault {
+			b.link(cur, after, Default, "")
+		}
+		b.popLoop()
+		return after
+	case *cast.BreakStmt:
+		if t := b.breakTarget(); t != nil {
+			b.link(cur, t, Always, "")
+		} else {
+			b.link(cur, b.g.Exit, Always, "")
+		}
+		return nil
+	case *cast.ContinueStmt:
+		if t := b.continueTarget(); t != nil {
+			b.link(cur, t, Always, "")
+		} else {
+			b.link(cur, b.g.Exit, Always, "")
+		}
+		return nil
+	case *cast.GotoStmt:
+		b.gotos = append(b.gotos, pendingGoto{from: cur, label: x.Label, pos: x.P})
+		return nil
+	case *cast.LabelStmt:
+		lb := b.newBlock()
+		b.labels[x.Name] = lb
+		if cur != nil {
+			b.link(cur, lb, Always, "")
+		}
+		if x.Stmt != nil {
+			return b.stmt(lb, x.Stmt)
+		}
+		return lb
+	default:
+		// Unknown statement kinds are treated as opaque straight-line code.
+		cur.Stmts = append(cur.Stmts, s)
+		return cur
+	}
+}
+
+func (b *builder) pushLoop(brk, cont *Block) {
+	b.breaks = append(b.breaks, brk)
+	b.continues = append(b.continues, cont)
+}
+
+func (b *builder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+func (b *builder) breakTarget() *Block {
+	for i := len(b.breaks) - 1; i >= 0; i-- {
+		if b.breaks[i] != nil {
+			return b.breaks[i]
+		}
+	}
+	return nil
+}
+
+func (b *builder) continueTarget() *Block {
+	for i := len(b.continues) - 1; i >= 0; i-- {
+		if b.continues[i] != nil {
+			return b.continues[i]
+		}
+	}
+	return nil
+}
+
+// prune removes unreachable empty blocks and renumbers.
+func (b *builder) prune() {
+	reach := b.g.reachableSet()
+	var kept []*Block
+	for _, blk := range b.g.Blocks {
+		if reach[blk] || blk == b.g.Exit {
+			kept = append(kept, blk)
+		}
+	}
+	// Rebuild pred lists from kept blocks only.
+	for _, blk := range kept {
+		blk.Preds = nil
+	}
+	for _, blk := range kept {
+		var succs []Edge
+		for _, e := range blk.Succs {
+			if reach[e.To] || e.To == b.g.Exit {
+				succs = append(succs, e)
+				e.To.Preds = append(e.To.Preds, blk)
+			}
+		}
+		blk.Succs = succs
+	}
+	for i, blk := range kept {
+		blk.ID = i
+	}
+	b.g.Blocks = kept
+}
+
+func (g *Graph) reachableSet() map[*Block]bool {
+	reach := map[*Block]bool{}
+	var visit func(*Block)
+	visit = func(blk *Block) {
+		if blk == nil || reach[blk] {
+			return
+		}
+		reach[blk] = true
+		for _, e := range blk.Succs {
+			visit(e.To)
+		}
+	}
+	visit(g.Entry)
+	return reach
+}
+
+// NumEdges counts the edges in the graph.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, blk := range g.Blocks {
+		n += len(blk.Succs)
+	}
+	return n
+}
+
+// Conditions returns every branch condition expression in block order.
+func (g *Graph) Conditions() []cast.Expr {
+	var out []cast.Expr
+	for _, blk := range g.Blocks {
+		if blk.Cond != nil {
+			out = append(out, blk.Cond)
+		}
+	}
+	return out
+}
+
+// Returns lists the return statements in the function in block order.
+func (g *Graph) Returns() []*cast.ReturnStmt {
+	var out []*cast.ReturnStmt
+	for _, blk := range g.Blocks {
+		if blk.Return != nil {
+			out = append(out, blk.Return)
+		}
+	}
+	return out
+}
+
+// String renders the CFG in a compact text form for tests and debugging.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cfg %s: %d blocks, %d edges\n", g.Fn.Name, len(g.Blocks), g.NumEdges())
+	blocks := append([]*Block(nil), g.Blocks...)
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].ID < blocks[j].ID })
+	for _, blk := range blocks {
+		tag := ""
+		if blk == g.Entry {
+			tag = " (entry)"
+		}
+		if blk == g.Exit {
+			tag += " (exit)"
+		}
+		fmt.Fprintf(&sb, "B%d%s:\n", blk.ID, tag)
+		for _, s := range blk.Stmts {
+			sb.WriteString("  " + strings.TrimRight(cast.StmtString(s), "\n") + "\n")
+		}
+		if blk.Cond != nil {
+			kw := "if"
+			if blk.Switch {
+				kw = "switch"
+			}
+			fmt.Fprintf(&sb, "  %s %s\n", kw, cast.ExprString(blk.Cond))
+		}
+		for _, e := range blk.Succs {
+			lbl := e.Kind.String()
+			if e.Label != "" {
+				lbl += " " + e.Label
+			}
+			fmt.Fprintf(&sb, "  -> B%d [%s]\n", e.To.ID, lbl)
+		}
+	}
+	return sb.String()
+}
+
+// Dot renders the graph in Graphviz dot syntax.
+func (g *Graph) Dot() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", g.Fn.Name)
+	for _, blk := range g.Blocks {
+		label := fmt.Sprintf("B%d", blk.ID)
+		if blk.Cond != nil {
+			label += "\\n" + escapeDot(cast.ExprString(blk.Cond)) + "?"
+		}
+		if blk == g.Entry {
+			label += "\\n(entry)"
+		}
+		if blk == g.Exit {
+			label += "\\n(exit)"
+		}
+		fmt.Fprintf(&sb, "  n%d [label=\"%s\"];\n", blk.ID, label)
+		for _, e := range blk.Succs {
+			fmt.Fprintf(&sb, "  n%d -> n%d [label=\"%s\"];\n", blk.ID, e.To.ID, e.Kind)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func escapeDot(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return s
+}

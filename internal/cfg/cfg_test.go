@@ -1,0 +1,214 @@
+package cfg
+
+import (
+	"testing"
+
+	"pallas/internal/cparse"
+)
+
+func buildFor(t *testing.T, src, fn string) *Graph {
+	t.Helper()
+	tu, err := cparse.Parse("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	f := tu.Func(fn)
+	if f == nil {
+		t.Fatalf("function %s missing", fn)
+	}
+	g, err := Build(f)
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	return g
+}
+
+func TestIfElse(t *testing.T) {
+	g := buildFor(t, `
+int f(int a) {
+	int r = 0;
+	if (a > 0)
+		r = 1;
+	else
+		r = 2;
+	return r;
+}`, "f")
+	conds := g.Conditions()
+	if len(conds) != 1 {
+		t.Fatalf("want 1 condition, got %d", len(conds))
+	}
+	rets := g.Returns()
+	if len(rets) != 1 {
+		t.Fatalf("want 1 return, got %d", len(rets))
+	}
+	// Entry must reach exit.
+	if !reaches(g.Entry, g.Exit) {
+		t.Fatal("entry does not reach exit")
+	}
+}
+
+func reaches(from, to *Block) bool {
+	seen := map[*Block]bool{}
+	var rec func(*Block) bool
+	rec = func(b *Block) bool {
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, e := range b.Succs {
+			if rec(e.To) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(from)
+}
+
+func TestLoopsHaveBackEdges(t *testing.T) {
+	g := buildFor(t, `
+int sum(int n) {
+	int s = 0;
+	for (int i = 0; i < n; i++)
+		s += i;
+	while (s > 100)
+		s /= 2;
+	do { s++; } while (s < 10);
+	return s;
+}`, "sum")
+	if len(g.Conditions()) != 3 {
+		t.Fatalf("want 3 loop conditions, got %d", len(g.Conditions()))
+	}
+	// A back edge exists: some successor has an ID <= its source in RPO; we
+	// just check the graph is cyclic by counting edges >= blocks.
+	if g.NumEdges() < len(g.Blocks) {
+		t.Fatalf("expected cyclic graph: %d edges, %d blocks", g.NumEdges(), len(g.Blocks))
+	}
+}
+
+func TestSwitchFallthroughAndBreak(t *testing.T) {
+	g := buildFor(t, `
+int cls(int x) {
+	int r;
+	switch (x) {
+	case 0:
+	case 1:
+		r = 10;
+		break;
+	case 2:
+		r = 20;
+	default:
+		r = 30;
+	}
+	return r;
+}`, "cls")
+	var sw *Block
+	for _, b := range g.Blocks {
+		if b.Switch {
+			sw = b
+		}
+	}
+	if sw == nil {
+		t.Fatal("no switch block")
+	}
+	// case 0, case 1, case 2, default = 4 outgoing edges.
+	if len(sw.Succs) != 4 {
+		t.Fatalf("switch should have 4 successors, got %d", len(sw.Succs))
+	}
+	caseEdges := 0
+	defEdges := 0
+	for _, e := range sw.Succs {
+		switch e.Kind {
+		case Case:
+			caseEdges++
+		case Default:
+			defEdges++
+		}
+	}
+	if caseEdges != 3 || defEdges != 1 {
+		t.Fatalf("case=%d default=%d", caseEdges, defEdges)
+	}
+}
+
+func TestGotoResolution(t *testing.T) {
+	g := buildFor(t, `
+int f(int a) {
+	if (a < 0)
+		goto fail;
+	return a;
+fail:
+	return -1;
+}`, "f")
+	if len(g.Returns()) != 2 {
+		t.Fatalf("want 2 returns, got %d", len(g.Returns()))
+	}
+}
+
+func TestGotoUnresolvedIsError(t *testing.T) {
+	tu, err := cparse.Parse("t.c", `
+int f(int a) {
+	goto nowhere;
+	return a;
+}`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := Build(tu.Func("f")); err == nil {
+		t.Fatal("expected unresolved-goto error")
+	}
+}
+
+func TestBreakContinueInLoop(t *testing.T) {
+	g := buildFor(t, `
+int scan(int *a, int n) {
+	int i;
+	for (i = 0; i < n; i++) {
+		if (a[i] == 0)
+			continue;
+		if (a[i] < 0)
+			break;
+	}
+	return i;
+}`, "scan")
+	if !reaches(g.Entry, g.Exit) {
+		t.Fatal("entry must reach exit")
+	}
+	if len(g.Conditions()) != 3 {
+		t.Fatalf("want 3 conditions, got %d", len(g.Conditions()))
+	}
+}
+
+func TestUnreachableAfterReturnPruned(t *testing.T) {
+	g := buildFor(t, `
+int f(void) {
+	return 1;
+	return 2;
+}`, "f")
+	if n := len(g.Returns()); n != 1 {
+		t.Fatalf("unreachable return should be pruned, got %d returns", n)
+	}
+}
+
+func TestDotAndStringRender(t *testing.T) {
+	g := buildFor(t, `int f(int a){ if (a) return 1; return 0; }`, "f")
+	if s := g.String(); len(s) == 0 {
+		t.Fatal("empty String()")
+	}
+	dot := g.Dot()
+	if len(dot) == 0 || dot[0] != 'd' {
+		t.Fatalf("bad dot output: %q", dot)
+	}
+}
+
+func TestNoBodyError(t *testing.T) {
+	tu, err := cparse.Parse("t.c", `int proto(int a);`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(tu.Funcs()) != 0 {
+		t.Fatal("prototype should not count as definition")
+	}
+}

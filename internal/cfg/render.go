@@ -1,0 +1,138 @@
+package cfg
+
+import (
+	"fmt"
+	"strings"
+
+	"pallas/internal/cast"
+)
+
+// RenderWorkflow draws the function's control flow as an indented ASCII
+// workflow in the style of the paper's Figure 1: branch conditions become
+// decision points with yes/no arms, straight-line blocks become steps, and
+// returns become terminal states. The rendering is a readable approximation,
+// not a full graph layout; back edges are annotated rather than drawn.
+func RenderWorkflow(g *Graph) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "workflow %s\n", g.Fn.Name)
+	sb.WriteString("Sin\n")
+	r := &renderer{g: g, sb: &sb, onPath: map[*Block]bool{}, done: map[*Block]bool{}}
+	r.block(g.Entry, 1)
+	sb.WriteString("Sout\n")
+	return sb.String()
+}
+
+type renderer struct {
+	g      *Graph
+	sb     *strings.Builder
+	onPath map[*Block]bool
+	done   map[*Block]bool
+}
+
+func (r *renderer) indent(depth int) {
+	for i := 0; i < depth; i++ {
+		r.sb.WriteString("  ")
+	}
+}
+
+func (r *renderer) block(b *Block, depth int) {
+	if b == nil || b == r.g.Exit {
+		return
+	}
+	if r.onPath[b] {
+		r.indent(depth)
+		fmt.Fprintf(r.sb, "(loop back to S%d)\n", b.ID)
+		return
+	}
+	if r.done[b] {
+		r.indent(depth)
+		fmt.Fprintf(r.sb, "(join S%d)\n", b.ID)
+		return
+	}
+	r.onPath[b] = true
+	defer func() { r.onPath[b] = false; r.done[b] = true }()
+
+	for _, s := range b.Stmts {
+		r.indent(depth)
+		line := strings.TrimRight(cast.StmtString(s), "\n")
+		// Multi-line statements are summarized by their first line.
+		if i := strings.IndexByte(line, '\n'); i >= 0 {
+			line = line[:i] + " ..."
+		}
+		fmt.Fprintf(r.sb, "S%d: %s\n", b.ID, strings.TrimSpace(line))
+	}
+	if b.Return != nil {
+		return // terminal; return already printed as a statement
+	}
+	if b.Cond == nil {
+		for _, e := range b.Succs {
+			r.block(e.To, depth)
+		}
+		return
+	}
+	r.indent(depth)
+	kw := "?"
+	if b.Switch {
+		kw = "switch"
+	}
+	fmt.Fprintf(r.sb, "S%d %s %s\n", b.ID, kw, cast.ExprString(b.Cond))
+	for _, e := range b.Succs {
+		r.indent(depth)
+		label := map[EdgeKind]string{True: "yes:", False: "no:", Default: "default:"}[e.Kind]
+		if e.Kind == Case {
+			label = "case " + e.Label + ":"
+		}
+		if e.Kind == Always {
+			label = "then:"
+		}
+		fmt.Fprintf(r.sb, "%s\n", label)
+		r.block(e.To, depth+1)
+	}
+}
+
+// RenderKeyElements prints the Figure-2 key-element model of a fast path,
+// instantiated with the function's actual conditions and outputs: Sin, the
+// trigger conditions (Ct), the fault conditions (Cfau), and the outputs
+// (Sout/Serr).
+func RenderKeyElements(g *Graph, triggerVars, faultStates []string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "key elements of fast path %s (Figure 2 model)\n", g.Fn.Name)
+	fmt.Fprintf(&sb, "  Sin : %s\n", signatureOf(g.Fn))
+	for _, c := range g.Conditions() {
+		kind := "Ct  "
+		text := cast.ExprString(c)
+		for _, f := range faultStates {
+			if strings.Contains(text, f) {
+				kind = "Cfau"
+			}
+		}
+		fmt.Fprintf(&sb, "  %s: %s\n", kind, text)
+	}
+	if len(triggerVars) > 0 {
+		fmt.Fprintf(&sb, "  trigger variables: %s\n", strings.Join(triggerVars, ", "))
+	}
+	if len(faultStates) > 0 {
+		fmt.Fprintf(&sb, "  fault states: %s\n", strings.Join(faultStates, ", "))
+	}
+	for _, ret := range g.Returns() {
+		if ret.X == nil {
+			fmt.Fprintf(&sb, "  Sout: void\n")
+			continue
+		}
+		text := cast.ExprString(ret.X)
+		kind := "Sout"
+		if strings.HasPrefix(text, "-") {
+			kind = "Serr"
+		}
+		fmt.Fprintf(&sb, "  %s: return %s\n", kind, text)
+	}
+	return sb.String()
+}
+
+func signatureOf(fn *cast.FuncDecl) string {
+	parts := make([]string, len(fn.Params))
+	for i, p := range fn.Params {
+		parts[i] = p.Type.String() + " " + p.Name
+	}
+	return fn.Name + "(" + strings.Join(parts, ", ") + ")"
+}

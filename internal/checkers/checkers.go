@@ -1,0 +1,186 @@
+// Package checkers implements the five Pallas checkers: path state, trigger
+// condition, path output, fault handling, and assistant data structure. Each
+// checker filters extracted execution paths against the rules of Section 3
+// and reports violations as warnings.
+package checkers
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"pallas/internal/cast"
+	"pallas/internal/paths"
+	"pallas/internal/report"
+	"pallas/internal/spec"
+	"pallas/internal/study"
+)
+
+// Context carries everything a checker needs for one analysis target.
+type Context struct {
+	// TU is the merged, parsed translation unit.
+	TU *cast.TranslationUnit
+	// Spec is the user-provided semantic information.
+	Spec *spec.Spec
+	// Extractor provides path extraction (shared CFG/summary caches).
+	Extractor *paths.Extractor
+	// FuncPaths maps function name → extracted paths for every analyzed
+	// function (fast paths first).
+	FuncPaths map[string]*paths.FuncPaths
+	// File is the reported file name.
+	File string
+}
+
+// Checker is one of the five Pallas tools.
+type Checker interface {
+	// Name identifies the checker ("path-state", ...).
+	Name() string
+	// Check analyzes ctx and returns warnings.
+	Check(ctx *Context) []report.Warning
+}
+
+// All returns the five checkers in paper order.
+func All() []Checker {
+	return []Checker{
+		PathStateChecker{},
+		TriggerConditionChecker{},
+		PathOutputChecker{},
+		FaultHandlingChecker{},
+		DataStructChecker{},
+	}
+}
+
+// ByName returns the named checker, or nil.
+func ByName(name string) Checker {
+	for _, c := range All() {
+		if c.Name() == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// NewContext extracts paths for every function the spec names and returns a
+// ready-to-check context.
+func NewContext(tu *cast.TranslationUnit, sp *spec.Spec, cfg paths.Config) (*Context, error) {
+	ex := paths.NewExtractor(tu, cfg)
+	ctx := &Context{TU: tu, Spec: sp, Extractor: ex, FuncPaths: map[string]*paths.FuncPaths{}, File: tu.File}
+	for _, fn := range sp.AnalyzedFuncs() {
+		if tu.Func(fn) == nil {
+			return nil, fmt.Errorf("checkers: spec names unknown function %q", fn)
+		}
+		fp, err := ex.Extract(fn)
+		if err != nil {
+			return nil, err
+		}
+		ctx.FuncPaths[fn] = fp
+	}
+	return ctx, nil
+}
+
+// Run executes the given checkers (all five when list is empty) and returns a
+// sorted report. Each warning is annotated with the historically most likely
+// failure class for its aspect (from the characterization study).
+func Run(ctx *Context, list ...Checker) *report.Report {
+	if len(list) == 0 {
+		list = All()
+	}
+	r := &report.Report{Target: ctx.File}
+	for _, c := range list {
+		r.Add(c.Check(ctx)...)
+	}
+	for i := range r.Warnings {
+		r.Warnings[i].LikelyConsequence = likelyConsequence(r.Warnings[i].Aspect())
+	}
+	r.Sort()
+	return r
+}
+
+var (
+	likelyOnce sync.Once
+	likelyMap  map[report.Aspect]string
+)
+
+// likelyConsequence returns the top Table-4 failure class for an aspect.
+func likelyConsequence(a report.Aspect) string {
+	likelyOnce.Do(func() {
+		likelyMap = map[report.Aspect]string{}
+		ds := study.Dataset()
+		for _, asp := range report.Aspects() {
+			ranked := study.LikelyConsequences(ds, asp)
+			if len(ranked) > 0 {
+				likelyMap[asp] = ranked[0].Consequence
+			}
+		}
+	})
+	return likelyMap[a]
+}
+
+// fastPathFuncs yields the fast-path functions with extracted paths.
+func (ctx *Context) fastPathFuncs() []*paths.FuncPaths {
+	var out []*paths.FuncPaths
+	for _, name := range ctx.Spec.FastFuncs() {
+		if fp, ok := ctx.FuncPaths[name]; ok {
+			out = append(out, fp)
+		}
+	}
+	return out
+}
+
+// funcDecl looks up the AST node for a function.
+func (ctx *Context) funcDecl(name string) *cast.FuncDecl { return ctx.TU.Func(name) }
+
+// pathReferences reports whether the path mentions the variable anywhere:
+// in a condition, a state update (target, root, or symbolic value), a call
+// argument, or the output.
+func pathReferences(p *paths.ExecPath, name string) bool {
+	if p.TestsVar(name) {
+		return true
+	}
+	for _, s := range p.States {
+		if s.Root == name || s.Target == name ||
+			strings.Contains(s.Value, "#"+name+")") || strings.Contains(s.Target, name+"->") {
+			return true
+		}
+	}
+	for _, c := range p.Calls {
+		for _, a := range c.Args {
+			if a == name || strings.Contains(a, name+"->") || strings.Contains(a, name+".") ||
+				strings.Contains(a, "&"+name) || containsWord(a, name) {
+				return true
+			}
+		}
+	}
+	if p.Out != nil && !p.Out.Void {
+		if containsWord(p.Out.Expr, name) || strings.Contains(p.Out.Sym, "#"+name+")") {
+			return true
+		}
+	}
+	return false
+}
+
+// containsWord reports whether s contains name as a whole identifier word.
+func containsWord(s, name string) bool {
+	idx := 0
+	for {
+		i := strings.Index(s[idx:], name)
+		if i < 0 {
+			return false
+		}
+		i += idx
+		beforeOK := i == 0 || !isIdentChar(s[i-1])
+		j := i + len(name)
+		afterOK := j >= len(s) || !isIdentChar(s[j])
+		if beforeOK && afterOK {
+			return true
+		}
+		idx = i + len(name)
+		if idx >= len(s) {
+			return false
+		}
+	}
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}

@@ -1,0 +1,542 @@
+package checkers
+
+import (
+	"testing"
+
+	"pallas/internal/cparse"
+	"pallas/internal/paths"
+	"pallas/internal/report"
+	"pallas/internal/spec"
+)
+
+// analyze parses src, builds the spec from specText, and runs all checkers.
+func analyze(t *testing.T, src, specText string) *report.Report {
+	t.Helper()
+	tu, err := cparse.Parse("test.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sp, err := spec.Parse(specText)
+	if err != nil {
+		t.Fatalf("spec: %v", err)
+	}
+	ctx, err := NewContext(tu, sp, paths.DefaultConfig())
+	if err != nil {
+		t.Fatalf("context: %v", err)
+	}
+	return Run(ctx)
+}
+
+func countFinding(r *report.Report, finding string) int {
+	n := 0
+	for _, w := range r.Warnings {
+		if w.Finding == finding {
+			n++
+		}
+	}
+	return n
+}
+
+// --- Rule 1.2: immutable overwritten -------------------------------------
+
+const immutableOverwriteSrc = `
+struct page { unsigned long private; };
+struct page *get_page(gfp_t gfp_mask, int order) {
+	struct page *page = 0;
+	if (order == 0) {
+		gfp_mask = gfp_mask & 3;
+		return page;
+	}
+	return page;
+}`
+
+func TestImmutableOverwriteDetected(t *testing.T) {
+	r := analyze(t, immutableOverwriteSrc, `
+fastpath get_page
+immutable gfp_mask
+`)
+	if countFinding(r, report.FindStateOverwrite) != 1 {
+		t.Fatalf("want 1 overwrite warning, got report:\n%+v", r.Warnings)
+	}
+	w := r.Warnings[0]
+	if w.Rule != "1.2" || w.Subject != "gfp_mask" || w.Line != 6 {
+		t.Errorf("warning = %+v", w)
+	}
+}
+
+func TestImmutableCleanNoWarning(t *testing.T) {
+	r := analyze(t, `
+struct page { unsigned long private; };
+struct page *get_page(gfp_t gfp_mask, int order) {
+	struct page *page = 0;
+	if ((gfp_mask & 3) && order == 0)
+		return page;
+	return page;
+}`, `
+fastpath get_page
+immutable gfp_mask
+`)
+	if len(r.Warnings) != 0 {
+		t.Fatalf("clean code produced warnings: %+v", r.Warnings)
+	}
+}
+
+func TestImmutableOverwriteInCallee(t *testing.T) {
+	r := analyze(t, `
+struct ctl { int mask; };
+void clobber(struct ctl *c) { c->mask = 0; }
+int fast(struct ctl *ctl) {
+	clobber(ctl);
+	return ctl->mask;
+}`, `
+fastpath fast
+immutable ctl
+`)
+	if countFinding(r, report.FindStateOverwrite) == 0 {
+		t.Fatalf("callee write through pointer not flagged: %+v", r.Warnings)
+	}
+}
+
+// --- Rule 1.1: uninitialized immutable ------------------------------------
+
+func TestUninitializedImmutableDetected(t *testing.T) {
+	r := analyze(t, `
+int fast(int a) {
+	int flags;
+	if (flags & 1)
+		return a;
+	return 0;
+}`, `
+fastpath fast
+immutable flags
+`)
+	if countFinding(r, report.FindStateUninit) != 1 {
+		t.Fatalf("want 1 uninit warning: %+v", r.Warnings)
+	}
+}
+
+func TestInitializedImmutableClean(t *testing.T) {
+	r := analyze(t, `
+int fast(int a) {
+	int flags = 1;
+	if (flags & 1)
+		return a;
+	return 0;
+}`, `
+fastpath fast
+immutable flags
+`)
+	if countFinding(r, report.FindStateUninit) != 0 {
+		t.Fatalf("initialized local flagged: %+v", r.Warnings)
+	}
+}
+
+func TestUninitializedGlobalImmutable(t *testing.T) {
+	r := analyze(t, `
+int page_flags;
+int fast(int a) {
+	if (page_flags & 1)
+		return a;
+	return 0;
+}`, `
+fastpath fast
+immutable page_flags
+`)
+	if countFinding(r, report.FindStateUninit) != 1 {
+		t.Fatalf("uninitialized global not flagged: %+v", r.Warnings)
+	}
+}
+
+// --- Rule 1.3: correlated variables ---------------------------------------
+
+func TestCorrelationViolationDetected(t *testing.T) {
+	// preferred_zone must be chosen with reference to nodemask.
+	r := analyze(t, `
+struct zone { int node; };
+struct zone *pick(struct zone *preferred_zone, unsigned long nodemask) {
+	return preferred_zone;
+}`, `
+fastpath pick
+correlated preferred_zone nodemask
+`)
+	if countFinding(r, report.FindStateCorrelated) != 1 {
+		t.Fatalf("missing correlation not flagged: %+v", r.Warnings)
+	}
+}
+
+func TestCorrelationPresentClean(t *testing.T) {
+	r := analyze(t, `
+struct zone { int node; };
+struct zone *pick(struct zone *preferred_zone, unsigned long nodemask) {
+	if (nodemask & (1 << preferred_zone->node))
+		return preferred_zone;
+	return 0;
+}`, `
+fastpath pick
+correlated preferred_zone nodemask
+`)
+	if countFinding(r, report.FindStateCorrelated) != 0 {
+		t.Fatalf("correlated access flagged: %+v", r.Warnings)
+	}
+}
+
+// --- Rules 2.1 / 2.2: trigger condition -----------------------------------
+
+func TestMissingConditionDetected(t *testing.T) {
+	r := analyze(t, `
+int rcv(int pred_flags, int len) {
+	return len;
+}`, `
+fastpath rcv
+cond pred_flags
+`)
+	if countFinding(r, report.FindCondMissing) != 1 {
+		t.Fatalf("missing cond not flagged: %+v", r.Warnings)
+	}
+}
+
+func TestIncompleteConditionDetected(t *testing.T) {
+	// rps_map length checked but rps_flow_table not: the paper's Figure 5.
+	r := analyze(t, `
+struct rxq { int len; void *flow_table; };
+int get_cpu(struct rxq *rxq, int map_len, int flow_table) {
+	if (map_len == 1)
+		return 1;
+	return 0;
+}`, `
+fastpath get_cpu
+cond map_len flow_table
+`)
+	if countFinding(r, report.FindCondIncomplete) != 1 {
+		t.Fatalf("incomplete cond not flagged: %+v", r.Warnings)
+	}
+	if countFinding(r, report.FindCondMissing) != 0 {
+		t.Fatalf("should be incomplete, not missing: %+v", r.Warnings)
+	}
+}
+
+func TestCompleteConditionClean(t *testing.T) {
+	r := analyze(t, `
+int get_cpu(int map_len, int flow_table) {
+	if (map_len == 1 && !flow_table)
+		return 1;
+	return 0;
+}`, `
+fastpath get_cpu
+cond map_len flow_table
+`)
+	if len(r.Warnings) != 0 {
+		t.Fatalf("complete condition flagged: %+v", r.Warnings)
+	}
+}
+
+// --- Rule 2.3: condition order ---------------------------------------------
+
+func TestConditionOrderViolation(t *testing.T) {
+	// OOM checked before Remote: Figure 6's performance bug.
+	r := analyze(t, `
+int alloc(int oom, int remote) {
+	if (oom)
+		return 1;
+	if (remote)
+		return 2;
+	return 0;
+}`, `
+fastpath alloc
+order remote oom
+`)
+	if countFinding(r, report.FindCondOrder) != 1 {
+		t.Fatalf("order violation not flagged: %+v", r.Warnings)
+	}
+}
+
+func TestConditionOrderCorrect(t *testing.T) {
+	r := analyze(t, `
+int alloc(int oom, int remote) {
+	if (remote)
+		return 2;
+	if (oom)
+		return 1;
+	return 0;
+}`, `
+fastpath alloc
+order remote oom
+`)
+	if countFinding(r, report.FindCondOrder) != 0 {
+		t.Fatalf("correct order flagged: %+v", r.Warnings)
+	}
+}
+
+// --- Rule 3.1: defined returns ----------------------------------------------
+
+func TestUnexpectedOutputDetected(t *testing.T) {
+	r := analyze(t, `
+int rcv(int pred) {
+	if (pred)
+		return 0;
+	return 2;
+}`, `
+fastpath rcv
+returns rcv {0, 1}
+`)
+	if countFinding(r, report.FindOutUnexpected) != 1 {
+		t.Fatalf("unexpected output not flagged: %+v", r.Warnings)
+	}
+}
+
+func TestDefinedOutputsClean(t *testing.T) {
+	r := analyze(t, `
+enum codes { EIO = 5 };
+int rcv(int pred) {
+	if (pred)
+		return -EIO;
+	return 0;
+}`, `
+fastpath rcv
+returns rcv {0, -EIO}
+`)
+	if countFinding(r, report.FindOutUnexpected) != 0 {
+		t.Fatalf("defined outputs flagged: %+v", r.Warnings)
+	}
+}
+
+// --- Rule 3.2: fast/slow output match ---------------------------------------
+
+func TestOutputMismatchDetected(t *testing.T) {
+	// tcp_rcv fast path returns 1 where slow path returns 0: Figure 7.
+	r := analyze(t, `
+int rcv_fast(int x) {
+	if (x) return 1;
+	return 0;
+}
+int rcv_slow(int x) {
+	return 0;
+}`, `
+pair rcv_fast rcv_slow
+match_output rcv_fast rcv_slow
+`)
+	if countFinding(r, report.FindOutMismatch) != 1 {
+		t.Fatalf("output mismatch not flagged: %+v", r.Warnings)
+	}
+}
+
+func TestOutputMatchClean(t *testing.T) {
+	r := analyze(t, `
+int rcv_fast(int x) {
+	if (x) return -1;
+	return 0;
+}
+int rcv_slow(int x) {
+	if (x > 2) return -1;
+	return 0;
+}`, `
+pair rcv_fast rcv_slow
+`)
+	if countFinding(r, report.FindOutMismatch) != 0 {
+		t.Fatalf("matching outputs flagged: %+v", r.Warnings)
+	}
+}
+
+// --- Rule 3.3: return must be checked -----------------------------------------
+
+func TestUncheckedReturnDetected(t *testing.T) {
+	// btrfs_wait_ordered_range result ignored: data-loss bug from §3.4.
+	r := analyze(t, `
+int btrfs_wait_ordered_range(int start, int len);
+int prepare_page(int start, int len) {
+	btrfs_wait_ordered_range(start, len);
+	return 0;
+}`, `
+fastpath prepare_page
+check_return btrfs_wait_ordered_range
+`)
+	if countFinding(r, report.FindOutUnchecked) != 1 {
+		t.Fatalf("unchecked return not flagged: %+v", r.Warnings)
+	}
+}
+
+func TestCheckedReturnClean(t *testing.T) {
+	r := analyze(t, `
+int btrfs_wait_ordered_range(int start, int len);
+int prepare_page(int start, int len) {
+	int ret = btrfs_wait_ordered_range(start, len);
+	if (ret < 0)
+		return ret;
+	return 0;
+}`, `
+fastpath prepare_page
+check_return btrfs_wait_ordered_range
+`)
+	if countFinding(r, report.FindOutUnchecked) != 0 {
+		t.Fatalf("checked return flagged: %+v", r.Warnings)
+	}
+}
+
+func TestReturnPropagatedClean(t *testing.T) {
+	// Returning the callee result directly propagates it to the caller.
+	r := analyze(t, `
+int helper(int a);
+int fast(int a) {
+	return helper(a);
+}`, `
+fastpath fast
+check_return helper
+`)
+	if countFinding(r, report.FindOutUnchecked) != 0 {
+		t.Fatalf("propagated return flagged: %+v", r.Warnings)
+	}
+}
+
+// --- Rule 4.1: fault handling ---------------------------------------------------
+
+func TestMissingFaultHandlerDetected(t *testing.T) {
+	// SCSI driver ignoring failed cmd state: Figure 8.
+	r := analyze(t, `
+struct cmd { int state_active; };
+void free_cmd(struct cmd *cmd, int wait) {
+	if (wait)
+		return;
+}`, `
+fastpath free_cmd
+fault state_active handler=remove_from_state_list
+`)
+	if countFinding(r, report.FindFaultMissing) != 2 {
+		t.Fatalf("want 2 fault warnings (state untested + handler missing): %+v", r.Warnings)
+	}
+}
+
+func TestFaultHandledClean(t *testing.T) {
+	r := analyze(t, `
+struct cmd { int state_active; };
+void remove_from_state_list(struct cmd *cmd);
+void free_cmd(struct cmd *cmd, int wait) {
+	if (cmd->state_active)
+		remove_from_state_list(cmd);
+}`, `
+fastpath free_cmd
+fault state_active handler=remove_from_state_list
+`)
+	if countFinding(r, report.FindFaultMissing) != 0 {
+		t.Fatalf("handled fault flagged: %+v", r.Warnings)
+	}
+}
+
+// --- Rule 5.1: hot structure layout ------------------------------------------------
+
+func TestUnusedHotFieldDetected(t *testing.T) {
+	// i_cindex never used by the fast path (removed in the kernel fix).
+	r := analyze(t, `
+struct inode {
+	unsigned long i_ino;
+	int i_cindex;
+};
+unsigned long lookup(struct inode *in) {
+	return in->i_ino;
+}`, `
+fastpath lookup
+hotstruct inode
+`)
+	if countFinding(r, report.FindDSLayout) != 1 {
+		t.Fatalf("unused field not flagged: %+v", r.Warnings)
+	}
+	if r.Warnings[0].Subject != "inode.i_cindex" {
+		t.Errorf("subject = %q", r.Warnings[0].Subject)
+	}
+}
+
+func TestAllFieldsUsedClean(t *testing.T) {
+	r := analyze(t, `
+struct inode {
+	unsigned long i_ino;
+	int i_count;
+};
+unsigned long lookup(struct inode *in) {
+	return in->i_ino + in->i_count;
+}`, `
+fastpath lookup
+hotstruct inode
+`)
+	if countFinding(r, report.FindDSLayout) != 0 {
+		t.Fatalf("fully-used struct flagged: %+v", r.Warnings)
+	}
+}
+
+// --- Rule 5.2: stale cache ------------------------------------------------------------
+
+func TestStaleCacheDetected(t *testing.T) {
+	// NFS inode delete without icache removal: Figure 9.
+	r := analyze(t, `
+struct inode { int state; };
+int unlink(struct inode *inode, int icache) {
+	inode->state = 0;
+	return 0;
+}`, `
+fastpath unlink
+cache icache of inode
+`)
+	if countFinding(r, report.FindDSStale) != 1 {
+		t.Fatalf("stale cache not flagged: %+v", r.Warnings)
+	}
+}
+
+func TestCacheUpdatedClean(t *testing.T) {
+	r := analyze(t, `
+struct inode { int state; };
+void icache_remove(int icache, struct inode *inode);
+int unlink(struct inode *inode, int icache) {
+	inode->state = 0;
+	icache_remove(icache, inode);
+	return 0;
+}`, `
+fastpath unlink
+cache icache of inode
+`)
+	if countFinding(r, report.FindDSStale) != 0 {
+		t.Fatalf("updated cache flagged: %+v", r.Warnings)
+	}
+}
+
+// --- framework ---------------------------------------------------------------
+
+func TestUnknownSpecFunctionError(t *testing.T) {
+	tu, err := cparse.Parse("t.c", "int f(void) { return 0; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := spec.Parse("fastpath missing_fn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewContext(tu, sp, paths.DefaultConfig()); err == nil {
+		t.Fatal("expected error for unknown function")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, c := range All() {
+		if ByName(c.Name()) == nil {
+			t.Errorf("ByName(%q) = nil", c.Name())
+		}
+	}
+	if ByName("nope") != nil {
+		t.Error("ByName(nope) should be nil")
+	}
+}
+
+func TestRunSubset(t *testing.T) {
+	r := analyze(t, immutableOverwriteSrc, "fastpath get_page\nimmutable gfp_mask\n")
+	if len(r.Warnings) == 0 {
+		t.Fatal("expected warnings")
+	}
+	// Running only the trigger checker must produce none for this spec.
+	tu, _ := cparse.Parse("test.c", immutableOverwriteSrc)
+	sp, _ := spec.Parse("fastpath get_page\nimmutable gfp_mask\n")
+	ctx, err := NewContext(tu, sp, paths.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := Run(ctx, TriggerConditionChecker{})
+	if len(r2.Warnings) != 0 {
+		t.Fatalf("trigger checker produced: %+v", r2.Warnings)
+	}
+}

@@ -1,0 +1,170 @@
+package checkers
+
+import (
+	"fmt"
+	"strings"
+
+	"pallas/internal/cast"
+	"pallas/internal/paths"
+	"pallas/internal/report"
+)
+
+// DataStructChecker enforces the assistant-data-structure rules:
+//
+//	Rule 5.1: every field of a declared hot struct must be used by the fast
+//	          path; unused fields enlarge the cache footprint of the hot
+//	          structure (a performance bug).
+//	Rule 5.2: for a declared cache pair, every path updating the path state
+//	          must subsequently update the cached version.
+type DataStructChecker struct{}
+
+// Name implements Checker.
+func (DataStructChecker) Name() string { return "data-struct" }
+
+// Check implements Checker.
+func (DataStructChecker) Check(ctx *Context) []report.Warning {
+	var out []report.Warning
+	for _, tag := range ctx.Spec.HotStructs {
+		out = append(out, checkHotStruct(ctx, tag)...)
+	}
+	for _, cp := range ctx.Spec.Caches {
+		for _, fp := range ctx.fastPathFuncs() {
+			out = append(out, checkCachePair(ctx, fp, cp.Cache, cp.State)...)
+		}
+	}
+	return out
+}
+
+// checkHotStruct applies rule 5.1: each field must appear somewhere in the
+// fast path — in a declared fast-path function or a function it (transitively)
+// calls within the translation unit.
+func checkHotStruct(ctx *Context, tag string) []report.Warning {
+	rec := ctx.TU.Record(tag)
+	if rec == nil {
+		return nil
+	}
+	fastFns := ctx.Spec.FastFuncs()
+	if len(fastFns) == 0 {
+		return nil
+	}
+	closure := calleeClosure(ctx, fastFns)
+	var out []report.Warning
+	for _, f := range rec.Fields {
+		used := false
+		for _, name := range closure {
+			fn := ctx.funcDecl(name)
+			if fn != nil && fn.Body != nil && cast.UsesField(fn.Body, f.Name) {
+				used = true
+				break
+			}
+		}
+		if !used {
+			out = append(out, report.Warning{
+				Rule: "5.1", Finding: report.FindDSLayout,
+				Func: strings.Join(fastFns, ","), File: ctx.File, Line: f.P.Line,
+				Subject:   tag + "." + f.Name,
+				PathIndex: -1,
+				Message: fmt.Sprintf("field %s.%s (%d bytes) is never used in the fast path: separate it to shrink the hot structure",
+					tag, f.Name, f.Type.SizeOf()),
+			})
+		}
+	}
+	return out
+}
+
+// calleeClosure returns roots plus every function transitively called from
+// them that is defined in the translation unit, in deterministic order.
+func calleeClosure(ctx *Context, roots []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	var work []string
+	for _, r := range roots {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+			work = append(work, r)
+		}
+	}
+	for len(work) > 0 {
+		name := work[0]
+		work = work[1:]
+		fn := ctx.funcDecl(name)
+		if fn == nil || fn.Body == nil {
+			continue
+		}
+		for _, callee := range cast.Calls(fn.Body) {
+			if !seen[callee] && ctx.funcDecl(callee) != nil {
+				seen[callee] = true
+				out = append(out, callee)
+				work = append(work, callee)
+			}
+		}
+	}
+	return out
+}
+
+// checkCachePair applies rule 5.2 path-by-path.
+func checkCachePair(ctx *Context, fp *paths.FuncPaths, cache, state string) []report.Warning {
+	for _, p := range fp.Paths {
+		stateIdx, stateLine := -1, 0
+		for i, s := range p.States {
+			if s.Kind == paths.Decl {
+				continue
+			}
+			if updateTargets(s, state) {
+				stateIdx, stateLine = i, s.Line
+			}
+		}
+		if stateIdx < 0 {
+			continue
+		}
+		// Look for a later cache update: a state write targeting the cache or
+		// a call whose arguments mention it (e.g. cache_insert(icache, ...)).
+		updated := false
+		for i := stateIdx + 1; i < len(p.States); i++ {
+			if updateTargets(p.States[i], cache) {
+				updated = true
+				break
+			}
+		}
+		if !updated {
+			for _, c := range p.Calls {
+				if c.Line < stateLine {
+					continue
+				}
+				if containsWord(c.Name, cache) {
+					updated = true
+					break
+				}
+				for _, a := range c.Args {
+					if containsWord(a, cache) {
+						updated = true
+						break
+					}
+				}
+				if updated {
+					break
+				}
+			}
+		}
+		if !updated {
+			return []report.Warning{{
+				Rule: "5.2", Finding: report.FindDSStale,
+				Func: fp.Fn, File: ctx.File, Line: stateLine,
+				Subject:   cache + "<-" + state,
+				PathIndex: p.Index,
+				Message: fmt.Sprintf("path %d updates state %q without updating its cached version %q: stale entries may be served",
+					p.Index, state, cache),
+			}}
+		}
+	}
+	return nil
+}
+
+// updateTargets reports whether the state update writes the named variable or
+// one of its fields.
+func updateTargets(s paths.StateUpdate, name string) bool {
+	return s.Target == name || s.Root == name ||
+		strings.HasPrefix(s.Target, name+"->") || strings.HasPrefix(s.Target, name+".") ||
+		containsWord(s.Target, name)
+}

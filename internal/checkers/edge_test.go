@@ -1,0 +1,275 @@
+package checkers
+
+import (
+	"testing"
+
+	"pallas/internal/report"
+)
+
+// Edge cases beyond the canonical rule tests in checkers_test.go.
+
+func TestImmutableIncrementDetected(t *testing.T) {
+	r := analyze(t, `
+int fast(int quota) {
+	quota++;
+	return quota;
+}`, "fastpath fast\nimmutable quota\n")
+	if countFinding(r, report.FindStateOverwrite) != 1 {
+		t.Fatalf("++ on immutable not flagged: %+v", r.Warnings)
+	}
+}
+
+func TestImmutableCompoundAssignDetected(t *testing.T) {
+	r := analyze(t, `
+int fast(unsigned long mask) {
+	mask |= 4;
+	return (int)mask;
+}`, "fastpath fast\nimmutable mask\n")
+	if countFinding(r, report.FindStateOverwrite) != 1 {
+		t.Fatalf("|= on immutable not flagged: %+v", r.Warnings)
+	}
+}
+
+func TestImmutableFieldWriteDetected(t *testing.T) {
+	// Writing a field through an immutable object counts: the object's
+	// state is part of the path state.
+	r := analyze(t, `
+struct ctl { int mode; };
+int fast(struct ctl *ctl) {
+	ctl->mode = 0;
+	return 0;
+}`, "fastpath fast\nimmutable ctl\n")
+	if countFinding(r, report.FindStateOverwrite) != 1 {
+		t.Fatalf("field write through immutable not flagged: %+v", r.Warnings)
+	}
+}
+
+func TestCondTestedInsideSwitch(t *testing.T) {
+	r := analyze(t, `
+int fast(int mode) {
+	switch (mode) {
+	case 0:
+		return 1;
+	default:
+		return 0;
+	}
+}`, "fastpath fast\ncond mode\n")
+	if len(r.Warnings) != 0 {
+		t.Fatalf("switch tag should satisfy the condition rule: %+v", r.Warnings)
+	}
+}
+
+func TestCondTestedViaMemberPath(t *testing.T) {
+	r := analyze(t, `
+struct dev { int ready; };
+int fast(struct dev *dev) {
+	if (dev->ready)
+		return 1;
+	return 0;
+}`, "fastpath fast\ncond ready\n")
+	if len(r.Warnings) != 0 {
+		t.Fatalf("member-path condition should satisfy the rule: %+v", r.Warnings)
+	}
+}
+
+func TestCondOrderInsideNestedBranches(t *testing.T) {
+	r := analyze(t, `
+int fast(int first, int second) {
+	if (second) {
+		if (first)
+			return 1;
+		return 2;
+	}
+	return 0;
+}`, "fastpath fast\norder first second\n")
+	if countFinding(r, report.FindCondOrder) != 1 {
+		t.Fatalf("nested order violation not flagged: %+v", r.Warnings)
+	}
+}
+
+func TestOrderSilentWhenOnlyOneTested(t *testing.T) {
+	r := analyze(t, `
+int fast(int first) {
+	if (first)
+		return 1;
+	return 0;
+}`, "fastpath fast\norder first second\n")
+	if countFinding(r, report.FindCondOrder) != 0 {
+		t.Fatalf("order rule fired with one side untested: %+v", r.Warnings)
+	}
+}
+
+func TestReturnsWithHexAndEnumMix(t *testing.T) {
+	r := analyze(t, `
+enum st { READY = 0x10 };
+int fast(int a) {
+	if (a) return READY;
+	return 0x20;
+}`, "fastpath fast\nreturns fast {READY, 0x20}\n")
+	if len(r.Warnings) != 0 {
+		t.Fatalf("hex/enum returns should be accepted: %+v", r.Warnings)
+	}
+}
+
+func TestOutputMatchSymbolicBothSidesSilent(t *testing.T) {
+	r := analyze(t, `
+struct page { int id; };
+struct page *fast(struct page *p) { return p; }
+struct page *slow(struct page *p) { return p; }
+`, "pair fast slow\n")
+	if len(r.Warnings) != 0 {
+		t.Fatalf("purely symbolic outputs should not mismatch: %+v", r.Warnings)
+	}
+}
+
+func TestCheckReturnViaIfDirectly(t *testing.T) {
+	r := analyze(t, `
+int io(int a);
+int fast(int a) {
+	if (io(a) < 0)
+		return -1;
+	return 0;
+}`, "fastpath fast\ncheck_return io\n")
+	if countFinding(r, report.FindOutUnchecked) != 0 {
+		t.Fatalf("call tested directly in if should count as checked: %+v", r.Warnings)
+	}
+}
+
+func TestCheckReturnLiftedCalleeExempt(t *testing.T) {
+	// fast calls mid, mid calls io without checking. The unchecked call is
+	// mid's defect at mid's call site; analyzing fast must not duplicate it.
+	r := analyze(t, `
+int io(int a);
+int mid(int a) {
+	io(a);
+	return 0;
+}
+int fast(int a) {
+	int r = mid(a);
+	if (r)
+		return r;
+	return 0;
+}`, "fastpath fast\ncheck_return io\n")
+	if countFinding(r, report.FindOutUnchecked) != 0 {
+		t.Fatalf("lifted callee call double-reported: %+v", r.Warnings)
+	}
+}
+
+func TestFaultStateViaEnumConstant(t *testing.T) {
+	r := analyze(t, `
+enum errs { EAGAIN_SOFT = 11 };
+int fast(int err) {
+	if (err == EAGAIN_SOFT)
+		return -1;
+	return 0;
+}`, "fastpath fast\nfault EAGAIN_SOFT\n")
+	if countFinding(r, report.FindFaultMissing) != 0 {
+		t.Fatalf("enum fault constant in condition not recognized: %+v", r.Warnings)
+	}
+}
+
+func TestHotStructUsedViaCalleeClosure(t *testing.T) {
+	r := analyze(t, `
+struct area { unsigned long nr_free; struct area *next; };
+static unsigned long scan(struct area *a) { return a->nr_free; }
+static struct area *step(struct area *a) { return a->next; }
+unsigned long fast(struct area *a) {
+	return scan(a) + (step(a) != 0);
+}`, "fastpath fast\nhotstruct area\n")
+	if countFinding(r, report.FindDSLayout) != 0 {
+		t.Fatalf("fields used in callees flagged: %+v", r.Warnings)
+	}
+}
+
+func TestCacheUpdatedByLaterWrite(t *testing.T) {
+	r := analyze(t, `
+struct inode { int state; };
+int fast(struct inode *inode, int icache) {
+	inode->state = 0;
+	icache = icache - 1;
+	return 0;
+}`, "fastpath fast\ncache icache of inode\n")
+	if countFinding(r, report.FindDSStale) != 0 {
+		t.Fatalf("direct cache write after state update flagged: %+v", r.Warnings)
+	}
+}
+
+func TestCacheUpdateBeforeStateIsStale(t *testing.T) {
+	// The cache refresh happens BEFORE the state update — still stale.
+	r := analyze(t, `
+struct inode { int state; };
+void icache_touch(int icache);
+int fast(struct inode *inode, int icache) {
+	inode->state = 1;
+	inode->state = 0;
+	return 0;
+}`, "fastpath fast\ncache icache of inode\n")
+	if countFinding(r, report.FindDSStale) != 1 {
+		t.Fatalf("missing trailing cache update not flagged: %+v", r.Warnings)
+	}
+}
+
+func TestMultipleFastPathsAllChecked(t *testing.T) {
+	r := analyze(t, `
+int fast_a(int m) { m = 1; return m; }
+int fast_b(int m) { m = 2; return m; }
+`, "fastpath fast_a fast_b\nimmutable m\n")
+	if countFinding(r, report.FindStateOverwrite) != 2 {
+		t.Fatalf("both fast paths should warn: %+v", r.Warnings)
+	}
+}
+
+func TestSpecWithoutFastPathsIsQuiet(t *testing.T) {
+	r := analyze(t, `int f(int m) { m = 0; return m; }`, "immutable m\n")
+	if len(r.Warnings) != 0 {
+		t.Fatalf("no fast paths declared, nothing to check: %+v", r.Warnings)
+	}
+}
+
+func TestWarningsCarryLikelyConsequence(t *testing.T) {
+	r := analyze(t, immutableOverwriteSrc, "fastpath get_page\nimmutable gfp_mask\n")
+	if len(r.Warnings) == 0 {
+		t.Fatal("expected warnings")
+	}
+	// Path-state bugs most often caused incorrect results in the study.
+	if got := r.Warnings[0].LikelyConsequence; got != "Incorrect results" {
+		t.Errorf("likely consequence = %q", got)
+	}
+}
+
+func TestScopedImmutableOnlyChecksNamedFunc(t *testing.T) {
+	src := `
+int alloc(int m) { m = 1; return m; }
+int free_path(int m) { m = 2; return m; }
+`
+	// Unscoped: both functions warn.
+	r := analyze(t, src, "fastpath alloc free_path\nimmutable m\n")
+	if countFinding(r, report.FindStateOverwrite) != 2 {
+		t.Fatalf("unscoped: %+v", r.Warnings)
+	}
+	// Scoped to alloc: only alloc warns.
+	r = analyze(t, src, "fastpath alloc free_path\nimmutable alloc:m\n")
+	if countFinding(r, report.FindStateOverwrite) != 1 {
+		t.Fatalf("scoped: %+v", r.Warnings)
+	}
+	if r.Warnings[0].Func != "alloc" {
+		t.Errorf("warned in %s", r.Warnings[0].Func)
+	}
+}
+
+func TestScopedCondAndFault(t *testing.T) {
+	src := `
+int alloc(int order) { if (order) return 1; return 0; }
+int free_path(int x) { return x; }
+`
+	// cond scoped to alloc: free_path exempt, no warnings at all.
+	r := analyze(t, src, "fastpath alloc free_path\ncond alloc:order\n")
+	if len(r.Warnings) != 0 {
+		t.Fatalf("scoped cond leaked: %+v", r.Warnings)
+	}
+	// fault scoped to free_path: only free_path warns.
+	r = analyze(t, src, "fastpath alloc free_path\nfault free_path:err_state\n")
+	if countFinding(r, report.FindFaultMissing) != 1 || r.Warnings[0].Func != "free_path" {
+		t.Fatalf("scoped fault: %+v", r.Warnings)
+	}
+}

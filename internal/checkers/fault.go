@@ -1,0 +1,84 @@
+package checkers
+
+import (
+	"fmt"
+
+	"pallas/internal/paths"
+	"pallas/internal/report"
+)
+
+// FaultHandlingChecker enforces rule 4.1: every specified fault state must
+// appear in a flow-control statement of the fast path (as evidence that the
+// fault is handled), and, when a handler function is named, the handler must
+// be invoked somewhere in the fast path.
+type FaultHandlingChecker struct{}
+
+// Name implements Checker.
+func (FaultHandlingChecker) Name() string { return "fault-handling" }
+
+// Check implements Checker.
+func (FaultHandlingChecker) Check(ctx *Context) []report.Warning {
+	var out []report.Warning
+	for _, fp := range ctx.fastPathFuncs() {
+		for _, f := range ctx.Spec.Faults {
+			if f.AppliesTo(fp.Fn) {
+				out = append(out, checkFault(ctx, fp, f.State, f.Handler)...)
+			}
+		}
+	}
+	return out
+}
+
+func checkFault(ctx *Context, fp *paths.FuncPaths, state, handler string) []report.Warning {
+	fn := ctx.funcDecl(fp.Fn)
+	if fn == nil {
+		return nil
+	}
+	tested := false
+	for _, p := range fp.Paths {
+		if p.TestsVar(state) {
+			tested = true
+			break
+		}
+		// Error-code constants appear inside condition expressions rather
+		// than the variable lists; accept a textual mention in any condition.
+		for _, c := range p.Conds {
+			if containsWord(c.Expr, state) {
+				tested = true
+				break
+			}
+		}
+		if tested {
+			break
+		}
+	}
+	var out []report.Warning
+	if !tested {
+		out = append(out, report.Warning{
+			Rule: "4.1", Finding: report.FindFaultMissing,
+			Func: fp.Fn, File: ctx.File, Line: fn.P.Line, Subject: state,
+			PathIndex: -1,
+			Message: fmt.Sprintf("fault state %q is never checked in %s: the fault handler is missing",
+				state, fp.Fn),
+		})
+	}
+	if handler != "" {
+		called := false
+		for _, p := range fp.Paths {
+			if _, ok := p.CallNamed(handler); ok {
+				called = true
+				break
+			}
+		}
+		if !called {
+			out = append(out, report.Warning{
+				Rule: "4.1", Finding: report.FindFaultMissing,
+				Func: fp.Fn, File: ctx.File, Line: fn.P.Line, Subject: handler,
+				PathIndex: -1,
+				Message: fmt.Sprintf("fault handler %s() for state %q is never invoked in %s",
+					handler, state, fp.Fn),
+			})
+		}
+	}
+	return out
+}

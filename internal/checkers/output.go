@@ -1,0 +1,239 @@
+package checkers
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pallas/internal/paths"
+	"pallas/internal/report"
+)
+
+// PathOutputChecker enforces the path-output rules:
+//
+//	Rule 3.1: every return of a function with a declared return set must be
+//	          one of the defined values.
+//	Rule 3.2: for declared fast/slow pairs, the sets of concrete return
+//	          values must match.
+//	Rule 3.3: calls to functions listed in check_return must have their
+//	          results checked on every path.
+type PathOutputChecker struct{}
+
+// Name implements Checker.
+func (PathOutputChecker) Name() string { return "path-output" }
+
+// Check implements Checker.
+func (PathOutputChecker) Check(ctx *Context) []report.Warning {
+	var out []report.Warning
+	for _, rs := range ctx.Spec.Returns {
+		out = append(out, checkReturnSet(ctx, rs.Func, rs.Values)...)
+	}
+	var pairs []struct{ Fast, Slow string }
+	for _, p := range ctx.Spec.MatchOutput {
+		pairs = append(pairs, struct{ Fast, Slow string }{p.Fast, p.Slow})
+	}
+	for _, p := range ctx.Spec.Pairs {
+		// Declared pairs are cross-checked too when both have paths.
+		pairs = append(pairs, struct{ Fast, Slow string }{p.Fast, p.Slow})
+	}
+	seen := map[string]bool{}
+	for _, p := range pairs {
+		key := p.Fast + "/" + p.Slow
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, checkOutputMatch(ctx, p.Fast, p.Slow)...)
+	}
+	for _, callee := range ctx.Spec.CheckReturn {
+		out = append(out, checkReturnChecked(ctx, callee)...)
+	}
+	return out
+}
+
+// resolveValue turns a spec value ("0", "-EIO", "FROZEN") into an integer
+// when possible.
+func resolveValue(ctx *Context, v string) (int64, bool) {
+	v = strings.TrimSpace(v)
+	neg := false
+	if strings.HasPrefix(v, "-") {
+		neg = true
+		v = v[1:]
+	}
+	var n int64
+	var ok bool
+	if x, err := strconv.ParseInt(v, 0, 64); err == nil {
+		n, ok = x, true
+	} else if x, found := ctx.TU.EnumValue(v); found {
+		n, ok = x, true
+	}
+	if !ok {
+		return 0, false
+	}
+	if neg {
+		n = -n
+	}
+	return n, true
+}
+
+// checkReturnSet applies rule 3.1.
+func checkReturnSet(ctx *Context, fnName string, allowed []string) []report.Warning {
+	fp, ok := ctx.FuncPaths[fnName]
+	if !ok {
+		return nil
+	}
+	allowedInts := map[int64]bool{}
+	allowedExprs := map[string]bool{}
+	for _, v := range allowed {
+		if n, ok := resolveValue(ctx, v); ok {
+			allowedInts[n] = true
+		}
+		allowedExprs[strings.TrimSpace(v)] = true
+	}
+	var out []report.Warning
+	seenLine := map[int]bool{}
+	for _, p := range fp.Paths {
+		if p.Out == nil || p.Out.Void {
+			continue
+		}
+		// Concrete outputs are checked against the resolved set; symbolic
+		// outputs are accepted when the return expression matches a declared
+		// value textually (e.g. "page"), otherwise they are unverifiable and
+		// accepted (static analysis has no runtime data — Section 5.2's one
+		// missed bug is exactly this case).
+		if n, ok := parseSymInt(p.Out.Sym); ok {
+			if !allowedInts[n] && !seenLine[p.Out.Line] {
+				seenLine[p.Out.Line] = true
+				out = append(out, report.Warning{
+					Rule: "3.1", Finding: report.FindOutUnexpected,
+					Func: fnName, File: ctx.File, Line: p.Out.Line,
+					Subject:   p.Out.Expr,
+					PathIndex: p.Index,
+					Message: fmt.Sprintf("return value %d (from %q) is not in the defined return set %v",
+						n, p.Out.Expr, allowed),
+				})
+			}
+			continue
+		}
+		// Symbolic outputs are unverifiable without runtime data and are
+		// accepted — §5.2's one missed bug is exactly this case (a page state
+		// whose wrong value only exists at run time).
+	}
+	return out
+}
+
+// parseSymInt extracts n from "(I#n)".
+func parseSymInt(s string) (int64, bool) {
+	if !strings.HasPrefix(s, "(I#") || !strings.HasSuffix(s, ")") {
+		return 0, false
+	}
+	body := s[3 : len(s)-1]
+	n, err := strconv.ParseInt(body, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+func isSimpleIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isIdentChar(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// checkOutputMatch applies rule 3.2: the concrete return constants of the
+// fast path must equal those of the slow path.
+func checkOutputMatch(ctx *Context, fast, slow string) []report.Warning {
+	ffn, sfn := ctx.funcDecl(fast), ctx.funcDecl(slow)
+	if ffn == nil || sfn == nil || ffn.Body == nil || sfn.Body == nil {
+		return nil
+	}
+	fvals := paths.ReturnConstants(ctx.TU, ffn)
+	svals := paths.ReturnConstants(ctx.TU, sfn)
+	if len(fvals) == 0 && len(svals) == 0 {
+		return nil // purely symbolic outputs on both sides
+	}
+	extraF := diffInts(fvals, svals)
+	extraS := diffInts(svals, fvals)
+	if len(extraF) == 0 && len(extraS) == 0 {
+		return nil
+	}
+	var parts []string
+	if len(extraF) > 0 {
+		parts = append(parts, fmt.Sprintf("fast path returns %v that the slow path never returns", extraF))
+	}
+	if len(extraS) > 0 {
+		parts = append(parts, fmt.Sprintf("slow path returns %v that the fast path never returns", extraS))
+	}
+	return []report.Warning{{
+		Rule: "3.2", Finding: report.FindOutMismatch,
+		Func: fast, File: ctx.File, Line: ffn.P.Line,
+		Subject:   fast + "/" + slow,
+		PathIndex: -1,
+		Message:   fmt.Sprintf("fast/slow output mismatch: %s", strings.Join(parts, "; ")),
+	}}
+}
+
+func diffInts(a, b []int64) []int64 {
+	inB := map[int64]bool{}
+	for _, v := range b {
+		inB[v] = true
+	}
+	var out []int64
+	for _, v := range a {
+		if !inB[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// checkReturnChecked applies rule 3.3 inside every analyzed function.
+func checkReturnChecked(ctx *Context, callee string) []report.Warning {
+	var out []report.Warning
+	seen := map[string]bool{}
+	for _, name := range ctx.Spec.AnalyzedFuncs() {
+		fp, ok := ctx.FuncPaths[name]
+		if !ok {
+			continue
+		}
+		for _, p := range fp.Paths {
+			for _, c := range p.Calls {
+				if c.Name != callee || c.ResultChecked {
+					continue
+				}
+				// Calls lifted from a summarized callee are that callee's
+				// responsibility; rule 3.3 applies to direct call sites.
+				if c.FromCallee != "" {
+					continue
+				}
+				// Result returned directly counts as checked by the caller's
+				// caller; flag only genuinely dropped/unpropagated results.
+				if p.Out != nil && !p.Out.Void && strings.Contains(p.Out.Expr, callee+"(") {
+					continue
+				}
+				if c.AssignedTo != "" && p.Out != nil && !p.Out.Void && containsWord(p.Out.Expr, c.AssignedTo) {
+					continue
+				}
+				key := fmt.Sprintf("%s:%d", name, c.Line)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				out = append(out, report.Warning{
+					Rule: "3.3", Finding: report.FindOutUnchecked,
+					Func: name, File: ctx.File, Line: c.Line, Subject: callee,
+					PathIndex: p.Index,
+					Message:   fmt.Sprintf("return value of %s() is not checked on path %d of %s", callee, p.Index, name),
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package checkers
+
+import (
+	"fmt"
+
+	"pallas/internal/cast"
+	"pallas/internal/paths"
+	"pallas/internal/report"
+)
+
+// PathStateChecker enforces the path-state rules:
+//
+//	Rule 1.1: every specified immutable variable X must be initialized.
+//	Rule 1.2: X must never be overwritten.
+//	Rule 1.3: for specified correlated variables X and Y, a path referencing
+//	          X must also reference Y.
+type PathStateChecker struct{}
+
+// Name implements Checker.
+func (PathStateChecker) Name() string { return "path-state" }
+
+// Check implements Checker.
+func (PathStateChecker) Check(ctx *Context) []report.Warning {
+	var out []report.Warning
+	for _, fp := range ctx.fastPathFuncs() {
+		for _, imm := range ctx.Spec.Immutables {
+			if imm.AppliesTo(fp.Fn) {
+				out = append(out, checkImmutable(ctx, fp, imm.Name)...)
+			}
+		}
+		for _, corr := range ctx.Spec.Correlated {
+			out = append(out, checkCorrelated(ctx, fp, corr.A, corr.B)...)
+		}
+	}
+	return out
+}
+
+// checkImmutable applies rules 1.1 and 1.2 for one immutable variable in one
+// fast-path function.
+func checkImmutable(ctx *Context, fp *paths.FuncPaths, imm string) []report.Warning {
+	var out []report.Warning
+	fn := ctx.funcDecl(fp.Fn)
+	if fn == nil {
+		return nil
+	}
+	relevant := cast.UsesIdent(fn.Body, imm) || paramNamed(fn, imm)
+	if !relevant {
+		// The immutable does not appear in this function at all; the global
+		// may still be declared uninitialized (rule 1.1 at file scope).
+		out = append(out, checkGlobalInit(ctx, fp, imm)...)
+		return out
+	}
+
+	// Rule 1.1 — uninitialized: a local declaration of X without initializer
+	// whose value is consumed (condition/output/call) before any write.
+	seenUninitDecl := map[int]bool{}
+	// Rule 1.2 — overwritten: any non-decl write to X (or through X.field).
+	seenWrite := map[int]bool{}
+
+	for _, p := range fp.Paths {
+		declLine := -1
+		initialized := paramNamed(fn, imm) // parameters arrive initialized
+		for _, s := range p.States {
+			if s.Target != imm && s.Root != imm {
+				continue
+			}
+			switch s.Kind {
+			case paths.Decl:
+				declLine = s.Line
+				initialized = s.Value != "(S#"+imm+")"
+			default:
+				if s.Target == imm || s.Root == imm {
+					if !seenWrite[s.Line] {
+						seenWrite[s.Line] = true
+						kind := "assignment"
+						if s.Kind == paths.CallEffect {
+							kind = "write in callee " + s.Callee
+						}
+						out = append(out, report.Warning{
+							Rule: "1.2", Finding: report.FindStateOverwrite,
+							Func: fp.Fn, File: ctx.File, Line: s.Line, Subject: imm,
+							PathIndex: p.Index,
+							Message: fmt.Sprintf("immutable variable %q is overwritten by %s (new value %s)",
+								imm, kind, s.Value),
+						})
+					}
+					initialized = true
+				}
+			}
+		}
+		if declLine > 0 && !initialized && consumedOnPath(p, imm) && !seenUninitDecl[declLine] {
+			seenUninitDecl[declLine] = true
+			out = append(out, report.Warning{
+				Rule: "1.1", Finding: report.FindStateUninit,
+				Func: fp.Fn, File: ctx.File, Line: declLine, Subject: imm,
+				PathIndex: p.Index,
+				Message:   fmt.Sprintf("immutable variable %q is declared without initialization and used on this path", imm),
+			})
+		}
+	}
+	out = append(out, checkGlobalInit(ctx, fp, imm)...)
+	return out
+}
+
+// checkGlobalInit flags a global immutable declared without an initializer
+// (rule 1.1 at file scope). Reported once per (function, variable).
+func checkGlobalInit(ctx *Context, fp *paths.FuncPaths, imm string) []report.Warning {
+	for _, g := range ctx.TU.Globals() {
+		if g.Name == imm && g.Init == nil && !g.Extern {
+			fn := ctx.funcDecl(fp.Fn)
+			if fn != nil && cast.UsesIdent(fn.Body, imm) {
+				return []report.Warning{{
+					Rule: "1.1", Finding: report.FindStateUninit,
+					Func: fp.Fn, File: ctx.File, Line: g.P.Line, Subject: imm,
+					PathIndex: -1,
+					Message:   fmt.Sprintf("immutable global %q has no initializer but is used by fast path %s", imm, fp.Fn),
+				}}
+			}
+		}
+	}
+	return nil
+}
+
+// consumedOnPath reports whether the variable's value is read on the path
+// (condition, call argument, output).
+func consumedOnPath(p *paths.ExecPath, name string) bool {
+	if p.TestsVar(name) {
+		return true
+	}
+	for _, c := range p.Calls {
+		for _, a := range c.Args {
+			if containsWord(a, name) {
+				return true
+			}
+		}
+	}
+	if p.Out != nil && !p.Out.Void && containsWord(p.Out.Expr, name) {
+		return true
+	}
+	return false
+}
+
+func paramNamed(fn *cast.FuncDecl, name string) bool {
+	for _, p := range fn.Params {
+		if p.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCorrelated applies rule 1.3: on every path that references A, B must
+// also be referenced (the correlation edge must exist in the path).
+func checkCorrelated(ctx *Context, fp *paths.FuncPaths, a, b string) []report.Warning {
+	fn := ctx.funcDecl(fp.Fn)
+	if fn == nil || !cast.UsesIdent(fn.Body, a) {
+		return nil
+	}
+	for _, p := range fp.Paths {
+		if pathReferences(p, a) && !pathReferences(p, b) {
+			line := 0
+			if u, ok := p.WritesTo(a); ok {
+				line = u.Line
+			}
+			return []report.Warning{{
+				Rule: "1.3", Finding: report.FindStateCorrelated,
+				Func: fp.Fn, File: ctx.File, Line: line, Subject: a + "~" + b,
+				PathIndex: p.Index,
+				Message: fmt.Sprintf("correlated variables: path %d uses %q without referring to its correlated state %q",
+					p.Index, a, b),
+			}}
+		}
+	}
+	return nil
+}

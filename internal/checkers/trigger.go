@@ -1,0 +1,164 @@
+package checkers
+
+import (
+	"fmt"
+
+	"pallas/internal/cast"
+	"pallas/internal/paths"
+	"pallas/internal/report"
+)
+
+// TriggerConditionChecker enforces the trigger-condition rules:
+//
+//	Rule 2.1: every specified condition variable must appear in a flow-control
+//	          statement of the fast path (a missing check means requests that
+//	          belong on the slow path are served by the fast path).
+//	Rule 2.2: all specified condition variables must satisfy 2.1 together; a
+//	          partial implementation is an incomplete trigger condition.
+//	Rule 2.3: for a specified order (X before Y), every path checking both
+//	          must check X first.
+type TriggerConditionChecker struct{}
+
+// Name implements Checker.
+func (TriggerConditionChecker) Name() string { return "trigger-condition" }
+
+// Check implements Checker.
+func (TriggerConditionChecker) Check(ctx *Context) []report.Warning {
+	var out []report.Warning
+	for _, fp := range ctx.fastPathFuncs() {
+		out = append(out, checkCondVars(ctx, fp)...)
+		for _, ord := range ctx.Spec.Orders {
+			out = append(out, checkCondOrder(ctx, fp, ord.First, ord.Second)...)
+		}
+	}
+	return out
+}
+
+// condVarTested reports whether the variable appears in any branch condition
+// of the function (on any path, including conditions hoisted from summarized
+// callees).
+func condVarTested(fp *paths.FuncPaths, v string) bool {
+	for _, p := range fp.Paths {
+		if p.TestsVar(v) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkCondVars(ctx *Context, fp *paths.FuncPaths) []report.Warning {
+	var vars []string
+	for _, v := range ctx.Spec.CondVars {
+		if v.AppliesTo(fp.Fn) {
+			vars = append(vars, v.Name)
+		}
+	}
+	if len(vars) == 0 {
+		return nil
+	}
+	fn := ctx.funcDecl(fp.Fn)
+	var missing, present []string
+	for _, v := range vars {
+		if condVarTested(fp, v) {
+			present = append(present, v)
+		} else {
+			missing = append(missing, v)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	var out []report.Warning
+	if len(present) == 0 {
+		// Rule 2.1: the trigger condition as a whole is absent.
+		line := 0
+		if fn != nil {
+			line = fn.P.Line
+		}
+		for _, v := range missing {
+			out = append(out, report.Warning{
+				Rule: "2.1", Finding: report.FindCondMissing,
+				Func: fp.Fn, File: ctx.File, Line: line, Subject: v,
+				PathIndex: -1,
+				Message:   fmt.Sprintf("trigger-condition variable %q is never checked in %s: the path switch is missing", v, fp.Fn),
+			})
+		}
+		return out
+	}
+	// Rule 2.2: some variables checked, others not — incomplete condition.
+	for _, v := range missing {
+		line := 0
+		if fn != nil {
+			line = firstCondLine(fn)
+		}
+		out = append(out, report.Warning{
+			Rule: "2.2", Finding: report.FindCondIncomplete,
+			Func: fp.Fn, File: ctx.File, Line: line, Subject: v,
+			PathIndex: -1,
+			Message: fmt.Sprintf("trigger condition of %s is incomplete: %q is not checked (checked: %v)",
+				fp.Fn, v, present),
+		})
+	}
+	return out
+}
+
+// firstCondLine finds the first branch condition line in the function body.
+func firstCondLine(fn *cast.FuncDecl) int {
+	line := 0
+	cast.Walk(fn.Body, func(n cast.Node) bool {
+		if line > 0 {
+			return false
+		}
+		if ifs, ok := n.(*cast.IfStmt); ok {
+			line = ifs.P.Line
+			return false
+		}
+		return true
+	})
+	if line == 0 {
+		line = fn.P.Line
+	}
+	return line
+}
+
+// checkCondOrder applies rule 2.3 on every extracted path.
+func checkCondOrder(ctx *Context, fp *paths.FuncPaths, first, second string) []report.Warning {
+	for _, p := range fp.Paths {
+		fi, si := -1, -1
+		for i, c := range p.Conds {
+			if fi < 0 && condMentions(c, first) {
+				fi = i
+			}
+			if si < 0 && condMentions(c, second) {
+				si = i
+			}
+		}
+		if fi >= 0 && si >= 0 && si < fi {
+			return []report.Warning{{
+				Rule: "2.3", Finding: report.FindCondOrder,
+				Func: fp.Fn, File: ctx.File, Line: p.Conds[si].Line,
+				Subject:   first + "<" + second,
+				PathIndex: p.Index,
+				Message: fmt.Sprintf("condition order violated on path %d: %q is checked before %q (expected %q first)",
+					p.Index, second, first, first),
+			}}
+		}
+	}
+	return nil
+}
+
+func condMentions(c paths.Condition, v string) bool {
+	for _, name := range c.Vars {
+		if name == v {
+			return true
+		}
+	}
+	for _, f := range c.Fields {
+		if f == v || containsWord(f, v) {
+			return true
+		}
+	}
+	// Function-name conditions ("oom_allowed()") count as checking v when the
+	// call name matches.
+	return containsWord(c.Expr, v)
+}

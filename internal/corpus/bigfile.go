@@ -1,0 +1,252 @@
+package corpus
+
+// BigFile returns a subsystem-scale merged translation unit: a synthetic
+// mm/page_alloc.c with the supporting structures and a dozen interacting
+// functions (watermark checks, per-cpu list management, zone iteration,
+// compaction and reclaim fallbacks, statistics). It stresses the front-end
+// (nesting, loops, switches, gotos, macros handled upstream) far beyond the
+// template cases and carries two seeded defects the full spec catches:
+// the gfp_mask overwrite on the slow-path handoff and the stale per-cpu
+// cache after zone invalidation.
+func BigFile() (source, spec string) {
+	return bigFileSource, bigFileSpec
+}
+
+// bigFileSpec covers both the allocation and free fast paths in one spec;
+// the "func:" scoping keeps the trigger-condition and fault obligations from
+// cross-multiplying onto the free path.
+const bigFileSpec = `
+pair get_page_from_freelist __alloc_pages_slowpath
+fastpath __alloc_pages_nodemask free_unref_page
+immutable gfp_mask migratetype
+correlated preferred_zone nodemask
+cond __alloc_pages_nodemask:order __alloc_pages_nodemask:nodemask
+cond get_page_from_freelist:order get_page_from_freelist:nodemask
+order watermark_ok compact_ok
+check_return zone_reclaim
+fault __alloc_pages_nodemask:oom_failed
+hotstruct free_area
+cache pcp_cache of zone
+`
+
+const bigFileSource = `
+enum zone_type { ZONE_DMA = 0, ZONE_NORMAL = 1, ZONE_MOVABLE = 2, MAX_NR_ZONES = 3 };
+enum migrate_mode { MIGRATE_UNMOVABLE = 0, MIGRATE_MOVABLE = 1, MIGRATE_RECLAIMABLE = 2, MIGRATE_TYPES = 3 };
+
+struct page {
+	unsigned long flags;
+	unsigned long private;
+	int refcount;
+	int order;
+};
+
+struct free_area {
+	struct page *free_list;
+	unsigned long nr_free;
+};
+
+struct per_cpu_pages {
+	int count;
+	int high;
+	int batch;
+	struct page *lists[3];
+};
+
+struct zone {
+	int id;
+	int lock;
+	unsigned long watermark[3];
+	unsigned long nr_reserved;
+	struct free_area areas[11];
+	struct per_cpu_pages pcp;
+	int pcp_cache;
+	unsigned long vm_stat[4];
+	int oom_failed;
+};
+
+struct alloc_context {
+	struct zone *preferred_zone;
+	unsigned long nodemask;
+	int high_zoneidx;
+	int migratetype;
+};
+
+static unsigned long total_alloc_events = 0;
+
+static int zone_watermark_ok(struct zone *zone, unsigned int order, unsigned long mark)
+{
+	unsigned long free_pages = 0;
+	int o;
+	for (o = 0; o < 11; o++)
+		free_pages += zone->areas[o].nr_free << o;
+	if (free_pages <= mark + zone->nr_reserved)
+		return 0;
+	for (o = 0; o < (int)order; o++) {
+		free_pages -= zone->areas[o].nr_free << o;
+		if (free_pages <= mark >> (o + 1))
+			return 0;
+	}
+	return 1;
+}
+
+static void zone_statistics(struct zone *zone, int item)
+{
+	switch (item) {
+	case 0:
+		zone->vm_stat[0]++;
+		break;
+	case 1:
+		zone->vm_stat[1]++;
+		break;
+	default:
+		zone->vm_stat[3]++;
+	}
+	total_alloc_events++;
+}
+
+static struct page *rmqueue_pcplist(struct zone *zone, int migratetype)
+{
+	struct page *page = 0;
+	if (migratetype < 0 || migratetype >= 3)
+		return 0;
+	page = zone->pcp.lists[migratetype];
+	if (page) {
+		zone->pcp.count--;
+		zone->pcp_cache = zone->pcp.count;
+	}
+	return page;
+}
+
+static struct page *rmqueue_buddy(struct zone *zone, unsigned int order, int migratetype)
+{
+	struct page *page = 0;
+	int current_order;
+	zone->lock = 1;
+	for (current_order = (int)order; current_order < 11; current_order++) {
+		struct free_area *area = &zone->areas[current_order];
+		if (area->nr_free == 0)
+			continue;
+		page = area->free_list;
+		area->nr_free--;
+		page->private = migratetype;
+		page->order = current_order;
+		break;
+	}
+	zone->lock = 0;
+	return page;
+}
+
+/* The order-0 fast path: serve from the per-cpu lists without the lock. */
+struct page *get_page_from_freelist(unsigned long gfp_mask, unsigned int order,
+				    struct alloc_context *ac, struct zone *preferred_zone,
+				    unsigned long nodemask, int migratetype)
+{
+	struct page *page = 0;
+	if (order == 0 && (nodemask & (1UL << preferred_zone->id))) {
+		page = rmqueue_pcplist(preferred_zone, migratetype);
+		if (page) {
+			zone_statistics(preferred_zone, 0);
+			return page;
+		}
+	}
+	if (!zone_watermark_ok(preferred_zone, order, preferred_zone->watermark[1]))
+		return 0;
+	page = rmqueue_buddy(preferred_zone, order, migratetype);
+	if (page)
+		zone_statistics(preferred_zone, 1);
+	return page;
+}
+
+static int compact_zone_order(struct zone *zone, unsigned int order)
+{
+	unsigned long scanned = 0;
+	int progress = 0;
+	while (scanned < (1UL << order)) {
+		scanned++;
+		if (zone->areas[0].nr_free > scanned)
+			progress++;
+	}
+	return progress > 0;
+}
+
+int zone_reclaim(struct zone *zone, unsigned long gfp_mask, unsigned int order);
+
+static struct page *try_compaction(unsigned long gfp_mask, unsigned int order,
+				   struct alloc_context *ac, struct zone *preferred_zone,
+				   unsigned long nodemask, int migratetype)
+{
+	int compact_ok;
+	int watermark_ok = zone_watermark_ok(preferred_zone, order, preferred_zone->watermark[0]);
+	if (watermark_ok)
+		return get_page_from_freelist(gfp_mask, order, ac, preferred_zone, nodemask, migratetype);
+	compact_ok = compact_zone_order(preferred_zone, order);
+	if (compact_ok)
+		return get_page_from_freelist(gfp_mask, order, ac, preferred_zone, nodemask, migratetype);
+	return 0;
+}
+
+/* The slow path: reclaim, compaction, OOM. */
+struct page *__alloc_pages_slowpath(unsigned long gfp_mask, unsigned int order,
+				    struct alloc_context *ac, struct zone *preferred_zone,
+				    unsigned long nodemask, int migratetype)
+{
+	struct page *page = 0;
+	int retries = 0;
+	int ret;
+
+retry:
+	ret = zone_reclaim(preferred_zone, gfp_mask, order);
+	if (ret < 0)
+		goto failed;
+	page = try_compaction(gfp_mask, order, ac, preferred_zone, nodemask, migratetype);
+	if (page)
+		return page;
+	retries++;
+	if (retries < 3)
+		goto retry;
+	if (preferred_zone->oom_failed)
+		goto failed;
+	return 0;
+failed:
+	zone_statistics(preferred_zone, 2);
+	return 0;
+}
+
+/* The allocator entry point: fast path first, slow path on miss. */
+struct page *__alloc_pages_nodemask(unsigned long gfp_mask, unsigned int order,
+				    struct alloc_context *ac, struct zone *preferred_zone,
+				    unsigned long nodemask, int migratetype)
+{
+	struct page *page;
+	/* BUG (seeded): the immutable gfp_mask is clobbered for the no-IO
+	 * window and never restored — the caller's next allocation runs with
+	 * the wrong behaviour flags (the Table-5 defect at subsystem scale). */
+	gfp_mask = gfp_mask & ~0x40UL;
+	page = get_page_from_freelist(gfp_mask, order, ac, preferred_zone, nodemask, migratetype);
+	if (page)
+		return page;
+	return __alloc_pages_slowpath(gfp_mask, order, ac, preferred_zone, nodemask, migratetype);
+}
+
+/* Free path: order-0 pages go back to the per-cpu lists.
+ * BUG (seeded): the zone's cached pcp count is not refreshed. */
+void free_unref_page(struct zone *zone, struct page *page, int migratetype)
+{
+	if (page->order == 0 && migratetype >= 0 && migratetype < 3) {
+		page->private = 0;
+		zone->pcp.lists[migratetype] = page;
+		zone->pcp.count++;
+		return;
+	}
+	zone->areas[page->order].nr_free++;
+}
+
+unsigned long nr_free_pages(struct zone *zone)
+{
+	unsigned long total = 0;
+	int o;
+	for (o = 0; o < 11; o++)
+		total += zone->areas[o].nr_free << o;
+	return total;
+}
+`

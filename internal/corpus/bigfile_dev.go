@@ -1,0 +1,121 @@
+package corpus
+
+// BigFileDev returns the fourth subsystem-scale unit: a synthetic
+// drivers/scsi/mpt3sas_base.c with the fast-path request submission the
+// paper's Table 7 lists — request descriptors, a reply queue, task
+// management, and the driver state list of Figure 8. Two defects are seeded,
+// matching DEV's dominant bug categories (Table 3: 36% fault handling, 21%
+// data structures): the fast path never detaches failed commands from the
+// state list (rule 4.1), and the hot request descriptor drags two fields no
+// fast path touches (rule 5.1, the Table-7 mpt3sas "suboptimal layout" bug).
+func BigFileDev() (source, spec string) {
+	return bigFileDevSource, bigFileDevSpec
+}
+
+const bigFileDevSpec = `
+pair mpt3sas_fire_fast mpt3sas_fire_slow
+immutable msix_index
+fault mpt3sas_fire_fast:cmd_failed handler=mpt3sas_remove_from_state_list
+hotstruct request_descriptor
+`
+
+const bigFileDevSource = `
+enum req_state { REQ_FREE = 0, REQ_ACTIVE = 1, REQ_FAILED = 2 };
+
+struct request_descriptor {
+	unsigned long smid;
+	int msix_index;
+	int flags;
+	long legacy_handle;  /* unused by any fast path: cache-line dead weight */
+	int diag_buffer_id;  /* unused by any fast path: cache-line dead weight */
+};
+
+struct scsi_cmd {
+	int cmd_state;
+	int cmd_failed;
+	int tag;
+	struct scsi_cmd *next;
+};
+
+struct mpt3sas_ioc {
+	int hba_queue_depth;
+	int reply_free_head;
+	int reply_cache;
+	struct scsi_cmd *state_list;
+	unsigned long doorbell;
+	int fw_events;
+};
+
+static unsigned long build_descriptor(struct request_descriptor *desc,
+				      struct scsi_cmd *cmd, int msix_index)
+{
+	desc->smid = (unsigned long)cmd->tag;
+	desc->msix_index = msix_index;
+	desc->flags = 1;
+	return desc->smid;
+}
+
+static void write_doorbell(struct mpt3sas_ioc *ioc, unsigned long smid)
+{
+	ioc->doorbell = smid;
+}
+
+void mpt3sas_remove_from_state_list(struct mpt3sas_ioc *ioc, struct scsi_cmd *cmd);
+
+static int reply_queue_full(struct mpt3sas_ioc *ioc)
+{
+	return ioc->reply_free_head >= ioc->hba_queue_depth;
+}
+
+/* Fast path: fire the request straight at the firmware, no task management.
+ * BUG (seeded, rule 4.1): a command that already failed is never tested and
+ * never detached from the driver state list — the memory-leak pattern of
+ * Figure 8, now at driver scale. */
+int mpt3sas_fire_fast(struct mpt3sas_ioc *ioc, struct scsi_cmd *cmd, int msix_index)
+{
+	struct request_descriptor desc;
+	unsigned long smid;
+	if (reply_queue_full(ioc))
+		return -1;
+	smid = build_descriptor(&desc, cmd, msix_index);
+	write_doorbell(ioc, smid);
+	cmd->cmd_state = REQ_ACTIVE;
+	return 0;
+}
+
+/* Slow path: full task management — failure detection and state cleanup. */
+int mpt3sas_fire_slow(struct mpt3sas_ioc *ioc, struct scsi_cmd *cmd, int msix_index)
+{
+	struct request_descriptor desc;
+	unsigned long smid;
+	if (reply_queue_full(ioc))
+		return -1;
+	if (cmd->cmd_failed) {
+		mpt3sas_remove_from_state_list(ioc, cmd);
+		cmd->cmd_state = REQ_FREE;
+		return -1;
+	}
+	smid = build_descriptor(&desc, cmd, msix_index);
+	write_doorbell(ioc, smid);
+	cmd->cmd_state = REQ_ACTIVE;
+	return 0;
+}
+
+int mpt3sas_reply_done(struct mpt3sas_ioc *ioc, struct scsi_cmd *cmd)
+{
+	cmd->cmd_state = REQ_FREE;
+	ioc->reply_free_head--;
+	ioc->reply_cache = ioc->reply_free_head;
+	return 0;
+}
+
+int mpt3sas_drain_events(struct mpt3sas_ioc *ioc)
+{
+	int drained = 0;
+	while (ioc->fw_events > 0) {
+		ioc->fw_events--;
+		drained++;
+	}
+	return drained;
+}
+`

@@ -1,0 +1,153 @@
+package corpus
+
+// BigFileFS returns the third subsystem-scale unit: a synthetic
+// fs/ubifs/file.c with the budgeted-write machinery of Figure 1(b) — space
+// accounting, the budget-skip fast path, write-back, commit, and page-state
+// management. Three defects are seeded: the fast path drops the result of
+// the direct space acquisition (rule 3.3 — the data-loss pattern of §3.4),
+// it never consults the ENOSPC fault state (rule 4.1), and it reports
+// failure as -1 where the slow path and every caller use -ENOSPC (rule 3.2).
+func BigFileFS() (source, spec string) {
+	return bigFileFSSource, bigFileFSSpec
+}
+
+const bigFileFSSpec = `
+pair ubifs_write_begin_fast ubifs_write_begin_slow
+cond ubifs_write_begin_fast:free_space
+check_return acquire_space_directly ubifs_budget_space
+fault ubifs_write_begin_fast:enospc
+returns ubifs_write_begin_slow {0, -28}
+`
+
+const bigFileFSSource = `
+enum { ENOSPC = 28 };
+enum page_state { PG_CLEAN = 0, PG_DIRTY = 1, PG_WRITEBACK = 2 };
+
+struct ubifs_budget_req {
+	int new_page;
+	int dirtied_page;
+	long idx_growth;
+	long data_growth;
+};
+
+struct ubifs_info {
+	long free_space;
+	long budget_reserve;
+	long dirty_pages;
+	int enospc;
+	int commit_running;
+};
+
+struct ubifs_page {
+	int state;
+	int len;
+	unsigned long index;
+};
+
+static long ubifs_calc_growth(struct ubifs_budget_req *req)
+{
+	long growth = req->idx_growth + req->data_growth;
+	if (req->new_page)
+		growth += 4096;
+	if (req->dirtied_page)
+		growth += 512;
+	return growth;
+}
+
+static int ubifs_run_commit(struct ubifs_info *c)
+{
+	if (c->commit_running)
+		return -1;
+	c->commit_running = 1;
+	c->free_space += c->budget_reserve;
+	c->budget_reserve = 0;
+	c->commit_running = 0;
+	return 0;
+}
+
+static long ubifs_writeback(struct ubifs_info *c, long needed)
+{
+	long reclaimed = 0;
+	while (reclaimed < needed) {
+		if (c->dirty_pages == 0)
+			break;
+		c->dirty_pages--;
+		reclaimed += 4096;
+	}
+	c->free_space += reclaimed;
+	return reclaimed;
+}
+
+int ubifs_budget_space(struct ubifs_info *c, struct ubifs_budget_req *req)
+{
+	long growth = ubifs_calc_growth(req);
+	if (c->free_space >= growth) {
+		c->free_space -= growth;
+		c->budget_reserve += growth;
+		return 0;
+	}
+	ubifs_writeback(c, growth - c->free_space);
+	if (c->free_space >= growth) {
+		c->free_space -= growth;
+		c->budget_reserve += growth;
+		return 0;
+	}
+	if (ubifs_run_commit(c) == 0 && c->free_space >= growth) {
+		c->free_space -= growth;
+		c->budget_reserve += growth;
+		return 0;
+	}
+	c->enospc = 1;
+	return -ENOSPC;
+}
+
+static int acquire_space_directly(struct ubifs_info *c, int len)
+{
+	if (c->free_space < len)
+		return -ENOSPC;
+	c->free_space -= len;
+	return 0;
+}
+
+/* Fast path: plenty of space — skip the budget procedure entirely.
+ * BUG (seeded, rule 3.3): the result of the direct acquisition is dropped;
+ * a concurrent writer can consume the space between the check and the
+ * acquisition, and the lost error surfaces later as data loss.
+ * BUG (seeded, rule 4.1): the ENOSPC fault state is never consulted. */
+int ubifs_write_begin_fast(struct ubifs_info *c, struct ubifs_page *page)
+{
+	if (c->free_space < page->len * 4)
+		return -1; /* not comfortably free: slow path */
+	acquire_space_directly(c, page->len);
+	page->state = PG_DIRTY;
+	return 0;
+}
+
+/* Slow path: budget first; the budget procedure may write back or commit. */
+int ubifs_write_begin_slow(struct ubifs_info *c, struct ubifs_page *page)
+{
+	struct ubifs_budget_req req;
+	int err;
+	req.new_page = 1;
+	req.dirtied_page = 0;
+	req.idx_growth = 0;
+	req.data_growth = page->len;
+	err = ubifs_budget_space(c, &req);
+	if (err) {
+		if (c->enospc)
+			return -ENOSPC;
+		return -ENOSPC;
+	}
+	page->state = PG_DIRTY;
+	return 0;
+}
+
+int ubifs_release_budget(struct ubifs_info *c, long amount)
+{
+	if (amount > c->budget_reserve)
+		amount = c->budget_reserve;
+	c->budget_reserve -= amount;
+	c->free_space += amount;
+	return 0;
+}
+`

@@ -1,0 +1,104 @@
+package corpus
+
+// BigFileMob returns the Android-scale unit: a synthetic
+// drivers/android/binder.c with the one-way transaction dispatch fast path —
+// node lookup, a per-process work queue, priority inheritance, and the
+// allocation policy plumbing the Table-7 MOB rows cover. Two defects are
+// seeded: the fast path clobbers the immutable allocation policy flags
+// (rule 1.2, the mempolicy/page_alloc "[S] immutable state" rows), and it
+// selects a target thread without consulting its correlated node mask
+// (rule 1.3, the "wrong state" pattern).
+func BigFileMob() (source, spec string) {
+	return bigFileMobSource, bigFileMobSpec
+}
+
+const bigFileMobSpec = `
+pair binder_transact_fast binder_transact_slow
+immutable policy_flags
+correlated target_thread node_mask
+cond binder_transact_fast:oneway
+fault binder_transact_slow:dead_node
+`
+
+const bigFileMobSource = `
+enum binder_work { BINDER_WORK_TRANSACTION = 1, BINDER_WORK_DEAD = 2 };
+
+struct binder_node {
+	int dead_node;
+	unsigned long node_mask;
+	int min_priority;
+	long strong_refs;
+};
+
+struct binder_thread {
+	int pid;
+	int priority;
+	int looper_ready;
+	struct binder_node *node;
+};
+
+struct binder_proc {
+	int pid;
+	int work_count;
+	int work_queue[32];
+	unsigned long default_mask;
+};
+
+static void binder_enqueue_work(struct binder_proc *proc, int work)
+{
+	if (proc->work_count < 32) {
+		proc->work_queue[proc->work_count] = work;
+		proc->work_count++;
+	}
+}
+
+static int binder_inherit_priority(struct binder_thread *target, int priority)
+{
+	if (target->priority > priority)
+		target->priority = priority;
+	return target->priority;
+}
+
+/* Fast path: one-way transactions skip reply bookkeeping entirely.
+ * BUG (seeded, rule 1.2): the immutable allocation policy flags are
+ * clobbered to "no-wait" and never restored — the mempolicy "[S] wrong
+ * state" defect.
+ * BUG (seeded, rule 1.3): the target thread is used without consulting its
+ * correlated node_mask, so dispatch can land on an excluded node. */
+int binder_transact_fast(struct binder_proc *proc, struct binder_thread *target_thread,
+			 unsigned long policy_flags, unsigned long node_mask, int oneway)
+{
+	if (!oneway)
+		return -1; /* replies take the slow path */
+	policy_flags = policy_flags | 0x8;
+	binder_inherit_priority(target_thread, 0);
+	binder_enqueue_work(proc, BINDER_WORK_TRANSACTION);
+	return 0;
+}
+
+/* Slow path: full transaction with reply tracking and death checks. */
+int binder_transact_slow(struct binder_proc *proc, struct binder_thread *target_thread,
+			 unsigned long policy_flags, unsigned long node_mask, int oneway)
+{
+	struct binder_node *node = target_thread->node;
+	if (node->dead_node) {
+		binder_enqueue_work(proc, BINDER_WORK_DEAD);
+		return -1;
+	}
+	if ((node_mask & node->node_mask) == 0)
+		return -1; /* node excluded by the correlated mask */
+	binder_inherit_priority(target_thread, node->min_priority);
+	binder_enqueue_work(proc, BINDER_WORK_TRANSACTION);
+	return 0;
+}
+
+int binder_drain_work(struct binder_proc *proc)
+{
+	int handled = 0;
+	while (proc->work_count > 0) {
+		proc->work_count--;
+		handled++;
+	}
+	return handled;
+}
+`

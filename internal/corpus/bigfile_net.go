@@ -1,0 +1,158 @@
+package corpus
+
+// BigFileNet returns the second subsystem-scale unit: a synthetic
+// net/ipv4/tcp_input.c with the TCP receive machinery of Figure 1(c) —
+// header prediction, sequence bookkeeping, an out-of-order queue, delayed
+// acks and congestion accounting. Two defects are seeded: the fast path's
+// trigger condition ignores the out-of-order queue (rule 2.2), and the fast
+// path reports success with 1 where the slow path uses 0 (rule 3.2, the
+// Figure-7 double free at subsystem scale).
+func BigFileNet() (source, spec string) {
+	return bigFileNetSource, bigFileNetSpec
+}
+
+const bigFileNetSpec = `
+pair tcp_rcv_established_fast tcp_rcv_established_slow
+cond tcp_rcv_established_fast:pred_flags tcp_rcv_established_fast:ooo_count
+immutable rcv_wnd
+check_return tcp_validate_incoming
+`
+
+const bigFileNetSource = `
+enum tcp_state { TCP_ESTABLISHED = 1, TCP_CLOSE_WAIT = 8, TCP_CLOSE = 7 };
+
+struct sk_buff {
+	unsigned long seq;
+	unsigned long end_seq;
+	int len;
+	int flags;
+	struct sk_buff *next;
+};
+
+struct tcp_sock {
+	int state;
+	unsigned long rcv_nxt;
+	unsigned long snd_una;
+	unsigned long pred_flags;
+	unsigned long rcv_wnd;
+	int ooo_count;
+	struct sk_buff *ooo_queue;
+	int acks_pending;
+	int ack_threshold;
+	unsigned long bytes_received;
+	int cwnd;
+};
+
+static int before(unsigned long seq1, unsigned long seq2)
+{
+	return (long)(seq1 - seq2) < 0;
+}
+
+static int tcp_sequence_ok(struct tcp_sock *tp, struct sk_buff *skb)
+{
+	if (before(skb->end_seq, tp->rcv_nxt))
+		return 0; /* entirely old data */
+	if (before(tp->rcv_nxt + tp->rcv_wnd, skb->seq))
+		return 0; /* beyond the window */
+	return 1;
+}
+
+int tcp_validate_incoming(struct tcp_sock *tp, struct sk_buff *skb);
+
+static void tcp_send_ack(struct tcp_sock *tp)
+{
+	tp->acks_pending = 0;
+}
+
+static void tcp_event_data_recv(struct tcp_sock *tp, struct sk_buff *skb)
+{
+	tp->bytes_received += skb->len;
+	tp->acks_pending++;
+	if (tp->acks_pending >= tp->ack_threshold)
+		tcp_send_ack(tp);
+}
+
+static void tcp_ooo_enqueue(struct tcp_sock *tp, struct sk_buff *skb)
+{
+	skb->next = tp->ooo_queue;
+	tp->ooo_queue = skb;
+	tp->ooo_count++;
+}
+
+static int tcp_ooo_flush(struct tcp_sock *tp)
+{
+	int drained = 0;
+	struct sk_buff *skb = tp->ooo_queue;
+	while (skb) {
+		if (skb->seq == tp->rcv_nxt) {
+			tp->rcv_nxt = skb->end_seq;
+			drained++;
+		}
+		skb = skb->next;
+	}
+	tp->ooo_count -= drained;
+	return drained;
+}
+
+/* Fast path: header prediction hit — accept without validation.
+ * BUG (seeded, rule 2.2): the trigger condition must also require an empty
+ * out-of-order queue; accepting in-order data while ooo segments wait
+ * reorders delivery to the application.
+ * BUG (seeded, rule 3.2): success is reported as 1 where the slow path and
+ * every caller use 0 — the caller frees the skb twice. */
+int tcp_rcv_established_fast(struct tcp_sock *tp, struct sk_buff *skb)
+{
+	if ((skb->flags & tp->pred_flags) && skb->seq == tp->rcv_nxt) {
+		tp->rcv_nxt = skb->end_seq;
+		tcp_event_data_recv(tp, skb);
+		return 1;
+	}
+	return -1; /* fall back to the slow path */
+}
+
+/* Slow path: full validation, out-of-order handling, ack generation. */
+int tcp_rcv_established_slow(struct tcp_sock *tp, struct sk_buff *skb)
+{
+	int ret;
+	if (!tcp_sequence_ok(tp, skb)) {
+		tcp_send_ack(tp);
+		return -1;
+	}
+	ret = tcp_validate_incoming(tp, skb);
+	if (ret < 0)
+		return -1;
+	if (skb->seq != tp->rcv_nxt) {
+		tcp_ooo_enqueue(tp, skb);
+		tcp_send_ack(tp);
+		return 0;
+	}
+	tp->rcv_nxt = skb->end_seq;
+	tcp_event_data_recv(tp, skb);
+	if (tp->ooo_count > 0)
+		tcp_ooo_flush(tp);
+	return 0;
+}
+
+/* Connection teardown: exercises switch lowering at scale. */
+int tcp_close_state(struct tcp_sock *tp)
+{
+	switch (tp->state) {
+	case TCP_ESTABLISHED:
+		tp->state = TCP_CLOSE_WAIT;
+		return 1;
+	case TCP_CLOSE_WAIT:
+		tp->state = TCP_CLOSE;
+		return 1;
+	default:
+		return 0;
+	}
+}
+
+unsigned long tcp_receive_window(struct tcp_sock *tp)
+{
+	unsigned long win = tp->rcv_wnd;
+	if (tp->ooo_count > 16)
+		win = win >> 1;
+	return win;
+}
+`

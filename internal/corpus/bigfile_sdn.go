@@ -1,0 +1,128 @@
+package corpus
+
+// BigFileSDN returns the Open vSwitch-scale unit: a synthetic dpif-netdev.c
+// with the userspace datapath fast path of Table 7 — exact-match flow-cache
+// lookup, megaflow fallback, upcall to the controller, and batch accounting.
+// Two defects are seeded, matching the Table-7 OVS rows: the fast path
+// consults the upcall budget before the flow-cache hit test (rule 2.3,
+// "incorrect order / Regression"), and its trigger condition omits the
+// CHECKSUM_PARTIAL-style offload flag (rule 2.2, "incomplete / Regression").
+func BigFileSDN() (source, spec string) {
+	return bigFileSDNSource, bigFileSDNSpec
+}
+
+const bigFileSDNSpec = `
+pair dpif_netdev_process_fast dpif_netdev_process_slow
+cond dpif_netdev_process_fast:emc_hit dpif_netdev_process_fast:csum_partial
+order emc_hit upcall_budget_ok
+check_return dp_execute_actions
+`
+
+const bigFileSDNSource = `
+enum { EMC_ENTRIES = 8192 };
+
+struct flow_key {
+	unsigned long hash;
+	int in_port;
+	int eth_type;
+};
+
+struct packet {
+	int len;
+	int csum_partial;
+	struct flow_key key;
+};
+
+struct flow {
+	struct flow_key key;
+	int actions;
+	long hit_count;
+};
+
+struct dp_netdev {
+	struct flow *emc[64];
+	int emc_count;
+	int upcall_budget;
+	long batch_hits;
+	long batch_misses;
+};
+
+int dp_execute_actions(struct dp_netdev *dp, struct packet *pkt, int actions);
+
+static struct flow *emc_lookup(struct dp_netdev *dp, struct flow_key *key)
+{
+	int slot = (int)(key->hash & 63);
+	struct flow *f = dp->emc[slot];
+	if (f && f->key.hash == key->hash && f->key.in_port == key->in_port)
+		return f;
+	return 0;
+}
+
+static struct flow *megaflow_lookup(struct dp_netdev *dp, struct flow_key *key)
+{
+	int i;
+	for (i = 0; i < 64; i++) {
+		struct flow *f = dp->emc[i];
+		if (f && f->key.eth_type == key->eth_type)
+			return f;
+	}
+	return 0;
+}
+
+static int upcall_to_controller(struct dp_netdev *dp, struct packet *pkt)
+{
+	if (dp->upcall_budget <= 0)
+		return -1;
+	dp->upcall_budget--;
+	return 0;
+}
+
+/* Fast path: exact-match cache hit executes actions immediately.
+ * BUG (seeded, rule 2.3): the upcall budget (a miss-path concern) is checked
+ * BEFORE the cache-hit test, so a drained budget disables the cache
+ * entirely — the dpif-netdev "incorrect order" regression of Table 7.
+ * BUG (seeded, rule 2.2): packets with pending checksum offload
+ * (csum_partial) must not take the fast path; the flag is never consulted —
+ * the ip6_output/vxlan "incomplete condition" regression. */
+int dpif_netdev_process_fast(struct dp_netdev *dp, struct packet *pkt, int upcall_budget_ok)
+{
+	struct flow *f;
+	int emc_hit;
+	if (!upcall_budget_ok)
+		return -1;
+	f = emc_lookup(dp, &pkt->key);
+	emc_hit = f != 0;
+	if (emc_hit) {
+		dp->batch_hits++;
+		f->hit_count++;
+		return dp_execute_actions(dp, pkt, f->actions);
+	}
+	return -1;
+}
+
+/* Slow path: megaflow fallback, then upcall. */
+int dpif_netdev_process_slow(struct dp_netdev *dp, struct packet *pkt, int upcall_budget_ok)
+{
+	struct flow *f = megaflow_lookup(dp, &pkt->key);
+	int err;
+	if (f) {
+		dp->batch_hits++;
+		return dp_execute_actions(dp, pkt, f->actions);
+	}
+	dp->batch_misses++;
+	if (!upcall_budget_ok)
+		return -1;
+	err = upcall_to_controller(dp, pkt);
+	if (err)
+		return -1;
+	return err;
+}
+
+int dpif_netdev_insert(struct dp_netdev *dp, struct flow *f)
+{
+	int slot = (int)(f->key.hash & 63);
+	dp->emc[slot] = f;
+	dp->emc_count++;
+	return slot;
+}
+`

@@ -1,0 +1,322 @@
+package corpus
+
+import (
+	"testing"
+
+	"pallas/internal/cfg"
+	"pallas/internal/cparse"
+	"pallas/internal/paths"
+	"pallas/internal/report"
+)
+
+// TestBigFileAnalysis runs the subsystem-scale unit end to end: the allocator
+// spec must catch exactly the seeded gfp_mask clobber, and the free-path spec
+// must catch the stale per-cpu cache.
+func TestBigFileAnalysis(t *testing.T) {
+	src, specText := BigFile()
+
+	c := &Case{ID: "bigfile", File: "mm/page_alloc.c", Spec: specText}
+	r := runCase(t, c, src)
+	if len(r.Warnings) != 2 {
+		t.Fatalf("want exactly the 2 seeded warnings, got %d: %+v", len(r.Warnings), r.Warnings)
+	}
+	byFinding := map[string]*report.Warning{}
+	for i := range r.Warnings {
+		byFinding[r.Warnings[i].Finding] = &r.Warnings[i]
+	}
+	over := byFinding[report.FindStateOverwrite]
+	if over == nil || over.Subject != "gfp_mask" || over.Func != "__alloc_pages_nodemask" {
+		t.Errorf("overwrite warning = %+v", over)
+	}
+	stale := byFinding[report.FindDSStale]
+	if stale == nil || stale.Func != "free_unref_page" {
+		t.Errorf("stale-cache warning = %+v", stale)
+	}
+}
+
+// TestBigFileFrontEnd checks the stressier structural properties: every
+// function parses, builds a CFG, and extracts bounded paths.
+func TestBigFileFrontEnd(t *testing.T) {
+	src, _ := BigFile()
+	tu, err := cparse.Parse("mm/page_alloc.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fns := tu.Funcs()
+	if len(fns) < 10 {
+		t.Fatalf("want a dozen functions, got %d", len(fns))
+	}
+	ex := paths.NewExtractor(tu, paths.DefaultConfig())
+	totalPaths := 0
+	for _, fn := range fns {
+		g, err := cfg.Build(fn)
+		if err != nil {
+			t.Fatalf("%s: cfg: %v", fn.Name, err)
+		}
+		if g.CyclomaticComplexity() < 1 {
+			t.Errorf("%s: complexity %d", fn.Name, g.CyclomaticComplexity())
+		}
+		fp, err := ex.Extract(fn.Name)
+		if err != nil {
+			t.Fatalf("%s: extract: %v", fn.Name, err)
+		}
+		totalPaths += len(fp.Paths)
+	}
+	if totalPaths < 30 {
+		t.Errorf("want a rich path population, got %d", totalPaths)
+	}
+	// The slow path has gotos forming a retry loop.
+	slow := tu.Func("__alloc_pages_slowpath")
+	g, err := cfg.Build(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.BackEdges()) == 0 {
+		t.Error("retry loop should produce a back edge")
+	}
+}
+
+// TestBigFileFastSlowComplexity confirms the structural asymmetry the paper
+// describes: the fast path is markedly simpler than its slow path.
+func TestBigFileFastSlowComplexity(t *testing.T) {
+	src, _ := BigFile()
+	tu, err := cparse.Parse("mm/page_alloc.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	complexity := func(fn string) int {
+		g, err := cfg.Build(tu.Func(fn))
+		if err != nil {
+			t.Fatalf("%s: %v", fn, err)
+		}
+		return g.CyclomaticComplexity()
+	}
+	fast := complexity("get_page_from_freelist")
+	// The slow side of the workflow spans the slow path and its reclaim/
+	// compaction helpers.
+	slow := complexity("__alloc_pages_slowpath") +
+		complexity("try_compaction") + complexity("compact_zone_order")
+	if fast >= slow {
+		t.Errorf("fast complexity %d should be below the slow side's %d", fast, slow)
+	}
+}
+
+// TestBigFileNetAnalysis runs the TCP-scale unit: exactly the two seeded
+// defects fire — the incomplete trigger condition (the out-of-order queue is
+// ignored) and the fast/slow output mismatch (the Figure-7 double free).
+func TestBigFileNetAnalysis(t *testing.T) {
+	src, specText := BigFileNet()
+	c := &Case{ID: "bigfile-net", File: "net/ipv4/tcp_input.c", Spec: specText}
+	r := runCase(t, c, src)
+	if len(r.Warnings) != 2 {
+		t.Fatalf("want 2 warnings, got %d: %+v", len(r.Warnings), r.Warnings)
+	}
+	byFinding := map[string]*report.Warning{}
+	for i := range r.Warnings {
+		byFinding[r.Warnings[i].Finding] = &r.Warnings[i]
+	}
+	inc := byFinding[report.FindCondIncomplete]
+	if inc == nil || inc.Subject != "ooo_count" {
+		t.Errorf("incomplete-condition warning = %+v", inc)
+	}
+	mis := byFinding[report.FindOutMismatch]
+	if mis == nil || mis.Func != "tcp_rcv_established_fast" {
+		t.Errorf("mismatch warning = %+v", mis)
+	}
+}
+
+// TestBigFileNetFrontEnd stresses the front end on the TCP unit.
+func TestBigFileNetFrontEnd(t *testing.T) {
+	src, _ := BigFileNet()
+	tu, err := cparse.Parse("tcp_input.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(tu.Funcs()) < 8 {
+		t.Fatalf("want the full TCP machinery, got %d functions", len(tu.Funcs()))
+	}
+	ex := paths.NewExtractor(tu, paths.DefaultConfig())
+	all, err := ex.ExtractAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, fp := range all {
+		total += len(fp.Paths)
+	}
+	if total < 20 {
+		t.Errorf("path population too small: %d", total)
+	}
+	// The ooo flush loop yields a back edge.
+	g, err := cfg.Build(tu.Func("tcp_ooo_flush"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.BackEdges()) == 0 {
+		t.Error("flush loop should have a back edge")
+	}
+}
+
+// TestBigFileFSAnalysis runs the UBIFS-scale unit: the three seeded defects
+// fire and nothing else does.
+func TestBigFileFSAnalysis(t *testing.T) {
+	src, specText := BigFileFS()
+	c := &Case{ID: "bigfile-fs", File: "fs/ubifs/file.c", Spec: specText}
+	r := runCase(t, c, src)
+	if len(r.Warnings) != 3 {
+		t.Fatalf("want 3 warnings, got %d: %+v", len(r.Warnings), r.Warnings)
+	}
+	byFinding := map[string]*report.Warning{}
+	for i := range r.Warnings {
+		byFinding[r.Warnings[i].Finding] = &r.Warnings[i]
+	}
+	if w := byFinding[report.FindOutUnchecked]; w == nil || w.Subject != "acquire_space_directly" {
+		t.Errorf("unchecked warning = %+v", w)
+	}
+	if w := byFinding[report.FindFaultMissing]; w == nil || w.Subject != "enospc" {
+		t.Errorf("fault warning = %+v", w)
+	}
+	if w := byFinding[report.FindOutMismatch]; w == nil || w.Func != "ubifs_write_begin_fast" {
+		t.Errorf("mismatch warning = %+v", w)
+	}
+}
+
+// TestBigFileFSFrontEnd checks the budgeting machinery parses and extracts.
+func TestBigFileFSFrontEnd(t *testing.T) {
+	src, _ := BigFileFS()
+	tu, err := cparse.Parse("file.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(tu.Funcs()) < 7 {
+		t.Fatalf("functions = %d", len(tu.Funcs()))
+	}
+	if v, ok := tu.EnumValue("ENOSPC"); !ok || v != 28 {
+		t.Fatalf("ENOSPC = %d ok=%v", v, ok)
+	}
+	ex := paths.NewExtractor(tu, paths.DefaultConfig())
+	fp, err := ex.Extract("ubifs_budget_space")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fp.Paths) < 3 {
+		t.Errorf("budget paths = %d", len(fp.Paths))
+	}
+}
+
+// TestBigFileDevAnalysis runs the SCSI-driver unit: the missing fault
+// handling fires twice (state untested + handler never invoked) and the two
+// dead descriptor fields fire rule 5.1.
+func TestBigFileDevAnalysis(t *testing.T) {
+	src, specText := BigFileDev()
+	c := &Case{ID: "bigfile-dev", File: "drivers/scsi/mpt3sas_base.c", Spec: specText}
+	r := runCase(t, c, src)
+	counts := map[string]int{}
+	for _, w := range r.Warnings {
+		counts[w.Finding]++
+	}
+	if counts[report.FindFaultMissing] != 2 {
+		t.Errorf("fault warnings = %d, want 2: %+v", counts[report.FindFaultMissing], r.Warnings)
+	}
+	if counts[report.FindDSLayout] != 2 {
+		t.Errorf("layout warnings = %d, want 2: %+v", counts[report.FindDSLayout], r.Warnings)
+	}
+	if len(r.Warnings) != 4 {
+		t.Errorf("want exactly 4 warnings, got %d: %+v", len(r.Warnings), r.Warnings)
+	}
+	subjects := map[string]bool{}
+	for _, w := range r.Warnings {
+		subjects[w.Subject] = true
+	}
+	for _, want := range []string{"cmd_failed", "mpt3sas_remove_from_state_list",
+		"request_descriptor.legacy_handle", "request_descriptor.diag_buffer_id"} {
+		if !subjects[want] {
+			t.Errorf("missing subject %q in %+v", want, subjects)
+		}
+	}
+}
+
+// TestBigFileWBAnalysis runs the Chromium task-queue unit: the wrong-return
+// mismatch and the two dead trace fields fire.
+func TestBigFileWBAnalysis(t *testing.T) {
+	src, specText := BigFileWB()
+	c := &Case{ID: "bigfile-wb", File: "chromium/task_queue_impl.cc", Spec: specText}
+	r := runCase(t, c, src)
+	counts := map[string]int{}
+	for _, w := range r.Warnings {
+		counts[w.Finding]++
+	}
+	if counts[report.FindOutMismatch] != 1 || counts[report.FindDSLayout] != 2 || len(r.Warnings) != 3 {
+		t.Fatalf("warnings = %+v", r.Warnings)
+	}
+	subjects := map[string]bool{}
+	for _, w := range r.Warnings {
+		subjects[w.Subject] = true
+	}
+	if !subjects["render_task.trace_id"] || !subjects["render_task.parent_trace"] {
+		t.Errorf("layout subjects = %v", subjects)
+	}
+}
+
+// TestBigFileSDNAnalysis runs the OVS datapath unit: the reversed condition
+// order and the missing checksum-offload trigger fire.
+func TestBigFileSDNAnalysis(t *testing.T) {
+	src, specText := BigFileSDN()
+	c := &Case{ID: "bigfile-sdn", File: "ovs/dpif-netdev.c", Spec: specText}
+	r := runCase(t, c, src)
+	counts := map[string]int{}
+	for _, w := range r.Warnings {
+		counts[w.Finding]++
+	}
+	if counts[report.FindCondOrder] != 1 || counts[report.FindCondIncomplete] != 1 || len(r.Warnings) != 2 {
+		t.Fatalf("warnings = %+v", r.Warnings)
+	}
+	for _, w := range r.Warnings {
+		if w.Func != "dpif_netdev_process_fast" {
+			t.Errorf("warning outside the fast path: %+v", w)
+		}
+	}
+}
+
+// TestBigFileMobAnalysis runs the Android binder unit: the clobbered policy
+// flags and the ignored node-mask correlation fire.
+func TestBigFileMobAnalysis(t *testing.T) {
+	src, specText := BigFileMob()
+	c := &Case{ID: "bigfile-mob", File: "android/binder.c", Spec: specText}
+	r := runCase(t, c, src)
+	counts := map[string]int{}
+	for _, w := range r.Warnings {
+		counts[w.Finding]++
+	}
+	if counts[report.FindStateOverwrite] != 1 || counts[report.FindStateCorrelated] != 1 || len(r.Warnings) != 2 {
+		t.Fatalf("warnings = %+v", r.Warnings)
+	}
+	for _, w := range r.Warnings {
+		if w.Func != "binder_transact_fast" {
+			t.Errorf("warning outside the fast path: %+v", w)
+		}
+	}
+}
+
+// TestAllBigFilesParse keeps the seven-unit inventory parseable and
+// non-trivial as the corpus evolves.
+func TestAllBigFilesParse(t *testing.T) {
+	units := map[string]func() (string, string){
+		"mm": BigFile, "net": BigFileNet, "fs": BigFileFS,
+		"dev": BigFileDev, "wb": BigFileWB, "sdn": BigFileSDN, "mob": BigFileMob,
+	}
+	for name, get := range units {
+		src, spec := get()
+		tu, err := cparse.Parse(name+".c", src)
+		if err != nil {
+			t.Errorf("%s: parse: %v", name, err)
+			continue
+		}
+		if len(tu.Funcs()) < 4 {
+			t.Errorf("%s: only %d functions", name, len(tu.Funcs()))
+		}
+		if len(spec) < 40 {
+			t.Errorf("%s: spec too small", name)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package corpus
+
+// BigFileWB returns the Chromium-scale unit: a synthetic
+// task_queue_impl.cc (transliterated to the C subset) with the lock-free
+// delayed-task posting fast path that Table 7 lists twice. Two defects are
+// seeded, matching those rows: the fast path reports success with 1 where
+// the locked slow path and every caller use 0 (rule 3.2, "wrong return /
+// Wrong result"), and the hot task struct carries trace fields no fast path
+// reads (rule 5.1, "[S] suboptimal layout / Regression").
+func BigFileWB() (source, spec string) {
+	return bigFileWBSource, bigFileWBSpec
+}
+
+const bigFileWBSpec = `
+pair task_queue_post_fast task_queue_post_slow
+cond task_queue_post_fast:delay_ms
+hotstruct render_task
+check_return time_ticks_now
+`
+
+const bigFileWBSource = `
+enum post_result { POST_OK = 0, POST_SHUTDOWN = -1 };
+
+struct render_task {
+	unsigned long sequence_num;
+	long delay_ms;
+	int priority;
+	long trace_id;       /* unused by any fast path: dead weight */
+	long parent_trace;   /* unused by any fast path: dead weight */
+};
+
+struct task_queue {
+	int lock;
+	int shutdown;
+	int immediate_count;
+	int delayed_count;
+	struct render_task *immediate[64];
+	struct render_task *delayed[64];
+	unsigned long enqueue_order;
+};
+
+long time_ticks_now(void);
+
+static void queue_push_immediate(struct task_queue *q, struct render_task *task)
+{
+	if (q->immediate_count < 64) {
+		q->immediate[q->immediate_count] = task;
+		q->immediate_count++;
+	}
+	q->enqueue_order++;
+}
+
+static void queue_push_delayed(struct task_queue *q, struct render_task *task)
+{
+	if (q->delayed_count < 64) {
+		q->delayed[q->delayed_count] = task;
+		q->delayed_count++;
+	}
+	q->enqueue_order++;
+}
+
+/* Fast path: post to the current thread's queue without taking the lock.
+ * BUG (seeded, rule 3.2): success is 1 here but 0 (POST_OK) on the locked
+ * path; callers treating non-zero as failure re-post the task. */
+int task_queue_post_fast(struct task_queue *q, struct render_task *task)
+{
+	long now;
+	if (q->shutdown)
+		return POST_SHUTDOWN;
+	if (task->priority < 0 || task->sequence_num == 0)
+		return POST_SHUTDOWN;
+	if (task->delay_ms == 0) {
+		queue_push_immediate(q, task);
+		return 1;
+	}
+	now = time_ticks_now();
+	if (now < 0)
+		return POST_SHUTDOWN;
+	task->delay_ms += now;
+	queue_push_delayed(q, task);
+	return 1;
+}
+
+/* Slow path: cross-thread posting under the queue lock. */
+int task_queue_post_slow(struct task_queue *q, struct render_task *task)
+{
+	long now;
+	q->lock = 1;
+	if (q->shutdown) {
+		q->lock = 0;
+		return POST_SHUTDOWN;
+	}
+	now = time_ticks_now();
+	if (now < 0) {
+		q->lock = 0;
+		return POST_SHUTDOWN;
+	}
+	if (task->delay_ms == 0)
+		queue_push_immediate(q, task);
+	else
+		queue_push_delayed(q, task);
+	q->lock = 0;
+	return POST_OK;
+}
+
+int task_queue_drain(struct task_queue *q)
+{
+	int ran = 0;
+	while (q->immediate_count > 0) {
+		q->immediate_count--;
+		ran++;
+	}
+	return ran;
+}
+`

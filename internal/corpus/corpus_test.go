@@ -1,0 +1,155 @@
+package corpus
+
+import (
+	"testing"
+
+	"pallas/internal/checkers"
+	"pallas/internal/cparse"
+	"pallas/internal/paths"
+	"pallas/internal/report"
+	"pallas/internal/spec"
+)
+
+func runCase(t *testing.T, c *Case, source string) *report.Report {
+	t.Helper()
+	tu, err := cparse.Parse(c.File, source)
+	if err != nil {
+		t.Fatalf("%s: parse: %v\nsource:\n%s", c.ID, err, source)
+	}
+	sp, err := spec.Parse(c.Spec)
+	if err != nil {
+		t.Fatalf("%s: spec: %v", c.ID, err)
+	}
+	ctx, err := checkers.NewContext(tu, sp, paths.DefaultConfig())
+	if err != nil {
+		t.Fatalf("%s: context: %v", c.ID, err)
+	}
+	return checkers.Run(ctx)
+}
+
+// TestEveryCaseProducesExpectedWarnings is the linchpin of the Table-1
+// reproduction: each seeded bug and each false-positive trap yields exactly
+// one warning of the declared finding; nothing else fires.
+func TestEveryCaseProducesExpectedWarnings(t *testing.T) {
+	reg := Generate()
+	if len(reg.Cases) == 0 {
+		t.Fatal("empty corpus")
+	}
+	for _, c := range reg.Cases {
+		r := runCase(t, c, c.Source)
+		if len(r.Warnings) != 1 {
+			t.Errorf("%s (%s): want exactly 1 warning, got %d: %+v",
+				c.ID, c.Kind, len(r.Warnings), r.Warnings)
+			continue
+		}
+		if got := r.Warnings[0].Finding; got != c.Finding {
+			t.Errorf("%s: finding = %s, want %s", c.ID, got, c.Finding)
+		}
+	}
+}
+
+// TestCleanVariantsAreClean verifies the fixed versions are warning-free —
+// the substrate the completeness experiment injects into.
+func TestCleanVariantsAreClean(t *testing.T) {
+	for _, c := range CleanCases() {
+		r := runCase(t, c, c.Source)
+		if len(r.Warnings) != 0 {
+			t.Errorf("%s: clean source produced %d warning(s): %+v",
+				c.ID, len(r.Warnings), r.Warnings)
+		}
+	}
+}
+
+// TestTable1CellCounts verifies the corpus seeds exactly the published cell
+// counts: 155 bugs, 224 warnings overall.
+func TestTable1CellCounts(t *testing.T) {
+	reg := Generate()
+	totalB, totalW := 0, 0
+	for _, row := range Table1() {
+		rowB := 0
+		for sysIdx, sys := range Systems() {
+			got := reg.CellCount(row.Finding, sys, Bug)
+			if got != row.Bugs[sysIdx] {
+				t.Errorf("cell (%s, %s): %d bugs, want %d", row.Finding, sys, got, row.Bugs[sysIdx])
+			}
+			rowB += got
+		}
+		traps := len(reg.ByFinding(row.Finding)) - rowB
+		if rowB+traps != row.Warnings {
+			t.Errorf("row %s: B+traps = %d, want W = %d", row.Finding, rowB+traps, row.Warnings)
+		}
+		totalB += rowB
+		totalW += rowB + traps
+	}
+	if totalB != 155 {
+		t.Errorf("total bugs = %d, want 155", totalB)
+	}
+	if totalW != 224 {
+		t.Errorf("total warnings = %d, want 224", totalW)
+	}
+}
+
+func TestTable7CasesPresent(t *testing.T) {
+	reg := Generate()
+	rows := reg.Table7Cases()
+	if len(rows) != 34 {
+		t.Fatalf("want 34 Table-7 cases, got %d", len(rows))
+	}
+	for _, c := range rows {
+		if c.Kind != Bug {
+			t.Errorf("%s: Table-7 case must be a bug", c.ID)
+		}
+		if c.File == "" || c.Operation == "" || c.Consequence == "" {
+			t.Errorf("%s: missing Table-7 metadata: %+v", c.ID, c)
+		}
+	}
+}
+
+func TestRegistryLookups(t *testing.T) {
+	reg := Generate()
+	ids := reg.SortIDs()
+	if len(ids) != len(reg.Cases) {
+		t.Fatalf("id count mismatch")
+	}
+	if reg.Get(ids[0]) == nil {
+		t.Fatal("Get by id failed")
+	}
+	for _, sys := range Systems() {
+		if len(reg.BySystem(sys)) == 0 {
+			t.Errorf("no cases for system %s", sys)
+		}
+	}
+	if len(reg.Bugs())+len(reg.Traps()) != len(reg.Cases) {
+		t.Error("bugs + traps != all cases")
+	}
+}
+
+func TestLatentMeanNearPaper(t *testing.T) {
+	reg := Generate()
+	sum, n := 0.0, 0
+	for _, c := range reg.Bugs() {
+		if c.LatentYears > 0 {
+			sum += c.LatentYears
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no latent data")
+	}
+	mean := sum / float64(n)
+	if mean < 2.6 || mean > 3.6 {
+		t.Errorf("mean latent period = %.2f years, want ≈3.1", mean)
+	}
+}
+
+func TestInventory(t *testing.T) {
+	inv := Inventory()
+	if len(inv) != len(Systems()) {
+		t.Fatalf("inventory size %d", len(inv))
+	}
+	for i, info := range inv {
+		if info.System != Systems()[i] {
+			t.Errorf("inventory[%d] = %s, want %s", i, info.System, Systems()[i])
+		}
+	}
+}

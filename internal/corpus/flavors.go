@@ -1,0 +1,60 @@
+package corpus
+
+import "fmt"
+
+// Names provides system-flavored identifier names so generated cases read
+// like code from the system they model (struct page in MM, struct sk_buff in
+// NET, ...). The Seq suffix keeps every generated function unique.
+type Names struct {
+	System System
+	Seq    int
+
+	// Obj is the central object struct tag ("page", "inode", "sk_buff"...).
+	Obj string
+	// ObjVar is the conventional variable name for it.
+	ObjVar string
+	// Flag is the mode/flags variable name ("gfp_mask", "mount_flags"...).
+	Flag string
+	// Mask is a second configuration variable.
+	Mask string
+	// StateField is the hot state field on Obj.
+	StateField string
+	// Aux is the assistant structure name ("freelist", "icache"...).
+	Aux string
+	// FilePrefix prefixes generated file names ("mm", "fs", ...).
+	FilePrefix string
+	// OpVerb describes the fast-path operation domain.
+	OpVerb string
+}
+
+// flavors gives each system its vocabulary.
+var flavors = map[System]Names{
+	MM:  {Obj: "page", ObjVar: "page", Flag: "gfp_mask", Mask: "nodemask", StateField: "private", Aux: "freelist", FilePrefix: "mm", OpVerb: "allocate pages"},
+	FS:  {Obj: "inode", ObjVar: "inode", Flag: "mount_flags", Mask: "writeback_mask", StateField: "i_state", Aux: "icache", FilePrefix: "fs", OpVerb: "write file data"},
+	NET: {Obj: "sk_buff", ObjVar: "skb", Flag: "pred_flags", Mask: "tcp_flags", StateField: "sk_state", Aux: "flow_table", FilePrefix: "net", OpVerb: "receive packets"},
+	DEV: {Obj: "scsi_cmd", ObjVar: "cmd", Flag: "queue_flags", Mask: "irq_mask", StateField: "cmd_state", Aux: "state_list", FilePrefix: "drivers", OpVerb: "submit requests"},
+	WB:  {Obj: "render_task", ObjVar: "task", Flag: "task_flags", Mask: "queue_mask", StateField: "task_state", Aux: "task_queue", FilePrefix: "chromium", OpVerb: "post tasks"},
+	SDN: {Obj: "flow", ObjVar: "flow", Flag: "dp_flags", Mask: "match_mask", StateField: "flow_state", Aux: "flow_cache", FilePrefix: "ovs", OpVerb: "process flows"},
+	MOB: {Obj: "binder_node", ObjVar: "node", Flag: "policy_flags", Mask: "zone_mask", StateField: "node_state", Aux: "node_cache", FilePrefix: "android", OpVerb: "dispatch transactions"},
+}
+
+// NamesFor builds the flavored name set for (system, seq). Exported for the
+// injection framework, which synthesizes bugs outside the Table-1 registry.
+func NamesFor(s System, seq int) Names {
+	n := flavors[s]
+	n.System = s
+	n.Seq = seq
+	return n
+}
+
+func namesFor(s System, seq int) Names { return NamesFor(s, seq) }
+
+// Fn builds a unique flavored function name ("mm_alloc_fast_3").
+func (n Names) Fn(stem string) string {
+	return fmt.Sprintf("%s_%s_%d", n.FilePrefix, stem, n.Seq)
+}
+
+// FileName builds the pretend path for the generated case.
+func (n Names) FileName(stem string) string {
+	return fmt.Sprintf("%s/%s_%d.c", n.FilePrefix, stem, n.Seq)
+}

@@ -1,0 +1,508 @@
+package corpus
+
+import "pallas/internal/report"
+
+// Showcase holds the hand-written cases reproducing the paper's concrete
+// examples: the three motivating workflows of Figure 1, the bug walkthroughs
+// of Figures 3-9, and the symbolic-extraction demo of Table 5.
+type Showcase struct {
+	// ID names the showcase ("fig3", "table5", ...).
+	ID string
+	// Title describes the paper artifact reproduced.
+	Title string
+	// Figure is the paper figure number (0 for Table 5).
+	Figure int
+	// Source is the C translation unit.
+	Source string
+	// Spec is the semantic annotation set.
+	Spec string
+	// FastFunc is the fast-path entry (used for workflow rendering).
+	FastFunc string
+	// SlowFunc is the slow-path entry ("" when not applicable).
+	SlowFunc string
+	// Finding is the expected warning ("" for the clean Figure-1 workflows).
+	Finding string
+}
+
+// Showcases returns all showcase cases in paper order.
+func Showcases() []*Showcase {
+	return []*Showcase{
+		fig1aPageAlloc(), fig1bUBIFSWrite(), fig1cTCPReceive(),
+		fig3Migratetype(), fig4OCFS2(), fig5RPS(), fig6OOMOrder(),
+		fig7TCPOutput(), fig8SCSIFault(), fig9NFSICache(),
+		table5Extraction(),
+	}
+}
+
+// ShowcaseByID returns the named showcase, or nil.
+func ShowcaseByID(id string) *Showcase {
+	for _, s := range Showcases() {
+		if s.ID == id {
+			return s
+		}
+	}
+	return nil
+}
+
+// fig1aPageAlloc models Figure 1(a): page allocation in the Linux virtual
+// memory manager. Order-0 allocations take the per-cpu fast path without a
+// lock; high-order allocations take the locked fallback slow path. The code
+// here is clean — Figure 1 illustrates workflows, not bugs.
+func fig1aPageAlloc() *Showcase {
+	return &Showcase{
+		ID:       "fig1a",
+		Title:    "Page allocation in the virtual memory manager (Figure 1a)",
+		Figure:   1,
+		FastFunc: "get_page_from_freelist",
+		SlowFunc: "alloc_pages_slowpath",
+		Source: `
+struct page { unsigned long flags; unsigned long private; };
+struct per_cpu_lists { struct page *head; int count; };
+struct zone {
+	int id;
+	int lock;
+	struct per_cpu_lists pcp;
+	struct page *fallback_lists;
+	unsigned long nr_free;
+};
+
+static struct page *pcp_pop(struct zone *zone)
+{
+	struct page *page = zone->pcp.head;
+	if (page)
+		zone->pcp.count = zone->pcp.count - 1;
+	return page;
+}
+
+/* Fast path: order-0 allocations served from per-cpu lists, no lock. */
+struct page *get_page_from_freelist(unsigned long gfp_mask, unsigned int order,
+				    struct zone *preferred_zone, unsigned long nodemask)
+{
+	struct page *page = 0;
+	if (order == 0 && (nodemask & (1UL << preferred_zone->id)))
+		page = pcp_pop(preferred_zone);
+	return page;
+}
+
+/* Slow path: acquire the zone lock, split/merge in the fallback lists. */
+struct page *alloc_pages_slowpath(unsigned long gfp_mask, unsigned int order,
+				  struct zone *preferred_zone, unsigned long nodemask)
+{
+	struct page *page = 0;
+	int i;
+	preferred_zone->lock = 1;
+	for (i = order; i < 11; i++) {
+		if (preferred_zone->nr_free >= (1UL << i)) {
+			page = preferred_zone->fallback_lists;
+			preferred_zone->nr_free = preferred_zone->nr_free - (1UL << i);
+			break;
+		}
+	}
+	preferred_zone->lock = 0;
+	return page;
+}
+
+struct page *alloc_pages_nodemask(unsigned long gfp_mask, unsigned int order,
+				  struct zone *preferred_zone, unsigned long nodemask)
+{
+	struct page *page = get_page_from_freelist(gfp_mask, order, preferred_zone, nodemask);
+	if (page)
+		return page;
+	return alloc_pages_slowpath(gfp_mask, order, preferred_zone, nodemask);
+}
+`,
+		Spec: `
+pair get_page_from_freelist alloc_pages_slowpath
+immutable gfp_mask nodemask
+correlated preferred_zone nodemask
+cond order
+`,
+	}
+}
+
+// fig1bUBIFSWrite models Figure 1(b): UBIFS file write. When flash has
+// enough space the budget procedure is skipped (fast path); otherwise space
+// is budgeted with possible write-back (slow path).
+func fig1bUBIFSWrite() *Showcase {
+	return &Showcase{
+		ID:       "fig1b",
+		Title:    "File write in the UBIFS file system (Figure 1b)",
+		Figure:   1,
+		FastFunc: "ubifs_write_fast",
+		SlowFunc: "ubifs_write_slow",
+		Source: `
+enum page_state { PG_UPTODATE = 0, PG_DIRTY = 1 };
+struct ubifs_info { long free_space; long budget; };
+struct ubifs_page { int state; int len; };
+
+static int acquire_space_directly(struct ubifs_info *c, int len)
+{
+	c->free_space = c->free_space - len;
+	return 0;
+}
+
+static int budget_space(struct ubifs_info *c, int len)
+{
+	if (c->free_space < len) {
+		/* trigger write-back to reclaim space */
+		c->budget = c->budget + len;
+		return -1;
+	}
+	c->free_space = c->free_space - len;
+	return 0;
+}
+
+/* Fast path: enough space, skip budgeting. */
+int ubifs_write_fast(struct ubifs_info *c, struct ubifs_page *page)
+{
+	int err;
+	if (c->free_space < page->len)
+		return -1; /* switch to the slow path */
+	err = acquire_space_directly(c, page->len);
+	if (err)
+		return err;
+	page->state = PG_DIRTY;
+	return 0;
+}
+
+/* Slow path: budget first (may write back), then write. */
+int ubifs_write_slow(struct ubifs_info *c, struct ubifs_page *page)
+{
+	int err = budget_space(c, page->len);
+	if (err)
+		return -1;
+	page->state = PG_DIRTY;
+	return 0;
+}
+`,
+		Spec: `
+pair ubifs_write_fast ubifs_write_slow
+cond free_space
+fault err
+returns ubifs_write_fast {0, -1}
+returns ubifs_write_slow {0, -1}
+`,
+	}
+}
+
+// fig1cTCPReceive models Figure 1(c): TCP receive with header prediction.
+func fig1cTCPReceive() *Showcase {
+	return &Showcase{
+		ID:       "fig1c",
+		Title:    "Packet receiving in the TCP/IP stack (Figure 1c)",
+		Figure:   1,
+		FastFunc: "tcp_rcv_fast",
+		SlowFunc: "tcp_rcv_slow",
+		Source: `
+struct sk_buff { int len; unsigned long seq; int flags; };
+struct sock { unsigned long rcv_nxt; unsigned long pred_flags; int acked; };
+
+static void send_ack(struct sock *sk)
+{
+	sk->acked = sk->acked + 1;
+}
+
+/* Fast path: header prediction hit, skip per-segment validation. */
+int tcp_rcv_fast(struct sock *sk, struct sk_buff *skb)
+{
+	if ((skb->flags & sk->pred_flags) == 0)
+		return -1; /* prediction miss: slow path */
+	sk->rcv_nxt = skb->seq + skb->len;
+	send_ack(sk);
+	return 0;
+}
+
+/* Slow path: validate every incoming segment, handle out-of-order data. */
+int tcp_rcv_slow(struct sock *sk, struct sk_buff *skb)
+{
+	if (skb->seq != sk->rcv_nxt)
+		return -1; /* out-of-order segment */
+	if (skb->len < 0)
+		return -1;
+	sk->rcv_nxt = skb->seq + skb->len;
+	send_ack(sk);
+	return 0;
+}
+`,
+		Spec: `
+pair tcp_rcv_fast tcp_rcv_slow
+cond pred_flags
+returns tcp_rcv_fast {0, -1}
+returns tcp_rcv_slow {0, -1}
+`,
+	}
+}
+
+// fig3Migratetype reproduces Figure 3: the fast path links the immutable
+// migratetype into page->private, and freeing overwrites it.
+func fig3Migratetype() *Showcase {
+	return &Showcase{
+		ID:       "fig3",
+		Title:    "Overwriting the immutable migratetype (Figure 3)",
+		Figure:   3,
+		FastFunc: "free_pages_fast",
+		Finding:  report.FindStateOverwrite,
+		Source: `
+struct page { unsigned long private; int mlocked; };
+
+/* Fast path for freeing order-0 pages back to the per-cpu lists. */
+int free_pages_fast(struct page *page, int migratetype)
+{
+	if (page->mlocked) {
+		/* mlocked pages take the normal free path */
+		return -1;
+	}
+	page->private = migratetype;
+	/* BUG (Figure 3): freeing to the buddy freelist clobbers the
+	 * migratetype the fast path cached in page->private. */
+	migratetype = 0;
+	page->private = migratetype;
+	return 0;
+}
+`,
+		Spec: `
+fastpath free_pages_fast
+immutable migratetype
+`,
+	}
+}
+
+// fig4OCFS2 reproduces Figure 4: the size-changed trigger condition is
+// missing, so the slow path that updates the inode metadata is skipped.
+func fig4OCFS2() *Showcase {
+	return &Showcase{
+		ID:       "fig4",
+		Title:    "Missing path-switch condition in OCFS2 (Figure 4)",
+		Figure:   4,
+		FastFunc: "ocfs2_get_block_fast",
+		Finding:  report.FindCondMissing,
+		Source: `
+struct ocfs2_inode { long i_size; long disk_size; };
+
+/* Fast path: fetch disk blocks assuming the file size is unchanged.
+ * BUG (Figure 4): size_changed is never consulted, so the slow path in
+ * ocfs2_dio_end_io_write that updates the metadata is skipped and the file
+ * sizes on disk and in memory diverge. */
+int ocfs2_get_block_fast(struct ocfs2_inode *inode, int size_changed)
+{
+	inode->disk_size = inode->i_size;
+	return 0;
+}
+`,
+		Spec: `
+fastpath ocfs2_get_block_fast
+cond size_changed
+`,
+	}
+}
+
+// fig5RPS reproduces Figure 5: the rps_flow_table readiness check is missing
+// from the RPS map-length fast path.
+func fig5RPS() *Showcase {
+	return &Showcase{
+		ID:       "fig5",
+		Title:    "Incomplete trigger condition in RPS (Figure 5)",
+		Figure:   5,
+		FastFunc: "get_rps_cpu_fast",
+		Finding:  report.FindCondIncomplete,
+		Source: `
+struct rps_map { int len; int cpus[32]; };
+struct netdev_rx_queue { struct rps_map *rps_map; void *rps_flow_table; };
+
+int cpu_online(int cpu);
+
+/* Fast path: a single-entry RPS map short-circuits CPU selection.
+ * BUG (Figure 5): rps_flow_table must also be absent; checking only
+ * map->len disables RPS when a flow table is configured. */
+int get_rps_cpu_fast(struct netdev_rx_queue *rxqueue, struct rps_map *map, void *rps_flow_table)
+{
+	int cpu = -1;
+	if (map->len == 1) {
+		int tcpu = map->cpus[0];
+		if (cpu_online(tcpu))
+			cpu = tcpu;
+	}
+	return cpu;
+}
+`,
+		Spec: `
+fastpath get_rps_cpu_fast
+cond len rps_flow_table
+`,
+	}
+}
+
+// fig6OOMOrder reproduces Figure 6: OOM is tried before remote-zone
+// allocation, a performance bug.
+func fig6OOMOrder() *Showcase {
+	return &Showcase{
+		ID:       "fig6",
+		Title:    "Incorrect order of trigger conditions (Figure 6)",
+		Figure:   6,
+		FastFunc: "alloc_with_fallback",
+		Finding:  report.FindCondOrder,
+		Source: `
+struct zone { int id; unsigned long nr_free; };
+
+/* BUG (Figure 6): the OOM path (kills processes) is consulted before the
+ * remote-zone path; the order of the two trigger conditions is reversed. */
+int alloc_with_fallback(int oom_allowed, int remote_allowed)
+{
+	if (oom_allowed)
+		return 2; /* reclaim via OOM killer */
+	if (remote_allowed)
+		return 1; /* allocate from a remote zone */
+	return 0;
+}
+`,
+		Spec: `
+fastpath alloc_with_fallback
+order remote_allowed oom_allowed
+`,
+	}
+}
+
+// fig7TCPOutput reproduces Figure 7: the fast path returns 1 where the slow
+// path returns 0, double-freeing the socket object in the caller.
+func fig7TCPOutput() *Showcase {
+	return &Showcase{
+		ID:       "fig7",
+		Title:    "Mismatching fast/slow output in tcp_rcv_established (Figure 7)",
+		Figure:   7,
+		FastFunc: "tcp_rcv_established_fast",
+		SlowFunc: "tcp_rcv_established_slow",
+		Finding:  report.FindOutMismatch,
+		Source: `
+struct sk_buff { int len; int flags; };
+struct sock { unsigned long pred_flags; };
+
+/* BUG (Figure 7): the caller assumes both paths return 0 on success; the
+ * fast path returning 1 makes the caller free skb a second time. */
+int tcp_rcv_established_fast(struct sock *sk, struct sk_buff *skb)
+{
+	if (skb->flags & sk->pred_flags)
+		return 1; /* handled without validation */
+	return 0;
+}
+
+int tcp_rcv_established_slow(struct sock *sk, struct sk_buff *skb)
+{
+	if (skb->len < 0)
+		return -1;
+	return 0;
+}
+`,
+		Spec: `
+pair tcp_rcv_established_fast tcp_rcv_established_slow
+`,
+	}
+}
+
+// fig8SCSIFault reproduces Figure 8: the SCSI fast path never detaches a
+// failed command from the driver state list — the fault handler is missing.
+func fig8SCSIFault() *Showcase {
+	return &Showcase{
+		ID:       "fig8",
+		Title:    "Missing fault handler in the SCSI driver (Figure 8)",
+		Figure:   8,
+		FastFunc: "transport_generic_free_cmd",
+		Finding:  report.FindFaultMissing,
+		Source: `
+struct se_cmd { int state_active; int refcount; };
+
+void transport_wait_for_tasks(struct se_cmd *cmd);
+
+/* BUG (Figure 8): on WRITE failure the cmd stays on the driver state list;
+ * the fix tests cmd->state_active and removes it under the lock. */
+void transport_generic_free_cmd(struct se_cmd *cmd, int wait_for_tasks)
+{
+	if (wait_for_tasks)
+		transport_wait_for_tasks(cmd);
+	cmd->refcount = cmd->refcount - 1;
+}
+`,
+		Spec: `
+fastpath transport_generic_free_cmd
+fault state_active handler=target_remove_from_state_list
+`,
+	}
+}
+
+// fig9NFSICache reproduces Figure 9: deleting an inode without removing it
+// from the inode cache leaves a bogus file handle visible to NFS daemons.
+func fig9NFSICache() *Showcase {
+	return &Showcase{
+		ID:       "fig9",
+		Title:    "Obsolete inode left in the inode cache (Figure 9)",
+		Figure:   9,
+		FastFunc: "nfs_unlink_fast",
+		Finding:  report.FindDSStale,
+		Source: `
+struct inode { int i_state; unsigned long i_ino; };
+struct icache { struct inode *entries[64]; int count; };
+
+/* BUG (Figure 9): the fast path drops the inode without evicting the cached
+ * entry, so lookups keep resolving the stale file handle. */
+int nfs_unlink_fast(struct inode *inode, struct icache *cache)
+{
+	inode->i_state = 0;
+	return 0;
+}
+`,
+		Spec: `
+fastpath nfs_unlink_fast
+cache cache of inode
+`,
+	}
+}
+
+// table5Extraction reproduces the simplified __alloc_pages_nodemask of
+// Table 5, including the immutable gfp_mask being overwritten through
+// memalloc_noio_flags.
+func table5Extraction() *Showcase {
+	return &Showcase{
+		ID:       "table5",
+		Title:    "Symbolic extraction of __alloc_pages_nodemask (Table 5)",
+		Figure:   0,
+		FastFunc: "alloc_pages_nodemask",
+		Finding:  report.FindStateOverwrite,
+		Source: `
+enum gfp_flags { GFP_KSWAPD_RECLAIM = 0x400 };
+
+struct page { unsigned long flags; };
+struct zone { int id; };
+struct alloc_context { struct zone *preferred_zone; int high_zoneidx; };
+
+int zone_local(struct zone *local_zone, struct zone *zone);
+struct page *get_page_from_freelist(unsigned int order, struct alloc_context *ac);
+unsigned long memalloc_noio_flags(unsigned long gfp_mask);
+struct page *alloc_pages_slowpath(unsigned long gfp_mask, unsigned int order);
+
+struct page *alloc_pages_nodemask(unsigned long gfp_mask, unsigned int order,
+				  struct zone *local_zone, struct zone *zone)
+{
+	struct alloc_context ac;
+	struct page *page;
+	int migratetype = 0;
+	int alloc_flags = 0;
+	if (zone_local(local_zone, zone))
+		alloc_flags = 1;
+	page = get_page_from_freelist(order, &ac);
+	if (page)
+		return page;
+	if (gfp_mask & GFP_KSWAPD_RECLAIM) {
+		/* BUG (Table 5): the immutable gfp_mask is overwritten before
+		 * entering the slow path, corrupting later allocations. */
+		gfp_mask = memalloc_noio_flags(gfp_mask);
+		page = alloc_pages_slowpath(gfp_mask, order);
+	}
+	return page;
+}
+`,
+		Spec: `
+fastpath alloc_pages_nodemask
+immutable gfp_mask
+cond zone_local GFP_KSWAPD_RECLAIM
+`,
+	}
+}

@@ -1,0 +1,158 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"pallas/internal/report"
+)
+
+// Table1Row captures one row of Table 1: the validated-bug counts per system
+// plus the total warning count (the "B/W" column's W).
+type Table1Row struct {
+	Finding  string
+	Bugs     [7]int // MM, FS, NET, DEV, WB, SDN, MOB
+	Warnings int
+}
+
+// TotalBugs sums the row's bug counts.
+func (r Table1Row) TotalBugs() int {
+	n := 0
+	for _, b := range r.Bugs {
+		n += b
+	}
+	return n
+}
+
+// Table1 reproduces the published Table 1 cell counts the corpus seeds.
+func Table1() []Table1Row {
+	return []Table1Row{
+		{report.FindStateOverwrite, [7]int{1, 1, 1, 1, 3, 1, 2}, 16},
+		{report.FindStateUninit, [7]int{1, 1, 2, 1, 2, 1, 2}, 16},
+		{report.FindStateCorrelated, [7]int{1, 1, 1, 1, 1, 1, 3}, 15},
+		{report.FindCondMissing, [7]int{5, 1, 3, 2, 3, 2, 3}, 21},
+		{report.FindCondIncomplete, [7]int{1, 1, 1, 3, 2, 1, 5}, 18},
+		{report.FindCondOrder, [7]int{1, 1, 1, 1, 1, 2, 1}, 15},
+		{report.FindOutMismatch, [7]int{1, 1, 2, 1, 2, 1, 4}, 19},
+		{report.FindOutUnexpected, [7]int{1, 1, 2, 1, 3, 2, 2}, 14},
+		{report.FindOutUnchecked, [7]int{1, 2, 1, 1, 2, 1, 3}, 18},
+		{report.FindFaultMissing, [7]int{2, 4, 2, 4, 7, 3, 5}, 37},
+		{report.FindDSLayout, [7]int{2, 2, 1, 2, 4, 2, 2}, 21},
+		{report.FindDSStale, [7]int{1, 1, 1, 1, 1, 1, 2}, 14},
+	}
+}
+
+// latentCycle provides synthesized latent periods for bugs not listed in
+// Table 7; the cycle's mean is ≈3.1 years, matching the paper's reported
+// average latent period.
+var latentCycle = []float64{0.9, 1.6, 2.3, 3.1, 4.0, 5.6, 2.8, 3.5, 4.4, 2.8}
+
+var (
+	generateOnce sync.Once
+	generated    *Registry
+)
+
+// Generate builds (once) the full evaluation corpus: for every Table-1 cell,
+// the seeded-bug cases (with Table-7 rows attached to their cells), and for
+// every row the false-positive traps (W − B of them, spread over the seven
+// systems). The result is deterministic.
+func Generate() *Registry {
+	generateOnce.Do(func() {
+		generated = newRegistry(generateCases())
+	})
+	return generated
+}
+
+func generateCases() []*Case {
+	var cases []*Case
+	seq := map[System]int{}
+	nextNames := func(s System) Names {
+		n := namesFor(s, seq[s])
+		seq[s]++
+		return n
+	}
+	latentIdx := 0
+	for rowIdx, row := range Table1() {
+		tmpl := Templates[row.Finding]
+		if tmpl == nil {
+			panic("corpus: no template for " + row.Finding)
+		}
+		for sysIdx, sys := range Systems() {
+			t7 := table7For(row.Finding, sys)
+			for i := 0; i < row.Bugs[sysIdx]; i++ {
+				n := nextNames(sys)
+				src, sp := tmpl.Buggy(n)
+				cleanSrc, _ := tmpl.Clean(n)
+				c := &Case{
+					ID:          fmt.Sprintf("%s/%s/b%d", strings.ToLower(string(sys)), row.Finding, i),
+					System:      sys,
+					File:        n.FileName(tmpl.Stem),
+					Operation:   fmt.Sprintf("%s (%s)", n.OpVerb, tmpl.Stem),
+					Source:      src,
+					CleanSource: cleanSrc,
+					Spec:        sp,
+					Finding:     row.Finding,
+					Kind:        Bug,
+					Consequence: tmpl.Consequence,
+				}
+				if i < len(t7) {
+					r := t7[i]
+					c.File = r.File
+					c.Operation = r.Operation
+					c.Consequence = r.Consequence
+					c.LatentYears = r.Years
+					c.Table7 = true
+				} else if sys != WB {
+					c.LatentYears = latentCycle[latentIdx%len(latentCycle)]
+					latentIdx++
+				}
+				cases = append(cases, c)
+			}
+		}
+		// False-positive traps: W − B of them, spread deterministically over
+		// the systems starting at an offset that varies per row.
+		nTraps := row.Warnings - row.TotalBugs()
+		for i := 0; i < nTraps; i++ {
+			sys := Systems()[(rowIdx+i)%len(Systems())]
+			n := nextNames(sys)
+			src, sp := tmpl.Trap(n)
+			cases = append(cases, &Case{
+				ID:          fmt.Sprintf("%s/%s/t%d", strings.ToLower(string(sys)), row.Finding, i),
+				System:      sys,
+				File:        n.FileName(tmpl.Stem),
+				Operation:   fmt.Sprintf("%s (%s, benign)", n.OpVerb, tmpl.Stem),
+				Source:      src,
+				Spec:        sp,
+				Finding:     row.Finding,
+				Kind:        Trap,
+				FPSource:    tmpl.FPSource,
+				Consequence: "None (false positive)",
+			})
+		}
+	}
+	return cases
+}
+
+// CleanCases derives a defect-free registry from the seeded bugs (every bug
+// case's fixed version). The completeness experiment (Table 8) injects known
+// bugs into these.
+func CleanCases() []*Case {
+	reg := Generate()
+	var out []*Case
+	for _, c := range reg.Cases {
+		if c.Kind != Bug || c.CleanSource == "" {
+			continue
+		}
+		out = append(out, &Case{
+			ID:        c.ID + "/clean",
+			System:    c.System,
+			File:      c.File,
+			Operation: c.Operation,
+			Source:    c.CleanSource,
+			Spec:      c.Spec,
+			Kind:      Clean,
+		})
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package corpus
+
+import "pallas/internal/report"
+
+// table7Row is one of the 34 new bugs listed in Table 7 of the paper. The
+// generator assigns each row to a seeded-bug case of the matching finding and
+// system, attaching the paper's file, operation, error type, consequence and
+// latent period as case metadata.
+type table7Row struct {
+	System      System
+	File        string
+	Operation   string
+	ErrType     string // the paper's bracketed error label
+	Finding     string
+	Consequence string
+	Years       float64 // 0 = N/A (Chromium's tracker has no latent data)
+}
+
+// table7 reproduces Table 7 row for row, in paper order.
+var table7 = []table7Row{
+	{MM, "mm/slab.c", "Allocate w/ local pages", "[F] missing handler", report.FindFaultMissing, "System crash", 6.5},
+
+	{FS, "fs/ocfs2/uptodate.c", "Insert metadata buffer to cache w/o resizing", "[O] missing log output", report.FindOutUnchecked, "Inconsistency", 2.2},
+	{FS, "fs/ocfs2/uptodate.c", "Insert new buffer to cache w/o resizing", "[F] missing handler", report.FindFaultMissing, "System crash", 6.1},
+	{FS, "fs/xfs/xfs_ialloc.c", "Allocate an inode using the free inode btree", "[O] wrong output", report.FindOutUnexpected, "Inconsistency", 2.2},
+
+	{NET, "net/unix/af_unix.c", "Send page data w/ socket", "[C] incorrect order", report.FindCondOrder, "Regression", 1.1},
+	{NET, "net/ipv4/tcp_ipv4.c", "Get first established socket w/o a lock", "[O] wrong lock state", report.FindOutUnexpected, "Deadlock", 8.4},
+	{NET, "net/ipv4/udp.c", "Send msgs w/o a lock for non-corking case", "[O] wrong output", report.FindOutMismatch, "Wrong result", 5.4},
+
+	{DEV, "drivers/staging/lustre/cl_page.c", "Find Lustre page in cache", "[O] unexpected output", report.FindOutUnexpected, "System crash", 3.2},
+	{DEV, "drivers/tty/hvc/hvc_console.c", "Open w/ an existing port", "[F] skipping handler", report.FindFaultMissing, "System crash", 5.5},
+	{DEV, "drivers/staging/lustre/lov_io.c", "I/O initialization when file is striped", "[C] missing condition", report.FindCondMissing, "Regression", 3.2},
+	{DEV, "drivers/scsi/mpt3sas/mpt3sas_base.c", "Send fast-path requests to firmware", "[D] suboptimal layout", report.FindDSLayout, "Regression", 3.7},
+	{DEV, "drivers/scsi/mpt3sas/mpt3sas_scsih.c", "Turn on fast path for IR physdisk", "[F] skipping handler", report.FindFaultMissing, "System crash", 2.9},
+
+	{WB, "chromium/ppb_nacl_private_impl.cc", "Download a file w/ PNaCl support", "[F] missing handler", report.FindFaultMissing, "System crash", 0},
+	{WB, "chromium/ppb_nacl_private_impl.cc", "Download a Nexe file w/ PNaCl support", "[F] unexpected output", report.FindFaultMissing, "System crash", 0},
+	{WB, "chromium/task_queue_impl.cc", "Post delayed tasks w/o a lock", "[O] wrong return", report.FindOutMismatch, "Wrong result", 0},
+	{WB, "chromium/task_queue_impl.cc", "Post delayed tasks w/o a lock", "[S] suboptimal layout", report.FindDSLayout, "Regression", 0},
+	{WB, "chromium/web_url_loader_impl.cc", "Load URL w/ local data", "[F] missing handler", report.FindFaultMissing, "System crash", 0},
+	{WB, "chromium/wts_terminal_monitor.cc", "Get session id w/ physical console", "[O] wrong return", report.FindOutMismatch, "Wrong result", 0},
+	{WB, "chromium/ScriptValueSerializer.cpp", "Write ASCII strings", "[F] missing handler", report.FindFaultMissing, "Inconsistency", 0},
+	{WB, "chromium/GraphicsContext.cpp", "Draw w/ Shader", "[F] missing handler", report.FindFaultMissing, "System crash", 0},
+	{WB, "chromium/PartitionAlloc.cpp", "Allocate pages in the active-page list", "[F] wrong handler", report.FindFaultMissing, "Wrong result", 0},
+
+	{MOB, "android/cpufreq-set.c", "Modify only one value of a policy", "[O] wrong output", report.FindOutMismatch, "Wrong result", 4.6},
+	{MOB, "android/macvtap.c", "Pin user pages in memory", "[F] missing handler", report.FindFaultMissing, "System crash", 4.7},
+	{MOB, "android/mempolicy.c", "Allocate a page w/ a default policy", "[S] wrong state", report.FindStateUninit, "Memory leak", 2.1},
+	{MOB, "android/mempolicy.c", "Allocate a page w/ a default policy", "[C] incorrect order", report.FindCondOrder, "Regression", 2.1},
+	{MOB, "android/namei.c", "Lookup inode w/o a lock", "[O] unexpected state", report.FindOutUnexpected, "Inconsistency", 0.8},
+	{MOB, "android/namespace.c", "Unmount file systems w/o a lock", "[C] skipping slow path", report.FindCondMissing, "System crash", 2.7},
+	{MOB, "android/page_alloc.c", "Get a page from freelist", "[S] immutable state", report.FindStateOverwrite, "Wrong result", 0.8},
+	{MOB, "android/skbuff.c", "Reallocate when a skb has a single reference", "[C] wrong condition", report.FindCondIncomplete, "Memory leak", 1.9},
+	{MOB, "android/xfs_mount.c", "Modify a counter if it is in use", "[F] missing handler", report.FindFaultMissing, "Inconsistency", 2.3},
+
+	{SDN, "ovs/dpif-netdev.c", "Process in defined fast path", "[C] incorrect order", report.FindCondOrder, "Regression", 2.8},
+	{SDN, "ovs/ip6_output.c", "Create fragments for not cloned skb", "[C] incomplete", report.FindCondIncomplete, "Regression", 0.5},
+	{SDN, "ovs/netdevice.c", "Calculate header offset in fast path", "[F] missing handler", report.FindFaultMissing, "System crash", 0.5},
+	{SDN, "ovs/vxlan.c", "Calculate header offset in fast path", "[F] missing handler", report.FindFaultMissing, "System crash", 0.5},
+}
+
+// table7For returns the Table-7 rows assigned to (finding, system), in order.
+func table7For(finding string, s System) []table7Row {
+	var out []table7Row
+	for _, r := range table7 {
+		if r.Finding == finding && r.System == s {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,794 @@
+package corpus
+
+import (
+	"fmt"
+
+	"pallas/internal/report"
+)
+
+// Variant renders one case body for a name set: the C source and its spec.
+type Variant func(n Names) (src, spec string)
+
+// Template generates the three variants of one finding type.
+type Template struct {
+	// Finding is the report.Find* key the buggy and trap variants trigger.
+	Finding string
+	// Buggy seeds a true bug.
+	Buggy Variant
+	// Clean is the fixed version (no warnings).
+	Clean Variant
+	// Trap triggers the same warning on code that is actually correct,
+	// modelling one of the §5.3 false-positive sources.
+	Trap Variant
+	// Consequence is the default failure class for generated bugs.
+	Consequence string
+	// FPSource describes the trap's false-positive source.
+	FPSource string
+	// Stem names generated functions and files.
+	Stem string
+}
+
+// Templates maps finding key → template, covering all 12 Table-1 rows.
+var Templates = map[string]*Template{}
+
+func register(t *Template) {
+	if _, dup := Templates[t.Finding]; dup {
+		panic("corpus: duplicate template " + t.Finding)
+	}
+	Templates[t.Finding] = t
+}
+
+func init() {
+	registerStateOverwrite()
+	registerStateUninit()
+	registerStateCorrelated()
+	registerCondMissing()
+	registerCondIncomplete()
+	registerCondOrder()
+	registerOutMismatch()
+	registerOutUnexpected()
+	registerOutUnchecked()
+	registerFaultMissing()
+	registerDSLayout()
+	registerDSStale()
+}
+
+// --- Path state -------------------------------------------------------------
+
+func registerStateOverwrite() {
+	register(&Template{
+		Finding:     report.FindStateOverwrite,
+		Consequence: "Wrong result",
+		FPSource:    "immutable saved to a snapshot and restored afterwards",
+		Stem:        "fast_write",
+		Buggy: func(n Names) (string, string) {
+			fn := n.Fn("fast_write")
+			src := fmt.Sprintf(`
+struct %[1]s { unsigned long %[2]s; int refcount; };
+static int %[3]s(struct %[1]s *%[4]s, unsigned long %[5]s, int order)
+{
+	if (order == 0) {
+		%[5]s = %[5]s & 7; /* BUG: immutable mode flags clobbered */
+		%[4]s->%[2]s = %[5]s;
+		return 0;
+	}
+	return -1;
+}
+`, n.Obj, n.StateField, fn, n.ObjVar, n.Flag)
+			sp := fmt.Sprintf("fastpath %s\nimmutable %s\n", fn, n.Flag)
+			return src, sp
+		},
+		Clean: func(n Names) (string, string) {
+			fn := n.Fn("fast_write")
+			src := fmt.Sprintf(`
+struct %[1]s { unsigned long %[2]s; int refcount; };
+static int %[3]s(struct %[1]s *%[4]s, unsigned long %[5]s, int order)
+{
+	if (order == 0) {
+		%[4]s->%[2]s = %[5]s & 7;
+		return 0;
+	}
+	return -1;
+}
+`, n.Obj, n.StateField, fn, n.ObjVar, n.Flag)
+			sp := fmt.Sprintf("fastpath %s\nimmutable %s\n", fn, n.Flag)
+			return src, sp
+		},
+		Trap: func(n Names) (string, string) {
+			fn := n.Fn("fast_write")
+			src := fmt.Sprintf(`
+struct %[1]s { unsigned long %[2]s; int refcount; };
+static unsigned long %[6]s_snapshot = 0;
+void %[6]s_restore(unsigned long *flags);
+static int %[3]s(struct %[1]s *%[4]s, unsigned long %[5]s, int order)
+{
+	if (order == 0) {
+		%[6]s_snapshot = %[5]s;
+		%[5]s = %[5]s | 4; /* validated: restored from snapshot below */
+		%[4]s->%[2]s = %[5]s;
+		%[6]s_restore(&%[5]s);
+		return 0;
+	}
+	return -1;
+}
+`, n.Obj, n.StateField, fn, n.ObjVar, n.Flag, n.Fn("flags"))
+			sp := fmt.Sprintf("fastpath %s\nimmutable %s\n", fn, n.Flag)
+			return src, sp
+		},
+	})
+}
+
+func registerStateUninit() {
+	register(&Template{
+		Finding:     report.FindStateUninit,
+		Consequence: "Memory leak",
+		FPSource:    "initialization performed through an out-parameter helper",
+		Stem:        "init_state",
+		Buggy: func(n Names) (string, string) {
+			fn := n.Fn("init_state")
+			src := fmt.Sprintf(`
+struct %[1]s { unsigned long %[2]s; };
+static int %[3]s(struct %[1]s *%[4]s)
+{
+	unsigned long %[5]s; /* BUG: used before initialization */
+	if (%[5]s & 1) {
+		%[4]s->%[2]s = 1;
+		return 1;
+	}
+	return 0;
+}
+`, n.Obj, n.StateField, fn, n.ObjVar, n.Flag)
+			sp := fmt.Sprintf("fastpath %s\nimmutable %s\n", fn, n.Flag)
+			return src, sp
+		},
+		Clean: func(n Names) (string, string) {
+			fn := n.Fn("init_state")
+			src := fmt.Sprintf(`
+struct %[1]s { unsigned long %[2]s; };
+static int %[3]s(struct %[1]s *%[4]s)
+{
+	unsigned long %[5]s = %[4]s->%[2]s;
+	if (%[5]s & 1) {
+		%[4]s->%[2]s = 1;
+		return 1;
+	}
+	return 0;
+}
+`, n.Obj, n.StateField, fn, n.ObjVar, n.Flag)
+			sp := fmt.Sprintf("fastpath %s\nimmutable %s\n", fn, n.Flag)
+			return src, sp
+		},
+		Trap: func(n Names) (string, string) {
+			fn := n.Fn("init_state")
+			src := fmt.Sprintf(`
+struct %[1]s { unsigned long %[2]s; };
+void %[6]s(unsigned long *flags);
+static int %[3]s(struct %[1]s *%[4]s)
+{
+	unsigned long %[5]s; /* validated: initialized via out-parameter */
+	%[6]s(&%[5]s);
+	if (%[5]s & 1) {
+		%[4]s->%[2]s = 1;
+		return 1;
+	}
+	return 0;
+}
+`, n.Obj, n.StateField, fn, n.ObjVar, n.Flag, n.Fn("setup_flags"))
+			sp := fmt.Sprintf("fastpath %s\nimmutable %s\n", fn, n.Flag)
+			return src, sp
+		},
+	})
+}
+
+func registerStateCorrelated() {
+	register(&Template{
+		Finding:     report.FindStateCorrelated,
+		Consequence: "Incorrect results",
+		FPSource:    "correlation enforced at the construction site, not on the path",
+		Stem:        "pick_target",
+		Buggy: func(n Names) (string, string) {
+			fn := n.Fn("pick_target")
+			src := fmt.Sprintf(`
+struct %[1]s { int id; unsigned long %[2]s; };
+static struct %[1]s *%[3]s(struct %[1]s *%[4]s, unsigned long %[5]s)
+{
+	/* BUG: candidate chosen without consulting its correlated mask */
+	return %[4]s;
+}
+`, n.Obj, n.StateField, fn, n.ObjVar, n.Mask)
+			sp := fmt.Sprintf("fastpath %s\ncorrelated %s %s\n", fn, n.ObjVar, n.Mask)
+			return src, sp
+		},
+		Clean: func(n Names) (string, string) {
+			fn := n.Fn("pick_target")
+			src := fmt.Sprintf(`
+struct %[1]s { int id; unsigned long %[2]s; };
+static struct %[1]s *%[3]s(struct %[1]s *%[4]s, unsigned long %[5]s)
+{
+	if (%[5]s & (1UL << %[4]s->id))
+		return %[4]s;
+	return 0;
+}
+`, n.Obj, n.StateField, fn, n.ObjVar, n.Mask)
+			sp := fmt.Sprintf("fastpath %s\ncorrelated %s %s\n", fn, n.ObjVar, n.Mask)
+			return src, sp
+		},
+		Trap: func(n Names) (string, string) {
+			fn := n.Fn("pick_target")
+			validate := n.Fn("validate_pick")
+			src := fmt.Sprintf(`
+struct %[1]s { int id; unsigned long %[2]s; };
+/* validated: every caller passes a candidate already checked by %[6]s */
+int %[6]s(struct %[1]s *cand, unsigned long mask)
+{
+	return (mask & (1UL << cand->id)) != 0;
+}
+static struct %[1]s *%[3]s(struct %[1]s *%[4]s, unsigned long %[5]s)
+{
+	return %[4]s;
+}
+`, n.Obj, n.StateField, fn, n.ObjVar, n.Mask, validate)
+			sp := fmt.Sprintf("fastpath %s\ncorrelated %s %s\n", fn, n.ObjVar, n.Mask)
+			return src, sp
+		},
+	})
+}
+
+// --- Trigger condition --------------------------------------------------------
+
+func registerCondMissing() {
+	register(&Template{
+		Finding:     report.FindCondMissing,
+		Consequence: "Data inconsistency",
+		FPSource:    "condition implied by another structure's state bit",
+		Stem:        "path_switch",
+		Buggy: func(n Names) (string, string) {
+			fn := n.Fn("path_switch")
+			src := fmt.Sprintf(`
+struct %[1]s { int len; unsigned long %[2]s; };
+static int %[3]s(struct %[1]s *%[4]s, unsigned long %[5]s)
+{
+	/* BUG: the %[5]s trigger is never consulted; slow path is skipped */
+	%[4]s->%[2]s = %[4]s->%[2]s + 1;
+	return 0;
+}
+`, n.Obj, n.StateField, fn, n.ObjVar, n.Flag)
+			sp := fmt.Sprintf("fastpath %s\ncond %s\n", fn, n.Flag)
+			return src, sp
+		},
+		Clean: func(n Names) (string, string) {
+			fn := n.Fn("path_switch")
+			src := fmt.Sprintf(`
+struct %[1]s { int len; unsigned long %[2]s; };
+static int %[3]s(struct %[1]s *%[4]s, unsigned long %[5]s)
+{
+	if (%[5]s != 0)
+		return -1; /* take the slow path */
+	%[4]s->%[2]s = %[4]s->%[2]s + 1;
+	return 0;
+}
+`, n.Obj, n.StateField, fn, n.ObjVar, n.Flag)
+			sp := fmt.Sprintf("fastpath %s\ncond %s\n", fn, n.Flag)
+			return src, sp
+		},
+		Trap: func(n Names) (string, string) {
+			fn := n.Fn("path_switch")
+			src := fmt.Sprintf(`
+struct %[1]s { int len; int dirty; unsigned long %[2]s; };
+static int %[3]s(struct %[1]s *%[4]s, unsigned long %[5]s)
+{
+	/* validated: the dirty bit is set whenever %[5]s would be non-zero */
+	if (%[4]s->dirty)
+		return -1;
+	%[4]s->%[2]s = %[4]s->%[2]s + 1;
+	return 0;
+}
+`, n.Obj, n.StateField, fn, n.ObjVar, n.Flag)
+			sp := fmt.Sprintf("fastpath %s\ncond %s\n", fn, n.Flag)
+			return src, sp
+		},
+	})
+}
+
+func registerCondIncomplete() {
+	register(&Template{
+		Finding:     report.FindCondIncomplete,
+		Consequence: "Performance degradation",
+		FPSource:    "second variable validated through a helper predicate",
+		Stem:        "rx_steer",
+		Buggy: func(n Names) (string, string) {
+			fn := n.Fn("rx_steer")
+			src := fmt.Sprintf(`
+struct %[1]s { int len; unsigned long %[2]s; };
+static int %[3]s(struct %[1]s *%[4]s, int map_len, unsigned long %[5]s)
+{
+	/* BUG: %[5]s readiness is not part of the trigger condition */
+	if (map_len == 1) {
+		%[4]s->%[2]s = 1;
+		return 1;
+	}
+	return 0;
+}
+`, n.Obj, n.StateField, fn, n.ObjVar, n.Aux)
+			sp := fmt.Sprintf("fastpath %s\ncond map_len %s\n", fn, n.Aux)
+			return src, sp
+		},
+		Clean: func(n Names) (string, string) {
+			fn := n.Fn("rx_steer")
+			src := fmt.Sprintf(`
+struct %[1]s { int len; unsigned long %[2]s; };
+static int %[3]s(struct %[1]s *%[4]s, int map_len, unsigned long %[5]s)
+{
+	if (map_len == 1 && !%[5]s) {
+		%[4]s->%[2]s = 1;
+		return 1;
+	}
+	return 0;
+}
+`, n.Obj, n.StateField, fn, n.ObjVar, n.Aux)
+			sp := fmt.Sprintf("fastpath %s\ncond map_len %s\n", fn, n.Aux)
+			return src, sp
+		},
+		Trap: func(n Names) (string, string) {
+			fn := n.Fn("rx_steer")
+			helper := n.Fn("table_ready")
+			src := fmt.Sprintf(`
+struct %[1]s { int len; unsigned long %[2]s; };
+int %[6]s(struct %[1]s *obj);
+static int %[3]s(struct %[1]s *%[4]s, int map_len, unsigned long %[5]s)
+{
+	/* validated: %[6]s() folds the %[5]s readiness test */
+	if (map_len == 1 && %[6]s(%[4]s)) {
+		%[4]s->%[2]s = 1;
+		return 1;
+	}
+	return 0;
+}
+`, n.Obj, n.StateField, fn, n.ObjVar, n.Aux, helper)
+			sp := fmt.Sprintf("fastpath %s\ncond map_len %s\n", fn, n.Aux)
+			return src, sp
+		},
+	})
+}
+
+func registerCondOrder() {
+	register(&Template{
+		Finding:     report.FindCondOrder,
+		Consequence: "Performance degradation",
+		FPSource:    "cheaper check hoisted deliberately; expensive check re-validated later",
+		Stem:        "alloc_order",
+		Buggy: func(n Names) (string, string) {
+			fn := n.Fn("alloc_order")
+			src := fmt.Sprintf(`
+static int %[1]s(int remote_ok, int oom_ok)
+{
+	/* BUG: OOM (expensive) is tried before remote allocation */
+	if (oom_ok)
+		return 2;
+	if (remote_ok)
+		return 1;
+	return 0;
+}
+`, fn)
+			sp := fmt.Sprintf("fastpath %s\norder remote_ok oom_ok\n", fn)
+			return src, sp
+		},
+		Clean: func(n Names) (string, string) {
+			fn := n.Fn("alloc_order")
+			src := fmt.Sprintf(`
+static int %[1]s(int remote_ok, int oom_ok)
+{
+	if (remote_ok)
+		return 1;
+	if (oom_ok)
+		return 2;
+	return 0;
+}
+`, fn)
+			sp := fmt.Sprintf("fastpath %s\norder remote_ok oom_ok\n", fn)
+			return src, sp
+		},
+		Trap: func(n Names) (string, string) {
+			fn := n.Fn("alloc_order")
+			src := fmt.Sprintf(`
+static int %[1]s(int remote_ok, int oom_ok)
+{
+	/* validated: oom_ok is a cheap cached hint consulted first on purpose;
+	 * remote_ok is still honoured inside the branch. */
+	if (oom_ok) {
+		if (remote_ok)
+			return 1;
+		return 2;
+	}
+	if (remote_ok)
+		return 1;
+	return 0;
+}
+`, fn)
+			sp := fmt.Sprintf("fastpath %s\norder remote_ok oom_ok\n", fn)
+			return src, sp
+		},
+	})
+}
+
+// --- Path output -----------------------------------------------------------------
+
+func registerOutMismatch() {
+	register(&Template{
+		Finding:     report.FindOutMismatch,
+		Consequence: "System crash",
+		FPSource:    "extra fast-path return value tolerated by every caller",
+		Stem:        "rcv",
+		Buggy: func(n Names) (string, string) {
+			fast := n.Fn("rcv_fast")
+			slow := n.Fn("rcv_slow")
+			src := fmt.Sprintf(`
+struct %[1]s { int len; unsigned long %[2]s; };
+static int %[3]s(struct %[1]s *%[5]s)
+{
+	if (%[5]s->len == 0)
+		return 1; /* BUG: slow path reports 0 for the same case */
+	%[5]s->%[2]s = 1;
+	return 0;
+}
+static int %[4]s(struct %[1]s *%[5]s)
+{
+	if (%[5]s->len < 0)
+		return -1;
+	%[5]s->%[2]s = 1;
+	return 0;
+}
+`, n.Obj, n.StateField, fast, slow, n.ObjVar)
+			sp := fmt.Sprintf("pair %s %s\n", fast, slow)
+			return src, sp
+		},
+		Clean: func(n Names) (string, string) {
+			fast := n.Fn("rcv_fast")
+			slow := n.Fn("rcv_slow")
+			src := fmt.Sprintf(`
+struct %[1]s { int len; unsigned long %[2]s; };
+static int %[3]s(struct %[1]s *%[5]s)
+{
+	if (%[5]s->len < 0)
+		return -1;
+	%[5]s->%[2]s = 1;
+	return 0;
+}
+static int %[4]s(struct %[1]s *%[5]s)
+{
+	if (%[5]s->len < 0)
+		return -1;
+	%[5]s->%[2]s = 2;
+	return 0;
+}
+`, n.Obj, n.StateField, fast, slow, n.ObjVar)
+			sp := fmt.Sprintf("pair %s %s\n", fast, slow)
+			return src, sp
+		},
+		Trap: func(n Names) (string, string) {
+			fast := n.Fn("rcv_fast")
+			slow := n.Fn("rcv_slow")
+			src := fmt.Sprintf(`
+struct %[1]s { int len; unsigned long %[2]s; };
+/* validated: callers treat 1 ("handled, skip validation") like 0 */
+static int %[3]s(struct %[1]s *%[5]s)
+{
+	if (%[5]s->len == 0)
+		return 1;
+	return 0;
+}
+static int %[4]s(struct %[1]s *%[5]s)
+{
+	return 0;
+}
+`, n.Obj, n.StateField, fast, slow, n.ObjVar)
+			sp := fmt.Sprintf("pair %s %s\n", fast, slow)
+			return src, sp
+		},
+	})
+}
+
+func registerOutUnexpected() {
+	register(&Template{
+		Finding:     report.FindOutUnexpected,
+		Consequence: "Incorrect results",
+		FPSource:    "sentinel value documented outside the defined return set",
+		Stem:        "get_state",
+		Buggy: func(n Names) (string, string) {
+			fn := n.Fn("get_state")
+			src := fmt.Sprintf(`
+enum %[4]s_codes { %[5]s_OK = 0, %[5]s_BUSY = 1 };
+static int %[1]s(struct %[2]s *%[3]s)
+{
+	if (%[3]s->len > 0)
+		return %[5]s_BUSY;
+	return 7; /* BUG: not one of the defined states */
+}
+struct %[2]s { int len; };
+`, fn, n.Obj, n.ObjVar, n.FilePrefix, upper(n.FilePrefix))
+			sp := fmt.Sprintf("fastpath %s\nreturns %s {%s_OK, %s_BUSY}\n",
+				fn, fn, upper(n.FilePrefix), upper(n.FilePrefix))
+			return src, sp
+		},
+		Clean: func(n Names) (string, string) {
+			fn := n.Fn("get_state")
+			src := fmt.Sprintf(`
+enum %[4]s_codes { %[5]s_OK = 0, %[5]s_BUSY = 1 };
+static int %[1]s(struct %[2]s *%[3]s)
+{
+	if (%[3]s->len > 0)
+		return %[5]s_BUSY;
+	return %[5]s_OK;
+}
+struct %[2]s { int len; };
+`, fn, n.Obj, n.ObjVar, n.FilePrefix, upper(n.FilePrefix))
+			sp := fmt.Sprintf("fastpath %s\nreturns %s {%s_OK, %s_BUSY}\n",
+				fn, fn, upper(n.FilePrefix), upper(n.FilePrefix))
+			return src, sp
+		},
+		Trap: func(n Names) (string, string) {
+			fn := n.Fn("get_state")
+			src := fmt.Sprintf(`
+enum %[4]s_codes { %[5]s_OK = 0, %[5]s_BUSY = 1 };
+/* validated: 2 is the documented "retry later" sentinel */
+static int %[1]s(struct %[2]s *%[3]s)
+{
+	if (%[3]s->len > 0)
+		return %[5]s_BUSY;
+	return 2;
+}
+struct %[2]s { int len; };
+`, fn, n.Obj, n.ObjVar, n.FilePrefix, upper(n.FilePrefix))
+			sp := fmt.Sprintf("fastpath %s\nreturns %s {%s_OK, %s_BUSY}\n",
+				fn, fn, upper(n.FilePrefix), upper(n.FilePrefix))
+			return src, sp
+		},
+	})
+}
+
+func registerOutUnchecked() {
+	register(&Template{
+		Finding:     report.FindOutUnchecked,
+		Consequence: "Data loss",
+		FPSource:    "result validated inside the callee itself",
+		Stem:        "flush",
+		Buggy: func(n Names) (string, string) {
+			fn := n.Fn("flush_fast")
+			wait := n.Fn("wait_ordered")
+			src := fmt.Sprintf(`
+int %[1]s(int start, int len);
+static int %[2]s(int start, int len)
+{
+	%[1]s(start, len); /* BUG: failure is silently dropped */
+	return 0;
+}
+`, wait, fn)
+			sp := fmt.Sprintf("fastpath %s\ncheck_return %s\n", fn, wait)
+			return src, sp
+		},
+		Clean: func(n Names) (string, string) {
+			fn := n.Fn("flush_fast")
+			wait := n.Fn("wait_ordered")
+			src := fmt.Sprintf(`
+int %[1]s(int start, int len);
+static int %[2]s(int start, int len)
+{
+	int ret = %[1]s(start, len);
+	if (ret < 0)
+		return ret;
+	return 0;
+}
+`, wait, fn)
+			sp := fmt.Sprintf("fastpath %s\ncheck_return %s\n", fn, wait)
+			return src, sp
+		},
+		Trap: func(n Names) (string, string) {
+			fn := n.Fn("flush_fast")
+			wait := n.Fn("wait_ordered")
+			src := fmt.Sprintf(`
+static int %[1]s_errors = 0;
+int %[1]s(int start, int len)
+{
+	if (start < 0) {
+		%[1]s_errors = %[1]s_errors + 1; /* validated: error latched here */
+		return -1;
+	}
+	return 0;
+}
+static int %[2]s(int start, int len)
+{
+	%[1]s(start, len);
+	return 0;
+}
+`, wait, fn)
+			sp := fmt.Sprintf("fastpath %s\ncheck_return %s\n", fn, wait)
+			return src, sp
+		},
+	})
+}
+
+// --- Fault handling ------------------------------------------------------------
+
+func registerFaultMissing() {
+	register(&Template{
+		Finding:     report.FindFaultMissing,
+		Consequence: "System crash",
+		FPSource:    "fault handled by a lower-level routine",
+		Stem:        "submit",
+		Buggy: func(n Names) (string, string) {
+			fn := n.Fn("submit_fast")
+			src := fmt.Sprintf(`
+struct %[1]s { int %[2]s; int active; };
+static void %[3]s(struct %[1]s *%[4]s, int wait)
+{
+	/* BUG: failed %[4]s is never detached from the %[5]s */
+	if (wait)
+		return;
+	%[4]s->active = 1;
+}
+`, n.Obj, n.StateField, fn, n.ObjVar, n.Aux)
+			sp := fmt.Sprintf("fastpath %s\nfault %s\n", fn, n.StateField)
+			return src, sp
+		},
+		Clean: func(n Names) (string, string) {
+			fn := n.Fn("submit_fast")
+			cleanup := n.Fn("remove_from_list")
+			src := fmt.Sprintf(`
+struct %[1]s { int %[2]s; int active; };
+void %[6]s(struct %[1]s *obj);
+static void %[3]s(struct %[1]s *%[4]s, int wait)
+{
+	if (wait)
+		return;
+	if (%[4]s->%[2]s)
+		%[6]s(%[4]s);
+	%[4]s->active = 1;
+}
+`, n.Obj, n.StateField, fn, n.ObjVar, n.Aux, cleanup)
+			sp := fmt.Sprintf("fastpath %s\nfault %s\n", fn, n.StateField)
+			return src, sp
+		},
+		Trap: func(n Names) (string, string) {
+			fn := n.Fn("submit_fast")
+			low := n.Fn("low_level_eh")
+			src := fmt.Sprintf(`
+struct %[1]s { int %[2]s; int active; };
+void %[6]s(struct %[1]s *obj); /* validated: tests %[2]s internally */
+static void %[3]s(struct %[1]s *%[4]s, int wait)
+{
+	if (wait)
+		return;
+	%[6]s(%[4]s);
+	%[4]s->active = 1;
+}
+`, n.Obj, n.StateField, fn, n.ObjVar, n.Aux, low)
+			sp := fmt.Sprintf("fastpath %s\nfault %s\n", fn, n.StateField)
+			return src, sp
+		},
+	})
+}
+
+// --- Assistant data structures ------------------------------------------------
+
+func registerDSLayout() {
+	register(&Template{
+		Finding:     report.FindDSLayout,
+		Consequence: "Performance degradation",
+		FPSource:    "field used only by the slow path",
+		Stem:        "hot_lookup",
+		Buggy: func(n Names) (string, string) {
+			fn := n.Fn("hot_lookup")
+			src := fmt.Sprintf(`
+struct %[1]s {
+	unsigned long %[2]s;
+	int legacy_index; /* BUG: dead weight on the hot cache line */
+};
+static unsigned long %[3]s(struct %[1]s *%[4]s)
+{
+	return %[4]s->%[2]s;
+}
+`, n.Obj, n.StateField, fn, n.ObjVar)
+			sp := fmt.Sprintf("fastpath %s\nhotstruct %s\n", fn, n.Obj)
+			return src, sp
+		},
+		Clean: func(n Names) (string, string) {
+			fn := n.Fn("hot_lookup")
+			src := fmt.Sprintf(`
+struct %[1]s {
+	unsigned long %[2]s;
+	int refcount;
+};
+static unsigned long %[3]s(struct %[1]s *%[4]s)
+{
+	return %[4]s->%[2]s + %[4]s->refcount;
+}
+`, n.Obj, n.StateField, fn, n.ObjVar)
+			sp := fmt.Sprintf("fastpath %s\nhotstruct %s\n", fn, n.Obj)
+			return src, sp
+		},
+		Trap: func(n Names) (string, string) {
+			fn := n.Fn("hot_lookup")
+			slow := n.Fn("slow_audit")
+			src := fmt.Sprintf(`
+struct %[1]s {
+	unsigned long %[2]s;
+	int audit_tag; /* validated: needed by %[5]s on the slow path */
+};
+static unsigned long %[3]s(struct %[1]s *%[4]s)
+{
+	return %[4]s->%[2]s;
+}
+int %[5]s(struct %[1]s *%[4]s)
+{
+	return %[4]s->audit_tag;
+}
+`, n.Obj, n.StateField, fn, n.ObjVar, slow)
+			sp := fmt.Sprintf("fastpath %s\nhotstruct %s\n", fn, n.Obj)
+			return src, sp
+		},
+	})
+}
+
+func registerDSStale() {
+	register(&Template{
+		Finding:     report.FindDSStale,
+		Consequence: "Data inconsistency",
+		FPSource:    "cache refreshed asynchronously by a maintenance worker",
+		Stem:        "invalidate",
+		Buggy: func(n Names) (string, string) {
+			fn := n.Fn("invalidate")
+			src := fmt.Sprintf(`
+struct %[1]s { int %[2]s; };
+static int %[3]s(struct %[1]s *%[4]s, int %[5]s)
+{
+	%[4]s->%[2]s = 0; /* BUG: %[5]s still holds the dead entry */
+	return 0;
+}
+`, n.Obj, n.StateField, fn, n.ObjVar, n.Aux)
+			sp := fmt.Sprintf("fastpath %s\ncache %s of %s\n", fn, n.Aux, n.ObjVar)
+			return src, sp
+		},
+		Clean: func(n Names) (string, string) {
+			fn := n.Fn("invalidate")
+			drop := n.Fn("cache_remove")
+			src := fmt.Sprintf(`
+struct %[1]s { int %[2]s; };
+void %[6]s(int cachev, struct %[1]s *obj);
+static int %[3]s(struct %[1]s *%[4]s, int %[5]s)
+{
+	%[4]s->%[2]s = 0;
+	%[6]s(%[5]s, %[4]s);
+	return 0;
+}
+`, n.Obj, n.StateField, fn, n.ObjVar, n.Aux, drop)
+			sp := fmt.Sprintf("fastpath %s\ncache %s of %s\n", fn, n.Aux, n.ObjVar)
+			return src, sp
+		},
+		Trap: func(n Names) (string, string) {
+			fn := n.Fn("invalidate")
+			worker := n.Fn("cache_gc_worker")
+			src := fmt.Sprintf(`
+struct %[1]s { int %[2]s; };
+/* validated: %[6]s sweeps dead entries out of %[5]s periodically */
+void %[6]s(int cachev);
+static int %[3]s(struct %[1]s *%[4]s, int %[5]s)
+{
+	%[4]s->%[2]s = 0;
+	return 0;
+}
+`, n.Obj, n.StateField, fn, n.ObjVar, n.Aux, worker)
+			sp := fmt.Sprintf("fastpath %s\ncache %s of %s\n", fn, n.Aux, n.ObjVar)
+			return src, sp
+		},
+	})
+}
+
+func upper(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if b[i] >= 'a' && b[i] <= 'z' {
+			b[i] -= 'a' - 'A'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,50 @@
+package cparse
+
+import (
+	"testing"
+
+	"pallas/internal/cfg"
+	"pallas/internal/paths"
+)
+
+// FuzzParse drives the whole front half of the pipeline with arbitrary
+// input: lexing, parsing, CFG construction and bounded path extraction must
+// never panic or hang, whatever the bytes. Run with `go test -fuzz=FuzzParse`
+// for open-ended exploration; the seed corpus runs in normal test mode.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"int f(void) { return 0; }",
+		pageAllocSrc,
+		"struct s { int a : 3; };\nint g(struct s *p) { return p->a; }",
+		"int h(int n) { while (n) { n--; if (n == 3) break; } return n; }",
+		"int i(int a) { switch (a) { case 1: return 1; default: return 0; } }",
+		"#define X 1\nint j(void) { return X; }", // '#' survives outside cpp → parse error path
+		"int k(void) { goto l; l: return 0; }",
+		"typedef unsigned long ulong_t;\nulong_t m(ulong_t v) { return v << 1; }",
+		"int f( { return; }",
+		"\"unterminated",
+		"int n(void) { return (1 ? 2 : 3) + sizeof(int); }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		tu, err := Parse("fuzz.c", src)
+		if tu == nil {
+			t.Fatal("Parse must always return a translation unit")
+		}
+		if err != nil {
+			return // malformed input: error reported, nothing more to check
+		}
+		ex := paths.NewExtractor(tu, paths.Config{MaxPaths: 32, MaxBlockVisits: 2, InlineDepth: 1})
+		for _, fn := range tu.Funcs() {
+			if _, err := cfg.Build(fn); err != nil {
+				continue // unresolved gotos etc. are legitimate errors
+			}
+			if _, err := ex.Extract(fn.Name); err != nil {
+				t.Fatalf("extract %s: %v", fn.Name, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,1109 @@
+// Package cparse implements a recursive-descent parser for the Pallas C
+// subset. It accepts the kernel-style C that the corpus and the paper's
+// examples are written in: struct/union/enum definitions, typedefs, globals,
+// function definitions with full statement and expression grammars, pointers,
+// casts, and `// @pallas:` annotation comments.
+//
+// The parser is tolerant about constructs it does not model deeply (e.g. GNU
+// attributes are skipped by the preprocessor); everything it does accept is
+// represented faithfully in the cast AST.
+package cparse
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pallas/internal/cast"
+	"pallas/internal/ctok"
+)
+
+// Parser parses one token stream into a TranslationUnit.
+type Parser struct {
+	toks []ctok.Token
+	pos  int
+	file string
+	errs []error
+
+	// typedefNames lets the parser disambiguate "name ident" declarations.
+	typedefNames map[string]bool
+
+	annotations []cast.Annotation
+	enumCounter int64
+}
+
+// knownTypedefs seeds typedef names that kernel-style code uses without
+// declaring in the merged unit.
+var knownTypedefs = []string{
+	"u8", "u16", "u32", "u64", "s8", "s16", "s32", "s64",
+	"uint8_t", "uint16_t", "uint32_t", "uint64_t",
+	"int8_t", "int16_t", "int32_t", "int64_t",
+	"size_t", "ssize_t", "loff_t", "off_t", "pid_t", "gfp_t",
+	"bool", "atomic_t", "spinlock_t", "dma_addr_t", "sector_t",
+	"nodemask_t", "wait_queue_head_t",
+}
+
+// Parse parses src (already preprocessed) from the named file.
+func Parse(file, src string) (*cast.TranslationUnit, error) {
+	lx := ctok.NewLexer(file, src)
+	lx.KeepComments = true
+	var toks []ctok.Token
+	var annotations []cast.Annotation
+	for {
+		t := lx.Next()
+		if t.Kind == ctok.EOF {
+			break
+		}
+		if t.Kind == ctok.LineComment || t.Kind == ctok.BlockComment {
+			if a, ok := parseAnnotation(t); ok {
+				annotations = append(annotations, a)
+			}
+			continue
+		}
+		toks = append(toks, t)
+	}
+	p := &Parser{toks: toks, file: file, typedefNames: map[string]bool{}, annotations: annotations}
+	for _, n := range knownTypedefs {
+		p.typedefNames[n] = true
+	}
+	tu := &cast.TranslationUnit{File: file, Annotations: annotations}
+	for !p.atEnd() {
+		start := p.pos
+		d := p.parseTopLevel()
+		if d != nil {
+			tu.Decls = append(tu.Decls, d)
+		}
+		if p.pos == start {
+			// Ensure progress even on malformed input.
+			p.errorf(p.cur().Pos, "unexpected token %s", p.cur())
+			p.pos++
+		}
+	}
+	var err error
+	if all := append(lx.Errors(), p.errs...); len(all) > 0 {
+		msgs := make([]string, 0, len(all))
+		for _, e := range all {
+			msgs = append(msgs, e.Error())
+		}
+		err = errors.New(strings.Join(msgs, "\n"))
+	}
+	return tu, err
+}
+
+// parseAnnotation extracts an @pallas annotation from a comment token.
+func parseAnnotation(t ctok.Token) (cast.Annotation, bool) {
+	body := strings.TrimSpace(t.Text)
+	const marker = "@pallas:"
+	i := strings.Index(body, marker)
+	if i < 0 {
+		return cast.Annotation{}, false
+	}
+	return cast.Annotation{Text: strings.TrimSpace(body[i+len(marker):]), P: t.Pos}, true
+}
+
+func (p *Parser) atEnd() bool { return p.pos >= len(p.toks) }
+
+func (p *Parser) cur() ctok.Token {
+	if p.atEnd() {
+		last := ctok.Pos{File: p.file}
+		if len(p.toks) > 0 {
+			last = p.toks[len(p.toks)-1].Pos
+		}
+		return ctok.Token{Kind: ctok.EOF, Pos: last}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *Parser) at(k ctok.Kind) bool { return p.cur().Kind == k }
+
+func (p *Parser) peekKind(n int) ctok.Kind {
+	if p.pos+n >= len(p.toks) {
+		return ctok.EOF
+	}
+	return p.toks[p.pos+n].Kind
+}
+
+func (p *Parser) next() ctok.Token {
+	t := p.cur()
+	if !p.atEnd() {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) accept(k ctok.Kind) bool {
+	if p.at(k) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k ctok.Kind) ctok.Token {
+	if p.at(k) {
+		return p.next()
+	}
+	p.errorf(p.cur().Pos, "expected %s, found %s", k, p.cur())
+	return ctok.Token{Kind: k, Pos: p.cur().Pos}
+}
+
+func (p *Parser) errorf(pos ctok.Pos, format string, args ...any) {
+	p.errs = append(p.errs, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+}
+
+// ---------------------------------------------------------------------------
+// Top level
+// ---------------------------------------------------------------------------
+
+func (p *Parser) parseTopLevel() cast.Decl {
+	switch p.cur().Kind {
+	case ctok.Semi:
+		p.next()
+		return nil
+	case ctok.KwTypedef:
+		return p.parseTypedef()
+	case ctok.KwStruct, ctok.KwUnion:
+		// struct definition or a declaration using a struct type
+		if p.isRecordDefinition() {
+			return p.parseRecordDecl()
+		}
+	case ctok.KwEnum:
+		if p.isEnumDefinition() {
+			return p.parseEnumDecl()
+		}
+	}
+	return p.parseDeclOrFunc()
+}
+
+// isRecordDefinition looks ahead for "struct tag? { ... } ;" at top level.
+func (p *Parser) isRecordDefinition() bool {
+	i := p.pos + 1 // after struct/union
+	if p.peekKind(1) == ctok.Ident {
+		i++
+	}
+	if i < len(p.toks) && p.toks[i].Kind == ctok.LBrace {
+		// It is a definition; it is a pure type definition if after the
+		// matching brace comes ';'. If a declarator follows, we still parse
+		// the record first and the declaration separately is unsupported —
+		// corpus code always separates them.
+		return true
+	}
+	return false
+}
+
+func (p *Parser) isEnumDefinition() bool {
+	i := p.pos + 1
+	if p.peekKind(1) == ctok.Ident {
+		i++
+	}
+	return i < len(p.toks) && p.toks[i].Kind == ctok.LBrace
+}
+
+func (p *Parser) parseTypedef() cast.Decl {
+	start := p.expect(ctok.KwTypedef).Pos
+	// typedef struct {...} name; or typedef struct tag name; or typedef base name;
+	if p.at(ctok.KwStruct) || p.at(ctok.KwUnion) {
+		union := p.cur().Kind == ctok.KwUnion
+		p.next()
+		tag := ""
+		if p.at(ctok.Ident) {
+			tag = p.next().Text
+		}
+		if p.at(ctok.LBrace) {
+			fields := p.parseFieldList()
+			name := p.expect(ctok.Ident).Text
+			p.expect(ctok.Semi)
+			p.typedefNames[name] = true
+			if tag == "" {
+				tag = name
+			}
+			// Emit the record and the typedef aliasing it.
+			rec := &cast.RecordDecl{Union: union, Name: tag, Fields: fields, P: start}
+			_ = rec
+			// Return a wrapper: since Parse returns one Decl per call, store
+			// the record via a synthetic two-decl trick: we return the record
+			// here and register the typedef name only (the alias has the same
+			// meaning for the checkers).
+			return rec
+		}
+		name := p.expect(ctok.Ident).Text
+		stars := 0
+		for p.accept(ctok.Star) {
+			stars++
+		}
+		if stars > 0 {
+			// typedef struct tag *name;
+			// name recorded; declaration shape uncommon in corpus
+		}
+		p.expect(ctok.Semi)
+		p.typedefNames[name] = true
+		kw := "struct "
+		if union {
+			kw = "union "
+		}
+		return &cast.TypedefDecl{Name: name, Type: cast.Type{Name: kw + tag, Stars: stars}, P: start}
+	}
+	ty := p.parseType()
+	name := p.expect(ctok.Ident).Text
+	p.expect(ctok.Semi)
+	p.typedefNames[name] = true
+	return &cast.TypedefDecl{Name: name, Type: ty, P: start}
+}
+
+func (p *Parser) parseRecordDecl() cast.Decl {
+	union := p.cur().Kind == ctok.KwUnion
+	start := p.next().Pos // struct / union
+	name := ""
+	if p.at(ctok.Ident) {
+		name = p.next().Text
+	}
+	fields := p.parseFieldList()
+	p.expect(ctok.Semi)
+	return &cast.RecordDecl{Union: union, Name: name, Fields: fields, P: start}
+}
+
+func (p *Parser) parseFieldList() []cast.Field {
+	p.expect(ctok.LBrace)
+	var fields []cast.Field
+	for !p.at(ctok.RBrace) && !p.atEnd() {
+		iterStart := p.pos
+		if p.accept(ctok.Semi) {
+			continue
+		}
+		ty := p.parseType()
+		// Function-pointer member: ret (*name)(params);
+		if p.at(ctok.LParen) && p.peekKind(1) == ctok.Star {
+			p.next() // (
+			p.next() // *
+			nameTok := p.expect(ctok.Ident)
+			p.expect(ctok.RParen)
+			p.parseParams() // parameter list of the pointed-to type
+			p.expect(ctok.Semi)
+			fields = append(fields, cast.Field{
+				Type: cast.Type{Name: "fnptr " + ty.String(), Stars: 1},
+				Name: nameTok.Text, P: nameTok.Pos,
+			})
+			continue
+		}
+		for {
+			fty := ty
+			for p.accept(ctok.Star) {
+				fty.Stars++
+			}
+			nameTok := p.expect(ctok.Ident)
+			for p.accept(ctok.LBracket) {
+				if p.at(ctok.IntLit) {
+					n, _ := strconv.Atoi(p.next().Text)
+					fty.ArrayLens = append(fty.ArrayLens, n)
+				} else if id := p.cur(); id.Kind == ctok.Ident {
+					p.next()
+					fty.ArrayLens = append(fty.ArrayLens, -1)
+				} else {
+					fty.ArrayLens = append(fty.ArrayLens, -1)
+				}
+				p.expect(ctok.RBracket)
+			}
+			bits := 0
+			if p.accept(ctok.Colon) {
+				bt := p.expect(ctok.IntLit)
+				bits, _ = strconv.Atoi(bt.Text)
+			}
+			fields = append(fields, cast.Field{Type: fty, Name: nameTok.Text, Bits: bits, P: nameTok.Pos})
+			if !p.accept(ctok.Comma) {
+				break
+			}
+		}
+		p.expect(ctok.Semi)
+		// Progress guard: on malformed members (e.g. a stray '(' where the
+		// diagnosed expect calls consumed nothing) skip one token so the
+		// list cannot loop forever.
+		if p.pos == iterStart {
+			p.pos++
+		}
+	}
+	p.expect(ctok.RBrace)
+	return fields
+}
+
+func (p *Parser) parseEnumDecl() cast.Decl {
+	start := p.expect(ctok.KwEnum).Pos
+	name := ""
+	if p.at(ctok.Ident) {
+		name = p.next().Text
+	}
+	p.expect(ctok.LBrace)
+	var members []cast.EnumMember
+	next := int64(0)
+	for !p.at(ctok.RBrace) && !p.atEnd() {
+		mt := p.expect(ctok.Ident)
+		val := next
+		if p.accept(ctok.Assign) {
+			e := p.parseConditional()
+			if v, ok := EvalConstExpr(e, members); ok {
+				val = v
+			}
+		}
+		members = append(members, cast.EnumMember{Name: mt.Text, Value: val, P: mt.Pos})
+		next = val + 1
+		if !p.accept(ctok.Comma) {
+			break
+		}
+	}
+	p.expect(ctok.RBrace)
+	p.expect(ctok.Semi)
+	return &cast.EnumDecl{Name: name, Members: members, P: start}
+}
+
+// EvalConstExpr evaluates a constant integer expression using previously seen
+// enum members for name resolution. Used for enum values and array sizes.
+func EvalConstExpr(e cast.Expr, members []cast.EnumMember) (int64, bool) {
+	switch x := e.(type) {
+	case *cast.IntExpr:
+		return x.Value, true
+	case *cast.IdentExpr:
+		for _, m := range members {
+			if m.Name == x.Name {
+				return m.Value, true
+			}
+		}
+		return 0, false
+	case *cast.UnaryExpr:
+		v, ok := EvalConstExpr(x.X, members)
+		if !ok {
+			return 0, false
+		}
+		switch x.Op {
+		case ctok.Minus:
+			return -v, true
+		case ctok.Plus:
+			return v, true
+		case ctok.Tilde:
+			return ^v, true
+		case ctok.Not:
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+		return 0, false
+	case *cast.BinaryExpr:
+		l, ok1 := EvalConstExpr(x.L, members)
+		r, ok2 := EvalConstExpr(x.R, members)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		switch x.Op {
+		case ctok.Plus:
+			return l + r, true
+		case ctok.Minus:
+			return l - r, true
+		case ctok.Star:
+			return l * r, true
+		case ctok.Slash:
+			if r == 0 {
+				return 0, false
+			}
+			return l / r, true
+		case ctok.Percent:
+			if r == 0 {
+				return 0, false
+			}
+			return l % r, true
+		case ctok.Shl:
+			return l << uint(r), true
+		case ctok.Shr:
+			return l >> uint(r), true
+		case ctok.Amp:
+			return l & r, true
+		case ctok.Pipe:
+			return l | r, true
+		case ctok.Caret:
+			return l ^ r, true
+		}
+		return 0, false
+	case *cast.CastExpr:
+		return EvalConstExpr(x.X, members)
+	}
+	return 0, false
+}
+
+// parseDeclOrFunc parses a global variable or a function definition/prototype.
+func (p *Parser) parseDeclOrFunc() cast.Decl {
+	start := p.cur().Pos
+	var static, ext, inline bool
+	for {
+		switch p.cur().Kind {
+		case ctok.KwStatic:
+			static = true
+			p.next()
+			continue
+		case ctok.KwExtern:
+			ext = true
+			p.next()
+			continue
+		case ctok.KwInline:
+			inline = true
+			p.next()
+			continue
+		case ctok.KwRegister, ctok.KwAuto, ctok.KwVolatile:
+			p.next()
+			continue
+		}
+		break
+	}
+	ty := p.parseType()
+	for p.accept(ctok.Star) {
+		ty.Stars++
+	}
+	nameTok := p.expect(ctok.Ident)
+
+	if p.at(ctok.LParen) {
+		params, varargs := p.parseParams()
+		if p.at(ctok.LBrace) {
+			body := p.parseCompound()
+			return &cast.FuncDecl{Ret: ty, Name: nameTok.Text, Params: params,
+				Varargs: varargs, Body: body, Static: static, Inline: inline, P: start}
+		}
+		p.expect(ctok.Semi)
+		return &cast.FuncDecl{Ret: ty, Name: nameTok.Text, Params: params,
+			Varargs: varargs, Static: static, Inline: inline, P: start}
+	}
+
+	// Global variable (possibly with array dims and initializer).
+	for p.accept(ctok.LBracket) {
+		if p.at(ctok.IntLit) {
+			n, _ := strconv.Atoi(p.next().Text)
+			ty.ArrayLens = append(ty.ArrayLens, n)
+		} else {
+			ty.ArrayLens = append(ty.ArrayLens, -1)
+		}
+		p.expect(ctok.RBracket)
+	}
+	var init cast.Expr
+	if p.accept(ctok.Assign) {
+		init = p.parseInitializer()
+	}
+	p.expect(ctok.Semi)
+	return &cast.VarDecl{Type: ty, Name: nameTok.Text, Init: init, Static: static, Extern: ext, P: start}
+}
+
+func (p *Parser) parseParams() ([]cast.Param, bool) {
+	p.expect(ctok.LParen)
+	var params []cast.Param
+	varargs := false
+	if p.accept(ctok.RParen) {
+		return params, false
+	}
+	// (void)
+	if p.at(ctok.KwVoid) && p.peekKind(1) == ctok.RParen {
+		p.next()
+		p.next()
+		return params, false
+	}
+	for {
+		if p.accept(ctok.Ellipsis) {
+			varargs = true
+			break
+		}
+		ty := p.parseType()
+		for p.accept(ctok.Star) {
+			ty.Stars++
+		}
+		name := ""
+		pos := p.cur().Pos
+		if p.at(ctok.Ident) {
+			name = p.next().Text
+		}
+		for p.accept(ctok.LBracket) {
+			if p.at(ctok.IntLit) {
+				n, _ := strconv.Atoi(p.next().Text)
+				ty.ArrayLens = append(ty.ArrayLens, n)
+			} else {
+				ty.ArrayLens = append(ty.ArrayLens, -1)
+			}
+			p.expect(ctok.RBracket)
+		}
+		params = append(params, cast.Param{Type: ty, Name: name, P: pos})
+		if !p.accept(ctok.Comma) {
+			break
+		}
+	}
+	p.expect(ctok.RParen)
+	return params, varargs
+}
+
+// ---------------------------------------------------------------------------
+// Types
+// ---------------------------------------------------------------------------
+
+// typeStarts reports whether the current token can start a type.
+func (p *Parser) typeStarts() bool {
+	switch p.cur().Kind {
+	case ctok.KwVoid, ctok.KwChar, ctok.KwShort, ctok.KwInt, ctok.KwLong,
+		ctok.KwFloat, ctok.KwDouble, ctok.KwSigned, ctok.KwUnsigned,
+		ctok.KwStruct, ctok.KwUnion, ctok.KwEnum, ctok.KwConst, ctok.KwVolatile:
+		return true
+	case ctok.Ident:
+		return p.typedefNames[p.cur().Text]
+	}
+	return false
+}
+
+// parseType parses a type specifier (without trailing stars, which callers
+// consume so that "int *a, b" style declarations stay correct per declarator).
+func (p *Parser) parseType() cast.Type {
+	var ty cast.Type
+	var words []string
+	for {
+		switch p.cur().Kind {
+		case ctok.KwConst:
+			ty.Const = true
+			p.next()
+			continue
+		case ctok.KwVolatile:
+			p.next()
+			continue
+		case ctok.KwStruct, ctok.KwUnion:
+			kw := p.next().Text
+			tag := p.expect(ctok.Ident).Text
+			words = append(words, kw+" "+tag)
+			ty.Name = strings.Join(words, " ")
+			return ty
+		case ctok.KwEnum:
+			p.next()
+			tag := p.expect(ctok.Ident).Text
+			words = append(words, "enum "+tag)
+			ty.Name = strings.Join(words, " ")
+			return ty
+		case ctok.KwVoid, ctok.KwChar, ctok.KwShort, ctok.KwInt, ctok.KwLong,
+			ctok.KwFloat, ctok.KwDouble, ctok.KwSigned, ctok.KwUnsigned:
+			words = append(words, p.next().Text)
+			continue
+		case ctok.Ident:
+			if len(words) == 0 && p.typedefNames[p.cur().Text] {
+				words = append(words, p.next().Text)
+			}
+		}
+		break
+	}
+	if len(words) == 0 {
+		p.errorf(p.cur().Pos, "expected type, found %s", p.cur())
+		words = []string{"int"}
+	}
+	ty.Name = strings.Join(words, " ")
+	return ty
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+func (p *Parser) parseCompound() *cast.CompoundStmt {
+	start := p.expect(ctok.LBrace).Pos
+	cs := &cast.CompoundStmt{P: start}
+	for !p.at(ctok.RBrace) && !p.atEnd() {
+		before := p.pos
+		s := p.parseStmt()
+		if s != nil {
+			cs.Stmts = append(cs.Stmts, s)
+		}
+		if p.pos == before {
+			p.errorf(p.cur().Pos, "cannot parse statement at %s", p.cur())
+			p.pos++
+		}
+	}
+	p.expect(ctok.RBrace)
+	return cs
+}
+
+func (p *Parser) parseStmt() cast.Stmt {
+	t := p.cur()
+	switch t.Kind {
+	case ctok.LBrace:
+		return p.parseCompound()
+	case ctok.Semi:
+		p.next()
+		return &cast.EmptyStmt{P: t.Pos}
+	case ctok.KwIf:
+		return p.parseIf()
+	case ctok.KwWhile:
+		return p.parseWhile()
+	case ctok.KwDo:
+		return p.parseDoWhile()
+	case ctok.KwFor:
+		return p.parseFor()
+	case ctok.KwSwitch:
+		return p.parseSwitch()
+	case ctok.KwReturn:
+		p.next()
+		var x cast.Expr
+		if !p.at(ctok.Semi) {
+			x = p.parseExpr()
+		}
+		p.expect(ctok.Semi)
+		return &cast.ReturnStmt{X: x, P: t.Pos}
+	case ctok.KwBreak:
+		p.next()
+		p.expect(ctok.Semi)
+		return &cast.BreakStmt{P: t.Pos}
+	case ctok.KwContinue:
+		p.next()
+		p.expect(ctok.Semi)
+		return &cast.ContinueStmt{P: t.Pos}
+	case ctok.KwGoto:
+		p.next()
+		lbl := p.expect(ctok.Ident)
+		p.expect(ctok.Semi)
+		return &cast.GotoStmt{Label: lbl.Text, P: t.Pos}
+	case ctok.Ident:
+		// Label?
+		if p.peekKind(1) == ctok.Colon {
+			name := p.next().Text
+			p.next() // colon
+			if p.at(ctok.RBrace) || p.at(ctok.KwCase) || p.at(ctok.KwDefault) {
+				return &cast.LabelStmt{Name: name, P: t.Pos}
+			}
+			inner := p.parseStmt()
+			return &cast.LabelStmt{Name: name, Stmt: inner, P: t.Pos}
+		}
+	case ctok.KwStatic, ctok.KwConst, ctok.KwVolatile, ctok.KwRegister:
+		return p.parseLocalDecl()
+	}
+	if p.typeStarts() && p.declLookahead() {
+		return p.parseLocalDecl()
+	}
+	// Expression statement.
+	x := p.parseExpr()
+	p.expect(ctok.Semi)
+	return &cast.ExprStmt{X: x, P: t.Pos}
+}
+
+// declLookahead disambiguates "T x" declarations from expressions that begin
+// with a typedef name (e.g. a call "size(x)" where size is not a typedef).
+func (p *Parser) declLookahead() bool {
+	if p.cur().Kind != ctok.Ident {
+		return true // real type keyword
+	}
+	// typedef-name followed by ident or '*' ident → declaration
+	i := p.pos + 1
+	stars := 0
+	for i < len(p.toks) && p.toks[i].Kind == ctok.Star {
+		stars++
+		i++
+	}
+	if i < len(p.toks) && p.toks[i].Kind == ctok.Ident {
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseLocalDecl() cast.Stmt {
+	start := p.cur().Pos
+	for p.at(ctok.KwStatic) || p.at(ctok.KwRegister) || p.at(ctok.KwVolatile) {
+		p.next()
+	}
+	ty := p.parseType()
+	// First declarator.
+	first := ty
+	for p.accept(ctok.Star) {
+		first.Stars++
+	}
+	nameTok := p.expect(ctok.Ident)
+	for p.accept(ctok.LBracket) {
+		if p.at(ctok.IntLit) {
+			n, _ := strconv.Atoi(p.next().Text)
+			first.ArrayLens = append(first.ArrayLens, n)
+		} else {
+			first.ArrayLens = append(first.ArrayLens, -1)
+		}
+		p.expect(ctok.RBracket)
+	}
+	var init cast.Expr
+	if p.accept(ctok.Assign) {
+		init = p.parseInitializer()
+	}
+	decl := &cast.DeclStmt{Type: first, Name: nameTok.Text, Init: init, P: start}
+	if !p.at(ctok.Comma) {
+		p.expect(ctok.Semi)
+		return decl
+	}
+	// Multiple declarators become a synthetic compound statement that the CFG
+	// flattens; each keeps its own type/pointer depth.
+	group := &cast.CompoundStmt{P: start, Stmts: []cast.Stmt{decl}}
+	for p.accept(ctok.Comma) {
+		dty := ty
+		for p.accept(ctok.Star) {
+			dty.Stars++
+		}
+		nt := p.expect(ctok.Ident)
+		for p.accept(ctok.LBracket) {
+			if p.at(ctok.IntLit) {
+				n, _ := strconv.Atoi(p.next().Text)
+				dty.ArrayLens = append(dty.ArrayLens, n)
+			} else {
+				dty.ArrayLens = append(dty.ArrayLens, -1)
+			}
+			p.expect(ctok.RBracket)
+		}
+		var di cast.Expr
+		if p.accept(ctok.Assign) {
+			di = p.parseInitializer()
+		}
+		group.Stmts = append(group.Stmts, &cast.DeclStmt{Type: dty, Name: nt.Text, Init: di, P: nt.Pos})
+	}
+	p.expect(ctok.Semi)
+	return group
+}
+
+func (p *Parser) parseInitializer() cast.Expr {
+	if p.at(ctok.LBrace) {
+		start := p.next().Pos
+		il := &cast.InitListExpr{P: start}
+		for !p.at(ctok.RBrace) && !p.atEnd() {
+			// Skip designators: .field = / [i] =
+			if p.accept(ctok.Dot) {
+				p.expect(ctok.Ident)
+				p.expect(ctok.Assign)
+			}
+			il.Elems = append(il.Elems, p.parseInitializer())
+			if !p.accept(ctok.Comma) {
+				break
+			}
+		}
+		p.expect(ctok.RBrace)
+		return il
+	}
+	return p.parseAssignExpr()
+}
+
+func (p *Parser) parseIf() cast.Stmt {
+	start := p.expect(ctok.KwIf).Pos
+	p.expect(ctok.LParen)
+	cond := p.parseExpr()
+	p.expect(ctok.RParen)
+	then := p.parseStmt()
+	var els cast.Stmt
+	if p.accept(ctok.KwElse) {
+		els = p.parseStmt()
+	}
+	return &cast.IfStmt{Cond: cond, Then: then, Else: els, P: start}
+}
+
+func (p *Parser) parseWhile() cast.Stmt {
+	start := p.expect(ctok.KwWhile).Pos
+	p.expect(ctok.LParen)
+	cond := p.parseExpr()
+	p.expect(ctok.RParen)
+	body := p.parseStmt()
+	return &cast.WhileStmt{Cond: cond, Body: body, P: start}
+}
+
+func (p *Parser) parseDoWhile() cast.Stmt {
+	start := p.expect(ctok.KwDo).Pos
+	body := p.parseStmt()
+	p.expect(ctok.KwWhile)
+	p.expect(ctok.LParen)
+	cond := p.parseExpr()
+	p.expect(ctok.RParen)
+	p.expect(ctok.Semi)
+	return &cast.DoWhileStmt{Body: body, Cond: cond, P: start}
+}
+
+func (p *Parser) parseFor() cast.Stmt {
+	start := p.expect(ctok.KwFor).Pos
+	p.expect(ctok.LParen)
+	var init cast.Stmt
+	if !p.at(ctok.Semi) {
+		if p.typeStarts() && p.declLookahead() {
+			init = p.parseLocalDecl() // consumes ';'
+		} else {
+			x := p.parseExpr()
+			init = &cast.ExprStmt{X: x, P: x.Pos()}
+			p.expect(ctok.Semi)
+		}
+	} else {
+		p.expect(ctok.Semi)
+	}
+	var cond cast.Expr
+	if !p.at(ctok.Semi) {
+		cond = p.parseExpr()
+	}
+	p.expect(ctok.Semi)
+	var post cast.Expr
+	if !p.at(ctok.RParen) {
+		post = p.parseExpr()
+	}
+	p.expect(ctok.RParen)
+	body := p.parseStmt()
+	return &cast.ForStmt{Init: init, Cond: cond, Post: post, Body: body, P: start}
+}
+
+func (p *Parser) parseSwitch() cast.Stmt {
+	start := p.expect(ctok.KwSwitch).Pos
+	p.expect(ctok.LParen)
+	tag := p.parseExpr()
+	p.expect(ctok.RParen)
+	p.expect(ctok.LBrace)
+	sw := &cast.SwitchStmt{Tag: tag, P: start}
+	var cur *cast.CaseClause
+	for !p.at(ctok.RBrace) && !p.atEnd() {
+		switch p.cur().Kind {
+		case ctok.KwCase:
+			pos := p.next().Pos
+			v := p.parseConditional()
+			p.expect(ctok.Colon)
+			if cur != nil && len(cur.Body) == 0 {
+				// fallthrough label stacking: case A: case B: body
+				cur.Values = append(cur.Values, v)
+				continue
+			}
+			cur = &cast.CaseClause{Values: []cast.Expr{v}, P: pos}
+			sw.Cases = append(sw.Cases, cur)
+		case ctok.KwDefault:
+			pos := p.next().Pos
+			p.expect(ctok.Colon)
+			cur = &cast.CaseClause{Values: nil, P: pos}
+			sw.Cases = append(sw.Cases, cur)
+		default:
+			s := p.parseStmt()
+			if cur == nil {
+				p.errorf(s.Pos(), "statement before first case in switch")
+				cur = &cast.CaseClause{P: s.Pos()}
+				sw.Cases = append(sw.Cases, cur)
+			}
+			cur.Body = append(cur.Body, s)
+		}
+	}
+	p.expect(ctok.RBrace)
+	return sw
+}
+
+// ---------------------------------------------------------------------------
+// Expressions (precedence climbing)
+// ---------------------------------------------------------------------------
+
+// parseExpr parses a full expression including the comma operator.
+func (p *Parser) parseExpr() cast.Expr {
+	e := p.parseAssignExpr()
+	for p.at(ctok.Comma) {
+		pos := p.next().Pos
+		r := p.parseAssignExpr()
+		e = &cast.CommaExpr{L: e, R: r, P: pos}
+	}
+	return e
+}
+
+func (p *Parser) parseAssignExpr() cast.Expr {
+	l := p.parseConditional()
+	if p.cur().Kind.IsAssign() {
+		op := p.next()
+		r := p.parseAssignExpr()
+		return &cast.AssignExpr{Op: op.Kind, L: l, R: r, P: op.Pos}
+	}
+	return l
+}
+
+func (p *Parser) parseConditional() cast.Expr {
+	cond := p.parseBinary(0)
+	if p.at(ctok.Question) {
+		pos := p.next().Pos
+		then := p.parseExpr()
+		p.expect(ctok.Colon)
+		els := p.parseConditional()
+		return &cast.CondExpr{Cond: cond, Then: then, Else: els, P: pos}
+	}
+	return cond
+}
+
+// binary operator precedence, higher binds tighter.
+func binPrec(k ctok.Kind) int {
+	switch k {
+	case ctok.OrOr:
+		return 1
+	case ctok.AndAnd:
+		return 2
+	case ctok.Pipe:
+		return 3
+	case ctok.Caret:
+		return 4
+	case ctok.Amp:
+		return 5
+	case ctok.EqEq, ctok.NotEq:
+		return 6
+	case ctok.Lt, ctok.Gt, ctok.Le, ctok.Ge:
+		return 7
+	case ctok.Shl, ctok.Shr:
+		return 8
+	case ctok.Plus, ctok.Minus:
+		return 9
+	case ctok.Star, ctok.Slash, ctok.Percent:
+		return 10
+	}
+	return 0
+}
+
+func (p *Parser) parseBinary(minPrec int) cast.Expr {
+	l := p.parseUnary()
+	for {
+		prec := binPrec(p.cur().Kind)
+		if prec == 0 || prec < minPrec {
+			return l
+		}
+		op := p.next()
+		r := p.parseBinary(prec + 1)
+		l = &cast.BinaryExpr{Op: op.Kind, L: l, R: r, P: op.Pos}
+	}
+}
+
+func (p *Parser) parseUnary() cast.Expr {
+	t := p.cur()
+	switch t.Kind {
+	case ctok.Not, ctok.Tilde, ctok.Minus, ctok.Plus, ctok.Star, ctok.Amp:
+		p.next()
+		x := p.parseUnary()
+		return &cast.UnaryExpr{Op: t.Kind, X: x, P: t.Pos}
+	case ctok.Inc, ctok.Dec:
+		p.next()
+		x := p.parseUnary()
+		return &cast.UnaryExpr{Op: t.Kind, X: x, P: t.Pos}
+	case ctok.KwSizeof:
+		p.next()
+		if p.at(ctok.LParen) && p.isTypeInParens() {
+			p.expect(ctok.LParen)
+			ty := p.parseType()
+			for p.accept(ctok.Star) {
+				ty.Stars++
+			}
+			p.expect(ctok.RParen)
+			return &cast.SizeofTypeExpr{Type: ty, P: t.Pos}
+		}
+		x := p.parseUnary()
+		return &cast.UnaryExpr{Op: ctok.KwSizeof, X: x, P: t.Pos}
+	case ctok.LParen:
+		if p.isTypeInParens() {
+			p.next()
+			ty := p.parseType()
+			for p.accept(ctok.Star) {
+				ty.Stars++
+			}
+			p.expect(ctok.RParen)
+			x := p.parseUnary()
+			return &cast.CastExpr{Type: ty, X: x, P: t.Pos}
+		}
+	}
+	return p.parsePostfix()
+}
+
+// isTypeInParens checks whether '(' begins a cast / sizeof(type).
+func (p *Parser) isTypeInParens() bool {
+	if !p.at(ctok.LParen) {
+		return false
+	}
+	k := p.peekKind(1)
+	switch k {
+	case ctok.KwVoid, ctok.KwChar, ctok.KwShort, ctok.KwInt, ctok.KwLong,
+		ctok.KwFloat, ctok.KwDouble, ctok.KwSigned, ctok.KwUnsigned,
+		ctok.KwStruct, ctok.KwUnion, ctok.KwEnum, ctok.KwConst:
+		return true
+	case ctok.Ident:
+		if p.pos+1 < len(p.toks) && p.typedefNames[p.toks[p.pos+1].Text] {
+			// "(name)" is a cast only if followed by * or ) then an operand;
+			// approximate: treat "(typedef_name" as cast when next is * or ).
+			k2 := p.peekKind(2)
+			return k2 == ctok.Star || k2 == ctok.RParen
+		}
+	}
+	return false
+}
+
+func (p *Parser) parsePostfix() cast.Expr {
+	e := p.parsePrimary()
+	for {
+		t := p.cur()
+		switch t.Kind {
+		case ctok.LParen:
+			p.next()
+			call := &cast.CallExpr{Fun: e, P: t.Pos}
+			for !p.at(ctok.RParen) && !p.atEnd() {
+				call.Args = append(call.Args, p.parseAssignExpr())
+				if !p.accept(ctok.Comma) {
+					break
+				}
+			}
+			p.expect(ctok.RParen)
+			e = call
+		case ctok.LBracket:
+			p.next()
+			idx := p.parseExpr()
+			p.expect(ctok.RBracket)
+			e = &cast.IndexExpr{X: e, Index: idx, P: t.Pos}
+		case ctok.Dot:
+			p.next()
+			f := p.expect(ctok.Ident)
+			e = &cast.MemberExpr{X: e, Field: f.Text, P: t.Pos}
+		case ctok.Arrow:
+			p.next()
+			f := p.expect(ctok.Ident)
+			e = &cast.MemberExpr{X: e, Field: f.Text, Arrow: true, P: t.Pos}
+		case ctok.Inc, ctok.Dec:
+			p.next()
+			e = &cast.PostfixExpr{Op: t.Kind, X: e, P: t.Pos}
+		default:
+			return e
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() cast.Expr {
+	t := p.cur()
+	switch t.Kind {
+	case ctok.Ident:
+		p.next()
+		return &cast.IdentExpr{Name: t.Text, P: t.Pos}
+	case ctok.IntLit:
+		p.next()
+		return &cast.IntExpr{Text: t.Text, Value: parseIntText(t.Text), P: t.Pos}
+	case ctok.FloatLit:
+		p.next()
+		return &cast.FloatExpr{Text: t.Text, P: t.Pos}
+	case ctok.StringLit:
+		p.next()
+		// Adjacent string literal concatenation.
+		val := t.Text
+		for p.at(ctok.StringLit) {
+			val += p.next().Text
+		}
+		return &cast.StrExpr{Value: val, P: t.Pos}
+	case ctok.CharLit:
+		p.next()
+		return &cast.CharExpr{Value: t.Text, P: t.Pos}
+	case ctok.LParen:
+		p.next()
+		e := p.parseExpr()
+		p.expect(ctok.RParen)
+		return e
+	}
+	p.errorf(t.Pos, "expected expression, found %s", t)
+	p.next()
+	return &cast.IntExpr{Text: "0", Value: 0, P: t.Pos}
+}
+
+func parseIntText(text string) int64 {
+	s := strings.TrimRight(text, "uUlL")
+	var v int64
+	var err error
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		var u uint64
+		u, err = strconv.ParseUint(s[2:], 16, 64)
+		v = int64(u)
+	} else if len(s) > 1 && s[0] == '0' {
+		v, err = strconv.ParseInt(s[1:], 8, 64)
+	} else {
+		v, err = strconv.ParseInt(s, 10, 64)
+	}
+	if err != nil {
+		return 0
+	}
+	return v
+}

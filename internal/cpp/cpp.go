@@ -1,0 +1,676 @@
+// Package cpp implements the small C preprocessor used by the Pallas
+// front-end. The paper's toolchain "combines the source codes of the target
+// fast path and the relevant header files into a single large file" before
+// analysis; Merge does exactly that: it resolves #include against a set of
+// search roots (each file included once), expands object-like and simple
+// function-like #define macros, and evaluates #if/#ifdef conditionals.
+package cpp
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Source abstracts where included files come from, so corpora can live either
+// on disk or in memory.
+type Source interface {
+	// Load returns the contents of the named file, or an error.
+	Load(name string) (string, error)
+}
+
+// FileSource loads includes relative to a list of directories.
+type FileSource struct{ Dirs []string }
+
+// Load implements Source.
+func (fs FileSource) Load(name string) (string, error) {
+	for _, d := range fs.Dirs {
+		b, err := os.ReadFile(filepath.Join(d, name))
+		if err == nil {
+			return string(b), nil
+		}
+	}
+	return "", fmt.Errorf("include not found: %s", name)
+}
+
+// MapSource serves includes from an in-memory map (used by the corpus).
+type MapSource map[string]string
+
+// Load implements Source.
+func (m MapSource) Load(name string) (string, error) {
+	if s, ok := m[name]; ok {
+		return s, nil
+	}
+	return "", fmt.Errorf("include not found: %s", name)
+}
+
+// Macro is one #define.
+type Macro struct {
+	Name   string
+	Params []string // nil for object-like macros
+	Body   string
+	FnLike bool
+}
+
+// Preprocessor holds macro and include state across files.
+type Preprocessor struct {
+	src      Source
+	macros   map[string]Macro
+	included map[string]bool
+	errs     []error
+	depth    int
+}
+
+// MaxIncludeDepth bounds nested includes.
+const MaxIncludeDepth = 64
+
+// New returns a preprocessor reading includes from src (may be nil when the
+// input has no includes).
+func New(src Source) *Preprocessor {
+	return &Preprocessor{src: src, macros: map[string]Macro{}, included: map[string]bool{}}
+}
+
+// Define installs a predefined object-like macro (e.g. CONFIG_ options).
+func (pp *Preprocessor) Define(name, body string) {
+	pp.macros[name] = Macro{Name: name, Body: body}
+}
+
+// Errors reports the diagnostics accumulated so far.
+func (pp *Preprocessor) Errors() []error { return pp.errs }
+
+func (pp *Preprocessor) errorf(file string, line int, format string, args ...any) {
+	pp.errs = append(pp.errs, fmt.Errorf("%s:%d: %s", file, line, fmt.Sprintf(format, args...)))
+}
+
+// Merge preprocesses the named file and every file it includes into a single
+// translation unit, annotated with `#line`-free plain text (positions keep
+// the merged line numbering; the front-end reports the merged file name).
+func (pp *Preprocessor) Merge(file string) (string, error) {
+	text, err := pp.src.Load(file)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	pp.process(file, text, &sb)
+	if len(pp.errs) > 0 {
+		return sb.String(), pp.errs[0]
+	}
+	return sb.String(), nil
+}
+
+// MergeText preprocesses the given text directly (no initial file load).
+func (pp *Preprocessor) MergeText(file, text string) (string, error) {
+	var sb strings.Builder
+	pp.process(file, text, &sb)
+	if len(pp.errs) > 0 {
+		return sb.String(), pp.errs[0]
+	}
+	return sb.String(), nil
+}
+
+// condState tracks one #if level.
+type condState struct {
+	active    bool // this branch taken
+	everTaken bool // some branch at this level taken
+	parentOn  bool
+}
+
+func (pp *Preprocessor) process(file, text string, out *strings.Builder) {
+	if pp.depth >= MaxIncludeDepth {
+		pp.errorf(file, 0, "include depth exceeds %d", MaxIncludeDepth)
+		return
+	}
+	pp.depth++
+	defer func() { pp.depth-- }()
+
+	lines := splitLogicalLines(text)
+	var conds []condState
+	on := func() bool {
+		for _, c := range conds {
+			if !c.active {
+				return false
+			}
+		}
+		return true
+	}
+
+	for i := 0; i < len(lines); i++ {
+		line := lines[i].text
+		lineno := lines[i].line
+		trim := strings.TrimSpace(line)
+		if strings.HasPrefix(trim, "#") {
+			dir, rest := splitDirective(trim)
+			switch dir {
+			case "include":
+				if !on() {
+					continue
+				}
+				name := parseIncludeName(rest)
+				if name == "" {
+					pp.errorf(file, lineno, "malformed #include %q", rest)
+					continue
+				}
+				if pp.included[name] {
+					continue
+				}
+				pp.included[name] = true
+				if pp.src == nil {
+					pp.errorf(file, lineno, "no include source configured for %q", name)
+					continue
+				}
+				inc, err := pp.src.Load(name)
+				if err != nil {
+					// System headers (<...>) missing is tolerated: kernel-style
+					// corpus code does not need libc headers.
+					if strings.HasPrefix(strings.TrimSpace(rest), "<") {
+						continue
+					}
+					pp.errorf(file, lineno, "%v", err)
+					continue
+				}
+				pp.process(name, inc, out)
+			case "define":
+				if !on() {
+					continue
+				}
+				pp.parseDefine(file, lineno, rest)
+			case "undef":
+				if !on() {
+					continue
+				}
+				delete(pp.macros, strings.TrimSpace(rest))
+			case "ifdef":
+				name := strings.TrimSpace(rest)
+				_, def := pp.macros[name]
+				conds = append(conds, condState{active: def, everTaken: def, parentOn: on()})
+			case "ifndef":
+				name := strings.TrimSpace(rest)
+				_, def := pp.macros[name]
+				conds = append(conds, condState{active: !def, everTaken: !def, parentOn: on()})
+			case "if":
+				v := pp.evalCondition(file, lineno, rest)
+				conds = append(conds, condState{active: v, everTaken: v, parentOn: on()})
+			case "elif":
+				if len(conds) == 0 {
+					pp.errorf(file, lineno, "#elif without #if")
+					continue
+				}
+				top := &conds[len(conds)-1]
+				if top.everTaken {
+					top.active = false
+				} else {
+					v := pp.evalCondition(file, lineno, rest)
+					top.active = v
+					top.everTaken = v
+				}
+			case "else":
+				if len(conds) == 0 {
+					pp.errorf(file, lineno, "#else without #if")
+					continue
+				}
+				top := &conds[len(conds)-1]
+				top.active = !top.everTaken
+				top.everTaken = true
+			case "endif":
+				if len(conds) == 0 {
+					pp.errorf(file, lineno, "#endif without #if")
+					continue
+				}
+				conds = conds[:len(conds)-1]
+			case "pragma", "error", "warning", "line":
+				// ignored
+			default:
+				pp.errorf(file, lineno, "unknown directive #%s", dir)
+			}
+			continue
+		}
+		if !on() {
+			continue
+		}
+		out.WriteString(pp.expand(line))
+		out.WriteString("\n")
+	}
+	if len(conds) > 0 {
+		pp.errorf(file, lines[len(lines)-1].line, "unterminated #if")
+	}
+}
+
+type logicalLine struct {
+	text string
+	line int
+}
+
+// splitLogicalLines splits text into lines, joining backslash continuations.
+func splitLogicalLines(text string) []logicalLine {
+	raw := strings.Split(text, "\n")
+	var out []logicalLine
+	for i := 0; i < len(raw); i++ {
+		start := i + 1
+		line := raw[i]
+		for strings.HasSuffix(line, "\\") && i+1 < len(raw) {
+			line = strings.TrimSuffix(line, "\\") + " " + raw[i+1]
+			i++
+		}
+		out = append(out, logicalLine{text: line, line: start})
+	}
+	return out
+}
+
+func splitDirective(trim string) (dir, rest string) {
+	s := strings.TrimSpace(strings.TrimPrefix(trim, "#"))
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' || s[i] == '\t' || s[i] == '(' {
+			if s[i] == '(' {
+				return s[:i], s[i:]
+			}
+			return s[:i], s[i+1:]
+		}
+	}
+	return s, ""
+}
+
+func parseIncludeName(rest string) string {
+	r := strings.TrimSpace(rest)
+	if len(r) >= 2 && (r[0] == '"' || r[0] == '<') {
+		closing := byte('"')
+		if r[0] == '<' {
+			closing = '>'
+		}
+		if j := strings.IndexByte(r[1:], closing); j >= 0 {
+			return r[1 : 1+j]
+		}
+	}
+	return ""
+}
+
+func (pp *Preprocessor) parseDefine(file string, line int, rest string) {
+	rest = strings.TrimLeft(rest, " \t")
+	i := 0
+	for i < len(rest) && (isIdentByte(rest[i]) || (i > 0 && rest[i] >= '0' && rest[i] <= '9')) {
+		i++
+	}
+	if i == 0 {
+		pp.errorf(file, line, "malformed #define")
+		return
+	}
+	name := rest[:i]
+	if i < len(rest) && rest[i] == '(' {
+		// function-like
+		j := strings.IndexByte(rest[i:], ')')
+		if j < 0 {
+			pp.errorf(file, line, "malformed function-like macro %s", name)
+			return
+		}
+		paramsText := rest[i+1 : i+j]
+		var params []string
+		for _, pn := range strings.Split(paramsText, ",") {
+			pn = strings.TrimSpace(pn)
+			if pn != "" {
+				params = append(params, pn)
+			}
+		}
+		body := strings.TrimSpace(rest[i+j+1:])
+		pp.macros[name] = Macro{Name: name, Params: params, Body: body, FnLike: true}
+		return
+	}
+	body := strings.TrimSpace(rest[i:])
+	pp.macros[name] = Macro{Name: name, Body: body}
+}
+
+func isIdentByte(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+func isIdentStartByte(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// expand performs macro expansion on one line of ordinary source text.
+func (pp *Preprocessor) expand(line string) string {
+	return pp.expandDepth(line, 0)
+}
+
+const maxExpandDepth = 16
+
+func (pp *Preprocessor) expandDepth(line string, depth int) string {
+	if depth > maxExpandDepth {
+		return line
+	}
+	var sb strings.Builder
+	i := 0
+	changed := false
+	for i < len(line) {
+		c := line[i]
+		// Skip string and char literals.
+		if c == '"' || c == '\'' {
+			q := c
+			sb.WriteByte(c)
+			i++
+			for i < len(line) {
+				sb.WriteByte(line[i])
+				if line[i] == '\\' && i+1 < len(line) {
+					i++
+					sb.WriteByte(line[i])
+					i++
+					continue
+				}
+				if line[i] == q {
+					i++
+					break
+				}
+				i++
+			}
+			continue
+		}
+		// Skip comments.
+		if c == '/' && i+1 < len(line) && line[i+1] == '/' {
+			sb.WriteString(line[i:])
+			break
+		}
+		if !isIdentStartByte(c) {
+			sb.WriteByte(c)
+			i++
+			continue
+		}
+		j := i
+		for j < len(line) && isIdentByte(line[j]) {
+			j++
+		}
+		word := line[i:j]
+		m, ok := pp.macros[word]
+		if !ok {
+			sb.WriteString(word)
+			i = j
+			continue
+		}
+		if !m.FnLike {
+			sb.WriteString(m.Body)
+			changed = true
+			i = j
+			continue
+		}
+		// Function-like: need "(...)" after (possibly with spaces).
+		k := j
+		for k < len(line) && (line[k] == ' ' || line[k] == '\t') {
+			k++
+		}
+		if k >= len(line) || line[k] != '(' {
+			sb.WriteString(word)
+			i = j
+			continue
+		}
+		args, end, ok2 := splitMacroArgs(line, k)
+		if !ok2 {
+			sb.WriteString(word)
+			i = j
+			continue
+		}
+		sb.WriteString(substituteParams(m, args))
+		changed = true
+		i = end
+	}
+	out := sb.String()
+	if changed {
+		return pp.expandDepth(out, depth+1)
+	}
+	return out
+}
+
+// splitMacroArgs parses "(a, b(c,d), e)" starting at the '(' index; returns
+// the top-level comma-separated arguments and the index just past ')'.
+func splitMacroArgs(line string, lp int) ([]string, int, bool) {
+	depth := 0
+	var args []string
+	var cur strings.Builder
+	i := lp
+	for ; i < len(line); i++ {
+		c := line[i]
+		switch c {
+		case '(':
+			depth++
+			if depth > 1 {
+				cur.WriteByte(c)
+			}
+		case ')':
+			depth--
+			if depth == 0 {
+				if s := strings.TrimSpace(cur.String()); s != "" || len(args) > 0 {
+					args = append(args, s)
+				}
+				return args, i + 1, true
+			}
+			cur.WriteByte(c)
+		case ',':
+			if depth == 1 {
+				args = append(args, strings.TrimSpace(cur.String()))
+				cur.Reset()
+			} else {
+				cur.WriteByte(c)
+			}
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	return nil, lp, false
+}
+
+// substituteParams textually replaces macro parameters with arguments.
+func substituteParams(m Macro, args []string) string {
+	body := m.Body
+	var sb strings.Builder
+	i := 0
+	for i < len(body) {
+		c := body[i]
+		if !isIdentStartByte(c) {
+			sb.WriteByte(c)
+			i++
+			continue
+		}
+		j := i
+		for j < len(body) && isIdentByte(body[j]) {
+			j++
+		}
+		word := body[i:j]
+		replaced := false
+		for pi, pn := range m.Params {
+			if pn == word {
+				if pi < len(args) {
+					sb.WriteString(args[pi])
+				}
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			sb.WriteString(word)
+		}
+		i = j
+	}
+	return sb.String()
+}
+
+// evalCondition evaluates a #if / #elif expression: integers, defined(X),
+// macro names (expanding to their numeric bodies), ! && || == != < > <= >=
+// and parentheses.
+func (pp *Preprocessor) evalCondition(file string, line int, expr string) bool {
+	p := &condParser{pp: pp, s: expr}
+	v := p.parseOr()
+	p.skipSpace()
+	if p.i < len(p.s) {
+		pp.errorf(file, line, "trailing junk in #if condition: %q", p.s[p.i:])
+	}
+	return v != 0
+}
+
+type condParser struct {
+	pp *Preprocessor
+	s  string
+	i  int
+}
+
+func (p *condParser) skipSpace() {
+	for p.i < len(p.s) && (p.s[p.i] == ' ' || p.s[p.i] == '\t') {
+		p.i++
+	}
+}
+
+func (p *condParser) parseOr() int64 {
+	v := p.parseAnd()
+	for {
+		p.skipSpace()
+		if strings.HasPrefix(p.s[p.i:], "||") {
+			p.i += 2
+			r := p.parseAnd()
+			if v != 0 || r != 0 {
+				v = 1
+			} else {
+				v = 0
+			}
+			continue
+		}
+		return v
+	}
+}
+
+func (p *condParser) parseAnd() int64 {
+	v := p.parseCmp()
+	for {
+		p.skipSpace()
+		if strings.HasPrefix(p.s[p.i:], "&&") {
+			p.i += 2
+			r := p.parseCmp()
+			if v != 0 && r != 0 {
+				v = 1
+			} else {
+				v = 0
+			}
+			continue
+		}
+		return v
+	}
+}
+
+func (p *condParser) parseCmp() int64 {
+	v := p.parsePrimary()
+	for {
+		p.skipSpace()
+		rest := p.s[p.i:]
+		var op string
+		for _, cand := range []string{"==", "!=", "<=", ">=", "<", ">"} {
+			if strings.HasPrefix(rest, cand) {
+				op = cand
+				break
+			}
+		}
+		if op == "" {
+			return v
+		}
+		p.i += len(op)
+		r := p.parsePrimary()
+		var b bool
+		switch op {
+		case "==":
+			b = v == r
+		case "!=":
+			b = v != r
+		case "<=":
+			b = v <= r
+		case ">=":
+			b = v >= r
+		case "<":
+			b = v < r
+		case ">":
+			b = v > r
+		}
+		if b {
+			v = 1
+		} else {
+			v = 0
+		}
+	}
+}
+
+func (p *condParser) parsePrimary() int64 {
+	p.skipSpace()
+	if p.i >= len(p.s) {
+		return 0
+	}
+	c := p.s[p.i]
+	if c == '!' {
+		p.i++
+		if p.parsePrimary() == 0 {
+			return 1
+		}
+		return 0
+	}
+	if c == '(' {
+		p.i++
+		v := p.parseOr()
+		p.skipSpace()
+		if p.i < len(p.s) && p.s[p.i] == ')' {
+			p.i++
+		}
+		return v
+	}
+	if c >= '0' && c <= '9' {
+		j := p.i
+		for j < len(p.s) && (isIdentByte(p.s[j])) {
+			j++
+		}
+		text := strings.TrimRight(p.s[p.i:j], "uUlL")
+		p.i = j
+		var v int64
+		if strings.HasPrefix(text, "0x") || strings.HasPrefix(text, "0X") {
+			u, _ := strconv.ParseUint(text[2:], 16, 64)
+			v = int64(u)
+		} else {
+			v, _ = strconv.ParseInt(text, 10, 64)
+		}
+		return v
+	}
+	if isIdentStartByte(c) {
+		j := p.i
+		for j < len(p.s) && isIdentByte(p.s[j]) {
+			j++
+		}
+		word := p.s[p.i:j]
+		p.i = j
+		if word == "defined" {
+			p.skipSpace()
+			paren := false
+			if p.i < len(p.s) && p.s[p.i] == '(' {
+				paren = true
+				p.i++
+				p.skipSpace()
+			}
+			k := p.i
+			for k < len(p.s) && isIdentByte(p.s[k]) {
+				k++
+			}
+			name := p.s[p.i:k]
+			p.i = k
+			if paren {
+				p.skipSpace()
+				if p.i < len(p.s) && p.s[p.i] == ')' {
+					p.i++
+				}
+			}
+			if _, ok := p.pp.macros[name]; ok {
+				return 1
+			}
+			return 0
+		}
+		if m, ok := p.pp.macros[word]; ok && !m.FnLike {
+			v, err := strconv.ParseInt(strings.TrimSpace(m.Body), 0, 64)
+			if err == nil {
+				return v
+			}
+			return 0
+		}
+		return 0 // undefined identifiers are 0 in #if
+	}
+	p.i++
+	return 0
+}

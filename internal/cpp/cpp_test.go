@@ -1,0 +1,215 @@
+package cpp
+
+import (
+	"strings"
+	"testing"
+)
+
+func merge(t *testing.T, files map[string]string, main string) string {
+	t.Helper()
+	pp := New(MapSource(files))
+	out, err := pp.Merge(main)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	return out
+}
+
+func TestIncludeMergedOnce(t *testing.T) {
+	out := merge(t, map[string]string{
+		"main.c": "#include \"a.h\"\n#include \"a.h\"\nint main_fn;\n",
+		"a.h":    "int from_a;\n",
+	}, "main.c")
+	if strings.Count(out, "from_a") != 1 {
+		t.Fatalf("header included more than once:\n%s", out)
+	}
+	if !strings.Contains(out, "main_fn") {
+		t.Fatalf("main body lost:\n%s", out)
+	}
+}
+
+func TestNestedIncludes(t *testing.T) {
+	out := merge(t, map[string]string{
+		"main.c": "#include \"b.h\"\nint z;\n",
+		"b.h":    "#include \"c.h\"\nint b;\n",
+		"c.h":    "int c;\n",
+	}, "main.c")
+	// c must appear before b, b before z.
+	ci, bi, zi := strings.Index(out, "int c"), strings.Index(out, "int b"), strings.Index(out, "int z")
+	if !(ci < bi && bi < zi) {
+		t.Fatalf("merge order wrong:\n%s", out)
+	}
+}
+
+func TestMissingSystemHeaderTolerated(t *testing.T) {
+	out := merge(t, map[string]string{
+		"main.c": "#include <linux/kernel.h>\nint ok;\n",
+	}, "main.c")
+	if !strings.Contains(out, "int ok") {
+		t.Fatal("body lost")
+	}
+}
+
+func TestMissingLocalHeaderIsError(t *testing.T) {
+	pp := New(MapSource{"main.c": "#include \"gone.h\"\n"})
+	if _, err := pp.Merge("main.c"); err == nil {
+		t.Fatal("expected error for missing local include")
+	}
+}
+
+func TestObjectMacroExpansion(t *testing.T) {
+	out := merge(t, map[string]string{
+		"main.c": "#define MAX_ORDER 11\nint limit = MAX_ORDER;\n",
+	}, "main.c")
+	if !strings.Contains(out, "int limit = 11;") {
+		t.Fatalf("macro not expanded:\n%s", out)
+	}
+}
+
+func TestFunctionMacroExpansion(t *testing.T) {
+	out := merge(t, map[string]string{
+		"main.c": "#define MIN(a, b) ((a) < (b) ? (a) : (b))\nint v = MIN(x + 1, y);\n",
+	}, "main.c")
+	if !strings.Contains(out, "((x + 1) < (y) ? (x + 1) : (y))") {
+		t.Fatalf("fn macro wrong:\n%s", out)
+	}
+}
+
+func TestNestedMacroArgs(t *testing.T) {
+	out := merge(t, map[string]string{
+		"main.c": "#define ID(x) x\nint v = ID(f(a, b));\n",
+	}, "main.c")
+	if !strings.Contains(out, "int v = f(a, b);") {
+		t.Fatalf("nested args wrong:\n%s", out)
+	}
+}
+
+func TestRecursiveMacroBounded(t *testing.T) {
+	// Self-referential macro must not hang.
+	out := merge(t, map[string]string{
+		"main.c": "#define LOOP LOOP\nint v = LOOP;\n",
+	}, "main.c")
+	if !strings.Contains(out, "LOOP") {
+		t.Fatalf("expansion vanished:\n%s", out)
+	}
+}
+
+func TestMacroNotExpandedInStrings(t *testing.T) {
+	out := merge(t, map[string]string{
+		"main.c": "#define X 5\nchar *s = \"X marks\";\nint v = X;\n",
+	}, "main.c")
+	if !strings.Contains(out, `"X marks"`) {
+		t.Fatalf("macro expanded inside string:\n%s", out)
+	}
+	if !strings.Contains(out, "int v = 5;") {
+		t.Fatalf("macro not expanded outside string:\n%s", out)
+	}
+}
+
+func TestIfdefElseEndif(t *testing.T) {
+	src := `#define CONFIG_NUMA 1
+#ifdef CONFIG_NUMA
+int numa_on;
+#else
+int numa_off;
+#endif
+#ifndef CONFIG_SMP
+int up_only;
+#endif
+`
+	out := merge(t, map[string]string{"main.c": src}, "main.c")
+	if !strings.Contains(out, "numa_on") || strings.Contains(out, "numa_off") {
+		t.Fatalf("ifdef wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "up_only") {
+		t.Fatalf("ifndef wrong:\n%s", out)
+	}
+}
+
+func TestIfExpression(t *testing.T) {
+	src := `#define LEVEL 3
+#if LEVEL >= 2 && defined(LEVEL)
+int high;
+#elif LEVEL == 1
+int low;
+#else
+int none;
+#endif
+#if !defined(MISSING)
+int nomissing;
+#endif
+`
+	out := merge(t, map[string]string{"main.c": src}, "main.c")
+	if !strings.Contains(out, "int high") || strings.Contains(out, "int low") || strings.Contains(out, "int none") {
+		t.Fatalf("#if chain wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "nomissing") {
+		t.Fatalf("!defined wrong:\n%s", out)
+	}
+}
+
+func TestUndef(t *testing.T) {
+	src := `#define F 1
+#undef F
+#ifdef F
+int still;
+#endif
+int done;
+`
+	out := merge(t, map[string]string{"main.c": src}, "main.c")
+	if strings.Contains(out, "still") {
+		t.Fatalf("undef ignored:\n%s", out)
+	}
+}
+
+func TestLineContinuation(t *testing.T) {
+	src := "#define BIG(a) \\\n ((a) + 1)\nint v = BIG(2);\n"
+	out := merge(t, map[string]string{"main.c": src}, "main.c")
+	if !strings.Contains(out, "((2) + 1)") {
+		t.Fatalf("continuation wrong:\n%s", out)
+	}
+}
+
+func TestPredefines(t *testing.T) {
+	pp := New(nil)
+	pp.Define("CONFIG_X", "1")
+	out, err := pp.MergeText("m.c", "#ifdef CONFIG_X\nint x;\n#endif\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "int x") {
+		t.Fatalf("predefine lost:\n%s", out)
+	}
+}
+
+func TestUnterminatedIfIsError(t *testing.T) {
+	pp := New(nil)
+	if _, err := pp.MergeText("m.c", "#ifdef A\nint x;\n"); err == nil {
+		t.Fatal("expected unterminated-#if error")
+	}
+}
+
+func TestElseWithoutIfIsError(t *testing.T) {
+	pp := New(nil)
+	if _, err := pp.MergeText("m.c", "#else\n"); err == nil {
+		t.Fatal("expected #else-without-#if error")
+	}
+}
+
+func TestPragmaIgnored(t *testing.T) {
+	pp := New(nil)
+	out, err := pp.MergeText("m.c", "#pragma once\nint x;\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "int x") {
+		t.Fatal("body lost")
+	}
+}
+
+func TestFileSource(t *testing.T) {
+	fs := FileSource{Dirs: []string{t.TempDir()}}
+	if _, err := fs.Load("nope.h"); err == nil {
+		t.Fatal("expected miss")
+	}
+}

@@ -1,0 +1,31 @@
+package cpp
+
+import "testing"
+
+// FuzzMergeText checks the preprocessor is total: any input yields either
+// merged text or an error, never a panic or hang.
+func FuzzMergeText(f *testing.F) {
+	seeds := []string{
+		"",
+		"int x;\n",
+		"#define A 1\nA\n",
+		"#define F(a, b) ((a) + (b))\nF(1, F(2, 3))\n",
+		"#ifdef A\nx\n#else\ny\n#endif\n",
+		"#if 1 && defined(B)\nz\n#endif\n",
+		"#include \"missing.h\"\n",
+		"#include <sys/types.h>\n",
+		"#else\n",
+		"#define LOOP LOOP\nLOOP LOOP LOOP\n",
+		"#define X(\n",
+		"a \\\nb\n",
+		"#if (1 < 2) || (3 == 3)\nok\n#endif\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		pp := New(MapSource{})
+		out, _ := pp.MergeText("fuzz.c", src)
+		_ = out
+	})
+}

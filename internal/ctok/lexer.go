@@ -1,0 +1,304 @@
+package ctok
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lexer tokenizes C source text.
+//
+// Comments are produced as tokens when KeepComments is set (the spec package
+// mines `@pallas:` annotations from them); the parser skips them.
+// Preprocessor directives (lines whose first non-blank byte is '#') are NOT
+// handled here — the cpp package consumes raw lines before lexing. When the
+// lexer does meet a '#' it emits a Hash token so stray directives surface as
+// parse errors instead of being silently eaten.
+type Lexer struct {
+	src          string
+	file         string
+	off          int
+	line, col    int
+	KeepComments bool
+	errs         []error
+}
+
+// NewLexer returns a lexer over src. file is used in positions.
+func NewLexer(file, src string) *Lexer {
+	return &Lexer{src: src, file: file, line: 1, col: 1}
+}
+
+// Errors returns the lexical errors encountered so far.
+func (lx *Lexer) Errors() []error { return lx.errs }
+
+func (lx *Lexer) errorf(p Pos, format string, args ...any) {
+	lx.errs = append(lx.errs, fmt.Errorf("%s: %s", p, fmt.Sprintf(format, args...)))
+}
+
+func (lx *Lexer) pos() Pos { return Pos{File: lx.file, Line: lx.line, Col: lx.col} }
+
+func (lx *Lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peekAt(n int) byte {
+	if lx.off+n >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+n]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\v' || c == '\f'
+}
+
+// Next returns the next token. At end of input it returns EOF forever.
+func (lx *Lexer) Next() Token {
+	for {
+		for lx.off < len(lx.src) && isSpace(lx.peek()) {
+			lx.advance()
+		}
+		if lx.off >= len(lx.src) {
+			return Token{Kind: EOF, Pos: lx.pos()}
+		}
+		start := lx.pos()
+		c := lx.peek()
+
+		// Comments.
+		if c == '/' && lx.peekAt(1) == '/' {
+			begin := lx.off
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+			if lx.KeepComments {
+				return Token{Kind: LineComment, Text: strings.TrimPrefix(lx.src[begin:lx.off], "//"), Pos: start}
+			}
+			continue
+		}
+		if c == '/' && lx.peekAt(1) == '*' {
+			begin := lx.off
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.off < len(lx.src) {
+				if lx.peek() == '*' && lx.peekAt(1) == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				lx.errorf(start, "unterminated block comment")
+			}
+			if lx.KeepComments {
+				body := lx.src[begin:lx.off]
+				body = strings.TrimPrefix(body, "/*")
+				body = strings.TrimSuffix(body, "*/")
+				return Token{Kind: BlockComment, Text: body, Pos: start}
+			}
+			continue
+		}
+
+		switch {
+		case isIdentStart(c):
+			begin := lx.off
+			for lx.off < len(lx.src) && isIdentCont(lx.peek()) {
+				lx.advance()
+			}
+			text := lx.src[begin:lx.off]
+			if k, ok := Keywords[text]; ok {
+				return Token{Kind: k, Text: text, Pos: start}
+			}
+			return Token{Kind: Ident, Text: text, Pos: start}
+
+		case isDigit(c), c == '.' && isDigit(lx.peekAt(1)):
+			return lx.lexNumber(start)
+
+		case c == '"':
+			return lx.lexString(start)
+
+		case c == '\'':
+			return lx.lexChar(start)
+		}
+
+		return lx.lexOperator(start)
+	}
+}
+
+func (lx *Lexer) lexNumber(start Pos) Token {
+	begin := lx.off
+	isFloat := false
+	if lx.peek() == '0' && (lx.peekAt(1) == 'x' || lx.peekAt(1) == 'X') {
+		lx.advance()
+		lx.advance()
+		for lx.off < len(lx.src) && isHexDigit(lx.peek()) {
+			lx.advance()
+		}
+	} else {
+		for lx.off < len(lx.src) && isDigit(lx.peek()) {
+			lx.advance()
+		}
+		if lx.peek() == '.' && isDigit(lx.peekAt(1)) {
+			isFloat = true
+			lx.advance()
+			for lx.off < len(lx.src) && isDigit(lx.peek()) {
+				lx.advance()
+			}
+		}
+		if lx.peek() == 'e' || lx.peek() == 'E' {
+			if isDigit(lx.peekAt(1)) || ((lx.peekAt(1) == '+' || lx.peekAt(1) == '-') && isDigit(lx.peekAt(2))) {
+				isFloat = true
+				lx.advance()
+				if lx.peek() == '+' || lx.peek() == '-' {
+					lx.advance()
+				}
+				for lx.off < len(lx.src) && isDigit(lx.peek()) {
+					lx.advance()
+				}
+			}
+		}
+	}
+	// Integer/float suffixes: u, l, ul, ull, f ...
+	for lx.off < len(lx.src) {
+		switch lx.peek() {
+		case 'u', 'U', 'l', 'L':
+			lx.advance()
+			continue
+		case 'f', 'F':
+			if isFloat {
+				lx.advance()
+				continue
+			}
+		}
+		break
+	}
+	kind := IntLit
+	if isFloat {
+		kind = FloatLit
+	}
+	return Token{Kind: kind, Text: lx.src[begin:lx.off], Pos: start}
+}
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func (lx *Lexer) lexString(start Pos) Token {
+	lx.advance() // opening quote
+	var sb strings.Builder
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		if c == '"' {
+			lx.advance()
+			return Token{Kind: StringLit, Text: sb.String(), Pos: start}
+		}
+		if c == '\n' {
+			break
+		}
+		if c == '\\' && lx.off+1 < len(lx.src) {
+			lx.advance()
+			sb.WriteByte('\\')
+			sb.WriteByte(lx.advance())
+			continue
+		}
+		sb.WriteByte(lx.advance())
+	}
+	lx.errorf(start, "unterminated string literal")
+	return Token{Kind: StringLit, Text: sb.String(), Pos: start}
+}
+
+func (lx *Lexer) lexChar(start Pos) Token {
+	lx.advance() // opening quote
+	var sb strings.Builder
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		if c == '\'' {
+			lx.advance()
+			return Token{Kind: CharLit, Text: sb.String(), Pos: start}
+		}
+		if c == '\n' {
+			break
+		}
+		if c == '\\' && lx.off+1 < len(lx.src) {
+			lx.advance()
+			sb.WriteByte('\\')
+			sb.WriteByte(lx.advance())
+			continue
+		}
+		sb.WriteByte(lx.advance())
+	}
+	lx.errorf(start, "unterminated character literal")
+	return Token{Kind: CharLit, Text: sb.String(), Pos: start}
+}
+
+// operator table ordered so longer spellings are matched first.
+var operators = []struct {
+	text string
+	kind Kind
+}{
+	{"...", Ellipsis}, {"<<=", ShlAssign}, {">>=", ShrAssign},
+	{"->", Arrow}, {"++", Inc}, {"--", Dec}, {"<<", Shl}, {">>", Shr},
+	{"<=", Le}, {">=", Ge}, {"==", EqEq}, {"!=", NotEq}, {"&&", AndAnd},
+	{"||", OrOr}, {"+=", AddAssign}, {"-=", SubAssign}, {"*=", MulAssign},
+	{"/=", DivAssign}, {"%=", ModAssign}, {"&=", AndAssign}, {"|=", OrAssign},
+	{"^=", XorAssign},
+	{"(", LParen}, {")", RParen}, {"{", LBrace}, {"}", RBrace},
+	{"[", LBracket}, {"]", RBracket}, {";", Semi}, {",", Comma}, {".", Dot},
+	{"=", Assign}, {"+", Plus}, {"-", Minus}, {"*", Star}, {"/", Slash},
+	{"%", Percent}, {"&", Amp}, {"|", Pipe}, {"^", Caret}, {"~", Tilde},
+	{"!", Not}, {"<", Lt}, {">", Gt}, {"?", Question}, {":", Colon},
+	{"#", Hash},
+}
+
+func (lx *Lexer) lexOperator(start Pos) Token {
+	rest := lx.src[lx.off:]
+	for _, op := range operators {
+		if strings.HasPrefix(rest, op.text) {
+			for range op.text {
+				lx.advance()
+			}
+			return Token{Kind: op.kind, Text: op.text, Pos: start}
+		}
+	}
+	c := lx.advance()
+	lx.errorf(start, "unexpected character %q", string(c))
+	// Skip it and continue; callers see the next valid token.
+	return lx.Next()
+}
+
+// Tokenize lexes the whole input and returns all tokens (excluding EOF).
+func Tokenize(file, src string) ([]Token, []error) {
+	lx := NewLexer(file, src)
+	var out []Token
+	for {
+		t := lx.Next()
+		if t.Kind == EOF {
+			return out, lx.errs
+		}
+		out = append(out, t)
+	}
+}

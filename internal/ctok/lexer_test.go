@@ -1,0 +1,174 @@
+package ctok
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func kinds(t *testing.T, src string) []Kind {
+	t.Helper()
+	toks, errs := Tokenize("t.c", src)
+	if len(errs) > 0 {
+		t.Fatalf("lex errors: %v", errs)
+	}
+	out := make([]Kind, len(toks))
+	for i, tok := range toks {
+		out[i] = tok.Kind
+	}
+	return out
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	got := kinds(t, "static int x_1 = sizeof(void);")
+	want := []Kind{KwStatic, KwInt, Ident, Assign, KwSizeof, LParen, KwVoid, RParen, Semi}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOperatorsLongestMatch(t *testing.T) {
+	cases := map[string]Kind{
+		"<<=": ShlAssign, ">>=": ShrAssign, "->": Arrow, "++": Inc,
+		"--": Dec, "<<": Shl, ">>": Shr, "<=": Le, ">=": Ge, "==": EqEq,
+		"!=": NotEq, "&&": AndAnd, "||": OrOr, "+=": AddAssign, "...": Ellipsis,
+	}
+	for src, want := range cases {
+		got := kinds(t, src)
+		if len(got) != 1 || got[0] != want {
+			t.Errorf("%q: got %v, want [%v]", src, got, want)
+		}
+	}
+}
+
+func TestNumericLiterals(t *testing.T) {
+	toks, errs := Tokenize("t.c", "0x1f 0755 42UL 3.14 1e9 2.5e-3f 0")
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	wantKinds := []Kind{IntLit, IntLit, IntLit, FloatLit, FloatLit, FloatLit, IntLit}
+	if len(toks) != len(wantKinds) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(wantKinds), toks)
+	}
+	for i, k := range wantKinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d %q: kind %v, want %v", i, toks[i].Text, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestStringAndCharLiterals(t *testing.T) {
+	toks, errs := Tokenize("t.c", `"hello \"world\"" 'a' '\n'`)
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	if toks[0].Kind != StringLit || toks[0].Text != `hello \"world\"` {
+		t.Errorf("string = %+v", toks[0])
+	}
+	if toks[1].Kind != CharLit || toks[1].Text != "a" {
+		t.Errorf("char = %+v", toks[1])
+	}
+	if toks[2].Kind != CharLit || toks[2].Text != `\n` {
+		t.Errorf("escaped char = %+v", toks[2])
+	}
+}
+
+func TestUnterminatedLiteralsReportErrors(t *testing.T) {
+	for _, src := range []string{`"abc`, `'a`, "/* never closed"} {
+		_, errs := Tokenize("t.c", src)
+		if len(errs) == 0 {
+			t.Errorf("%q: expected a lex error", src)
+		}
+	}
+}
+
+func TestCommentsSkippedByDefault(t *testing.T) {
+	got := kinds(t, "a /* block */ b // line\nc")
+	if len(got) != 3 {
+		t.Fatalf("comments leaked: %v", got)
+	}
+}
+
+func TestCommentsKeptWhenRequested(t *testing.T) {
+	lx := NewLexer("t.c", "// @pallas: immutable x\nint y;")
+	lx.KeepComments = true
+	tok := lx.Next()
+	if tok.Kind != LineComment || tok.Text != " @pallas: immutable x" {
+		t.Fatalf("comment token = %+v", tok)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, _ := Tokenize("f.c", "a\n  b")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("b at %v", toks[1].Pos)
+	}
+	if s := toks[1].Pos.String(); s != "f.c:2:3" {
+		t.Errorf("pos string = %q", s)
+	}
+}
+
+func TestKindStringAndPredicates(t *testing.T) {
+	if KwIf.String() != "if" || !KwIf.IsKeyword() {
+		t.Error("KwIf misbehaves")
+	}
+	if Ident.IsKeyword() {
+		t.Error("Ident is not a keyword")
+	}
+	for _, k := range []Kind{Assign, AddAssign, ShrAssign} {
+		if !k.IsAssign() {
+			t.Errorf("%v should be assign", k)
+		}
+	}
+	if EqEq.IsAssign() {
+		t.Error("== is not assign")
+	}
+}
+
+// Property: lexing never panics and every produced token has a valid
+// position within any printable-ASCII input.
+func TestLexerTotalOnRandomInput(t *testing.T) {
+	f := func(b []byte) bool {
+		// Map arbitrary bytes into printable ASCII + whitespace.
+		src := make([]byte, len(b))
+		for i, c := range b {
+			src[i] = 32 + c%95
+			if c%17 == 0 {
+				src[i] = '\n'
+			}
+		}
+		toks, _ := Tokenize("rand.c", string(src))
+		for _, tok := range toks {
+			if tok.Pos.Line < 1 || tok.Pos.Col < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: identifiers always round-trip through the lexer.
+func TestIdentifierRoundTrip(t *testing.T) {
+	f := func(n uint8) bool {
+		name := "v"
+		for i := uint8(0); i < n%20; i++ {
+			name += string(rune('a' + i%26))
+		}
+		toks, errs := Tokenize("t.c", name)
+		return len(errs) == 0 && len(toks) == 1 &&
+			toks[0].Kind == Ident && toks[0].Text == name
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,205 @@
+// Package ctok defines lexical tokens for the C subset understood by the
+// Pallas front-end and a lexer producing them.
+//
+// The front-end stands in for the Clang front-end the paper builds on: it is
+// deliberately a subset of C99, rich enough for kernel-style fast-path code
+// (struct/union/enum declarations, typedefs, full expression grammar,
+// pointers, all control statements, GNU-style attributes are skipped).
+package ctok
+
+import "fmt"
+
+// Kind enumerates token kinds.
+type Kind int
+
+// Token kinds. Keyword kinds are contiguous between keywordBeg and keywordEnd.
+const (
+	EOF Kind = iota
+	Ident
+	IntLit
+	CharLit
+	StringLit
+	FloatLit
+
+	keywordBeg
+	KwAuto
+	KwBreak
+	KwCase
+	KwChar
+	KwConst
+	KwContinue
+	KwDefault
+	KwDo
+	KwDouble
+	KwElse
+	KwEnum
+	KwExtern
+	KwFloat
+	KwFor
+	KwGoto
+	KwIf
+	KwInline
+	KwInt
+	KwLong
+	KwRegister
+	KwReturn
+	KwShort
+	KwSigned
+	KwSizeof
+	KwStatic
+	KwStruct
+	KwSwitch
+	KwTypedef
+	KwUnion
+	KwUnsigned
+	KwVoid
+	KwVolatile
+	KwWhile
+	keywordEnd
+
+	// Punctuation and operators.
+	LParen   // (
+	RParen   // )
+	LBrace   // {
+	RBrace   // }
+	LBracket // [
+	RBracket // ]
+	Semi     // ;
+	Comma    // ,
+	Dot      // .
+	Arrow    // ->
+	Ellipsis // ...
+
+	Assign       // =
+	AddAssign    // +=
+	SubAssign    // -=
+	MulAssign    // *=
+	DivAssign    // /=
+	ModAssign    // %=
+	AndAssign    // &=
+	OrAssign     // |=
+	XorAssign    // ^=
+	ShlAssign    // <<=
+	ShrAssign    // >>=
+	Inc          // ++
+	Dec          // --
+	Plus         // +
+	Minus        // -
+	Star         // *
+	Slash        // /
+	Percent      // %
+	Amp          // &
+	Pipe         // |
+	Caret        // ^
+	Tilde        // ~
+	Not          // !
+	Shl          // <<
+	Shr          // >>
+	Lt           // <
+	Gt           // >
+	Le           // <=
+	Ge           // >=
+	EqEq         // ==
+	NotEq        // !=
+	AndAnd       // &&
+	OrOr         // ||
+	Question     // ?
+	Colon        // :
+	Hash         // # (only survives outside preprocessing)
+	LineComment  // // ... (kept so @pallas annotations survive)
+	BlockComment // /* ... */
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", Ident: "identifier", IntLit: "integer literal",
+	CharLit: "char literal", StringLit: "string literal", FloatLit: "float literal",
+	KwAuto: "auto", KwBreak: "break", KwCase: "case", KwChar: "char",
+	KwConst: "const", KwContinue: "continue", KwDefault: "default", KwDo: "do",
+	KwDouble: "double", KwElse: "else", KwEnum: "enum", KwExtern: "extern",
+	KwFloat: "float", KwFor: "for", KwGoto: "goto", KwIf: "if",
+	KwInline: "inline", KwInt: "int", KwLong: "long", KwRegister: "register",
+	KwReturn: "return", KwShort: "short", KwSigned: "signed", KwSizeof: "sizeof",
+	KwStatic: "static", KwStruct: "struct", KwSwitch: "switch",
+	KwTypedef: "typedef", KwUnion: "union", KwUnsigned: "unsigned",
+	KwVoid: "void", KwVolatile: "volatile", KwWhile: "while",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}", LBracket: "[",
+	RBracket: "]", Semi: ";", Comma: ",", Dot: ".", Arrow: "->",
+	Ellipsis: "...", Assign: "=", AddAssign: "+=", SubAssign: "-=",
+	MulAssign: "*=", DivAssign: "/=", ModAssign: "%=", AndAssign: "&=",
+	OrAssign: "|=", XorAssign: "^=", ShlAssign: "<<=", ShrAssign: ">>=",
+	Inc: "++", Dec: "--", Plus: "+", Minus: "-", Star: "*", Slash: "/",
+	Percent: "%", Amp: "&", Pipe: "|", Caret: "^", Tilde: "~", Not: "!",
+	Shl: "<<", Shr: ">>", Lt: "<", Gt: ">", Le: "<=", Ge: ">=",
+	EqEq: "==", NotEq: "!=", AndAnd: "&&", OrOr: "||", Question: "?",
+	Colon: ":", Hash: "#", LineComment: "line comment", BlockComment: "block comment",
+}
+
+// String returns a printable name for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// IsKeyword reports whether k is a C keyword.
+func (k Kind) IsKeyword() bool { return k > keywordBeg && k < keywordEnd }
+
+// IsAssign reports whether k is an assignment operator (= += -= ...).
+func (k Kind) IsAssign() bool {
+	switch k {
+	case Assign, AddAssign, SubAssign, MulAssign, DivAssign, ModAssign,
+		AndAssign, OrAssign, XorAssign, ShlAssign, ShrAssign:
+		return true
+	}
+	return false
+}
+
+// Keywords maps keyword spellings to their kinds.
+var Keywords = map[string]Kind{
+	"auto": KwAuto, "break": KwBreak, "case": KwCase, "char": KwChar,
+	"const": KwConst, "continue": KwContinue, "default": KwDefault,
+	"do": KwDo, "double": KwDouble, "else": KwElse, "enum": KwEnum,
+	"extern": KwExtern, "float": KwFloat, "for": KwFor, "goto": KwGoto,
+	"if": KwIf, "inline": KwInline, "int": KwInt, "long": KwLong,
+	"register": KwRegister, "return": KwReturn, "short": KwShort,
+	"signed": KwSigned, "sizeof": KwSizeof, "static": KwStatic,
+	"struct": KwStruct, "switch": KwSwitch, "typedef": KwTypedef,
+	"union": KwUnion, "unsigned": KwUnsigned, "void": KwVoid,
+	"volatile": KwVolatile, "while": KwWhile,
+}
+
+// Pos is a source position.
+type Pos struct {
+	File string
+	Line int // 1-based
+	Col  int // 1-based, in bytes
+}
+
+// String renders the position as file:line:col.
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// IsValid reports whether the position has been set.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Text string // raw spelling (identifier name, literal text, comment body)
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident, IntLit, CharLit, StringLit, FloatLit, LineComment, BlockComment:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

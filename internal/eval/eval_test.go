@@ -1,0 +1,230 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTable1HeadlineNumbers is the end-to-end assertion of the paper's
+// headline result: 155 validated bugs, 224 warnings, 69% accuracy, with no
+// corpus case failing to fire.
+func TestTable1HeadlineNumbers(t *testing.T) {
+	res, err := RunTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalBugs != 155 {
+		t.Errorf("bugs = %d, want 155", res.TotalBugs)
+	}
+	if res.TotalWarnings != 224 {
+		t.Errorf("warnings = %d, want 224", res.TotalWarnings)
+	}
+	if a := res.Accuracy(); a < 0.68 || a > 0.70 {
+		t.Errorf("accuracy = %.3f, want ≈0.69", a)
+	}
+	if len(res.Missed) != 0 {
+		t.Errorf("missed cases: %v", res.Missed)
+	}
+	if res.CasesRun != 224 {
+		t.Errorf("cases run = %d, want 224", res.CasesRun)
+	}
+	out := res.Render()
+	for _, want := range []string{"155/224", "accuracy: 69%", "paper 27/37"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestTable1PerRowMatchesPaper(t *testing.T) {
+	res, err := RunTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBW := map[string][2]int{
+		"state-overwrite": {10, 16}, "state-uninit": {10, 16}, "state-correlated": {9, 15},
+		"cond-missing": {19, 21}, "cond-incomplete": {14, 18}, "cond-order": {8, 15},
+		"out-mismatch": {12, 19}, "out-unexpected": {12, 14}, "out-unchecked": {11, 18},
+		"fault-missing": {27, 37},
+		"ds-layout":     {15, 21}, "ds-stale": {8, 14},
+	}
+	for f, bw := range wantBW {
+		if res.RowBugs[f] != bw[0] || res.RowWarnings[f] != bw[1] {
+			t.Errorf("%s: %d/%d, want %d/%d", f, res.RowBugs[f], res.RowWarnings[f], bw[0], bw[1])
+		}
+	}
+}
+
+func TestStudyTables(t *testing.T) {
+	for name, f := range map[string]func() string{
+		"table2": RenderTable2, "table3": RenderTable3,
+		"table4": RenderTable4, "table6": RenderTable6,
+	} {
+		out := f()
+		if len(out) < 50 {
+			t.Errorf("%s suspiciously short:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(RenderTable2(), "62") {
+		t.Error("table2 missing MM patch count")
+	}
+	if !strings.Contains(RenderTable3(), "34%") {
+		t.Error("table3 missing MM state ratio")
+	}
+	if !strings.Contains(RenderTable4(), "44%") {
+		t.Error("table4 missing path-state ratio")
+	}
+	if !strings.Contains(RenderTable6(), "Open vSwitch") {
+		t.Error("table6 missing OVS")
+	}
+}
+
+func TestTable5Sections(t *testing.T) {
+	out, err := RunTable5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Input", "Signature", "Condition", "State", "Output",
+		"@immutable = gfp_mask",
+		"alloc_pages_nodemask(gfp_mask, order, local_zone, zone)",
+		"gfp_mask = (E#memalloc_noio_flags((S#gfp_mask)))",
+		"rule 1.2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table5 missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable7AllDetected(t *testing.T) {
+	res, err := RunTable7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 34 {
+		t.Fatalf("rows = %d, want 34", len(res.Rows))
+	}
+	if len(res.Detected) != 34 {
+		t.Errorf("detected %d/34", len(res.Detected))
+	}
+	if res.MeanLatentYears < 2.8 || res.MeanLatentYears > 3.4 {
+		t.Errorf("latent mean = %.2f, want ≈3.1", res.MeanLatentYears)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "mpt3sas_base.c") || !strings.Contains(out, "dpif-netdev.c") {
+		t.Errorf("render missing known files:\n%s", out)
+	}
+}
+
+func TestTable8Completeness(t *testing.T) {
+	res, err := RunTable8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detected != 61 || res.Total != 62 {
+		t.Errorf("completeness = %d/%d, want 61/62", res.Detected, res.Total)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "5/6 *") {
+		t.Errorf("render missing the starred miss:\n%s", out)
+	}
+}
+
+func TestFPBreakdown(t *testing.T) {
+	res, err := RunFP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 69 {
+		t.Errorf("false positives = %d, want 69", res.Total)
+	}
+	if res.Warnings != 224 {
+		t.Errorf("warnings = %d, want 224", res.Warnings)
+	}
+	ratio := float64(res.Total) / float64(res.Warnings)
+	if ratio < 0.30 || ratio > 0.32 {
+		t.Errorf("FP ratio = %.3f, want ≈0.31", ratio)
+	}
+	if !strings.Contains(res.Render(), "31%") {
+		t.Errorf("render:\n%s", res.Render())
+	}
+}
+
+func TestFigures(t *testing.T) {
+	for n := 1; n <= 9; n++ {
+		out, err := RunFigure(n)
+		if err != nil {
+			t.Fatalf("figure %d: %v", n, err)
+		}
+		if len(out) < 40 {
+			t.Errorf("figure %d too short:\n%s", n, out)
+		}
+		if n >= 3 && !strings.Contains(out, "checker verdict") {
+			t.Errorf("figure %d missing verdict:\n%s", n, out)
+		}
+		if n >= 3 && strings.Contains(out, "NO WARNING") {
+			t.Errorf("figure %d bug not detected:\n%s", n, out)
+		}
+	}
+	if _, err := RunFigure(10); err == nil {
+		t.Error("figure 10 should error")
+	}
+}
+
+func TestFigure1ContainsAllThreeWorkflows(t *testing.T) {
+	out, err := RunFigure(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"get_page_from_freelist", "alloc_pages_slowpath",
+		"ubifs_write_fast", "ubifs_write_slow",
+		"tcp_rcv_fast", "tcp_rcv_slow",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure 1 missing %q", want)
+		}
+	}
+}
+
+func TestFigure2KeyElements(t *testing.T) {
+	out, err := RunFigure(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Sin", "Ct", "Sout", "trigger variables"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure 2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunBigFiles(t *testing.T) {
+	out, err := RunBigFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"mm/page_alloc.c", "tcp_input.c", "ubifs", "gfp_mask",
+		"likely consequence", "2 warning(s)", "3 warning(s)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bigfile output missing %q", want)
+		}
+	}
+}
+
+func TestRenderFindings(t *testing.T) {
+	out := RenderFindings()
+	for _, want := range []string{
+		"Finding 1", "Finding 5",
+		"Rule 1.1", "Rule 2.3", "Rule 3.2", "Rule 4.1", "Rule 5.2",
+		"Overwriting immutable variables", "51%",
+		"path-state", "data-struct",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("findings missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"pallas/internal/cfg"
+	"pallas/internal/corpus"
+	"pallas/internal/cparse"
+	"pallas/internal/spec"
+)
+
+// RunFigure reproduces one paper figure:
+//
+//	1   — the three motivating workflows (page allocation, UBIFS write,
+//	      TCP receive) rendered as ASCII workflows with fast/slow paths.
+//	2   — the key-element model (Sin/Ct/Cfau/Sout/Serr) instantiated on the
+//	      three workflows.
+//	3-9 — the concrete bug walkthroughs: the workflow, the seeded defect, and
+//	      the checker's verdict.
+func RunFigure(n int) (string, error) {
+	switch n {
+	case 1:
+		return figure1()
+	case 2:
+		return figure2()
+	case 3, 4, 5, 6, 7, 8, 9:
+		return figureBug(fmt.Sprintf("fig%d", n))
+	}
+	return "", fmt.Errorf("eval: no figure %d (have 1-9)", n)
+}
+
+func showcaseGraph(sc *corpus.Showcase, fn string) (*cfg.Graph, error) {
+	tu, err := cparse.Parse(sc.ID+".c", sc.Source)
+	if err != nil {
+		return nil, err
+	}
+	f := tu.Func(fn)
+	if f == nil {
+		return nil, fmt.Errorf("eval: %s: no function %q", sc.ID, fn)
+	}
+	return cfg.Build(f)
+}
+
+func figure1() (string, error) {
+	var sb strings.Builder
+	sb.WriteString("Figure 1 — examples of fast path (measured workflows)\n\n")
+	for _, id := range []string{"fig1a", "fig1b", "fig1c"} {
+		sc := corpus.ShowcaseByID(id)
+		fmt.Fprintf(&sb, "(%s) %s\n", strings.TrimPrefix(id, "fig1"), sc.Title)
+		for _, fn := range []string{sc.FastFunc, sc.SlowFunc} {
+			if fn == "" {
+				continue
+			}
+			g, err := showcaseGraph(sc, fn)
+			if err != nil {
+				return "", err
+			}
+			kind := "fast path"
+			if fn == sc.SlowFunc {
+				kind = "slow path"
+			}
+			fmt.Fprintf(&sb, "--- %s: %s ---\n%s\n", kind, fn, cfg.RenderWorkflow(g))
+		}
+	}
+	return sb.String(), nil
+}
+
+func figure2() (string, error) {
+	var sb strings.Builder
+	sb.WriteString("Figure 2 — the key elements of a fast path (measured)\n")
+	sb.WriteString("model: Sin → [Ct?] → fast path Sf | slow path S0 → [Cfau?] → fault handling → [Cerr?] → Sout/Serr/Sfau\n\n")
+	for _, id := range []string{"fig1a", "fig1b", "fig1c"} {
+		sc := corpus.ShowcaseByID(id)
+		g, err := showcaseGraph(sc, sc.FastFunc)
+		if err != nil {
+			return "", err
+		}
+		sp, err := spec.Parse(sc.Spec)
+		if err != nil {
+			return "", err
+		}
+		var faults []string
+		for _, f := range sp.Faults {
+			faults = append(faults, f.State)
+		}
+		var condVars []string
+		for _, v := range sp.CondVars {
+			condVars = append(condVars, v.Name)
+		}
+		sb.WriteString(cfg.RenderKeyElements(g, condVars, faults))
+		sb.WriteString("\n")
+	}
+	return sb.String(), nil
+}
+
+func figureBug(id string) (string, error) {
+	sc := corpus.ShowcaseByID(id)
+	if sc == nil {
+		return "", fmt.Errorf("eval: no showcase %q", id)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (measured)\n\n", sc.Title)
+	g, err := showcaseGraph(sc, sc.FastFunc)
+	if err != nil {
+		return "", err
+	}
+	sb.WriteString(cfg.RenderWorkflow(g))
+	sb.WriteString("\n")
+	rep, err := analyzeCase(sc.ID+".c", sc.Source, sc.Spec)
+	if err != nil {
+		return "", err
+	}
+	if len(rep.Warnings) == 0 {
+		sb.WriteString("checker verdict: NO WARNING (unexpected)\n")
+	}
+	for _, w := range rep.Warnings {
+		fmt.Fprintf(&sb, "checker verdict: %s\n", w.String())
+	}
+	return sb.String(), nil
+}

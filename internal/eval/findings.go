@@ -1,0 +1,117 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"pallas/internal/report"
+	"pallas/internal/study"
+)
+
+// findingBox reproduces one of the paper's boxed Finding/Rule pairs (§3).
+type findingBox struct {
+	Aspect  report.Aspect
+	Finding string
+	Rules   []string
+}
+
+var findingBoxes = []findingBox{
+	{
+		Aspect: report.PathState,
+		Finding: "Most of the path state bugs in fast paths are caused by three reasons: " +
+			"(1) uninitialized immutable variables; (2) immutable variables are overwritten; " +
+			"(3) incomplete implementation of correlated variables.",
+		Rules: []string{
+			"Rule 1.1: for any specified immutable variable X, X should be initialized.",
+			"Rule 1.2: X should never be overwritten.",
+			"Rule 1.3: for any specified correlated variables X and Y, the correlation between them should be detected in a path.",
+		},
+	},
+	{
+		Aspect: report.TriggerCondition,
+		Finding: "Most condition checking bugs are caused by three reasons: " +
+			"(1) trigger condition checking for path switch is missing; " +
+			"(2) incomplete implementation of condition checking; (3) incorrect order of condition checking.",
+		Rules: []string{
+			"Rule 2.1: for any specified variable X for trigger condition checking, X should appear in its flow control statement.",
+			"Rule 2.2: for all specified variables, they should satisfy Rule 2.1.",
+			"Rule 2.3: for any specified trigger conditions X and Y with X before Y, this order should be enforced and detected in the path.",
+		},
+	},
+	{
+		Aspect: report.PathOutput,
+		Finding: "71% of the fast-path bugs related to path output are caused by three reasons: " +
+			"(1) the output is beyond the predefined states; (2) the output of the fast path and slow path does not match; " +
+			"(3) the checking of the fast path's return is missing.",
+		Rules: []string{
+			"Rule 3.1: for any specified return R of a fast path, R should belong to a set of defined returns or expected states RS.",
+			"Rule 3.2: R should be the same as the defined return of the slow path for specified cases.",
+			"Rule 3.3: R should be checked for specified cases.",
+		},
+	},
+	{
+		Aspect: report.FaultHandling,
+		Finding: "Most of the fault handling bugs in fast paths are caused by missing the fault handling " +
+			"implementation, even though the fault or error codes are well defined.",
+		Rules: []string{
+			"Rule 4.1: for any specified fault state S, S should appear at least in a flow control statement as an indication that it is handled.",
+		},
+	},
+	{
+		Aspect: report.DataStructure,
+		Finding: "The assistant data structures in a fast path could introduce new bugs mainly because of two reasons: " +
+			"(1) less care on the organization of the assistant data structures; " +
+			"(2) uncoordinated updates between path states and their cached entries.",
+		Rules: []string{
+			"Rule 5.1: for any specified assistant data structure DS, the unused variables in it should be separated from DS for performance reasons.",
+			"Rule 5.2: for any DS used for caching path states, an update on one of the path states should be followed by an update on the corresponding DS.",
+		},
+	},
+}
+
+// RenderFindings reproduces the five Finding/Rule boxes of §3, each with the
+// sub-type proportions quoted in the prose and the implementing checker.
+func RenderFindings() string {
+	checkerOf := map[report.Aspect]string{
+		report.PathState:        "path-state",
+		report.TriggerCondition: "trigger-condition",
+		report.PathOutput:       "path-output",
+		report.FaultHandling:    "fault-handling",
+		report.DataStructure:    "data-struct",
+	}
+	shares := study.SubtypeShares()
+	var sb strings.Builder
+	sb.WriteString("§3 findings and rules (implemented by the five checkers)\n")
+	for i, box := range findingBoxes {
+		fmt.Fprintf(&sb, "\nFinding %d [%s → checker %q]\n  %s\n",
+			i+1, box.Aspect, checkerOf[box.Aspect], wrap(box.Finding, 76, "  "))
+		for _, r := range box.Rules {
+			fmt.Fprintf(&sb, "  %s\n", wrap(r, 76, "  "))
+		}
+		for _, s := range shares {
+			if s.Category == box.Aspect {
+				fmt.Fprintf(&sb, "    %-50s %2.0f%% of the category's bugs\n", s.Subtype, s.Share*100)
+			}
+		}
+	}
+	return sb.String()
+}
+
+// wrap folds s at width, indenting continuation lines.
+func wrap(s string, width int, indent string) string {
+	words := strings.Fields(s)
+	var sb strings.Builder
+	line := 0
+	for i, w := range words {
+		if line > 0 && line+len(w)+1 > width {
+			sb.WriteString("\n" + indent)
+			line = 0
+		} else if i > 0 {
+			sb.WriteString(" ")
+			line++
+		}
+		sb.WriteString(w)
+		line += len(w)
+	}
+	return sb.String()
+}

@@ -1,0 +1,32 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"pallas/internal/corpus"
+)
+
+func TestRunTiming(t *testing.T) {
+	res, err := RunTiming()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cases != 224 {
+		t.Errorf("cases = %d, want 224", res.Cases)
+	}
+	if res.Mean <= 0 || res.Median <= 0 || res.Max < res.Median {
+		t.Errorf("degenerate timing: %+v", res)
+	}
+	for _, s := range corpus.Systems() {
+		if res.PerSystem[s] <= 0 {
+			t.Errorf("system %s has no timing", s)
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"analysis cost per fast path", "mean", "MM"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package infer
+
+import (
+	"fmt"
+	"sort"
+
+	"pallas/internal/cast"
+)
+
+// InferCorrelations mines correlated-variable pairs from access patterns
+// across the translation unit, following the MUVI approach the paper cites
+// for validating rule-1.3 specs: two variables are correlated when they are
+// accessed together in most functions that access either.
+//
+// For every function, the set of accessed identifiers (parameters and
+// globals only — locals are function-private and cannot correlate across
+// functions) is collected; a pair (A, B) is reported when
+//
+//	support    = |functions accessing both|        ≥ opts.MinCorrelationSupport
+//	confidence = support / |functions accessing A| ≥ opts.MinCorrelationConfidence
+//
+// and symmetrically for B.
+func InferCorrelations(tu *cast.TranslationUnit, opts Options) []Suggestion {
+	globals := map[string]bool{}
+	for _, g := range tu.Globals() {
+		globals[g.Name] = true
+	}
+
+	// Per-function accessed shared-variable sets.
+	var accessSets []map[string]bool
+	for _, fn := range tu.Funcs() {
+		params := map[string]bool{}
+		for _, p := range fn.Params {
+			params[p.Name] = true
+		}
+		set := map[string]bool{}
+		for _, v := range cast.Idents(fn.Body) {
+			if params[v] || globals[v] {
+				set[v] = true
+			}
+		}
+		if len(set) > 0 {
+			accessSets = append(accessSets, set)
+		}
+	}
+
+	occurrence := map[string]int{}
+	coOccurrence := map[[2]string]int{}
+	for _, set := range accessSets {
+		vars := make([]string, 0, len(set))
+		for v := range set {
+			vars = append(vars, v)
+		}
+		sort.Strings(vars)
+		for i, a := range vars {
+			occurrence[a]++
+			for _, b := range vars[i+1:] {
+				coOccurrence[[2]string{a, b}]++
+			}
+		}
+	}
+
+	var pairs [][2]string
+	for pair := range coOccurrence {
+		pairs = append(pairs, pair)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+
+	var out []Suggestion
+	for _, pair := range pairs {
+		support := coOccurrence[pair]
+		if support < opts.MinCorrelationSupport {
+			continue
+		}
+		confA := float64(support) / float64(occurrence[pair[0]])
+		confB := float64(support) / float64(occurrence[pair[1]])
+		conf := confA
+		if confB < conf {
+			conf = confB
+		}
+		if conf < opts.MinCorrelationConfidence {
+			continue
+		}
+		out = append(out, Suggestion{
+			Directive: fmt.Sprintf("correlated %s %s", pair[0], pair[1]),
+			Reason: fmt.Sprintf("accessed together in %d function(s), confidence %.0f%% (MUVI-style mining)",
+				support, conf*100),
+			Confidence: 0.4 + 0.5*conf*float64(min(support, 5))/5,
+		})
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

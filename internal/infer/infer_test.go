@@ -1,0 +1,205 @@
+package infer
+
+import (
+	"strings"
+	"testing"
+
+	"pallas/internal/cparse"
+)
+
+const pairSrc = `
+struct page { unsigned long private; int state_active; };
+
+int validate(struct page *page, unsigned long nodemask);
+
+struct page *alloc_fast(struct page *page, unsigned long gfp_mask, unsigned long nodemask)
+{
+	validate(page, nodemask);
+	page->private = gfp_mask;
+	return page;
+}
+
+struct page *alloc_slow(struct page *page, unsigned long gfp_mask, unsigned long nodemask)
+{
+	int err = validate(page, nodemask);
+	if (err)
+		return 0;
+	if (nodemask == 0)
+		return 0;
+	if (page->state_active)
+		return 0;
+	page->private = gfp_mask & 7;
+	return page;
+}
+`
+
+func suggestionsFor(t *testing.T) map[string]Suggestion {
+	t.Helper()
+	tu, err := cparse.Parse("t.c", pairSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sugg, err := Infer(tu, "alloc_fast", "alloc_slow", DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]Suggestion{}
+	for _, s := range sugg {
+		out[s.Directive] = s
+		if s.Confidence <= 0 || s.Confidence > 1 {
+			t.Errorf("confidence out of range: %+v", s)
+		}
+		if s.Reason == "" {
+			t.Errorf("missing reason: %+v", s)
+		}
+	}
+	return out
+}
+
+func TestInferImmutables(t *testing.T) {
+	got := suggestionsFor(t)
+	s, ok := got["immutable gfp_mask"]
+	if !ok {
+		t.Fatalf("gfp_mask not proposed; got %v", keys(got))
+	}
+	if s.Confidence < 0.8 {
+		t.Errorf("mode-named scalar should be high confidence: %+v", s)
+	}
+	if _, ok := got["immutable page"]; ok {
+		t.Error("page is written by the slow path; must not be immutable")
+	}
+}
+
+func TestInferCondVars(t *testing.T) {
+	got := suggestionsFor(t)
+	if _, ok := got["cond nodemask"]; !ok {
+		t.Errorf("nodemask condition not proposed; got %v", keys(got))
+	}
+	if _, ok := got["cond err"]; ok {
+		t.Error("slow-only local err must not be proposed")
+	}
+}
+
+func TestInferCheckReturn(t *testing.T) {
+	got := suggestionsFor(t)
+	if _, ok := got["check_return validate"]; !ok {
+		t.Errorf("check_return validate not proposed; got %v", keys(got))
+	}
+}
+
+func TestInferFaults(t *testing.T) {
+	got := suggestionsFor(t)
+	if _, ok := got["fault state_active"]; !ok {
+		t.Errorf("fault state_active not proposed; got %v", keys(got))
+	}
+}
+
+func TestInferPairAlwaysFirst(t *testing.T) {
+	tu, err := cparse.Parse("t.c", pairSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sugg, err := Infer(tu, "alloc_fast", "alloc_slow", DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugg) == 0 || sugg[0].Directive != "pair alloc_fast alloc_slow" {
+		t.Errorf("pair not first: %+v", sugg)
+	}
+}
+
+func TestInferUnknownFunc(t *testing.T) {
+	tu, _ := cparse.Parse("t.c", pairSrc)
+	if _, err := Infer(tu, "alloc_fast", "missing", DefaultOptions()); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestInferReturnsSet(t *testing.T) {
+	src := `
+int fast(int a) { if (a) return 2; return 0; }
+int slow(int a) { if (a < 0) return -1; return 0; }
+`
+	tu, err := cparse.Parse("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sugg, err := Infer(tu, "fast", "slow", DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var haveReturns, haveMatch bool
+	for _, s := range sugg {
+		if s.Directive == "returns fast {-1, 0}" {
+			haveReturns = true
+		}
+		if strings.HasPrefix(s.Directive, "match_output fast slow") {
+			haveMatch = true
+		}
+	}
+	if !haveReturns {
+		t.Errorf("returns set not proposed: %+v", sugg)
+	}
+	if !haveMatch {
+		t.Errorf("match_output not proposed despite disagreeing constants: %+v", sugg)
+	}
+}
+
+func TestCorrelationMining(t *testing.T) {
+	// preferred_zone and nodemask co-occur in three functions; alone in none.
+	src := `
+unsigned long nodemask;
+struct zone { int id; };
+int pick_a(struct zone *preferred_zone) { return nodemask & (1 << preferred_zone->id); }
+int pick_b(struct zone *preferred_zone) { return nodemask | preferred_zone->id; }
+int pick_c(struct zone *preferred_zone) { return (int)(nodemask >> preferred_zone->id); }
+int unrelated(int x) { return x; }
+`
+	tu, err := cparse.Parse("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sugg := InferCorrelations(tu, DefaultOptions())
+	found := false
+	for _, s := range sugg {
+		if s.Directive == "correlated nodemask preferred_zone" {
+			found = true
+		}
+		if strings.Contains(s.Directive, "unrelated") || strings.Contains(s.Directive, " x") {
+			t.Errorf("spurious correlation: %+v", s)
+		}
+	}
+	if !found {
+		t.Errorf("expected nodemask~preferred_zone, got %+v", sugg)
+	}
+}
+
+func TestCorrelationThresholds(t *testing.T) {
+	// Only one co-occurrence: below default support of 2.
+	src := `
+unsigned long a_mask;
+unsigned long b_mask;
+int once(int unused) { return (int)(a_mask & b_mask); }
+int other_a(int unused) { return (int)a_mask; }
+int other_b(int unused) { return (int)b_mask; }
+`
+	tu, err := cparse.Parse("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sugg := InferCorrelations(tu, DefaultOptions()); len(sugg) != 0 {
+		t.Errorf("below-threshold pair proposed: %+v", sugg)
+	}
+	loose := Options{MinCorrelationSupport: 1, MinCorrelationConfidence: 0.3}
+	if sugg := InferCorrelations(tu, loose); len(sugg) == 0 {
+		t.Error("loose thresholds should propose the pair")
+	}
+}
+
+func keys(m map[string]Suggestion) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

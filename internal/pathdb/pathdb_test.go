@@ -1,0 +1,137 @@
+package pathdb
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"pallas/internal/cparse"
+	"pallas/internal/paths"
+)
+
+const src = `
+int fast(int a) {
+	if (a > 0)
+		return 1;
+	return 0;
+}
+int slow(int a) {
+	int r = 0;
+	while (r < a)
+		r++;
+	return r;
+}
+`
+
+func buildDB(t *testing.T, names ...string) *DB {
+	t.Helper()
+	tu, err := cparse.Parse("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := paths.NewExtractor(tu, paths.DefaultConfig())
+	db, err := Build(ex, "t.c", names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestBuildAll(t *testing.T) {
+	db := buildDB(t)
+	if got := db.Funcs(); len(got) != 2 || got[0] != "fast" || got[1] != "slow" {
+		t.Fatalf("funcs = %v", got)
+	}
+	if db.NumPaths() < 3 {
+		t.Errorf("paths = %d", db.NumPaths())
+	}
+	if db.Get("fast") == nil || db.Get("zzz") != nil {
+		t.Error("Get wrong")
+	}
+	if db.BuiltAt == "" {
+		t.Error("BuiltAt not stamped")
+	}
+}
+
+func TestBuildNamed(t *testing.T) {
+	db := buildDB(t, "fast")
+	if len(db.Funcs()) != 1 {
+		t.Fatalf("funcs = %v", db.Funcs())
+	}
+	fp := db.FuncPaths("fast")
+	if fp == nil || len(fp.Paths) != 2 {
+		t.Fatalf("fast paths = %+v", fp)
+	}
+	if db.FuncPaths("slow") != nil {
+		t.Error("slow should be absent")
+	}
+}
+
+func TestBuildUnknownFunc(t *testing.T) {
+	tu, _ := cparse.Parse("t.c", src)
+	ex := paths.NewExtractor(tu, paths.DefaultConfig())
+	if _, err := Build(ex, "t.c", "missing"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	db := buildDB(t)
+	var buf bytes.Buffer
+	if err := db.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Target != "t.c" || back.NumPaths() != db.NumPaths() {
+		t.Fatalf("round trip: %+v", back)
+	}
+	// Deep-check one path survives with its records.
+	a := db.Get("fast").Paths[0]
+	b := back.Get("fast").Paths[0]
+	if a.Signature != b.Signature || len(a.Conds) != len(b.Conds) || a.Out.Expr != b.Out.Expr {
+		t.Errorf("path drift:\n%v\nvs\n%v", a, b)
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	db := buildDB(t)
+	path := filepath.Join(t.TempDir(), "paths.json")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Funcs()) != 2 {
+		t.Fatalf("loaded funcs = %v", back.Funcs())
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("expected load error")
+	}
+}
+
+func TestReadGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewBufferString("{not json")); err == nil {
+		t.Fatal("expected decode error")
+	}
+	db, err := Read(bytes.NewBufferString("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Entries == nil {
+		t.Fatal("entries map not initialized")
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	db := New("x")
+	db.Put(&paths.FuncPaths{Fn: "f", Signature: "f()"})
+	db.Put(&paths.FuncPaths{Fn: "f", Signature: "f(a)"})
+	if db.Get("f").Signature != "f(a)" {
+		t.Error("Put did not replace")
+	}
+}

@@ -1,0 +1,85 @@
+package pathdb
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSelectByVarAndCall(t *testing.T) {
+	db := buildDB(t)
+	// fast(): paths testing a.
+	hits := db.Select(Query{TestsVar: "a"})
+	if len(hits) == 0 {
+		t.Fatal("no paths test a")
+	}
+	for _, h := range hits {
+		if !h.Path.TestsVar("a") {
+			t.Errorf("hit does not test a: %v", h.Path)
+		}
+	}
+	// Paths of slow that write r.
+	hits = db.Select(Query{Func: "slow", WritesTo: "r"})
+	if len(hits) == 0 {
+		t.Fatal("no slow paths write r")
+	}
+	for _, h := range hits {
+		if h.Func != "slow" {
+			t.Errorf("func filter leaked: %s", h.Func)
+		}
+	}
+	// No path calls anything in this source.
+	if hits := db.Select(Query{Calls: "nothing"}); len(hits) != 0 {
+		t.Errorf("phantom calls: %v", hits)
+	}
+}
+
+func TestSelectByReturnAndDepth(t *testing.T) {
+	db := buildDB(t)
+	hits := db.Select(Query{Func: "fast", ReturnsExpr: "1"})
+	if len(hits) != 1 {
+		t.Fatalf("want one fast path returning 1, got %d", len(hits))
+	}
+	deep := db.Select(Query{MinConds: 1})
+	for _, h := range deep {
+		if len(h.Path.Conds) < 1 {
+			t.Error("MinConds filter leaked")
+		}
+	}
+	if len(db.Select(Query{MinConds: 99})) != 0 {
+		t.Error("impossible depth matched")
+	}
+}
+
+func TestSelectOrderingDeterministic(t *testing.T) {
+	db := buildDB(t)
+	a := db.Select(Query{})
+	b := db.Select(Query{})
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic size")
+	}
+	for i := range a {
+		if a[i].Func != b[i].Func || a[i].Path.Index != b[i].Path.Index {
+			t.Fatal("nondeterministic order")
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i-1].Func > a[i].Func {
+			t.Fatal("not sorted by function")
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	db := buildDB(t)
+	st := db.ComputeStats()
+	if st.Funcs != 2 || st.Paths != db.NumPaths() {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Conds == 0 || st.States == 0 {
+		t.Errorf("empty tallies: %+v", st)
+	}
+	out := st.String()
+	if !strings.Contains(out, "fast:") || !strings.Contains(out, "total:") {
+		t.Errorf("render:\n%s", out)
+	}
+}

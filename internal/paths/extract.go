@@ -1,0 +1,722 @@
+package paths
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pallas/internal/cast"
+	"pallas/internal/cfg"
+	"pallas/internal/ctok"
+	"pallas/internal/sym"
+)
+
+// Config bounds path extraction.
+type Config struct {
+	// MaxPaths caps the number of enumerated paths per function.
+	MaxPaths int
+	// MaxBlockVisits bounds how often one block may appear on a single path;
+	// 2 lets every loop contribute its 0- and 1-iteration behaviours.
+	MaxBlockVisits int
+	// InlineDepth bounds transitive callee summarization.
+	InlineDepth int
+}
+
+// DefaultConfig mirrors the paper's bounded exploration.
+func DefaultConfig() Config {
+	return Config{MaxPaths: 512, MaxBlockVisits: 2, InlineDepth: 2}
+}
+
+// Extractor extracts paths for functions of one translation unit.
+type Extractor struct {
+	tu   *cast.TranslationUnit
+	cfg  Config
+	sums map[string]*Summary
+	// graphs caches built CFGs.
+	graphs map[string]*cfg.Graph
+}
+
+// NewExtractor returns an extractor over tu.
+func NewExtractor(tu *cast.TranslationUnit, c Config) *Extractor {
+	if c.MaxPaths <= 0 {
+		c.MaxPaths = 512
+	}
+	if c.MaxBlockVisits <= 0 {
+		c.MaxBlockVisits = 2
+	}
+	return &Extractor{tu: tu, cfg: c, sums: map[string]*Summary{}, graphs: map[string]*cfg.Graph{}}
+}
+
+// TU returns the translation unit being analyzed.
+func (ex *Extractor) TU() *cast.TranslationUnit { return ex.tu }
+
+func (ex *Extractor) graph(name string) (*cfg.Graph, error) {
+	if g, ok := ex.graphs[name]; ok {
+		return g, nil
+	}
+	fn := ex.tu.Func(name)
+	if fn == nil {
+		return nil, fmt.Errorf("paths: no function %q", name)
+	}
+	g, err := cfg.Build(fn)
+	if err != nil {
+		return nil, err
+	}
+	ex.graphs[name] = g
+	return g, nil
+}
+
+// Signature renders a function header as "name(p1, p2, ...)".
+func Signature(fn *cast.FuncDecl) string {
+	parts := make([]string, len(fn.Params))
+	for i, p := range fn.Params {
+		if p.Name != "" {
+			parts[i] = p.Name
+		} else {
+			parts[i] = p.Type.String()
+		}
+	}
+	return fn.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Extract enumerates the execution paths of the named function.
+func (ex *Extractor) Extract(name string) (*FuncPaths, error) {
+	g, err := ex.graph(name)
+	if err != nil {
+		return nil, err
+	}
+	fp := &FuncPaths{Fn: name, Signature: Signature(g.Fn)}
+	st := &walkState{ex: ex, g: g, fp: fp}
+	env := sym.NewEnv()
+	for _, p := range g.Fn.Params {
+		if p.Name != "" {
+			env.Set(p.Name, sym.NewSym(p.Name))
+		}
+	}
+	for _, v := range ex.tu.Globals() {
+		env.Set(v.Name, sym.NewSym(v.Name))
+	}
+	st.walk(g.Entry, env, &pathBuild{visits: map[int]int{}})
+	for i, p := range fp.Paths {
+		p.Index = i
+	}
+	return fp, nil
+}
+
+// ExtractAll extracts paths for every function with a body, sorted by name.
+func (ex *Extractor) ExtractAll() ([]*FuncPaths, error) {
+	fns := ex.tu.Funcs()
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Name < fns[j].Name })
+	out := make([]*FuncPaths, 0, len(fns))
+	for _, fn := range fns {
+		fp, err := ex.Extract(fn.Name)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, fp)
+	}
+	return out, nil
+}
+
+// pathBuild accumulates one path during the DFS.
+type pathBuild struct {
+	blocks []int
+	conds  []Condition
+	states []StateUpdate
+	calls  []CallRecord
+	visits map[int]int
+	tempN  int
+}
+
+func (pb *pathBuild) clone() *pathBuild {
+	c := &pathBuild{
+		blocks: append([]int(nil), pb.blocks...),
+		conds:  append([]Condition(nil), pb.conds...),
+		states: append([]StateUpdate(nil), pb.states...),
+		calls:  append([]CallRecord(nil), pb.calls...),
+		visits: make(map[int]int, len(pb.visits)),
+		tempN:  pb.tempN,
+	}
+	for k, v := range pb.visits {
+		c.visits[k] = v
+	}
+	return c
+}
+
+type walkState struct {
+	ex *Extractor
+	g  *cfg.Graph
+	fp *FuncPaths
+}
+
+func (st *walkState) walk(b *cfg.Block, env *sym.Env, pb *pathBuild) {
+	if st.fp.Truncated || len(st.fp.Paths) >= st.ex.cfg.MaxPaths {
+		st.fp.Truncated = len(st.fp.Paths) >= st.ex.cfg.MaxPaths
+		return
+	}
+	if pb.visits[b.ID] >= st.ex.cfg.MaxBlockVisits {
+		return // loop bound reached; abandon this continuation
+	}
+	pb.visits[b.ID]++
+	pb.blocks = append(pb.blocks, b.ID)
+
+	ev := &evaluator{st: st, env: env, pb: pb}
+	var ret *cast.ReturnStmt
+	for _, s := range b.Stmts {
+		ev.stmt(s)
+		if r, ok := s.(*cast.ReturnStmt); ok {
+			ret = r
+		}
+	}
+
+	if b == st.g.Exit || ret != nil {
+		st.emit(env, pb, ret)
+		return
+	}
+	if len(b.Succs) == 0 {
+		st.emit(env, pb, nil)
+		return
+	}
+
+	if b.Cond == nil {
+		// Unconditional: single successor expected.
+		st.walk(b.Succs[0].To, env, pb)
+		return
+	}
+
+	condText := cast.ExprString(b.Cond)
+	symv := ev.eval(b.Cond)
+	vars := cast.Idents(b.Cond)
+	fields := fieldPaths(b.Cond)
+	line := b.Cond.Pos().Line
+
+	// Disequality refutation: a symbolic equality over an excluded value has
+	// a known outcome even though the operand itself is unbound.
+	known, knownVal := refuteByExclusion(env, b.Cond)
+
+	for _, e := range b.Succs {
+		outcome := e.Kind.String()
+		if e.Kind == cfg.Case {
+			outcome = "case " + e.Label
+		}
+		// Concrete condition pruning: when the condition folds to a constant,
+		// only the matching boolean edge is feasible.
+		if n, ok := symv.ConcreteInt(); ok && (e.Kind == cfg.True || e.Kind == cfg.False) {
+			if (n != 0) != (e.Kind == cfg.True) {
+				continue
+			}
+		}
+		if known && (e.Kind == cfg.True || e.Kind == cfg.False) {
+			if knownVal != (e.Kind == cfg.True) {
+				continue
+			}
+		}
+		branchEnv := env.Clone()
+		// Branch refinement applies to boolean edges only; Case/Default
+		// edges carry a switch tag, not a truth value.
+		if e.Kind == cfg.True || e.Kind == cfg.False {
+			refineEnv(branchEnv, b.Cond, e.Kind == cfg.True)
+		} else if e.Kind == cfg.Case {
+			refineCaseEnv(branchEnv, b.Cond, e.Label)
+		}
+		branchPB := pb.clone()
+		branchPB.conds = append(branchPB.conds, Condition{
+			Expr: condText, Sym: symv.String(), Outcome: outcome,
+			Vars: vars, Fields: fields, Line: line,
+		})
+		st.walk(e.To, branchEnv, branchPB)
+	}
+}
+
+// refineEnv narrows the symbolic environment with what a taken branch
+// implies, so later conditions over the same variable fold concretely and
+// infeasible continuations are pruned. Only equalities and plain truthiness
+// are learned — sound and cheap:
+//
+//	if (x == K) taken      →  x = K
+//	if (x != K) not taken  →  x = K
+//	if (x) not taken       →  x = 0
+//	if (!x) taken          →  x = 0
+//
+// Conjunctions distribute on the true edge (a && b true implies both), and
+// disjunctions distribute on the false edge (a || b false refutes both).
+func refineEnv(env *sym.Env, cond cast.Expr, taken bool) {
+	switch x := cond.(type) {
+	case *cast.IdentExpr:
+		if !taken {
+			env.Set(x.Name, sym.NewInt(0))
+		}
+	case *cast.UnaryExpr:
+		if x.Op == ctok.Not {
+			refineEnv(env, x.X, !taken)
+		}
+	case *cast.BinaryExpr:
+		switch x.Op {
+		case ctok.EqEq, ctok.NotEq:
+			id, c := equalityOperands(x)
+			if id == "" {
+				return
+			}
+			if taken == (x.Op == ctok.EqEq) {
+				env.Set(id, sym.NewInt(c))
+			} else {
+				env.Exclude(id, c)
+			}
+		case ctok.AndAnd:
+			if taken {
+				refineEnv(env, x.L, true)
+				refineEnv(env, x.R, true)
+			}
+		case ctok.OrOr:
+			if !taken {
+				refineEnv(env, x.L, false)
+				refineEnv(env, x.R, false)
+			}
+		}
+	}
+}
+
+func (st *walkState) emit(env *sym.Env, pb *pathBuild, ret *cast.ReturnStmt) {
+	if len(st.fp.Paths) >= st.ex.cfg.MaxPaths {
+		st.fp.Truncated = true
+		return
+	}
+	p := &ExecPath{
+		Fn:        st.fp.Fn,
+		Signature: st.fp.Signature,
+		Blocks:    pb.blocks,
+		Conds:     pb.conds,
+		States:    pb.states,
+		Calls:     pb.calls,
+	}
+	out := &Output{Void: true}
+	if ret != nil {
+		out.Line = ret.P.Line
+		if ret.X != nil {
+			ev := &evaluator{st: st, env: env, pb: pb}
+			out.Void = false
+			out.Expr = cast.ExprString(ret.X)
+			out.Sym = ev.evalNoEffects(ret.X).String()
+		}
+	}
+	p.Out = out
+	markChecked(p)
+	st.fp.Paths = append(st.fp.Paths, p)
+}
+
+// refineCaseEnv binds a switch tag to the matched case label when both are
+// simple (an identifier tag and an integer or enum-like label).
+func refineCaseEnv(env *sym.Env, tag cast.Expr, label string) {
+	id, ok := tag.(*cast.IdentExpr)
+	if !ok {
+		return
+	}
+	n, err := strconv.ParseInt(label, 0, 64)
+	if err != nil {
+		return // enum-named labels would need the TU; leave symbolic
+	}
+	env.Set(id.Name, sym.NewInt(n))
+}
+
+// equalityOperands extracts (ident, constant) from `x == K` / `K == x`
+// shaped comparisons; returns "" when the shape does not match.
+func equalityOperands(x *cast.BinaryExpr) (string, int64) {
+	if id, ok := x.L.(*cast.IdentExpr); ok {
+		if c, ok2 := x.R.(*cast.IntExpr); ok2 {
+			return id.Name, c.Value
+		}
+	}
+	if id, ok := x.R.(*cast.IdentExpr); ok {
+		if c, ok2 := x.L.(*cast.IntExpr); ok2 {
+			return id.Name, c.Value
+		}
+	}
+	return "", 0
+}
+
+// refuteByExclusion decides a symbolic equality condition using recorded
+// disequalities: `x == K` with x≠K known is false; `x != K` is true.
+func refuteByExclusion(env *sym.Env, cond cast.Expr) (known bool, value bool) {
+	x, ok := cond.(*cast.BinaryExpr)
+	if !ok {
+		return false, false
+	}
+	if x.Op != ctok.EqEq && x.Op != ctok.NotEq {
+		return false, false
+	}
+	id, c := equalityOperands(x)
+	if id == "" || !env.Excluded(id, c) {
+		return false, false
+	}
+	// Exclusions only apply while the variable is still symbolic; a concrete
+	// rebinding would have cleared them via Set.
+	return true, x.Op == ctok.NotEq
+}
+
+// markChecked sets CallRecord.ResultChecked for calls whose receiving lvalue
+// or call expression is referenced by a later condition on the path.
+func markChecked(p *ExecPath) {
+	for i := range p.Calls {
+		c := &p.Calls[i]
+		for _, cond := range p.Conds {
+			if strings.Contains(cond.Expr, c.Name+"(") {
+				c.ResultChecked = true
+				break
+			}
+			if c.AssignedTo != "" {
+				for _, v := range cond.Vars {
+					if v == c.AssignedTo {
+						c.ResultChecked = true
+					}
+				}
+				for _, f := range cond.Fields {
+					if f == c.AssignedTo {
+						c.ResultChecked = true
+					}
+				}
+			}
+			if c.ResultChecked {
+				break
+			}
+		}
+	}
+}
+
+// fieldPaths collects canonical member-access paths in an expression.
+func fieldPaths(e cast.Expr) []string {
+	var out []string
+	seen := map[string]bool{}
+	cast.Walk(e, func(n cast.Node) bool {
+		if m, ok := n.(*cast.MemberExpr); ok {
+			s := cast.ExprString(m)
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Symbolic statement/expression evaluation
+// ---------------------------------------------------------------------------
+
+type evaluator struct {
+	st  *walkState
+	env *sym.Env
+	pb  *pathBuild
+	// silent suppresses effect recording (used for return-expression
+	// re-evaluation where effects were already recorded).
+	silent bool
+}
+
+func (ev *evaluator) stmt(s cast.Stmt) {
+	switch x := s.(type) {
+	case *cast.DeclStmt:
+		var v *sym.Value
+		if x.Init != nil {
+			v = ev.eval(x.Init)
+			ev.bindCallResult(x.Init, x.Name)
+		} else {
+			v = sym.NewSym(x.Name)
+		}
+		ev.env.Set(x.Name, v)
+		ev.record(StateUpdate{Target: x.Name, Root: x.Name, Value: v.String(), Kind: Decl, Line: x.P.Line})
+	case *cast.ExprStmt:
+		before := len(ev.pb.calls)
+		ev.eval(x.X)
+		// A call used directly as a statement discards its result.
+		if c, ok := stripCasts(x.X).(*cast.CallExpr); ok && len(ev.pb.calls) > before {
+			last := &ev.pb.calls[len(ev.pb.calls)-1]
+			if name, ok2 := c.Fun.(*cast.IdentExpr); ok2 && last.Name == name.Name {
+				last.ResultUsed = false
+			}
+		}
+	case *cast.ReturnStmt:
+		if x.X != nil {
+			ev.eval(x.X)
+		}
+	case *cast.CompoundStmt:
+		for _, sub := range x.Stmts {
+			ev.stmt(sub)
+		}
+	}
+}
+
+func (ev *evaluator) record(u StateUpdate) {
+	if ev.silent {
+		return
+	}
+	ev.pb.states = append(ev.pb.states, u)
+}
+
+func (ev *evaluator) recordCall(c CallRecord) {
+	if ev.silent {
+		return
+	}
+	ev.pb.calls = append(ev.pb.calls, c)
+}
+
+func (ev *evaluator) fresh() *sym.Value {
+	ev.pb.tempN++
+	return sym.NewTemp(ev.pb.tempN)
+}
+
+// evalNoEffects evaluates without recording state updates or calls.
+func (ev *evaluator) evalNoEffects(e cast.Expr) *sym.Value {
+	sub := &evaluator{st: ev.st, env: ev.env, pb: ev.pb, silent: true}
+	return sub.eval(e)
+}
+
+func (ev *evaluator) eval(e cast.Expr) *sym.Value {
+	switch x := e.(type) {
+	case nil:
+		return sym.NewSym("void")
+	case *cast.IdentExpr:
+		if v := ev.env.Get(x.Name); v != nil {
+			return v
+		}
+		if v, ok := ev.st.ex.tu.EnumValue(x.Name); ok {
+			return sym.NewInt(v)
+		}
+		return sym.NewSym(x.Name)
+	case *cast.IntExpr:
+		return sym.NewInt(x.Value)
+	case *cast.FloatExpr:
+		return sym.NewSym("float:" + x.Text)
+	case *cast.StrExpr:
+		return sym.NewStr(x.Value)
+	case *cast.CharExpr:
+		if len(x.Value) == 1 {
+			return sym.NewInt(int64(x.Value[0]))
+		}
+		return sym.NewSym("char:" + x.Value)
+	case *cast.AssignExpr:
+		return ev.assign(x)
+	case *cast.BinaryExpr:
+		l := ev.eval(x.L)
+		r := ev.eval(x.R)
+		return sym.NewExpr(x.Op.String(), l, r)
+	case *cast.UnaryExpr:
+		switch x.Op {
+		case ctok.Inc, ctok.Dec:
+			return ev.incdec(x.X, x.Op, x.Pos())
+		case ctok.KwSizeof:
+			return sym.NewExpr("sizeof", ev.evalNoEffects(x.X))
+		case ctok.Amp:
+			return sym.NewExpr("&", ev.evalNoEffects(x.X))
+		case ctok.Star:
+			return sym.NewExpr("*", ev.eval(x.X))
+		default:
+			return sym.NewExpr(x.Op.String(), ev.eval(x.X))
+		}
+	case *cast.PostfixExpr:
+		return ev.incdec(x.X, x.Op, x.Pos())
+	case *cast.CondExpr:
+		c := ev.eval(x.Cond)
+		if n, ok := c.ConcreteInt(); ok {
+			if n != 0 {
+				return ev.eval(x.Then)
+			}
+			return ev.eval(x.Else)
+		}
+		t := ev.eval(x.Then)
+		f := ev.eval(x.Else)
+		return sym.NewExpr("?:", c, t, f)
+	case *cast.CallExpr:
+		return ev.call(x)
+	case *cast.MemberExpr:
+		path := cast.ExprString(x)
+		if v := ev.env.Get(path); v != nil {
+			return v
+		}
+		base := ev.evalNoEffects(x.X)
+		op := "."
+		if x.Arrow {
+			op = "->"
+		}
+		return sym.NewExpr(op, base, sym.NewSym(x.Field))
+	case *cast.IndexExpr:
+		base := ev.eval(x.X)
+		idx := ev.eval(x.Index)
+		return sym.NewExpr("[]", base, idx)
+	case *cast.CastExpr:
+		return ev.eval(x.X)
+	case *cast.SizeofTypeExpr:
+		return sym.NewInt(int64(x.Type.SizeOf()))
+	case *cast.CommaExpr:
+		ev.eval(x.L)
+		return ev.eval(x.R)
+	case *cast.InitListExpr:
+		for _, el := range x.Elems {
+			ev.eval(el)
+		}
+		return ev.fresh()
+	}
+	return ev.fresh()
+}
+
+func (ev *evaluator) assign(x *cast.AssignExpr) *sym.Value {
+	rhs := ev.eval(x.R)
+	if x.Op != ctok.Assign {
+		// compound: a += b ⇒ a = a op b
+		cur := ev.evalNoEffects(x.L)
+		op := strings.TrimSuffix(x.Op.String(), "=")
+		rhs = sym.NewExpr(op, cur, rhs)
+	}
+	target := cast.ExprString(x.L)
+	root := cast.RootIdent(x.L)
+	ev.bindCallResult(x.R, target)
+	ev.env.Set(target, rhs)
+	// Writing through the whole variable invalidates field bindings.
+	if _, isIdent := x.L.(*cast.IdentExpr); isIdent {
+		for _, n := range ev.env.Names() {
+			if strings.HasPrefix(n, target+"->") || strings.HasPrefix(n, target+".") {
+				ev.env.Delete(n)
+			}
+		}
+	}
+	ev.record(StateUpdate{Target: target, Root: root, Value: rhs.String(), Kind: Assign, Line: x.P.Line})
+	return rhs
+}
+
+// stripCasts unwraps cast expressions.
+func stripCasts(e cast.Expr) cast.Expr {
+	for {
+		if c, ok := e.(*cast.CastExpr); ok {
+			e = c.X
+			continue
+		}
+		return e
+	}
+}
+
+// bindCallResult marks the most recent call record as assigned to target when
+// rhs is (after casts) a direct call expression.
+func (ev *evaluator) bindCallResult(rhs cast.Expr, target string) {
+	if ev.silent || len(ev.pb.calls) == 0 {
+		return
+	}
+	c, ok := stripCasts(rhs).(*cast.CallExpr)
+	if !ok {
+		return
+	}
+	name, ok := c.Fun.(*cast.IdentExpr)
+	if !ok {
+		return
+	}
+	last := &ev.pb.calls[len(ev.pb.calls)-1]
+	if last.Name == name.Name && last.AssignedTo == "" {
+		last.AssignedTo = target
+		last.ResultUsed = true
+	}
+}
+
+func (ev *evaluator) incdec(l cast.Expr, op ctok.Kind, pos ctok.Pos) *sym.Value {
+	cur := ev.evalNoEffects(l)
+	delta := sym.NewInt(1)
+	var next *sym.Value
+	if op == ctok.Inc {
+		next = sym.NewExpr("+", cur, delta)
+	} else {
+		next = sym.NewExpr("-", cur, delta)
+	}
+	target := cast.ExprString(l)
+	ev.env.Set(target, next)
+	ev.record(StateUpdate{Target: target, Root: cast.RootIdent(l), Value: next.String(), Kind: IncDec, Line: pos.Line})
+	return cur
+}
+
+func (ev *evaluator) call(x *cast.CallExpr) *sym.Value {
+	name := ""
+	if id, ok := x.Fun.(*cast.IdentExpr); ok {
+		name = id.Name
+	} else {
+		name = cast.ExprString(x.Fun)
+	}
+	args := make([]string, len(x.Args))
+	argVals := make([]*sym.Value, len(x.Args))
+	for i, a := range x.Args {
+		args[i] = cast.ExprString(a)
+		argVals[i] = ev.eval(a)
+	}
+	rec := CallRecord{Name: name, Args: args, Line: x.P.Line, ResultUsed: true}
+
+	// Apply a callee summary when available.
+	var result *sym.Value
+	if !ev.silent && ev.st.ex.cfg.InlineDepth > 0 {
+		if sum := ev.st.ex.summary(name, ev.st.ex.cfg.InlineDepth); sum != nil {
+			rec.Inlined = true
+			ev.applySummary(sum, x, argVals)
+		}
+	}
+	if result == nil {
+		result = sym.NewExpr(name, argVals...)
+	}
+	ev.recordCall(rec)
+	return result
+}
+
+// applySummary instantiates a callee summary at a call site: effects on
+// global variables and on fields reached through pointer arguments are
+// replayed into the caller's path, tagged with the callee name.
+func (ev *evaluator) applySummary(sum *Summary, call *cast.CallExpr, argVals []*sym.Value) {
+	rename := func(target string) (string, bool) {
+		// Effects on globals keep their name; effects rooted at a parameter
+		// are rewritten in terms of the actual argument expression.
+		root := target
+		rest := ""
+		for i := 0; i < len(target); i++ {
+			if target[i] == '-' || target[i] == '.' {
+				root = target[:i]
+				rest = target[i:]
+				break
+			}
+		}
+		for pi, pn := range sum.ParamNames {
+			if pn == root {
+				if pi < len(call.Args) {
+					base := cast.ExprString(call.Args[pi])
+					return base + rest, true
+				}
+				return "", false
+			}
+		}
+		if sum.Globals[root] {
+			return target, true
+		}
+		return "", false
+	}
+	for _, eff := range sum.Effects {
+		t, ok := rename(eff.Target)
+		if !ok {
+			continue
+		}
+		root := t
+		for i := 0; i < len(t); i++ {
+			if t[i] == '-' || t[i] == '.' || t[i] == '[' {
+				root = t[:i]
+				break
+			}
+		}
+		v := ev.fresh()
+		ev.env.Set(t, v)
+		ev.record(StateUpdate{Target: t, Root: root, Value: eff.Value, Kind: CallEffect, Line: call.P.Line, Callee: sum.Name})
+	}
+	for _, cc := range sum.Conds {
+		t, ok := rename(cc.Target)
+		if !ok {
+			continue
+		}
+		ev.pb.conds = append(ev.pb.conds, Condition{
+			Expr: cc.Expr, Sym: "(S#" + t + ")", Outcome: "callee",
+			Vars: []string{t}, Line: call.P.Line, FromCallee: sum.Name,
+		})
+	}
+	for _, callee := range sum.Calls {
+		ev.recordCall(CallRecord{Name: callee, Line: call.P.Line, Inlined: true, FromCallee: sum.Name})
+	}
+}

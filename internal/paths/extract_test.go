@@ -1,0 +1,393 @@
+package paths
+
+import (
+	"strings"
+	"testing"
+
+	"pallas/internal/cparse"
+)
+
+func extract(t *testing.T, src, fn string) *FuncPaths {
+	t.Helper()
+	tu, err := cparse.Parse("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ex := NewExtractor(tu, DefaultConfig())
+	fp, err := ex.Extract(fn)
+	if err != nil {
+		t.Fatalf("extract: %v", err)
+	}
+	return fp
+}
+
+func TestTwoPathsFromIf(t *testing.T) {
+	fp := extract(t, `
+int f(int a) {
+	int r = 0;
+	if (a > 0)
+		r = 1;
+	else
+		r = 2;
+	return r;
+}`, "f")
+	if len(fp.Paths) != 2 {
+		t.Fatalf("want 2 paths, got %d", len(fp.Paths))
+	}
+	// Each path returns a concrete integer after symbolic propagation.
+	got := map[string]bool{}
+	for _, p := range fp.Paths {
+		if p.Out == nil || p.Out.Void {
+			t.Fatalf("path has no output: %s", p)
+		}
+		got[p.Out.Sym] = true
+	}
+	if !got["(I#1)"] || !got["(I#2)"] {
+		t.Fatalf("outputs = %v, want I#1 and I#2", got)
+	}
+}
+
+func TestConditionRecorded(t *testing.T) {
+	fp := extract(t, `
+int g(int order) {
+	if (order == 0)
+		return 100;
+	return 200;
+}`, "g")
+	if len(fp.Paths) != 2 {
+		t.Fatalf("want 2 paths, got %d", len(fp.Paths))
+	}
+	for _, p := range fp.Paths {
+		if len(p.Conds) != 1 {
+			t.Fatalf("want 1 condition, got %d", len(p.Conds))
+		}
+		c := p.Conds[0]
+		if c.Expr != "order == 0" {
+			t.Errorf("cond expr = %q", c.Expr)
+		}
+		if len(c.Vars) != 1 || c.Vars[0] != "order" {
+			t.Errorf("cond vars = %v", c.Vars)
+		}
+		if c.Outcome != "true" && c.Outcome != "false" {
+			t.Errorf("outcome = %q", c.Outcome)
+		}
+	}
+}
+
+func TestStateUpdatesTracked(t *testing.T) {
+	fp := extract(t, `
+int h(gfp_t gfp_mask) {
+	gfp_mask = gfp_mask & 3;
+	return gfp_mask;
+}`, "h")
+	if len(fp.Paths) != 1 {
+		t.Fatalf("want 1 path, got %d", len(fp.Paths))
+	}
+	u, ok := fp.Paths[0].WritesTo("gfp_mask")
+	if !ok {
+		t.Fatal("write to gfp_mask not recorded")
+	}
+	if u.Kind != Assign {
+		t.Errorf("kind = %v", u.Kind)
+	}
+	if !strings.Contains(u.Value, "gfp_mask") {
+		t.Errorf("value = %q", u.Value)
+	}
+}
+
+func TestLoopBounded(t *testing.T) {
+	fp := extract(t, `
+int loop(int n) {
+	int s = 0;
+	while (s < n)
+		s = s + 1;
+	return s;
+}`, "loop")
+	if fp.Truncated {
+		t.Fatal("bounded loop must not truncate")
+	}
+	// 0-iteration and 1-iteration paths.
+	if len(fp.Paths) < 1 || len(fp.Paths) > 3 {
+		t.Fatalf("unexpected path count %d", len(fp.Paths))
+	}
+}
+
+func TestMemberAssignment(t *testing.T) {
+	fp := extract(t, `
+struct page { unsigned long private; };
+int set(struct page *page, int migratetype) {
+	page->private = migratetype;
+	return 0;
+}`, "set")
+	u, ok := fp.Paths[0].WritesTo("page->private")
+	if !ok {
+		t.Fatal("field write not recorded")
+	}
+	if u.Root != "page" {
+		t.Errorf("root = %q", u.Root)
+	}
+	if !strings.Contains(u.Value, "migratetype") {
+		t.Errorf("value = %q", u.Value)
+	}
+}
+
+func TestCallRecordedAndChecked(t *testing.T) {
+	fp := extract(t, `
+int helper(int a);
+int f(int a) {
+	int r = helper(a);
+	if (r < 0)
+		return -1;
+	helper(0);
+	return r;
+}`, "f")
+	var found *ExecPath
+	for _, p := range fp.Paths {
+		if len(p.Calls) == 2 {
+			found = p
+		}
+	}
+	if found == nil {
+		t.Fatalf("no path with 2 calls; paths: %d", len(fp.Paths))
+	}
+	first := found.Calls[0]
+	if first.Name != "helper" || !first.ResultChecked || first.AssignedTo != "r" {
+		t.Errorf("first call = %+v", first)
+	}
+	second := found.Calls[1]
+	if second.ResultChecked {
+		t.Errorf("second call should be unchecked: %+v", second)
+	}
+}
+
+func TestCalleeSummaryEffects(t *testing.T) {
+	fp := extract(t, `
+struct cmd { int state; };
+void reset_state(struct cmd *c) {
+	c->state = 0;
+}
+int f(struct cmd *cmd) {
+	reset_state(cmd);
+	return cmd->state;
+}`, "f")
+	p := fp.Paths[0]
+	var eff *StateUpdate
+	for i := range p.States {
+		if p.States[i].Kind == CallEffect {
+			eff = &p.States[i]
+		}
+	}
+	if eff == nil {
+		t.Fatalf("no call effect recorded; states=%+v", p.States)
+	}
+	if eff.Target != "cmd->state" || eff.Callee != "reset_state" {
+		t.Errorf("effect = %+v", *eff)
+	}
+}
+
+func TestConcreteBranchPruning(t *testing.T) {
+	fp := extract(t, `
+int f(void) {
+	int debug = 0;
+	if (debug)
+		return 1;
+	return 0;
+}`, "f")
+	if len(fp.Paths) != 1 {
+		t.Fatalf("constant-false branch must be pruned; got %d paths", len(fp.Paths))
+	}
+	if fp.Paths[0].Out.Sym != "(I#0)" {
+		t.Errorf("out = %s", fp.Paths[0].Out.Sym)
+	}
+}
+
+func TestSwitchPaths(t *testing.T) {
+	fp := extract(t, `
+int f(int x) {
+	switch (x) {
+	case 1: return 10;
+	case 2: return 20;
+	default: return 0;
+	}
+}`, "f")
+	if len(fp.Paths) != 3 {
+		t.Fatalf("want 3 paths, got %d", len(fp.Paths))
+	}
+}
+
+func TestMaxPathsTruncation(t *testing.T) {
+	// 12 sequential ifs => 4096 paths; cap at 64.
+	var sb strings.Builder
+	sb.WriteString("int f(int a) { int r = 0;\n")
+	for i := 0; i < 12; i++ {
+		sb.WriteString("if (a > ")
+		sb.WriteByte(byte('0' + i%10))
+		sb.WriteString(") r += 1;\n")
+	}
+	sb.WriteString("return r; }\n")
+	tu, err := cparse.Parse("t.c", sb.String())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ex := NewExtractor(tu, Config{MaxPaths: 64, MaxBlockVisits: 2, InlineDepth: 0})
+	fp, err := ex.Extract("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fp.Truncated {
+		t.Fatal("expected truncation")
+	}
+	if len(fp.Paths) > 64 {
+		t.Fatalf("cap exceeded: %d", len(fp.Paths))
+	}
+}
+
+func TestReturnConstants(t *testing.T) {
+	tu, err := cparse.Parse("t.c", `
+enum err { EIO = 5 };
+int f(int a) {
+	if (a) return -EIO;
+	if (a > 2) return 1;
+	return 0;
+}`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	got := ReturnConstants(tu, tu.Func("f"))
+	want := []int64{-5, 0, 1}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestSignatureRendering(t *testing.T) {
+	fp := extract(t, `int f(int a, char *b) { return a; }`, "f")
+	if fp.Signature != "f(a, b)" {
+		t.Errorf("signature = %q", fp.Signature)
+	}
+}
+
+// TestBranchRefinementPrunesInfeasible checks that a re-test of the same
+// variable after a taken branch folds concretely, eliminating the infeasible
+// combination (4 naive paths → 2 feasible ones).
+func TestBranchRefinementPrunesInfeasible(t *testing.T) {
+	fp := extract(t, `
+int f(int order) {
+	int r = 0;
+	if (order == 0)
+		r = 1;
+	if (order == 0)
+		r = r + 10;
+	return r;
+}`, "f")
+	if len(fp.Paths) != 2 {
+		t.Fatalf("want 2 feasible paths, got %d", len(fp.Paths))
+	}
+	got := map[string]bool{}
+	for _, p := range fp.Paths {
+		got[p.Out.Sym] = true
+	}
+	if !got["(I#11)"] || !got["(I#0)"] {
+		t.Fatalf("outputs = %v, want I#11 and I#0", got)
+	}
+}
+
+func TestRefinementTruthiness(t *testing.T) {
+	// On the else edge of `if (flag)`, flag is known 0; the second test of
+	// flag must not fork again.
+	fp := extract(t, `
+int f(int flag) {
+	if (flag)
+		return 1;
+	if (flag)
+		return 2; /* infeasible */
+	return 0;
+}`, "f")
+	if len(fp.Paths) != 2 {
+		t.Fatalf("want 2 paths, got %d", len(fp.Paths))
+	}
+	for _, p := range fp.Paths {
+		if p.Out.Sym == "(I#2)" {
+			t.Fatal("infeasible path survived")
+		}
+	}
+}
+
+func TestRefinementConjunction(t *testing.T) {
+	// a && b taken implies both truths are learned; != on the false edge
+	// binds the equality.
+	fp := extract(t, `
+int f(int a, int b) {
+	if (a == 1 && b == 2) {
+		if (a != 1)
+			return 9; /* infeasible */
+		return a + b;
+	}
+	return 0;
+}`, "f")
+	for _, p := range fp.Paths {
+		if p.Out.Sym == "(I#9)" {
+			t.Fatal("conjunction refinement missed")
+		}
+		if p.Out.Expr == "a + b" && p.Out.Sym != "(I#3)" {
+			t.Errorf("a+b should fold to 3, got %s", p.Out.Sym)
+		}
+	}
+}
+
+func TestRefinementDoesNotOverbind(t *testing.T) {
+	// `a < 5` teaches nothing; both sides of a later `a == 3` must survive.
+	fp := extract(t, `
+int f(int a) {
+	if (a < 5) {
+		if (a == 3)
+			return 1;
+		return 2;
+	}
+	return 0;
+}`, "f")
+	if len(fp.Paths) != 3 {
+		t.Fatalf("want 3 paths, got %d", len(fp.Paths))
+	}
+}
+
+// TestSwitchCaseBindsTag is the regression for a bug found by self-review:
+// Case/Default edges were treated as boolean-false edges, binding the switch
+// tag to 0 on every case arm. A case arm must instead bind the tag to the
+// matched label; the default arm must leave it symbolic.
+func TestSwitchCaseBindsTag(t *testing.T) {
+	fp := extract(t, `
+int f(int x) {
+	switch (x) {
+	case 1:
+		if (x == 1)
+			return 10; /* must fold true: x bound to 1 */
+		return 99;     /* infeasible */
+	case 2:
+		return 20;
+	default:
+		if (x == 1)
+			return 30; /* tag symbolic here; both arms survive */
+		return 0;
+	}
+}`, "f")
+	got := map[string]int{}
+	for _, p := range fp.Paths {
+		got[p.Out.Sym]++
+	}
+	if got["(I#99)"] != 0 {
+		t.Fatalf("infeasible case-arm path survived: %v", got)
+	}
+	if got["(I#10)"] != 1 || got["(I#20)"] != 1 {
+		t.Fatalf("case arms wrong: %v", got)
+	}
+	// Default arm keeps x symbolic: both the ==1 and !=1 continuations exist.
+	if got["(I#30)"] != 1 || got["(I#0)"] != 1 {
+		t.Fatalf("default arm refinement wrong: %v", got)
+	}
+}

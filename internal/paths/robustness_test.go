@@ -1,0 +1,99 @@
+package paths
+
+import (
+	"testing"
+
+	"pallas/internal/corpus"
+	"pallas/internal/cparse"
+)
+
+// TestExtractionInvariantsOverCorpus runs path extraction over every corpus
+// case and showcase source and asserts structural invariants of every path:
+// an output record exists, traversed blocks are recorded, condition outcomes
+// are well-formed, and extraction is deterministic.
+func TestExtractionInvariantsOverCorpus(t *testing.T) {
+	sources := map[string]string{}
+	for _, c := range corpus.Generate().Cases {
+		sources[c.ID] = c.Source
+	}
+	for _, sc := range corpus.Showcases() {
+		sources["showcase/"+sc.ID] = sc.Source
+	}
+	for id, src := range sources {
+		tu, err := cparse.Parse(id+".c", src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", id, err)
+		}
+		ex := NewExtractor(tu, DefaultConfig())
+		all, err := ex.ExtractAll()
+		if err != nil {
+			t.Fatalf("%s: extract: %v", id, err)
+		}
+		for _, fp := range all {
+			if len(fp.Paths) == 0 && !fp.Truncated {
+				t.Errorf("%s/%s: zero paths", id, fp.Fn)
+			}
+			for _, p := range fp.Paths {
+				if p.Out == nil {
+					t.Errorf("%s/%s path %d: nil output", id, fp.Fn, p.Index)
+				}
+				if len(p.Blocks) == 0 {
+					t.Errorf("%s/%s path %d: no blocks", id, fp.Fn, p.Index)
+				}
+				for _, c := range p.Conds {
+					switch {
+					case c.Outcome == "true", c.Outcome == "false",
+						c.Outcome == "default", c.Outcome == "callee":
+					default:
+						if len(c.Outcome) < 5 || c.Outcome[:4] != "case" {
+							t.Errorf("%s/%s path %d: bad outcome %q", id, fp.Fn, p.Index, c.Outcome)
+						}
+					}
+					if c.Expr == "" {
+						t.Errorf("%s/%s path %d: empty condition", id, fp.Fn, p.Index)
+					}
+				}
+				for _, s := range p.States {
+					if s.Target == "" || s.Value == "" {
+						t.Errorf("%s/%s path %d: empty state update %+v", id, fp.Fn, p.Index, s)
+					}
+				}
+			}
+		}
+		// Determinism: a second extraction yields identical path counts and
+		// signatures.
+		ex2 := NewExtractor(tu, DefaultConfig())
+		all2, err := ex2.ExtractAll()
+		if err != nil {
+			t.Fatalf("%s: re-extract: %v", id, err)
+		}
+		if len(all) != len(all2) {
+			t.Fatalf("%s: nondeterministic function count", id)
+		}
+		for i := range all {
+			if all[i].Fn != all2[i].Fn || len(all[i].Paths) != len(all2[i].Paths) {
+				t.Errorf("%s: nondeterministic extraction for %s", id, all[i].Fn)
+			}
+		}
+	}
+}
+
+// TestPathStringRendering smoke-tests the Table-5 renderer on a rich path.
+func TestPathStringRendering(t *testing.T) {
+	sc := corpus.ShowcaseByID("table5")
+	tu, err := cparse.Parse("t5.c", sc.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExtractor(tu, DefaultConfig())
+	fp, err := ex.Extract(sc.FastFunc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range fp.Paths {
+		s := p.String()
+		if len(s) == 0 {
+			t.Fatal("empty render")
+		}
+	}
+}

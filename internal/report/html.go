@@ -1,0 +1,88 @@
+package report
+
+import (
+	"html/template"
+	"io"
+)
+
+// htmlTemplate renders a report as a standalone HTML page, grouped by aspect.
+var htmlTemplate = template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>Pallas report — {{.Target}}</title>
+<style>
+ body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 72rem; color: #1a1a1a; }
+ h1 { font-size: 1.4rem; }
+ h2 { font-size: 1.1rem; margin-top: 2rem; border-bottom: 1px solid #ddd; padding-bottom: .3rem; }
+ table { border-collapse: collapse; width: 100%; }
+ th, td { text-align: left; padding: .35rem .6rem; border-bottom: 1px solid #eee; vertical-align: top; }
+ th { background: #f6f6f6; }
+ .rule { font-family: ui-monospace, monospace; white-space: nowrap; }
+ .loc { font-family: ui-monospace, monospace; color: #555; white-space: nowrap; }
+ .consequence { color: #8a4b00; }
+ .empty { color: #2a7a2a; font-weight: 600; }
+ .summary td { font-weight: 600; }
+</style>
+</head>
+<body>
+<h1>Pallas report — {{.Target}}</h1>
+{{if not .Warnings}}<p class="empty">No warnings: every checked rule holds.</p>{{end}}
+{{range .Groups}}
+<h2>{{.Aspect}} ({{len .Warnings}})</h2>
+<table>
+<tr><th>Rule</th><th>Location</th><th>Function</th><th>Subject</th><th>Message</th><th>Likely consequence</th></tr>
+{{range .Warnings}}
+<tr>
+ <td class="rule">{{.Rule}} {{.Finding}}</td>
+ <td class="loc">{{.File}}{{if .Line}}:{{.Line}}{{end}}</td>
+ <td>{{.Func}}</td>
+ <td>{{.Subject}}</td>
+ <td>{{.Message}}</td>
+ <td class="consequence">{{.LikelyConsequence}}</td>
+</tr>
+{{end}}
+</table>
+{{end}}
+<h2>Summary</h2>
+<table>
+{{range .Counts}}<tr><td>{{.Name}}</td><td>{{.N}}</td></tr>{{end}}
+<tr class="summary"><td>Total</td><td>{{len .Warnings}}</td></tr>
+</table>
+</body>
+</html>
+`))
+
+type htmlGroup struct {
+	Aspect   string
+	Warnings []Warning
+}
+
+type htmlCount struct {
+	Name string
+	N    int
+}
+
+// WriteHTML renders the report as a standalone HTML page.
+func (r *Report) WriteHTML(w io.Writer) error {
+	byAspect := map[Aspect][]Warning{}
+	for _, warn := range r.Warnings {
+		byAspect[warn.Aspect()] = append(byAspect[warn.Aspect()], warn)
+	}
+	var groups []htmlGroup
+	var counts []htmlCount
+	for _, a := range Aspects() {
+		counts = append(counts, htmlCount{Name: a.String(), N: len(byAspect[a])})
+		if len(byAspect[a]) == 0 {
+			continue
+		}
+		groups = append(groups, htmlGroup{Aspect: a.String(), Warnings: byAspect[a]})
+	}
+	data := struct {
+		Target   string
+		Warnings []Warning
+		Groups   []htmlGroup
+		Counts   []htmlCount
+	}{r.Target, r.Warnings, groups, counts}
+	return htmlTemplate.Execute(w, data)
+}

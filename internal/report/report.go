@@ -1,0 +1,237 @@
+// Package report defines the warnings Pallas emits and utilities for
+// rendering and summarizing them. A warning identifies the violated rule,
+// the fast-path aspect it belongs to (the five categories of Table 1), and
+// the finding key used by the evaluation harness to aggregate Table-1 rows.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Aspect is one of the five error-prone aspects of a fast path.
+type Aspect int
+
+// The five aspects (Section 3 of the paper).
+const (
+	PathState Aspect = iota
+	TriggerCondition
+	PathOutput
+	FaultHandling
+	DataStructure
+)
+
+// String names the aspect as in the paper.
+func (a Aspect) String() string {
+	switch a {
+	case PathState:
+		return "Path State"
+	case TriggerCondition:
+		return "Trigger Condition"
+	case PathOutput:
+		return "Path Output"
+	case FaultHandling:
+		return "Fault Handling"
+	case DataStructure:
+		return "Assistant Data Structures"
+	}
+	return fmt.Sprintf("Aspect(%d)", int(a))
+}
+
+// Aspects lists all aspects in paper order.
+func Aspects() []Aspect {
+	return []Aspect{PathState, TriggerCondition, PathOutput, FaultHandling, DataStructure}
+}
+
+// Finding keys aggregate warnings into the 12 rows of Table 1.
+const (
+	FindStateOverwrite  = "state-overwrite"  // immutable states are overwritten
+	FindStateUninit     = "state-uninit"     // immutable states are not initialized
+	FindStateCorrelated = "state-correlated" // one state does not refer to its correlated state
+	FindCondMissing     = "cond-missing"     // condition checking for path switch is missing
+	FindCondIncomplete  = "cond-incomplete"  // implementation of trigger condition is incomplete
+	FindCondOrder       = "cond-order"       // order of condition checking is incorrect
+	FindOutMismatch     = "out-mismatch"     // fast/slow returns should be the same
+	FindOutUnexpected   = "out-unexpected"   // returns should be one of the defined values
+	FindOutUnchecked    = "out-unchecked"    // returned value should be checked
+	FindFaultMissing    = "fault-missing"    // the fault handler is missing
+	FindDSLayout        = "ds-layout"        // unused elements in hot data structure
+	FindDSStale         = "ds-stale"         // cache not updated with its path state
+)
+
+// FindingAspect maps a finding key to its aspect.
+func FindingAspect(finding string) Aspect {
+	switch finding {
+	case FindStateOverwrite, FindStateUninit, FindStateCorrelated:
+		return PathState
+	case FindCondMissing, FindCondIncomplete, FindCondOrder:
+		return TriggerCondition
+	case FindOutMismatch, FindOutUnexpected, FindOutUnchecked:
+		return PathOutput
+	case FindFaultMissing:
+		return FaultHandling
+	case FindDSLayout, FindDSStale:
+		return DataStructure
+	}
+	return PathState
+}
+
+// FindingTitle gives the Table-1 row description of a finding key.
+func FindingTitle(finding string) string {
+	switch finding {
+	case FindStateOverwrite:
+		return "immutable states are overwritten"
+	case FindStateUninit:
+		return "immutable states are not initialized"
+	case FindStateCorrelated:
+		return "one state does not refer to its correlated state"
+	case FindCondMissing:
+		return "the condition checking for path switch is missing"
+	case FindCondIncomplete:
+		return "the implementation of trigger condition is incomplete"
+	case FindCondOrder:
+		return "the order of condition checking is incorrect"
+	case FindOutMismatch:
+		return "the return values of slow and fast path should be the same"
+	case FindOutUnexpected:
+		return "the returned values should be one of the defined values"
+	case FindOutUnchecked:
+		return "the returned value should be checked"
+	case FindFaultMissing:
+		return "the fault handler is missing"
+	case FindDSLayout:
+		return "not all elements in a data structure are used in fast path"
+	case FindDSStale:
+		return "an update on a data structure should be followed by an update on its cached version"
+	}
+	return finding
+}
+
+// AllFindings lists the 12 finding keys in Table-1 order.
+func AllFindings() []string {
+	return []string{
+		FindStateOverwrite, FindStateUninit, FindStateCorrelated,
+		FindCondMissing, FindCondIncomplete, FindCondOrder,
+		FindOutMismatch, FindOutUnexpected, FindOutUnchecked,
+		FindFaultMissing,
+		FindDSLayout, FindDSStale,
+	}
+}
+
+// Warning is one rule violation reported by a checker.
+type Warning struct {
+	// Rule is the paper rule id ("1.2", "4.1", ...).
+	Rule string `json:"rule"`
+	// Finding is one of the Find* keys.
+	Finding string `json:"finding"`
+	// Func is the analyzed function.
+	Func string `json:"func"`
+	// File and Line locate the defect (line 0 when the defect is an absence).
+	File string `json:"file"`
+	Line int    `json:"line"`
+	// Subject is the variable/field/function the warning concerns.
+	Subject string `json:"subject"`
+	// Message is the human-readable diagnostic.
+	Message string `json:"message"`
+	// PathIndex is the execution path exhibiting the issue (-1 when whole-
+	// function).
+	PathIndex int `json:"path_index"`
+	// LikelyConsequence is the historically most frequent failure class for
+	// this warning's aspect (from the Table-4 study data); informational.
+	LikelyConsequence string `json:"likely_consequence,omitempty"`
+}
+
+// Aspect returns the aspect the warning belongs to.
+func (w Warning) Aspect() Aspect { return FindingAspect(w.Finding) }
+
+// String renders the warning in compiler style.
+func (w Warning) String() string {
+	loc := w.File
+	if w.Line > 0 {
+		loc = fmt.Sprintf("%s:%d", w.File, w.Line)
+	}
+	if loc == "" {
+		loc = w.Func
+	}
+	return fmt.Sprintf("%s: warning[rule %s, %s]: %s (func %s, subject %s)",
+		loc, w.Rule, w.Finding, w.Message, w.Func, w.Subject)
+}
+
+// Report is the result of one analysis run.
+type Report struct {
+	Target   string    `json:"target"` // file or corpus case analyzed
+	Warnings []Warning `json:"warnings"`
+}
+
+// Add appends warnings.
+func (r *Report) Add(ws ...Warning) { r.Warnings = append(r.Warnings, ws...) }
+
+// Sort orders warnings deterministically (finding, func, line, subject).
+func (r *Report) Sort() {
+	sort.SliceStable(r.Warnings, func(i, j int) bool {
+		a, b := r.Warnings[i], r.Warnings[j]
+		if a.Finding != b.Finding {
+			return a.Finding < b.Finding
+		}
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Subject < b.Subject
+	})
+}
+
+// CountByFinding tallies warnings per finding key.
+func (r *Report) CountByFinding() map[string]int {
+	out := map[string]int{}
+	for _, w := range r.Warnings {
+		out[w.Finding]++
+	}
+	return out
+}
+
+// CountByAspect tallies warnings per aspect.
+func (r *Report) CountByAspect() map[Aspect]int {
+	out := map[Aspect]int{}
+	for _, w := range r.Warnings {
+		out[w.Aspect()]++
+	}
+	return out
+}
+
+// WriteText renders the report as plain text.
+func (r *Report) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "pallas: %d warning(s) in %s\n", len(r.Warnings), r.Target); err != nil {
+		return err
+	}
+	for _, warn := range r.Warnings {
+		if _, err := fmt.Fprintln(w, "  "+warn.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Summary renders a per-aspect count table.
+func (r *Report) Summary() string {
+	var sb strings.Builder
+	counts := r.CountByAspect()
+	fmt.Fprintf(&sb, "%-28s %s\n", "Aspect", "Warnings")
+	for _, a := range Aspects() {
+		fmt.Fprintf(&sb, "%-28s %d\n", a.String(), counts[a])
+	}
+	fmt.Fprintf(&sb, "%-28s %d\n", "Total", len(r.Warnings))
+	return sb.String()
+}

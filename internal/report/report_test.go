@@ -1,0 +1,170 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestFindingAspectMapping(t *testing.T) {
+	want := map[string]Aspect{
+		FindStateOverwrite: PathState, FindStateUninit: PathState,
+		FindStateCorrelated: PathState,
+		FindCondMissing:     TriggerCondition, FindCondIncomplete: TriggerCondition,
+		FindCondOrder:   TriggerCondition,
+		FindOutMismatch: PathOutput, FindOutUnexpected: PathOutput,
+		FindOutUnchecked: PathOutput,
+		FindFaultMissing: FaultHandling,
+		FindDSLayout:     DataStructure, FindDSStale: DataStructure,
+	}
+	for f, a := range want {
+		if got := FindingAspect(f); got != a {
+			t.Errorf("FindingAspect(%s) = %v, want %v", f, got, a)
+		}
+	}
+}
+
+func TestAllFindingsCoverTable1(t *testing.T) {
+	all := AllFindings()
+	if len(all) != 12 {
+		t.Fatalf("want 12 findings, got %d", len(all))
+	}
+	perAspect := map[Aspect]int{}
+	for _, f := range all {
+		perAspect[FindingAspect(f)]++
+		if FindingTitle(f) == f {
+			t.Errorf("finding %s has no title", f)
+		}
+	}
+	wantCounts := map[Aspect]int{
+		PathState: 3, TriggerCondition: 3, PathOutput: 3,
+		FaultHandling: 1, DataStructure: 2,
+	}
+	for a, n := range wantCounts {
+		if perAspect[a] != n {
+			t.Errorf("aspect %v has %d findings, want %d", a, perAspect[a], n)
+		}
+	}
+}
+
+func TestAspectStrings(t *testing.T) {
+	if len(Aspects()) != 5 {
+		t.Fatal("want 5 aspects")
+	}
+	for _, a := range Aspects() {
+		if strings.HasPrefix(a.String(), "Aspect(") {
+			t.Errorf("aspect %d missing name", a)
+		}
+	}
+}
+
+func TestWarningString(t *testing.T) {
+	w := Warning{Rule: "1.2", Finding: FindStateOverwrite, Func: "f",
+		File: "mm/page_alloc.c", Line: 28, Subject: "gfp_mask",
+		Message: "immutable overwritten"}
+	s := w.String()
+	for _, part := range []string{"mm/page_alloc.c:28", "rule 1.2", "state-overwrite", "gfp_mask"} {
+		if !strings.Contains(s, part) {
+			t.Errorf("warning string missing %q: %s", part, s)
+		}
+	}
+	// Absence warnings (line 0) fall back to the file.
+	w2 := Warning{Rule: "4.1", Finding: FindFaultMissing, Func: "g", File: "x.c"}
+	if !strings.HasPrefix(w2.String(), "x.c:") {
+		t.Errorf("fallback loc: %s", w2.String())
+	}
+}
+
+func TestReportSortDeterministic(t *testing.T) {
+	r := &Report{Target: "t.c"}
+	r.Add(
+		Warning{Finding: FindDSStale, Func: "b", Line: 2},
+		Warning{Finding: FindCondMissing, Func: "a", Line: 9},
+		Warning{Finding: FindCondMissing, Func: "a", Line: 3},
+	)
+	r.Sort()
+	if r.Warnings[0].Finding != FindCondMissing || r.Warnings[0].Line != 3 {
+		t.Errorf("sorted = %+v", r.Warnings)
+	}
+	if r.Warnings[2].Finding != FindDSStale {
+		t.Errorf("sorted = %+v", r.Warnings)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	r := &Report{}
+	r.Add(
+		Warning{Finding: FindStateOverwrite},
+		Warning{Finding: FindStateUninit},
+		Warning{Finding: FindFaultMissing},
+	)
+	byF := r.CountByFinding()
+	if byF[FindStateOverwrite] != 1 || byF[FindFaultMissing] != 1 {
+		t.Errorf("by finding = %v", byF)
+	}
+	byA := r.CountByAspect()
+	if byA[PathState] != 2 || byA[FaultHandling] != 1 {
+		t.Errorf("by aspect = %v", byA)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	r := &Report{Target: "t.c"}
+	r.Add(Warning{Rule: "5.2", Finding: FindDSStale, Func: "f", File: "t.c", Line: 4, Subject: "icache"})
+	var txt bytes.Buffer
+	if err := r.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "1 warning(s) in t.c") {
+		t.Errorf("text: %s", txt.String())
+	}
+	var js bytes.Buffer
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(js.Bytes(), &back); err != nil {
+		t.Fatalf("json round trip: %v", err)
+	}
+	if len(back.Warnings) != 1 || back.Warnings[0].Rule != "5.2" {
+		t.Errorf("round trip = %+v", back)
+	}
+	sum := r.Summary()
+	if !strings.Contains(sum, "Assistant Data Structures") || !strings.Contains(sum, "Total") {
+		t.Errorf("summary: %s", sum)
+	}
+}
+
+func TestWriteHTML(t *testing.T) {
+	r := &Report{Target: "mm/page_alloc.c"}
+	r.Add(
+		Warning{Rule: "1.2", Finding: FindStateOverwrite, Func: "alloc", File: "mm/page_alloc.c",
+			Line: 28, Subject: "gfp_mask", Message: "immutable <overwritten>", LikelyConsequence: "Incorrect results"},
+		Warning{Rule: "4.1", Finding: FindFaultMissing, Func: "free", File: "mm/page_alloc.c",
+			Subject: "state", Message: "handler missing"},
+	)
+	var buf bytes.Buffer
+	if err := r.WriteHTML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<title>Pallas report — mm/page_alloc.c</title>",
+		"Path State (1)", "Fault Handling (1)",
+		"mm/page_alloc.c:28", "gfp_mask", "Incorrect results",
+		"immutable &lt;overwritten&gt;", // HTML escaping
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("html missing %q", want)
+		}
+	}
+	// Empty report renders the all-clear banner.
+	var empty bytes.Buffer
+	if err := (&Report{Target: "x.c"}).WriteHTML(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(empty.String(), "No warnings") {
+		t.Error("empty report missing banner")
+	}
+}

@@ -1,0 +1,404 @@
+// Package spec implements the Pallas semantic-annotation protocol. The paper
+// requires users to "specify the simple semantic information as the input for
+// the static checking rules"; this package defines that input language.
+//
+// A spec is a line-oriented text document; the same directives may also be
+// embedded in C sources as `// @pallas: <directive>` comments. Directives:
+//
+//	fastpath <func>                 analyzed fast-path entry function
+//	slowpath <func>                 corresponding slow-path function
+//	pair <fast> <slow>              fast/slow pair (shorthand for cross checks)
+//	immutable <var> ...             rules 1.1 / 1.2
+//	correlated <varA> <varB>        rule 1.3
+//	cond <var> ...                  rules 2.1 / 2.2 (trigger-condition variables)
+//	order <varA> <varB>             rule 2.3 (A must be checked before B)
+//	returns <func> {v1, v2, ...}    rule 3.1 (defined return values)
+//	match_output <fast> <slow>      rule 3.2
+//	check_return <callee>           rule 3.3 (result of <callee> must be checked)
+//	fault <state> [handler=<func>]  rule 4.1
+//	hotstruct <tag>                 rule 5.1
+//	cache <cacheTarget> of <state>  rule 5.2
+//
+// Lines beginning with '#' are comments; blank lines are ignored.
+//
+// Variables in immutable, cond and fault directives may be scoped to one
+// fast path with a "func:" prefix ("immutable __alloc_pages:gfp_mask"):
+// unscoped variables are checked in every declared fast path, scoped ones
+// only in the named function. Scoping keeps multi-fast-path units from
+// cross-multiplying every obligation onto every path.
+package spec
+
+import (
+	"fmt"
+	"strings"
+
+	"pallas/internal/cast"
+)
+
+// FaultSpec is one rule-4.1 obligation.
+type FaultSpec struct {
+	// Func optionally scopes the obligation to one fast path ("" = all).
+	Func string
+	// State is the fault state variable or error-code name that must appear
+	// in a flow-control statement.
+	State string
+	// Handler optionally names a function that must be invoked to handle it.
+	Handler string
+}
+
+// AppliesTo reports whether the obligation applies to the named function.
+func (f FaultSpec) AppliesTo(fn string) bool { return f.Func == "" || f.Func == fn }
+
+// CachePair is one rule-5.2 obligation: every update of State must be
+// followed by an update of Cache on the same path.
+type CachePair struct {
+	Cache string
+	State string
+}
+
+// ReturnSet is a rule-3.1 obligation.
+type ReturnSet struct {
+	Func   string
+	Values []string // rendered constants or enum names
+}
+
+// Pair names a fast path and its slow path.
+type Pair struct {
+	Fast string
+	Slow string
+}
+
+// Order is a rule-2.3 obligation: First must be tested before Second.
+type Order struct {
+	First  string
+	Second string
+}
+
+// Correlation is a rule-1.3 obligation.
+type Correlation struct {
+	A string
+	B string
+}
+
+// ScopedVar is a variable obligation, optionally restricted to one fast-path
+// function (Func == "" means every declared fast path).
+type ScopedVar struct {
+	Func string
+	Name string
+}
+
+// parseScoped splits "func:var" into its parts.
+func parseScoped(s string) ScopedVar {
+	if i := strings.IndexByte(s, ':'); i > 0 {
+		return ScopedVar{Func: s[:i], Name: s[i+1:]}
+	}
+	return ScopedVar{Name: s}
+}
+
+// AppliesTo reports whether the obligation applies to the named function.
+func (v ScopedVar) AppliesTo(fn string) bool { return v.Func == "" || v.Func == fn }
+
+// String renders the scoped form back to directive syntax.
+func (v ScopedVar) String() string {
+	if v.Func == "" {
+		return v.Name
+	}
+	return v.Func + ":" + v.Name
+}
+
+// Spec is the parsed semantic annotation set for one analysis target.
+type Spec struct {
+	FastPaths   []string
+	SlowPaths   []string
+	Pairs       []Pair
+	Immutables  []ScopedVar
+	Correlated  []Correlation
+	CondVars    []ScopedVar
+	Orders      []Order
+	Returns     []ReturnSet
+	MatchOutput []Pair
+	CheckReturn []string
+	Faults      []FaultSpec
+	HotStructs  []string
+	Caches      []CachePair
+}
+
+// Parse parses a spec document.
+func Parse(text string) (*Spec, error) {
+	s := &Spec{}
+	for i, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := s.AddDirective(line); err != nil {
+			return nil, fmt.Errorf("line %d: %w", i+1, err)
+		}
+	}
+	return s, nil
+}
+
+// FromAnnotations builds a spec from `@pallas:` annotations in a parsed
+// translation unit, merged in source order.
+func FromAnnotations(tu *cast.TranslationUnit) (*Spec, error) {
+	s := &Spec{}
+	for _, a := range tu.Annotations {
+		// One annotation may carry several ';'-separated directives.
+		for _, part := range strings.Split(a.Text, ";") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			if err := s.AddDirective(part); err != nil {
+				return nil, fmt.Errorf("%s: %w", a.P, err)
+			}
+		}
+	}
+	return s, nil
+}
+
+// Merge folds other into s.
+func (s *Spec) Merge(other *Spec) {
+	if other == nil {
+		return
+	}
+	s.FastPaths = append(s.FastPaths, other.FastPaths...)
+	s.SlowPaths = append(s.SlowPaths, other.SlowPaths...)
+	s.Pairs = append(s.Pairs, other.Pairs...)
+	s.Immutables = append(s.Immutables, other.Immutables...)
+	s.Correlated = append(s.Correlated, other.Correlated...)
+	s.CondVars = append(s.CondVars, other.CondVars...)
+	s.Orders = append(s.Orders, other.Orders...)
+	s.Returns = append(s.Returns, other.Returns...)
+	s.MatchOutput = append(s.MatchOutput, other.MatchOutput...)
+	s.CheckReturn = append(s.CheckReturn, other.CheckReturn...)
+	s.Faults = append(s.Faults, other.Faults...)
+	s.HotStructs = append(s.HotStructs, other.HotStructs...)
+	s.Caches = append(s.Caches, other.Caches...)
+}
+
+// AddDirective parses a single directive line into s.
+func (s *Spec) AddDirective(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return fmt.Errorf("empty directive")
+	}
+	op, args := fields[0], fields[1:]
+	need := func(n int) error {
+		if len(args) < n {
+			return fmt.Errorf("%s: want at least %d arguments, got %d", op, n, len(args))
+		}
+		return nil
+	}
+	switch op {
+	case "fastpath":
+		if err := need(1); err != nil {
+			return err
+		}
+		s.FastPaths = append(s.FastPaths, args...)
+	case "slowpath":
+		if err := need(1); err != nil {
+			return err
+		}
+		s.SlowPaths = append(s.SlowPaths, args...)
+	case "pair":
+		if err := need(2); err != nil {
+			return err
+		}
+		s.Pairs = append(s.Pairs, Pair{Fast: args[0], Slow: args[1]})
+	case "immutable":
+		if err := need(1); err != nil {
+			return err
+		}
+		for _, a := range args {
+			s.Immutables = append(s.Immutables, parseScoped(a))
+		}
+	case "correlated":
+		if err := need(2); err != nil {
+			return err
+		}
+		s.Correlated = append(s.Correlated, Correlation{A: args[0], B: args[1]})
+	case "cond":
+		if err := need(1); err != nil {
+			return err
+		}
+		for _, a := range args {
+			s.CondVars = append(s.CondVars, parseScoped(a))
+		}
+	case "order":
+		if err := need(2); err != nil {
+			return err
+		}
+		s.Orders = append(s.Orders, Order{First: args[0], Second: args[1]})
+	case "returns":
+		if err := need(2); err != nil {
+			return err
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(line, "returns"))
+		i := strings.IndexByte(rest, '{')
+		j := strings.LastIndexByte(rest, '}')
+		if i < 0 || j < i {
+			return fmt.Errorf("returns: expected {v1, v2, ...}")
+		}
+		fn := strings.TrimSpace(rest[:i])
+		var vals []string
+		for _, v := range strings.Split(rest[i+1:j], ",") {
+			v = strings.TrimSpace(v)
+			if v != "" {
+				vals = append(vals, v)
+			}
+		}
+		if fn == "" || len(vals) == 0 {
+			return fmt.Errorf("returns: need function and at least one value")
+		}
+		s.Returns = append(s.Returns, ReturnSet{Func: fn, Values: vals})
+	case "match_output":
+		if err := need(2); err != nil {
+			return err
+		}
+		s.MatchOutput = append(s.MatchOutput, Pair{Fast: args[0], Slow: args[1]})
+	case "check_return":
+		if err := need(1); err != nil {
+			return err
+		}
+		s.CheckReturn = append(s.CheckReturn, args...)
+	case "fault":
+		if err := need(1); err != nil {
+			return err
+		}
+		sv := parseScoped(args[0])
+		f := FaultSpec{Func: sv.Func, State: sv.Name}
+		for _, a := range args[1:] {
+			if v, ok := strings.CutPrefix(a, "handler="); ok {
+				f.Handler = v
+			} else {
+				return fmt.Errorf("fault: unknown option %q", a)
+			}
+		}
+		s.Faults = append(s.Faults, f)
+	case "hotstruct":
+		if err := need(1); err != nil {
+			return err
+		}
+		s.HotStructs = append(s.HotStructs, args...)
+	case "cache":
+		// cache <target> of <state>
+		if len(args) != 3 || args[1] != "of" {
+			return fmt.Errorf("cache: want 'cache <target> of <state>'")
+		}
+		s.Caches = append(s.Caches, CachePair{Cache: args[0], State: args[2]})
+	default:
+		return fmt.Errorf("unknown directive %q", op)
+	}
+	return nil
+}
+
+func joinScoped(vs []ScopedVar) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// AnalyzedFuncs returns the fast- and slow-path function names to extract,
+// de-duplicated, fast paths first.
+func (s *Spec) AnalyzedFuncs() []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(n string) {
+		if n != "" && !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	for _, f := range s.FastPaths {
+		add(f)
+	}
+	for _, p := range s.Pairs {
+		add(p.Fast)
+	}
+	for _, f := range s.SlowPaths {
+		add(f)
+	}
+	for _, p := range s.Pairs {
+		add(p.Slow)
+	}
+	for _, p := range s.MatchOutput {
+		add(p.Fast)
+		add(p.Slow)
+	}
+	for _, r := range s.Returns {
+		add(r.Func)
+	}
+	return out
+}
+
+// FastFuncs returns the declared fast-path functions (fastpath + pair fasts).
+func (s *Spec) FastFuncs() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, f := range s.FastPaths {
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	for _, p := range s.Pairs {
+		if !seen[p.Fast] {
+			seen[p.Fast] = true
+			out = append(out, p.Fast)
+		}
+	}
+	return out
+}
+
+// String renders the spec back to directive text (stable ordering).
+func (s *Spec) String() string {
+	var sb strings.Builder
+	for _, f := range s.FastPaths {
+		fmt.Fprintf(&sb, "fastpath %s\n", f)
+	}
+	for _, f := range s.SlowPaths {
+		fmt.Fprintf(&sb, "slowpath %s\n", f)
+	}
+	for _, p := range s.Pairs {
+		fmt.Fprintf(&sb, "pair %s %s\n", p.Fast, p.Slow)
+	}
+	if len(s.Immutables) > 0 {
+		fmt.Fprintf(&sb, "immutable %s\n", joinScoped(s.Immutables))
+	}
+	for _, c := range s.Correlated {
+		fmt.Fprintf(&sb, "correlated %s %s\n", c.A, c.B)
+	}
+	if len(s.CondVars) > 0 {
+		fmt.Fprintf(&sb, "cond %s\n", joinScoped(s.CondVars))
+	}
+	for _, o := range s.Orders {
+		fmt.Fprintf(&sb, "order %s %s\n", o.First, o.Second)
+	}
+	for _, r := range s.Returns {
+		fmt.Fprintf(&sb, "returns %s {%s}\n", r.Func, strings.Join(r.Values, ", "))
+	}
+	for _, p := range s.MatchOutput {
+		fmt.Fprintf(&sb, "match_output %s %s\n", p.Fast, p.Slow)
+	}
+	for _, c := range s.CheckReturn {
+		fmt.Fprintf(&sb, "check_return %s\n", c)
+	}
+	for _, f := range s.Faults {
+		state := ScopedVar{Func: f.Func, Name: f.State}.String()
+		if f.Handler != "" {
+			fmt.Fprintf(&sb, "fault %s handler=%s\n", state, f.Handler)
+		} else {
+			fmt.Fprintf(&sb, "fault %s\n", state)
+		}
+	}
+	for _, h := range s.HotStructs {
+		fmt.Fprintf(&sb, "hotstruct %s\n", h)
+	}
+	for _, c := range s.Caches {
+		fmt.Fprintf(&sb, "cache %s of %s\n", c.Cache, c.State)
+	}
+	return sb.String()
+}

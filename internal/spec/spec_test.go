@@ -1,0 +1,212 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"pallas/internal/cparse"
+)
+
+func TestParseAllDirectives(t *testing.T) {
+	text := `
+# page allocation spec
+fastpath get_page_from_freelist
+slowpath alloc_pages_slowpath
+pair fast_fn slow_fn
+immutable gfp_mask nodemask migratetype
+correlated preferred_zone nodemask
+cond order pred_flags
+order remote_ok oom_ok
+returns rcv {0, -EIO, FROZEN}
+match_output fast_fn slow_fn
+check_return btrfs_wait_ordered_range
+fault state_active handler=remove_from_list
+fault err
+hotstruct inode
+cache icache of inode
+`
+	s, err := Parse(text)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(s.FastPaths) != 1 || s.FastPaths[0] != "get_page_from_freelist" {
+		t.Errorf("fastpaths = %v", s.FastPaths)
+	}
+	if len(s.Immutables) != 3 {
+		t.Errorf("immutables = %v", s.Immutables)
+	}
+	if len(s.Correlated) != 1 || s.Correlated[0].A != "preferred_zone" {
+		t.Errorf("correlated = %+v", s.Correlated)
+	}
+	if len(s.CondVars) != 2 {
+		t.Errorf("condvars = %v", s.CondVars)
+	}
+	if len(s.Orders) != 1 || s.Orders[0].First != "remote_ok" || s.Orders[0].Second != "oom_ok" {
+		t.Errorf("orders = %+v", s.Orders)
+	}
+	if len(s.Returns) != 1 || s.Returns[0].Func != "rcv" || len(s.Returns[0].Values) != 3 {
+		t.Errorf("returns = %+v", s.Returns)
+	}
+	if s.Returns[0].Values[1] != "-EIO" {
+		t.Errorf("returns values = %v", s.Returns[0].Values)
+	}
+	if len(s.MatchOutput) != 1 || len(s.CheckReturn) != 1 {
+		t.Errorf("match/check = %+v / %+v", s.MatchOutput, s.CheckReturn)
+	}
+	if len(s.Faults) != 2 || s.Faults[0].Handler != "remove_from_list" || s.Faults[1].Handler != "" {
+		t.Errorf("faults = %+v", s.Faults)
+	}
+	if len(s.HotStructs) != 1 || len(s.Caches) != 1 || s.Caches[0].State != "inode" {
+		t.Errorf("ds = %+v / %+v", s.HotStructs, s.Caches)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"frobnicate x",
+		"immutable",
+		"correlated a",
+		"order a",
+		"returns f 0 1",       // missing braces
+		"returns f {}",        // empty set
+		"cache a b c",         // missing 'of'
+		"fault s handlr=typo", // unknown option
+		"pair onlyone",
+	}
+	for _, b := range bad {
+		if _, err := Parse(b); err == nil {
+			t.Errorf("%q: expected error", b)
+		}
+	}
+}
+
+func TestFromAnnotations(t *testing.T) {
+	src := `
+// @pallas: fastpath f; immutable x
+/* @pallas: cond y */
+int f(int x, int y) { if (y) return x; return 0; }
+`
+	tu, err := cparse.Parse("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := FromAnnotations(tu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.FastPaths) != 1 || len(s.Immutables) != 1 || len(s.CondVars) != 1 {
+		t.Errorf("spec from annotations = %+v", s)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, _ := Parse("fastpath f\nimmutable x\n")
+	b, _ := Parse("slowpath g\nimmutable y\ncond z\n")
+	a.Merge(b)
+	a.Merge(nil)
+	if len(a.Immutables) != 2 || len(a.SlowPaths) != 1 || len(a.CondVars) != 1 {
+		t.Errorf("merged = %+v", a)
+	}
+}
+
+func TestAnalyzedFuncsOrderAndDedup(t *testing.T) {
+	s, _ := Parse(`
+fastpath f
+pair f g
+slowpath g
+match_output f g
+returns h {0}
+`)
+	got := s.AnalyzedFuncs()
+	want := []string{"f", "g", "h"}
+	if len(got) != len(want) {
+		t.Fatalf("analyzed = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("analyzed = %v, want %v", got, want)
+		}
+	}
+	fast := s.FastFuncs()
+	if len(fast) != 1 || fast[0] != "f" {
+		t.Errorf("fast = %v", fast)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	text := `fastpath f
+slowpath g
+pair f g
+immutable a b
+correlated x y
+cond c
+order p q
+returns f {0, 1}
+match_output f g
+check_return h
+fault s handler=k
+hotstruct page
+cache icache of inode
+`
+	s, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := s.String()
+	s2, err := Parse(rendered)
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", rendered, err)
+	}
+	if s2.String() != rendered {
+		t.Errorf("round trip unstable:\n%s\nvs\n%s", rendered, s2.String())
+	}
+	if !strings.Contains(rendered, "fault s handler=k") {
+		t.Errorf("rendered: %s", rendered)
+	}
+}
+
+func TestCommentsAndBlanksIgnored(t *testing.T) {
+	s, err := Parse("\n# comment\n\nfastpath f\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.FastPaths) != 1 {
+		t.Errorf("spec = %+v", s)
+	}
+}
+
+func TestScopedDirectives(t *testing.T) {
+	s, err := Parse(`
+fastpath alloc free
+immutable alloc:gfp_mask shared_flag
+cond alloc:order
+fault free:cmd_state handler=cleanup
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Immutables) != 2 {
+		t.Fatalf("immutables = %+v", s.Immutables)
+	}
+	scoped, unscoped := s.Immutables[0], s.Immutables[1]
+	if scoped.Func != "alloc" || scoped.Name != "gfp_mask" {
+		t.Errorf("scoped = %+v", scoped)
+	}
+	if !scoped.AppliesTo("alloc") || scoped.AppliesTo("free") {
+		t.Error("scoping wrong")
+	}
+	if unscoped.Func != "" || !unscoped.AppliesTo("free") {
+		t.Errorf("unscoped = %+v", unscoped)
+	}
+	if s.Faults[0].Func != "free" || s.Faults[0].State != "cmd_state" {
+		t.Errorf("fault = %+v", s.Faults[0])
+	}
+	// Round trip preserves scopes.
+	s2, err := Parse(s.String())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, s.String())
+	}
+	if s2.Immutables[0].Func != "alloc" || s2.Faults[0].Func != "free" {
+		t.Errorf("scope lost in round trip:\n%s", s2.String())
+	}
+}

@@ -1,0 +1,186 @@
+package study
+
+import (
+	"math"
+	"testing"
+
+	"pallas/internal/report"
+)
+
+func TestDatasetSize(t *testing.T) {
+	ds := Dataset()
+	if len(ds) != 172 {
+		t.Fatalf("want 172 patches, got %d", len(ds))
+	}
+	if PathsStudied() != 65 {
+		t.Fatalf("want 65 fast paths, got %d", PathsStudied())
+	}
+}
+
+// TestTable2Published verifies the computed Table 2 equals the paper's.
+func TestTable2Published(t *testing.T) {
+	want := map[Subsystem]Table2Row{
+		MM:  {Subsystem: MM, NumPaths: 16, NumPatches: 62, BugsPerAvg: 4, BugsPerMax: 19, FixDaysAvg: 3},
+		FS:  {Subsystem: FS, NumPaths: 21, NumPatches: 41, BugsPerAvg: 2, BugsPerMax: 17, FixDaysAvg: 8},
+		NET: {Subsystem: NET, NumPaths: 14, NumPatches: 41, BugsPerAvg: 3, BugsPerMax: 11, FixDaysAvg: 5},
+		DEV: {Subsystem: DEV, NumPaths: 14, NumPatches: 28, BugsPerAvg: 2, BugsPerMax: 5, FixDaysAvg: 12},
+	}
+	for _, row := range Table2(Dataset()) {
+		w := want[row.Subsystem]
+		if row.NumPaths != w.NumPaths || row.NumPatches != w.NumPatches ||
+			row.BugsPerAvg != w.BugsPerAvg || row.BugsPerMax != w.BugsPerMax ||
+			row.FixDaysAvg != w.FixDaysAvg {
+			t.Errorf("%s: got %+v want %+v", row.Subsystem, row, w)
+		}
+	}
+}
+
+// TestTable3Published verifies the per-subsystem category distribution.
+func TestTable3Published(t *testing.T) {
+	want := map[Subsystem][5]int{
+		MM: {21, 10, 12, 9, 10}, FS: {4, 3, 13, 7, 14},
+		NET: {5, 14, 6, 5, 11}, DEV: {4, 3, 5, 10, 6},
+	}
+	t3 := Table3(Dataset())
+	for sub, counts := range want {
+		for i, a := range report.Aspects() {
+			got := t3[sub][a].Count
+			if got != counts[i] {
+				t.Errorf("Table3[%s][%s] = %d, want %d", sub, a, got, counts[i])
+			}
+		}
+	}
+	// Spot-check a published ratio: MM path state = 34%.
+	if r := t3[MM][report.PathState].Ratio; math.Abs(r-0.34) > 0.005 {
+		t.Errorf("MM path-state ratio = %.3f, want ≈0.34", r)
+	}
+}
+
+// TestTable4Published verifies the category × consequence matrix.
+func TestTable4Published(t *testing.T) {
+	want := map[report.Aspect][6]int{
+		report.PathState:        {15, 0, 5, 6, 7, 1},
+		report.TriggerCondition: {12, 0, 2, 4, 11, 1},
+		report.PathOutput:       {12, 8, 3, 8, 2, 3},
+		report.FaultHandling:    {14, 4, 1, 3, 5, 4},
+		report.DataStructure:    {16, 7, 4, 6, 7, 1},
+	}
+	t4 := Table4(Dataset())
+	for a, counts := range want {
+		for i, cons := range Consequences() {
+			got := t4[a][cons].Count
+			if got != counts[i] {
+				t.Errorf("Table4[%s][%s] = %d, want %d", a, cons, got, counts[i])
+			}
+		}
+	}
+	// Spot-check a published ratio: path-state incorrect results = 44%.
+	if r := t4[report.PathState]["Incorrect results"].Ratio; math.Abs(r-0.44) > 0.01 {
+		t.Errorf("path-state incorrect-results ratio = %.3f, want ≈0.44", r)
+	}
+}
+
+// TestDatasetInternallyConsistent checks the margins agree: Table 3 column
+// sums equal Table 4 category totals (both must be the 172 patches).
+func TestDatasetInternallyConsistent(t *testing.T) {
+	ds := Dataset()
+	catTotal := map[report.Aspect]int{}
+	for _, p := range ds {
+		catTotal[p.Category]++
+	}
+	want := map[report.Aspect]int{
+		report.PathState: 34, report.TriggerCondition: 30, report.PathOutput: 36,
+		report.FaultHandling: 31, report.DataStructure: 41,
+	}
+	for a, w := range want {
+		if catTotal[a] != w {
+			t.Errorf("category %s total = %d, want %d", a, catTotal[a], w)
+		}
+	}
+}
+
+func TestPatchFieldsPopulated(t *testing.T) {
+	ds := Dataset()
+	seen := map[string]bool{}
+	for _, p := range ds {
+		if seen[p.ID] {
+			t.Fatalf("duplicate patch id %s", p.ID)
+		}
+		seen[p.ID] = true
+		if p.Year < StudyYearFrom || p.Year > StudyYearTo {
+			t.Errorf("%s: year %d outside study window", p.ID, p.Year)
+		}
+		if p.FixDays <= 0 {
+			t.Errorf("%s: non-positive fix days", p.ID)
+		}
+		if p.Consequence == "" {
+			t.Errorf("%s: empty consequence", p.ID)
+		}
+	}
+}
+
+func TestMaxBugsPathIsUnique(t *testing.T) {
+	ds := Dataset()
+	perPath := map[Subsystem]map[int]int{}
+	for _, p := range ds {
+		if perPath[p.Subsystem] == nil {
+			perPath[p.Subsystem] = map[int]int{}
+		}
+		perPath[p.Subsystem][p.PathID]++
+	}
+	if perPath[MM][0] != 19 {
+		t.Errorf("MM path 0 should carry 19 bugs, has %d", perPath[MM][0])
+	}
+	if perPath[DEV][0] != 5 {
+		t.Errorf("DEV path 0 should carry 5 bugs, has %d", perPath[DEV][0])
+	}
+}
+
+func TestSubtypeShares(t *testing.T) {
+	for _, s := range SubtypeShares() {
+		if s.Share <= 0 || s.Share >= 1 {
+			t.Errorf("%s/%s: share %.2f out of range", s.Category, s.Subtype, s.Share)
+		}
+	}
+}
+
+func TestSortPatches(t *testing.T) {
+	ds := Dataset()
+	SortPatches(ds)
+	for i := 1; i < len(ds); i++ {
+		if ds[i-1].ID > ds[i].ID {
+			t.Fatal("not sorted")
+		}
+	}
+}
+
+func TestLikelyConsequences(t *testing.T) {
+	ds := Dataset()
+	for _, a := range report.Aspects() {
+		ranked := LikelyConsequences(ds, a)
+		if len(ranked) == 0 {
+			t.Fatalf("aspect %v: no consequences", a)
+		}
+		sum := 0.0
+		for i, c := range ranked {
+			if i > 0 && ranked[i-1].Probability < c.Probability {
+				t.Errorf("aspect %v not sorted", a)
+			}
+			sum += c.Probability
+		}
+		if math.Abs(sum-1.0) > 1e-9 {
+			t.Errorf("aspect %v probabilities sum to %f", a, sum)
+		}
+	}
+	// Path-state bugs most often cause incorrect results (44%).
+	top := LikelyConsequences(ds, report.PathState)[0]
+	if top.Consequence != "Incorrect results" || math.Abs(top.Probability-0.44) > 0.01 {
+		t.Errorf("top path-state consequence = %+v", top)
+	}
+	// Path-state bugs never caused data loss in the study.
+	for _, c := range LikelyConsequences(ds, report.PathState) {
+		if c.Consequence == "Data loss" {
+			t.Error("zero-count consequence should be omitted")
+		}
+	}
+}

@@ -1,0 +1,304 @@
+// Package sym implements the symbolic value domain used by the path
+// extractor. Table 5 of the paper shows the notation it reproduces:
+//
+//	S#name   symbolic expression (an input or otherwise unknown value)
+//	I#n      concrete integer
+//	V#n      temporary introduced for a call result
+//	E#f(...) symbol representing the result of an expression / call
+//
+// Values are immutable; environments map variable names to values.
+package sym
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind discriminates symbolic values.
+type Kind int
+
+// Value kinds.
+const (
+	// Int is a concrete integer (I#).
+	Int Kind = iota
+	// Sym is a free symbol, typically a function input (S#).
+	Sym
+	// Temp is a fresh temporary introduced for an opaque result (V#).
+	Temp
+	// Expr is the symbolic result of applying an operator or call (E#).
+	Expr
+	// Str is a string constant.
+	Str
+)
+
+// Value is one symbolic value.
+type Value struct {
+	Kind Kind
+	// Int payload.
+	N int64
+	// Sym/Temp payload: name ("gfp_mask") or temp id ("1").
+	Name string
+	// Expr payload: operator or callee name plus operands.
+	Op   string
+	Args []*Value
+}
+
+// NewInt returns a concrete integer value.
+func NewInt(n int64) *Value { return &Value{Kind: Int, N: n} }
+
+// NewSym returns a free symbol named after an input variable.
+func NewSym(name string) *Value { return &Value{Kind: Sym, Name: name} }
+
+// NewTemp returns the numbered temporary V#n.
+func NewTemp(n int) *Value { return &Value{Kind: Temp, Name: fmt.Sprintf("%d", n)} }
+
+// NewStr returns a string constant value.
+func NewStr(s string) *Value { return &Value{Kind: Str, Name: s} }
+
+// NewExpr returns the symbolic application op(args...). Constant folding for
+// binary integer operators is applied when possible.
+func NewExpr(op string, args ...*Value) *Value {
+	if v, ok := fold(op, args); ok {
+		return v
+	}
+	return &Value{Kind: Expr, Op: op, Args: args}
+}
+
+func fold(op string, args []*Value) (*Value, bool) {
+	if len(args) == 2 && args[0] != nil && args[1] != nil &&
+		args[0].Kind == Int && args[1].Kind == Int {
+		l, r := args[0].N, args[1].N
+		switch op {
+		case "+":
+			return NewInt(l + r), true
+		case "-":
+			return NewInt(l - r), true
+		case "*":
+			return NewInt(l * r), true
+		case "/":
+			if r != 0 {
+				return NewInt(l / r), true
+			}
+		case "%":
+			if r != 0 {
+				return NewInt(l % r), true
+			}
+		case "<<":
+			if r >= 0 && r < 64 {
+				return NewInt(l << uint(r)), true
+			}
+		case ">>":
+			if r >= 0 && r < 64 {
+				return NewInt(l >> uint(r)), true
+			}
+		case "&":
+			return NewInt(l & r), true
+		case "|":
+			return NewInt(l | r), true
+		case "^":
+			return NewInt(l ^ r), true
+		case "==":
+			return boolInt(l == r), true
+		case "!=":
+			return boolInt(l != r), true
+		case "<":
+			return boolInt(l < r), true
+		case "<=":
+			return boolInt(l <= r), true
+		case ">":
+			return boolInt(l > r), true
+		case ">=":
+			return boolInt(l >= r), true
+		case "&&":
+			return boolInt(l != 0 && r != 0), true
+		case "||":
+			return boolInt(l != 0 || r != 0), true
+		}
+	}
+	if len(args) == 1 && args[0] != nil && args[0].Kind == Int {
+		switch op {
+		case "-":
+			return NewInt(-args[0].N), true
+		case "~":
+			return NewInt(^args[0].N), true
+		case "!":
+			return boolInt(args[0].N == 0), true
+		}
+	}
+	return nil, false
+}
+
+func boolInt(b bool) *Value {
+	if b {
+		return NewInt(1)
+	}
+	return NewInt(0)
+}
+
+// String renders the value in Table-5 notation.
+func (v *Value) String() string {
+	if v == nil {
+		return "S#unknown"
+	}
+	switch v.Kind {
+	case Int:
+		return fmt.Sprintf("(I#%d)", v.N)
+	case Sym:
+		return fmt.Sprintf("(S#%s)", v.Name)
+	case Temp:
+		return fmt.Sprintf("(V#%s)", v.Name)
+	case Str:
+		return fmt.Sprintf("(I#%q)", v.Name)
+	case Expr:
+		parts := make([]string, len(v.Args))
+		for i, a := range v.Args {
+			parts[i] = a.String()
+		}
+		if isInfix(v.Op) && len(parts) == 2 {
+			return "(" + parts[0] + " " + v.Op + " " + parts[1] + ")"
+		}
+		if isInfix(v.Op) && len(parts) == 1 {
+			return "(" + v.Op + parts[0] + ")"
+		}
+		return fmt.Sprintf("(E#%s(%s))", v.Op, strings.Join(parts, ", "))
+	}
+	return "?"
+}
+
+func isInfix(op string) bool {
+	switch op {
+	case "+", "-", "*", "/", "%", "<<", ">>", "&", "|", "^",
+		"==", "!=", "<", "<=", ">", ">=", "&&", "||", "!", "~",
+		".", "->", "[]":
+		return true
+	}
+	return false
+}
+
+// Equal reports structural equality.
+func Equal(a, b *Value) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Kind != b.Kind || a.N != b.N || a.Name != b.Name || a.Op != b.Op ||
+		len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if !Equal(a.Args[i], b.Args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ConcreteInt reports the value's integer if it is concrete.
+func (v *Value) ConcreteInt() (int64, bool) {
+	if v != nil && v.Kind == Int {
+		return v.N, true
+	}
+	return 0, false
+}
+
+// Symbols collects the free symbol names appearing in v, sorted.
+func (v *Value) Symbols() []string {
+	set := map[string]bool{}
+	var rec func(*Value)
+	rec = func(x *Value) {
+		if x == nil {
+			return
+		}
+		if x.Kind == Sym {
+			set[x.Name] = true
+		}
+		for _, a := range x.Args {
+			rec(a)
+		}
+	}
+	rec(v)
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Env is a symbolic environment: variable (or field path) → value, plus the
+// disequalities learned from refuted branches (x != K).
+type Env struct {
+	m  map[string]*Value
+	ne map[string]map[int64]bool
+}
+
+// NewEnv returns an empty environment.
+func NewEnv() *Env { return &Env{m: map[string]*Value{}} }
+
+// Clone returns a copy that can be mutated independently.
+func (e *Env) Clone() *Env {
+	c := NewEnv()
+	for k, v := range e.m {
+		c.m[k] = v
+	}
+	if e.ne != nil {
+		c.ne = make(map[string]map[int64]bool, len(e.ne))
+		for k, set := range e.ne {
+			cp := make(map[int64]bool, len(set))
+			for v := range set {
+				cp[v] = true
+			}
+			c.ne[k] = cp
+		}
+	}
+	return c
+}
+
+// Get returns the binding for name, or nil.
+func (e *Env) Get(name string) *Value { return e.m[name] }
+
+// Set binds name to v; any disequalities for name are superseded.
+func (e *Env) Set(name string, v *Value) {
+	e.m[name] = v
+	if e.ne != nil {
+		delete(e.ne, name)
+	}
+}
+
+// Delete removes a binding.
+func (e *Env) Delete(name string) {
+	delete(e.m, name)
+	if e.ne != nil {
+		delete(e.ne, name)
+	}
+}
+
+// Exclude records that name is known not to equal val (learned from the
+// refuted edge of an equality branch).
+func (e *Env) Exclude(name string, val int64) {
+	if e.ne == nil {
+		e.ne = map[string]map[int64]bool{}
+	}
+	if e.ne[name] == nil {
+		e.ne[name] = map[int64]bool{}
+	}
+	e.ne[name][val] = true
+}
+
+// Excluded reports whether name is known to differ from val.
+func (e *Env) Excluded(name string, val int64) bool {
+	return e.ne != nil && e.ne[name] != nil && e.ne[name][val]
+}
+
+// Names returns the bound names, sorted.
+func (e *Env) Names() []string {
+	out := make([]string, 0, len(e.m))
+	for k := range e.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the number of bindings.
+func (e *Env) Len() int { return len(e.m) }

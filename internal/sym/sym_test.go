@@ -1,0 +1,242 @@
+package sym
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConstantFolding(t *testing.T) {
+	cases := []struct {
+		op   string
+		l, r int64
+		want int64
+	}{
+		{"+", 2, 3, 5}, {"-", 2, 3, -1}, {"*", 4, 3, 12}, {"/", 7, 2, 3},
+		{"%", 7, 2, 1}, {"<<", 1, 10, 1024}, {">>", 1024, 4, 64},
+		{"&", 0xff, 0x0f, 0x0f}, {"|", 1, 2, 3}, {"^", 3, 1, 2},
+		{"==", 2, 2, 1}, {"!=", 2, 2, 0}, {"<", 1, 2, 1}, {"<=", 2, 2, 1},
+		{">", 1, 2, 0}, {">=", 2, 2, 1}, {"&&", 1, 0, 0}, {"||", 1, 0, 1},
+	}
+	for _, c := range cases {
+		v := NewExpr(c.op, NewInt(c.l), NewInt(c.r))
+		n, ok := v.ConcreteInt()
+		if !ok || n != c.want {
+			t.Errorf("%d %s %d = %v, want %d", c.l, c.op, c.r, v, c.want)
+		}
+	}
+}
+
+func TestUnaryFolding(t *testing.T) {
+	if n, _ := NewExpr("-", NewInt(5)).ConcreteInt(); n != -5 {
+		t.Errorf("-5 = %d", n)
+	}
+	if n, _ := NewExpr("~", NewInt(0)).ConcreteInt(); n != -1 {
+		t.Errorf("~0 = %d", n)
+	}
+	if n, _ := NewExpr("!", NewInt(0)).ConcreteInt(); n != 1 {
+		t.Errorf("!0 = %d", n)
+	}
+}
+
+func TestDivModByZeroStaysSymbolic(t *testing.T) {
+	for _, op := range []string{"/", "%"} {
+		v := NewExpr(op, NewInt(5), NewInt(0))
+		if _, ok := v.ConcreteInt(); ok {
+			t.Errorf("%s by zero folded", op)
+		}
+	}
+}
+
+func TestSymbolicStaysSymbolic(t *testing.T) {
+	v := NewExpr("+", NewSym("a"), NewInt(1))
+	if _, ok := v.ConcreteInt(); ok {
+		t.Error("symbolic expr reported concrete")
+	}
+	if v.String() != "((S#a) + (I#1))" {
+		t.Errorf("render = %s", v.String())
+	}
+}
+
+func TestTable5Notation(t *testing.T) {
+	if s := NewInt(42).String(); s != "(I#42)" {
+		t.Errorf("int = %s", s)
+	}
+	if s := NewSym("gfp_mask").String(); s != "(S#gfp_mask)" {
+		t.Errorf("sym = %s", s)
+	}
+	if s := NewTemp(1).String(); s != "(V#1)" {
+		t.Errorf("temp = %s", s)
+	}
+	call := NewExpr("memalloc_noio_flags", NewSym("gfp_mask"))
+	if s := call.String(); s != "(E#memalloc_noio_flags((S#gfp_mask)))" {
+		t.Errorf("call = %s", s)
+	}
+}
+
+func TestSymbols(t *testing.T) {
+	v := NewExpr("+", NewExpr("*", NewSym("b"), NewSym("a")), NewSym("a"))
+	got := v.Symbols()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("symbols = %v", got)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := NewExpr("+", NewSym("x"), NewInt(1))
+	b := NewExpr("+", NewSym("x"), NewInt(1))
+	c := NewExpr("+", NewSym("y"), NewInt(1))
+	if !Equal(a, b) {
+		t.Error("identical exprs not equal")
+	}
+	if Equal(a, c) {
+		t.Error("different exprs equal")
+	}
+	if !Equal(nil, nil) || Equal(a, nil) {
+		t.Error("nil handling wrong")
+	}
+}
+
+func TestEnvCloneIsolation(t *testing.T) {
+	e := NewEnv()
+	e.Set("x", NewInt(1))
+	c := e.Clone()
+	c.Set("x", NewInt(2))
+	c.Set("y", NewInt(3))
+	if n, _ := e.Get("x").ConcreteInt(); n != 1 {
+		t.Error("clone mutated parent")
+	}
+	if e.Get("y") != nil {
+		t.Error("clone leaked into parent")
+	}
+	if e.Len() != 1 || c.Len() != 2 {
+		t.Errorf("lens = %d, %d", e.Len(), c.Len())
+	}
+	c.Delete("y")
+	if c.Get("y") != nil {
+		t.Error("delete failed")
+	}
+}
+
+func TestEnvNamesSorted(t *testing.T) {
+	e := NewEnv()
+	e.Set("b", NewInt(1))
+	e.Set("a", NewInt(2))
+	names := e.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+// Property: folding binary integer ops always agrees with direct evaluation.
+func TestFoldMatchesGoSemantics(t *testing.T) {
+	f := func(l, r int32) bool {
+		a, b := int64(l), int64(r)
+		checks := []struct {
+			op   string
+			want int64
+			skip bool
+		}{
+			{"+", a + b, false},
+			{"-", a - b, false},
+			{"*", a * b, false},
+			{"&", a & b, false},
+			{"|", a | b, false},
+			{"^", a ^ b, false},
+			{"/", safeDiv(a, b), b == 0},
+		}
+		for _, c := range checks {
+			if c.skip {
+				continue
+			}
+			v := NewExpr(c.op, NewInt(a), NewInt(b))
+			n, ok := v.ConcreteInt()
+			if !ok || n != c.want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func safeDiv(a, b int64) int64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Property: Equal is reflexive over randomly built expression trees.
+func TestEqualReflexive(t *testing.T) {
+	f := func(ops []uint8, leaf int64) bool {
+		v := NewSym("seed")
+		names := []string{"+", "-", "*", "&", "call"}
+		for _, o := range ops {
+			v = &Value{Kind: Expr, Op: names[int(o)%len(names)], Args: []*Value{v, NewInt(leaf)}}
+		}
+		return Equal(v, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: String never returns empty and nests parens in balance.
+func TestStringBalancedParens(t *testing.T) {
+	f := func(ops []uint8) bool {
+		v := NewSym("x")
+		for _, o := range ops {
+			if o%2 == 0 {
+				v = NewExpr("+", v, NewSym("y"))
+			} else {
+				v = NewExpr("f", v)
+			}
+		}
+		s := v.String()
+		depth := 0
+		for _, r := range s {
+			switch r {
+			case '(':
+				depth++
+			case ')':
+				depth--
+			}
+			if depth < 0 {
+				return false
+			}
+		}
+		return depth == 0 && len(s) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnvExclusions(t *testing.T) {
+	e := NewEnv()
+	e.Exclude("order", 0)
+	if !e.Excluded("order", 0) || e.Excluded("order", 1) || e.Excluded("other", 0) {
+		t.Fatal("exclusion bookkeeping wrong")
+	}
+	// Clones carry exclusions independently.
+	c := e.Clone()
+	c.Exclude("order", 5)
+	if e.Excluded("order", 5) {
+		t.Fatal("clone leaked exclusion into parent")
+	}
+	if !c.Excluded("order", 0) {
+		t.Fatal("clone lost parent exclusion")
+	}
+	// A concrete rebinding supersedes exclusions.
+	e.Set("order", NewInt(3))
+	if e.Excluded("order", 0) {
+		t.Fatal("Set must clear exclusions")
+	}
+	e.Exclude("order", 7)
+	e.Delete("order")
+	if e.Excluded("order", 7) {
+		t.Fatal("Delete must clear exclusions")
+	}
+}

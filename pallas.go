@@ -1,0 +1,292 @@
+// Package pallas is a semantic-aware static checking toolkit for finding
+// deep bugs in fast paths, reproducing the system described in
+//
+//	Huang, Allen-Bond, Zhang. "PALLAS: Semantic-Aware Checking for Finding
+//	Deep Bugs in Fast Path". ASPLOS 2017.
+//
+// A fast path is the optimized common-case branch of a workflow. Pallas
+// checks five error-prone aspects of a fast path — path state, trigger
+// condition, path output, fault handling, and assistant data structures —
+// against simple user-provided semantic information (which variables are
+// immutable, which variables form the trigger condition, what the defined
+// return values are, ...).
+//
+// Typical use:
+//
+//	a := pallas.New(pallas.Config{})
+//	res, err := a.AnalyzeSource("page_alloc.c", src, `
+//	    fastpath get_page_from_freelist
+//	    immutable gfp_mask nodemask migratetype
+//	`)
+//	for _, w := range res.Report.Warnings { fmt.Println(w) }
+//
+// The analyzer merges the source and its includes into one translation unit
+// (as the paper does), parses it with the built-in C front-end, extracts
+// bounded symbolic execution paths, and filters them through the five
+// checkers.
+package pallas
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"pallas/internal/cast"
+	"pallas/internal/cfg"
+	"pallas/internal/checkers"
+	"pallas/internal/cparse"
+	"pallas/internal/cpp"
+	"pallas/internal/difftool"
+	"pallas/internal/infer"
+	"pallas/internal/pathdb"
+	"pallas/internal/paths"
+	"pallas/internal/report"
+	"pallas/internal/spec"
+)
+
+// Re-exported result types. The aliases make the internal types part of the
+// public API without duplicating them.
+type (
+	// Warning is one rule violation.
+	Warning = report.Warning
+	// Report is a set of warnings for one analysis target.
+	Report = report.Report
+	// Aspect is one of the five fast-path aspects.
+	Aspect = report.Aspect
+	// Spec is the parsed semantic annotation set.
+	Spec = spec.Spec
+	// ExecPath is one extracted execution path.
+	ExecPath = paths.ExecPath
+	// FuncPaths is the extraction result for one function.
+	FuncPaths = paths.FuncPaths
+	// PathDB is a persistent store of extracted paths.
+	PathDB = pathdb.DB
+	// Diff is a fast-vs-slow path comparison.
+	Diff = difftool.Diff
+	// Suggestion is one inferred spec directive.
+	Suggestion = infer.Suggestion
+)
+
+// The five aspects, re-exported in paper order.
+const (
+	PathState        = report.PathState
+	TriggerCondition = report.TriggerCondition
+	PathOutput       = report.PathOutput
+	FaultHandling    = report.FaultHandling
+	DataStructure    = report.DataStructure
+)
+
+// Config configures an Analyzer.
+type Config struct {
+	// IncludeDirs are searched for #include "..." files.
+	IncludeDirs []string
+	// Includes optionally serves include files from memory; when set it takes
+	// precedence over IncludeDirs.
+	Includes map[string]string
+	// Defines are predefined object-like macros (CONFIG_ options etc.).
+	Defines map[string]string
+	// MaxPaths caps extracted paths per function (default 512).
+	MaxPaths int
+	// MaxBlockVisits bounds loop traversals per path (default 2).
+	MaxBlockVisits int
+	// InlineDepth bounds callee summarization (default 2).
+	InlineDepth int
+	// Checkers selects a subset of the five checkers by name ("path-state",
+	// "trigger-condition", "path-output", "fault-handling", "data-struct");
+	// empty means all.
+	Checkers []string
+}
+
+// CheckerNames lists the five checker names in paper order.
+func CheckerNames() []string {
+	var out []string
+	for _, c := range checkers.All() {
+		out = append(out, c.Name())
+	}
+	return out
+}
+
+// Analyzer runs the Pallas pipeline.
+type Analyzer struct {
+	cfg Config
+}
+
+// New returns an analyzer with the given configuration.
+func New(cfg Config) *Analyzer {
+	if cfg.MaxPaths <= 0 {
+		cfg.MaxPaths = 512
+	}
+	if cfg.MaxBlockVisits <= 0 {
+		cfg.MaxBlockVisits = 2
+	}
+	if cfg.InlineDepth == 0 {
+		cfg.InlineDepth = 2
+	}
+	return &Analyzer{cfg: cfg}
+}
+
+// Result is a completed analysis.
+type Result struct {
+	// Report holds the warnings, sorted deterministically.
+	Report *Report
+	// Spec is the effective semantic specification (file + annotations).
+	Spec *Spec
+	// Paths contains the extracted execution paths for every analyzed
+	// function.
+	Paths *PathDB
+	// Merged is the preprocessed translation-unit text.
+	Merged string
+
+	tu *cast.TranslationUnit
+}
+
+// TU exposes the parsed translation unit for advanced consumers (the diff
+// tool and the experiment harness).
+func (r *Result) TU() *cast.TranslationUnit { return r.tu }
+
+func (a *Analyzer) source() cpp.Source {
+	if a.cfg.Includes != nil {
+		return cpp.MapSource(a.cfg.Includes)
+	}
+	if len(a.cfg.IncludeDirs) > 0 {
+		return cpp.FileSource{Dirs: a.cfg.IncludeDirs}
+	}
+	return nil
+}
+
+// AnalyzeFile analyzes one C file on disk with an optional spec document.
+func (a *Analyzer) AnalyzeFile(path, specText string) (*Result, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := a.cfg
+	if cfg.Includes == nil && len(cfg.IncludeDirs) == 0 {
+		cfg.IncludeDirs = []string{filepath.Dir(path)}
+	}
+	sub := New(cfg)
+	return sub.AnalyzeSource(filepath.Base(path), string(b), specText)
+}
+
+// AnalyzeSource analyzes in-memory source text with an optional spec
+// document. Inline `// @pallas:` annotations in the source are merged with
+// specText (specText directives come first).
+func (a *Analyzer) AnalyzeSource(name, src, specText string) (*Result, error) {
+	pp := cpp.New(a.source())
+	for _, k := range mapKeys(a.cfg.Defines) {
+		pp.Define(k, a.cfg.Defines[k])
+	}
+	merged, err := pp.MergeText(name, src)
+	if err != nil {
+		return nil, fmt.Errorf("pallas: preprocess %s: %w", name, err)
+	}
+	tu, err := cparse.Parse(name, merged)
+	if err != nil {
+		return nil, fmt.Errorf("pallas: parse %s: %w", name, err)
+	}
+	sp, err := spec.Parse(specText)
+	if err != nil {
+		return nil, fmt.Errorf("pallas: spec: %w", err)
+	}
+	anno, err := spec.FromAnnotations(tu)
+	if err != nil {
+		return nil, fmt.Errorf("pallas: annotations: %w", err)
+	}
+	sp.Merge(anno)
+	return a.analyze(tu, sp, merged)
+}
+
+func (a *Analyzer) analyze(tu *cast.TranslationUnit, sp *spec.Spec, merged string) (*Result, error) {
+	// Validate the checker selection before any (potentially expensive)
+	// path extraction happens.
+	var selected []checkers.Checker
+	for _, n := range a.cfg.Checkers {
+		c := checkers.ByName(n)
+		if c == nil {
+			return nil, fmt.Errorf("pallas: unknown checker %q (have %v)", n, CheckerNames())
+		}
+		selected = append(selected, c)
+	}
+	pcfg := paths.Config{
+		MaxPaths:       a.cfg.MaxPaths,
+		MaxBlockVisits: a.cfg.MaxBlockVisits,
+		InlineDepth:    a.cfg.InlineDepth,
+	}
+	if pcfg.InlineDepth < 0 {
+		pcfg.InlineDepth = 0
+	}
+	ctx, err := checkers.NewContext(tu, sp, pcfg)
+	if err != nil {
+		return nil, fmt.Errorf("pallas: %w", err)
+	}
+	rep := checkers.Run(ctx, selected...)
+
+	db := pathdb.New(tu.File)
+	for _, fp := range ctx.FuncPaths {
+		db.Put(fp)
+	}
+	return &Result{Report: rep, Spec: sp, Paths: db, Merged: merged, tu: tu}, nil
+}
+
+// ComparePaths runs the study's code-comparison tool on a fast/slow function
+// pair within an analyzed result.
+func (r *Result) ComparePaths(fast, slow string) (*Diff, error) {
+	ff := r.tu.Func(fast)
+	sf := r.tu.Func(slow)
+	if ff == nil || sf == nil {
+		return nil, fmt.Errorf("pallas: compare: function not found (fast=%v slow=%v)", ff != nil, sf != nil)
+	}
+	return difftool.Compare(r.tu, ff, sf), nil
+}
+
+// RenderWorkflow draws the named function's control flow as an ASCII
+// workflow in the style of the paper's Figure 1.
+func (r *Result) RenderWorkflow(fn string) (string, error) {
+	f := r.tu.Func(fn)
+	if f == nil {
+		return "", fmt.Errorf("pallas: no function %q", fn)
+	}
+	g, err := cfg.Build(f)
+	if err != nil {
+		return "", err
+	}
+	return cfg.RenderWorkflow(g), nil
+}
+
+// InferSpec proposes spec directives for a fast/slow pair in an analyzed
+// result by treating the slow path as the reference implementation — the
+// automated semantic-extraction step the paper leaves as future work.
+// Suggestions are ranked by confidence and must be reviewed by a developer.
+func (r *Result) InferSpec(fast, slow string) ([]Suggestion, error) {
+	return infer.Infer(r.tu, fast, slow, infer.DefaultOptions())
+}
+
+// ExtractPaths extracts paths for one function of an analyzed result even if
+// the spec did not name it (useful for browsing, Table 5 demos, ...).
+func (a *Analyzer) ExtractPaths(name, src, fn string) (*FuncPaths, error) {
+	pp := cpp.New(a.source())
+	merged, err := pp.MergeText(name, src)
+	if err != nil {
+		return nil, err
+	}
+	tu, err := cparse.Parse(name, merged)
+	if err != nil {
+		return nil, err
+	}
+	ex := paths.NewExtractor(tu, paths.Config{
+		MaxPaths:       a.cfg.MaxPaths,
+		MaxBlockVisits: a.cfg.MaxBlockVisits,
+		InlineDepth:    a.cfg.InlineDepth,
+	})
+	return ex.Extract(fn)
+}
+
+func mapKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

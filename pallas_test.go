@@ -1,0 +1,177 @@
+package pallas
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const quickSrc = `
+// @pallas: fastpath get_page_fast
+// @pallas: immutable gfp_mask
+struct page { unsigned long private; };
+struct page *get_page_fast(unsigned long gfp_mask, int order, struct page *pool)
+{
+	if (order == 0) {
+		gfp_mask = gfp_mask & 7; /* deep bug */
+		pool->private = gfp_mask;
+		return pool;
+	}
+	return 0;
+}
+`
+
+func TestAnalyzeSourceWithAnnotations(t *testing.T) {
+	a := New(Config{})
+	res, err := a.AnalyzeSource("quick.c", quickSrc, "")
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if len(res.Report.Warnings) != 1 {
+		t.Fatalf("want 1 warning, got %+v", res.Report.Warnings)
+	}
+	w := res.Report.Warnings[0]
+	if w.Rule != "1.2" || w.Subject != "gfp_mask" {
+		t.Errorf("warning = %+v", w)
+	}
+	if res.Paths.Get("get_page_fast") == nil {
+		t.Error("paths for fast path missing from DB")
+	}
+	if res.Spec == nil || len(res.Spec.Immutables) != 1 {
+		t.Errorf("spec = %+v", res.Spec)
+	}
+}
+
+func TestAnalyzeWithExternalSpec(t *testing.T) {
+	src := `
+int rcv_fast(int x) { if (x) return 1; return 0; }
+int rcv_slow(int x) { return 0; }
+`
+	a := New(Config{})
+	res, err := a.AnalyzeSource("net.c", src, "pair rcv_fast rcv_slow\n")
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if len(res.Report.Warnings) != 1 || res.Report.Warnings[0].Rule != "3.2" {
+		t.Fatalf("want one 3.2 warning, got %+v", res.Report.Warnings)
+	}
+}
+
+func TestAnalyzeWithIncludes(t *testing.T) {
+	a := New(Config{
+		Includes: map[string]string{
+			"page.h": "struct page { unsigned long flags; };\n#define PAGE_LOCKED 1\n",
+		},
+	})
+	src := `
+#include "page.h"
+int lock_fast(struct page *p)
+{
+	if (p->flags & PAGE_LOCKED)
+		return -1;
+	p->flags = p->flags | PAGE_LOCKED;
+	return 0;
+}
+`
+	res, err := a.AnalyzeSource("lock.c", src, "fastpath lock_fast\ncond flags\n")
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if len(res.Report.Warnings) != 0 {
+		t.Fatalf("clean include case warned: %+v", res.Report.Warnings)
+	}
+	if !strings.Contains(res.Merged, "struct page") {
+		t.Error("merged text missing included header")
+	}
+}
+
+func TestCheckerSubsetSelection(t *testing.T) {
+	a := New(Config{Checkers: []string{"trigger-condition"}})
+	res, err := a.AnalyzeSource("quick.c", quickSrc, "")
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if len(res.Report.Warnings) != 0 {
+		t.Fatalf("trigger checker should not flag the state bug: %+v", res.Report.Warnings)
+	}
+	if _, err := New(Config{Checkers: []string{"bogus"}}).AnalyzeSource("q.c", quickSrc, ""); err == nil {
+		t.Fatal("unknown checker should error")
+	}
+}
+
+func TestComparePaths(t *testing.T) {
+	src := `
+int fast(int a) { if (a == 1) return 0; return 1; }
+int slow(int a, int b) { if (a == 1 && b) return 0; return 1; }
+`
+	a := New(Config{})
+	res, err := a.AnalyzeSource("cmp.c", src, "pair fast slow\n")
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	d, err := res.ComparePaths("fast", "slow")
+	if err != nil {
+		t.Fatalf("compare: %v", err)
+	}
+	if len(d.VarsSlowOnly) == 0 {
+		t.Errorf("diff should list b as slow-only: %+v", d)
+	}
+	if _, err := res.ComparePaths("fast", "missing"); err == nil {
+		t.Fatal("missing function should error")
+	}
+}
+
+func TestExtractPaths(t *testing.T) {
+	a := New(Config{})
+	fp, err := a.ExtractPaths("t.c", "int f(int a){ if (a) return 1; return 0; }", "f")
+	if err != nil {
+		t.Fatalf("extract: %v", err)
+	}
+	if len(fp.Paths) != 2 {
+		t.Fatalf("want 2 paths, got %d", len(fp.Paths))
+	}
+}
+
+func TestReportRenderers(t *testing.T) {
+	a := New(Config{})
+	res, err := a.AnalyzeSource("quick.c", quickSrc, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var txt, js bytes.Buffer
+	if err := res.Report.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "rule 1.2") {
+		t.Errorf("text output: %s", txt.String())
+	}
+	if err := res.Report.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), "\"rule\": \"1.2\"") {
+		t.Errorf("json output: %s", js.String())
+	}
+	if s := res.Report.Summary(); !strings.Contains(s, "Path State") {
+		t.Errorf("summary: %s", s)
+	}
+}
+
+func TestCheckerNames(t *testing.T) {
+	names := CheckerNames()
+	if len(names) != 5 {
+		t.Fatalf("want 5 checkers, got %v", names)
+	}
+	want := []string{"path-state", "trigger-condition", "path-output", "fault-handling", "data-struct"}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("checker[%d] = %s, want %s", i, names[i], n)
+		}
+	}
+}
+
+func TestBadSpecErrors(t *testing.T) {
+	a := New(Config{})
+	if _, err := a.AnalyzeSource("t.c", "int f(void){return 0;}", "frobnicate x\n"); err == nil {
+		t.Fatal("bad spec should error")
+	}
+}
