@@ -1,0 +1,64 @@
+package pallas
+
+import (
+	"pallas/internal/guard"
+)
+
+// Unit is one item of a batch analysis: a named source text plus its spec
+// document (both may also carry inline annotations, as in AnalyzeSource).
+type Unit struct {
+	// Name identifies the unit in reports and diagnostics (usually a file name).
+	Name string
+	// Source is the C source text.
+	Source string
+	// Spec is the semantic specification document (may be empty).
+	Spec string
+}
+
+// UnitResult is the outcome of one batch item. Exactly one of the following
+// holds: Result is non-nil and Err nil (clean or degraded analysis — check
+// Result.Degraded and Diagnostics), or Err is non-nil (the unit failed; a
+// partial Result may still be attached when late stages failed).
+type UnitResult struct {
+	// Unit echoes the unit's Name.
+	Unit string
+	// Result is the analysis outcome, possibly partial. Nil when the unit
+	// failed before producing anything.
+	Result *Result
+	// Err is the fatal error for this unit, nil on success. A panic anywhere
+	// in the unit's pipeline surfaces here as a *guard.PanicError instead of
+	// crashing the batch.
+	Err error
+	// Diagnostics aggregates the unit's degradation record (Result.Diagnostics
+	// when a result exists, plus a terminal diagnostic when the unit failed).
+	Diagnostics []Diagnostic
+}
+
+// AnalyzeMany analyzes units concurrently on a bounded worker pool and
+// returns one UnitResult per unit, in input order regardless of completion
+// order. Each unit is fault-isolated: its own budget (Config.Deadline etc.
+// apply per unit, not per batch), its own panic guard, and its own error
+// slot — one hostile unit cannot take down or starve its neighbours.
+// workers <= 0 uses GOMAXPROCS.
+func (a *Analyzer) AnalyzeMany(units []Unit, workers int) []UnitResult {
+	out := make([]UnitResult, len(units))
+	errs := guard.Pool(len(units), workers, func(i int) error {
+		out[i].Unit = units[i].Name
+		res, err := a.AnalyzeSource(units[i].Name, units[i].Source, units[i].Spec)
+		out[i].Result = res
+		if res != nil {
+			out[i].Diagnostics = res.Diagnostics
+		}
+		return err
+	})
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		out[i].Unit = units[i].Name // set even if the closure died before line one
+		out[i].Err = err
+		out[i].Diagnostics = append(out[i].Diagnostics,
+			guard.Diag(guard.StageBatch, units[i].Name, err, out[i].Result != nil))
+	}
+	return out
+}

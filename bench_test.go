@@ -1,4 +1,4 @@
-package pallas
+package pallas_test
 
 // Benchmark harness: one benchmark per paper table and figure (regenerating
 // the artifact end to end), plus micro-benchmarks for the pipeline stages
@@ -11,6 +11,7 @@ package pallas
 // accuracy) so a bench run doubles as a results check.
 
 import (
+	"pallas"
 	"testing"
 
 	"pallas/internal/cfg"
@@ -216,7 +217,7 @@ func BenchmarkPathExtraction(b *testing.B) {
 // the unit the paper quotes "1-2 minutes" for (theirs includes Clang).
 func BenchmarkCheckOneFastPath(b *testing.B) {
 	sc := corpus.ShowcaseByID("table5")
-	a := New(Config{})
+	a := pallas.New(pallas.Config{})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := a.AnalyzeSource("bench.c", sc.Source, sc.Spec)
@@ -233,7 +234,7 @@ func BenchmarkCheckOneFastPath(b *testing.B) {
 // per case (the fleet the evaluation runs).
 func BenchmarkAnalyzeWholeCorpusSerial(b *testing.B) {
 	reg := corpus.Generate()
-	a := New(Config{})
+	a := pallas.New(pallas.Config{})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c := reg.Cases[i%len(reg.Cases)]
@@ -305,7 +306,7 @@ func BenchmarkAblationInlineDepth(b *testing.B) {
 // corpus) to show analysis cost scales linearly in cases.
 func BenchmarkScalingCorpusFraction(b *testing.B) {
 	reg := corpus.Generate()
-	a := New(Config{})
+	a := pallas.New(pallas.Config{})
 	for _, frac := range []struct {
 		name string
 		div  int
@@ -329,7 +330,7 @@ func BenchmarkScalingCorpusFraction(b *testing.B) {
 // per-fast-path cost on merged subsystem sources.
 func BenchmarkBigFile(b *testing.B) {
 	src, spec := corpus.BigFile()
-	a := New(Config{})
+	a := pallas.New(pallas.Config{})
 	b.SetBytes(int64(len(src)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -350,7 +351,7 @@ func BenchmarkAllSubsystemUnits(b *testing.B) {
 		corpus.BigFile, corpus.BigFileNet, corpus.BigFileFS, corpus.BigFileDev,
 		corpus.BigFileWB, corpus.BigFileSDN, corpus.BigFileMob,
 	}
-	a := New(Config{})
+	a := pallas.New(pallas.Config{})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		warnings := 0

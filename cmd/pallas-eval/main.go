@@ -25,6 +25,7 @@ func main() {
 	ablation := flag.Bool("ablation", false, "per-checker contribution to Table 1")
 	bigfile := flag.Bool("bigfile", false, "analyze the three subsystem-scale units")
 	findings := flag.Bool("findings", false, "print the §3 finding/rule boxes")
+	adversarial := flag.Bool("adversarial", false, "robustness sweep over the hostile mini-corpus")
 	flag.Parse()
 
 	run := func(name string, f func() (string, error)) {
@@ -69,6 +70,14 @@ func main() {
 		run("bigfile", eval.RunBigFiles)
 	case *findings:
 		fmt.Println(eval.RenderFindings())
+	case *adversarial:
+		run("adversarial", func() (string, error) {
+			r := eval.RunAdversarial(0)
+			if !r.Passed() {
+				return r.Render(), fmt.Errorf("robustness contract violated")
+			}
+			return r.Render(), nil
+		})
 	default:
 		for n := 1; n <= 8; n++ {
 			run(fmt.Sprintf("table %d", n), func() (string, error) { return renderTable(n) })

@@ -68,7 +68,9 @@ func usage() {
 	fmt.Fprint(os.Stderr, `pallas — semantic-aware checking for fast-path bugs (ASPLOS'17)
 
 commands:
-  check    [-spec file] [-checker name] [-json] [-html out] file.c...  run the checkers
+  check    [-spec file] [-checker name] [-json] [-html out]
+           [-timeout d] [-keep-going] [-workers n] file.c...  run the checkers
+           (exit: 0 clean, 1 warnings, 2 degraded, 3 fatal)
   paths    -func name [-db out.json] file.c              print symbolic paths
   workflow -func name [-dot] file.c                      render the workflow
   diff     -fast f -slow g [-suggest] file.c             compare fast vs slow
@@ -77,12 +79,18 @@ commands:
 `)
 }
 
+// cmdCheck analyzes the given files on a bounded worker pool and exits with
+// the worst per-file outcome: 0 clean, 1 warnings found, 2 analysis degraded
+// (deadline hit, malformed input under -keep-going, crashed stage), 3 fatal.
 func cmdCheck(args []string) error {
 	fs := flag.NewFlagSet("check", flag.ExitOnError)
 	specPath := fs.String("spec", "", "spec file with semantic directives")
 	checker := fs.String("checker", "", "run only the named checker")
 	asJSON := fs.Bool("json", false, "emit JSON")
 	htmlOut := fs.String("html", "", "additionally write an HTML report to this file")
+	timeout := fs.Duration("timeout", 0, "per-file analysis deadline; expiry degrades, not fails (0 = none)")
+	keepGoing := fs.Bool("keep-going", false, "keep analyzing past malformed input, reporting per-file diagnostics")
+	workers := fs.Int("workers", 0, "parallel workers for multiple files (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -97,22 +105,62 @@ func cmdCheck(args []string) error {
 		}
 		specText = string(b)
 	}
-	cfg := pallas.Config{}
+	cfg := pallas.Config{Deadline: *timeout, KeepGoing: *keepGoing}
 	if *checker != "" {
 		cfg.Checkers = []string{*checker}
 	}
-	totalWarnings := 0
+
+	units := make([]pallas.Unit, 0, fs.NArg())
+	readErrs := map[string]error{}
 	for _, path := range fs.Args() {
-		res, err := pallas.New(cfg).AnalyzeFile(path, specText)
-		if err != nil {
-			return err
+		// Every input's directory serves includes, replacing the per-file
+		// default of AnalyzeFile.
+		if dir := filepath.Dir(path); !contains(cfg.IncludeDirs, dir) {
+			cfg.IncludeDirs = append(cfg.IncludeDirs, dir)
 		}
-		totalWarnings += len(res.Report.Warnings)
+		b, err := os.ReadFile(path)
+		if err != nil {
+			if !*keepGoing {
+				return err
+			}
+			readErrs[path] = err
+			continue
+		}
+		units = append(units, pallas.Unit{Name: filepath.Base(path), Source: string(b), Spec: specText})
+	}
+	results := pallas.New(cfg).AnalyzeMany(units, *workers)
+
+	exit := 0
+	raise := func(code int) {
+		if code > exit {
+			exit = code
+		}
+	}
+	for path, err := range readErrs {
+		fmt.Fprintf(os.Stderr, "pallas: %s: %v\n", path, err)
+		raise(3)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "pallas: %s: %v\n", r.Unit, r.Err)
+			raise(3)
+			continue
+		}
+		res := r.Result
+		if len(res.Report.Warnings) > 0 && !*asJSON {
+			raise(1)
+		}
+		if res.Degraded() {
+			raise(2)
+			for _, d := range res.Diagnostics {
+				fmt.Fprintln(os.Stderr, "pallas: "+d.String())
+			}
+		}
 		if *htmlOut != "" {
 			// With several inputs, suffix the HTML file per input.
 			out := *htmlOut
 			if fs.NArg() > 1 {
-				out = strings.TrimSuffix(out, ".html") + "-" + sanitize(filepath.Base(path)) + ".html"
+				out = strings.TrimSuffix(out, ".html") + "-" + sanitize(r.Unit) + ".html"
 			}
 			if err := writeHTMLReport(res, out); err != nil {
 				return err
@@ -130,10 +178,20 @@ func cmdCheck(args []string) error {
 		fmt.Println()
 		fmt.Print(res.Report.Summary())
 	}
-	if totalWarnings > 0 && !*asJSON {
-		os.Exit(1)
+	if exit != 0 {
+		os.Exit(exit)
 	}
 	return nil
+}
+
+// contains reports whether list holds s.
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
 }
 
 func writeHTMLReport(res *pallas.Result, path string) error {

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"pallas/internal/cast"
+	"pallas/internal/guard"
 	"pallas/internal/paths"
 	"pallas/internal/report"
 	"pallas/internal/spec"
@@ -29,6 +30,13 @@ type Context struct {
 	FuncPaths map[string]*paths.FuncPaths
 	// File is the reported file name.
 	File string
+	// Budget, when non-nil, bounds the work Run performs; checkers are skipped
+	// once it is exhausted and the report is marked degraded.
+	Budget *guard.Budget
+	// Diagnostics accumulates non-fatal problems (unknown spec functions,
+	// truncated extractions, crashed checkers) encountered while building and
+	// running the context.
+	Diagnostics []guard.Diagnostic
 }
 
 // Checker is one of the five Pallas tools.
@@ -64,7 +72,8 @@ func ByName(name string) Checker {
 // ready-to-check context.
 func NewContext(tu *cast.TranslationUnit, sp *spec.Spec, cfg paths.Config) (*Context, error) {
 	ex := paths.NewExtractor(tu, cfg)
-	ctx := &Context{TU: tu, Spec: sp, Extractor: ex, FuncPaths: map[string]*paths.FuncPaths{}, File: tu.File}
+	ctx := &Context{TU: tu, Spec: sp, Extractor: ex, FuncPaths: map[string]*paths.FuncPaths{},
+		File: tu.File, Budget: cfg.Budget}
 	for _, fn := range sp.AnalyzedFuncs() {
 		if tu.Func(fn) == nil {
 			return nil, fmt.Errorf("checkers: spec names unknown function %q", fn)
@@ -72,6 +81,38 @@ func NewContext(tu *cast.TranslationUnit, sp *spec.Spec, cfg paths.Config) (*Con
 		fp, err := ex.Extract(fn)
 		if err != nil {
 			return nil, err
+		}
+		ctx.FuncPaths[fn] = fp
+	}
+	return ctx, nil
+}
+
+// NewContextTolerant is NewContext for degraded pipelines: spec functions the
+// (possibly partially parsed) unit lacks, extraction failures, and extraction
+// panics become Diagnostics instead of hard errors, and the surviving
+// functions are still checked. The only returned error is an exhausted budget.
+func NewContextTolerant(tu *cast.TranslationUnit, sp *spec.Spec, cfg paths.Config) (*Context, error) {
+	ex := paths.NewExtractor(tu, cfg)
+	ctx := &Context{TU: tu, Spec: sp, Extractor: ex, FuncPaths: map[string]*paths.FuncPaths{},
+		File: tu.File, Budget: cfg.Budget}
+	for _, fn := range sp.AnalyzedFuncs() {
+		if err := cfg.Budget.Err(); err != nil {
+			return ctx, err
+		}
+		if tu.Func(fn) == nil {
+			ctx.Diagnostics = append(ctx.Diagnostics, guard.Diag(guard.StageExtract, fn,
+				fmt.Errorf("spec names function %q not present in unit", fn), true))
+			continue
+		}
+		var fp *paths.FuncPaths
+		err := guard.Protect(guard.StageExtract, fn, func() error {
+			var eerr error
+			fp, eerr = ex.Extract(fn)
+			return eerr
+		})
+		if err != nil {
+			ctx.Diagnostics = append(ctx.Diagnostics, guard.Diag(guard.StageExtract, fn, err, true))
+			continue
 		}
 		ctx.FuncPaths[fn] = fp
 	}
@@ -87,7 +128,27 @@ func Run(ctx *Context, list ...Checker) *report.Report {
 	}
 	r := &report.Report{Target: ctx.File}
 	for _, c := range list {
-		r.Add(c.Check(ctx)...)
+		if err := ctx.Budget.Err(); err != nil {
+			ctx.Diagnostics = append(ctx.Diagnostics, guard.Diag(guard.StageCheck, c.Name(),
+				fmt.Errorf("skipped: %w", err), true))
+			r.Degraded = true
+			continue
+		}
+		var ws []report.Warning
+		if err := guard.Protect(guard.StageCheck, c.Name(), func() error {
+			ws = c.Check(ctx)
+			return nil
+		}); err != nil {
+			// A crashed checker loses only its own findings; the report keeps
+			// everything the other checkers produced.
+			ctx.Diagnostics = append(ctx.Diagnostics, guard.Diag(guard.StageCheck, c.Name(), err, true))
+			r.Degraded = true
+			continue
+		}
+		r.Add(ws...)
+	}
+	if len(ctx.Diagnostics) > 0 {
+		r.Degraded = true
 	}
 	for i := range r.Warnings {
 		r.Warnings[i].LikelyConsequence = likelyConsequence(r.Warnings[i].Aspect())

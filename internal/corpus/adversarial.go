@@ -1,0 +1,141 @@
+package corpus
+
+import "strings"
+
+// AdversarialUnit is one deliberately hostile input for exercising the
+// analyzer's fault isolation: each unit breaks a different pipeline stage
+// (lexer, preprocessor, parser, path extraction) in a different way.
+type AdversarialUnit struct {
+	// Name identifies the unit in diagnostics.
+	Name string
+	// Source is the (malformed) C text.
+	Source string
+	// Spec is the semantic specification to analyze it under.
+	Spec string
+	// Includes serves the unit's #include files from memory.
+	Includes map[string]string
+	// WantDiagnostic is true when analyzing the unit must produce at least
+	// one per-unit diagnostic (under KeepGoing); Healthy units instead must
+	// analyze cleanly and still fire their expected warning.
+	WantDiagnostic bool
+	// Healthy marks the control units mixed into the batch to prove hostile
+	// neighbours do not suppress real findings.
+	Healthy bool
+}
+
+// Adversarial returns the hostile mini-corpus: at least ten malformed units —
+// truncated functions, unterminated comments and strings, include cycles,
+// deeply nested expressions, self-referential macros — plus two healthy
+// controls with a known bug each. Every unit must come back from a batch
+// analysis with a structured outcome: no panic, no hang, no lost neighbour.
+func Adversarial() []AdversarialUnit {
+	spec := "fastpath f\nimmutable mode\n"
+	units := []AdversarialUnit{
+		{
+			Name:           "truncated-function.c",
+			Source:         "int whole(int mode) { return mode; }\nint f(int mode) { if (mode) {\n",
+			Spec:           spec,
+			WantDiagnostic: true,
+		},
+		{
+			Name:           "truncated-mid-expression.c",
+			Source:         "int f(int mode) { return mode +\n",
+			Spec:           spec,
+			WantDiagnostic: true,
+		},
+		{
+			Name:           "unterminated-comment.c",
+			Source:         "int f(int mode) { return mode; }\n/* this comment never ends\nint g(void) { return 1; }\n",
+			Spec:           spec,
+			WantDiagnostic: true,
+		},
+		{
+			Name:           "unterminated-string.c",
+			Source:         "char *f(int mode) { return \"no closing quote\n; }\n",
+			Spec:           spec,
+			WantDiagnostic: true,
+		},
+		{
+			Name:   "include-cycle.c",
+			Source: "#include \"loop_a.h\"\nint f(int mode) { return mode; }\n",
+			Spec:   spec,
+			Includes: map[string]string{
+				"loop_a.h": "#include \"loop_b.h\"\n",
+				"loop_b.h": "#include \"loop_a.h\"\n",
+			},
+			WantDiagnostic: true,
+		},
+		{
+			Name:           "missing-include.c",
+			Source:         "#include \"no_such_file.h\"\nint f(int mode) { return mode; }\n",
+			Spec:           spec,
+			WantDiagnostic: true,
+		},
+		{
+			Name:           "macro-bomb.c",
+			Source:         "#define A A A A A A A A A\nint f(int mode) { return A; }\n",
+			Spec:           spec,
+			WantDiagnostic: true,
+		},
+		{
+			Name:           "mutually-recursive-macros.c",
+			Source:         "#define F(x) G(x) G(x)\n#define G(x) F(x) F(x)\nint f(int mode) { return F(mode); }\n",
+			Spec:           spec,
+			WantDiagnostic: true,
+		},
+		{
+			// Legal C, hostile shape: stresses parser/extractor recursion.
+			// The contract is completion without crash, not a diagnostic.
+			Name:           "deeply-nested-expression.c",
+			Source:         "int f(int mode) { return " + strings.Repeat("(1 + ", 1200) + "mode" + strings.Repeat(")", 1200) + "; }\n",
+			Spec:           spec,
+			WantDiagnostic: false,
+		},
+		{
+			Name:           "garbage-tokens.c",
+			Source:         "@ $ ` @ $ `\nint f(int mode) { return mode; }\n@ @ @\n",
+			Spec:           spec,
+			WantDiagnostic: true,
+		},
+		{
+			Name:           "mismatched-braces.c",
+			Source:         "int f(int mode) { if (mode) { return 1; } return 0; } } } }\n",
+			Spec:           spec,
+			WantDiagnostic: true,
+		},
+		{
+			Name:           "spec-names-missing-function.c",
+			Source:         "int g(int mode) { return mode; }\n",
+			Spec:           spec, // f never exists
+			WantDiagnostic: true,
+		},
+	}
+	// Healthy controls: well-formed units whose seeded bug must still be
+	// reported even when analyzed next to the hostile units above.
+	units = append(units,
+		AdversarialUnit{
+			Name: "healthy-state-overwrite.c",
+			Source: `// @pallas: fastpath f
+// @pallas: immutable mode
+int f(int mode) {
+	mode = 0;
+	if (mode)
+		return 1;
+	return 0;
+}
+`,
+			Healthy: true,
+		},
+		AdversarialUnit{
+			Name: "healthy-missing-check.c",
+			Source: `// @pallas: fastpath f
+// @pallas: cond cache_ready
+int f(int cache_ready, int n) {
+	return n + 1;
+}
+`,
+			Healthy: true,
+		},
+	)
+	return units
+}

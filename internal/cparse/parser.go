@@ -70,18 +70,30 @@ func Parse(file, src string) (*cast.TranslationUnit, error) {
 	tu := &cast.TranslationUnit{File: file, Annotations: annotations}
 	for !p.atEnd() {
 		start := p.pos
+		errsBefore := len(p.errs)
 		d := p.parseTopLevel()
 		if d != nil {
 			tu.Decls = append(tu.Decls, d)
 		}
 		if p.pos == start {
-			// Ensure progress even on malformed input.
+			// No progress: the declaration is unparseable here. Report once
+			// and resynchronize at the next top-level boundary so the rest
+			// of the unit still parses (and gets checked).
 			p.errorf(p.cur().Pos, "unexpected token %s", p.cur())
-			p.pos++
+			p.syncTopLevel()
+		} else if len(p.errs) > errsBefore {
+			// The declaration parsed with diagnostics; if it stopped mid-
+			// construct (e.g. a truncated function), realign before the next
+			// one so one broken definition cannot cascade.
+			p.syncAfterError()
 		}
 	}
 	var err error
 	if all := append(lx.Errors(), p.errs...); len(all) > 0 {
+		if len(all) > maxParseErrors {
+			all = append(all[:maxParseErrors:maxParseErrors],
+				fmt.Errorf("%s: too many errors, further diagnostics suppressed", file))
+		}
 		msgs := make([]string, 0, len(all))
 		for _, e := range all {
 			msgs = append(msgs, e.Error())
@@ -89,6 +101,61 @@ func Parse(file, src string) (*cast.TranslationUnit, error) {
 		err = errors.New(strings.Join(msgs, "\n"))
 	}
 	return tu, err
+}
+
+// maxParseErrors caps the diagnostics one unit may accumulate; adversarial
+// inputs otherwise produce one error per token and quadratic join costs.
+const maxParseErrors = 64
+
+// syncTopLevel skips tokens until a top-level declaration boundary: past a
+// ';' or a closing '}' at bracket depth zero. Guaranteed to make progress.
+func (p *Parser) syncTopLevel() {
+	depth := 0
+	for !p.atEnd() {
+		switch p.next().Kind {
+		case ctok.Semi:
+			if depth == 0 {
+				return
+			}
+		case ctok.LBrace:
+			depth++
+		case ctok.RBrace:
+			if depth <= 1 {
+				return
+			}
+			depth--
+		}
+	}
+}
+
+// syncAfterError realigns after a partially parsed declaration: if the
+// current token cannot begin a top-level declaration, skip to the next
+// boundary. Keeps a truncated function from swallowing its successors.
+func (p *Parser) syncAfterError() {
+	if p.atEnd() || p.atTopLevelStart() {
+		return
+	}
+	p.syncTopLevel()
+}
+
+// atTopLevelStart reports whether the current token plausibly begins a new
+// top-level declaration (used only for recovery, so approximate is fine).
+func (p *Parser) atTopLevelStart() bool {
+	switch p.cur().Kind {
+	case ctok.KwTypedef, ctok.KwStruct, ctok.KwUnion, ctok.KwEnum,
+		ctok.KwStatic, ctok.KwExtern, ctok.KwInline, ctok.Semi:
+		return true
+	}
+	return p.typeStarts()
+}
+
+// atFunctionBoundary reports whether the current token looks like the start
+// of a new top-level definition: column 1 and a declaration-start token.
+// Recovery-only heuristic — it keeps a brace-mismatched function body from
+// swallowing the definitions that follow it.
+func (p *Parser) atFunctionBoundary() bool {
+	t := p.cur()
+	return t.Pos.Col == 1 && t.Kind != ctok.Semi && p.atTopLevelStart()
 }
 
 // parseAnnotation extracts an @pallas annotation from a comment token.
@@ -149,6 +216,9 @@ func (p *Parser) expect(k ctok.Kind) ctok.Token {
 }
 
 func (p *Parser) errorf(pos ctok.Pos, format string, args ...any) {
+	if len(p.errs) > maxParseErrors {
+		return // capped; Parse appends a suppression notice
+	}
 	p.errs = append(p.errs, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
 }
 
@@ -603,18 +673,57 @@ func (p *Parser) parseCompound() *cast.CompoundStmt {
 	start := p.expect(ctok.LBrace).Pos
 	cs := &cast.CompoundStmt{P: start}
 	for !p.at(ctok.RBrace) && !p.atEnd() {
+		if len(p.errs) > 0 && p.atFunctionBoundary() {
+			// A column-1 declaration start inside a still-open block almost
+			// always means the '}' above was lost to an earlier error. Close
+			// the block here so the next definition parses at top level
+			// instead of being swallowed as statements.
+			p.errorf(p.cur().Pos, "missing '}' before top-level declaration")
+			return cs
+		}
 		before := p.pos
 		s := p.parseStmt()
 		if s != nil {
 			cs.Stmts = append(cs.Stmts, s)
 		}
 		if p.pos == before {
+			// Unparseable statement: report once and resynchronize at the
+			// next ';' (consumed) or the enclosing '}' (left for the loop),
+			// so one broken statement cannot take the whole block with it.
 			p.errorf(p.cur().Pos, "cannot parse statement at %s", p.cur())
-			p.pos++
+			p.syncStmt()
 		}
 	}
 	p.expect(ctok.RBrace)
 	return cs
+}
+
+// syncStmt skips to the next statement boundary inside a compound: past the
+// next ';' at nesting depth zero, or up to (not past) the '}' that closes
+// the enclosing block. Guaranteed to make progress.
+func (p *Parser) syncStmt() {
+	depth := 0
+	for !p.atEnd() {
+		if depth == 0 && p.atFunctionBoundary() {
+			return // let parseCompound end the brace-mismatched block
+		}
+		switch p.cur().Kind {
+		case ctok.Semi:
+			p.next()
+			if depth == 0 {
+				return
+			}
+			continue
+		case ctok.LBrace:
+			depth++
+		case ctok.RBrace:
+			if depth == 0 {
+				return // leave for the enclosing compound to consume
+			}
+			depth--
+		}
+		p.next()
+	}
 }
 
 func (p *Parser) parseStmt() cast.Stmt {

@@ -1,0 +1,113 @@
+package cparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRecoveryBrokenFunctionDoesNotSinkTU is the core error-recovery
+// contract: one malformed function yields diagnostics while its siblings
+// still parse and are available for checking.
+func TestRecoveryBrokenFunctionDoesNotSinkTU(t *testing.T) {
+	src := `
+int before(int a) { return a + 1; }
+int broken(int a) { if (a == ) ] { return; }
+int after(int a) { return a - 1; }
+`
+	tu, err := Parse("rec.c", src)
+	if err == nil {
+		t.Fatal("broken function must produce diagnostics")
+	}
+	if tu.Func("before") == nil {
+		t.Error("function before the defect lost")
+	}
+	if tu.Func("after") == nil {
+		t.Error("function after the defect lost; recovery failed")
+	}
+}
+
+// TestRecoveryStatementResync asserts a garbled statement is skipped to the
+// next ';' and the remaining statements of the block survive.
+func TestRecoveryStatementResync(t *testing.T) {
+	src := `
+int f(int a) {
+	int x = 1;
+	@ @ @ junk;
+	x = a + x;
+	return x;
+}
+`
+	tu, err := Parse("rec.c", src)
+	if err == nil {
+		t.Fatal("junk statement must produce a diagnostic")
+	}
+	fn := tu.Func("f")
+	if fn == nil {
+		t.Fatal("function lost")
+	}
+	// The statements around the junk must both be present: decl, assignment,
+	// return survive (junk collapses into at most one error statement).
+	if got := len(fn.Body.Stmts); got < 3 {
+		t.Errorf("surrounding statements lost, got %d stmts", got)
+	}
+}
+
+// TestRecoveryTruncatedFunctionAtEOF asserts a function cut off mid-body
+// (the classic truncated-input shape) terminates with diagnostics and still
+// yields the earlier declarations.
+func TestRecoveryTruncatedFunctionAtEOF(t *testing.T) {
+	src := `
+int whole(void) { return 0; }
+int cut(int a) { if (a) {
+`
+	tu, err := Parse("rec.c", src)
+	if err == nil {
+		t.Fatal("truncated function must produce diagnostics")
+	}
+	if tu.Func("whole") == nil {
+		t.Error("intact function lost")
+	}
+}
+
+// TestRecoveryErrorCap asserts adversarial inputs cannot accumulate
+// unbounded diagnostics (one per token) with quadratic join costs.
+func TestRecoveryErrorCap(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 5000; i++ {
+		sb.WriteString("@ ")
+	}
+	tu, err := Parse("cap.c", sb.String())
+	if tu == nil {
+		t.Fatal("Parse must always return a translation unit")
+	}
+	if err == nil {
+		t.Fatal("garbage must error")
+	}
+	if n := strings.Count(err.Error(), "\n"); n > maxParseErrors+1 {
+		t.Errorf("error cap not enforced: %d diagnostics", n)
+	}
+	if !strings.Contains(err.Error(), "further diagnostics suppressed") {
+		t.Error("suppression notice missing")
+	}
+}
+
+// TestRecoveryKeepsCleanUnitsPristine asserts the resync machinery is inert
+// on well-formed input (no spurious errors, no dropped declarations).
+func TestRecoveryKeepsCleanUnitsPristine(t *testing.T) {
+	src := `
+struct s { int a; };
+typedef unsigned long ulen_t;
+static int g;
+int f(struct s *p, ulen_t n) {
+	if (p->a) { g = (int)n; return 1; }
+	return 0;
+}
+`
+	tu, err := Parse("clean.c", src)
+	if err != nil {
+		t.Fatalf("clean unit must not error: %v", err)
+	}
+	if len(tu.Decls) != 4 {
+		t.Errorf("want 4 decls, got %d", len(tu.Decls))
+	}
+}

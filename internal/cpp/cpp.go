@@ -12,6 +12,8 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+
+	"pallas/internal/guard"
 )
 
 // Source abstracts where included files come from, so corpora can live either
@@ -56,15 +58,34 @@ type Macro struct {
 
 // Preprocessor holds macro and include state across files.
 type Preprocessor struct {
+	// MaxExpansions bounds total macro replacements per merge; a
+	// self-referential macro like `#define A A A` otherwise grows the output
+	// exponentially. 0 means DefaultMaxExpansions.
+	MaxExpansions int64
+	// Budget optionally ties the merge to a per-unit analysis budget
+	// (deadline + shared macro-expansion counter); nil means unbudgeted.
+	Budget *guard.Budget
+
 	src      Source
 	macros   map[string]Macro
 	included map[string]bool
 	errs     []error
 	depth    int
+	stack    []string // in-progress include chain, for cycle diagnostics
+	nExpand  int64
+	blown    bool // expansion budget exhausted; stop expanding, keep merging
 }
 
 // MaxIncludeDepth bounds nested includes.
 const MaxIncludeDepth = 64
+
+// DefaultMaxExpansions is the per-merge macro replacement budget when neither
+// MaxExpansions nor a Budget limit is set.
+const DefaultMaxExpansions = 1 << 20
+
+// maxExpandedLine caps the size one logical line may grow to under
+// expansion, catching exponential blowups between budget samples.
+const maxExpandedLine = 1 << 20
 
 // New returns a preprocessor reading includes from src (may be nil when the
 // input has no includes).
@@ -119,11 +140,16 @@ type condState struct {
 
 func (pp *Preprocessor) process(file, text string, out *strings.Builder) {
 	if pp.depth >= MaxIncludeDepth {
-		pp.errorf(file, 0, "include depth exceeds %d", MaxIncludeDepth)
+		pp.errorf(file, 0, "include depth exceeds %d (chain: %s)",
+			MaxIncludeDepth, strings.Join(pp.stack, " -> "))
 		return
 	}
 	pp.depth++
-	defer func() { pp.depth-- }()
+	pp.stack = append(pp.stack, file)
+	defer func() {
+		pp.depth--
+		pp.stack = pp.stack[:len(pp.stack)-1]
+	}()
 
 	lines := splitLogicalLines(text)
 	var conds []condState
@@ -150,6 +176,14 @@ func (pp *Preprocessor) process(file, text string, out *strings.Builder) {
 				name := parseIncludeName(rest)
 				if name == "" {
 					pp.errorf(file, lineno, "malformed #include %q", rest)
+					continue
+				}
+				// Include-once already prevents cyclic recursion, but a cycle
+				// is a real defect in the input — report it explicitly rather
+				// than silently skipping the re-inclusion.
+				if cycleAt := indexOf(pp.stack, name); cycleAt >= 0 {
+					pp.errorf(file, lineno, "include cycle detected: %s -> %s",
+						strings.Join(pp.stack[cycleAt:], " -> "), name)
 					continue
 				}
 				if pp.included[name] {
@@ -229,7 +263,7 @@ func (pp *Preprocessor) process(file, text string, out *strings.Builder) {
 		if !on() {
 			continue
 		}
-		out.WriteString(pp.expand(line))
+		out.WriteString(pp.expandAt(file, lineno, line))
 		out.WriteString("\n")
 	}
 	if len(conds) > 0 {
@@ -329,14 +363,53 @@ func isIdentStartByte(c byte) bool {
 
 // expand performs macro expansion on one line of ordinary source text.
 func (pp *Preprocessor) expand(line string) string {
-	return pp.expandDepth(line, 0)
+	return pp.expandAt("", 0, line)
+}
+
+// expandAt is expand with a source location for budget diagnostics.
+func (pp *Preprocessor) expandAt(file string, lineno int, line string) string {
+	return pp.expandDepth(file, lineno, line, 0)
 }
 
 const maxExpandDepth = 16
 
-func (pp *Preprocessor) expandDepth(line string, depth int) string {
-	if depth > maxExpandDepth {
+// chargeExpansion counts one macro replacement against the local cap and the
+// shared analysis budget. Once either is exhausted the merge keeps going but
+// stops expanding — output stays bounded, and exactly one error is recorded.
+func (pp *Preprocessor) chargeExpansion(file string, lineno int) bool {
+	if pp.blown {
+		return false
+	}
+	pp.nExpand++
+	limit := pp.MaxExpansions
+	if limit <= 0 {
+		limit = DefaultMaxExpansions
+	}
+	if pp.nExpand > limit {
+		pp.blowBudget(file, lineno, fmt.Errorf("%w after %d replacements (self-referential macro?)",
+			guard.ErrMacroBudget, pp.nExpand-1))
+		return false
+	}
+	if err := pp.Budget.MacroExpand(); err != nil {
+		pp.blowBudget(file, lineno, err)
+		return false
+	}
+	return true
+}
+
+func (pp *Preprocessor) blowBudget(file string, lineno int, cause error) {
+	pp.blown = true
+	pp.errs = append(pp.errs, fmt.Errorf("%s:%d: %w", file, lineno, cause))
+}
+
+func (pp *Preprocessor) expandDepth(file string, lineno int, line string, depth int) string {
+	if depth > maxExpandDepth || pp.blown {
 		return line
+	}
+	if len(line) > maxExpandedLine {
+		pp.blowBudget(file, lineno, fmt.Errorf("%w: expanded line exceeds %d bytes",
+			guard.ErrMacroBudget, maxExpandedLine))
+		return line[:maxExpandedLine]
 	}
 	var sb strings.Builder
 	i := 0
@@ -386,6 +459,11 @@ func (pp *Preprocessor) expandDepth(line string, depth int) string {
 			continue
 		}
 		if !m.FnLike {
+			if !pp.chargeExpansion(file, lineno) {
+				sb.WriteString(word)
+				i = j
+				continue
+			}
 			sb.WriteString(m.Body)
 			changed = true
 			i = j
@@ -407,15 +485,30 @@ func (pp *Preprocessor) expandDepth(line string, depth int) string {
 			i = j
 			continue
 		}
+		if !pp.chargeExpansion(file, lineno) {
+			sb.WriteString(word)
+			i = j
+			continue
+		}
 		sb.WriteString(substituteParams(m, args))
 		changed = true
 		i = end
 	}
 	out := sb.String()
-	if changed {
-		return pp.expandDepth(out, depth+1)
+	if changed && !pp.blown {
+		return pp.expandDepth(file, lineno, out, depth+1)
 	}
 	return out
+}
+
+// indexOf returns the index of s in list, or -1.
+func indexOf(list []string, s string) int {
+	for i, v := range list {
+		if v == s {
+			return i
+		}
+	}
+	return -1
 }
 
 // splitMacroArgs parses "(a, b(c,d), e)" starting at the '(' index; returns

@@ -1,0 +1,147 @@
+package cpp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"pallas/internal/guard"
+)
+
+// TestIncludeCycleDetected asserts a cyclic include chain terminates with a
+// clear per-cycle error while the rest of the unit still merges.
+func TestIncludeCycleDetected(t *testing.T) {
+	src := MapSource{
+		"a.h": "#include \"b.h\"\nint from_a;\n",
+		"b.h": "#include \"a.h\"\nint from_b;\n",
+	}
+	pp := New(src)
+	out, err := pp.MergeText("main.c", "#include \"a.h\"\nint main_var;\n")
+	if err == nil {
+		t.Fatal("cycle must be reported as an error")
+	}
+	if !strings.Contains(err.Error(), "include cycle detected") ||
+		!strings.Contains(err.Error(), "a.h -> b.h -> a.h") {
+		t.Errorf("cycle error should name the chain, got: %v", err)
+	}
+	// Degraded output still contains everything outside the back-edge.
+	for _, want := range []string{"from_a", "from_b", "main_var"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("partial merge missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestIncludeSelfCycle covers the degenerate file-includes-itself shape.
+func TestIncludeSelfCycle(t *testing.T) {
+	pp := New(MapSource{"self.h": "#include \"self.h\"\nint once;\n"})
+	out, err := pp.MergeText("main.c", "#include \"self.h\"\n")
+	if err == nil || !strings.Contains(err.Error(), "include cycle detected") {
+		t.Fatalf("want cycle error, got %v", err)
+	}
+	if strings.Count(out, "int once;") != 1 {
+		t.Errorf("self-including header must merge exactly once:\n%s", out)
+	}
+}
+
+// TestDiamondIncludeIsNotACycle guards against the cycle detector flagging
+// legitimate include-once diamonds (two files both including a common header).
+func TestDiamondIncludeIsNotACycle(t *testing.T) {
+	src := MapSource{
+		"common.h": "int shared;\n",
+		"l.h":      "#include \"common.h\"\nint l;\n",
+		"r.h":      "#include \"common.h\"\nint r;\n",
+	}
+	pp := New(src)
+	out, err := pp.MergeText("main.c", "#include \"l.h\"\n#include \"r.h\"\n")
+	if err != nil {
+		t.Fatalf("diamond include must be clean: %v", err)
+	}
+	if strings.Count(out, "int shared;") != 1 {
+		t.Errorf("include-once violated:\n%s", out)
+	}
+}
+
+// TestIncludeDepthLimit asserts a deep (non-cyclic) chain stops with a clear
+// error naming the chain rather than recursing unboundedly.
+func TestIncludeDepthLimit(t *testing.T) {
+	src := MapSource{}
+	for i := 0; i < 100; i++ {
+		src[hname(i)] = "#include \"" + hname(i+1) + "\"\n"
+	}
+	src[hname(100)] = "int bottom;\n"
+	pp := New(src)
+	_, err := pp.MergeText("main.c", "#include \""+hname(0)+"\"\n")
+	if err == nil || !strings.Contains(err.Error(), "include depth exceeds") {
+		t.Fatalf("want depth error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "chain:") {
+		t.Errorf("depth error should show the include chain: %v", err)
+	}
+}
+
+func hname(i int) string { return "h" + string(rune('a'+i/26)) + string(rune('a'+i%26)) + ".h" }
+
+// TestSelfReferentialMacroBudget is the regression test for the exponential
+// macro blowup: `#define A A A A` doubles (and worse) per expansion pass and
+// previously could grow the merged output to gigabytes. The budget must stop
+// it quickly with a classified error.
+func TestSelfReferentialMacroBudget(t *testing.T) {
+	pp := New(nil)
+	pp.MaxExpansions = 10000
+	start := time.Now()
+	out, err := pp.MergeText("bomb.c", "#define A A A A A A A A A\nA\n")
+	if err == nil {
+		t.Fatal("macro bomb must report an error")
+	}
+	if !errors.Is(err, guard.ErrMacroBudget) {
+		t.Errorf("error must classify as a budget violation: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("macro bomb took %v, budget not enforced early enough", elapsed)
+	}
+	if len(out) > 64*maxExpandedLine {
+		t.Errorf("output grew to %d bytes despite budget", len(out))
+	}
+}
+
+// TestMutuallyRecursiveFnMacros covers the function-like flavor of the bomb.
+func TestMutuallyRecursiveFnMacros(t *testing.T) {
+	pp := New(nil)
+	pp.MaxExpansions = 1000
+	_, err := pp.MergeText("bomb.c",
+		"#define F(x) G(x) G(x)\n#define G(x) F(x) F(x)\nF(1)\n")
+	if err == nil || !errors.Is(err, guard.ErrMacroBudget) {
+		t.Fatalf("want budget error, got %v", err)
+	}
+}
+
+// TestExpansionBudgetLeavesNormalCodeAlone asserts the default budget is
+// far above what legitimate kernel-style units consume.
+func TestExpansionBudgetLeavesNormalCodeAlone(t *testing.T) {
+	pp := New(nil)
+	src := "#define MASK(b) (1 << (b))\n#define ALL (MASK(0) | MASK(1) | MASK(2))\nint x = ALL;\n"
+	out, err := pp.MergeText("ok.c", src)
+	if err != nil {
+		t.Fatalf("normal macros must not trip the budget: %v", err)
+	}
+	if !strings.Contains(out, "(1 << (0))") {
+		t.Errorf("expansion broken:\n%s", out)
+	}
+}
+
+// TestSharedBudgetMacroCharge asserts a guard.Budget wired into the
+// preprocessor sees the expansions and can veto them.
+func TestSharedBudgetMacroCharge(t *testing.T) {
+	b := guard.NewBudget(nil, guard.Limits{MaxMacroExpansions: 3})
+	pp := New(nil)
+	pp.Budget = b
+	_, err := pp.MergeText("x.c", "#define A 1\nA A A A A A\n")
+	if err == nil || !errors.Is(err, guard.ErrMacroBudget) {
+		t.Fatalf("shared budget must veto expansion, got %v", err)
+	}
+	if b.MacroExpansions() == 0 {
+		t.Error("expansions not charged to the shared budget")
+	}
+}

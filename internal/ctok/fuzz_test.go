@@ -1,0 +1,61 @@
+package ctok
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzLexer feeds the lexer arbitrary bytes: it must terminate, never panic,
+// and keep every token's text a substring-consistent slice of the input.
+// Run with `go test -fuzz=FuzzLexer` for open-ended exploration; the seed
+// corpus runs in normal test mode.
+func FuzzLexer(f *testing.F) {
+	seeds := []string{
+		"",
+		"int f(void) { return 0; }",
+		"/* unterminated comment",
+		"// line comment\nint x;",
+		"\"unterminated string",
+		"'c' '\\'' '\\n' '",
+		"0x1f 0777 1e9 1.5e-3 0b101",
+		"a->b.c ... >>= <<= && || ## #",
+		"\x00\xff\xfe invalid bytes \x80",
+		"L\"wide\" u8\"utf\"",
+		"#define A(x) x##x\nA(1)",
+		"...........",
+		"@ $ ` \\",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		lx := NewLexer("fuzz.c", src)
+		n := 0
+		for {
+			tok := lx.Next()
+			if tok.Kind == EOF {
+				break
+			}
+			n++
+			// Termination: a lexer over len(src) bytes cannot produce more
+			// than len(src) non-EOF tokens without consuming nothing.
+			if n > len(src)+1 {
+				t.Fatalf("lexer emitted %d tokens for %d input bytes", n, len(src))
+			}
+			if tok.Pos.Line < 1 || tok.Pos.Col < 1 {
+				t.Fatalf("token %v has impossible position %d:%d", tok, tok.Pos.Line, tok.Pos.Col)
+			}
+		}
+		// Errors must be well-formed strings even for invalid UTF-8 input.
+		for _, err := range lx.Errors() {
+			if !utf8.ValidString(err.Error()) {
+				t.Fatalf("lexer error is not valid UTF-8: %q", err.Error())
+			}
+		}
+		// Tokenize is the one-shot wrapper; it must agree with Next on count.
+		toks, _ := Tokenize("fuzz.c", src)
+		if len(toks) != n {
+			t.Fatalf("Tokenize returned %d tokens, Next loop saw %d", len(toks), n)
+		}
+	})
+}

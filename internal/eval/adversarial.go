@@ -1,0 +1,93 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"pallas"
+	"pallas/internal/corpus"
+)
+
+// AdversarialResult summarizes a robustness sweep over the hostile
+// mini-corpus: every unit must come back with a structured outcome — the
+// malformed ones with per-unit diagnostics, the healthy controls with their
+// expected warnings — and no unit may panic or hang the batch.
+type AdversarialResult struct {
+	// Units counts all analyzed units; Malformed/Healthy split them.
+	Units, Malformed, Healthy int
+	// Diagnosed counts malformed units that produced at least one diagnostic
+	// (units whose hostility is purely structural only need to complete).
+	Diagnosed int
+	// HealthyWarned counts healthy controls whose seeded bug was reported.
+	HealthyWarned int
+	// Violations lists units that broke the robustness contract.
+	Violations []string
+}
+
+// Passed reports whether every unit honoured the contract.
+func (r *AdversarialResult) Passed() bool { return len(r.Violations) == 0 }
+
+// Render prints the sweep like the other eval tables.
+func (r *AdversarialResult) Render() string {
+	out := "adversarial robustness sweep — hostile inputs under KeepGoing\n"
+	out += fmt.Sprintf("  units analyzed        %3d (%d malformed, %d healthy)\n",
+		r.Units, r.Malformed, r.Healthy)
+	out += fmt.Sprintf("  malformed contained   %3d/%d\n", r.Diagnosed, r.Malformed)
+	out += fmt.Sprintf("  healthy still warned  %3d/%d\n", r.HealthyWarned, r.Healthy)
+	if r.Passed() {
+		out += "  contract: PASS — no panic, no hang, no lost unit\n"
+	} else {
+		for _, v := range r.Violations {
+			out += "  contract violation: " + v + "\n"
+		}
+	}
+	return out
+}
+
+// RunAdversarial batch-analyzes the hostile corpus with fault isolation and
+// checks the robustness contract unit by unit.
+func RunAdversarial(workers int) *AdversarialResult {
+	units := corpus.Adversarial()
+	includes := map[string]string{}
+	batch := make([]pallas.Unit, len(units))
+	for i, u := range units {
+		batch[i] = pallas.Unit{Name: u.Name, Source: u.Source, Spec: u.Spec}
+		for k, v := range u.Includes {
+			includes[k] = v
+		}
+	}
+	a := pallas.New(pallas.Config{
+		KeepGoing: true,
+		Deadline:  10 * time.Second, // backstop so a hostile unit cannot hang the sweep
+		Includes:  includes,
+	})
+	results := a.AnalyzeMany(batch, workers)
+
+	res := &AdversarialResult{Units: len(units)}
+	for i, u := range units {
+		r := results[i]
+		if u.Healthy {
+			res.Healthy++
+			switch {
+			case r.Err != nil:
+				res.Violations = append(res.Violations, fmt.Sprintf("%s: healthy unit failed: %v", u.Name, r.Err))
+			case len(r.Result.Report.Warnings) == 0:
+				res.Violations = append(res.Violations, u.Name+": healthy unit lost its warning")
+			default:
+				res.HealthyWarned++
+			}
+			continue
+		}
+		res.Malformed++
+		switch {
+		case r.Err != nil:
+			// KeepGoing must turn malformed input into diagnostics, not errors.
+			res.Violations = append(res.Violations, fmt.Sprintf("%s: fatal error despite KeepGoing: %v", u.Name, r.Err))
+		case u.WantDiagnostic && len(r.Diagnostics) == 0:
+			res.Violations = append(res.Violations, u.Name+": no diagnostic for malformed input")
+		default:
+			res.Diagnosed++
+		}
+	}
+	return res
+}

@@ -2,45 +2,26 @@ package eval
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"pallas/internal/checkers"
 	"pallas/internal/corpus"
+	"pallas/internal/guard"
 	"pallas/internal/report"
 )
 
 // RunTable1Parallel is RunTable1 with the corpus fanned out over a worker
 // pool. Results are folded in case order, so the aggregate is identical to
-// the serial run regardless of scheduling.
+// the serial run regardless of scheduling; a crash in one case surfaces as
+// that case's error instead of taking the whole run down.
 func RunTable1Parallel(workers int) (*Table1Result, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	reg := corpus.Generate()
-	type caseResult struct {
-		rep *report.Report
-		err error
-	}
-	results := make([]caseResult, len(reg.Cases))
-	var wg sync.WaitGroup
-	idxCh := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idxCh {
-				c := reg.Cases[i]
-				rep, err := analyzeCase(c.File, c.Source, c.Spec)
-				results[i] = caseResult{rep: rep, err: err}
-			}
-		}()
-	}
-	for i := range reg.Cases {
-		idxCh <- i
-	}
-	close(idxCh)
-	wg.Wait()
+	reps := make([]*report.Report, len(reg.Cases))
+	errs := guard.Pool(len(reg.Cases), workers, func(i int) error {
+		c := reg.Cases[i]
+		var err error
+		reps[i], err = analyzeCase(c.File, c.Source, c.Spec)
+		return err
+	})
 
 	res := &Table1Result{
 		Cells:       map[string]map[corpus.System]*Table1Cell{},
@@ -54,12 +35,12 @@ func RunTable1Parallel(workers int) (*Table1Result, error) {
 		}
 	}
 	for i, c := range reg.Cases {
-		if results[i].err != nil {
-			return nil, fmt.Errorf("case %s: %w", c.ID, results[i].err)
+		if errs[i] != nil {
+			return nil, fmt.Errorf("case %s: %w", c.ID, errs[i])
 		}
 		res.CasesRun++
 		fired := false
-		for _, w := range results[i].rep.Warnings {
+		for _, w := range reps[i].Warnings {
 			cell := res.Cells[w.Finding][c.System]
 			cell.Warnings++
 			res.RowWarnings[w.Finding]++

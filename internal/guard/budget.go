@@ -1,0 +1,164 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Budget violations, usable with errors.Is on any error a budgeted stage
+// returns.
+var (
+	// ErrDeadline reports that the per-unit wall-clock deadline passed.
+	ErrDeadline = errors.New("analysis deadline exceeded")
+	// ErrSteps reports that the path-walk step budget is exhausted.
+	ErrSteps = errors.New("path-walk step budget exhausted")
+	// ErrMacroBudget reports that the macro-expansion budget is exhausted
+	// (usually a self-referential or exponentially expanding macro).
+	ErrMacroBudget = errors.New("macro-expansion budget exhausted")
+	// ErrCanceled reports that the surrounding context was canceled.
+	ErrCanceled = errors.New("analysis canceled")
+)
+
+// IsBudget reports whether err is a budget violation (as opposed to a
+// malformed-input error): budget violations degrade a unit, input errors
+// fail it.
+func IsBudget(err error) bool {
+	return errors.Is(err, ErrDeadline) || errors.Is(err, ErrSteps) ||
+		errors.Is(err, ErrMacroBudget) || errors.Is(err, ErrCanceled)
+}
+
+// Limits configures a Budget. Zero fields mean "no limit".
+type Limits struct {
+	// Deadline bounds the wall-clock time of one unit's analysis.
+	Deadline time.Duration
+	// MaxSteps bounds path-walk steps (block visits during extraction).
+	MaxSteps int64
+	// MaxMacroExpansions bounds total macro replacements during preprocessing.
+	MaxMacroExpansions int64
+}
+
+// Budget tracks one unit's resource consumption against its limits. All
+// methods are safe for concurrent use and safe on a nil receiver (a nil
+// budget is unlimited), so hot loops can call them unconditionally.
+type Budget struct {
+	ctx         context.Context
+	deadline    time.Time
+	hasDeadline bool
+	maxSteps    int64
+	maxMacros   int64
+
+	steps     atomic.Int64
+	macros    atomic.Int64
+	violation atomic.Int32 // 0 none; see v* constants
+}
+
+const (
+	vNone int32 = iota
+	vDeadline
+	vSteps
+	vMacro
+	vCanceled
+)
+
+// NewBudget returns a budget enforcing l. ctx may carry an earlier deadline
+// or cancellation of its own; nil means context.Background().
+func NewBudget(ctx context.Context, l Limits) *Budget {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	b := &Budget{ctx: ctx, maxSteps: l.MaxSteps, maxMacros: l.MaxMacroExpansions}
+	if l.Deadline > 0 {
+		b.deadline = time.Now().Add(l.Deadline)
+		b.hasDeadline = true
+	}
+	if d, ok := ctx.Deadline(); ok && (!b.hasDeadline || d.Before(b.deadline)) {
+		b.deadline = d
+		b.hasDeadline = true
+	}
+	return b
+}
+
+// fail records the first violation; later violations keep the original cause.
+func (b *Budget) fail(v int32) { b.violation.CompareAndSwap(vNone, v) }
+
+// Err returns the first budget violation, or nil while within budget.
+func (b *Budget) Err() error {
+	if b == nil {
+		return nil
+	}
+	switch b.violation.Load() {
+	case vDeadline:
+		return ErrDeadline
+	case vSteps:
+		return ErrSteps
+	case vMacro:
+		return ErrMacroBudget
+	case vCanceled:
+		return ErrCanceled
+	}
+	return nil
+}
+
+// checkTime samples the clock and context; called every timeCheckMask+1
+// counter increments so hot loops stay cheap.
+const timeCheckMask = 255
+
+func (b *Budget) checkTime() {
+	if b.hasDeadline && time.Now().After(b.deadline) {
+		b.fail(vDeadline)
+		return
+	}
+	if b.ctx.Err() != nil {
+		b.fail(vCanceled)
+	}
+}
+
+// Step charges one unit of path-walk work and returns the budget state. The
+// deadline is sampled every 256 steps, so enforcement lags real time by at
+// most a few hundred cheap operations.
+func (b *Budget) Step() error {
+	if b == nil {
+		return nil
+	}
+	n := b.steps.Add(1)
+	if b.maxSteps > 0 && n > b.maxSteps {
+		b.fail(vSteps)
+	}
+	if n&timeCheckMask == 0 {
+		b.checkTime()
+	}
+	return b.Err()
+}
+
+// MacroExpand charges one macro replacement and returns the budget state.
+func (b *Budget) MacroExpand() error {
+	if b == nil {
+		return nil
+	}
+	n := b.macros.Add(1)
+	if b.maxMacros > 0 && n > b.maxMacros {
+		b.fail(vMacro)
+	}
+	if n&timeCheckMask == 0 {
+		b.checkTime()
+	}
+	return b.Err()
+}
+
+// Steps returns the number of steps charged so far.
+func (b *Budget) Steps() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.steps.Load()
+}
+
+// MacroExpansions returns the number of macro replacements charged so far.
+func (b *Budget) MacroExpansions() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.macros.Load()
+}

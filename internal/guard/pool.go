@@ -1,0 +1,46 @@
+package guard
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Pool runs fn(i) for every i in [0, n) on a bounded worker pool and returns
+// the per-item errors at their item's index (nil for items that succeeded).
+// Each invocation is panic-isolated: a panicking item yields a *PanicError
+// at its slot while every other item still runs. workers <= 0 means
+// GOMAXPROCS. Results are positional, so callers get deterministic output
+// regardless of scheduling — this is the pool under both
+// Analyzer.AnalyzeMany and the eval harness's parallel table runs.
+func Pool(n, workers int, fn func(i int) error) []error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				errs[i] = Protect(StageBatch, fmt.Sprintf("item %d", i), func() error {
+					return fn(i)
+				})
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+	return errs
+}

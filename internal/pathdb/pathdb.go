@@ -13,6 +13,7 @@ import (
 	"sort"
 	"time"
 
+	"pallas/internal/guard"
 	"pallas/internal/paths"
 )
 
@@ -32,6 +33,10 @@ type DB struct {
 	BuiltAt string `json:"built_at,omitempty"`
 	// Entries maps function name → extraction result.
 	Entries map[string]*Entry `json:"entries"`
+	// Diagnostics preserves the degradation record of the run that built the
+	// database, so consumers of a persisted DB know which entries may be
+	// partial.
+	Diagnostics []guard.Diagnostic `json:"diagnostics,omitempty"`
 }
 
 // New returns an empty database for the named target.
@@ -72,6 +77,9 @@ func (db *DB) put(fp *paths.FuncPaths) {
 
 // Put stores an extraction result, replacing any previous entry.
 func (db *DB) Put(fp *paths.FuncPaths) { db.put(fp) }
+
+// AddDiagnostic appends a degradation record to the database.
+func (db *DB) AddDiagnostic(d guard.Diagnostic) { db.Diagnostics = append(db.Diagnostics, d) }
 
 // Get returns the entry for a function, or nil.
 func (db *DB) Get(fn string) *Entry { return db.Entries[fn] }

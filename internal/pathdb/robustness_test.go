@@ -1,0 +1,86 @@
+package pathdb
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"pallas/internal/guard"
+)
+
+// TestReadCorruptInputs asserts every flavour of broken persisted database —
+// truncated, type-confused, binary garbage — comes back as a wrapped
+// "pathdb:" error and never a panic.
+func TestReadCorruptInputs(t *testing.T) {
+	full := func() string {
+		db := buildDB(t)
+		var buf bytes.Buffer
+		if err := db.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}()
+
+	cases := map[string]string{
+		"empty":             "",
+		"truncated-half":    full[:len(full)/2],
+		"truncated-1-byte":  full[:len(full)-2],
+		"wrong-root-type":   `[1, 2, 3]`,
+		"entries-not-map":   `{"target":"t.c","entries":[]}`,
+		"entry-not-object":  `{"target":"t.c","entries":{"f":42}}`,
+		"paths-not-array":   `{"target":"t.c","entries":{"f":{"func":"f","paths":{}}}}`,
+		"binary-garbage":    "\x00\x01\x02\xff\xfe",
+		"html-error-page":   "<html><body>504</body></html>",
+		"diagnostics-wrong": `{"target":"t.c","entries":{},"diagnostics":"oops"}`,
+	}
+	for name, in := range cases {
+		db, err := Read(strings.NewReader(in))
+		if err == nil {
+			t.Errorf("%s: corrupt input accepted: %+v", name, db)
+			continue
+		}
+		if !strings.HasPrefix(err.Error(), "pathdb: ") {
+			t.Errorf("%s: error not wrapped: %v", name, err)
+		}
+	}
+}
+
+// TestRoundTripPreservesDiagnostics asserts the degradation record of the
+// run that built a database survives persistence, field by field.
+func TestRoundTripPreservesDiagnostics(t *testing.T) {
+	db := buildDB(t)
+	want := []guard.Diagnostic{
+		guard.Diag(guard.StageExtract, "fast", errors.New("deadline exceeded"), true),
+		guard.Diag(guard.StageCheck, "path-state", errors.New("checker crashed"), true),
+		guard.Diag(guard.StageParse, "t.c", errors.New("bad token"), false),
+	}
+	for _, d := range want {
+		db.AddDiagnostic(d)
+	}
+
+	var buf bytes.Buffer
+	if err := db.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Diagnostics) != len(want) {
+		t.Fatalf("diagnostics lost: got %d want %d", len(back.Diagnostics), len(want))
+	}
+	for i, d := range back.Diagnostics {
+		if d != want[i] {
+			t.Errorf("diagnostic %d drifted: got %+v want %+v", i, d, want[i])
+		}
+	}
+	// A database built without degradation must not grow a diagnostics key.
+	var clean bytes.Buffer
+	if err := buildDB(t).Write(&clean); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(clean.String(), "diagnostics") {
+		t.Error("clean database serialized an empty diagnostics field")
+	}
+}

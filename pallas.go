@@ -31,6 +31,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
+	"time"
 
 	"pallas/internal/cast"
 	"pallas/internal/cfg"
@@ -38,6 +40,7 @@ import (
 	"pallas/internal/cparse"
 	"pallas/internal/cpp"
 	"pallas/internal/difftool"
+	"pallas/internal/guard"
 	"pallas/internal/infer"
 	"pallas/internal/pathdb"
 	"pallas/internal/paths"
@@ -66,7 +69,16 @@ type (
 	Diff = difftool.Diff
 	// Suggestion is one inferred spec directive.
 	Suggestion = infer.Suggestion
+	// Diagnostic records one non-fatal problem (crash, budget exhaustion,
+	// malformed input) that degraded an analysis.
+	Diagnostic = guard.Diagnostic
 )
+
+// IsBudget reports whether err is a resource-budget violation (deadline,
+// step, or macro-expansion limit) as opposed to a malformed-input error.
+// Budget violations always yield a degraded partial result rather than a
+// failure.
+func IsBudget(err error) bool { return guard.IsBudget(err) }
 
 // The five aspects, re-exported in paper order.
 const (
@@ -96,6 +108,22 @@ type Config struct {
 	// "trigger-condition", "path-output", "fault-handling", "data-struct");
 	// empty means all.
 	Checkers []string
+	// Deadline bounds the wall-clock time of one analysis unit. When it
+	// expires the unit returns whatever it has (partial paths, the warnings
+	// already found) with Report.Degraded set. Zero means no deadline.
+	Deadline time.Duration
+	// MaxMacroExpansions bounds preprocessor macro replacements per unit,
+	// stopping self-referential expansion bombs. Zero applies the
+	// preprocessor default (cpp.DefaultMaxExpansions).
+	MaxMacroExpansions int64
+	// MaxSteps bounds path-extraction block visits per unit; like Deadline,
+	// exhaustion degrades instead of failing. Zero means unlimited.
+	MaxSteps int64
+	// KeepGoing turns malformed-input failures (unparseable functions, bad
+	// spec directives, missing includes) into per-stage Diagnostics on a
+	// degraded Result instead of errors. Budget exhaustion degrades
+	// regardless of this flag.
+	KeepGoing bool
 }
 
 // CheckerNames lists the five checker names in paper order.
@@ -137,6 +165,10 @@ type Result struct {
 	Paths *PathDB
 	// Merged is the preprocessed translation-unit text.
 	Merged string
+	// Diagnostics records every non-fatal problem hit while producing this
+	// result: budget exhaustion, crashed stages, and (with KeepGoing)
+	// malformed input. Non-empty Diagnostics imply Report.Degraded.
+	Diagnostics []Diagnostic
 
 	tu *cast.TranslationUnit
 }
@@ -144,6 +176,10 @@ type Result struct {
 // TU exposes the parsed translation unit for advanced consumers (the diff
 // tool and the experiment harness).
 func (r *Result) TU() *cast.TranslationUnit { return r.tu }
+
+// Degraded reports whether the analysis completed only partially; absence of
+// a warning in a degraded result is not evidence of absence of a bug.
+func (r *Result) Degraded() bool { return r.Report != nil && r.Report.Degraded }
 
 func (a *Analyzer) source() cpp.Source {
 	if a.cfg.Includes != nil {
@@ -172,32 +208,83 @@ func (a *Analyzer) AnalyzeFile(path, specText string) (*Result, error) {
 // AnalyzeSource analyzes in-memory source text with an optional spec
 // document. Inline `// @pallas:` annotations in the source are merged with
 // specText (specText directives come first).
+//
+// Each stage of the pipeline runs under the unit's budget and a panic guard.
+// Budget exhaustion — and, with Config.KeepGoing, malformed input — degrades
+// the result (Diagnostics recorded, Report.Degraded set, remaining healthy
+// work still done) instead of failing it.
 func (a *Analyzer) AnalyzeSource(name, src, specText string) (*Result, error) {
-	pp := cpp.New(a.source())
-	for _, k := range mapKeys(a.cfg.Defines) {
-		pp.Define(k, a.cfg.Defines[k])
+	budget := guard.NewBudget(nil, guard.Limits{
+		Deadline:           a.cfg.Deadline,
+		MaxSteps:           a.cfg.MaxSteps,
+		MaxMacroExpansions: a.cfg.MaxMacroExpansions,
+	})
+	var diags []Diagnostic
+	// tolerate decides a stage error's fate: budget violations always
+	// degrade; input errors degrade under KeepGoing, or when an earlier
+	// stage already degraded the unit (then the error is a consequence of
+	// that, not genuinely malformed input); everything else is fatal and
+	// keeps its historical wrapping.
+	tolerate := func(stage guard.Stage, err error) bool {
+		if guard.IsBudget(err) || a.cfg.KeepGoing || len(diags) > 0 {
+			diags = append(diags, guard.Diag(stage, name, err, true))
+			return true
+		}
+		return false
 	}
-	merged, err := pp.MergeText(name, src)
-	if err != nil {
+
+	var merged string
+	err := guard.Protect(guard.StagePreprocess, name, func() error {
+		pp := cpp.New(a.source())
+		pp.Budget = budget
+		if a.cfg.MaxMacroExpansions > 0 {
+			pp.MaxExpansions = a.cfg.MaxMacroExpansions
+		}
+		for _, k := range mapKeys(a.cfg.Defines) {
+			pp.Define(k, a.cfg.Defines[k])
+		}
+		var merr error
+		merged, merr = pp.MergeText(name, src)
+		return merr
+	})
+	if err != nil && !tolerate(guard.StagePreprocess, err) {
 		return nil, fmt.Errorf("pallas: preprocess %s: %w", name, err)
 	}
-	tu, err := cparse.Parse(name, merged)
-	if err != nil {
+
+	var tu *cast.TranslationUnit
+	err = guard.Protect(guard.StageParse, name, func() error {
+		var perr error
+		tu, perr = cparse.Parse(name, merged)
+		return perr
+	})
+	if err != nil && !tolerate(guard.StageParse, err) {
 		return nil, fmt.Errorf("pallas: parse %s: %w", name, err)
 	}
+	if tu == nil {
+		// The parser crashed before producing even a partial unit; keep the
+		// diagnostics and check nothing.
+		tu = &cast.TranslationUnit{File: name}
+	}
+
 	sp, err := spec.Parse(specText)
 	if err != nil {
-		return nil, fmt.Errorf("pallas: spec: %w", err)
+		if !tolerate(guard.StageSpec, err) {
+			return nil, fmt.Errorf("pallas: spec: %w", err)
+		}
+		sp, _ = spec.Parse("")
 	}
 	anno, err := spec.FromAnnotations(tu)
-	if err != nil {
+	if err != nil && !tolerate(guard.StageSpec, err) {
 		return nil, fmt.Errorf("pallas: annotations: %w", err)
 	}
-	sp.Merge(anno)
-	return a.analyze(tu, sp, merged)
+	if anno != nil {
+		sp.Merge(anno)
+	}
+	return a.analyze(tu, sp, merged, budget, diags)
 }
 
-func (a *Analyzer) analyze(tu *cast.TranslationUnit, sp *spec.Spec, merged string) (*Result, error) {
+func (a *Analyzer) analyze(tu *cast.TranslationUnit, sp *spec.Spec, merged string,
+	budget *guard.Budget, diags []Diagnostic) (*Result, error) {
 	// Validate the checker selection before any (potentially expensive)
 	// path extraction happens.
 	var selected []checkers.Checker
@@ -212,21 +299,43 @@ func (a *Analyzer) analyze(tu *cast.TranslationUnit, sp *spec.Spec, merged strin
 		MaxPaths:       a.cfg.MaxPaths,
 		MaxBlockVisits: a.cfg.MaxBlockVisits,
 		InlineDepth:    a.cfg.InlineDepth,
+		Budget:         budget,
 	}
 	if pcfg.InlineDepth < 0 {
 		pcfg.InlineDepth = 0
 	}
-	ctx, err := checkers.NewContext(tu, sp, pcfg)
-	if err != nil {
-		return nil, fmt.Errorf("pallas: %w", err)
+	// Once any stage has degraded, the unit may be partial (functions the
+	// spec names can be missing), so extraction must tolerate gaps too.
+	var ctx *checkers.Context
+	var err error
+	if a.cfg.KeepGoing || len(diags) > 0 {
+		ctx, err = checkers.NewContextTolerant(tu, sp, pcfg)
+		if err != nil { // only an exhausted budget stops the tolerant path
+			diags = append(diags, guard.Diag(guard.StageExtract, tu.File, err, true))
+		}
+	} else {
+		ctx, err = checkers.NewContext(tu, sp, pcfg)
+		if err != nil {
+			return nil, fmt.Errorf("pallas: %w", err)
+		}
 	}
 	rep := checkers.Run(ctx, selected...)
+	diags = append(diags, ctx.Diagnostics...)
+	if err := budget.Err(); err != nil && !hasDiagFor(diags, err) {
+		diags = append(diags, guard.Diag(guard.StageExtract, tu.File, err, true))
+	}
+	if len(diags) > 0 {
+		rep.Degraded = true
+	}
 
 	db := pathdb.New(tu.File)
 	for _, fp := range ctx.FuncPaths {
 		db.Put(fp)
 	}
-	return &Result{Report: rep, Spec: sp, Paths: db, Merged: merged, tu: tu}, nil
+	for _, d := range diags {
+		db.AddDiagnostic(d)
+	}
+	return &Result{Report: rep, Spec: sp, Paths: db, Merged: merged, Diagnostics: diags, tu: tu}, nil
 }
 
 // ComparePaths runs the study's code-comparison tool on a fast/slow function
@@ -280,6 +389,17 @@ func (a *Analyzer) ExtractPaths(name, src, fn string) (*FuncPaths, error) {
 		InlineDepth:    a.cfg.InlineDepth,
 	})
 	return ex.Extract(fn)
+}
+
+// hasDiagFor reports whether some diagnostic already mentions err, so the
+// final budget sweep does not re-record a violation a stage already reported.
+func hasDiagFor(diags []Diagnostic, err error) bool {
+	for _, d := range diags {
+		if strings.Contains(d.Err, err.Error()) {
+			return true
+		}
+	}
+	return false
 }
 
 func mapKeys(m map[string]string) []string {

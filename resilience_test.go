@@ -1,0 +1,174 @@
+package pallas_test
+
+// Resilience acceptance tests: the adversarial batch contract (hostile units
+// degrade with per-unit diagnostics, healthy neighbours keep warning, nothing
+// panics or hangs) and deadline-bounded degradation on path explosions.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"pallas"
+	"pallas/internal/corpus"
+	"pallas/internal/guard"
+)
+
+// TestAnalyzeManyAdversarial runs the ≥10-unit hostile mini-corpus through
+// the batch entry point and asserts the robustness contract unit by unit.
+func TestAnalyzeManyAdversarial(t *testing.T) {
+	units := corpus.Adversarial()
+	includes := map[string]string{}
+	batch := make([]pallas.Unit, len(units))
+	malformed := 0
+	for i, u := range units {
+		batch[i] = pallas.Unit{Name: u.Name, Source: u.Source, Spec: u.Spec}
+		for k, v := range u.Includes {
+			includes[k] = v
+		}
+		if !u.Healthy {
+			malformed++
+		}
+	}
+	if malformed < 10 {
+		t.Fatalf("mini-corpus must hold >=10 malformed units, have %d", malformed)
+	}
+
+	a := pallas.New(pallas.Config{KeepGoing: true, Deadline: 30 * time.Second, Includes: includes})
+	done := make(chan []pallas.UnitResult, 1)
+	go func() { done <- a.AnalyzeMany(batch, 4) }()
+	var results []pallas.UnitResult
+	select {
+	case results = <-done:
+	case <-time.After(2 * time.Minute):
+		t.Fatal("batch hung on adversarial input")
+	}
+
+	if len(results) != len(units) {
+		t.Fatalf("got %d results for %d units", len(results), len(units))
+	}
+	for i, u := range units {
+		r := results[i]
+		if r.Unit != u.Name {
+			t.Errorf("result %d out of order: got %q want %q", i, r.Unit, u.Name)
+		}
+		var pe *guard.PanicError
+		if errors.As(r.Err, &pe) {
+			t.Errorf("%s: panic escaped stage guards:\n%s", u.Name, pe.Stack)
+		}
+		if u.Healthy {
+			if r.Err != nil {
+				t.Errorf("%s: healthy unit failed next to hostile ones: %v", u.Name, r.Err)
+				continue
+			}
+			if len(r.Result.Report.Warnings) == 0 {
+				t.Errorf("%s: healthy unit's seeded bug not reported", u.Name)
+			}
+			if r.Result.Degraded() {
+				t.Errorf("%s: healthy unit wrongly degraded: %v", u.Name, r.Diagnostics)
+			}
+			continue
+		}
+		if r.Err != nil {
+			t.Errorf("%s: KeepGoing must degrade, not fail: %v", u.Name, r.Err)
+			continue
+		}
+		if u.WantDiagnostic {
+			if len(r.Diagnostics) == 0 {
+				t.Errorf("%s: malformed unit produced no diagnostics", u.Name)
+			}
+			if !r.Result.Degraded() {
+				t.Errorf("%s: diagnostics without Report.Degraded", u.Name)
+			}
+		}
+	}
+}
+
+// pathExplosionSource builds a function whose path count is exponential in
+// the number of sequential branches: n independent if-statements give 2^n
+// paths, far beyond what any deadline allows to finish.
+func pathExplosionSource(n int) string {
+	var sb strings.Builder
+	sb.WriteString("// @pallas: fastpath f\n// @pallas: immutable m0\nint f(")
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString("int m")
+		sb.WriteByte(byte('0' + i%10))
+	}
+	sb.WriteString(") {\n\tint acc = 0;\n")
+	for i := 0; i < n; i++ {
+		sb.WriteString("\tif (m")
+		sb.WriteByte(byte('0' + i%10))
+		sb.WriteString(") acc++;\n")
+	}
+	sb.WriteString("\treturn acc;\n}\n")
+	return sb.String()
+}
+
+// TestDeadlineDegradation is the acceptance test for budget-aware analysis:
+// a pathological path explosion under a short Config.Deadline must return a
+// degraded partial result within 2x the deadline — not run to completion,
+// not fail.
+func TestDeadlineDegradation(t *testing.T) {
+	const deadline = 500 * time.Millisecond
+	a := pallas.New(pallas.Config{
+		Deadline: deadline,
+		// Lift the default path cap so the walk itself is what explodes;
+		// only the deadline can stop it.
+		MaxPaths: 1 << 30,
+	})
+	start := time.Now()
+	res, err := a.AnalyzeSource("explode.c", pathExplosionSource(40), "")
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("deadline must degrade, not fail: %v", err)
+	}
+	if elapsed > 2*deadline {
+		t.Errorf("returned after %v; want within 2x the %v deadline", elapsed, deadline)
+	}
+	if !res.Degraded() {
+		t.Error("deadline expiry must set Report.Degraded")
+	}
+	found := false
+	for _, d := range res.Diagnostics {
+		if strings.Contains(d.Err, guard.ErrDeadline.Error()) {
+			found = true
+		}
+		if !d.Partial {
+			t.Errorf("budget diagnostic must be partial: %+v", d)
+		}
+	}
+	if !found {
+		t.Errorf("no deadline diagnostic recorded: %v", res.Diagnostics)
+	}
+	// The partial result still carries whatever was extracted before expiry.
+	if res.Paths == nil {
+		t.Error("partial result lost its path database")
+	}
+}
+
+// TestMacroBudgetDegradation asserts the macro-expansion budget follows the
+// same degrade-don't-fail contract as the deadline.
+func TestMacroBudgetDegradation(t *testing.T) {
+	a := pallas.New(pallas.Config{MaxMacroExpansions: 1000})
+	res, err := a.AnalyzeSource("bomb.c",
+		"#define A A A A A A A A A\n// @pallas: fastpath f\nint f(int mode) { return A; }\n", "")
+	if err != nil {
+		t.Fatalf("macro budget must degrade, not fail: %v", err)
+	}
+	if !res.Degraded() || len(res.Diagnostics) == 0 {
+		t.Errorf("degradation not recorded: degraded=%v diags=%v", res.Degraded(), res.Diagnostics)
+	}
+}
+
+// TestKeepGoingOffIsStillStrict pins the historical contract: without
+// KeepGoing, malformed input is a hard error, not a degraded result.
+func TestKeepGoingOffIsStillStrict(t *testing.T) {
+	a := pallas.New(pallas.Config{})
+	if _, err := a.AnalyzeSource("bad.c", "int f(int m) { if (m == ) } ]\n", ""); err == nil {
+		t.Error("parse errors must stay fatal when KeepGoing is off")
+	}
+}
