@@ -1,18 +1,47 @@
 package pallas
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"pallas/internal/failpoint"
 	"pallas/internal/guard"
+	"pallas/internal/journal"
+	"pallas/internal/report"
 )
 
 // Unit is one item of a batch analysis: a named source text plus its spec
 // document (both may also carry inline annotations, as in AnalyzeSource).
 type Unit struct {
-	// Name identifies the unit in reports and diagnostics (usually a file name).
+	// Name identifies the unit in reports, diagnostics and the checkpoint
+	// journal (usually a file name).
 	Name string
 	// Source is the C source text.
 	Source string
 	// Spec is the semantic specification document (may be empty).
 	Spec string
+}
+
+// Hash returns the unit's content hash (hex SHA-256 over name, source and
+// spec). The checkpoint journal keys resume decisions on it: a journal entry
+// only lets a unit be skipped while its content is unchanged, so editing a
+// source or spec file automatically forces re-analysis.
+func (u Unit) Hash() string {
+	h := sha256.New()
+	for _, s := range []string{u.Name, u.Source, u.Spec} {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+		h.Write(n[:])
+		h.Write([]byte(s))
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // UnitResult is the outcome of one batch item. Exactly one of the following
@@ -23,7 +52,8 @@ type UnitResult struct {
 	// Unit echoes the unit's Name.
 	Unit string
 	// Result is the analysis outcome, possibly partial. Nil when the unit
-	// failed before producing anything.
+	// failed before producing anything. For a unit skipped on resume it is
+	// reconstructed from the journal's stored report.
 	Result *Result
 	// Err is the fatal error for this unit, nil on success. A panic anywhere
 	// in the unit's pipeline surfaces here as a *guard.PanicError instead of
@@ -32,6 +62,71 @@ type UnitResult struct {
 	// Diagnostics aggregates the unit's degradation record (Result.Diagnostics
 	// when a result exists, plus a terminal diagnostic when the unit failed).
 	Diagnostics []Diagnostic
+	// Attempts is how many times the unit was analyzed in this run (0 when it
+	// was skipped on resume).
+	Attempts int
+	// Skipped reports that the unit was not re-analyzed because the journal
+	// already holds a terminal outcome for its current content hash.
+	Skipped bool
+	// Quarantined reports that the unit kept failing transiently (panic,
+	// budget blowout, injected fault) through every allowed attempt and was
+	// set aside so the batch could complete; its journal entry is terminal,
+	// so resumed runs do not re-run it either.
+	Quarantined bool
+}
+
+// BatchOptions configures AnalyzeBatch. The zero value reproduces plain
+// AnalyzeMany: GOMAXPROCS workers, no retries, no journal.
+type BatchOptions struct {
+	// Workers bounds concurrent units; <= 0 means GOMAXPROCS.
+	Workers int
+	// Retries is the maximum number of re-attempts for a unit that fails
+	// transiently (a recovered panic, a budget violation surfacing as an
+	// error, an injected failpoint fault). Deterministic malformed-input
+	// errors are never retried. 0 disables retry.
+	Retries int
+	// RetryBackoff is the base delay before the first retry; each further
+	// retry doubles it, with ±50% jitter so a batch of retrying units does
+	// not stampede. Default 100ms.
+	RetryBackoff time.Duration
+	// QuarantineAfter quarantines a unit after this many transient failures
+	// even if retries remain, bounding the cost of a poisoned unit. <= 0
+	// means Retries+1 (quarantine only after every retry is spent).
+	QuarantineAfter int
+	// JournalPath, when non-empty, appends every unit outcome to the
+	// checkpoint journal at this path (created if missing, recovered if it
+	// exists — torn tails truncated, corrupt lines quarantined).
+	JournalPath string
+	// Resume skips units whose latest journal record is terminal and still
+	// matches the unit's content hash, replaying the stored report instead
+	// of re-analyzing. Requires JournalPath.
+	Resume bool
+	// Sleep replaces time.Sleep between retry attempts; tests inject a
+	// recorder here. Nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// BatchStats summarizes the durability machinery's activity in one batch
+// run; eval harnesses surface these in their summaries.
+type BatchStats struct {
+	// Analyzed counts units actually analyzed this run (≥1 attempt).
+	Analyzed int
+	// Skipped counts units resumed from the journal without re-analysis.
+	Skipped int
+	// Retried counts retry attempts across all units.
+	Retried int
+	// Recovered counts units that failed transiently and then succeeded on a
+	// later attempt.
+	Recovered int
+	// Quarantined counts units set aside after persistent transient failure.
+	Quarantined int
+	// Failed counts units with a terminal deterministic failure.
+	Failed int
+	// JournalRecovered, JournalTornTail and JournalQuarantined echo what
+	// opening the journal had to repair (see journal.RecoveryReport).
+	JournalRecovered   int
+	JournalTornTail    bool
+	JournalQuarantined int
 }
 
 // AnalyzeMany analyzes units concurrently on a bounded worker pool and
@@ -39,26 +134,204 @@ type UnitResult struct {
 // order. Each unit is fault-isolated: its own budget (Config.Deadline etc.
 // apply per unit, not per batch), its own panic guard, and its own error
 // slot — one hostile unit cannot take down or starve its neighbours.
-// workers <= 0 uses GOMAXPROCS.
+// workers <= 0 uses GOMAXPROCS. It is AnalyzeBatch with zero options; use
+// AnalyzeBatch directly for retries, checkpointing and resume.
 func (a *Analyzer) AnalyzeMany(units []Unit, workers int) []UnitResult {
-	out := make([]UnitResult, len(units))
-	errs := guard.Pool(len(units), workers, func(i int) error {
-		out[i].Unit = units[i].Name
-		res, err := a.AnalyzeSource(units[i].Name, units[i].Source, units[i].Spec)
-		out[i].Result = res
-		if res != nil {
-			out[i].Diagnostics = res.Diagnostics
-		}
-		return err
-	})
-	for i, err := range errs {
-		if err == nil {
-			continue
-		}
-		out[i].Unit = units[i].Name // set even if the closure died before line one
-		out[i].Err = err
-		out[i].Diagnostics = append(out[i].Diagnostics,
-			guard.Diag(guard.StageBatch, units[i].Name, err, out[i].Result != nil))
-	}
+	out, _, _ := a.AnalyzeBatch(units, BatchOptions{Workers: workers})
 	return out
+}
+
+// AnalyzeBatch analyzes units concurrently with the durability policy in
+// opts: transient failures retry with exponential backoff and jitter,
+// persistent offenders are quarantined instead of wedging the batch, every
+// outcome is checkpointed to an append-only journal, and a resumed run skips
+// units the journal already settled. The returned error is non-nil only for
+// infrastructure failures (an unopenable journal) — per-unit failures live
+// in their UnitResult.
+func (a *Analyzer) AnalyzeBatch(units []Unit, opts BatchOptions) ([]UnitResult, BatchStats, error) {
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = 100 * time.Millisecond
+	}
+	if opts.Sleep == nil {
+		opts.Sleep = time.Sleep
+	}
+	maxAttempts := opts.Retries + 1
+	quarantineAfter := opts.QuarantineAfter
+	if quarantineAfter <= 0 || quarantineAfter > maxAttempts {
+		quarantineAfter = maxAttempts
+	}
+
+	var stats BatchStats
+	var jr *journal.Journal
+	if opts.JournalPath != "" {
+		var err error
+		jr, err = journal.Open(opts.JournalPath)
+		if err != nil {
+			return nil, stats, err
+		}
+		defer jr.Close()
+		rec := jr.Recovery()
+		stats.JournalRecovered = rec.Records
+		stats.JournalTornTail = rec.TornTail
+		stats.JournalQuarantined = rec.Quarantined
+	} else if opts.Resume {
+		return nil, stats, errors.New("pallas: BatchOptions.Resume requires JournalPath")
+	}
+
+	out := make([]UnitResult, len(units))
+	var mu sync.Mutex
+	count := func(f func(*BatchStats)) {
+		mu.Lock()
+		f(&stats)
+		mu.Unlock()
+	}
+
+	guard.Pool(len(units), opts.Workers, func(i int) error {
+		u := units[i]
+		out[i].Unit = u.Name
+		hash := u.Hash()
+		if jr != nil && opts.Resume {
+			if rec, ok := jr.Lookup(u.Name); ok && rec.Hash == hash && rec.Status.Terminal() {
+				replayRecord(&out[i], rec)
+				count(func(s *BatchStats) { s.Skipped++ })
+				return nil
+			}
+		}
+		count(func(s *BatchStats) { s.Analyzed++ })
+
+		transientFails := 0
+		for attempt := 1; ; attempt++ {
+			var res *Result
+			err := guard.Protect(guard.StageBatch, u.Name, func() error {
+				r, aerr := a.AnalyzeSource(u.Name, u.Source, u.Spec)
+				res = r
+				return aerr
+			})
+			out[i].Attempts = attempt
+
+			if err == nil {
+				out[i].Result = res
+				out[i].Diagnostics = res.Diagnostics
+				if attempt > 1 {
+					count(func(s *BatchStats) { s.Recovered++ })
+				}
+				journalOutcome(jr, &out[i], u.Name, hash, attempt, res, nil, false)
+				return nil
+			}
+
+			transient := transientErr(err)
+			if transient {
+				transientFails++
+			}
+			if transient && attempt < maxAttempts && transientFails < quarantineAfter {
+				count(func(s *BatchStats) { s.Retried++ })
+				if jr != nil {
+					// A retry record is non-terminal but durable, so a crash
+					// between attempts preserves the attempt count.
+					if jerr := jr.Append(journal.Record{
+						Unit: u.Name, Hash: hash, Status: journal.StatusRetry,
+						Attempt: attempt, Err: err.Error(),
+					}); jerr != nil {
+						out[i].Diagnostics = append(out[i].Diagnostics,
+							guard.Diag(guard.StageStore, u.Name, jerr, true))
+					}
+				}
+				opts.Sleep(retryDelay(opts.RetryBackoff, attempt))
+				continue
+			}
+
+			// Terminal failure: deterministic errors fail outright, spent
+			// transient errors quarantine the unit so the batch (and any
+			// resumed run) moves on without it.
+			out[i].Err = err
+			out[i].Result = res
+			if res != nil {
+				out[i].Diagnostics = res.Diagnostics
+			}
+			out[i].Diagnostics = append(out[i].Diagnostics,
+				guard.Diag(guard.StageBatch, u.Name, err, res != nil))
+			if transient {
+				out[i].Quarantined = true
+				count(func(s *BatchStats) { s.Quarantined++ })
+			} else {
+				count(func(s *BatchStats) { s.Failed++ })
+			}
+			journalOutcome(jr, &out[i], u.Name, hash, attempt, res, err, transient)
+			return nil
+		}
+	})
+	return out, stats, nil
+}
+
+// transientErr classifies an analysis failure: recovered panics, budget
+// violations and injected failpoint faults are transient (worth retrying);
+// malformed input is deterministic and is not.
+func transientErr(err error) bool {
+	var pe *guard.PanicError
+	return errors.As(err, &pe) || guard.IsBudget(err) || errors.Is(err, failpoint.ErrInjected)
+}
+
+// retryDelay computes the backoff before retrying after the given attempt:
+// base doubled per attempt (capped at 30s), with ±50% jitter.
+func retryDelay(base time.Duration, attempt int) time.Duration {
+	d := base
+	for i := 1; i < attempt && d < 30*time.Second; i++ {
+		d *= 2
+	}
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// journalOutcome appends a terminal record for a completed unit; journal
+// failures degrade the unit's diagnostics rather than failing the unit.
+func journalOutcome(jr *journal.Journal, out *UnitResult, name, hash string, attempt int,
+	res *Result, err error, quarantined bool) {
+	if jr == nil {
+		return
+	}
+	rec := journal.Record{Unit: name, Hash: hash, Attempt: attempt}
+	switch {
+	case err == nil && res.Degraded():
+		rec.Status = journal.StatusDegraded
+	case err == nil:
+		rec.Status = journal.StatusOK
+	case quarantined:
+		rec.Status = journal.StatusQuarantined
+		rec.Err = err.Error()
+	default:
+		rec.Status = journal.StatusFailed
+		rec.Err = err.Error()
+	}
+	if res != nil && res.Report != nil {
+		rec.Degraded = res.Report.Degraded
+		rec.Warnings = len(res.Report.Warnings)
+		if b, merr := json.Marshal(res.Report); merr == nil {
+			rec.Report = b
+		}
+	}
+	rec.Diagnostics = out.Diagnostics
+	if jerr := jr.Append(rec); jerr != nil {
+		out.Diagnostics = append(out.Diagnostics,
+			guard.Diag(guard.StageStore, name, jerr, true))
+	}
+}
+
+// replayRecord reconstructs a UnitResult from a terminal journal record so a
+// resumed run reports skipped units exactly as the original run did.
+func replayRecord(out *UnitResult, rec journal.Record) {
+	out.Skipped = true
+	out.Attempts = 0
+	out.Quarantined = rec.Status == journal.StatusQuarantined
+	out.Diagnostics = rec.Diagnostics
+	if len(rec.Report) > 0 {
+		var rep report.Report
+		if json.Unmarshal(rec.Report, &rep) == nil {
+			out.Result = &Result{Report: &rep, Diagnostics: rec.Diagnostics}
+		}
+	}
+	if rec.Err != "" {
+		out.Err = fmt.Errorf("%s (journaled on attempt %d)", rec.Err, rec.Attempt)
+	}
 }

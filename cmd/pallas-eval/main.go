@@ -7,6 +7,11 @@
 //	pallas-eval -table N        reproduce Table N (1-8)
 //	pallas-eval -figure N       reproduce Figure N (1-9)
 //	pallas-eval -fp             reproduce the §5.3 false-positive analysis
+//	pallas-eval -adversarial [-journal f [-resume]]
+//	                            robustness sweep; with -journal the sweep
+//	                            checkpoints outcomes and -resume skips
+//	                            units a previous (possibly killed) run
+//	                            already settled
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"os"
 
 	"pallas/internal/eval"
+	"pallas/internal/failpoint"
 )
 
 func main() {
@@ -26,7 +32,13 @@ func main() {
 	bigfile := flag.Bool("bigfile", false, "analyze the three subsystem-scale units")
 	findings := flag.Bool("findings", false, "print the §3 finding/rule boxes")
 	adversarial := flag.Bool("adversarial", false, "robustness sweep over the hostile mini-corpus")
+	journalPath := flag.String("journal", "", "checkpoint adversarial-sweep outcomes to this journal so a killed run resumes (with -adversarial)")
+	resume := flag.Bool("resume", false, "skip units the journal already settled (requires -journal)")
 	flag.Parse()
+	if err := failpoint.ArmFromEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, "pallas-eval:", err)
+		os.Exit(1)
+	}
 
 	run := func(name string, f func() (string, error)) {
 		out, err := f()
@@ -72,7 +84,10 @@ func main() {
 		fmt.Println(eval.RenderFindings())
 	case *adversarial:
 		run("adversarial", func() (string, error) {
-			r := eval.RunAdversarial(0)
+			r, err := eval.RunAdversarialDurable(0, *journalPath, *resume)
+			if err != nil {
+				return "", err
+			}
 			if !r.Passed() {
 				return r.Render(), fmt.Errorf("robustness contract violated")
 			}

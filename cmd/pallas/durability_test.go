@@ -1,0 +1,269 @@
+package main
+
+// End-to-end crash-resume proof: a real `pallas check -journal` process is
+// SIGKILLed mid-run by an armed mid-save failpoint, then re-run with
+// -resume. The resumed run must skip the units the journal already settled
+// (verified by attempt counts) and produce byte-identical stdout to an
+// uninterrupted run.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pallas/internal/failpoint"
+	"pallas/internal/journal"
+)
+
+var (
+	buildOnce sync.Once
+	buildBin  string
+	buildErr  error
+)
+
+// buildPallas compiles the pallas binary once per test run.
+func buildPallas(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "pallas-bin")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		buildBin = filepath.Join(dir, "pallas")
+		cmd := exec.Command("go", "build", "-o", buildBin, ".")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = fmt.Errorf("go build: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return buildBin
+}
+
+// writeCrashCorpus writes a small multi-unit corpus where every unit carries
+// a seeded immutable-overwrite bug, so reports are non-trivial.
+func writeCrashCorpus(t *testing.T, dir string, n int) []string {
+	t.Helper()
+	var files []string
+	for i := 1; i <= n; i++ {
+		src := fmt.Sprintf(`
+// @pallas: fastpath fast_%[1]d
+// @pallas: immutable mode_%[1]d
+int fast_%[1]d(int mode_%[1]d)
+{
+	if (mode_%[1]d == 0) {
+		mode_%[1]d = %[1]d;
+		return 1;
+	}
+	return 0;
+}
+`, i)
+		path := filepath.Join(dir, fmt.Sprintf("c%d.c", i))
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, path)
+	}
+	return files
+}
+
+// runCheck runs the built binary's check command and returns stdout, stderr
+// and the process exit code (-1 when killed by a signal).
+func runCheck(t *testing.T, bin string, env []string, args ...string) (string, string, int) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, bin, append([]string{"check"}, args...)...)
+	cmd.Env = append(os.Environ(), env...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			code = ee.ExitCode()
+		} else {
+			t.Fatalf("run %v: %v", args, err)
+		}
+	}
+	if ctx.Err() != nil {
+		t.Fatalf("run %v timed out\nstderr:\n%s", args, stderr.String())
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+func TestCrashResumeEndToEnd(t *testing.T) {
+	bin := buildPallas(t)
+	dir := t.TempDir()
+	files := writeCrashCorpus(t, dir, 4)
+	jpath := filepath.Join(dir, "checkpoint.jsonl")
+
+	// Reference: an uninterrupted run (journal flags only touch stderr).
+	wantOut, _, code := runCheck(t, bin, nil, append([]string{"-workers", "1"}, files...)...)
+	if code != 1 { // every unit carries a seeded warning
+		t.Fatalf("uninterrupted run exit = %d, want 1\n%s", code, wantOut)
+	}
+	if strings.Count(wantOut, "warning[rule") < 4 {
+		t.Fatalf("corpus lost its seeded warnings:\n%s", wantOut)
+	}
+
+	// Crash run: SIGKILL the process while it checkpoints c3.c. Units c1 and
+	// c2 are already journaled; c3's record is torn mid-write; c4 never ran.
+	_, crashErr, code := runCheck(t, bin,
+		[]string{failpoint.EnvVar + "=mid-save=kill/c3.c"},
+		append([]string{"-workers", "1", "-journal", jpath}, files...)...)
+	if code != -1 {
+		t.Fatalf("crash run exit = %d, want -1 (SIGKILL)\nstderr:\n%s", code, crashErr)
+	}
+	recs := readJournal(t, jpath)
+	if len(recs) != 2 || recs[0].Unit != "c1.c" || recs[1].Unit != "c2.c" {
+		t.Fatalf("journal after crash: %+v", recs)
+	}
+
+	// Resume: the journal's torn tail is truncated, settled units are
+	// skipped, the rest are analyzed — and stdout matches the reference.
+	gotOut, resumeErr, code := runCheck(t, bin, nil,
+		append([]string{"-workers", "1", "-journal", jpath, "-resume"}, files...)...)
+	if code != 1 {
+		t.Fatalf("resume run exit = %d, want 1\nstderr:\n%s", code, resumeErr)
+	}
+	if gotOut != wantOut {
+		t.Fatalf("resumed report differs from uninterrupted run\n--- want ---\n%s\n--- got ---\n%s", wantOut, gotOut)
+	}
+	for _, want := range []string{
+		"c1.c: resumed from journal",
+		"c2.c: resumed from journal",
+		"recovered from a torn tail",
+		"2 analyzed, 2 resumed",
+	} {
+		if !strings.Contains(resumeErr, want) {
+			t.Errorf("resume stderr missing %q:\n%s", want, resumeErr)
+		}
+	}
+
+	// Attempt counts prove the skips: exactly one record per unit, all
+	// attempt 1 — nothing was analyzed twice across the crash.
+	recs = readJournal(t, jpath)
+	seen := map[string]int{}
+	for _, r := range recs {
+		seen[r.Unit]++
+		if r.Attempt != 1 {
+			t.Errorf("unit %s attempt = %d, want 1", r.Unit, r.Attempt)
+		}
+		if r.Status != journal.StatusOK {
+			t.Errorf("unit %s status = %s, want ok", r.Unit, r.Status)
+		}
+	}
+	for i := 1; i <= 4; i++ {
+		if unit := fmt.Sprintf("c%d.c", i); seen[unit] != 1 {
+			t.Errorf("unit %s has %d journal records, want 1", unit, seen[unit])
+		}
+	}
+
+	// Idempotence: resuming a completed run analyzes nothing.
+	gotOut2, resumeErr2, code := runCheck(t, bin, nil,
+		append([]string{"-workers", "1", "-journal", jpath, "-resume"}, files...)...)
+	if code != 1 || gotOut2 != wantOut {
+		t.Fatalf("second resume drifted (exit %d)", code)
+	}
+	if !strings.Contains(resumeErr2, "0 analyzed, 4 resumed") {
+		t.Errorf("second resume stderr:\n%s", resumeErr2)
+	}
+}
+
+// TestCheckRetriesTransientFailureEndToEnd drives -retries through the real
+// binary: two injected pre-parse faults, success on the third attempt.
+func TestCheckRetriesTransientFailureEndToEnd(t *testing.T) {
+	bin := buildPallas(t)
+	dir := t.TempDir()
+	files := writeCrashCorpus(t, dir, 1)
+	jpath := filepath.Join(dir, "j.jsonl")
+
+	out, stderr, code := runCheck(t, bin,
+		[]string{failpoint.EnvVar + "=pre-parse=error@2/c1.c"},
+		"-retries", "3", "-journal", jpath, files[0])
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (warnings found)\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(out, "warning[rule") {
+		t.Fatalf("recovered run lost its warnings:\n%s", out)
+	}
+	recs := readJournal(t, jpath)
+	if len(recs) != 3 {
+		t.Fatalf("journal records = %d, want 3 (2 retry + 1 ok): %+v", len(recs), recs)
+	}
+	last := recs[len(recs)-1]
+	if last.Status != journal.StatusOK || last.Attempt != 3 {
+		t.Fatalf("final record: %+v", last)
+	}
+	for _, r := range recs[:2] {
+		if r.Status != journal.StatusRetry {
+			t.Fatalf("expected retry record, got %+v", r)
+		}
+	}
+}
+
+// TestCheckQuarantineEndToEnd drives a persistently panicking unit through
+// the real binary: the unit is quarantined, the healthy unit still reports,
+// and the exit code is fatal.
+func TestCheckQuarantineEndToEnd(t *testing.T) {
+	bin := buildPallas(t)
+	dir := t.TempDir()
+	files := writeCrashCorpus(t, dir, 2)
+	jpath := filepath.Join(dir, "j.jsonl")
+
+	out, stderr, code := runCheck(t, bin,
+		[]string{failpoint.EnvVar + "=pre-parse=panic/c2.c"},
+		append([]string{"-workers", "1", "-retries", "2", "-journal", jpath}, files...)...)
+	if code != 3 {
+		t.Fatalf("exit = %d, want 3 (fatal unit)\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(out, "warning[rule") {
+		t.Fatalf("healthy unit lost its report:\n%s", out)
+	}
+	if !strings.Contains(stderr, "quarantined after 3 attempt(s)") {
+		t.Errorf("stderr missing quarantine notice:\n%s", stderr)
+	}
+	rec := lookupJournal(t, jpath, "c2.c")
+	if rec.Status != journal.StatusQuarantined || rec.Attempt != 3 {
+		t.Fatalf("journal record for poisoned unit: %+v", rec)
+	}
+}
+
+func readJournal(t *testing.T, path string) []journal.Record {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := journal.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func lookupJournal(t *testing.T, path, unit string) journal.Record {
+	t.Helper()
+	var out journal.Record
+	found := false
+	for _, r := range readJournal(t, path) {
+		if r.Unit == unit {
+			out, found = r, true
+		}
+	}
+	if !found {
+		t.Fatalf("no journal record for %s", unit)
+	}
+	return out
+}

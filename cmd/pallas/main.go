@@ -28,12 +28,19 @@ import (
 	"pallas/internal/corpus"
 	"pallas/internal/cparse"
 	"pallas/internal/difftool"
+	"pallas/internal/failpoint"
 	"pallas/internal/infer"
 )
 
 func main() {
 	if len(os.Args) < 2 {
 		usage()
+		os.Exit(2)
+	}
+	// Deterministic fault injection for crash testing (PALLAS_FAILPOINTS);
+	// inert and zero-cost when the variable is unset.
+	if err := failpoint.ArmFromEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, "pallas:", err)
 		os.Exit(2)
 	}
 	var err error
@@ -69,8 +76,11 @@ func usage() {
 
 commands:
   check    [-spec file] [-checker name] [-json] [-html out]
-           [-timeout d] [-keep-going] [-workers n] file.c...  run the checkers
-           (exit: 0 clean, 1 warnings, 2 degraded, 3 fatal)
+           [-timeout d] [-keep-going] [-workers n]
+           [-journal file] [-resume] [-retries n] file.c...   run the checkers
+           (exit: 0 clean, 1 warnings, 2 degraded, 3 fatal;
+            -journal checkpoints per-file outcomes, -resume skips files the
+            journal already settled, -retries retries transient failures)
   paths    -func name [-db out.json] file.c              print symbolic paths
   workflow -func name [-dot] file.c                      render the workflow
   diff     -fast f -slow g [-suggest] file.c             compare fast vs slow
@@ -91,6 +101,9 @@ func cmdCheck(args []string) error {
 	timeout := fs.Duration("timeout", 0, "per-file analysis deadline; expiry degrades, not fails (0 = none)")
 	keepGoing := fs.Bool("keep-going", false, "keep analyzing past malformed input, reporting per-file diagnostics")
 	workers := fs.Int("workers", 0, "parallel workers for multiple files (0 = GOMAXPROCS)")
+	journalPath := fs.String("journal", "", "checkpoint per-file outcomes to this append-only journal (JSONL)")
+	resume := fs.Bool("resume", false, "skip files whose content hash already has a terminal journal entry (requires -journal)")
+	retries := fs.Int("retries", 0, "retry transient per-file failures up to n times with exponential backoff")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -128,7 +141,15 @@ func cmdCheck(args []string) error {
 		}
 		units = append(units, pallas.Unit{Name: filepath.Base(path), Source: string(b), Spec: specText})
 	}
-	results := pallas.New(cfg).AnalyzeMany(units, *workers)
+	results, stats, err := pallas.New(cfg).AnalyzeBatch(units, pallas.BatchOptions{
+		Workers:     *workers,
+		Retries:     *retries,
+		JournalPath: *journalPath,
+		Resume:      *resume,
+	})
+	if err != nil {
+		return err
+	}
 
 	exit := 0
 	raise := func(code int) {
@@ -141,8 +162,19 @@ func cmdCheck(args []string) error {
 		raise(3)
 	}
 	for _, r := range results {
+		if r.Skipped {
+			// Keep stdout identical to an uninterrupted run; the resume
+			// notice goes to stderr only.
+			fmt.Fprintf(os.Stderr, "pallas: %s: resumed from journal\n", r.Unit)
+		}
 		if r.Err != nil {
 			fmt.Fprintf(os.Stderr, "pallas: %s: %v\n", r.Unit, r.Err)
+			for _, d := range r.Diagnostics {
+				fmt.Fprintln(os.Stderr, "pallas: "+d.String())
+			}
+			if r.Quarantined {
+				fmt.Fprintf(os.Stderr, "pallas: %s: quarantined after %d attempt(s)\n", r.Unit, max(r.Attempts, 1))
+			}
 			raise(3)
 			continue
 		}
@@ -177,6 +209,18 @@ func cmdCheck(args []string) error {
 		}
 		fmt.Println()
 		fmt.Print(res.Report.Summary())
+	}
+	if *journalPath != "" {
+		fmt.Fprintf(os.Stderr,
+			"pallas: journal %s: %d analyzed, %d resumed, %d retried, %d quarantined\n",
+			*journalPath, stats.Analyzed, stats.Skipped, stats.Retried, stats.Quarantined)
+		if stats.JournalTornTail {
+			fmt.Fprintln(os.Stderr, "pallas: journal: recovered from a torn tail (crashed mid-checkpoint)")
+		}
+		if stats.JournalQuarantined > 0 {
+			fmt.Fprintf(os.Stderr, "pallas: journal: quarantined %d corrupt record(s) to %s.quarantine\n",
+				stats.JournalQuarantined, *journalPath)
+		}
 	}
 	if exit != 0 {
 		os.Exit(exit)

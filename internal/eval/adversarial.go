@@ -22,6 +22,13 @@ type AdversarialResult struct {
 	HealthyWarned int
 	// Violations lists units that broke the robustness contract.
 	Violations []string
+	// Retried, Quarantined and Resumed summarize the durability machinery:
+	// retry attempts spent, units set aside after persistent transient
+	// failure, and units skipped because a checkpoint journal already held
+	// their terminal outcome.
+	Retried, Quarantined, Resumed int
+	// Journaled reports whether the sweep ran with a checkpoint journal.
+	Journaled bool
 }
 
 // Passed reports whether every unit honoured the contract.
@@ -34,6 +41,10 @@ func (r *AdversarialResult) Render() string {
 		r.Units, r.Malformed, r.Healthy)
 	out += fmt.Sprintf("  malformed contained   %3d/%d\n", r.Diagnosed, r.Malformed)
 	out += fmt.Sprintf("  healthy still warned  %3d/%d\n", r.HealthyWarned, r.Healthy)
+	if r.Journaled {
+		out += fmt.Sprintf("  durability            %d retried, %d quarantined, %d resumed from journal\n",
+			r.Retried, r.Quarantined, r.Resumed)
+	}
 	if r.Passed() {
 		out += "  contract: PASS — no panic, no hang, no lost unit\n"
 	} else {
@@ -47,6 +58,16 @@ func (r *AdversarialResult) Render() string {
 // RunAdversarial batch-analyzes the hostile corpus with fault isolation and
 // checks the robustness contract unit by unit.
 func RunAdversarial(workers int) *AdversarialResult {
+	r, _ := RunAdversarialDurable(workers, "", false)
+	return r
+}
+
+// RunAdversarialDurable is RunAdversarial on the journaled batch runner:
+// with a journal path the sweep checkpoints per-unit outcomes (so a killed
+// sweep resumes where it left off), retries transient failures, and reports
+// retry/quarantine/resume counts in its summary. The error is non-nil only
+// when the journal cannot be opened.
+func RunAdversarialDurable(workers int, journalPath string, resume bool) (*AdversarialResult, error) {
 	units := corpus.Adversarial()
 	includes := map[string]string{}
 	batch := make([]pallas.Unit, len(units))
@@ -61,9 +82,24 @@ func RunAdversarial(workers int) *AdversarialResult {
 		Deadline:  10 * time.Second, // backstop so a hostile unit cannot hang the sweep
 		Includes:  includes,
 	})
-	results := a.AnalyzeMany(batch, workers)
+	opts := pallas.BatchOptions{Workers: workers}
+	if journalPath != "" {
+		opts.JournalPath = journalPath
+		opts.Resume = resume
+		opts.Retries = 2 // hostile units may fail transiently; give them two more chances
+	}
+	results, stats, err := a.AnalyzeBatch(batch, opts)
+	if err != nil {
+		return nil, err
+	}
 
-	res := &AdversarialResult{Units: len(units)}
+	res := &AdversarialResult{
+		Units:       len(units),
+		Retried:     stats.Retried,
+		Quarantined: stats.Quarantined,
+		Resumed:     stats.Skipped,
+		Journaled:   journalPath != "",
+	}
 	for i, u := range units {
 		r := results[i]
 		if u.Healthy {
@@ -89,5 +125,5 @@ func RunAdversarial(workers int) *AdversarialResult {
 			res.Diagnosed++
 		}
 	}
-	return res
+	return res, nil
 }

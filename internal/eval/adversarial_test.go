@@ -1,0 +1,54 @@
+package eval
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAdversarialDurableResumes runs the hostile sweep with a checkpoint
+// journal, then resumes it: the second pass must skip every unit, uphold the
+// same contract, and surface the durability counters in its summary.
+func TestAdversarialDurableResumes(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "adversarial.jsonl")
+
+	first, err := RunAdversarialDurable(0, jpath, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Passed() {
+		t.Fatalf("journaled sweep broke the contract:\n%s", first.Render())
+	}
+	if first.Resumed != 0 || !first.Journaled {
+		t.Fatalf("first pass: %+v", first)
+	}
+
+	second, err := RunAdversarialDurable(0, jpath, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Passed() {
+		t.Fatalf("resumed sweep broke the contract:\n%s", second.Render())
+	}
+	if second.Resumed != second.Units {
+		t.Fatalf("resumed %d of %d units", second.Resumed, second.Units)
+	}
+	if second.Diagnosed != first.Diagnosed || second.HealthyWarned != first.HealthyWarned {
+		t.Fatalf("replayed sweep drifted: first %+v second %+v", first, second)
+	}
+	if !strings.Contains(second.Render(), "durability") {
+		t.Fatalf("summary missing durability line:\n%s", second.Render())
+	}
+}
+
+// TestAdversarialPlainHasNoDurabilityLine keeps the unjournaled render
+// unchanged.
+func TestAdversarialPlainHasNoDurabilityLine(t *testing.T) {
+	r := RunAdversarial(0)
+	if !r.Passed() {
+		t.Fatalf("plain sweep broke the contract:\n%s", r.Render())
+	}
+	if strings.Contains(r.Render(), "durability") {
+		t.Fatalf("plain render grew a durability line:\n%s", r.Render())
+	}
+}

@@ -1,0 +1,258 @@
+// Package failpoint is a deterministic fault-injection layer for testing the
+// durability of the Pallas pipeline. Named hook sites ("failpoints") sit at
+// the stage boundaries of an analysis — pre-parse, pre-extract, pre-save,
+// mid-save — and are inert unless explicitly armed, either programmatically
+// via Arm or through the PALLAS_FAILPOINTS environment variable. An armed
+// point can return an injected (transient) error, panic, SIGKILL the whole
+// process, or sleep, optionally only for its first N hits and only for units
+// whose name contains a match string.
+//
+// The disarmed fast path is a single atomic load with zero allocations, so
+// shipping the hooks in production code paths costs nothing (a benchmark
+// guard in failpoint_test.go keeps it that way).
+//
+// Spec grammar (terms separated by ';'):
+//
+//	term   = point "=" action [ "@" count ] [ "/" match ]
+//	point  = "pre-parse" | "pre-extract" | "pre-save" | "mid-save"
+//	action = "error" | "panic" | "kill" | "sleep:" duration
+//
+// Examples:
+//
+//	PALLAS_FAILPOINTS="pre-parse=error@2"          first two parses fail transiently
+//	PALLAS_FAILPOINTS="mid-save=kill/c3.c"         SIGKILL while saving unit c3.c
+//	PALLAS_FAILPOINTS="pre-extract=sleep:50ms@1"   one slow extraction
+package failpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The failpoint names wired into the pipeline, in stage order.
+const (
+	// PreParse fires at the top of AnalyzeSource, before preprocessing and
+	// parsing of one unit.
+	PreParse = "pre-parse"
+	// PreExtract fires before path extraction of one unit.
+	PreExtract = "pre-extract"
+	// PreSave fires at the start of a persistence operation (path database
+	// save, journal append).
+	PreSave = "pre-save"
+	// MidSave fires in the middle of a persistence operation: after a partial
+	// write has reached the file but before the operation completes, so a
+	// "kill" here leaves a torn record / orphaned temp file behind.
+	MidSave = "mid-save"
+)
+
+// EnvVar is the environment variable ArmFromEnv reads.
+const EnvVar = "PALLAS_FAILPOINTS"
+
+// ErrInjected is the base error of every failure injected by an "error"
+// action; match it with errors.Is. Injected errors model transient faults,
+// so the batch retry policy treats them as retriable.
+var ErrInjected = errors.New("failpoint: injected failure")
+
+type action int
+
+const (
+	actError action = iota
+	actPanic
+	actKill
+	actSleep
+)
+
+type point struct {
+	name      string
+	act       action
+	sleep     time.Duration
+	match     string       // unit substring filter; empty matches all
+	remaining atomic.Int64 // hits left; negative means unlimited
+}
+
+var (
+	armed  atomic.Bool // fast-path gate: false ⇒ Hit is a no-op
+	mu     sync.Mutex
+	points map[string][]*point
+)
+
+// Arm installs the failpoints described by spec (see the package comment for
+// the grammar), replacing any previously armed set. An empty spec disarms.
+func Arm(spec string) error {
+	parsed := map[string][]*point{}
+	n := 0
+	for _, term := range strings.Split(spec, ";") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		p, err := parseTerm(term)
+		if err != nil {
+			return err
+		}
+		parsed[p.name] = append(parsed[p.name], p)
+		n++
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	points = parsed
+	armed.Store(n > 0)
+	return nil
+}
+
+// ArmFromEnv arms the failpoints named in PALLAS_FAILPOINTS, if any. Called
+// once at process start by the CLI binaries.
+func ArmFromEnv() error {
+	spec := os.Getenv(EnvVar)
+	if spec == "" {
+		return nil
+	}
+	return Arm(spec)
+}
+
+// Disarm removes every failpoint, restoring the zero-overhead path.
+func Disarm() {
+	mu.Lock()
+	defer mu.Unlock()
+	points = nil
+	armed.Store(false)
+}
+
+// Enabled reports whether any failpoint is armed.
+func Enabled() bool { return armed.Load() }
+
+// parseTerm parses one "point=action[@count][/match]" term.
+func parseTerm(term string) (*point, error) {
+	name, rest, ok := strings.Cut(term, "=")
+	if !ok {
+		return nil, fmt.Errorf("failpoint: bad term %q (want point=action)", term)
+	}
+	switch name {
+	case PreParse, PreExtract, PreSave, MidSave:
+	default:
+		return nil, fmt.Errorf("failpoint: unknown point %q", name)
+	}
+	rest, match, _ := cutLast(rest, "/")
+	rest, countStr, hasCount := cutLast(rest, "@")
+	p := &point{name: name, match: match}
+	p.remaining.Store(-1)
+	if hasCount {
+		n, err := strconv.Atoi(countStr)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("failpoint: bad count %q in %q", countStr, term)
+		}
+		p.remaining.Store(int64(n))
+	}
+	switch {
+	case rest == "error":
+		p.act = actError
+	case rest == "panic":
+		p.act = actPanic
+	case rest == "kill":
+		p.act = actKill
+	case strings.HasPrefix(rest, "sleep:"):
+		d, err := time.ParseDuration(strings.TrimPrefix(rest, "sleep:"))
+		if err != nil {
+			return nil, fmt.Errorf("failpoint: bad sleep duration in %q: %v", term, err)
+		}
+		p.act = actSleep
+		p.sleep = d
+	default:
+		return nil, fmt.Errorf("failpoint: unknown action %q in %q", rest, term)
+	}
+	return p, nil
+}
+
+// cutLast splits s around the last occurrence of sep.
+func cutLast(s, sep string) (before, after string, found bool) {
+	if i := strings.LastIndex(s, sep); i >= 0 {
+		return s[:i], s[i+len(sep):], true
+	}
+	return s, "", false
+}
+
+// Hit triggers the named failpoint for the given unit. Disarmed (the
+// default), it is a single atomic load and returns nil. Armed, it may return
+// an injected error, panic, kill the process, or sleep, per the armed spec.
+func Hit(name, unit string) error {
+	if !armed.Load() {
+		return nil
+	}
+	return hitSlow(name, unit)
+}
+
+// Active reports whether the named failpoint would trigger for unit without
+// consuming a hit. Persistence code uses it to decide whether to split a
+// write so MidSave can tear it.
+func Active(name, unit string) bool {
+	if !armed.Load() {
+		return false
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, p := range points[name] {
+		if p.matches(unit) && p.remaining.Load() != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *point) matches(unit string) bool {
+	return p.match == "" || strings.Contains(unit, p.match)
+}
+
+// take consumes one hit, honouring the @count cap.
+func (p *point) take() bool {
+	for {
+		n := p.remaining.Load()
+		if n == 0 {
+			return false
+		}
+		if n < 0 {
+			return true // unlimited
+		}
+		if p.remaining.CompareAndSwap(n, n-1) {
+			return true
+		}
+	}
+}
+
+func hitSlow(name, unit string) error {
+	mu.Lock()
+	var fire *point
+	for _, p := range points[name] {
+		if p.matches(unit) && p.take() {
+			fire = p
+			break
+		}
+	}
+	mu.Unlock()
+	if fire == nil {
+		return nil
+	}
+	switch fire.act {
+	case actError:
+		return fmt.Errorf("%w at %s (%s)", ErrInjected, name, unit)
+	case actPanic:
+		panic(fmt.Sprintf("failpoint: injected panic at %s (%s)", name, unit))
+	case actKill:
+		// A real crash: SIGKILL cannot be caught, so no deferred cleanup or
+		// atomic-rename completion runs — exactly the torn state the recovery
+		// code must handle.
+		p, err := os.FindProcess(os.Getpid())
+		if err == nil {
+			_ = p.Kill()
+		}
+		select {} // never proceed past a kill, even if signaling raced
+	case actSleep:
+		time.Sleep(fire.sleep)
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package failpoint
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDisarmedHitIsFree(t *testing.T) {
+	Disarm()
+	if err := Hit(PreParse, "x.c"); err != nil {
+		t.Fatalf("disarmed Hit returned %v", err)
+	}
+	// The benchmark guard: the disarmed path must never allocate, so the
+	// hooks can sit in hot persistence/parse paths at zero cost.
+	if allocs := testing.AllocsPerRun(1000, func() {
+		_ = Hit(PreParse, "x.c")
+		_ = Hit(MidSave, "x.c")
+	}); allocs != 0 {
+		t.Fatalf("disarmed Hit allocates: %v allocs/run", allocs)
+	}
+	if Active(MidSave, "x.c") {
+		t.Fatal("disarmed Active reported true")
+	}
+}
+
+// BenchmarkHitDisarmed measures the production cost of a shipped failpoint:
+// one atomic load. Run with -bench to inspect; the alloc guard above is the
+// enforced part.
+func BenchmarkHitDisarmed(b *testing.B) {
+	Disarm()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Hit(PreParse, "x.c")
+	}
+}
+
+func TestArmError(t *testing.T) {
+	t.Cleanup(Disarm)
+	if err := Arm("pre-parse=error@2"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		err := Hit(PreParse, "u.c")
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d: want injected error, got %v", i, err)
+		}
+	}
+	if err := Hit(PreParse, "u.c"); err != nil {
+		t.Fatalf("count exhausted but still firing: %v", err)
+	}
+}
+
+func TestUnitMatch(t *testing.T) {
+	t.Cleanup(Disarm)
+	if err := Arm("pre-save=error/poison"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Hit(PreSave, "healthy.c"); err != nil {
+		t.Fatalf("non-matching unit fired: %v", err)
+	}
+	if err := Hit(PreSave, "poison.c"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("matching unit did not fire: %v", err)
+	}
+	if !Active(PreSave, "poison.c") || Active(PreSave, "healthy.c") {
+		t.Fatal("Active disagrees with match filter")
+	}
+}
+
+func TestArmPanic(t *testing.T) {
+	t.Cleanup(Disarm)
+	if err := Arm("pre-extract=panic@1"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic action did not panic")
+		}
+		if !strings.Contains(r.(string), "injected panic") {
+			t.Fatalf("panic value: %v", r)
+		}
+	}()
+	_ = Hit(PreExtract, "u.c")
+}
+
+func TestArmSleep(t *testing.T) {
+	t.Cleanup(Disarm)
+	if err := Arm("pre-parse=sleep:30ms@1"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Hit(PreParse, "u.c"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("sleep too short: %v", d)
+	}
+}
+
+func TestArmRejectsBadSpecs(t *testing.T) {
+	t.Cleanup(Disarm)
+	for _, spec := range []string{
+		"nonsense",
+		"no-such-point=error",
+		"pre-parse=explode",
+		"pre-parse=error@zero",
+		"pre-parse=error@-1",
+		"pre-parse=sleep:fast",
+	} {
+		if err := Arm(spec); err == nil {
+			t.Errorf("Arm(%q) accepted", spec)
+		}
+	}
+}
+
+func TestArmEmptyDisarms(t *testing.T) {
+	t.Cleanup(Disarm)
+	if err := Arm("pre-parse=error"); err != nil {
+		t.Fatal(err)
+	}
+	if !Enabled() {
+		t.Fatal("armed spec not enabled")
+	}
+	if err := Arm(""); err != nil {
+		t.Fatal(err)
+	}
+	if Enabled() {
+		t.Fatal("empty spec left failpoints armed")
+	}
+}
+
+func TestMultipleTerms(t *testing.T) {
+	t.Cleanup(Disarm)
+	if err := Arm("pre-parse=error@1; mid-save=error/b.c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Hit(PreParse, "a.c"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first term inert: %v", err)
+	}
+	if err := Hit(MidSave, "b.c"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second term inert: %v", err)
+	}
+}

@@ -32,6 +32,9 @@ const (
 	StageExtract    Stage = "extract"
 	StageCheck      Stage = "check"
 	StageBatch      Stage = "batch"
+	// StageStore covers persistence: path-database saves/loads and the
+	// checkpoint journal.
+	StageStore Stage = "store"
 )
 
 // Diagnostic is a structured record of a failure or degradation in one
@@ -58,6 +61,12 @@ func (d Diagnostic) String() string {
 	}
 	return fmt.Sprintf("%s: %s[%s]: %s", d.Unit, kind, d.Stage, d.Err)
 }
+
+// Error implements the error interface with the same one-line rendering as
+// String, so a Diagnostic can travel as an error value and callers printing
+// either form get the readable "unit: kind[stage]: message" line instead of
+// a struct dump.
+func (d Diagnostic) Error() string { return d.String() }
 
 // Diag builds a diagnostic from an error.
 func Diag(stage Stage, unit string, err error, partial bool) Diagnostic {

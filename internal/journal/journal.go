@@ -1,0 +1,390 @@
+// Package journal is the checkpoint log that makes corpus-scale analysis
+// resumable. The paper treats path extraction as "a one-time cost" persisted
+// for reuse; that only holds across crashes and kills if per-unit outcomes
+// are durable. A Journal is an append-only JSONL file with one CRC-framed
+// record per completed unit attempt: re-opening it after a crash recovers
+// every intact record, truncates a torn tail (the half-written record of the
+// unit that was in flight when the process died), and quarantines corrupted
+// interior lines instead of refusing the whole file.
+//
+// On-disk format, one record per line:
+//
+//	crc32c-hex8 SP json-payload LF
+//
+// The CRC is the Castagnoli CRC-32 of the payload bytes. A line that is
+// missing its newline, whose CRC does not match, or whose payload does not
+// decode is invalid. Recovery rules:
+//
+//   - invalid final line → torn tail: truncated away, journal stays usable;
+//   - invalid interior line → corruption: the line is appended to
+//     <path>.quarantine and the journal is atomically rewritten with only
+//     the valid records;
+//   - duplicate records for one unit → last wins.
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+
+	"pallas/internal/failpoint"
+	"pallas/internal/guard"
+)
+
+// Status is the outcome class of one unit attempt. The terminal statuses —
+// everything but StatusRetry — end a unit's journey through the batch; a
+// resumed run skips units whose latest record is terminal and whose content
+// hash still matches.
+type Status string
+
+const (
+	// StatusOK marks a clean, complete analysis.
+	StatusOK Status = "ok"
+	// StatusDegraded marks a completed but partial analysis (budget hit,
+	// tolerated malformed input); the stored report is still authoritative.
+	StatusDegraded Status = "degraded"
+	// StatusFailed marks a deterministic failure (malformed input without
+	// KeepGoing); retrying without changing the input would fail again.
+	StatusFailed Status = "failed"
+	// StatusQuarantined marks a unit whose transient failures (panics,
+	// injected faults, budget blowouts) persisted through every retry; the
+	// batch completed without it and resume will not re-run it.
+	StatusQuarantined Status = "quarantined"
+	// StatusRetry marks a non-terminal failed attempt that will be retried;
+	// recorded so a crash between attempts preserves the attempt count.
+	StatusRetry Status = "retry"
+)
+
+// Terminal reports whether s ends a unit's processing.
+func (s Status) Terminal() bool { return s != StatusRetry && s != "" }
+
+// Record is one journal entry: the durable outcome of one attempt at one
+// unit.
+type Record struct {
+	// Unit is the unit name (file name in CLI runs).
+	Unit string `json:"unit"`
+	// Hash is the content hash of the unit (source + spec); resume only
+	// honours a record whose hash still matches the unit's current content.
+	Hash string `json:"hash"`
+	// Status classifies the outcome.
+	Status Status `json:"status"`
+	// Attempt is the 1-based attempt number that produced this record.
+	Attempt int `json:"attempt"`
+	// Err is the failure rendered as text, for failed/quarantined/retry.
+	Err string `json:"error,omitempty"`
+	// Degraded mirrors Report.Degraded for quick scanning.
+	Degraded bool `json:"degraded,omitempty"`
+	// Warnings counts the warnings in Report.
+	Warnings int `json:"warnings"`
+	// Report is the full report JSON of a terminal ok/degraded outcome, so a
+	// resumed run can replay the unit's report without re-analysis.
+	Report json.RawMessage `json:"report,omitempty"`
+	// Diagnostics preserves the unit's degradation record for replay.
+	Diagnostics []guard.Diagnostic `json:"diagnostics,omitempty"`
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// encode frames a record as a CRC-prefixed line (without the newline).
+func encode(rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("journal: encode %s: %w", rec.Unit, err)
+	}
+	line := make([]byte, 0, 9+len(payload))
+	line = append(line, fmt.Sprintf("%08x", crc32.Checksum(payload, crcTable))...)
+	line = append(line, ' ')
+	line = append(line, payload...)
+	return line, nil
+}
+
+// decode parses one framed line into a record; ok is false for any framing,
+// CRC, or JSON violation.
+func decode(line []byte) (Record, bool) {
+	if len(line) < 10 || line[8] != ' ' {
+		return Record{}, false
+	}
+	want, err := strconv.ParseUint(string(line[:8]), 16, 32)
+	if err != nil {
+		return Record{}, false
+	}
+	payload := line[9:]
+	if crc32.Checksum(payload, crcTable) != uint32(want) {
+		return Record{}, false
+	}
+	var rec Record
+	if err := json.Unmarshal(payload, &rec); err != nil || rec.Unit == "" {
+		return Record{}, false
+	}
+	return rec, true
+}
+
+// Journal is an open checkpoint log. Append is safe for concurrent use by
+// the batch worker pool.
+type Journal struct {
+	path string
+
+	mu      sync.Mutex
+	f       *os.File
+	entries []Record
+	byUnit  map[string]int // unit → index of latest record in entries
+
+	recovered RecoveryReport
+}
+
+// RecoveryReport describes what Open had to repair.
+type RecoveryReport struct {
+	// Records is the number of valid records recovered.
+	Records int
+	// TornTail is true when an incomplete final record was truncated away —
+	// the signature of a crash mid-append.
+	TornTail bool
+	// Quarantined counts corrupted interior lines moved to <path>.quarantine.
+	Quarantined int
+}
+
+// Open opens (creating if needed) the journal at path, recovering any
+// existing records per the package rules, and leaves the file positioned for
+// appends.
+func Open(path string) (*Journal, error) {
+	j := &Journal{path: path, byUnit: map[string]int{}}
+	if err := j.recover(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open %s: %w", path, err)
+	}
+	j.f = f
+	return j, nil
+}
+
+// recover scans the file, classifying each line, then repairs the file:
+// torn tails are truncated in place; interior corruption forces an atomic
+// rewrite with the bad lines quarantined.
+func (j *Journal) recover() error {
+	b, err := os.ReadFile(j.path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("journal: recover %s: %w", j.path, err)
+	}
+	var valid [][]byte // raw valid lines, for rewrite
+	var bad [][]byte   // corrupted interior lines, for quarantine
+	tornTail := false
+	off := 0
+	for off < len(b) {
+		nl := -1
+		for i := off; i < len(b); i++ {
+			if b[i] == '\n' {
+				nl = i
+				break
+			}
+		}
+		if nl < 0 {
+			// No newline: a record torn by a crash mid-write.
+			tornTail = true
+			break
+		}
+		line := b[off:nl]
+		if rec, ok := decode(line); ok {
+			j.append(rec)
+			valid = append(valid, line)
+		} else if nl == len(b)-1 {
+			// Invalid but final: still a torn tail (e.g. killed after the
+			// newline of a partially flushed buffer), truncate.
+			tornTail = true
+		} else {
+			bad = append(bad, line)
+		}
+		off = nl + 1
+	}
+	j.recovered = RecoveryReport{Records: len(j.entries), TornTail: tornTail, Quarantined: len(bad)}
+	if len(bad) > 0 {
+		if err := j.quarantine(bad); err != nil {
+			return err
+		}
+		return j.rewrite(valid)
+	}
+	if tornTail {
+		// Drop the torn bytes; everything before them is intact.
+		keep := 0
+		for _, line := range valid {
+			keep += len(line) + 1
+		}
+		if err := os.Truncate(j.path, int64(keep)); err != nil {
+			return fmt.Errorf("journal: truncate torn tail of %s: %w", j.path, err)
+		}
+	}
+	return nil
+}
+
+// quarantine appends the corrupted lines to <path>.quarantine so no byte of
+// a damaged journal is silently discarded.
+func (j *Journal) quarantine(bad [][]byte) error {
+	qf, err := os.OpenFile(j.path+".quarantine", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: quarantine: %w", err)
+	}
+	for _, line := range bad {
+		if _, err := qf.Write(append(line, '\n')); err != nil {
+			qf.Close()
+			return fmt.Errorf("journal: quarantine: %w", err)
+		}
+	}
+	return qf.Close()
+}
+
+// rewrite atomically replaces the journal with only the valid lines.
+func (j *Journal) rewrite(valid [][]byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(j.path), filepath.Base(j.path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("journal: rewrite: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	for _, line := range valid {
+		if _, err := tmp.Write(append(line, '\n')); err != nil {
+			tmp.Close()
+			return fmt.Errorf("journal: rewrite: %w", err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("journal: rewrite: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("journal: rewrite: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		return fmt.Errorf("journal: rewrite: %w", err)
+	}
+	return nil
+}
+
+// append records rec in memory with last-wins semantics.
+func (j *Journal) append(rec Record) {
+	j.entries = append(j.entries, rec)
+	j.byUnit[rec.Unit] = len(j.entries) - 1
+}
+
+// Recovery returns what Open repaired.
+func (j *Journal) Recovery() RecoveryReport { return j.recovered }
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Append durably appends one record: CRC-framed write plus fsync, so a
+// record returned from Append survives an immediate SIGKILL. The PreSave and
+// MidSave failpoints hook the write; an armed MidSave splits it so a kill
+// tears the record exactly as a real mid-write crash would.
+func (j *Journal) Append(rec Record) error {
+	if err := failpoint.Hit(failpoint.PreSave, rec.Unit); err != nil {
+		return err
+	}
+	line, err := encode(rec)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if failpoint.Active(failpoint.MidSave, rec.Unit) {
+		// Torn-write injection: flush half the record, then trigger (kill,
+		// error, ...). Recovery must throw this partial line away.
+		half := len(line) / 2
+		if _, err := j.f.Write(line[:half]); err != nil {
+			return fmt.Errorf("journal: append: %w", err)
+		}
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("journal: append: %w", err)
+		}
+		if err := failpoint.Hit(failpoint.MidSave, rec.Unit); err != nil {
+			return err
+		}
+		line = line[half:]
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	j.append(rec)
+	return nil
+}
+
+// Lookup returns the latest record for unit (last-wins over duplicates).
+func (j *Journal) Lookup(unit string) (Record, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	i, ok := j.byUnit[unit]
+	if !ok {
+		return Record{}, false
+	}
+	return j.entries[i], true
+}
+
+// Snapshot returns the latest record per unit.
+func (j *Journal) Snapshot() map[string]Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make(map[string]Record, len(j.byUnit))
+	for unit, i := range j.byUnit {
+		out[unit] = j.entries[i]
+	}
+	return out
+}
+
+// Records returns every record in append order, duplicates included; tests
+// and tooling use it to audit attempt counts.
+func (j *Journal) Records() []Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Record, len(j.entries))
+	copy(out, j.entries)
+	return out
+}
+
+// Len returns the number of records, duplicates included.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
+
+// Close closes the underlying file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// ReadAll reads a journal's records without opening it for append (and
+// without repairing the file): invalid lines are skipped. Tooling that only
+// inspects a journal uses this.
+func ReadAll(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		if rec, ok := decode(sc.Bytes()); ok {
+			out = append(out, rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("journal: read: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,333 @@
+package journal
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pallas/internal/failpoint"
+	"pallas/internal/guard"
+)
+
+func rec(unit, hash string, status Status, attempt int) Record {
+	return Record{Unit: unit, Hash: hash, Status: status, Attempt: attempt, Warnings: 1,
+		Report: json.RawMessage(`{"target":"` + unit + `","warnings":[]}`)}
+}
+
+// writeRecords opens a fresh journal at path and appends recs.
+func writeRecords(t *testing.T, path string, recs ...Record) {
+	t.Helper()
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	want := Record{
+		Unit: "a.c", Hash: "h1", Status: StatusDegraded, Attempt: 2,
+		Degraded: true, Warnings: 3,
+		Report:      json.RawMessage(`{"target":"a.c","warnings":[],"degraded":true}`),
+		Diagnostics: []guard.Diagnostic{guard.Diag(guard.StageParse, "a.c", errors.New("bad token"), true)},
+	}
+	writeRecords(t, path, want)
+
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if j.Recovery().TornTail || j.Recovery().Quarantined != 0 || j.Recovery().Records != 1 {
+		t.Fatalf("recovery report on a clean journal: %+v", j.Recovery())
+	}
+	got, ok := j.Lookup("a.c")
+	if !ok {
+		t.Fatal("record lost")
+	}
+	if got.Unit != want.Unit || got.Hash != want.Hash || got.Status != want.Status ||
+		got.Attempt != want.Attempt || !got.Degraded || got.Warnings != 3 {
+		t.Fatalf("record drifted: %+v", got)
+	}
+	if string(got.Report) != string(want.Report) {
+		t.Fatalf("report drifted: %s", got.Report)
+	}
+	if len(got.Diagnostics) != 1 || got.Diagnostics[0].Stage != guard.StageParse {
+		t.Fatalf("diagnostics drifted: %+v", got.Diagnostics)
+	}
+}
+
+func TestEmptyJournalFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := Open(path)
+	if err != nil {
+		t.Fatalf("empty journal rejected: %v", err)
+	}
+	defer j.Close()
+	if j.Len() != 0 {
+		t.Fatalf("records from empty file: %d", j.Len())
+	}
+	if err := j.Append(rec("a.c", "h", StatusOK, 1)); err != nil {
+		t.Fatalf("append after empty open: %v", err)
+	}
+}
+
+func TestMissingJournalFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nope", "j.jsonl")
+	if _, err := Open(path); err == nil {
+		t.Fatal("unreachable path accepted") // parent dir missing
+	}
+	path = filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := Open(path)
+	if err != nil {
+		t.Fatalf("fresh journal: %v", err)
+	}
+	j.Close()
+}
+
+func TestTornFinalRecordTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	writeRecords(t, path, rec("a.c", "h1", StatusOK, 1), rec("b.c", "h2", StatusOK, 1))
+	intact, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: a third record torn halfway, no newline.
+	torn, err := encode(rec("c.c", "h3", StatusOK, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(append([]byte{}, intact...), torn[:len(torn)/2]...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j, err := Open(path)
+	if err != nil {
+		t.Fatalf("torn journal rejected: %v", err)
+	}
+	defer j.Close()
+	if !j.Recovery().TornTail {
+		t.Fatal("torn tail not reported")
+	}
+	if j.Len() != 2 {
+		t.Fatalf("want 2 recovered records, got %d", j.Len())
+	}
+	if _, ok := j.Lookup("c.c"); ok {
+		t.Fatal("torn record resurrected")
+	}
+	// The tail must be physically gone so the next append starts clean.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(intact) {
+		t.Fatalf("file not truncated to the intact prefix:\n%q\nvs\n%q", b, intact)
+	}
+	if err := j.Append(rec("c.c", "h3", StatusOK, 1)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	recs, err := readPath(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("after re-append want 3 records, got %d", len(recs))
+	}
+}
+
+func TestCorruptTailWithNewlineTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	writeRecords(t, path, rec("a.c", "h1", StatusOK, 1))
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("deadbeef {\"unit\":\"x\"}\n"); err != nil { // bad CRC
+		t.Fatal(err)
+	}
+	f.Close()
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if !j.Recovery().TornTail || j.Len() != 1 {
+		t.Fatalf("recovery: %+v len %d", j.Recovery(), j.Len())
+	}
+}
+
+func TestInteriorCorruptionQuarantined(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	writeRecords(t, path, rec("a.c", "h1", StatusOK, 1))
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("garbage line that is not a record\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	writeOneMore(t, path, rec("b.c", "h2", StatusOK, 1))
+
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if j.Recovery().Quarantined != 1 {
+		t.Fatalf("quarantined = %d, want 1 (%+v)", j.Recovery().Quarantined, j.Recovery())
+	}
+	if j.Len() != 2 {
+		t.Fatalf("valid records lost: %d", j.Len())
+	}
+	q, err := os.ReadFile(path + ".quarantine")
+	if err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+	if !strings.Contains(string(q), "garbage line") {
+		t.Fatalf("quarantine content: %q", q)
+	}
+	// The rewritten journal must be fully valid: re-open reports no damage.
+	j.Close()
+	j2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if r := j2.Recovery(); r.TornTail || r.Quarantined != 0 || r.Records != 2 {
+		t.Fatalf("journal not healed by rewrite: %+v", r)
+	}
+}
+
+// writeOneMore appends one record via a throwaway Journal (bypassing recovery
+// side effects is not possible — so it re-opens, which must tolerate the
+// state left by the test).
+func writeOneMore(t *testing.T, path string, r Record) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line, err := encode(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+}
+
+func TestDuplicateEntriesLastWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	writeRecords(t, path,
+		rec("a.c", "h1", StatusRetry, 1),
+		rec("b.c", "hb", StatusOK, 1),
+		rec("a.c", "h1", StatusOK, 2),
+	)
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	got, ok := j.Lookup("a.c")
+	if !ok || got.Status != StatusOK || got.Attempt != 2 {
+		t.Fatalf("last-wins violated: %+v (ok=%v)", got, ok)
+	}
+	if j.Len() != 3 {
+		t.Fatalf("duplicates collapsed on disk: %d", j.Len())
+	}
+	snap := j.Snapshot()
+	if len(snap) != 2 || snap["a.c"].Attempt != 2 {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+}
+
+func TestStatusTerminal(t *testing.T) {
+	for s, want := range map[Status]bool{
+		StatusOK: true, StatusDegraded: true, StatusFailed: true,
+		StatusQuarantined: true, StatusRetry: false, Status(""): false,
+	} {
+		if s.Terminal() != want {
+			t.Errorf("Terminal(%q) = %v, want %v", s, !want, want)
+		}
+	}
+}
+
+func TestMidSaveFailpointTearsRecord(t *testing.T) {
+	t.Cleanup(failpoint.Disarm)
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	writeRecords(t, path, rec("a.c", "h1", StatusOK, 1))
+
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := failpoint.Arm("mid-save=error/b.c"); err != nil {
+		t.Fatal(err)
+	}
+	err = j.Append(rec("b.c", "h2", StatusOK, 1))
+	if !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("mid-save failpoint not triggered: %v", err)
+	}
+	j.Close()
+	failpoint.Disarm()
+
+	// The aborted append left half a record on disk; recovery must drop it.
+	j2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if !j2.Recovery().TornTail {
+		t.Fatal("torn tail from mid-save abort not detected")
+	}
+	if _, ok := j2.Lookup("b.c"); ok {
+		t.Fatal("torn record visible after recovery")
+	}
+	if _, ok := j2.Lookup("a.c"); !ok {
+		t.Fatal("intact record lost during recovery")
+	}
+}
+
+func TestReadAllSkipsInvalid(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	writeRecords(t, path, rec("a.c", "h1", StatusOK, 1), rec("b.c", "h2", StatusFailed, 3))
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("not a record\n")
+	f.Close()
+	recs, err := readPath(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].Unit != "b.c" || recs[1].Attempt != 3 {
+		t.Fatalf("ReadAll: %+v", recs)
+	}
+}
+
+func readPath(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadAll(f)
+}

@@ -10,9 +10,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
+	"pallas/internal/failpoint"
 	"pallas/internal/guard"
 	"pallas/internal/paths"
 )
@@ -131,17 +133,39 @@ func Read(r io.Reader) (*DB, error) {
 	return &db, nil
 }
 
-// Save writes the database to a file.
+// Save writes the database to a file atomically: the JSON is written to a
+// temp file in the same directory, fsynced, then renamed over the target. A
+// crash at any point leaves either the old database or the new one — never a
+// truncated hybrid. The PreSave/MidSave failpoints bracket the vulnerable
+// window for crash testing.
 func (db *DB) Save(path string) error {
-	f, err := os.Create(path)
+	if err := failpoint.Hit(failpoint.PreSave, path); err != nil {
+		return err
+	}
+	dir, base := filepath.Dir(path), filepath.Base(path)
+	f, err := os.CreateTemp(dir, base+".tmp*")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	tmp := f.Name()
+	defer os.Remove(tmp) // no-op after a successful rename
 	if err := db.Write(f); err != nil {
+		f.Close()
 		return err
 	}
-	return f.Close()
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	// The temp file is durable but the target still points at the old data:
+	// this is where a mid-save crash used to truncate the DB.
+	if err := failpoint.Hit(failpoint.MidSave, path); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // Load reads a database from a file.
@@ -152,4 +176,60 @@ func Load(path string) (*DB, error) {
 	}
 	defer f.Close()
 	return Read(f)
+}
+
+// Salvage reads a database from a file, tolerating per-entry corruption:
+// entries (and diagnostics) that fail to decode are dropped, and each drop
+// is recorded as a StageStore diagnostic on the returned database, so a
+// damaged store yields its intact paths instead of nothing. The error is
+// non-nil only when the file is unreadable or not a JSON object at all —
+// then the corrupt file is renamed to <path>.quarantine so the next run
+// starts clean instead of tripping over it again.
+func Salvage(path string) (*DB, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var raw struct {
+		Target      string                     `json:"target"`
+		BuiltAt     string                     `json:"built_at"`
+		Entries     map[string]json.RawMessage `json:"entries"`
+		Diagnostics json.RawMessage            `json:"diagnostics"`
+	}
+	if err := json.Unmarshal(b, &raw); err != nil {
+		if qerr := os.Rename(path, path+".quarantine"); qerr != nil {
+			return nil, fmt.Errorf("pathdb: salvage %s: %v (quarantine failed: %v)", path, err, qerr)
+		}
+		return nil, fmt.Errorf("pathdb: salvage %s: unrecoverable (%v); moved to %s.quarantine", path, err, path)
+	}
+	db := New(raw.Target)
+	db.BuiltAt = raw.BuiltAt
+	for _, name := range sortedKeys(raw.Entries) {
+		var e Entry
+		if err := json.Unmarshal(raw.Entries[name], &e); err != nil {
+			db.AddDiagnostic(guard.Diag(guard.StageStore, name,
+				fmt.Errorf("dropped corrupt entry: %v", err), true))
+			continue
+		}
+		db.Entries[name] = &e
+	}
+	if len(raw.Diagnostics) > 0 {
+		var diags []guard.Diagnostic
+		if err := json.Unmarshal(raw.Diagnostics, &diags); err != nil {
+			db.AddDiagnostic(guard.Diag(guard.StageStore, raw.Target,
+				fmt.Errorf("dropped corrupt diagnostics: %v", err), true))
+		} else {
+			db.Diagnostics = append(diags, db.Diagnostics...)
+		}
+	}
+	return db, nil
+}
+
+func sortedKeys(m map[string]json.RawMessage) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }

@@ -40,6 +40,7 @@ import (
 	"pallas/internal/cparse"
 	"pallas/internal/cpp"
 	"pallas/internal/difftool"
+	"pallas/internal/failpoint"
 	"pallas/internal/guard"
 	"pallas/internal/infer"
 	"pallas/internal/pathdb"
@@ -214,6 +215,10 @@ func (a *Analyzer) AnalyzeFile(path, specText string) (*Result, error) {
 // the result (Diagnostics recorded, Report.Degraded set, remaining healthy
 // work still done) instead of failing it.
 func (a *Analyzer) AnalyzeSource(name, src, specText string) (*Result, error) {
+	// Crash-test hook: inert unless a failpoint is armed (tests, chaos runs).
+	if err := failpoint.Hit(failpoint.PreParse, name); err != nil {
+		return nil, err
+	}
 	budget := guard.NewBudget(nil, guard.Limits{
 		Deadline:           a.cfg.Deadline,
 		MaxSteps:           a.cfg.MaxSteps,
@@ -285,6 +290,9 @@ func (a *Analyzer) AnalyzeSource(name, src, specText string) (*Result, error) {
 
 func (a *Analyzer) analyze(tu *cast.TranslationUnit, sp *spec.Spec, merged string,
 	budget *guard.Budget, diags []Diagnostic) (*Result, error) {
+	if err := failpoint.Hit(failpoint.PreExtract, tu.File); err != nil {
+		return nil, err
+	}
 	// Validate the checker selection before any (potentially expensive)
 	// path extraction happens.
 	var selected []checkers.Checker
