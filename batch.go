@@ -1,9 +1,6 @@
 package pallas
 
 import (
-	"crypto/sha256"
-	"encoding/binary"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -14,6 +11,8 @@ import (
 	"pallas/internal/failpoint"
 	"pallas/internal/guard"
 	"pallas/internal/journal"
+	"pallas/internal/metrics"
+	"pallas/internal/rcache"
 	"pallas/internal/report"
 )
 
@@ -29,19 +28,13 @@ type Unit struct {
 	Spec string
 }
 
-// Hash returns the unit's content hash (hex SHA-256 over name, source and
-// spec). The checkpoint journal keys resume decisions on it: a journal entry
+// Hash returns the unit's content hash — ContentHash over name, source and
+// spec. The checkpoint journal keys resume decisions on it: a journal entry
 // only lets a unit be skipped while its content is unchanged, so editing a
-// source or spec file automatically forces re-analysis.
+// source or spec file automatically forces re-analysis. (Result-cache keys
+// additionally cover the analyzer configuration; see Analyzer.CacheKey.)
 func (u Unit) Hash() string {
-	h := sha256.New()
-	for _, s := range []string{u.Name, u.Source, u.Spec} {
-		var n [8]byte
-		binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
-		h.Write(n[:])
-		h.Write([]byte(s))
-	}
-	return hex.EncodeToString(h.Sum(nil))
+	return ContentHash(u.Name, u.Source, u.Spec)
 }
 
 // UnitResult is the outcome of one batch item. Exactly one of the following
@@ -73,6 +66,9 @@ type UnitResult struct {
 	// set aside so the batch could complete; its journal entry is terminal,
 	// so resumed runs do not re-run it either.
 	Quarantined bool
+	// Cached reports that the unit's report was replayed from the result
+	// cache (BatchOptions.CacheDir) instead of being re-analyzed.
+	Cached bool
 }
 
 // BatchOptions configures AnalyzeBatch. The zero value reproduces plain
@@ -101,6 +97,20 @@ type BatchOptions struct {
 	// matches the unit's content hash, replaying the stored report instead
 	// of re-analyzing. Requires JournalPath.
 	Resume bool
+	// JournalGroupCommit opens the journal with batched fsyncs (see
+	// journal.Options.GroupCommit): durability per record is unchanged, but
+	// concurrent workers share fsyncs instead of paying one each.
+	JournalGroupCommit bool
+	// CacheDir, when non-empty, consults and populates the content-addressed
+	// result cache rooted at this directory: a unit whose cache key (name,
+	// source, spec, analyzer configuration — Analyzer.CacheKey) has a stored
+	// entry replays the cached report byte-identically instead of being
+	// analyzed. The same directory serves `pallas serve`, so a batch run
+	// warms the server and vice versa.
+	CacheDir string
+	// CacheBytes bounds the cache's memory tier (<= 0: rcache default).
+	// Only meaningful with CacheDir or Cache.
+	CacheBytes int64
 	// Sleep replaces time.Sleep between retry attempts; tests inject a
 	// recorder here. Nil means time.Sleep.
 	Sleep func(time.Duration)
@@ -122,6 +132,11 @@ type BatchStats struct {
 	Quarantined int
 	// Failed counts units with a terminal deterministic failure.
 	Failed int
+	// CacheHits counts units replayed from the result cache; CacheMisses
+	// counts units that had to be analyzed because no entry existed.
+	// Both stay zero when no cache is configured.
+	CacheHits   int
+	CacheMisses int
 	// JournalRecovered, JournalTornTail and JournalQuarantined echo what
 	// opening the journal had to repair (see journal.RecoveryReport).
 	JournalRecovered   int
@@ -165,7 +180,9 @@ func (a *Analyzer) AnalyzeBatch(units []Unit, opts BatchOptions) ([]UnitResult, 
 	var jr *journal.Journal
 	if opts.JournalPath != "" {
 		var err error
-		jr, err = journal.Open(opts.JournalPath)
+		jr, err = journal.OpenOptions(opts.JournalPath, journal.Options{
+			GroupCommit: opts.JournalGroupCommit,
+		})
 		if err != nil {
 			return nil, stats, err
 		}
@@ -177,6 +194,23 @@ func (a *Analyzer) AnalyzeBatch(units []Unit, opts BatchOptions) ([]UnitResult, 
 	} else if opts.Resume {
 		return nil, stats, errors.New("pallas: BatchOptions.Resume requires JournalPath")
 	}
+	var cache *rcache.Cache
+	if opts.CacheDir != "" {
+		var err error
+		cache, err = rcache.Open(rcache.Options{Dir: opts.CacheDir, MaxBytes: opts.CacheBytes})
+		if err != nil {
+			return nil, stats, err
+		}
+	}
+	// Batch mode shares the process-wide metrics registry with `pallas
+	// serve`, so a mixed deployment (CLI warming a server's cache) shows up
+	// in one scrape.
+	reg := metrics.Default
+	mAnalyzed := reg.Counter(MetricUnitsAnalyzed, "analysis pipeline executions (cache and resume misses)")
+	mDegraded := reg.Counter(MetricDegraded, "analyses that completed partially")
+	mQuarantined := reg.Counter(MetricQuarantined, "units quarantined after persistent transient failure")
+	mCacheHits := reg.Counter(MetricCacheHits, "result-cache hits")
+	mCacheMisses := reg.Counter(MetricCacheMisses, "result-cache misses")
 
 	out := make([]UnitResult, len(units))
 	var mu sync.Mutex
@@ -197,7 +231,22 @@ func (a *Analyzer) AnalyzeBatch(units []Unit, opts BatchOptions) ([]UnitResult, 
 				return nil
 			}
 		}
+		if cache != nil {
+			key := a.CacheKey(u)
+			if e, ok := cache.Get(key); ok {
+				replayCacheEntry(&out[i], e)
+				count(func(s *BatchStats) { s.CacheHits++ })
+				mCacheHits.Inc()
+				// A cache-replayed outcome is still checkpointed so -resume
+				// works against the journal alone.
+				journalOutcome(jr, &out[i], u.Name, hash, 0, out[i].Result, nil, false)
+				return nil
+			}
+			count(func(s *BatchStats) { s.CacheMisses++ })
+			mCacheMisses.Inc()
+		}
 		count(func(s *BatchStats) { s.Analyzed++ })
+		mAnalyzed.Inc()
 
 		transientFails := 0
 		for attempt := 1; ; attempt++ {
@@ -214,6 +263,17 @@ func (a *Analyzer) AnalyzeBatch(units []Unit, opts BatchOptions) ([]UnitResult, 
 				out[i].Diagnostics = res.Diagnostics
 				if attempt > 1 {
 					count(func(s *BatchStats) { s.Recovered++ })
+				}
+				if res.Degraded() {
+					mDegraded.Inc()
+				}
+				if cache != nil {
+					// Cache store failures degrade the unit's diagnostics,
+					// never the unit: the report was produced either way.
+					if cerr := storeCacheEntry(cache, a.CacheKey(u), u.Name, res); cerr != nil {
+						out[i].Diagnostics = append(out[i].Diagnostics,
+							guard.Diag(guard.StageStore, u.Name, cerr, true))
+					}
 				}
 				journalOutcome(jr, &out[i], u.Name, hash, attempt, res, nil, false)
 				return nil
@@ -253,6 +313,7 @@ func (a *Analyzer) AnalyzeBatch(units []Unit, opts BatchOptions) ([]UnitResult, 
 			if transient {
 				out[i].Quarantined = true
 				count(func(s *BatchStats) { s.Quarantined++ })
+				mQuarantined.Inc()
 			} else {
 				count(func(s *BatchStats) { s.Failed++ })
 			}
@@ -315,6 +376,56 @@ func journalOutcome(jr *journal.Journal, out *UnitResult, name, hash string, att
 	if jerr := jr.Append(rec); jerr != nil {
 		out.Diagnostics = append(out.Diagnostics,
 			guard.Diag(guard.StageStore, name, jerr, true))
+	}
+}
+
+// Shared metric names. Batch mode and `pallas serve` record into the same
+// process-wide registry under these names, so one /metrics scrape covers
+// both; docs/PROTOCOL.md documents the full set.
+const (
+	// MetricUnitsAnalyzed counts real analysis pipeline executions (cache
+	// and resume misses).
+	MetricUnitsAnalyzed = "pallas_units_analyzed_total"
+	// MetricDegraded counts analyses that completed partially.
+	MetricDegraded = "pallas_degraded_total"
+	// MetricQuarantined counts units quarantined after persistent transient
+	// failure.
+	MetricQuarantined = "pallas_quarantined_total"
+	// MetricCacheHits / MetricCacheMisses count result-cache outcomes.
+	MetricCacheHits   = "pallas_cache_hits_total"
+	MetricCacheMisses = "pallas_cache_misses_total"
+)
+
+// storeCacheEntry persists a completed analysis under its cache key. The
+// stored report bytes are the single source for replay, so hits are
+// byte-identical to the original marshaling.
+func storeCacheEntry(cache *rcache.Cache, key, unit string, res *Result) error {
+	if res == nil || res.Report == nil {
+		return nil
+	}
+	b, err := json.Marshal(res.Report)
+	if err != nil {
+		return err
+	}
+	return cache.Put(&rcache.Entry{
+		Key:         key,
+		Unit:        unit,
+		Report:      b,
+		Diagnostics: res.Diagnostics,
+		Degraded:    res.Report.Degraded,
+		Warnings:    len(res.Report.Warnings),
+	})
+}
+
+// replayCacheEntry reconstructs a UnitResult from a cache entry, mirroring
+// replayRecord for journal resumes.
+func replayCacheEntry(out *UnitResult, e *rcache.Entry) {
+	out.Cached = true
+	out.Attempts = 0
+	out.Diagnostics = e.Diagnostics
+	var rep report.Report
+	if json.Unmarshal(e.Report, &rep) == nil {
+		out.Result = &Result{Report: &rep, Diagnostics: e.Diagnostics}
 	}
 }
 

@@ -57,6 +57,8 @@ func main() {
 		err = cmdCorpus(os.Args[2:])
 	case "infer":
 		err = cmdInfer(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -77,10 +79,16 @@ func usage() {
 commands:
   check    [-spec file] [-checker name] [-json] [-html out]
            [-timeout d] [-keep-going] [-workers n]
-           [-journal file] [-resume] [-retries n] file.c...   run the checkers
+           [-journal file] [-resume] [-retries n] [-group-commit]
+           [-cache-dir dir] [-cache-bytes n] file.c...        run the checkers
            (exit: 0 clean, 1 warnings, 2 degraded, 3 fatal;
             -journal checkpoints per-file outcomes, -resume skips files the
-            journal already settled, -retries retries transient failures)
+            journal already settled, -retries retries transient failures,
+            -cache-dir replays unchanged files from the result cache)
+  serve    [-addr host:port] [-cache-dir dir] [-cache-bytes n]
+           [-workers n] [-timeout d]                     run the HTTP service
+           (POST /v1/analyze, GET /v1/report/{key}, /healthz, /metrics;
+            SIGTERM drains in-flight requests and exits 0)
   paths    -func name [-db out.json] file.c              print symbolic paths
   workflow -func name [-dot] file.c                      render the workflow
   diff     -fast f -slow g [-suggest] file.c             compare fast vs slow
@@ -104,6 +112,9 @@ func cmdCheck(args []string) error {
 	journalPath := fs.String("journal", "", "checkpoint per-file outcomes to this append-only journal (JSONL)")
 	resume := fs.Bool("resume", false, "skip files whose content hash already has a terminal journal entry (requires -journal)")
 	retries := fs.Int("retries", 0, "retry transient per-file failures up to n times with exponential backoff")
+	groupCommit := fs.Bool("group-commit", false, "batch journal fsyncs across workers (higher throughput, same durability)")
+	cacheDir := fs.String("cache-dir", "", "replay unchanged files from this persistent result cache (shared with serve)")
+	cacheBytes := fs.Int64("cache-bytes", 0, "memory result-cache budget in bytes (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -142,10 +153,13 @@ func cmdCheck(args []string) error {
 		units = append(units, pallas.Unit{Name: filepath.Base(path), Source: string(b), Spec: specText})
 	}
 	results, stats, err := pallas.New(cfg).AnalyzeBatch(units, pallas.BatchOptions{
-		Workers:     *workers,
-		Retries:     *retries,
-		JournalPath: *journalPath,
-		Resume:      *resume,
+		Workers:            *workers,
+		Retries:            *retries,
+		JournalPath:        *journalPath,
+		Resume:             *resume,
+		JournalGroupCommit: *groupCommit,
+		CacheDir:           *cacheDir,
+		CacheBytes:         *cacheBytes,
 	})
 	if err != nil {
 		return err
@@ -221,6 +235,10 @@ func cmdCheck(args []string) error {
 			fmt.Fprintf(os.Stderr, "pallas: journal: quarantined %d corrupt record(s) to %s.quarantine\n",
 				stats.JournalQuarantined, *journalPath)
 		}
+	}
+	if *cacheDir != "" {
+		fmt.Fprintf(os.Stderr, "pallas: cache %s: %d hit(s), %d miss(es)\n",
+			*cacheDir, stats.CacheHits, stats.CacheMisses)
 	}
 	if exit != 0 {
 		os.Exit(exit)

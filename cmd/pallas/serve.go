@@ -1,0 +1,87 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pallas"
+	"pallas/internal/server"
+)
+
+// cmdServe runs the long-lived analysis service: an HTTP/JSON API over the
+// same engine as `check`, fronted by the content-addressed result cache and
+// a Prometheus /metrics endpoint. SIGTERM/SIGINT starts a graceful drain —
+// /healthz flips to 503, new analyze requests are refused, in-flight ones
+// finish — and the process exits 0.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7777", "listen address")
+	cacheBytes := fs.Int64("cache-bytes", 0, "memory result-cache budget in bytes (0 = default)")
+	cacheDir := fs.String("cache-dir", "", "persistent result-cache directory (shared with `check -cache-dir`)")
+	workers := fs.Int("workers", 0, "concurrent analyses (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 0, "per-request analysis deadline; expiry degrades, not fails (0 = none)")
+	keepGoing := fs.Bool("keep-going", false, "degrade instead of failing on malformed input (matches `check -keep-going`)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "maximum time to wait for in-flight requests on shutdown")
+	var includeDirs []string
+	fs.Func("include-dir", "serve #include files from this directory (repeatable; match `check` inputs' directories to share cache entries)",
+		func(dir string) error {
+			includeDirs = append(includeDirs, dir)
+			return nil
+		})
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("serve: unexpected arguments %v", fs.Args())
+	}
+
+	srv, err := server.New(server.Config{
+		Analyzer: pallas.Config{
+			Deadline:    *timeout,
+			KeepGoing:   *keepGoing,
+			IncludeDirs: includeDirs,
+		},
+		Workers:    *workers,
+		CacheBytes: *cacheBytes,
+		CacheDir:   *cacheDir,
+	})
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// Drain on SIGTERM/SIGINT: stop advertising readiness, refuse new
+	// analyses, let http.Server.Shutdown hold the listener open for
+	// in-flight requests, then exit 0.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, os.Interrupt)
+	drained := make(chan error, 1)
+	go func() {
+		sig := <-sigs
+		fmt.Fprintf(os.Stderr, "pallas: serve: %v received, draining (in-flight: %d)\n",
+			sig, srv.InFlight())
+		srv.StartDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		drained <- hs.Shutdown(ctx)
+	}()
+
+	fmt.Fprintf(os.Stderr, "pallas: serving on http://%s (cache dir %q)\n", *addr, *cacheDir)
+	if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if err := <-drained; err != nil {
+		return fmt.Errorf("serve: drain incomplete: %w", err)
+	}
+	st := srv.Cache().Stats()
+	fmt.Fprintf(os.Stderr, "pallas: serve: drained cleanly (%d analyses, %d cache hits)\n",
+		st.Computes, st.Hits)
+	return nil
+}

@@ -1,0 +1,250 @@
+package main
+
+// End-to-end proof of serving mode over the real binary: a `pallas serve`
+// process answers a cold POST by analyzing (slowed by an armed sleep
+// failpoint), answers the identical second POST byte-identically from cache
+// at a fraction of the latency, exports exactly one miss and one hit on
+// /metrics, and exits 0 on SIGTERM after finishing its in-flight request.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// freePort reserves an ephemeral port and releases it for the server under
+// test (small race window, harmless in CI).
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// startServe launches the built binary's serve command and waits for
+// /healthz to answer.
+func startServe(t *testing.T, env []string, args ...string) (*exec.Cmd, string, *bytes.Buffer) {
+	t.Helper()
+	bin := buildPallas(t)
+	addr := freePort(t)
+	cmd := exec.Command(bin, append([]string{"serve", "-addr", addr}, args...)...)
+	cmd.Env = append(os.Environ(), env...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	url := "http://" + addr
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			return cmd, url, &stderr
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("serve never became healthy; stderr:\n%s", stderr.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+type analyzeReply struct {
+	Key       string          `json:"key"`
+	Cache     string          `json:"cache"`
+	Warnings  int             `json:"warnings"`
+	Report    json.RawMessage `json:"report"`
+	ElapsedMS float64         `json:"elapsed_ms"`
+}
+
+func post(t *testing.T, url, name string) (int, analyzeReply) {
+	t.Helper()
+	body, _ := json.Marshal(map[string]string{
+		"name": name,
+		"source": `
+int fast_path(int mode)
+{
+	if (mode == 0) {
+		mode = 1;
+		return 1;
+	}
+	return 0;
+}
+`,
+		"spec": "fastpath fast_path\nimmutable mode\n",
+	})
+	resp, err := http.Post(url+"/v1/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var out analyzeReply
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatalf("bad reply %s: %v", raw, err)
+		}
+	}
+	return resp.StatusCode, out
+}
+
+// TestServeE2EColdWarmMetricsAndDrain is the issue's acceptance run.
+func TestServeE2EColdWarmMetricsAndDrain(t *testing.T) {
+	// The sleep failpoint makes real analysis cost ~200ms, so the cache-hit
+	// speedup assertion is deterministic rather than a timing lottery.
+	cmd, url, stderr := startServe(t,
+		[]string{"PALLAS_FAILPOINTS=pre-parse=sleep:200ms"},
+		"-cache-dir", t.TempDir())
+
+	code, cold := post(t, url, "e2e.c")
+	if code != http.StatusOK || cold.Cache != "miss" || cold.Warnings == 0 {
+		t.Fatalf("cold: code=%d reply=%+v", code, cold)
+	}
+	code, warm := post(t, url, "e2e.c")
+	if code != http.StatusOK || warm.Cache != "hit" {
+		t.Fatalf("warm: code=%d cache=%q", code, warm.Cache)
+	}
+	if !bytes.Equal(cold.Report, warm.Report) {
+		t.Fatalf("cache hit not byte-identical\n--- cold ---\n%s\n--- warm ---\n%s",
+			cold.Report, warm.Report)
+	}
+	if warm.ElapsedMS*10 > cold.ElapsedMS {
+		t.Fatalf("cache hit not >=10x faster: cold %.2fms, warm %.2fms",
+			cold.ElapsedMS, warm.ElapsedMS)
+	}
+
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"pallas_cache_misses_total 1\n",
+		"pallas_cache_hits_total 1\n",
+		"pallas_units_analyzed_total 1\n",
+		"pallas_requests_total 2\n",
+	} {
+		if !strings.Contains(string(mb), want) {
+			t.Errorf("/metrics missing %q\n%s", want, mb)
+		}
+	}
+
+	// Park a distinct unit in flight (200ms of injected analysis), SIGTERM
+	// mid-request, and require: the in-flight request completes, and the
+	// process exits 0.
+	inflight := make(chan int, 1)
+	go func() {
+		c, _ := post(t, url, "drain.c")
+		inflight <- c
+	}()
+	time.Sleep(60 * time.Millisecond) // inside the 200ms analysis window
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := <-inflight; code != http.StatusOK {
+		t.Fatalf("in-flight request during drain: code=%d", code)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("serve exited non-zero after SIGTERM: %v\nstderr:\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "drained cleanly") {
+		t.Errorf("missing drain notice in stderr:\n%s", stderr.String())
+	}
+}
+
+// TestServeCheckSharedCache proves the CLI and the server share one
+// persistent cache: `pallas check -cache-dir` warms it, then a server over
+// the same directory (started with the CLI-equivalent analyzer config via
+// -include-dir) answers the equivalent POST as a hit without analyzing.
+func TestServeCheckSharedCache(t *testing.T) {
+	bin := buildPallas(t)
+	dir := t.TempDir()
+	cacheDir := dir + "/cache"
+	src := dir + "/shared.c"
+	spec := dir + "/shared.pls"
+	source := `
+int fast_path(int mode)
+{
+	if (mode == 0) {
+		mode = 1;
+		return 1;
+	}
+	return 0;
+}
+`
+	specText := "fastpath fast_path\nimmutable mode\n"
+	if err := os.WriteFile(src, []byte(source), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(spec, []byte(specText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func() string {
+		cmd := exec.Command(bin, "check", "-spec", spec, "-cache-dir", cacheDir, src)
+		var errBuf bytes.Buffer
+		cmd.Stderr = &errBuf
+		err := cmd.Run()
+		var ee *exec.ExitError
+		// Exit 1 is expected: the unit carries a seeded warning.
+		if err != nil && (!isExitError(err, &ee) || ee.ExitCode() != 1) {
+			t.Fatalf("check: %v\n%s", err, errBuf.String())
+		}
+		return errBuf.String()
+	}
+	if got := check(); !strings.Contains(got, "0 hit(s), 1 miss(es)") {
+		t.Fatalf("cold check stderr: %s", got)
+	}
+	if got := check(); !strings.Contains(got, "1 hit(s), 0 miss(es)") {
+		t.Fatalf("warm check stderr: %s", got)
+	}
+
+	// `check` folds each input's directory into the analyzer config, so the
+	// server must mirror it with -include-dir for the cache keys to align.
+	_, url, _ := startServe(t, nil, "-cache-dir", cacheDir, "-include-dir", dir)
+	body, _ := json.Marshal(map[string]string{
+		"name": "shared.c", "source": source, "spec": specText,
+	})
+	resp, err := http.Post(url+"/v1/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out analyzeReply
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Cache != "hit" {
+		t.Fatalf("server over check's cache dir answered %q, want hit", out.Cache)
+	}
+	if out.Warnings == 0 {
+		t.Fatal("shared entry lost its seeded warning")
+	}
+}
+
+func isExitError(err error, out **exec.ExitError) bool {
+	ee, ok := err.(*exec.ExitError)
+	if ok {
+		*out = ee
+	}
+	return ok
+}

@@ -1,0 +1,79 @@
+package pallas
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ContentHash is the canonical Pallas content hash: the hex SHA-256 of the
+// given parts, each length-framed (8-byte little-endian length, then the
+// bytes) so part boundaries cannot be confused. It is the single hashing
+// primitive behind every persisted key in the system:
+//
+//   - checkpoint-journal resume keys: ContentHash(name, source, spec)
+//     (the historical Unit.Hash format — journals written by earlier
+//     versions keep resuming);
+//   - result-cache keys: ContentHash(name, source, spec, fingerprint) where
+//     fingerprint is the analyzer configuration rendered by
+//     Config.fingerprint.
+//
+// The format is pinned by TestContentHashFormatPinned; changing it silently
+// invalidates every persisted journal and cache.
+func ContentHash(parts ...string) string {
+	h := sha256.New()
+	for _, s := range parts {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+		h.Write(n[:])
+		h.Write([]byte(s))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// CacheKey returns the content-addressed result-cache key for analyzing u
+// under this analyzer's configuration. Two analyzers produce the same key
+// iff they would produce the same report: the key covers the unit's name,
+// source and spec plus every configuration field that can change analysis
+// output (checker selection, defines, in-memory includes, budgets, limits).
+//
+// On-disk include directories contribute only their names, not their file
+// contents — editing a header served from IncludeDirs does not change the
+// key. Server deployments use Config.Includes (fully covered); CLI users
+// who edit shared headers should clear the cache directory.
+func (a *Analyzer) CacheKey(u Unit) string {
+	return ContentHash(u.Name, u.Source, u.Spec, a.cfg.fingerprint())
+}
+
+// fingerprint renders every analysis-relevant configuration field as a
+// deterministic string for cache keying. Fields that cannot change a report
+// (worker counts, sleep hooks) are deliberately absent.
+func (c Config) fingerprint() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "v1|paths=%d|visits=%d|inline=%d|deadline=%s|macros=%d|steps=%d|keepgoing=%t",
+		c.MaxPaths, c.MaxBlockVisits, c.InlineDepth, c.Deadline,
+		c.MaxMacroExpansions, c.MaxSteps, c.KeepGoing)
+	sb.WriteString("|checkers=")
+	sb.WriteString(strings.Join(c.Checkers, ","))
+	sb.WriteString("|defines=")
+	for _, k := range mapKeys(c.Defines) {
+		fmt.Fprintf(&sb, "%s=%s;", k, c.Defines[k])
+	}
+	sb.WriteString("|dirs=")
+	sb.WriteString(strings.Join(c.IncludeDirs, ","))
+	// In-memory includes are content: hash each file body so a header edit
+	// changes the key. Hashing (not inlining) keeps fingerprints short.
+	sb.WriteString("|includes=")
+	names := make([]string, 0, len(c.Includes))
+	for k := range c.Includes {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(&sb, "%s=%s;", k, ContentHash(c.Includes[k]))
+	}
+	return sb.String()
+}

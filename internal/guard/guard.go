@@ -35,6 +35,8 @@ const (
 	// StageStore covers persistence: path-database saves/loads and the
 	// checkpoint journal.
 	StageStore Stage = "store"
+	// StageServe covers request handling in the analysis server.
+	StageServe Stage = "serve"
 )
 
 // Diagnostic is a structured record of a failure or degradation in one

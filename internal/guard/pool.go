@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Pool runs fn(i) for every i in [0, n) on a bounded worker pool and returns
@@ -44,3 +45,42 @@ func Pool(n, workers int, fn func(i int) error) []error {
 	wg.Wait()
 	return errs
 }
+
+// Gate is the long-lived admission pool behind the analysis server: where
+// Pool runs a known batch to completion, a Gate bounds how many units of
+// work from an open-ended request stream run concurrently. Each admitted
+// unit runs under the same panic isolation as Pool items, so a hostile
+// request can slow its own slot but never take down the process or starve
+// the gate. The zero Gate is not usable; call NewGate.
+type Gate struct {
+	sem      chan struct{}
+	inflight atomic.Int64
+}
+
+// NewGate returns a gate admitting at most workers concurrent units;
+// workers <= 0 means GOMAXPROCS.
+func NewGate(workers int) *Gate {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Gate{sem: make(chan struct{}, workers)}
+}
+
+// Do blocks until a slot frees, then runs fn panic-isolated (a panic
+// surfaces as a *PanicError, as with Protect). The slot is released when fn
+// returns.
+func (g *Gate) Do(stage Stage, unit string, fn func() error) error {
+	g.sem <- struct{}{}
+	g.inflight.Add(1)
+	defer func() {
+		g.inflight.Add(-1)
+		<-g.sem
+	}()
+	return Protect(stage, unit, fn)
+}
+
+// InFlight returns the number of units currently admitted.
+func (g *Gate) InFlight() int64 { return g.inflight.Load() }
+
+// Cap returns the gate's concurrency bound.
+func (g *Gate) Cap() int { return cap(g.sem) }

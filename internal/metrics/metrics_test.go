@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pallas_requests_total", "requests")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("pallas_requests_total", "requests"); again != c {
+		t.Fatal("re-registration must return the same counter")
+	}
+
+	g := r.Gauge("pallas_in_flight", "in flight")
+	g.Set(3)
+	g.Add(-1)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %d, want 2", got)
+	}
+}
+
+func TestHistogramBucketsAndSum(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("pallas_request_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 56.05 {
+		t.Fatalf("sum = %v, want 56.05", h.Sum())
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE pallas_request_seconds histogram",
+		`pallas_request_seconds_bucket{le="0.1"} 1`,
+		`pallas_request_seconds_bucket{le="1"} 3`,
+		`pallas_request_seconds_bucket{le="10"} 4`,
+		`pallas_request_seconds_bucket{le="+Inf"} 5`,
+		"pallas_request_seconds_sum 56.05",
+		"pallas_request_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusCountersAndGauges(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "the a counter").Add(7)
+	r.Gauge("b", "the b gauge").Set(-2)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP a_total the a counter",
+		"# TYPE a_total counter",
+		"a_total 7",
+		"# TYPE b gauge",
+		"b -2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Registration order is stable: a before b.
+	if strings.Index(out, "a_total 7") > strings.Index(out, "b -2") {
+		t.Errorf("exposition order not registration order:\n%s", out)
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "", nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %d, want 0", g.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}

@@ -1,0 +1,72 @@
+package rcache
+
+// Cache micro-benchmarks: memory-tier hit, disk-tier promotion, and insert
+// with LRU pressure. Run via the CI bench job (`-bench 'Serve|Cache'`).
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// BenchmarkCacheMemHit measures the serving fast path: a Get answered by
+// the memory tier.
+func BenchmarkCacheMemHit(b *testing.B) {
+	c, err := Open(Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := key64("bench")
+	if err := c.Put(entry(key, "b.c", `{"target":"b.c"}`)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(key); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+// BenchmarkCacheDiskHit measures a cold lookup served by the persistent
+// tier (memory tier emptied each time by reopening the cache).
+func BenchmarkCacheDiskHit(b *testing.B) {
+	dir := b.TempDir()
+	seed, err := Open(Options{Dir: dir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := key64("disk")
+	if err := seed.Put(entry(key, "d.c", `{"target":"d.c"}`)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := Open(Options{Dir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := c.Get(key); !ok {
+			b.Fatal("disk miss")
+		}
+	}
+}
+
+// BenchmarkCachePutEvict measures inserts under byte-bound LRU pressure:
+// every Put evicts an older entry.
+func BenchmarkCachePutEvict(b *testing.B) {
+	c, err := Open(Options{MaxBytes: 64 << 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	report := `{"pad":"` + strings.Repeat("x", 4096) + `"}`
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Put(entry(key64(fmt.Sprintf("p%d", i)), "p.c", report)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,347 @@
+// Package rcache is the content-addressed analysis result cache behind
+// `pallas serve` and `pallas check -cache-dir`. The paper treats path
+// extraction as a one-time cost; rcache generalizes that to the whole
+// pipeline: a completed report is stored under the content hash of
+// everything that produced it (unit name, source, spec, analyzer
+// configuration — see pallas.ContentHash / Analyzer.CacheKey), so an
+// identical request is answered byte-identically without re-analysis.
+//
+// A cache has up to two tiers:
+//
+//   - a memory tier: an LRU bounded by total entry bytes, always present;
+//   - a persistent tier: one JSON file per entry under a directory,
+//     written with the same atomic discipline as pathdb.Save
+//     (temp file + fsync + rename), shared between the CLI and the server
+//     so a warm `pallas check` re-run and a warm server answer from the
+//     same store. Corrupt or mismatched files are ignored and removed, never
+//     trusted.
+//
+// GetOrCompute collapses concurrent identical requests (singleflight): when
+// ten clients POST the same unit at once, one analysis runs and ten
+// responses are served from it.
+package rcache
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"pallas/internal/guard"
+)
+
+// Entry is one cached analysis outcome. Report carries the exact marshaled
+// report bytes, so cache hits replay byte-identical output.
+type Entry struct {
+	// Key is the content-address (hex SHA-256) the entry is stored under.
+	Key string `json:"key"`
+	// Unit echoes the unit name the entry was produced from (debugging aid;
+	// the key is the identity).
+	Unit string `json:"unit"`
+	// Report is the marshaled report.Report JSON.
+	Report json.RawMessage `json:"report"`
+	// Diagnostics preserves the degradation record of the producing run.
+	Diagnostics []guard.Diagnostic `json:"diagnostics,omitempty"`
+	// Degraded mirrors Report.Degraded for consumers that do not unmarshal.
+	Degraded bool `json:"degraded,omitempty"`
+	// Warnings counts the warnings in Report.
+	Warnings int `json:"warnings"`
+}
+
+// size approximates the entry's memory footprint for the LRU byte bound.
+func (e *Entry) size() int64 {
+	n := int64(len(e.Key) + len(e.Unit) + len(e.Report) + 64)
+	for _, d := range e.Diagnostics {
+		n += int64(len(d.Unit) + len(d.Err) + len(d.Stage) + 32)
+	}
+	return n
+}
+
+// Options configures Open.
+type Options struct {
+	// MaxBytes bounds the memory tier by total entry bytes; <= 0 means
+	// DefaultMaxBytes. A single entry larger than the bound is still cached
+	// (and immediately becomes the only resident entry).
+	MaxBytes int64
+	// Dir, when non-empty, enables the persistent tier rooted at this
+	// directory (created if missing). Entries live at Dir/<k0k1>/<key>.json.
+	Dir string
+}
+
+// DefaultMaxBytes is the default memory-tier bound (64 MiB).
+const DefaultMaxBytes = 64 << 20
+
+// Stats is a point-in-time snapshot of cache activity.
+type Stats struct {
+	// Hits counts lookups answered from either tier (or a singleflight
+	// leader's fresh result shared with followers).
+	Hits int64
+	// Misses counts lookups that found nothing and (for GetOrCompute) ran
+	// the compute function.
+	Misses int64
+	// MemHits and DiskHits split Hits by serving tier.
+	MemHits  int64
+	DiskHits int64
+	// Shared counts GetOrCompute callers that piggybacked on a concurrent
+	// identical computation (singleflight followers); included in Hits.
+	Shared int64
+	// Computes counts executions of GetOrCompute's compute function — the
+	// number of real analyses the cache could not avoid.
+	Computes int64
+	// Evictions counts memory-tier LRU evictions.
+	Evictions int64
+	// Entries and Bytes describe the current memory tier.
+	Entries int
+	Bytes   int64
+}
+
+// call is one in-flight singleflight computation.
+type call struct {
+	wg    sync.WaitGroup
+	entry *Entry
+	err   error
+}
+
+// Cache is a two-tier content-addressed result cache. All methods are safe
+// for concurrent use.
+type Cache struct {
+	dir      string
+	maxBytes int64
+
+	mu     sync.Mutex
+	lru    *list.List // front = most recent; values are *Entry
+	byKey  map[string]*list.Element
+	bytes  int64
+	flight map[string]*call
+	stats  Stats
+}
+
+// Open returns a cache with the given options, creating the persistent
+// directory when one is configured.
+func Open(opts Options) (*Cache, error) {
+	if opts.MaxBytes <= 0 {
+		opts.MaxBytes = DefaultMaxBytes
+	}
+	if opts.Dir != "" {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("rcache: open %s: %w", opts.Dir, err)
+		}
+	}
+	return &Cache{
+		dir:      opts.Dir,
+		maxBytes: opts.MaxBytes,
+		lru:      list.New(),
+		byKey:    map[string]*list.Element{},
+		flight:   map[string]*call{},
+	}, nil
+}
+
+// Get returns the entry for key, consulting the memory tier then the
+// persistent tier (a disk hit is promoted into memory).
+func (c *Cache) Get(key string) (*Entry, bool) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.lru.MoveToFront(el)
+		c.stats.Hits++
+		c.stats.MemHits++
+		e := el.Value.(*Entry)
+		c.mu.Unlock()
+		return e, true
+	}
+	c.mu.Unlock()
+
+	if e := c.loadDisk(key); e != nil {
+		c.mu.Lock()
+		c.insertLocked(e)
+		c.stats.Hits++
+		c.stats.DiskHits++
+		c.mu.Unlock()
+		return e, true
+	}
+
+	c.mu.Lock()
+	c.stats.Misses++
+	c.mu.Unlock()
+	return nil, false
+}
+
+// Put stores an entry in the memory tier and, when configured, the
+// persistent tier. A persistence failure does not evict the memory entry;
+// it is returned for the caller to surface as a diagnostic.
+func (c *Cache) Put(e *Entry) error {
+	if e.Key == "" {
+		return fmt.Errorf("rcache: entry without key")
+	}
+	c.mu.Lock()
+	c.insertLocked(e)
+	c.mu.Unlock()
+	return c.storeDisk(e)
+}
+
+// GetOrCompute returns the entry for key, computing and caching it with fn
+// on a miss. Concurrent calls for the same key run fn once: the first
+// caller computes, the rest block and share the outcome (hit=true for
+// them). fn errors are not cached — every new caller after a failure
+// retries.
+func (c *Cache) GetOrCompute(key string, fn func() (*Entry, error)) (*Entry, bool, error) {
+	if e, ok := c.Get(key); ok {
+		return e, true, nil
+	}
+	c.mu.Lock()
+	if cl, ok := c.flight[key]; ok {
+		// Follower: someone is already computing this key. The Get above
+		// counted a miss for what is really a share; undo it so
+		// "misses == real analyses" stays true.
+		c.stats.Shared++
+		c.stats.Hits++
+		c.stats.Misses--
+		c.mu.Unlock()
+		cl.wg.Wait()
+		if cl.err != nil {
+			c.mu.Lock()
+			c.stats.Shared--
+			c.stats.Hits--
+			c.mu.Unlock()
+			return nil, false, cl.err
+		}
+		return cl.entry, true, nil
+	}
+	// Leader: compute, publish, wake the followers.
+	cl := &call{}
+	cl.wg.Add(1)
+	c.flight[key] = cl
+	c.stats.Computes++
+	c.mu.Unlock()
+
+	var perr error
+	cl.entry, cl.err = fn()
+	if cl.err == nil && cl.entry != nil {
+		if cl.entry.Key == "" {
+			cl.entry.Key = key
+		}
+		// The entry is served from memory regardless; a persistence failure
+		// is reported to the leader only (followers still get the entry).
+		perr = c.Put(cl.entry)
+	}
+	c.mu.Lock()
+	delete(c.flight, key)
+	c.mu.Unlock()
+	cl.wg.Done()
+	if cl.err != nil {
+		return cl.entry, false, cl.err
+	}
+	return cl.entry, false, perr
+}
+
+// insertLocked adds or refreshes an entry in the memory tier and evicts
+// from the LRU tail until the byte bound holds. c.mu must be held.
+func (c *Cache) insertLocked(e *Entry) {
+	if el, ok := c.byKey[e.Key]; ok {
+		c.bytes += e.size() - el.Value.(*Entry).size()
+		el.Value = e
+		c.lru.MoveToFront(el)
+	} else {
+		c.byKey[e.Key] = c.lru.PushFront(e)
+		c.bytes += e.size()
+	}
+	for c.bytes > c.maxBytes && c.lru.Len() > 1 {
+		tail := c.lru.Back()
+		old := tail.Value.(*Entry)
+		c.lru.Remove(tail)
+		delete(c.byKey, old.Key)
+		c.bytes -= old.size()
+		c.stats.Evictions++
+	}
+}
+
+// Stats returns a snapshot of cache activity.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.lru.Len()
+	s.Bytes = c.bytes
+	return s
+}
+
+// Len returns the number of memory-tier entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Bytes returns the memory tier's current byte footprint.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Dir returns the persistent tier's root ("" when memory-only).
+func (c *Cache) Dir() string { return c.dir }
+
+// diskPath shards entries by the first two key characters so one directory
+// never accumulates the whole corpus.
+func (c *Cache) diskPath(key string) string {
+	return filepath.Join(c.dir, key[:2], key+".json")
+}
+
+// loadDisk reads and validates a persistent entry; any damage (unreadable,
+// bad JSON, key mismatch — e.g. a file renamed by hand) returns nil and
+// removes the file so it is not re-parsed on every miss.
+func (c *Cache) loadDisk(key string) *Entry {
+	if c.dir == "" || len(key) < 3 {
+		return nil
+	}
+	b, err := os.ReadFile(c.diskPath(key))
+	if err != nil {
+		return nil
+	}
+	var e Entry
+	if json.Unmarshal(b, &e) != nil || e.Key != key || len(e.Report) == 0 {
+		os.Remove(c.diskPath(key))
+		return nil
+	}
+	return &e
+}
+
+// storeDisk atomically persists an entry: temp file in the final directory,
+// fsync, rename — the same crash discipline as pathdb.Save, so a kill
+// mid-store leaves either the old state or the complete new file, never a
+// torn entry.
+func (c *Cache) storeDisk(e *Entry) error {
+	if c.dir == "" || len(e.Key) < 3 {
+		return nil
+	}
+	path := c.diskPath(e.Key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("rcache: store: %w", err)
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("rcache: store %s: %w", e.Key, err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("rcache: store: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		return fmt.Errorf("rcache: store: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("rcache: store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("rcache: store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("rcache: store: %w", err)
+	}
+	return nil
+}

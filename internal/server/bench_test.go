@@ -1,0 +1,160 @@
+package server
+
+// Serving-mode benchmarks and the CI timing artifact. The micro-benchmarks
+// time one POST through the full HTTP + cache + engine stack (cold analyzes,
+// warm replays); TestServeBenchArtifact drives the whole synthetic corpus
+// cold then warm and writes BENCH_serve.json when PALLAS_BENCH_OUT is set.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"pallas/internal/corpus"
+	"pallas/internal/metrics"
+)
+
+func benchPost(b *testing.B, url string, req AnalyzeRequest) AnalyzeResponse {
+	b.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/v1/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out AnalyzeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil || resp.StatusCode != http.StatusOK {
+		b.Fatalf("analyze: status %d, err %v", resp.StatusCode, err)
+	}
+	return out
+}
+
+// BenchmarkServeAnalyzeCold measures a cache-missing POST: HTTP handling
+// plus one full analysis (a distinct unit per iteration).
+func BenchmarkServeAnalyzeCold(b *testing.B) {
+	s, err := New(Config{Metrics: metrics.NewRegistry()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := benchPost(b, ts.URL, AnalyzeRequest{
+			Name:   fmt.Sprintf("cold%d.c", i),
+			Source: strings.ReplaceAll(testSource, "fast_path", fmt.Sprintf("fast_%d", i)),
+			Spec:   strings.ReplaceAll(testSpec, "fast_path", fmt.Sprintf("fast_%d", i)),
+		})
+		if out.Cache != "miss" {
+			b.Fatalf("iteration %d: cache = %q", i, out.Cache)
+		}
+	}
+}
+
+// BenchmarkServeAnalyzeWarm measures a cache-hitting POST: HTTP handling
+// plus a memory-tier replay, no analysis.
+func BenchmarkServeAnalyzeWarm(b *testing.B) {
+	s, err := New(Config{Metrics: metrics.NewRegistry()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	req := AnalyzeRequest{Name: "warm.c", Source: testSource, Spec: testSpec}
+	benchPost(b, ts.URL, req) // prime the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := benchPost(b, ts.URL, req); out.Cache != "hit" {
+			b.Fatalf("iteration %d: cache = %q", i, out.Cache)
+		}
+	}
+}
+
+// serveBench is the BENCH_serve.json schema.
+type serveBench struct {
+	// Units is the corpus size driven through the server.
+	Units int `json:"units"`
+	// ColdMS and WarmMS are wall-clock totals for the cold (every unit
+	// analyzed) and warm (every unit replayed) passes.
+	ColdMS float64 `json:"cold_ms"`
+	WarmMS float64 `json:"warm_ms"`
+	// Speedup is ColdMS / WarmMS.
+	Speedup float64 `json:"speedup"`
+	// HitRate is warm-pass hits over warm-pass requests (1.0 when every
+	// replay came from cache).
+	HitRate float64 `json:"hit_rate"`
+}
+
+// TestServeBenchArtifact runs the full synthetic corpus through a server
+// twice and writes the cold-vs-warm timing artifact to $PALLAS_BENCH_OUT.
+// Without the variable it still runs (a cheap e2e smoke) but writes nothing.
+func TestServeBenchArtifact(t *testing.T) {
+	out := os.Getenv("PALLAS_BENCH_OUT")
+	if testing.Short() && out == "" {
+		t.Skip("short mode")
+	}
+	s, err := New(Config{Metrics: metrics.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := corpus.Generate().Cases
+	pass := func() (time.Duration, int) {
+		start := time.Now()
+		hits := 0
+		for _, c := range cases {
+			body, _ := json.Marshal(AnalyzeRequest{Name: c.File, Source: c.Source, Spec: c.Spec})
+			resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var r AnalyzeResponse
+			if err := json.NewDecoder(resp.Body).Decode(&r); err != nil || resp.StatusCode != http.StatusOK {
+				t.Fatalf("case %s: status %d, err %v", c.ID, resp.StatusCode, err)
+			}
+			resp.Body.Close()
+			if r.Cache == "hit" {
+				hits++
+			}
+		}
+		return time.Since(start), hits
+	}
+
+	cold, coldHits := pass()
+	warm, warmHits := pass()
+	if coldHits != 0 {
+		t.Fatalf("cold pass hit the cache %d times", coldHits)
+	}
+	if warmHits != len(cases) {
+		t.Fatalf("warm pass: %d/%d hits", warmHits, len(cases))
+	}
+	bench := serveBench{
+		Units:   len(cases),
+		ColdMS:  float64(cold.Microseconds()) / 1000,
+		WarmMS:  float64(warm.Microseconds()) / 1000,
+		Speedup: float64(cold.Nanoseconds()) / float64(warm.Nanoseconds()),
+		HitRate: float64(warmHits) / float64(len(cases)),
+	}
+	t.Logf("serve bench: %d units, cold %.1fms, warm %.1fms, %.1fx, hit rate %.2f",
+		bench.Units, bench.ColdMS, bench.WarmMS, bench.Speedup, bench.HitRate)
+	if out == "" {
+		return
+	}
+	data, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,359 @@
+// Package server is the analysis-as-a-service layer of Pallas: a
+// long-running HTTP/JSON front end over the batch engine, so a fleet of
+// clients (editors, CI jobs, commit bots) can share one warm process, one
+// result cache, and one set of metrics instead of each paying full
+// lex/preprocess/parse/path-extraction cost per invocation.
+//
+// Endpoints:
+//
+//	POST /v1/analyze       analyze one unit (source + spec); cached
+//	GET  /v1/report/{key}  fetch a cached result by content hash
+//	GET  /healthz          liveness/readiness (503 while draining)
+//	GET  /metrics          Prometheus text exposition
+//
+// Every analysis runs on a bounded guard.Gate under the configured
+// per-request budgets with the engine's degradation semantics: a hostile
+// unit can exhaust its own budget or crash its own slot (surfacing as a
+// degraded result or a 4xx/5xx for that request), but it cannot take down
+// or starve the server. Identical concurrent requests are collapsed by the
+// cache's singleflight, so a thundering herd of one unit costs one
+// analysis.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"pallas"
+	"pallas/internal/guard"
+	"pallas/internal/metrics"
+	"pallas/internal/rcache"
+)
+
+// Server-specific metric names; the cache/analysis counters are the shared
+// pallas.Metric* names, so batch and serve activity land in one registry.
+const (
+	// MetricRequests counts accepted /v1/analyze requests.
+	MetricRequests = "pallas_requests_total"
+	// MetricRequestErrors counts /v1/analyze requests answered with an
+	// error status (bad input, overload, failed analysis).
+	MetricRequestErrors = "pallas_request_errors_total"
+	// MetricInFlight gauges requests currently being served.
+	MetricInFlight = "pallas_in_flight"
+	// MetricRequestSeconds is the /v1/analyze latency histogram.
+	MetricRequestSeconds = "pallas_request_seconds"
+)
+
+// DefaultMaxRequestBytes bounds an /v1/analyze body (16 MiB) — large enough
+// for any merged kernel translation unit in the corpus, small enough that a
+// hostile client cannot balloon the heap with one POST.
+const DefaultMaxRequestBytes = 16 << 20
+
+// Config configures New.
+type Config struct {
+	// Analyzer is the engine configuration every request runs under; its
+	// Deadline/MaxSteps/MaxMacroExpansions are the per-request budgets.
+	Analyzer pallas.Config
+	// Workers bounds concurrent analyses (not connections); <= 0 means
+	// GOMAXPROCS. Requests beyond the bound queue on the gate.
+	Workers int
+	// CacheBytes bounds the result cache's memory tier (<= 0: rcache
+	// default).
+	CacheBytes int64
+	// CacheDir, when non-empty, adds the persistent cache tier shared with
+	// `pallas check -cache-dir`.
+	CacheDir string
+	// Metrics receives the server's instruments; nil means metrics.Default.
+	Metrics *metrics.Registry
+	// MaxRequestBytes caps an analyze body; <= 0 means
+	// DefaultMaxRequestBytes.
+	MaxRequestBytes int64
+}
+
+// Server handles the HTTP API. Create with New, serve via Handler.
+type Server struct {
+	analyzer *pallas.Analyzer
+	cache    *rcache.Cache
+	gate     *guard.Gate
+	reg      *metrics.Registry
+	mux      *http.ServeMux
+	start    time.Time
+	maxBody  int64
+	draining atomic.Bool
+
+	mRequests    *metrics.Counter
+	mErrors      *metrics.Counter
+	mCacheHits   *metrics.Counter
+	mCacheMisses *metrics.Counter
+	mAnalyzed    *metrics.Counter
+	mDegraded    *metrics.Counter
+	gInFlight    *metrics.Gauge
+	hLatency     *metrics.Histogram
+}
+
+// New builds a server (opening the cache directory when configured).
+func New(cfg Config) (*Server, error) {
+	cache, err := rcache.Open(rcache.Options{MaxBytes: cfg.CacheBytes, Dir: cfg.CacheDir})
+	if err != nil {
+		return nil, err
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.Default
+	}
+	maxBody := cfg.MaxRequestBytes
+	if maxBody <= 0 {
+		maxBody = DefaultMaxRequestBytes
+	}
+	s := &Server{
+		analyzer: pallas.New(cfg.Analyzer),
+		cache:    cache,
+		gate:     guard.NewGate(cfg.Workers),
+		reg:      reg,
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+		maxBody:  maxBody,
+
+		mRequests:    reg.Counter(MetricRequests, "accepted analyze requests"),
+		mErrors:      reg.Counter(MetricRequestErrors, "analyze requests answered with an error"),
+		mCacheHits:   reg.Counter(pallas.MetricCacheHits, "result-cache hits"),
+		mCacheMisses: reg.Counter(pallas.MetricCacheMisses, "result-cache misses"),
+		mAnalyzed:    reg.Counter(pallas.MetricUnitsAnalyzed, "analysis pipeline executions (cache and resume misses)"),
+		mDegraded:    reg.Counter(pallas.MetricDegraded, "analyses that completed partially"),
+		gInFlight:    reg.Gauge(MetricInFlight, "requests currently being served"),
+		hLatency:     reg.Histogram(MetricRequestSeconds, "analyze latency in seconds", nil),
+	}
+	s.mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("/v1/report/", s.handleReport)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Handler returns the HTTP handler for the API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Cache exposes the result cache (tests and the CLI stats line).
+func (s *Server) Cache() *rcache.Cache { return s.cache }
+
+// InFlight reports how many analyses currently hold a gate slot.
+func (s *Server) InFlight() int64 { return s.gate.InFlight() }
+
+// StartDrain puts the server into draining mode: /healthz flips to 503 so
+// load balancers stop routing here, and new analyze requests are refused
+// with 503 while in-flight ones run to completion (http.Server.Shutdown
+// holds the listener open for them).
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// AnalyzeRequest is the /v1/analyze body.
+type AnalyzeRequest struct {
+	// Name identifies the unit in reports and diagnostics (a file name).
+	Name string `json:"name"`
+	// Source is the C source text.
+	Source string `json:"source"`
+	// Spec is the semantic specification document (may be empty when the
+	// source carries inline `// @pallas:` annotations).
+	Spec string `json:"spec,omitempty"`
+}
+
+// AnalyzeResponse is the /v1/analyze result.
+type AnalyzeResponse struct {
+	// Name echoes the request.
+	Name string `json:"name"`
+	// Key is the content-address of the result (usable with /v1/report).
+	Key string `json:"key"`
+	// Cache is "hit" when the report was served from the result cache
+	// (including singleflight shares), "miss" when this request ran the
+	// analysis.
+	Cache string `json:"cache"`
+	// Degraded mirrors the report's degraded flag.
+	Degraded bool `json:"degraded,omitempty"`
+	// Warnings counts report warnings.
+	Warnings int `json:"warnings"`
+	// Report is the full report JSON — byte-identical across hits of one
+	// entry.
+	Report json.RawMessage `json:"report"`
+	// Diagnostics carries the degradation record, if any.
+	Diagnostics []pallas.Diagnostic `json:"diagnostics,omitempty"`
+	// ElapsedMS is the server-side handling time.
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// errorBody is every non-2xx JSON payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	s.mErrors.Inc()
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.draining.Load() {
+		s.fail(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	s.mRequests.Inc()
+	s.gInFlight.Add(1)
+	defer func() {
+		s.gInFlight.Add(-1)
+		s.hLatency.Observe(time.Since(started).Seconds())
+	}()
+
+	var req AnalyzeRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.fail(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Name == "" {
+		req.Name = "unit.c"
+	}
+	if req.Source == "" {
+		s.fail(w, http.StatusBadRequest, "source is required")
+		return
+	}
+
+	unit := pallas.Unit{Name: req.Name, Source: req.Source, Spec: req.Spec}
+	key := s.analyzer.CacheKey(unit)
+	entry, hit, err := s.cache.GetOrCompute(key, func() (*rcache.Entry, error) {
+		return s.analyzeOne(unit, key)
+	})
+	if err != nil {
+		var pe *guard.PanicError
+		if errors.As(err, &pe) {
+			s.fail(w, http.StatusInternalServerError, "analysis crashed: %v", err)
+		} else {
+			s.fail(w, http.StatusUnprocessableEntity, "analysis failed: %v", err)
+		}
+		return
+	}
+	if hit {
+		s.mCacheHits.Inc()
+	} else {
+		s.mCacheMisses.Inc()
+	}
+	cacheState := "miss"
+	if hit {
+		cacheState = "hit"
+	}
+	writeJSON(w, http.StatusOK, AnalyzeResponse{
+		Name:        entry.Unit,
+		Key:         key,
+		Cache:       cacheState,
+		Degraded:    entry.Degraded,
+		Warnings:    entry.Warnings,
+		Report:      entry.Report,
+		Diagnostics: entry.Diagnostics,
+		ElapsedMS:   float64(time.Since(started).Microseconds()) / 1000,
+	})
+}
+
+// analyzeOne runs one real analysis on the gate — bounded concurrency,
+// panic isolation, per-request budgets — and packages it as a cache entry.
+func (s *Server) analyzeOne(unit pallas.Unit, key string) (*rcache.Entry, error) {
+	var res *pallas.Result
+	err := s.gate.Do(guard.StageServe, unit.Name, func() error {
+		var aerr error
+		res, aerr = s.analyzer.AnalyzeSource(unit.Name, unit.Source, unit.Spec)
+		return aerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.mAnalyzed.Inc()
+	if res.Degraded() {
+		s.mDegraded.Inc()
+	}
+	b, err := json.Marshal(res.Report)
+	if err != nil {
+		return nil, err
+	}
+	return &rcache.Entry{
+		Key:         key,
+		Unit:        unit.Name,
+		Report:      b,
+		Diagnostics: res.Diagnostics,
+		Degraded:    res.Report.Degraded,
+		Warnings:    len(res.Report.Warnings),
+	}, nil
+}
+
+// handleReport serves a cached entry by content hash: 200 with the entry
+// JSON, or 404 when neither tier holds it.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	key := strings.TrimPrefix(r.URL.Path, "/v1/report/")
+	if len(key) != 64 || strings.Trim(key, "0123456789abcdef") != "" {
+		s.fail(w, http.StatusBadRequest, "key must be 64 hex characters")
+		return
+	}
+	entry, ok := s.cache.Get(key)
+	if !ok {
+		s.fail(w, http.StatusNotFound, "no cached report for %s", key)
+		return
+	}
+	writeJSON(w, http.StatusOK, entry)
+}
+
+// healthBody is the /healthz payload.
+type healthBody struct {
+	Status        string `json:"status"`
+	InFlight      int64  `json:"in_flight"`
+	UptimeSeconds int64  `json:"uptime_seconds"`
+	Workers       int    `json:"workers"`
+	CacheEntries  int    `json:"cache_entries"`
+	CacheBytes    int64  `json:"cache_bytes"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status, code := "ok", http.StatusOK
+	if s.draining.Load() {
+		// Readiness flip: a draining instance answers but advertises that
+		// traffic should move elsewhere.
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, healthBody{
+		Status:        status,
+		InFlight:      s.gate.InFlight(),
+		UptimeSeconds: int64(time.Since(s.start).Seconds()),
+		Workers:       s.gate.Cap(),
+		CacheEntries:  s.cache.Len(),
+		CacheBytes:    s.cache.Bytes(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
