@@ -109,6 +109,7 @@ func cmdCheck(args []string) error {
 	timeout := fs.Duration("timeout", 0, "per-file analysis deadline; expiry degrades, not fails (0 = none)")
 	keepGoing := fs.Bool("keep-going", false, "keep analyzing past malformed input, reporting per-file diagnostics")
 	workers := fs.Int("workers", 0, "parallel workers for multiple files (0 = GOMAXPROCS)")
+	minWorkers := fs.Int("min-workers", 0, "self-pace: shrink parallelism toward this floor when per-file latency inflates (0 = fixed width)")
 	journalPath := fs.String("journal", "", "checkpoint per-file outcomes to this append-only journal (JSONL)")
 	resume := fs.Bool("resume", false, "skip files whose content hash already has a terminal journal entry (requires -journal)")
 	retries := fs.Int("retries", 0, "retry transient per-file failures up to n times with exponential backoff")
@@ -154,6 +155,7 @@ func cmdCheck(args []string) error {
 	}
 	results, stats, err := pallas.New(cfg).AnalyzeBatch(units, pallas.BatchOptions{
 		Workers:            *workers,
+		MinWorkers:         *minWorkers,
 		Retries:            *retries,
 		JournalPath:        *journalPath,
 		Resume:             *resume,

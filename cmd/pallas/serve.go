@@ -25,8 +25,16 @@ func cmdServe(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:7777", "listen address")
 	cacheBytes := fs.Int64("cache-bytes", 0, "memory result-cache budget in bytes (0 = default)")
 	cacheDir := fs.String("cache-dir", "", "persistent result-cache directory (shared with `check -cache-dir`)")
-	workers := fs.Int("workers", 0, "concurrent analyses (0 = GOMAXPROCS)")
-	timeout := fs.Duration("timeout", 0, "per-request analysis deadline; expiry degrades, not fails (0 = none)")
+	workers := fs.Int("workers", 0, "concurrent analyses (0 = GOMAXPROCS); ceiling of the adaptive limit")
+	minWorkers := fs.Int("min-workers", 0, "adaptive concurrency floor under sustained latency inflation (0 = 1; equal to -workers disables adaptation)")
+	maxQueue := fs.Int("max-queue", 0, "admission queue bound; beyond it requests are shed with 503 (0 = 256, negative = no queueing)")
+	rate := fs.Float64("rate", 0, "per-client request rate limit in req/s, keyed by X-Pallas-Client or remote host (0 = unlimited)")
+	rateBurst := fs.Float64("rate-burst", 0, "per-client burst size (0 = the rate)")
+	globalRate := fs.Float64("global-rate", 0, "server-wide request rate limit in req/s (0 = unlimited)")
+	globalBurst := fs.Float64("global-burst", 0, "server-wide burst size (0 = the rate)")
+	breakerThreshold := fs.Int("breaker-threshold", 0, "consecutive cache disk faults before tripping to memory-only mode (0 = 5, negative disables)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 0, "how long a tripped cache tier stays memory-only before probing recovery (0 = 5s)")
+	timeout := fs.Duration("timeout", 0, "per-request deadline covering admission wait and analysis; expiry sheds queued requests and degrades running ones (0 = none)")
 	keepGoing := fs.Bool("keep-going", false, "degrade instead of failing on malformed input (matches `check -keep-going`)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "maximum time to wait for in-flight requests on shutdown")
 	var includeDirs []string
@@ -48,9 +56,17 @@ func cmdServe(args []string) error {
 			KeepGoing:   *keepGoing,
 			IncludeDirs: includeDirs,
 		},
-		Workers:    *workers,
-		CacheBytes: *cacheBytes,
-		CacheDir:   *cacheDir,
+		Workers:          *workers,
+		MinWorkers:       *minWorkers,
+		MaxQueue:         *maxQueue,
+		RatePerClient:    *rate,
+		RateBurst:        *rateBurst,
+		GlobalRate:       *globalRate,
+		GlobalBurst:      *globalBurst,
+		CacheBytes:       *cacheBytes,
+		CacheDir:         *cacheDir,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
 	})
 	if err != nil {
 		return err

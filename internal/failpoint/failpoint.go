@@ -14,7 +14,8 @@
 // Spec grammar (terms separated by ';'):
 //
 //	term   = point "=" action [ "@" count ] [ "/" match ]
-//	point  = "pre-parse" | "pre-extract" | "pre-save" | "mid-save"
+//	point  = "pre-parse" | "pre-extract" | "pre-save" | "mid-save" |
+//	         "cache-load" | "cache-store"
 //	action = "error" | "panic" | "kill" | "sleep:" duration
 //
 // Examples:
@@ -49,6 +50,13 @@ const (
 	// write has reached the file but before the operation completes, so a
 	// "kill" here leaves a torn record / orphaned temp file behind.
 	MidSave = "mid-save"
+	// CacheLoad fires before a persistent result-cache read; an "error" here
+	// models a failing disk under the cache's read path.
+	CacheLoad = "cache-load"
+	// CacheStore fires before a persistent result-cache write; an "error"
+	// here models a full or failing disk under the cache's write path and is
+	// what trips the cache tier's circuit breaker in chaos tests.
+	CacheStore = "cache-store"
 )
 
 // EnvVar is the environment variable ArmFromEnv reads.
@@ -134,7 +142,7 @@ func parseTerm(term string) (*point, error) {
 		return nil, fmt.Errorf("failpoint: bad term %q (want point=action)", term)
 	}
 	switch name {
-	case PreParse, PreExtract, PreSave, MidSave:
+	case PreParse, PreExtract, PreSave, MidSave, CacheLoad, CacheStore:
 	default:
 		return nil, fmt.Errorf("failpoint: unknown point %q", name)
 	}

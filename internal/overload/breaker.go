@@ -1,0 +1,149 @@
+package overload
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed: the protected resource is trusted; calls flow through.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the resource is tripped; calls are skipped until the
+	// cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed; exactly one probe call is in
+	// flight to decide between closing and re-opening.
+	BreakerHalfOpen
+)
+
+// String renders the state for health endpoints and logs.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Breaker defaults.
+const (
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = 5 * time.Second
+)
+
+// Breaker is a three-state circuit breaker: Threshold consecutive failures
+// trip it open, Allow answers false (skip the resource) until Cooldown
+// elapses, then exactly one caller is admitted as a half-open probe — its
+// success closes the breaker, its failure re-opens it for another cooldown.
+// All methods are safe for concurrent use.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable clock for tests
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+	trips    int64
+}
+
+// NewBreaker returns a closed breaker; threshold <= 0 means
+// DefaultBreakerThreshold, cooldown <= 0 means DefaultBreakerCooldown.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether the protected call should be attempted. While open
+// it returns false; after the cooldown the first caller gets true (the
+// half-open probe) and concurrent callers keep getting false until the
+// probe's Success or Failure settles the state. Every Allow(true) must be
+// followed by exactly one Success or Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a successful protected call: it resets the failure count
+// and closes a half-open breaker.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	if b.state != BreakerClosed {
+		b.state = BreakerClosed
+	}
+	b.probing = false
+}
+
+// Failure records a failed protected call: a half-open probe failure or the
+// threshold-th consecutive closed-state failure trips the breaker open and
+// restarts the cooldown.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	if b.state == BreakerHalfOpen || (b.state == BreakerClosed && b.failures >= b.threshold) {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.trips++
+	}
+	b.probing = false
+}
+
+// Inconclusive releases a probe slot without a verdict: the protected call
+// neither succeeded nor failed — e.g. a cache lookup that found nothing to
+// read, which proves neither health nor fault. A half-open breaker stays
+// half-open and the next Allow grants a fresh probe; failure streaks are
+// untouched. Without this outlet a neutral probe would wedge the breaker
+// half-open forever.
+func (b *Breaker) Inconclusive() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+}
+
+// State returns the breaker's current position (an open breaker past its
+// cooldown still reads open until the next Allow flips it to half-open).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips returns how many times the breaker has opened.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

@@ -1,0 +1,155 @@
+// Package overload is the admission-control layer in front of the Pallas
+// analysis engine. The serving path (`pallas serve`) and self-paced batch
+// runs share four primitives:
+//
+//   - Limiter: an AIMD adaptive-concurrency controller that tracks observed
+//     latency against a moving baseline and shrinks or grows the effective
+//     concurrency limit between a configured floor and ceiling;
+//   - Controller: a bounded, deadline-aware admission queue in front of the
+//     worker gate — requests beyond the effective limit wait FIFO, are shed
+//     when the queue is full or their deadline cannot be met, and expired
+//     waiters are reaped before dispatch;
+//   - RateLimiter: per-client token buckets plus a global bucket, so one
+//     chatty client cannot monopolize the queue;
+//   - Breaker: a three-state circuit breaker (closed / open / half-open)
+//     used to trip the persistent cache tier to memory-only mode on disk
+//     faults instead of failing requests.
+//
+// The design goal is the ROADMAP's: under a burst of slow, adversarial
+// analyses the server sheds a bounded fraction of load with honest
+// Retry-After hints and keeps admitted-request latency near the unloaded
+// baseline, instead of queueing unboundedly and blowing every deadline.
+package overload
+
+import (
+	"sync"
+	"time"
+)
+
+// Limiter defaults.
+const (
+	// DefaultWindow is how many latency observations are accumulated before
+	// each limit adjustment decision.
+	DefaultWindow = 8
+	// DefaultTolerance is how far recent latency may rise above the baseline
+	// (as a ratio) before the limit is multiplicatively decreased.
+	DefaultTolerance = 2.0
+	// decreaseFactor is the multiplicative-decrease applied when recent
+	// latency exceeds tolerance × baseline.
+	decreaseFactor = 0.75
+	// baselineDecay lets the latency floor slowly forget, so a permanently
+	// slower workload re-anchors the baseline instead of pinning the limit
+	// at the floor forever. Applied per observation.
+	baselineDecay = 1.001
+	// recentAlpha is the EWMA weight of the newest sample in the fast
+	// (recent) latency estimate.
+	recentAlpha = 0.3
+)
+
+// Limiter is an AIMD (additive-increase / multiplicative-decrease) adaptive
+// concurrency limiter. Feed it one Observe per completed request; read the
+// current effective limit with Limit. All methods are safe for concurrent
+// use.
+//
+// The baseline is a decayed minimum of observed latency — an estimate of
+// what one request costs on an unloaded system. While recent latency stays
+// within Tolerance × baseline the limit creeps up by one per window toward
+// the ceiling; when it exceeds the tolerance the limit is cut
+// multiplicatively toward the floor. The limit starts at the ceiling, so an
+// unloaded system behaves exactly like a fixed-width pool.
+type Limiter struct {
+	min, max  int
+	window    int
+	tolerance float64
+
+	mu       sync.Mutex
+	limit    float64
+	baseline float64 // decayed-minimum latency, seconds; 0 until first sample
+	recent   float64 // fast EWMA of latency, seconds
+	samples  int     // observations since the last adjustment
+}
+
+// NewLimiter returns a limiter adapting between min and max concurrent
+// units. min is clamped to [1, max]; max must be >= 1. The effective limit
+// starts at max.
+func NewLimiter(min, max int) *Limiter {
+	if max < 1 {
+		max = 1
+	}
+	if min < 1 {
+		min = 1
+	}
+	if min > max {
+		min = max
+	}
+	return &Limiter{
+		min:       min,
+		max:       max,
+		window:    DefaultWindow,
+		tolerance: DefaultTolerance,
+		limit:     float64(max),
+	}
+}
+
+// Observe records one completed request's service latency and, once per
+// window, adjusts the effective limit.
+func (l *Limiter) Observe(latency time.Duration) {
+	sec := latency.Seconds()
+	if sec < 0 {
+		sec = 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.baseline == 0 || sec < l.baseline {
+		l.baseline = sec
+	} else {
+		l.baseline *= baselineDecay
+	}
+	if l.recent == 0 {
+		l.recent = sec
+	} else {
+		l.recent = l.recent*(1-recentAlpha) + sec*recentAlpha
+	}
+	l.samples++
+	if l.samples < l.window {
+		return
+	}
+	l.samples = 0
+	if l.baseline > 0 && l.recent > l.baseline*l.tolerance {
+		l.limit *= decreaseFactor
+		if l.limit < float64(l.min) {
+			l.limit = float64(l.min)
+		}
+	} else if l.limit < float64(l.max) {
+		l.limit++
+		if l.limit > float64(l.max) {
+			l.limit = float64(l.max)
+		}
+	}
+}
+
+// Limit returns the current effective concurrency limit, in [min, max].
+func (l *Limiter) Limit() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := int(l.limit)
+	if n < l.min {
+		n = l.min
+	}
+	return n
+}
+
+// Max returns the limiter's ceiling (the configured worker count).
+func (l *Limiter) Max() int { return l.max }
+
+// Min returns the limiter's floor.
+func (l *Limiter) Min() int { return l.min }
+
+// RecentLatency returns the fast latency estimate in seconds (0 before the
+// first observation). The admission controller uses it for Retry-After
+// estimates.
+func (l *Limiter) RecentLatency() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.recent
+}

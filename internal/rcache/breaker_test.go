@@ -1,0 +1,189 @@
+package rcache
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"pallas/internal/failpoint"
+	"pallas/internal/overload"
+)
+
+// TestBreakerTripsToMemoryOnlyAndRecovers drives the persistent tier
+// through the full breaker cycle with injected disk faults: consecutive
+// store failures trip it open (entries keep being served from memory, disk
+// untouched), the cooldown admits a half-open probe, and a successful probe
+// restores persistence.
+func TestBreakerTripsToMemoryOnlyAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(Options{Dir: dir, BreakerThreshold: 3, BreakerCooldown: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.TierHealth(); got != "closed" {
+		t.Fatalf("initial tier health = %q, want closed", got)
+	}
+
+	// Every store fails at the disk.
+	if err := failpoint.Arm("cache-store=error"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.Disarm()
+
+	for i := 0; i < 3; i++ {
+		k := key64(fmt.Sprintf("f%d", i))
+		err := c.Put(entry(k, "u.c", `{"x":1}`))
+		if !errors.Is(err, ErrPersist) {
+			t.Fatalf("put %d: err = %v, want ErrPersist", i, err)
+		}
+		if !errors.Is(err, failpoint.ErrInjected) {
+			t.Fatalf("put %d must preserve the underlying cause, got %v", i, err)
+		}
+		// The memory tier still serves the entry.
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("put %d: entry lost from memory tier", i)
+		}
+	}
+	if got := c.TierHealth(); got != "open" {
+		t.Fatalf("tier health after %d faults = %q, want open", 3, got)
+	}
+
+	// Open breaker: stores are skipped (nil error, nothing written, no new
+	// faults), so a failing disk costs nothing per request.
+	k := key64("ee")
+	if err := c.Put(entry(k, "u.c", `{"x":2}`)); err != nil {
+		t.Fatalf("open-breaker put returned %v, want nil (skipped)", err)
+	}
+	st := c.Stats()
+	if st.DiskFaults != 3 || st.BreakerSkips == 0 || st.BreakerTrips != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BreakerState != "open" {
+		t.Fatalf("stats breaker state = %q", st.BreakerState)
+	}
+
+	// Disk recovers; after the cooldown the next store is the probe and
+	// closes the breaker.
+	failpoint.Disarm()
+	time.Sleep(60 * time.Millisecond)
+	if err := c.Put(entry(key64("ab"), "u.c", `{"x":3}`)); err != nil {
+		t.Fatalf("probe put: %v", err)
+	}
+	if got := c.TierHealth(); got != "closed" {
+		t.Fatalf("tier health after probe = %q, want closed", got)
+	}
+
+	// Persistence is really back: a second cache over the same dir sees the
+	// post-recovery entry but not the ones written while open/failing.
+	c2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get(key64("ab")); !ok {
+		t.Fatal("post-recovery entry not persisted")
+	}
+	if _, ok := c2.Get(key64("ee")); ok {
+		t.Fatal("open-breaker store leaked to disk")
+	}
+}
+
+// TestBreakerLoadFaults proves read-path faults also count toward the trip
+// and an open breaker stops touching the disk on reads.
+func TestBreakerLoadFaults(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(Options{Dir: dir, BreakerThreshold: 2, BreakerCooldown: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(entry(key64("aa"), "u.c", `{"x":1}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := failpoint.Arm("cache-load=error"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.Disarm()
+
+	// Fresh cache over the same dir: memory tier empty, every Get goes to
+	// the (failing) disk and misses.
+	c2, err := Open(Options{Dir: dir, BreakerThreshold: 2, BreakerCooldown: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := c2.Get(key64("aa")); ok {
+			t.Fatal("faulting disk must read as a miss, never a bad entry")
+		}
+	}
+	if got := c2.TierHealth(); got != "open" {
+		t.Fatalf("tier health = %q, want open after %d read faults", got, 2)
+	}
+	st := c2.Stats()
+	if st.DiskFaults != 2 || st.BreakerTrips != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Open: reads skip the disk (failpoint would fire if touched) and the
+	// skip counter moves.
+	c2.Get(key64("aa"))
+	if c2.Stats().BreakerSkips == 0 {
+		t.Fatal("open breaker did not skip the disk read")
+	}
+}
+
+// TestBreakerDisabledAndMemoryOnly pins TierHealth for the degenerate
+// configurations.
+func TestBreakerDisabledAndMemoryOnly(t *testing.T) {
+	mem, _ := Open(Options{})
+	if got := mem.TierHealth(); got != "memory-only" {
+		t.Fatalf("memory-only health = %q", got)
+	}
+	dis, err := Open(Options{Dir: t.TempDir(), BreakerThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dis.breaker != nil {
+		t.Fatal("negative threshold must disable the breaker")
+	}
+	if got := dis.TierHealth(); got != "closed" {
+		t.Fatalf("disabled-breaker health = %q, want closed", got)
+	}
+	if err := failpoint.Arm("cache-store=error"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.Disarm()
+	// Without a breaker every store keeps hitting the disk and failing.
+	for i := 0; i < overload.DefaultBreakerThreshold+2; i++ {
+		if err := dis.Put(entry(key64(fmt.Sprintf("d%d", i)), "u.c", `{"x":1}`)); !errors.Is(err, ErrPersist) {
+			t.Fatalf("disabled breaker put %d: %v", i, err)
+		}
+	}
+	if got := dis.TierHealth(); got != "closed" {
+		t.Fatalf("disabled breaker must never open, got %q", got)
+	}
+}
+
+// TestMissesStayCheapWhileOpen documents that an open breaker turns Get
+// misses into pure memory lookups — the x-per-request disk tax of a bad
+// disk disappears.
+func TestMissesStayCheapWhileOpen(t *testing.T) {
+	c, err := Open(Options{Dir: t.TempDir(), BreakerThreshold: 1, BreakerCooldown: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := failpoint.Arm("cache-store=error@1"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.Disarm()
+	c.Put(entry(key64("aa"), "u.c", `{"x":1}`)) // trips (threshold 1)
+	if c.TierHealth() != "open" {
+		t.Fatalf("health = %q", c.TierHealth())
+	}
+	before := c.Stats().BreakerSkips
+	for i := 0; i < 5; i++ {
+		c.Get(key64("bb")) // miss; must not reach the disk
+	}
+	if got := c.Stats().BreakerSkips - before; got != 5 {
+		t.Fatalf("breaker skips for 5 open-state misses = %d, want 5", got)
+	}
+}

@@ -24,13 +24,23 @@ package rcache
 import (
 	"container/list"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
+	"pallas/internal/failpoint"
 	"pallas/internal/guard"
+	"pallas/internal/overload"
 )
+
+// ErrPersist wraps every persistent-tier fault. Callers that see it on Put
+// or GetOrCompute still hold a fully valid memory-tier entry: the analysis
+// succeeded, only its durability did not. Match with errors.Is to report the
+// fault without failing the request.
+var ErrPersist = errors.New("rcache: persistent tier fault")
 
 // Entry is one cached analysis outcome. Report carries the exact marshaled
 // report bytes, so cache hits replay byte-identical output.
@@ -68,6 +78,16 @@ type Options struct {
 	// Dir, when non-empty, enables the persistent tier rooted at this
 	// directory (created if missing). Entries live at Dir/<k0k1>/<key>.json.
 	Dir string
+	// BreakerThreshold trips the persistent tier's circuit breaker after
+	// this many consecutive disk faults: the cache falls back to
+	// memory-only mode instead of touching the failing disk on every
+	// request, then probes half-open after BreakerCooldown. 0 means
+	// overload.DefaultBreakerThreshold; negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped persistent tier stays
+	// memory-only before one probe operation is allowed through. <= 0 means
+	// overload.DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
 }
 
 // DefaultMaxBytes is the default memory-tier bound (64 MiB).
@@ -95,6 +115,17 @@ type Stats struct {
 	// Entries and Bytes describe the current memory tier.
 	Entries int
 	Bytes   int64
+	// DiskFaults counts persistent-tier I/O failures (reads and writes;
+	// missing files are not faults).
+	DiskFaults int64
+	// BreakerSkips counts persistent-tier operations skipped because the
+	// circuit breaker was open (memory-only mode).
+	BreakerSkips int64
+	// BreakerTrips counts how many times the persistent tier's breaker has
+	// opened; BreakerState is its current position ("closed", "open",
+	// "half-open", or "" when there is no persistent tier / no breaker).
+	BreakerTrips int64
+	BreakerState string
 }
 
 // call is one in-flight singleflight computation.
@@ -109,6 +140,7 @@ type call struct {
 type Cache struct {
 	dir      string
 	maxBytes int64
+	breaker  *overload.Breaker // nil: no persistent tier or breaker disabled
 
 	mu     sync.Mutex
 	lru    *list.List // front = most recent; values are *Entry
@@ -129,13 +161,70 @@ func Open(opts Options) (*Cache, error) {
 			return nil, fmt.Errorf("rcache: open %s: %w", opts.Dir, err)
 		}
 	}
+	var breaker *overload.Breaker
+	if opts.Dir != "" && opts.BreakerThreshold >= 0 {
+		breaker = overload.NewBreaker(opts.BreakerThreshold, opts.BreakerCooldown)
+	}
 	return &Cache{
 		dir:      opts.Dir,
 		maxBytes: opts.MaxBytes,
+		breaker:  breaker,
 		lru:      list.New(),
 		byKey:    map[string]*list.Element{},
 		flight:   map[string]*call{},
 	}, nil
+}
+
+// TierHealth reports the persistent tier's condition for health endpoints:
+// "memory-only" when no directory is configured, otherwise the breaker's
+// state ("closed" = healthy; "open" = tripped to memory-only mode;
+// "half-open" = probing recovery).
+func (c *Cache) TierHealth() string {
+	if c.dir == "" {
+		return "memory-only"
+	}
+	if c.breaker == nil {
+		return overload.BreakerClosed.String()
+	}
+	return c.breaker.State().String()
+}
+
+// diskFault records one persistent-tier failure against the breaker.
+func (c *Cache) diskFault(err error) {
+	c.mu.Lock()
+	c.stats.DiskFaults++
+	c.mu.Unlock()
+	if c.breaker != nil {
+		c.breaker.Failure()
+	}
+}
+
+// diskOK records one successful persistent-tier operation.
+func (c *Cache) diskOK() {
+	if c.breaker != nil {
+		c.breaker.Success()
+	}
+}
+
+// diskNeutral records an operation that proved nothing (a clean ENOENT
+// miss): a half-open probe slot is released for the next operation, but no
+// success or failure is recorded.
+func (c *Cache) diskNeutral() {
+	if c.breaker != nil {
+		c.breaker.Inconclusive()
+	}
+}
+
+// diskAllowed consults the breaker before touching the persistent tier; a
+// false return means the tier is tripped and the operation is skipped.
+func (c *Cache) diskAllowed() bool {
+	if c.breaker == nil || c.breaker.Allow() {
+		return true
+	}
+	c.mu.Lock()
+	c.stats.BreakerSkips++
+	c.mu.Unlock()
+	return false
 }
 
 // Get returns the entry for key, consulting the memory tier then the
@@ -259,10 +348,14 @@ func (c *Cache) insertLocked(e *Entry) {
 // Stats returns a snapshot of cache activity.
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	s := c.stats
 	s.Entries = c.lru.Len()
 	s.Bytes = c.bytes
+	c.mu.Unlock()
+	if c.breaker != nil {
+		s.BreakerTrips = c.breaker.Trips()
+		s.BreakerState = c.breaker.State().String()
+	}
 	return s
 }
 
@@ -291,30 +384,65 @@ func (c *Cache) diskPath(key string) string {
 
 // loadDisk reads and validates a persistent entry; any damage (unreadable,
 // bad JSON, key mismatch — e.g. a file renamed by hand) returns nil and
-// removes the file so it is not re-parsed on every miss.
+// removes the file so it is not re-parsed on every miss. While the tier's
+// breaker is open the read is skipped entirely (memory-only mode). A
+// validated entry is the only thing ever returned, so a faulting or
+// corrupted disk can cause misses but never a corrupt result.
 func (c *Cache) loadDisk(key string) *Entry {
-	if c.dir == "" || len(key) < 3 {
+	if c.dir == "" || len(key) < 3 || !c.diskAllowed() {
+		return nil
+	}
+	if err := failpoint.Hit(failpoint.CacheLoad, key); err != nil {
+		c.diskFault(err)
 		return nil
 	}
 	b, err := os.ReadFile(c.diskPath(key))
 	if err != nil {
+		// A clean miss (ENOENT) is neutral: it proves the lookup worked but
+		// says nothing about reads or writes of real data, so it neither
+		// counts as a fault nor resets a failure streak — otherwise a disk
+		// whose writes fail while lookups still answer would never trip.
+		if os.IsNotExist(err) {
+			c.diskNeutral()
+		} else {
+			c.diskFault(err)
+		}
 		return nil
 	}
 	var e Entry
 	if json.Unmarshal(b, &e) != nil || e.Key != key || len(e.Report) == 0 {
+		// Corrupt or mismatched data: the disk itself worked, the bytes are
+		// damaged — delete them so they are not re-parsed on every miss.
 		os.Remove(c.diskPath(key))
+		c.diskOK()
 		return nil
 	}
+	c.diskOK()
 	return &e
 }
 
 // storeDisk atomically persists an entry: temp file in the final directory,
 // fsync, rename — the same crash discipline as pathdb.Save, so a kill
 // mid-store leaves either the old state or the complete new file, never a
-// torn entry.
+// torn entry. While the tier's breaker is open the write is skipped (the
+// entry stays memory-resident); every fault is wrapped in ErrPersist and
+// recorded against the breaker.
 func (c *Cache) storeDisk(e *Entry) error {
-	if c.dir == "" || len(e.Key) < 3 {
+	if c.dir == "" || len(e.Key) < 3 || !c.diskAllowed() {
 		return nil
+	}
+	err := c.storeDiskRaw(e)
+	if err != nil {
+		c.diskFault(err)
+		return fmt.Errorf("%w: %w", ErrPersist, err)
+	}
+	c.diskOK()
+	return nil
+}
+
+func (c *Cache) storeDiskRaw(e *Entry) error {
+	if err := failpoint.Hit(failpoint.CacheStore, e.Key); err != nil {
+		return err
 	}
 	path := c.diskPath(e.Key)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {

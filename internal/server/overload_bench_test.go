@@ -1,0 +1,161 @@
+package server
+
+// Overload timing artifact: drives bursts at 1x/4x/16x of the server's
+// worker capacity and records, per load level, admitted-request latency
+// (p50/p99) and the shed rate. CI publishes the result as
+// BENCH_overload.json; locally it doubles as a smoke test that admission
+// control keeps admitted latency flat by shedding rather than queueing
+// without bound.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pallas/internal/failpoint"
+	"pallas/internal/metrics"
+)
+
+// overloadLoad is one load level of BENCH_overload.json.
+type overloadLoad struct {
+	// Multiplier is offered load over capacity (1, 4, 16).
+	Multiplier int `json:"multiplier"`
+	// Offered is the number of simultaneous requests fired.
+	Offered int `json:"offered"`
+	// Admitted and Shed partition the outcomes; ShedRate is Shed/Offered.
+	Admitted int     `json:"admitted"`
+	Shed     int     `json:"shed"`
+	ShedRate float64 `json:"shed_rate"`
+	// P50MS and P99MS summarize admitted-request latency.
+	P50MS float64 `json:"p50_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
+// overloadBench is the BENCH_overload.json schema.
+type overloadBench struct {
+	// Workers is the server's concurrency ceiling; MaxQueue its admission
+	// queue bound; ServiceMS the injected per-analysis cost.
+	Workers   int            `json:"workers"`
+	MaxQueue  int            `json:"max_queue"`
+	ServiceMS float64        `json:"service_ms"`
+	Loads     []overloadLoad `json:"loads"`
+}
+
+func percentileMS(sorted []time.Duration, p int) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted)*p + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return float64(sorted[idx].Microseconds()) / 1000
+}
+
+// TestServeOverloadBenchArtifact measures shed rate and admitted latency at
+// 1x/4x/16x offered load and writes BENCH_overload.json to
+// $PALLAS_BENCH_OUT. Without the variable it still runs as a smoke test.
+func TestServeOverloadBenchArtifact(t *testing.T) {
+	out := os.Getenv("PALLAS_BENCH_OUT")
+	if testing.Short() && out == "" {
+		t.Skip("short mode")
+	}
+	const workers, maxQueue = 4, 4
+	const serviceMS = 20
+	if err := failpoint.Arm(fmt.Sprintf("pre-parse=sleep:%dms", serviceMS)); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.Disarm()
+
+	s, err := New(Config{Workers: workers, MaxQueue: maxQueue, Metrics: metrics.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	bench := overloadBench{Workers: workers, MaxQueue: maxQueue, ServiceMS: serviceMS}
+	for _, mult := range []int{1, 4, 16} {
+		offered := mult * workers
+		lats := make([]time.Duration, offered)
+		codes := make([]int, offered)
+		var wg sync.WaitGroup
+		for i := 0; i < offered; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				fn := fmt.Sprintf("l%dx_%d", mult, i)
+				body, _ := json.Marshal(AnalyzeRequest{
+					Name:   fn + ".c",
+					Source: strings.ReplaceAll(testSource, "fast_path", fn),
+					Spec:   strings.ReplaceAll(testSpec, "fast_path", fn),
+				})
+				start := time.Now()
+				resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				lats[i] = time.Since(start)
+				codes[i] = resp.StatusCode
+				if resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") == "" {
+					t.Errorf("load %dx request %d: shed without Retry-After", mult, i)
+				}
+			}(i)
+		}
+		wg.Wait()
+
+		var admitted []time.Duration
+		shed := 0
+		for i, code := range codes {
+			switch code {
+			case http.StatusOK:
+				admitted = append(admitted, lats[i])
+			case http.StatusServiceUnavailable:
+				shed++
+			default:
+				t.Fatalf("load %dx request %d: status %d", mult, i, code)
+			}
+		}
+		sort.Slice(admitted, func(i, j int) bool { return admitted[i] < admitted[j] })
+		bench.Loads = append(bench.Loads, overloadLoad{
+			Multiplier: mult,
+			Offered:    offered,
+			Admitted:   len(admitted),
+			Shed:       shed,
+			ShedRate:   float64(shed) / float64(offered),
+			P50MS:      percentileMS(admitted, 50),
+			P99MS:      percentileMS(admitted, 99),
+		})
+	}
+
+	if bench.Loads[0].Shed != 0 {
+		t.Fatalf("1x load shed %d requests — capacity config broken", bench.Loads[0].Shed)
+	}
+	if bench.Loads[2].Shed == 0 {
+		t.Fatal("16x load shed nothing — admission control not engaging")
+	}
+	for _, l := range bench.Loads {
+		t.Logf("%2dx: offered %3d admitted %3d shed %3d (%.0f%%)  p50 %.1fms p99 %.1fms",
+			l.Multiplier, l.Offered, l.Admitted, l.Shed, 100*l.ShedRate, l.P50MS, l.P99MS)
+	}
+	if out == "" {
+		return
+	}
+	data, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

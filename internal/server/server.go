@@ -8,7 +8,8 @@
 //
 //	POST /v1/analyze       analyze one unit (source + spec); cached
 //	GET  /v1/report/{key}  fetch a cached result by content hash
-//	GET  /healthz          liveness/readiness (503 while draining)
+//	GET  /healthz          liveness/readiness (503 while draining);
+//	                       ?verbose=1 adds overload/queue/breaker detail
 //	GET  /metrics          Prometheus text exposition
 //
 // Every analysis runs on a bounded guard.Gate under the configured
@@ -18,12 +19,23 @@
 // or starve the server. Identical concurrent requests are collapsed by the
 // cache's singleflight, so a thundering herd of one unit costs one
 // analysis.
+//
+// In front of the gate sits the overload layer (internal/overload): a
+// per-client token-bucket rate limiter, then a bounded deadline-aware
+// admission queue whose effective width adapts between MinWorkers and
+// Workers as observed latency rises and falls. Requests that cannot be
+// served in time are shed early with 429/503, a Retry-After header and a
+// machine-readable retry_after_ms, so a traffic burst degrades service for
+// the excess instead of for everyone. Disk faults in the persistent cache
+// tier trip a circuit breaker to memory-only mode rather than failing
+// requests.
 package server
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"strings"
 	"sync/atomic"
@@ -32,6 +44,7 @@ import (
 	"pallas"
 	"pallas/internal/guard"
 	"pallas/internal/metrics"
+	"pallas/internal/overload"
 	"pallas/internal/rcache"
 )
 
@@ -47,6 +60,30 @@ const (
 	MetricInFlight = "pallas_in_flight"
 	// MetricRequestSeconds is the /v1/analyze latency histogram.
 	MetricRequestSeconds = "pallas_request_seconds"
+
+	// MetricShedQueueFull counts requests shed because the admission queue
+	// was at capacity.
+	MetricShedQueueFull = "pallas_shed_queue_full_total"
+	// MetricShedDeadline counts requests shed because their deadline passed
+	// or provably could not be met.
+	MetricShedDeadline = "pallas_shed_deadline_total"
+	// MetricShedRateLimited counts requests refused by the token-bucket
+	// rate limiter.
+	MetricShedRateLimited = "pallas_shed_rate_limited_total"
+	// MetricShedDraining counts requests rejected because the server was
+	// draining.
+	MetricShedDraining = "pallas_shed_draining_total"
+	// MetricQueueDepth gauges requests waiting in the admission queue.
+	MetricQueueDepth = "pallas_queue_depth"
+	// MetricEffectiveLimit gauges the adaptive limiter's current effective
+	// concurrency (between MinWorkers and Workers).
+	MetricEffectiveLimit = "pallas_effective_limit"
+	// MetricBreakerState gauges the persistent cache tier's breaker:
+	// 0 closed, 1 half-open, 2 open.
+	MetricBreakerState = "pallas_cache_breaker_state"
+	// MetricPersistFaults counts analyses whose report was served but could
+	// not be persisted to the cache's disk tier.
+	MetricPersistFaults = "pallas_cache_persist_faults_total"
 )
 
 // DefaultMaxRequestBytes bounds an /v1/analyze body (16 MiB) — large enough
@@ -54,20 +91,52 @@ const (
 // hostile client cannot balloon the heap with one POST.
 const DefaultMaxRequestBytes = 16 << 20
 
+// DefaultMaxQueue bounds the admission queue when Config.MaxQueue is zero.
+const DefaultMaxQueue = 256
+
+// ClientHeader identifies the caller for per-client rate limiting; absent,
+// the remote address's host is used.
+const ClientHeader = "X-Pallas-Client"
+
 // Config configures New.
 type Config struct {
 	// Analyzer is the engine configuration every request runs under; its
 	// Deadline/MaxSteps/MaxMacroExpansions are the per-request budgets.
+	// Deadline doubles as the default admission deadline: a request that
+	// cannot be admitted before it is shed (max_wait_ms overrides).
 	Analyzer pallas.Config
 	// Workers bounds concurrent analyses (not connections); <= 0 means
-	// GOMAXPROCS. Requests beyond the bound queue on the gate.
+	// GOMAXPROCS. This is the adaptive limiter's ceiling.
 	Workers int
+	// MinWorkers is the adaptive limiter's floor: under sustained latency
+	// inflation the effective concurrency shrinks toward it, and grows back
+	// to Workers on recovery. <= 0 means 1; set equal to Workers to disable
+	// adaptation.
+	MinWorkers int
+	// MaxQueue bounds requests waiting for admission; beyond it requests
+	// are shed with 503. 0 means DefaultMaxQueue; negative disables
+	// queueing entirely (strict-latency mode: shed the moment every
+	// effective worker is busy).
+	MaxQueue int
+	// RatePerClient and RateBurst configure the per-client token bucket
+	// (requests/second, keyed by X-Pallas-Client or remote host). 0 rate
+	// disables per-client limiting; 0 burst defaults to the rate.
+	RatePerClient float64
+	RateBurst     float64
+	// GlobalRate and GlobalBurst configure the server-wide bucket.
+	GlobalRate  float64
+	GlobalBurst float64
 	// CacheBytes bounds the result cache's memory tier (<= 0: rcache
 	// default).
 	CacheBytes int64
 	// CacheDir, when non-empty, adds the persistent cache tier shared with
 	// `pallas check -cache-dir`.
 	CacheDir string
+	// BreakerThreshold and BreakerCooldown configure the persistent tier's
+	// circuit breaker (see rcache.Options); 0 means defaults, negative
+	// threshold disables it.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
 	// Metrics receives the server's instruments; nil means metrics.Default.
 	Metrics *metrics.Registry
 	// MaxRequestBytes caps an analyze body; <= 0 means
@@ -80,25 +149,43 @@ type Server struct {
 	analyzer *pallas.Analyzer
 	cache    *rcache.Cache
 	gate     *guard.Gate
+	ctrl     *overload.Controller
+	limiter  *overload.Limiter
+	rate     *overload.RateLimiter
 	reg      *metrics.Registry
 	mux      *http.ServeMux
 	start    time.Time
 	maxBody  int64
+	maxQ     int
+	deadline time.Duration // default admission deadline (Analyzer.Deadline)
 	draining atomic.Bool
 
-	mRequests    *metrics.Counter
-	mErrors      *metrics.Counter
-	mCacheHits   *metrics.Counter
-	mCacheMisses *metrics.Counter
-	mAnalyzed    *metrics.Counter
-	mDegraded    *metrics.Counter
-	gInFlight    *metrics.Gauge
-	hLatency     *metrics.Histogram
+	mRequests     *metrics.Counter
+	mErrors       *metrics.Counter
+	mCacheHits    *metrics.Counter
+	mCacheMisses  *metrics.Counter
+	mAnalyzed     *metrics.Counter
+	mDegraded     *metrics.Counter
+	mShedQueue    *metrics.Counter
+	mShedDeadline *metrics.Counter
+	mShedRate     *metrics.Counter
+	mShedDraining *metrics.Counter
+	mPersistFault *metrics.Counter
+	gInFlight     *metrics.Gauge
+	gQueueDepth   *metrics.Gauge
+	gEffLimit     *metrics.Gauge
+	gBreaker      *metrics.Gauge
+	hLatency      *metrics.Histogram
 }
 
 // New builds a server (opening the cache directory when configured).
 func New(cfg Config) (*Server, error) {
-	cache, err := rcache.Open(rcache.Options{MaxBytes: cfg.CacheBytes, Dir: cfg.CacheDir})
+	cache, err := rcache.Open(rcache.Options{
+		MaxBytes:         cfg.CacheBytes,
+		Dir:              cfg.CacheDir,
+		BreakerThreshold: cfg.BreakerThreshold,
+		BreakerCooldown:  cfg.BreakerCooldown,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -110,24 +197,50 @@ func New(cfg Config) (*Server, error) {
 	if maxBody <= 0 {
 		maxBody = DefaultMaxRequestBytes
 	}
+	maxQueue := cfg.MaxQueue
+	if maxQueue == 0 {
+		maxQueue = DefaultMaxQueue
+	} else if maxQueue < 0 {
+		maxQueue = 0
+	}
+	gate := guard.NewGate(cfg.Workers)
+	minWorkers := cfg.MinWorkers
+	if minWorkers <= 0 {
+		minWorkers = 1
+	}
+	limiter := overload.NewLimiter(minWorkers, gate.Cap())
 	s := &Server{
 		analyzer: pallas.New(cfg.Analyzer),
 		cache:    cache,
-		gate:     guard.NewGate(cfg.Workers),
+		gate:     gate,
+		ctrl:     overload.NewController(limiter, maxQueue),
+		limiter:  limiter,
+		rate:     overload.NewRateLimiter(cfg.RatePerClient, cfg.RateBurst, cfg.GlobalRate, cfg.GlobalBurst),
 		reg:      reg,
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
 		maxBody:  maxBody,
+		maxQ:     maxQueue,
+		deadline: cfg.Analyzer.Deadline,
 
-		mRequests:    reg.Counter(MetricRequests, "accepted analyze requests"),
-		mErrors:      reg.Counter(MetricRequestErrors, "analyze requests answered with an error"),
-		mCacheHits:   reg.Counter(pallas.MetricCacheHits, "result-cache hits"),
-		mCacheMisses: reg.Counter(pallas.MetricCacheMisses, "result-cache misses"),
-		mAnalyzed:    reg.Counter(pallas.MetricUnitsAnalyzed, "analysis pipeline executions (cache and resume misses)"),
-		mDegraded:    reg.Counter(pallas.MetricDegraded, "analyses that completed partially"),
-		gInFlight:    reg.Gauge(MetricInFlight, "requests currently being served"),
-		hLatency:     reg.Histogram(MetricRequestSeconds, "analyze latency in seconds", nil),
+		mRequests:     reg.Counter(MetricRequests, "accepted analyze requests"),
+		mErrors:       reg.Counter(MetricRequestErrors, "analyze requests answered with an error"),
+		mCacheHits:    reg.Counter(pallas.MetricCacheHits, "result-cache hits"),
+		mCacheMisses:  reg.Counter(pallas.MetricCacheMisses, "result-cache misses"),
+		mAnalyzed:     reg.Counter(pallas.MetricUnitsAnalyzed, "analysis pipeline executions (cache and resume misses)"),
+		mDegraded:     reg.Counter(pallas.MetricDegraded, "analyses that completed partially"),
+		mShedQueue:    reg.Counter(MetricShedQueueFull, "requests shed: admission queue full"),
+		mShedDeadline: reg.Counter(MetricShedDeadline, "requests shed: deadline unmeetable"),
+		mShedRate:     reg.Counter(MetricShedRateLimited, "requests shed: rate limited"),
+		mShedDraining: reg.Counter(MetricShedDraining, "requests shed: draining"),
+		mPersistFault: reg.Counter(MetricPersistFaults, "served results that could not be persisted"),
+		gInFlight:     reg.Gauge(MetricInFlight, "requests currently being served"),
+		gQueueDepth:   reg.Gauge(MetricQueueDepth, "requests waiting in the admission queue"),
+		gEffLimit:     reg.Gauge(MetricEffectiveLimit, "adaptive effective concurrency limit"),
+		gBreaker:      reg.Gauge(MetricBreakerState, "cache persistent-tier breaker: 0 closed, 1 half-open, 2 open"),
+		hLatency:      reg.Histogram(MetricRequestSeconds, "analyze latency in seconds", nil),
 	}
+	s.gEffLimit.Set(int64(limiter.Limit()))
 	s.mux.HandleFunc("/v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("/v1/report/", s.handleReport)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -145,10 +258,15 @@ func (s *Server) Cache() *rcache.Cache { return s.cache }
 func (s *Server) InFlight() int64 { return s.gate.InFlight() }
 
 // StartDrain puts the server into draining mode: /healthz flips to 503 so
-// load balancers stop routing here, and new analyze requests are refused
-// with 503 while in-flight ones run to completion (http.Server.Shutdown
+// load balancers stop routing here, new analyze requests are refused with
+// 503, and — crucially for bounded shutdown — every queued-but-unadmitted
+// request is rejected immediately instead of holding its slot until its
+// deadline. In-flight analyses run to completion (http.Server.Shutdown
 // holds the listener open for them).
-func (s *Server) StartDrain() { s.draining.Store(true) }
+func (s *Server) StartDrain() {
+	s.draining.Store(true)
+	s.ctrl.Drain()
+}
 
 // Draining reports whether StartDrain was called.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -162,6 +280,11 @@ type AnalyzeRequest struct {
 	// Spec is the semantic specification document (may be empty when the
 	// source carries inline `// @pallas:` annotations).
 	Spec string `json:"spec,omitempty"`
+	// MaxWaitMS caps how long this request may wait for admission, in
+	// milliseconds, overriding the server's default (-timeout). A request
+	// that cannot be admitted in time is shed with 503 and a Retry-After
+	// hint instead of queueing uselessly.
+	MaxWaitMS int64 `json:"max_wait_ms,omitempty"`
 }
 
 // AnalyzeResponse is the /v1/analyze result.
@@ -187,9 +310,13 @@ type AnalyzeResponse struct {
 	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
-// errorBody is every non-2xx JSON payload.
+// errorBody is every non-2xx JSON payload: a human-readable reason plus,
+// for shed/overload responses, a machine-readable retry hint mirroring the
+// Retry-After header at millisecond resolution. The shape is pinned by a
+// golden test.
 type errorBody struct {
-	Error string `json:"error"`
+	Error        string `json:"error"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -205,6 +332,51 @@ func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...
 	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
+// shed answers an overload rejection: Retry-After header in whole seconds
+// (rounded up, minimum 1 — the header has no sub-second resolution) and the
+// exact hint in the body's retry_after_ms.
+func (s *Server) shed(w http.ResponseWriter, status int, retryAfter time.Duration, format string, args ...any) {
+	s.mErrors.Inc()
+	if retryAfter <= 0 {
+		retryAfter = time.Second
+	}
+	secs := int64((retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	writeJSON(w, status, errorBody{
+		Error:        fmt.Sprintf(format, args...),
+		RetryAfterMS: retryAfter.Milliseconds(),
+	})
+}
+
+// clientKey identifies the caller for rate limiting.
+func clientKey(r *http.Request) string {
+	if c := r.Header.Get(ClientHeader); c != "" {
+		return c
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// syncGauges refreshes the overload gauges after an admission event or on
+// scrape, so /metrics reflects the live queue and limiter state.
+func (s *Server) syncGauges() {
+	s.gQueueDepth.Set(int64(s.ctrl.QueueDepth()))
+	s.gEffLimit.Set(int64(s.ctrl.EffectiveLimit()))
+	var state int64
+	switch s.cache.TierHealth() {
+	case "half-open":
+		state = 1
+	case "open":
+		state = 2
+	}
+	s.gBreaker.Set(state)
+}
+
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	started := time.Now()
 	if r.Method != http.MethodPost {
@@ -212,7 +384,15 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.draining.Load() {
-		s.fail(w, http.StatusServiceUnavailable, "draining")
+		s.mShedDraining.Inc()
+		s.shed(w, http.StatusServiceUnavailable, time.Second, "draining")
+		return
+	}
+	// Rate limiting happens before the body is even read: refusing a
+	// too-chatty client must stay O(1).
+	if ok, wait := s.rate.Allow(clientKey(r)); !ok {
+		s.mShedRate.Inc()
+		s.shed(w, http.StatusTooManyRequests, wait, "rate limit exceeded for client %q", clientKey(r))
 		return
 	}
 	s.mRequests.Inc()
@@ -241,11 +421,43 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Admission: wait for an effective-limit slot, bounded by the request's
+	// deadline (max_wait_ms, else the server's -timeout). Shed early when
+	// the wait is hopeless.
+	var deadline time.Time
+	switch {
+	case req.MaxWaitMS > 0:
+		deadline = started.Add(time.Duration(req.MaxWaitMS) * time.Millisecond)
+	case s.deadline > 0:
+		deadline = started.Add(s.deadline)
+	}
+	if err := s.ctrl.Acquire(r.Context(), deadline); err != nil {
+		s.shedForReason(w, err)
+		s.syncGauges()
+		return
+	}
+	admitted := time.Now()
+	defer func() {
+		// Service latency only (admission to completion): feeding queue wait
+		// into the limiter would make its own backlog look like downstream
+		// slowness and collapse the limit under transient bursts.
+		s.ctrl.Release(time.Since(admitted))
+		s.syncGauges()
+	}()
+	s.syncGauges()
+
 	unit := pallas.Unit{Name: req.Name, Source: req.Source, Spec: req.Spec}
 	key := s.analyzer.CacheKey(unit)
 	entry, hit, err := s.cache.GetOrCompute(key, func() (*rcache.Entry, error) {
 		return s.analyzeOne(unit, key)
 	})
+	if err != nil && errors.Is(err, rcache.ErrPersist) && entry != nil {
+		// The analysis succeeded and is memory-cached; only the disk tier
+		// faulted. Serve the result — the breaker will trip the tier to
+		// memory-only mode if the disk keeps failing.
+		s.mPersistFault.Inc()
+		err = nil
+	}
 	if err != nil {
 		var pe *guard.PanicError
 		if errors.As(err, &pe) {
@@ -274,6 +486,27 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		Diagnostics: entry.Diagnostics,
 		ElapsedMS:   float64(time.Since(started).Microseconds()) / 1000,
 	})
+}
+
+// shedForReason maps an admission failure to its status code, metric, and
+// Retry-After hint.
+func (s *Server) shedForReason(w http.ResponseWriter, err error) {
+	retry := s.ctrl.RetryAfter()
+	switch {
+	case errors.Is(err, overload.ErrQueueFull):
+		s.mShedQueue.Inc()
+		s.shed(w, http.StatusServiceUnavailable, retry, "overloaded: admission queue full")
+	case errors.Is(err, overload.ErrDeadline):
+		s.mShedDeadline.Inc()
+		s.shed(w, http.StatusServiceUnavailable, retry, "overloaded: deadline cannot be met")
+	case errors.Is(err, overload.ErrDraining):
+		s.mShedDraining.Inc()
+		s.shed(w, http.StatusServiceUnavailable, time.Second, "draining")
+	default:
+		// Client context canceled or similar: the caller is gone, but
+		// answer coherently for proxies that still relay the response.
+		s.fail(w, http.StatusServiceUnavailable, "request abandoned: %v", err)
+	}
 }
 
 // analyzeOne runs one real analysis on the gate — bounded concurrency,
@@ -336,6 +569,24 @@ type healthBody struct {
 	CacheBytes    int64  `json:"cache_bytes"`
 }
 
+// healthVerbose is the /healthz?verbose=1 payload: everything an
+// orchestrator needs to tell "draining" (status) from "overloaded" (queue
+// depth at max, effective limit at the floor, sheds climbing) from
+// "degraded storage" (cache tier open).
+type healthVerbose struct {
+	healthBody
+	QueueDepth      int                `json:"queue_depth"`
+	EffectiveLimit  int                `json:"effective_limit"`
+	MinWorkers      int                `json:"min_workers"`
+	MaxQueue        int                `json:"max_queue"`
+	Admitted        int64              `json:"admitted_total"`
+	Shed            overload.ShedStats `json:"shed"`
+	RateDenied      int64              `json:"rate_denied_total"`
+	CacheTier       string             `json:"cache_tier"`
+	CacheDiskFaults int64              `json:"cache_disk_faults"`
+	BreakerTrips    int64              `json:"cache_breaker_trips"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status, code := "ok", http.StatusOK
 	if s.draining.Load() {
@@ -343,17 +594,39 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		// traffic should move elsewhere.
 		status, code = "draining", http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, healthBody{
+	base := healthBody{
 		Status:        status,
 		InFlight:      s.gate.InFlight(),
 		UptimeSeconds: int64(time.Since(s.start).Seconds()),
 		Workers:       s.gate.Cap(),
 		CacheEntries:  s.cache.Len(),
 		CacheBytes:    s.cache.Bytes(),
+	}
+	if r.URL.Query().Get("verbose") != "1" {
+		writeJSON(w, code, base)
+		return
+	}
+	st := s.cache.Stats()
+	writeJSON(w, code, healthVerbose{
+		healthBody:      base,
+		QueueDepth:      s.ctrl.QueueDepth(),
+		EffectiveLimit:  s.ctrl.EffectiveLimit(),
+		MinWorkers:      s.limiter.Min(),
+		MaxQueue:        s.maxQueue(),
+		Admitted:        s.ctrl.Admitted(),
+		Shed:            s.ctrl.Shed(),
+		RateDenied:      s.rate.Denied(),
+		CacheTier:       s.cache.TierHealth(),
+		CacheDiskFaults: st.DiskFaults,
+		BreakerTrips:    st.BreakerTrips,
 	})
 }
 
+// maxQueue reports the admission queue bound (for health reporting).
+func (s *Server) maxQueue() int { return s.maxQ }
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.syncGauges()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.reg.WritePrometheus(w)
 }
