@@ -77,7 +77,12 @@ type UnitResult struct {
 // BatchOptions configures AnalyzeBatch. The zero value reproduces plain
 // AnalyzeMany: GOMAXPROCS workers, no retries, no journal.
 type BatchOptions struct {
-	// Workers bounds concurrent units; <= 0 means GOMAXPROCS.
+	// Workers bounds concurrent units; <= 0 means GOMAXPROCS. This is the
+	// inter-unit bound only: each unit may additionally fan out
+	// Config.AnalysisWorkers goroutines for its own functions and checkers,
+	// so total parallelism is Workers × max(1, AnalysisWorkers). For
+	// many-unit corpora prefer wide Workers with serial units; reserve
+	// AnalysisWorkers for a few large units.
 	Workers int
 	// MinWorkers, when > 0, makes the batch self-pacing: an adaptive
 	// limiter (the same AIMD machinery as `pallas serve`) watches per-unit

@@ -78,7 +78,7 @@ func usage() {
 
 commands:
   check    [-spec file] [-checker name] [-json] [-html out]
-           [-timeout d] [-keep-going] [-workers n]
+           [-timeout d] [-keep-going] [-workers n] [-analysis-workers n]
            [-journal file] [-resume] [-retries n] [-group-commit]
            [-cache-dir dir] [-cache-bytes n] file.c...        run the checkers
            (exit: 0 clean, 1 warnings, 2 degraded, 3 fatal;
@@ -86,7 +86,7 @@ commands:
             journal already settled, -retries retries transient failures,
             -cache-dir replays unchanged files from the result cache)
   serve    [-addr host:port] [-cache-dir dir] [-cache-bytes n]
-           [-workers n] [-timeout d]                     run the HTTP service
+           [-workers n] [-analysis-workers n] [-timeout d] run the HTTP service
            (POST /v1/analyze, GET /v1/report/{key}, /healthz, /metrics;
             SIGTERM drains in-flight requests and exits 0)
   paths    -func name [-db out.json] file.c              print symbolic paths
@@ -109,6 +109,7 @@ func cmdCheck(args []string) error {
 	timeout := fs.Duration("timeout", 0, "per-file analysis deadline; expiry degrades, not fails (0 = none)")
 	keepGoing := fs.Bool("keep-going", false, "keep analyzing past malformed input, reporting per-file diagnostics")
 	workers := fs.Int("workers", 0, "parallel workers for multiple files (0 = GOMAXPROCS)")
+	analysisWorkers := fs.Int("analysis-workers", 0, "goroutines per file for per-function extraction and checkers (<=1 = serial; output is identical at any setting)")
 	minWorkers := fs.Int("min-workers", 0, "self-pace: shrink parallelism toward this floor when per-file latency inflates (0 = fixed width)")
 	journalPath := fs.String("journal", "", "checkpoint per-file outcomes to this append-only journal (JSONL)")
 	resume := fs.Bool("resume", false, "skip files whose content hash already has a terminal journal entry (requires -journal)")
@@ -130,7 +131,7 @@ func cmdCheck(args []string) error {
 		}
 		specText = string(b)
 	}
-	cfg := pallas.Config{Deadline: *timeout, KeepGoing: *keepGoing}
+	cfg := pallas.Config{Deadline: *timeout, KeepGoing: *keepGoing, AnalysisWorkers: *analysisWorkers}
 	if *checker != "" {
 		cfg.Checkers = []string{*checker}
 	}

@@ -26,6 +26,7 @@ func cmdServe(args []string) error {
 	cacheBytes := fs.Int64("cache-bytes", 0, "memory result-cache budget in bytes (0 = default)")
 	cacheDir := fs.String("cache-dir", "", "persistent result-cache directory (shared with `check -cache-dir`)")
 	workers := fs.Int("workers", 0, "concurrent analyses (0 = GOMAXPROCS); ceiling of the adaptive limit")
+	analysisWorkers := fs.Int("analysis-workers", 0, "goroutines per analysis for per-function extraction and checkers (<=1 = serial; total concurrency is -workers times this)")
 	minWorkers := fs.Int("min-workers", 0, "adaptive concurrency floor under sustained latency inflation (0 = 1; equal to -workers disables adaptation)")
 	maxQueue := fs.Int("max-queue", 0, "admission queue bound; beyond it requests are shed with 503 (0 = 256, negative = no queueing)")
 	rate := fs.Float64("rate", 0, "per-client request rate limit in req/s, keyed by X-Pallas-Client or remote host (0 = unlimited)")
@@ -52,9 +53,10 @@ func cmdServe(args []string) error {
 
 	srv, err := server.New(server.Config{
 		Analyzer: pallas.Config{
-			Deadline:    *timeout,
-			KeepGoing:   *keepGoing,
-			IncludeDirs: includeDirs,
+			Deadline:        *timeout,
+			KeepGoing:       *keepGoing,
+			IncludeDirs:     includeDirs,
+			AnalysisWorkers: *analysisWorkers,
 		},
 		Workers:          *workers,
 		MinWorkers:       *minWorkers,

@@ -50,7 +50,10 @@ func (a *Analyzer) CacheKey(u Unit) string {
 
 // fingerprint renders every analysis-relevant configuration field as a
 // deterministic string for cache keying. Fields that cannot change a report
-// (worker counts, sleep hooks) are deliberately absent.
+// (worker counts — including AnalysisWorkers, whose output is byte-identical
+// at any setting — and sleep hooks) are deliberately absent, so a key
+// computed by a serial CLI run hits an entry stored by a parallel server run
+// and vice versa.
 func (c Config) fingerprint() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "v1|paths=%d|visits=%d|inline=%d|deadline=%s|macros=%d|steps=%d|keepgoing=%t",

@@ -70,7 +70,10 @@ type Block struct {
 // HasTerminatorCond reports whether the block ends with a branch condition.
 func (b *Block) HasTerminatorCond() bool { return b.Cond != nil }
 
-// Graph is the CFG of one function.
+// Graph is the CFG of one function. A built graph is immutable: nothing in
+// this package or its consumers mutates it after Build returns, so one graph
+// may be read by any number of goroutines concurrently (the paths extractor
+// caches graphs and shares them across its worker pool).
 type Graph struct {
 	Fn     *cast.FuncDecl
 	Entry  *Block
@@ -95,7 +98,11 @@ type pendingGoto struct {
 	pos   ctok.Pos
 }
 
-// Build constructs the CFG for fn. fn must have a body.
+// Build constructs the CFG for fn. fn must have a body. Build is a pure
+// function of the (immutable) declaration — no package-level state — so
+// concurrent Build calls, even for the same function, are safe and yield
+// structurally identical graphs; callers may race duplicate builds and keep
+// either result.
 func Build(fn *cast.FuncDecl) (*Graph, error) {
 	if fn.Body == nil {
 		return nil, fmt.Errorf("cfg: function %s has no body", fn.Name)

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"pallas/internal/cast"
+	"pallas/internal/failpoint"
 	"pallas/internal/guard"
 	"pallas/internal/paths"
 	"pallas/internal/report"
@@ -33,6 +34,11 @@ type Context struct {
 	// Budget, when non-nil, bounds the work Run performs; checkers are skipped
 	// once it is exhausted and the report is marked degraded.
 	Budget *guard.Budget
+	// Workers bounds intra-unit parallelism for Run (mirroring the
+	// extraction fan-out of paths.Config.Workers): how many checkers execute
+	// concurrently over this context. <= 1 runs them serially. The merged
+	// report is byte-identical either way.
+	Workers int
 	// Diagnostics accumulates non-fatal problems (unknown spec functions,
 	// truncated extractions, crashed checkers) encountered while building and
 	// running the context.
@@ -69,20 +75,19 @@ func ByName(name string) Checker {
 }
 
 // NewContext extracts paths for every function the spec names and returns a
-// ready-to-check context.
+// ready-to-check context. With cfg.Workers > 1 the per-function extractions
+// fan out across a bounded worker pool; the context (and the first error,
+// when any function fails) is identical to a serial run. A panic during
+// extraction surfaces as a *guard.PanicError-wrapped error rather than
+// crashing the caller, in serial and parallel runs alike.
 func NewContext(tu *cast.TranslationUnit, sp *spec.Spec, cfg paths.Config) (*Context, error) {
-	ex := paths.NewExtractor(tu, cfg)
-	ctx := &Context{TU: tu, Spec: sp, Extractor: ex, FuncPaths: map[string]*paths.FuncPaths{},
-		File: tu.File, Budget: cfg.Budget}
-	for _, fn := range sp.AnalyzedFuncs() {
-		if tu.Func(fn) == nil {
-			return nil, fmt.Errorf("checkers: spec names unknown function %q", fn)
-		}
-		fp, err := ex.Extract(fn)
+	ctx, errs, _ := extractContext(tu, sp, cfg)
+	// Report the first failure in spec order — the same one a serial run
+	// stops at — no matter which worker finished first.
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		ctx.FuncPaths[fn] = fp
 	}
 	return ctx, nil
 }
@@ -91,61 +96,98 @@ func NewContext(tu *cast.TranslationUnit, sp *spec.Spec, cfg paths.Config) (*Con
 // (possibly partially parsed) unit lacks, extraction failures, and extraction
 // panics become Diagnostics instead of hard errors, and the surviving
 // functions are still checked. The only returned error is an exhausted budget.
+// Fault isolation is per function: with cfg.Workers > 1 a crashing
+// extraction degrades only its own function's slot.
 func NewContextTolerant(tu *cast.TranslationUnit, sp *spec.Spec, cfg paths.Config) (*Context, error) {
+	ctx, errs, fns := extractContext(tu, sp, cfg)
+	// Diagnostics are appended in spec order (slot order), not completion
+	// order, so degraded reports are stable run-to-run.
+	for i, err := range errs {
+		if err != nil {
+			ctx.Diagnostics = append(ctx.Diagnostics, guard.Diag(guard.StageExtract, fns[i], err, true))
+		}
+	}
+	return ctx, ctx.Budget.Err()
+}
+
+// extractContext builds a context by extracting every spec-named function,
+// serially or fanned out over cfg.Workers goroutines. Results and errors are
+// positional (errs[i] belongs to fns[i]); the FuncPaths map and the content
+// of every entry depend only on the unit and the spec, never on scheduling.
+// Functions missing from the unit produce a per-slot error; the strict
+// caller turns the first one into a hard failure, the tolerant caller turns
+// each into a diagnostic.
+func extractContext(tu *cast.TranslationUnit, sp *spec.Spec, cfg paths.Config) (*Context, []error, []string) {
 	ex := paths.NewExtractor(tu, cfg)
 	ctx := &Context{TU: tu, Spec: sp, Extractor: ex, FuncPaths: map[string]*paths.FuncPaths{},
-		File: tu.File, Budget: cfg.Budget}
-	for _, fn := range sp.AnalyzedFuncs() {
-		if err := cfg.Budget.Err(); err != nil {
-			return ctx, err
-		}
-		if tu.Func(fn) == nil {
-			ctx.Diagnostics = append(ctx.Diagnostics, guard.Diag(guard.StageExtract, fn,
-				fmt.Errorf("spec names function %q not present in unit", fn), true))
-			continue
-		}
-		var fp *paths.FuncPaths
-		err := guard.Protect(guard.StageExtract, fn, func() error {
-			var eerr error
-			fp, eerr = ex.Extract(fn)
-			return eerr
+		File: tu.File, Budget: cfg.Budget, Workers: cfg.Workers}
+	fns := sp.AnalyzedFuncs()
+	results := make([]*paths.FuncPaths, len(fns))
+	errs := guard.PoolNamed(guard.StageExtract, len(fns), cfg.Workers,
+		func(i int) string { return fns[i] },
+		func(i int) error {
+			fn := fns[i]
+			// A unit whose budget is already spent stops scheduling work; the
+			// functions extracted before exhaustion keep their slots (which
+			// ones those are is inherently timing-dependent, exactly as in a
+			// serial run hitting the deadline mid-loop).
+			if err := cfg.Budget.Err(); err != nil {
+				return nil
+			}
+			if tu.Func(fn) == nil {
+				return fmt.Errorf("checkers: spec names unknown function %q", fn)
+			}
+			if err := failpoint.Hit(failpoint.ExtractFunc, fn); err != nil {
+				return err
+			}
+			fp, err := ex.Extract(fn)
+			if err != nil {
+				return err
+			}
+			results[i] = fp
+			return nil
 		})
-		if err != nil {
-			ctx.Diagnostics = append(ctx.Diagnostics, guard.Diag(guard.StageExtract, fn, err, true))
-			continue
+	for i, fp := range results {
+		if fp != nil {
+			ctx.FuncPaths[fns[i]] = fp
 		}
-		ctx.FuncPaths[fn] = fp
 	}
-	return ctx, nil
+	return ctx, errs, fns
 }
 
 // Run executes the given checkers (all five when list is empty) and returns a
 // sorted report. Each warning is annotated with the historically most likely
 // failure class for its aspect (from the characterization study).
+//
+// With ctx.Workers > 1 the checkers run concurrently over the shared
+// (read-only) context; each checker's findings land in its own slot and are
+// merged in checker-list order before the final stable sort, so the report —
+// warnings, their order, and the serialized bytes — is identical to a serial
+// run. A crashed checker loses only its own findings; a checker that starts
+// after the budget is exhausted is skipped and recorded, exactly as in the
+// serial pipeline.
 func Run(ctx *Context, list ...Checker) *report.Report {
 	if len(list) == 0 {
 		list = All()
 	}
 	r := &report.Report{Target: ctx.File}
-	for _, c := range list {
-		if err := ctx.Budget.Err(); err != nil {
-			ctx.Diagnostics = append(ctx.Diagnostics, guard.Diag(guard.StageCheck, c.Name(),
-				fmt.Errorf("skipped: %w", err), true))
-			r.Degraded = true
-			continue
-		}
-		var ws []report.Warning
-		if err := guard.Protect(guard.StageCheck, c.Name(), func() error {
-			ws = c.Check(ctx)
+	results := make([][]report.Warning, len(list))
+	errs := guard.PoolNamed(guard.StageCheck, len(list), ctx.Workers,
+		func(i int) string { return list[i].Name() },
+		func(i int) error {
+			if err := ctx.Budget.Err(); err != nil {
+				return fmt.Errorf("skipped: %w", err)
+			}
+			results[i] = list[i].Check(ctx)
 			return nil
-		}); err != nil {
-			// A crashed checker loses only its own findings; the report keeps
-			// everything the other checkers produced.
-			ctx.Diagnostics = append(ctx.Diagnostics, guard.Diag(guard.StageCheck, c.Name(), err, true))
+		})
+	for i, err := range errs {
+		if err != nil {
+			ctx.Diagnostics = append(ctx.Diagnostics, guard.Diag(guard.StageCheck, list[i].Name(), err, true))
 			r.Degraded = true
 			continue
 		}
-		r.Add(ws...)
+		r.Add(results[i]...)
 	}
 	if len(ctx.Diagnostics) > 0 {
 		r.Degraded = true
@@ -157,25 +199,25 @@ func Run(ctx *Context, list ...Checker) *report.Report {
 	return r
 }
 
-var (
-	likelyOnce sync.Once
-	likelyMap  map[report.Aspect]string
-)
+// likelyByAspect computes the top Table-4 failure class per aspect exactly
+// once, process-wide. sync.OnceValue publishes the completed map with a
+// happens-before edge, so concurrent Run calls (serve handles requests in
+// parallel, and one request may run its checkers in parallel) read it
+// race-free; no caller can observe the map mid-population.
+var likelyByAspect = sync.OnceValue(func() map[report.Aspect]string {
+	m := map[report.Aspect]string{}
+	ds := study.Dataset()
+	for _, asp := range report.Aspects() {
+		ranked := study.LikelyConsequences(ds, asp)
+		if len(ranked) > 0 {
+			m[asp] = ranked[0].Consequence
+		}
+	}
+	return m
+})
 
 // likelyConsequence returns the top Table-4 failure class for an aspect.
-func likelyConsequence(a report.Aspect) string {
-	likelyOnce.Do(func() {
-		likelyMap = map[report.Aspect]string{}
-		ds := study.Dataset()
-		for _, asp := range report.Aspects() {
-			ranked := study.LikelyConsequences(ds, asp)
-			if len(ranked) > 0 {
-				likelyMap[asp] = ranked[0].Consequence
-			}
-		}
-	})
-	return likelyMap[a]
-}
+func likelyConsequence(a report.Aspect) string { return likelyByAspect()[a] }
 
 // fastPathFuncs yields the fast-path functions with extracted paths.
 func (ctx *Context) fastPathFuncs() []*paths.FuncPaths {

@@ -14,8 +14,8 @@
 // Spec grammar (terms separated by ';'):
 //
 //	term   = point "=" action [ "@" count ] [ "/" match ]
-//	point  = "pre-parse" | "pre-extract" | "pre-save" | "mid-save" |
-//	         "cache-load" | "cache-store"
+//	point  = "pre-parse" | "pre-extract" | "extract-func" | "pre-save" |
+//	         "mid-save" | "cache-load" | "cache-store"
 //	action = "error" | "panic" | "kill" | "sleep:" duration
 //
 // Examples:
@@ -43,6 +43,11 @@ const (
 	PreParse = "pre-parse"
 	// PreExtract fires before path extraction of one unit.
 	PreExtract = "pre-extract"
+	// ExtractFunc fires before path extraction of one function within a
+	// unit (the hit's unit argument is the function name), so tests can
+	// crash or fail exactly one function of a multi-function unit — the
+	// fault-isolation boundary of the parallel intra-unit pipeline.
+	ExtractFunc = "extract-func"
 	// PreSave fires at the start of a persistence operation (path database
 	// save, journal append).
 	PreSave = "pre-save"
@@ -142,7 +147,7 @@ func parseTerm(term string) (*point, error) {
 		return nil, fmt.Errorf("failpoint: bad term %q (want point=action)", term)
 	}
 	switch name {
-	case PreParse, PreExtract, PreSave, MidSave, CacheLoad, CacheStore:
+	case PreParse, PreExtract, ExtractFunc, PreSave, MidSave, CacheLoad, CacheStore:
 	default:
 		return nil, fmt.Errorf("failpoint: unknown point %q", name)
 	}

@@ -18,6 +18,18 @@ import (
 // regardless of scheduling — this is the pool under both
 // Analyzer.AnalyzeMany and the eval harness's parallel table runs.
 func Pool(n, workers int, fn func(i int) error) []error {
+	return PoolNamed(StageBatch, n, workers, func(i int) string {
+		return fmt.Sprintf("item %d", i)
+	}, fn)
+}
+
+// PoolNamed is Pool with a caller-supplied stage and per-item unit names, so
+// a recovered panic identifies the real work item ("extract of get_page")
+// instead of a positional "item 3". It is the fan-out primitive under the
+// intra-unit analysis pipeline: per-function path extraction and the checker
+// sweep both run on it, with workers = 1 reproducing the serial order
+// exactly (a single worker drains indices in submission order).
+func PoolNamed(stage Stage, n, workers int, name func(i int) string, fn func(i int) error) []error {
 	if n <= 0 {
 		return nil
 	}
@@ -35,7 +47,7 @@ func Pool(n, workers int, fn func(i int) error) []error {
 		go func() {
 			defer wg.Done()
 			for i := range idxCh {
-				errs[i] = Protect(StageBatch, fmt.Sprintf("item %d", i), func() error {
+				errs[i] = Protect(stage, name(i), func() error {
 					return fn(i)
 				})
 			}

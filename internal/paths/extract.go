@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"pallas/internal/cast"
 	"pallas/internal/cfg"
@@ -26,6 +27,12 @@ type Config struct {
 	// exhausted enumeration stops and the affected functions are marked
 	// Truncated. A nil Budget imposes no limit.
 	Budget *guard.Budget
+	// Workers bounds intra-unit parallelism: how many functions of one
+	// translation unit are extracted concurrently (each function is still
+	// walked by exactly one goroutine). <= 1 extracts serially. Extraction
+	// output is independent of the setting: the per-function result depends
+	// only on the function and the unit, never on scheduling.
+	Workers int
 }
 
 // DefaultConfig mirrors the paper's bounded exploration.
@@ -33,12 +40,20 @@ func DefaultConfig() Config {
 	return Config{MaxPaths: 512, MaxBlockVisits: 2, InlineDepth: 2}
 }
 
-// Extractor extracts paths for functions of one translation unit.
+// Extractor extracts paths for functions of one translation unit. It is safe
+// for concurrent use: the CFG and summary caches are guarded, so one
+// extractor can fan per-function extraction out across a worker pool (see
+// Config.Workers) or be shared by concurrent callers.
 type Extractor struct {
-	tu   *cast.TranslationUnit
-	cfg  Config
-	sums map[string]*Summary
-	// graphs caches built CFGs.
+	tu  *cast.TranslationUnit
+	cfg Config
+	// mu guards sums and graphs. Cache values are built outside the lock
+	// (duplicate builds are possible and discarded first-wins; builds are
+	// pure functions of the immutable TU, so every duplicate is identical),
+	// except summaries, which are built under a per-name once so no caller
+	// can ever observe a half-built summary (see summary.go).
+	mu     sync.Mutex
+	sums   map[string]*sumEntry
 	graphs map[string]*cfg.Graph
 }
 
@@ -50,14 +65,17 @@ func NewExtractor(tu *cast.TranslationUnit, c Config) *Extractor {
 	if c.MaxBlockVisits <= 0 {
 		c.MaxBlockVisits = 2
 	}
-	return &Extractor{tu: tu, cfg: c, sums: map[string]*Summary{}, graphs: map[string]*cfg.Graph{}}
+	return &Extractor{tu: tu, cfg: c, sums: map[string]*sumEntry{}, graphs: map[string]*cfg.Graph{}}
 }
 
 // TU returns the translation unit being analyzed.
 func (ex *Extractor) TU() *cast.TranslationUnit { return ex.tu }
 
 func (ex *Extractor) graph(name string) (*cfg.Graph, error) {
-	if g, ok := ex.graphs[name]; ok {
+	ex.mu.Lock()
+	g, ok := ex.graphs[name]
+	ex.mu.Unlock()
+	if ok {
 		return g, nil
 	}
 	fn := ex.tu.Func(name)
@@ -68,7 +86,13 @@ func (ex *Extractor) graph(name string) (*cfg.Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	ex.graphs[name] = g
+	ex.mu.Lock()
+	if prev, ok := ex.graphs[name]; ok {
+		g = prev // another worker built it first; keep one canonical graph
+	} else {
+		ex.graphs[name] = g
+	}
+	ex.mu.Unlock()
 	return g, nil
 }
 
@@ -156,8 +180,14 @@ type walkState struct {
 }
 
 func (st *walkState) walk(b *cfg.Block, env *sym.Env, pb *pathBuild) {
-	if st.fp.Truncated || len(st.fp.Paths) >= st.ex.cfg.MaxPaths {
-		st.fp.Truncated = len(st.fp.Paths) >= st.ex.cfg.MaxPaths
+	if st.fp.Truncated {
+		// Already degraded (budget exhaustion or the path cap); never clear
+		// the flag — a budget-truncated function with room left under
+		// MaxPaths must still report as truncated.
+		return
+	}
+	if len(st.fp.Paths) >= st.ex.cfg.MaxPaths {
+		st.fp.Truncated = true
 		return
 	}
 	if st.ex.cfg.Budget.Step() != nil {

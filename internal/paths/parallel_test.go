@@ -1,0 +1,145 @@
+package paths
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+
+	"pallas/internal/cparse"
+	"pallas/internal/guard"
+)
+
+// branchySrc is a unit whose functions share two helpers (exercising the
+// summary cache) and branch enough to produce many paths each.
+const branchySrc = `
+static void mark(struct req *r) { r->flag = 1; }
+static int clamp(int v) { if (v > 100) return 100; return v; }
+int f0(int a, struct req *r) {
+	int rc = 0;
+	if (a > 1) rc = rc + 1;
+	if (a > 2) rc = rc + 2;
+	if (a > 3) rc = rc + 4;
+	if (a > 4) { mark(r); rc = clamp(rc); }
+	return rc;
+}
+int f1(int a, struct req *r) {
+	int rc = 0;
+	if (a > 1) rc = rc + 1;
+	if (a > 2) { mark(r); rc = rc + 2; }
+	if (a > 3) rc = clamp(rc);
+	return rc;
+}
+int f2(int a, struct req *r) {
+	int rc = 0;
+	if (a > 1) { mark(r); rc = clamp(a); }
+	if (a > 2) rc = rc + 2;
+	return rc;
+}
+`
+
+// TestBudgetTruncationNotCleared is the regression test for the
+// truncation-reset bug: once the step budget truncates a walk, re-entering
+// walk with room left under MaxPaths must not flip Truncated back to false.
+// The budget is sized to die mid-enumeration while MaxPaths stays far above
+// the handful of paths extracted by then.
+func TestBudgetTruncationNotCleared(t *testing.T) {
+	tu, err := cparse.Parse("t.c", branchySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := guard.NewBudget(nil, guard.Limits{MaxSteps: 6})
+	ex := NewExtractor(tu, Config{MaxPaths: 512, MaxBlockVisits: 2, Budget: b})
+	fp, err := ex.Extract("f0")
+	if err != nil {
+		t.Fatalf("extract: %v", err)
+	}
+	if !fp.Truncated {
+		t.Fatalf("budget-limited extraction not marked truncated (%d paths)", len(fp.Paths))
+	}
+	if len(fp.Paths) >= 512 {
+		t.Fatalf("test broken: %d paths, budget never bound", len(fp.Paths))
+	}
+}
+
+// TestBudgetAndPathCapTruncation combines a tight budget with a low MaxPaths:
+// whichever limit fires first, the function must stay truncated.
+func TestBudgetAndPathCapTruncation(t *testing.T) {
+	tu, err := cparse.Parse("t.c", branchySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, steps := range []int64{4, 8, 16, 1 << 20} {
+		b := guard.NewBudget(nil, guard.Limits{MaxSteps: steps})
+		ex := NewExtractor(tu, Config{MaxPaths: 2, MaxBlockVisits: 2, Budget: b})
+		fp, err := ex.Extract("f0")
+		if err != nil {
+			t.Fatalf("steps=%d: extract: %v", steps, err)
+		}
+		if !fp.Truncated {
+			t.Errorf("steps=%d: want Truncated with MaxPaths=2, got %d paths untruncated",
+				steps, len(fp.Paths))
+		}
+		if len(fp.Paths) > 2 {
+			t.Errorf("steps=%d: %d paths exceed MaxPaths=2", steps, len(fp.Paths))
+		}
+	}
+}
+
+// TestExtractorConcurrentSameUnit hammers one shared extractor from many
+// goroutines (run under -race in CI): the CFG and summary caches must be
+// safe, and every concurrent result must be identical to a serial one.
+func TestExtractorConcurrentSameUnit(t *testing.T) {
+	tu, err := cparse.Parse("t.c", branchySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fns := []string{"f0", "f1", "f2", "mark", "clamp"}
+
+	// Serial baseline, one extractor per function so no cache warming leaks
+	// between baselines.
+	want := map[string]string{}
+	for _, fn := range fns {
+		fp, err := NewExtractor(tu, DefaultConfig()).Extract(fn)
+		if err != nil {
+			t.Fatalf("serial %s: %v", fn, err)
+		}
+		b, err := json.Marshal(fp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[fn] = string(b)
+	}
+
+	shared := NewExtractor(tu, DefaultConfig())
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				fn := fns[(g+i)%len(fns)]
+				fp, err := shared.Extract(fn)
+				if err != nil {
+					errs <- fmt.Errorf("%s: %v", fn, err)
+					return
+				}
+				b, err := json.Marshal(fp)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if string(b) != want[fn] {
+					errs <- fmt.Errorf("%s: concurrent result differs from serial", fn)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

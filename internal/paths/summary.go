@@ -2,6 +2,7 @@ package paths
 
 import (
 	"sort"
+	"sync"
 
 	"pallas/internal/cast"
 	"pallas/internal/ctok"
@@ -40,25 +41,37 @@ type SummaryCond struct {
 	Line   int
 }
 
+// sumEntry is one slot of the extractor's summary cache. The once makes the
+// build synchronous for every concurrent caller of the same name: nobody can
+// observe an in-progress build, so whether a summary is applied at a call
+// site depends only on the translation unit, never on worker scheduling.
+// (buildSummary never calls summary, so running it inside the once cannot
+// deadlock on a recursive lookup.)
+type sumEntry struct {
+	once sync.Once
+	s    *Summary
+}
+
 // summary returns (and caches) the summary for fn, or nil when the function
-// is unknown or depth is exhausted.
+// is unknown or depth is exhausted. Safe for concurrent use; distinct names
+// build in parallel, one build per name.
 func (ex *Extractor) summary(name string, depth int) *Summary {
 	if depth <= 0 {
 		return nil
 	}
-	if s, ok := ex.sums[name]; ok {
-		return s
+	ex.mu.Lock()
+	e, ok := ex.sums[name]
+	if !ok {
+		e = &sumEntry{}
+		ex.sums[name] = e
 	}
-	fn := ex.tu.Func(name)
-	if fn == nil {
-		ex.sums[name] = nil
-		return nil
-	}
-	// Pre-insert nil to cut recursion cycles.
-	ex.sums[name] = nil
-	s := ex.buildSummary(fn)
-	ex.sums[name] = s
-	return s
+	ex.mu.Unlock()
+	e.once.Do(func() {
+		if fn := ex.tu.Func(name); fn != nil {
+			e.s = ex.buildSummary(fn)
+		}
+	})
+	return e.s
 }
 
 // BuildSummary computes a fresh summary for fn (exported for tests and the

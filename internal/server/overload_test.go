@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"pallas"
 	"pallas/internal/failpoint"
 )
 
@@ -238,7 +239,8 @@ func TestServeRateLimit(t *testing.T) {
 // TestServeVerboseHealthz checks the operator view: queue/limiter/breaker
 // detail appears only with ?verbose=1 and reflects reality.
 func TestServeVerboseHealthz(t *testing.T) {
-	s := newTestServer(t, Config{Workers: 4, MinWorkers: 2, MaxQueue: 7})
+	s := newTestServer(t, Config{Workers: 4, MinWorkers: 2, MaxQueue: 7,
+		Analyzer: pallas.Config{AnalysisWorkers: 3}})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -269,6 +271,9 @@ func TestServeVerboseHealthz(t *testing.T) {
 	}
 	if h.EffectiveLimit != 4 || h.MinWorkers != 2 || h.MaxQueue != 7 {
 		t.Fatalf("limiter view = limit %d min %d queue %d", h.EffectiveLimit, h.MinWorkers, h.MaxQueue)
+	}
+	if h.AnalysisWorkers != 3 {
+		t.Fatalf("analysis_workers = %d, want 3", h.AnalysisWorkers)
 	}
 	if h.QueueDepth != 0 || h.Admitted != 1 || h.Shed.Total() != 0 {
 		t.Fatalf("admission view = %+v", h)

@@ -104,6 +104,11 @@ type Config struct {
 	// Deadline/MaxSteps/MaxMacroExpansions are the per-request budgets.
 	// Deadline doubles as the default admission deadline: a request that
 	// cannot be admitted before it is shed (max_wait_ms overrides).
+	// Analyzer.AnalysisWorkers additionally fans each admitted request out
+	// across that many intra-unit goroutines, so the server's total
+	// analysis concurrency is bounded by Workers × max(1, AnalysisWorkers);
+	// keep the product near GOMAXPROCS. Responses are byte-identical at any
+	// worker count, so cache entries stay shared across settings.
 	Analyzer pallas.Config
 	// Workers bounds concurrent analyses (not connections); <= 0 means
 	// GOMAXPROCS. This is the adaptive limiter's ceiling.
@@ -158,6 +163,7 @@ type Server struct {
 	maxBody  int64
 	maxQ     int
 	deadline time.Duration // default admission deadline (Analyzer.Deadline)
+	aworkers int           // Analyzer.AnalysisWorkers, surfaced by /healthz
 	draining atomic.Bool
 
 	mRequests     *metrics.Counter
@@ -222,6 +228,7 @@ func New(cfg Config) (*Server, error) {
 		maxBody:  maxBody,
 		maxQ:     maxQueue,
 		deadline: cfg.Analyzer.Deadline,
+		aworkers: cfg.Analyzer.AnalysisWorkers,
 
 		mRequests:     reg.Counter(MetricRequests, "accepted analyze requests"),
 		mErrors:       reg.Counter(MetricRequestErrors, "analyze requests answered with an error"),
@@ -578,6 +585,7 @@ type healthVerbose struct {
 	QueueDepth      int                `json:"queue_depth"`
 	EffectiveLimit  int                `json:"effective_limit"`
 	MinWorkers      int                `json:"min_workers"`
+	AnalysisWorkers int                `json:"analysis_workers"`
 	MaxQueue        int                `json:"max_queue"`
 	Admitted        int64              `json:"admitted_total"`
 	Shed            overload.ShedStats `json:"shed"`
@@ -612,6 +620,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		QueueDepth:      s.ctrl.QueueDepth(),
 		EffectiveLimit:  s.ctrl.EffectiveLimit(),
 		MinWorkers:      s.limiter.Min(),
+		AnalysisWorkers: s.aworkers,
 		MaxQueue:        s.maxQueue(),
 		Admitted:        s.ctrl.Admitted(),
 		Shed:            s.ctrl.Shed(),

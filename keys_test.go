@@ -1,0 +1,32 @@
+package pallas
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestMapKeysSorted pins mapKeys' sorted contract: fingerprint rendering and
+// every error message built from map keys must not depend on Go's randomized
+// map iteration order.
+func TestMapKeysSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		m := map[string]string{}
+		for i := 0; i < 1+rng.Intn(20); i++ {
+			m[string(rune('a'+rng.Intn(26)))+string(rune('a'+rng.Intn(26)))] = "v"
+		}
+		got := mapKeys(m)
+		if len(got) != len(m) {
+			t.Fatalf("trial %d: %d keys for a %d-entry map", trial, len(got), len(m))
+		}
+		if !sort.StringsAreSorted(got) {
+			t.Fatalf("trial %d: mapKeys returned unsorted keys %v", trial, got)
+		}
+		for _, k := range got {
+			if _, ok := m[k]; !ok {
+				t.Fatalf("trial %d: key %q not in map", trial, k)
+			}
+		}
+	}
+}

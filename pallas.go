@@ -125,6 +125,20 @@ type Config struct {
 	// degraded Result instead of errors. Budget exhaustion degrades
 	// regardless of this flag.
 	KeepGoing bool
+	// AnalysisWorkers bounds intra-unit parallelism: per-function path
+	// extraction and the five checkers fan out across this many goroutines
+	// within one AnalyzeSource call. <= 1 analyzes serially (the default).
+	// The output is deterministic regardless of the setting — reports,
+	// warning order, diagnostics, saved path databases, and cache keys are
+	// byte-identical between 1 and N workers — so the field is deliberately
+	// absent from cache-key fingerprints.
+	//
+	// AnalysisWorkers composes multiplicatively with outer concurrency:
+	// AnalyzeBatch runs up to BatchOptions.Workers units at once and `pallas
+	// serve` admits up to its -workers requests, each of which may fan out
+	// AnalysisWorkers goroutines, so total CPU demand is bounded by
+	// outer × AnalysisWorkers. Keep the product near GOMAXPROCS.
+	AnalysisWorkers int
 }
 
 // CheckerNames lists the five checker names in paper order.
@@ -308,6 +322,7 @@ func (a *Analyzer) analyze(tu *cast.TranslationUnit, sp *spec.Spec, merged strin
 		MaxBlockVisits: a.cfg.MaxBlockVisits,
 		InlineDepth:    a.cfg.InlineDepth,
 		Budget:         budget,
+		Workers:        a.cfg.AnalysisWorkers,
 	}
 	if pcfg.InlineDepth < 0 {
 		pcfg.InlineDepth = 0
@@ -337,8 +352,16 @@ func (a *Analyzer) analyze(tu *cast.TranslationUnit, sp *spec.Spec, merged strin
 	}
 
 	db := pathdb.New(tu.File)
-	for _, fp := range ctx.FuncPaths {
-		db.Put(fp)
+	// Insert in sorted function order, not map order: pathdb consumers see
+	// insertion order through DB.Put, and a saved database must be stable
+	// run-to-run and across worker counts.
+	fnNames := make([]string, 0, len(ctx.FuncPaths))
+	for fn := range ctx.FuncPaths {
+		fnNames = append(fnNames, fn)
+	}
+	sort.Strings(fnNames)
+	for _, fn := range fnNames {
+		db.Put(ctx.FuncPaths[fn])
 	}
 	for _, d := range diags {
 		db.AddDiagnostic(d)
@@ -410,6 +433,9 @@ func hasDiagFor(diags []Diagnostic, err error) bool {
 	return false
 }
 
+// mapKeys returns m's keys in sorted order. Every consumer (preprocessor
+// defines, cache-key fingerprints, error text) relies on the sorting for
+// run-to-run stability; TestMapKeysSorted pins the contract.
 func mapKeys(m map[string]string) []string {
 	out := make([]string, 0, len(m))
 	for k := range m {

@@ -1,0 +1,168 @@
+package pallas_test
+
+// BenchmarkAnalyzeParallel and its CI artifact: intra-unit scaling of the
+// analysis pipeline (per-function extraction + concurrent checkers) on a
+// synthetic unit big enough that extraction dominates. The artifact test
+// also re-asserts the determinism guarantee on the exact workload it times.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"pallas"
+	"pallas/internal/failpoint"
+)
+
+// genParallelUnit builds a unit with nFuncs analyzed functions, each with
+// nBranches independent symbolic branches (2^nBranches enumerated paths per
+// function) plus helper calls that exercise the shared summary cache.
+func genParallelUnit(nFuncs, nBranches int) (src, spec string) {
+	var sb, sp strings.Builder
+	sb.WriteString("static void touch(struct req *r) { r->flag = 1; }\n")
+	sb.WriteString("static int clamp(int v) { if (v > 100) return 100; return v; }\n")
+	for f := 0; f < nFuncs; f++ {
+		fmt.Fprintf(&sb, "int fast%d(int a, struct req *r) {\n\tint rc = %d;\n", f, f)
+		for i := 0; i < nBranches; i++ {
+			if i%3 == 0 {
+				fmt.Fprintf(&sb, "\tif (a > %d) { touch(r); rc = rc + %d; }\n", i+1, i+1)
+			} else {
+				fmt.Fprintf(&sb, "\tif (a > %d) rc = rc + %d;\n", i+1, i+1)
+			}
+		}
+		sb.WriteString("\treturn clamp(rc);\n}\n")
+		fmt.Fprintf(&sp, "fastpath fast%d\n", f)
+	}
+	return sb.String(), sp.String()
+}
+
+func BenchmarkAnalyzeParallel(b *testing.B) {
+	src, spec := genParallelUnit(10, 8)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			a := pallas.New(pallas.Config{AnalysisWorkers: workers})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := a.AnalyzeSource("bench.c", src, spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// parallelBench is the BENCH_parallel.json schema. The cpu-bound pair needs
+// HostCPUs > 1 to show a ratio; the stall pair overlaps injected per-function
+// latency and demonstrates pipeline concurrency on any host.
+type parallelBench struct {
+	Functions       int     `json:"functions"`
+	Paths           int     `json:"paths"`
+	Workers         int     `json:"workers"`
+	HostCPUs        int     `json:"host_cpus"`
+	Workers1MS      float64 `json:"workers_1_ms"`
+	WorkersNMS      float64 `json:"workers_n_ms"`
+	Speedup         float64 `json:"speedup"`
+	StallWorkers1MS float64 `json:"stall_workers_1_ms"`
+	StallWorkersNMS float64 `json:"stall_workers_n_ms"`
+	StallSpeedup    float64 `json:"stall_speedup"`
+	Identical       bool    `json:"identical_output"`
+}
+
+// TestAnalyzeParallelBenchArtifact times the same workload at 1 and 4
+// intra-unit workers, asserts the outputs are byte-identical, and writes
+// BENCH_parallel.json when PALLAS_BENCH_OUT is set. Two pairs are measured:
+// the plain CPU-bound run (speedup requires a multi-core host), and a run
+// with a 10ms injected stall per function (extract-func sleep failpoint),
+// which shows the fan-out overlapping per-function latency regardless of
+// core count. Ratios are recorded, not asserted: CI runners may have too few
+// cores to guarantee one.
+func TestAnalyzeParallelBenchArtifact(t *testing.T) {
+	out := os.Getenv("PALLAS_BENCH_OUT")
+	if testing.Short() && out == "" {
+		t.Skip("short mode")
+	}
+	const workers = 4
+	src, spec := genParallelUnit(10, 8)
+
+	run := func(w int) (time.Duration, string, int) {
+		a := pallas.New(pallas.Config{AnalysisWorkers: w})
+		best := time.Duration(0)
+		var rendered string
+		paths := 0
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			res, err := a.AnalyzeSource("bench.c", src, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			el := time.Since(start)
+			if best == 0 || el < best {
+				best = el
+			}
+			var rb bytes.Buffer
+			if err := res.Report.WriteJSON(&rb); err != nil {
+				t.Fatal(err)
+			}
+			pb, err := json.Marshal(res.Paths)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rendered = rb.String() + string(pb)
+			paths = res.Paths.NumPaths()
+		}
+		return best, rendered, paths
+	}
+
+	serialTime, serialOut, nPaths := run(1)
+	parTime, parOut, _ := run(workers)
+	identical := serialOut == parOut
+	if !identical {
+		t.Error("parallel output is not byte-identical to serial output")
+	}
+
+	// Latency-overlap pair: every function's extraction carries a 10ms stall,
+	// so a working fan-out finishes ~workers× sooner even on one core. The
+	// sleep action changes timing only, so output stays identical too.
+	if err := failpoint.Arm("extract-func=sleep:10ms"); err != nil {
+		t.Fatal(err)
+	}
+	stallSerial, stallSerialOut, _ := run(1)
+	stallPar, stallParOut, _ := run(workers)
+	failpoint.Disarm()
+	if stallSerialOut != serialOut || stallParOut != serialOut {
+		t.Error("stalled runs changed analysis output")
+	}
+
+	bench := parallelBench{
+		Functions:       10,
+		Paths:           nPaths,
+		Workers:         workers,
+		HostCPUs:        runtime.NumCPU(),
+		Workers1MS:      float64(serialTime.Microseconds()) / 1000,
+		WorkersNMS:      float64(parTime.Microseconds()) / 1000,
+		Speedup:         float64(serialTime.Nanoseconds()) / float64(parTime.Nanoseconds()),
+		StallWorkers1MS: float64(stallSerial.Microseconds()) / 1000,
+		StallWorkersNMS: float64(stallPar.Microseconds()) / 1000,
+		StallSpeedup:    float64(stallSerial.Nanoseconds()) / float64(stallPar.Nanoseconds()),
+		Identical:       identical,
+	}
+	t.Logf("analyze parallel: %d funcs, %d paths, %d cpus; cpu-bound 1w %.1fms vs %dw %.1fms (%.2fx); stalled 1w %.1fms vs %dw %.1fms (%.2fx)",
+		bench.Functions, bench.Paths, bench.HostCPUs,
+		bench.Workers1MS, workers, bench.WorkersNMS, bench.Speedup,
+		bench.StallWorkers1MS, workers, bench.StallWorkersNMS, bench.StallSpeedup)
+	if out == "" {
+		return
+	}
+	data, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,183 @@
+package pallas_test
+
+// Tests for the parallel intra-unit pipeline: byte-identical output at any
+// AnalysisWorkers setting, shared cache keys, per-function fault isolation,
+// and race-freedom of a shared analyzer under concurrent parallel analyses.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"pallas"
+	"pallas/internal/corpus"
+	"pallas/internal/failpoint"
+)
+
+// snapshot renders everything a determinism comparison cares about: the
+// report JSON (warnings, order, degraded flag), the warning messages, and the
+// path database JSON.
+func snapshot(t *testing.T, res *pallas.Result) (report, warnings, paths string) {
+	t.Helper()
+	var rb bytes.Buffer
+	if err := res.Report.WriteJSON(&rb); err != nil {
+		t.Fatal(err)
+	}
+	var ws strings.Builder
+	for _, w := range res.Report.Warnings {
+		fmt.Fprintf(&ws, "%s\n", w.String())
+	}
+	pb, err := json.Marshal(res.Paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rb.String(), ws.String(), string(pb)
+}
+
+// TestAnalysisWorkersDeterminism asserts the tentpole guarantee: the same
+// unit analyzed with 1, 4, and 16 intra-unit workers produces byte-identical
+// report JSON, identical warning order, an identical path database, and the
+// same cache key — so serial and parallel runs share cache entries.
+func TestAnalysisWorkersDeterminism(t *testing.T) {
+	src, spec := corpus.BigFile()
+	unit := pallas.Unit{Name: "mm/page_alloc.c", Source: src, Spec: spec}
+
+	base := pallas.New(pallas.Config{})
+	baseRes, err := base.AnalyzeSource(unit.Name, unit.Source, unit.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantReport, wantWarnings, wantPaths := snapshot(t, baseRes)
+	if len(baseRes.Report.Warnings) == 0 {
+		t.Fatal("baseline produced no warnings; determinism check would be vacuous")
+	}
+	wantKey := base.CacheKey(unit)
+
+	for _, workers := range []int{1, 4, 16} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
+			a := pallas.New(pallas.Config{AnalysisWorkers: workers})
+			res, err := a.AnalyzeSource(unit.Name, unit.Source, unit.Spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotReport, gotWarnings, gotPaths := snapshot(t, res)
+			if gotReport != wantReport {
+				t.Errorf("report JSON differs from serial baseline:\n--- want\n%s\n--- got\n%s",
+					wantReport, gotReport)
+			}
+			if gotWarnings != wantWarnings {
+				t.Errorf("warning order differs:\n--- want\n%s\n--- got\n%s", wantWarnings, gotWarnings)
+			}
+			if gotPaths != wantPaths {
+				t.Error("path database JSON differs from serial baseline")
+			}
+			if key := a.CacheKey(unit); key != wantKey {
+				t.Errorf("cache key %s differs from serial baseline %s; parallel and serial runs would not share cache entries", key, wantKey)
+			}
+		})
+	}
+}
+
+// TestAnalysisWorkersPanicIsolation asserts the fault-isolation boundary of
+// the parallel pipeline: a panic while extracting one function (injected via
+// the extract-func failpoint) degrades only that function — every other
+// function keeps its paths and the analysis still completes under KeepGoing.
+func TestAnalysisWorkersPanicIsolation(t *testing.T) {
+	src, spec := corpus.BigFile()
+
+	clean, err := pallas.New(pallas.Config{AnalysisWorkers: 4}).
+		AnalyzeSource("mm/page_alloc.c", src, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fns := clean.Paths.Funcs()
+	if len(fns) < 2 {
+		t.Fatalf("unit has %d analyzed functions; need at least 2", len(fns))
+	}
+	victim := fns[0]
+
+	if err := failpoint.Arm("extract-func=panic/" + victim); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.Disarm()
+
+	res, err := pallas.New(pallas.Config{AnalysisWorkers: 4, KeepGoing: true}).
+		AnalyzeSource("mm/page_alloc.c", src, spec)
+	if err != nil {
+		t.Fatalf("panic in one function failed the whole unit: %v", err)
+	}
+	if !res.Degraded() {
+		t.Error("report not marked degraded after a crashed extraction")
+	}
+	if res.Paths.Get(victim) != nil {
+		t.Errorf("crashed function %s still has a path entry", victim)
+	}
+	for _, fn := range fns[1:] {
+		if res.Paths.Get(fn) == nil {
+			t.Errorf("healthy function %s lost its paths to %s's crash", fn, victim)
+		}
+	}
+	found := false
+	for _, d := range res.Diagnostics {
+		if strings.Contains(d.String(), victim) && strings.Contains(d.String(), "panic") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no diagnostic names the crashed function %s: %v", victim, res.Diagnostics)
+	}
+
+	// Strict mode: the same panic surfaces as an error, not a process crash.
+	if err := failpoint.Arm("extract-func=panic/" + victim); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pallas.New(pallas.Config{AnalysisWorkers: 4}).
+		AnalyzeSource("mm/page_alloc.c", src, spec); err == nil {
+		t.Error("strict mode swallowed an extraction panic")
+	}
+}
+
+// TestAnalyzerConcurrentParallelAnalyses runs one shared analyzer with
+// intra-unit parallelism enabled from many goroutines at once (under -race
+// in CI): nested fan-out must stay race-free and every result identical.
+func TestAnalyzerConcurrentParallelAnalyses(t *testing.T) {
+	src, spec := corpus.BigFile()
+	a := pallas.New(pallas.Config{AnalysisWorkers: 4})
+
+	baseline, err := a.AnalyzeSource("mm/page_alloc.c", src, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, _ := snapshot(t, baseline)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := a.AnalyzeSource("mm/page_alloc.c", src, spec)
+			if err != nil {
+				errs <- err
+				return
+			}
+			var rb bytes.Buffer
+			if err := res.Report.WriteJSON(&rb); err != nil {
+				errs <- err
+				return
+			}
+			if rb.String() != want {
+				errs <- fmt.Errorf("concurrent parallel analysis diverged from baseline")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
