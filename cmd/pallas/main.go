@@ -59,6 +59,10 @@ func main() {
 		err = cmdInfer(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "cluster":
+		err = cmdCluster(os.Args[2:])
+	case "worker":
+		err = cmdWorker(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -89,6 +93,14 @@ commands:
            [-workers n] [-analysis-workers n] [-timeout d] run the HTTP service
            (POST /v1/analyze, GET /v1/report/{key}, /healthz, /metrics;
             SIGTERM drains in-flight requests and exits 0)
+  cluster  [check flags] [-cluster-workers n] [-worker addr]
+           [-journal file] [-resume] [-pathdb out.json]
+           [-status-addr host:port] file.c...      distribute check across
+           worker processes with crash recovery; stdout and -pathdb output
+           are byte-identical to a single-process check at any worker
+           count and under any crash schedule
+  worker   [-addr host:port] [serve flags]        run one cluster worker
+           (prints "pallas: worker listening on ADDR" to stderr when bound)
   paths    -func name [-db out.json] file.c              print symbolic paths
   workflow -func name [-dot] file.c                      render the workflow
   diff     -fast f -slow g [-suggest] file.c             compare fast vs slow
@@ -178,55 +190,15 @@ func cmdCheck(args []string) error {
 		fmt.Fprintf(os.Stderr, "pallas: %s: %v\n", path, err)
 		raise(3)
 	}
-	for _, r := range results {
-		if r.Skipped {
-			// Keep stdout identical to an uninterrupted run; the resume
-			// notice goes to stderr only.
-			fmt.Fprintf(os.Stderr, "pallas: %s: resumed from journal\n", r.Unit)
-		}
-		if r.Err != nil {
-			fmt.Fprintf(os.Stderr, "pallas: %s: %v\n", r.Unit, r.Err)
-			for _, d := range r.Diagnostics {
-				fmt.Fprintln(os.Stderr, "pallas: "+d.String())
-			}
-			if r.Quarantined {
-				fmt.Fprintf(os.Stderr, "pallas: %s: quarantined after %d attempt(s)\n", r.Unit, max(r.Attempts, 1))
-			}
-			raise(3)
-			continue
-		}
-		res := r.Result
-		if len(res.Report.Warnings) > 0 && !*asJSON {
-			raise(1)
-		}
-		if res.Degraded() {
-			raise(2)
-			for _, d := range res.Diagnostics {
-				fmt.Fprintln(os.Stderr, "pallas: "+d.String())
-			}
-		}
-		if *htmlOut != "" {
-			// With several inputs, suffix the HTML file per input.
-			out := *htmlOut
-			if fs.NArg() > 1 {
-				out = strings.TrimSuffix(out, ".html") + "-" + sanitize(r.Unit) + ".html"
-			}
-			if err := writeHTMLReport(res, out); err != nil {
-				return err
-			}
-		}
-		if *asJSON {
-			if err := res.Report.WriteJSON(os.Stdout); err != nil {
-				return err
-			}
-			continue
-		}
-		if err := res.Report.WriteText(os.Stdout); err != nil {
-			return err
-		}
-		fmt.Println()
-		fmt.Print(res.Report.Summary())
+	pexit, err := printUnitResults(results, printOptions{
+		asJSON:  *asJSON,
+		htmlOut: *htmlOut,
+		multi:   fs.NArg() > 1,
+	})
+	if err != nil {
+		return err
 	}
+	raise(pexit)
 	if *journalPath != "" {
 		fmt.Fprintf(os.Stderr,
 			"pallas: journal %s: %d analyzed, %d resumed, %d retried, %d quarantined\n",
@@ -247,6 +219,76 @@ func cmdCheck(args []string) error {
 		os.Exit(exit)
 	}
 	return nil
+}
+
+// printOptions configures printUnitResults.
+type printOptions struct {
+	asJSON  bool
+	htmlOut string
+	multi   bool // several inputs: HTML file names get a per-unit suffix
+}
+
+// printUnitResults renders batch results the way `check` always has —
+// reports to stdout, diagnostics and resume notices to stderr — and returns
+// the worst exit code (0 clean, 1 warnings, 2 degraded, 3 fatal). `cluster`
+// shares it so distributed runs produce byte-identical stdout.
+func printUnitResults(results []pallas.UnitResult, opts printOptions) (int, error) {
+	exit := 0
+	raise := func(code int) {
+		if code > exit {
+			exit = code
+		}
+	}
+	for _, r := range results {
+		if r.Skipped {
+			// Keep stdout identical to an uninterrupted run; the resume
+			// notice goes to stderr only.
+			fmt.Fprintf(os.Stderr, "pallas: %s: resumed from journal\n", r.Unit)
+		}
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "pallas: %s: %v\n", r.Unit, r.Err)
+			for _, d := range r.Diagnostics {
+				fmt.Fprintln(os.Stderr, "pallas: "+d.String())
+			}
+			if r.Quarantined {
+				fmt.Fprintf(os.Stderr, "pallas: %s: quarantined after %d attempt(s)\n", r.Unit, max(r.Attempts, 1))
+			}
+			raise(3)
+			continue
+		}
+		res := r.Result
+		if len(res.Report.Warnings) > 0 && !opts.asJSON {
+			raise(1)
+		}
+		if res.Degraded() {
+			raise(2)
+			for _, d := range res.Diagnostics {
+				fmt.Fprintln(os.Stderr, "pallas: "+d.String())
+			}
+		}
+		if opts.htmlOut != "" {
+			// With several inputs, suffix the HTML file per input.
+			out := opts.htmlOut
+			if opts.multi {
+				out = strings.TrimSuffix(out, ".html") + "-" + sanitize(r.Unit) + ".html"
+			}
+			if err := writeHTMLReport(res, out); err != nil {
+				return exit, err
+			}
+		}
+		if opts.asJSON {
+			if err := res.Report.WriteJSON(os.Stdout); err != nil {
+				return exit, err
+			}
+			continue
+		}
+		if err := res.Report.WriteText(os.Stdout); err != nil {
+			return exit, err
+		}
+		fmt.Println()
+		fmt.Print(res.Report.Summary())
+	}
+	return exit, nil
 }
 
 // contains reports whether list holds s.

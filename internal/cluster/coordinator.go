@@ -1,0 +1,1086 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"pallas"
+	"pallas/internal/guard"
+	"pallas/internal/journal"
+	"pallas/internal/metrics"
+)
+
+// Options configures a Coordinator. The zero value is usable: defaults are
+// filled in by NewCoordinator.
+type Options struct {
+	// Client performs worker HTTP requests; nil means a fresh client.
+	// Per-request deadlines come from RequestTimeout, not Client.Timeout.
+	Client *http.Client
+	// HeartbeatInterval is how often each worker is probed for liveness.
+	// Default 500ms.
+	HeartbeatInterval time.Duration
+	// HeartbeatMisses is how many consecutive failed probes (or failed unit
+	// dispatches) evict a worker. Default 3.
+	HeartbeatMisses int
+	// RequestTimeout bounds one unit dispatch end to end — a worker that
+	// hangs mid-analysis holds the unit at most this long before it counts
+	// as a transient failure and the unit is requeued. Default 2m.
+	RequestTimeout time.Duration
+	// Inflight is how many units one worker analyzes concurrently (the
+	// coordinator-side pipeline depth; the worker's own admission control
+	// is the authority and sheds with 503 beyond its capacity). Default 2.
+	Inflight int
+	// Retries is how many re-dispatches a unit gets after its first attempt
+	// fails transiently (worker death, hang, panic, budget blowout,
+	// injected fault); past them the unit is quarantined — the same policy
+	// AnalyzeBatch applies in-process. Default 2.
+	Retries int
+	// RetryBackoff is the base delay before a requeued unit is eligible for
+	// re-dispatch, doubled per attempt with ±50% jitter (AnalyzeBatch's
+	// curve). The unit waits in queue; no dispatcher sleeps. Default 100ms.
+	RetryBackoff time.Duration
+	// JournalPath, when set, records every assignment (non-terminal) and
+	// completion (terminal, with report and pathdb bytes) in a checkpoint
+	// journal, making the coordinator itself crash-recoverable.
+	JournalPath string
+	// Resume replays units whose latest journal record is terminal and
+	// still matches their content hash instead of re-dispatching them.
+	Resume bool
+	// GroupCommit opens the journal with batched fsyncs.
+	GroupCommit bool
+	// WorkerlessGrace is how long the coordinator tolerates having zero
+	// live workers while units are pending (covering supervisor restarts)
+	// before failing the run. Default 15s.
+	WorkerlessGrace time.Duration
+	// Metrics receives the cluster instruments; nil means metrics.Default.
+	Metrics *metrics.Registry
+	// Logf, when non-nil, receives progress lines (evictions, requeues,
+	// duplicate completions) — the CLI points it at stderr.
+	Logf func(format string, args ...any)
+}
+
+// Outcome is the terminal result of one unit, in input order. Either a
+// replayed/completed analysis (Report/Paths set) or a failure (Err set).
+type Outcome struct {
+	// Unit and Hash identify the unit.
+	Unit string
+	Hash string
+	// Status is the journal-status classification of the outcome.
+	Status journal.Status
+	// Report and Paths are the unit's marshaled report and path database —
+	// byte-identical to a single-process analysis of the same unit.
+	Report json.RawMessage
+	Paths  json.RawMessage
+	// Diagnostics carries the unit's degradation record.
+	Diagnostics []guard.Diagnostic
+	// Err is the failure rendered as text for failed/quarantined units.
+	Err string
+	// Attempts counts dispatch attempts this run (0 for replayed units).
+	Attempts int
+	// Skipped reports the unit was replayed from the journal on resume.
+	Skipped bool
+	// Worker is the worker that completed the unit (or was last assigned).
+	Worker string
+	// Degraded and Warnings mirror the report.
+	Degraded bool
+	Warnings int
+	// CacheHit reports the completing worker served its cache.
+	CacheHit bool
+}
+
+// Stats summarizes one cluster run.
+type Stats struct {
+	Units           int
+	Completed       int
+	Skipped         int
+	Failed          int
+	Quarantined     int
+	Requeues        int
+	Evictions       int
+	HeartbeatMisses int
+	DupCompletions  int
+	Backpressure    int
+	CacheHits       int
+	// Journal recovery, as in BatchStats.
+	JournalRecovered   int
+	JournalTornTail    bool
+	JournalQuarantined int
+}
+
+// WorkerHealth is one row of the coordinator's per-worker table
+// (/healthz?verbose=1 on the status server).
+type WorkerHealth struct {
+	Addr            string `json:"addr"`
+	Live            bool   `json:"live"`
+	Queue           int    `json:"queue"`
+	InFlight        int    `json:"in_flight"`
+	Done            int64  `json:"done"`
+	Requeues        int64  `json:"requeues"`
+	HeartbeatMisses int64  `json:"heartbeat_misses"`
+	LastBeatAgeMS   int64  `json:"last_beat_age_ms"`
+	Paused          bool   `json:"paused"`
+}
+
+// task states.
+const (
+	taskPending = iota
+	taskAssigned
+	taskDone
+)
+
+type task struct {
+	idx       int
+	unit      pallas.Unit
+	hash      string
+	state     int
+	attempts  int
+	owner     string    // worker addr while assigned
+	queuedOn  string    // worker addr whose queue holds it while pending
+	notBefore time.Time // retry-backoff eligibility
+	outcome   *Outcome
+}
+
+type workerState struct {
+	addr        string
+	live        bool
+	queue       []*task
+	inflight    int
+	misses      int
+	lastBeat    time.Time
+	pausedUntil time.Time
+	done        int64
+	requeues    int64
+	hbMisses    int64
+	stop        chan struct{}
+}
+
+// Coordinator owns a cluster run: it shards units over workers, keeps them
+// alive or evicts them, and merges results deterministically. Create with
+// NewCoordinator, register workers with AddWorker (before or during Run),
+// then call Run once.
+type Coordinator struct {
+	opts   Options
+	client *http.Client
+	reg    *metrics.Registry
+	jr     *journal.Journal
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	ring     *Ring
+	workers  map[string]*workerState
+	tasks    []*task
+	orphans  []*task // pending tasks with no live worker to queue on
+	pending  int
+	running  bool
+	closed   bool
+	fatalErr error
+	stats    Stats
+
+	runCtx    context.Context
+	runCancel context.CancelFunc
+	wg        sync.WaitGroup
+
+	gWorkersLive *metrics.Gauge
+	mRequeues    *metrics.Counter
+	mHBMisses    *metrics.Counter
+	mEvictions   *metrics.Counter
+	mDups        *metrics.Counter
+	mUnitsDone   *metrics.Counter
+	mBackpress   *metrics.Counter
+}
+
+// NewCoordinator builds a coordinator (opening the journal when configured).
+func NewCoordinator(opts Options) (*Coordinator, error) {
+	if opts.Client == nil {
+		opts.Client = &http.Client{}
+	}
+	if opts.HeartbeatInterval <= 0 {
+		opts.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if opts.HeartbeatMisses <= 0 {
+		opts.HeartbeatMisses = 3
+	}
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = 2 * time.Minute
+	}
+	if opts.Inflight <= 0 {
+		opts.Inflight = 2
+	}
+	if opts.Retries < 0 {
+		opts.Retries = 0
+	} else if opts.Retries == 0 {
+		opts.Retries = 2
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = 100 * time.Millisecond
+	}
+	if opts.WorkerlessGrace <= 0 {
+		opts.WorkerlessGrace = 15 * time.Second
+	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = metrics.Default
+	}
+	c := &Coordinator{
+		opts:    opts,
+		client:  opts.Client,
+		reg:     reg,
+		ring:    NewRing(),
+		workers: map[string]*workerState{},
+
+		gWorkersLive: reg.Gauge(metrics.MetricClusterWorkersLive, "cluster workers currently live"),
+		mRequeues:    reg.Counter(metrics.MetricClusterRequeues, "units requeued after worker failure or transient error"),
+		mHBMisses:    reg.Counter(metrics.MetricClusterHeartbeatMisses, "missed worker heartbeats"),
+		mEvictions:   reg.Counter(metrics.MetricClusterEvictions, "workers evicted"),
+		mDups:        reg.Counter(metrics.MetricClusterDupCompletions, "duplicate completions suppressed by content hash"),
+		mUnitsDone:   reg.Counter(metrics.MetricClusterUnitsDone, "units with a terminal outcome recorded"),
+		mBackpress:   reg.Counter(metrics.MetricClusterBackpressure, "dispatches shed by worker overload control and requeued"),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	if opts.JournalPath != "" {
+		jr, err := journal.OpenOptions(opts.JournalPath, journal.Options{GroupCommit: opts.GroupCommit})
+		if err != nil {
+			return nil, err
+		}
+		c.jr = jr
+		rec := jr.Recovery()
+		c.stats.JournalRecovered = rec.Records
+		c.stats.JournalTornTail = rec.TornTail
+		c.stats.JournalQuarantined = rec.Quarantined
+	} else if opts.Resume {
+		return nil, errors.New("cluster: Options.Resume requires JournalPath")
+	}
+	return c, nil
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.opts.Logf != nil {
+		c.opts.Logf(format, args...)
+	}
+}
+
+// AddWorker registers a worker address and starts dispatching to it. Safe
+// to call before or during Run (the supervisor calls it when a restarted
+// worker comes up). Re-adding a live worker is a no-op.
+func (c *Coordinator) AddWorker(addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	if w, ok := c.workers[addr]; ok && w.live {
+		return
+	}
+	w := &workerState{addr: addr, live: true, lastBeat: time.Now(), stop: make(chan struct{})}
+	c.workers[addr] = w
+	c.ring.Add(addr)
+	c.gWorkersLive.Set(c.liveCountLocked())
+	// Re-home orphaned tasks now that a worker exists.
+	for _, t := range c.orphans {
+		t.queuedOn = addr
+		w.queue = append(w.queue, t)
+	}
+	c.orphans = nil
+	if c.running {
+		c.startWorkerLocked(w)
+	}
+	c.cond.Broadcast()
+}
+
+// RemoveWorker evicts a worker (the supervisor calls it when a worker
+// process dies before the heartbeat notices); its queued and in-flight
+// units are requeued to the survivors.
+func (c *Coordinator) RemoveWorker(addr string, reason error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w, ok := c.workers[addr]; ok && w.live {
+		c.evictLocked(w, reason)
+	}
+}
+
+func (c *Coordinator) liveCountLocked() int64 {
+	var n int64
+	for _, w := range c.workers {
+		if w.live {
+			n++
+		}
+	}
+	return n
+}
+
+// startWorkerLocked launches a worker's dispatcher and heartbeat loops.
+func (c *Coordinator) startWorkerLocked(w *workerState) {
+	for i := 0; i < c.opts.Inflight; i++ {
+		c.wg.Add(1)
+		go c.dispatchLoop(w)
+	}
+	c.wg.Add(1)
+	go c.heartbeatLoop(w)
+}
+
+// Run dispatches units across the registered workers and blocks until every
+// unit has a terminal outcome (or the run fails fatally: context canceled,
+// or no live workers for longer than WorkerlessGrace). Outcomes are in
+// input order regardless of which worker finished what, when — the
+// determinism anchor for merged output. Run may be called once.
+func (c *Coordinator) Run(ctx context.Context, units []pallas.Unit) ([]Outcome, Stats, error) {
+	c.mu.Lock()
+	if c.running || c.closed {
+		c.mu.Unlock()
+		return nil, c.stats, errors.New("cluster: Run called twice")
+	}
+	c.running = true
+	c.runCtx, c.runCancel = context.WithCancel(ctx)
+	c.stats.Units = len(units)
+
+	c.tasks = make([]*task, len(units))
+	for i, u := range units {
+		t := &task{idx: i, unit: u, hash: u.Hash(), state: taskPending}
+		c.tasks[i] = t
+		if c.jr != nil && c.opts.Resume {
+			if rec, ok := c.jr.Lookup(u.Name); ok && rec.Hash == t.hash && rec.Status.Terminal() {
+				t.state = taskDone
+				t.outcome = outcomeFromRecord(t, rec)
+				c.stats.Skipped++
+				continue
+			}
+		}
+		c.pending++
+		c.enqueueLocked(t, "")
+	}
+	for _, w := range c.workers {
+		if w.live {
+			c.startWorkerLocked(w)
+		}
+	}
+	// Wake ticker: re-checks retry-backoff eligibility and worker pauses.
+	c.wg.Add(1)
+	go c.tick()
+	// Watchdogs: context cancellation and worker famine.
+	c.wg.Add(1)
+	go c.watch()
+
+	for c.pending > 0 && c.fatalErr == nil {
+		c.cond.Wait()
+	}
+	err := c.fatalErr
+	c.closed = true
+	c.runCancel()
+	for _, w := range c.workers {
+		if w.live {
+			close(w.stop)
+			w.live = false
+		}
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.wg.Wait()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.jr != nil {
+		c.jr.Flush()
+		c.jr.Close()
+	}
+	out := make([]Outcome, len(c.tasks))
+	for i, t := range c.tasks {
+		if t.outcome != nil {
+			out[i] = *t.outcome
+		} else {
+			out[i] = Outcome{Unit: t.unit.Name, Hash: t.hash, Status: journal.StatusFailed,
+				Err: "cluster: run aborted before completion", Attempts: t.attempts}
+		}
+	}
+	if err != nil {
+		return out, c.stats, fmt.Errorf("cluster: run failed: %w", err)
+	}
+	return out, c.stats, nil
+}
+
+// tick periodically wakes dispatchers so retry-backoff eligibility and
+// backpressure pauses are re-evaluated without per-task timers.
+func (c *Coordinator) tick() {
+	defer c.wg.Done()
+	t := time.NewTicker(25 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.runCtx.Done():
+			return
+		case <-t.C:
+			c.mu.Lock()
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		}
+	}
+}
+
+// watch fails the run when the context dies or no worker has been live for
+// WorkerlessGrace while units are still pending.
+func (c *Coordinator) watch() {
+	defer c.wg.Done()
+	var zeroSince time.Time
+	t := time.NewTicker(100 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.runCtx.Done():
+			c.mu.Lock()
+			if c.pending > 0 && c.fatalErr == nil && !c.closed {
+				c.fatalErr = c.runCtx.Err()
+			}
+			c.cond.Broadcast()
+			c.mu.Unlock()
+			return
+		case <-t.C:
+			c.mu.Lock()
+			if c.closed || c.pending == 0 {
+				c.mu.Unlock()
+				return
+			}
+			if c.liveCountLocked() == 0 {
+				if zeroSince.IsZero() {
+					zeroSince = time.Now()
+				} else if time.Since(zeroSince) > c.opts.WorkerlessGrace {
+					c.fatalErr = fmt.Errorf("no live workers for %s with %d unit(s) pending",
+						c.opts.WorkerlessGrace, c.pending)
+					c.cond.Broadcast()
+					c.mu.Unlock()
+					return
+				}
+			} else {
+				zeroSince = time.Time{}
+			}
+			c.mu.Unlock()
+		}
+	}
+}
+
+// enqueueLocked queues a pending task on its ring owner (or the
+// shortest-queued live worker when the owner is excluded/dead). exclude
+// names a worker to avoid — the one that just failed the task.
+func (c *Coordinator) enqueueLocked(t *task, exclude string) {
+	target := ""
+	if owner := c.ring.Owner(t.hash); owner != "" && owner != exclude {
+		target = owner
+	} else {
+		best := -1
+		for _, w := range c.workers {
+			if !w.live || w.addr == exclude {
+				continue
+			}
+			if best < 0 || len(w.queue) < best {
+				best = len(w.queue)
+				target = w.addr
+			}
+		}
+	}
+	if target == "" {
+		// No live worker (or only the excluded one, which is being
+		// evicted): park the task; AddWorker drains orphans.
+		if exclude != "" {
+			if w := c.workers[exclude]; w != nil && w.live {
+				t.queuedOn = exclude
+				w.queue = append(w.queue, t)
+				return
+			}
+		}
+		t.queuedOn = ""
+		c.orphans = append(c.orphans, t)
+		return
+	}
+	t.queuedOn = target
+	c.workers[target].queue = append(c.workers[target].queue, t)
+}
+
+// dequeueLocked removes t from whatever queue holds it (used when a late
+// completion for a requeued task arrives before its re-dispatch).
+func (c *Coordinator) dequeueLocked(t *task) {
+	if t.queuedOn != "" {
+		if w := c.workers[t.queuedOn]; w != nil {
+			for i, q := range w.queue {
+				if q == t {
+					w.queue = append(w.queue[:i], w.queue[i+1:]...)
+					break
+				}
+			}
+		}
+		t.queuedOn = ""
+		return
+	}
+	for i, q := range c.orphans {
+		if q == t {
+			c.orphans = append(c.orphans[:i], c.orphans[i+1:]...)
+			return
+		}
+	}
+}
+
+// next blocks until the worker has a unit to run (own queue first, then
+// stolen from the longest live queue), the worker dies, or the run ends.
+// Returns nil when the dispatcher should exit.
+func (c *Coordinator) next(w *workerState) *task {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if c.closed || !w.live || c.fatalErr != nil {
+			return nil
+		}
+		now := time.Now()
+		if now.After(w.pausedUntil) {
+			if t := c.popEligibleLocked(w, now); t != nil {
+				c.assignLocked(t, w)
+				return t
+			}
+			if t := c.stealLocked(w, now); t != nil {
+				c.assignLocked(t, w)
+				return t
+			}
+		}
+		c.cond.Wait()
+	}
+}
+
+// popEligibleLocked removes the first task in w's queue whose retry backoff
+// has elapsed.
+func (c *Coordinator) popEligibleLocked(w *workerState, now time.Time) *task {
+	for i, t := range w.queue {
+		if t.notBefore.After(now) {
+			continue
+		}
+		w.queue = append(w.queue[:i], w.queue[i+1:]...)
+		t.queuedOn = ""
+		return t
+	}
+	return nil
+}
+
+// stealLocked takes an eligible task from the tail of the longest live
+// queue — the classic work-stealing choice: the tail is the work its owner
+// would reach last, so stealing it disturbs cache locality least.
+func (c *Coordinator) stealLocked(w *workerState, now time.Time) *task {
+	var victim *workerState
+	for _, u := range c.workers {
+		if u == w || !u.live || len(u.queue) == 0 {
+			continue
+		}
+		if victim == nil || len(u.queue) > len(victim.queue) {
+			victim = u
+		}
+	}
+	if victim == nil {
+		return nil
+	}
+	for i := len(victim.queue) - 1; i >= 0; i-- {
+		t := victim.queue[i]
+		if t.notBefore.After(now) {
+			continue
+		}
+		victim.queue = append(victim.queue[:i], victim.queue[i+1:]...)
+		t.queuedOn = ""
+		return t
+	}
+	return nil
+}
+
+func (c *Coordinator) assignLocked(t *task, w *workerState) {
+	t.state = taskAssigned
+	t.owner = w.addr
+	t.attempts++
+	w.inflight++
+}
+
+// dispatchLoop is one dispatcher lane of one worker: take the next unit,
+// send it, classify the outcome. A worker has Options.Inflight lanes.
+func (c *Coordinator) dispatchLoop(w *workerState) {
+	defer c.wg.Done()
+	for {
+		t := c.next(w)
+		if t == nil {
+			return
+		}
+		c.journalAssign(t, w)
+		payload, shed, retryAfter, err := c.send(t, w)
+		switch {
+		case err != nil:
+			c.transportFail(w, t, err)
+		case shed:
+			c.backpressured(w, t, retryAfter)
+		default:
+			c.finishResult(w, t, payload)
+		}
+	}
+}
+
+func (c *Coordinator) journalAssign(t *task, w *workerState) {
+	if c.jr == nil {
+		return
+	}
+	if err := c.jr.Append(journal.Record{
+		Unit: t.unit.Name, Hash: t.hash, Status: journal.StatusAssigned,
+		Attempt: t.attempts, Worker: w.addr,
+	}); err != nil {
+		c.logf("cluster: journal assign %s: %v", t.unit.Name, err)
+	}
+}
+
+// send performs one framed dispatch. Returns the decoded result, or
+// shed=true with the worker's Retry-After hint, or a transport error.
+func (c *Coordinator) send(t *task, w *workerState) (ResultPayload, bool, time.Duration, error) {
+	var zero ResultPayload
+	body, err := EncodeFrame(FrameAssign, AssignPayload{
+		Unit: t.unit.Name, Hash: t.hash, Source: t.unit.Source, Spec: t.unit.Spec,
+		Attempt: t.attempts,
+	})
+	if err != nil {
+		return zero, false, 0, err
+	}
+	ctx, cancel := context.WithTimeout(c.runCtx, c.opts.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		"http://"+w.addr+"/v1/cluster/unit", bytes.NewReader(body))
+	if err != nil {
+		return zero, false, 0, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return zero, false, 0, err
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		var payload ResultPayload
+		if err := DecodeFrame(resp.Body, FrameResult, &payload); err != nil {
+			return zero, false, 0, err
+		}
+		if payload.Hash != t.hash {
+			return zero, false, 0, fmt.Errorf("result hash mismatch: got %s, want %s",
+				payload.Hash, t.hash)
+		}
+		return payload, false, 0, nil
+	case resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode == http.StatusTooManyRequests:
+		retry := time.Second
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+				retry = time.Duration(secs) * time.Second
+			}
+		}
+		return zero, true, retry, nil
+	default:
+		return zero, false, 0, fmt.Errorf("worker %s: status %d", w.addr, resp.StatusCode)
+	}
+}
+
+// transportFail handles a dispatch that never produced a result: the worker
+// died, hung past RequestTimeout, or answered garbage. The unit is requeued
+// (bounded), and the miss counts toward the worker's eviction threshold —
+// a crashed worker is usually detected here first, before the heartbeat.
+func (c *Coordinator) transportFail(w *workerState, t *task, err error) {
+	c.mu.Lock()
+	w.inflight--
+	w.misses++
+	c.stats.HeartbeatMisses++
+	w.hbMisses++
+	c.mHBMisses.Inc()
+	evict := w.live && w.misses >= c.opts.HeartbeatMisses
+	c.requeueLocked(w, t, err)
+	if evict {
+		c.evictLocked(w, fmt.Errorf("dispatch failures: %w", err))
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.logf("cluster: %s on %s failed (%v), requeued", t.unit.Name, w.addr, err)
+}
+
+// backpressured handles a 503/429 shed: the unit goes back to the queue
+// without spending an attempt, and the worker is paused for the hint.
+func (c *Coordinator) backpressured(w *workerState, t *task, retryAfter time.Duration) {
+	if retryAfter > 2*time.Second {
+		retryAfter = 2 * time.Second
+	}
+	c.mu.Lock()
+	w.inflight--
+	if t.state == taskAssigned && t.owner == w.addr {
+		t.attempts-- // admission was refused; the analysis never started
+		t.state = taskPending
+		t.owner = ""
+		w.pausedUntil = time.Now().Add(retryAfter)
+		c.stats.Backpressure++
+		c.mBackpress.Inc()
+		c.enqueueLocked(t, "")
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// finishResult classifies a decoded worker result.
+func (c *Coordinator) finishResult(w *workerState, t *task, p ResultPayload) {
+	switch p.Status {
+	case "ok", "degraded":
+		c.complete(w, t, p)
+	case "failed":
+		if p.Transient {
+			c.transientAnalysisFail(w, t, errors.New(p.Err))
+		} else {
+			c.terminalFail(w, t, p)
+		}
+	default:
+		c.transportFail(w, t, fmt.Errorf("worker %s: unknown result status %q", w.addr, p.Status))
+	}
+}
+
+// complete records a successful analysis — exactly once per unit content.
+// A requeued unit that completes on two workers (the assignments echo the
+// same content hash) is recorded on the first completion; the second
+// increments the duplicate counter and is dropped, safe because worker
+// output is deterministic: both completions carry the same bytes.
+func (c *Coordinator) complete(w *workerState, t *task, p ResultPayload) {
+	c.mu.Lock()
+	w.inflight--
+	w.misses = 0
+	if t.outcome != nil {
+		c.stats.DupCompletions++
+		c.mDups.Inc()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+		c.logf("cluster: duplicate completion of %s (hash %.12s) from %s suppressed",
+			t.unit.Name, t.hash, w.addr)
+		return
+	}
+	if t.state == taskPending {
+		// A late completion raced its own requeue: pull it back out of the
+		// queue so no third attempt dispatches.
+		c.dequeueLocked(t)
+	}
+	t.state = taskDone
+	t.owner = ""
+	status := journal.StatusOK
+	if p.Status == "degraded" {
+		status = journal.StatusDegraded
+	}
+	t.outcome = &Outcome{
+		Unit: t.unit.Name, Hash: t.hash, Status: status,
+		Report: p.Report, Paths: p.Paths, Diagnostics: p.Diagnostics,
+		Attempts: t.attempts, Worker: w.addr,
+		Degraded: p.Degraded, Warnings: p.Warnings, CacheHit: p.Cache == "hit",
+	}
+	if p.Cache == "hit" {
+		c.stats.CacheHits++
+	}
+	c.stats.Completed++
+	c.mUnitsDone.Inc()
+	w.done++
+	c.pending--
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.journalTerminal(t)
+}
+
+// terminalFail records a deterministic analysis failure (no retry: the
+// input itself is bad, as in AnalyzeBatch).
+func (c *Coordinator) terminalFail(w *workerState, t *task, p ResultPayload) {
+	c.mu.Lock()
+	w.inflight--
+	w.misses = 0
+	if t.outcome != nil {
+		c.stats.DupCompletions++
+		c.mDups.Inc()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+		return
+	}
+	if t.state == taskPending {
+		c.dequeueLocked(t)
+	}
+	t.state = taskDone
+	t.owner = ""
+	t.outcome = &Outcome{
+		Unit: t.unit.Name, Hash: t.hash, Status: journal.StatusFailed,
+		Err: p.Err, Diagnostics: p.Diagnostics, Attempts: t.attempts, Worker: w.addr,
+	}
+	c.stats.Failed++
+	c.mUnitsDone.Inc()
+	w.done++
+	c.pending--
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.journalTerminal(t)
+}
+
+// transientAnalysisFail requeues after a worker-reported transient failure
+// (panic, budget blowout, injected fault), with AnalyzeBatch's backoff.
+func (c *Coordinator) transientAnalysisFail(w *workerState, t *task, err error) {
+	c.mu.Lock()
+	w.inflight--
+	w.misses = 0
+	c.requeueLocked(w, t, err)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// requeueLocked returns a failed assignment to the pending queue, or
+// quarantines it when its attempts are spent. No-op when the task was
+// already completed elsewhere (late failure after duplicate dispatch) or
+// already requeued by an eviction sweep.
+func (c *Coordinator) requeueLocked(w *workerState, t *task, err error) {
+	if t.state != taskAssigned || t.owner != w.addr {
+		return
+	}
+	if t.attempts >= c.opts.Retries+1 {
+		t.state = taskDone
+		t.owner = ""
+		t.outcome = &Outcome{
+			Unit: t.unit.Name, Hash: t.hash, Status: journal.StatusQuarantined,
+			Err: err.Error(), Attempts: t.attempts, Worker: w.addr,
+		}
+		c.stats.Quarantined++
+		c.mUnitsDone.Inc()
+		c.pending--
+		c.journalTerminalAsync(t) // callers hold c.mu; Append must not
+		return
+	}
+	t.state = taskPending
+	t.owner = ""
+	t.notBefore = time.Now().Add(retryDelay(c.opts.RetryBackoff, t.attempts))
+	c.stats.Requeues++
+	c.mRequeues.Inc()
+	w.requeues++
+	c.enqueueLocked(t, w.addr)
+}
+
+// retryDelay mirrors AnalyzeBatch's curve: base doubled per attempt (capped
+// at 30s) with ±50% jitter.
+func retryDelay(base time.Duration, attempt int) time.Duration {
+	d := base
+	for i := 1; i < attempt && d < 30*time.Second; i++ {
+		d *= 2
+	}
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// journalTerminalAsync records a terminal outcome from a caller holding
+// c.mu: the append runs in a wg-tracked goroutine so Run's shutdown waits
+// for it before closing the journal.
+func (c *Coordinator) journalTerminalAsync(t *task) {
+	if c.jr == nil {
+		return
+	}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.journalTerminal(t)
+	}()
+}
+
+// journalTerminal durably records a terminal outcome.
+func (c *Coordinator) journalTerminal(t *task) {
+	if c.jr == nil {
+		return
+	}
+	o := t.outcome
+	rec := journal.Record{
+		Unit: o.Unit, Hash: o.Hash, Status: o.Status, Attempt: o.Attempts,
+		Err: o.Err, Degraded: o.Degraded, Warnings: o.Warnings,
+		Report: o.Report, Paths: o.Paths, Diagnostics: o.Diagnostics,
+		Worker: o.Worker,
+	}
+	if err := c.jr.Append(rec); err != nil {
+		c.logf("cluster: journal %s: %v", o.Unit, err)
+	}
+}
+
+// evictLocked removes a worker from rotation and requeues everything it
+// held: queued units move to survivors immediately; in-flight units flip
+// back to pending so their eventual transport error (or late success) is
+// recognized as stale.
+func (c *Coordinator) evictLocked(w *workerState, reason error) {
+	if !w.live {
+		return
+	}
+	w.live = false
+	close(w.stop)
+	c.ring.Remove(w.addr)
+	c.stats.Evictions++
+	c.mEvictions.Inc()
+	c.gWorkersLive.Set(c.liveCountLocked())
+	requeued := 0
+	// Queued units first.
+	for _, t := range w.queue {
+		t.queuedOn = ""
+		c.enqueueLocked(t, w.addr)
+		requeued++
+	}
+	w.queue = nil
+	// Then in-flight assignments.
+	for _, t := range c.tasks {
+		if t.state != taskAssigned || t.owner != w.addr {
+			continue
+		}
+		if t.attempts >= c.opts.Retries+1 {
+			t.state = taskDone
+			t.owner = ""
+			t.outcome = &Outcome{
+				Unit: t.unit.Name, Hash: t.hash, Status: journal.StatusQuarantined,
+				Err:      fmt.Sprintf("worker %s evicted: %v", w.addr, reason),
+				Attempts: t.attempts, Worker: w.addr,
+			}
+			c.stats.Quarantined++
+			c.mUnitsDone.Inc()
+			c.pending--
+			c.journalTerminalAsync(t)
+			continue
+		}
+		t.state = taskPending
+		t.owner = ""
+		c.stats.Requeues++
+		c.mRequeues.Inc()
+		w.requeues++
+		c.enqueueLocked(t, w.addr)
+		requeued++
+	}
+	c.cond.Broadcast()
+	c.logf("cluster: evicted worker %s (%v), %d unit(s) requeued", w.addr, reason, requeued)
+}
+
+// heartbeatLoop probes one worker until it is evicted or the run ends.
+func (c *Coordinator) heartbeatLoop(w *workerState) {
+	defer c.wg.Done()
+	tick := time.NewTicker(c.opts.HeartbeatInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-c.runCtx.Done():
+			return
+		case <-tick.C:
+		}
+		ok := c.ping(w)
+		c.mu.Lock()
+		if !w.live {
+			c.mu.Unlock()
+			return
+		}
+		if ok {
+			w.misses = 0
+			w.lastBeat = time.Now()
+		} else {
+			w.misses++
+			w.hbMisses++
+			c.stats.HeartbeatMisses++
+			c.mHBMisses.Inc()
+			if w.misses >= c.opts.HeartbeatMisses {
+				c.evictLocked(w, fmt.Errorf("%d consecutive heartbeat misses", w.misses))
+				c.mu.Unlock()
+				return
+			}
+		}
+		c.mu.Unlock()
+	}
+}
+
+// ping probes one worker's /v1/cluster/ping with a deadline of one
+// heartbeat interval.
+func (c *Coordinator) ping(w *workerState) bool {
+	ctx, cancel := context.WithTimeout(c.runCtx, c.opts.HeartbeatInterval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		"http://"+w.addr+"/v1/cluster/ping", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// Stats returns a snapshot of the run's counters.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Progress reports done vs total units.
+func (c *Coordinator) Progress() (done, total int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.tasks) - c.pending, len(c.tasks)
+}
+
+// WorkerTable returns the per-worker health rows for the status server,
+// sorted by address.
+func (c *Coordinator) WorkerTable() []WorkerHealth {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	out := make([]WorkerHealth, 0, len(c.workers))
+	for _, addr := range sortedWorkerAddrs(c.workers) {
+		w := c.workers[addr]
+		age := int64(-1)
+		if !w.lastBeat.IsZero() {
+			age = now.Sub(w.lastBeat).Milliseconds()
+		}
+		out = append(out, WorkerHealth{
+			Addr: w.addr, Live: w.live, Queue: len(w.queue), InFlight: w.inflight,
+			Done: w.done, Requeues: w.requeues, HeartbeatMisses: w.hbMisses,
+			LastBeatAgeMS: age, Paused: now.Before(w.pausedUntil),
+		})
+	}
+	return out
+}
+
+func sortedWorkerAddrs(m map[string]*workerState) []string {
+	out := make([]string, 0, len(m))
+	for a := range m {
+		out = append(out, a)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort: tiny n
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// outcomeFromRecord replays a terminal journal record as an Outcome, so a
+// resumed coordinator reproduces the original run's bytes exactly.
+func outcomeFromRecord(t *task, rec journal.Record) *Outcome {
+	return &Outcome{
+		Unit: t.unit.Name, Hash: t.hash, Status: rec.Status,
+		Report: rec.Report, Paths: rec.Paths, Diagnostics: rec.Diagnostics,
+		Err: rec.Err, Attempts: 0, Skipped: true, Worker: rec.Worker,
+		Degraded: rec.Degraded, Warnings: rec.Warnings,
+	}
+}
+
+// WriteMergedPaths writes the cluster's merged path database: one JSON
+// object mapping unit name → that unit's path database, unit names sorted
+// (json.Marshal sorts map keys), values exactly the workers' bytes. The
+// output is byte-identical at any worker count and under any crash
+// schedule, because every value is deterministic and the map shape is
+// completion-order-independent.
+func WriteMergedPaths(outcomes []Outcome) ([]byte, error) {
+	merged := make(map[string]json.RawMessage, len(outcomes))
+	for _, o := range outcomes {
+		if len(o.Paths) > 0 {
+			merged[o.Unit] = o.Paths
+		}
+	}
+	return json.MarshalIndent(merged, "", " ")
+}

@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingStableRouting(t *testing.T) {
+	r := NewRing("w1", "w2", "w3")
+	r2 := NewRing("w3", "w1", "w2") // insertion order must not matter
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("unit-%d", i)
+		if r.Owner(key) != r2.Owner(key) {
+			t.Fatalf("owner of %s differs across construction orders", key)
+		}
+	}
+}
+
+func TestRingRemoveOnlyRehomesRemoved(t *testing.T) {
+	r := NewRing("w1", "w2", "w3")
+	before := map[string]string{}
+	for i := 0; i < 300; i++ {
+		key := fmt.Sprintf("unit-%d", i)
+		before[key] = r.Owner(key)
+	}
+	r.Remove("w2")
+	moved, kept := 0, 0
+	for key, owner := range before {
+		after := r.Owner(key)
+		if owner == "w2" {
+			if after == "w2" {
+				t.Fatalf("%s still owned by removed member", key)
+			}
+			moved++
+			continue
+		}
+		if after != owner {
+			t.Fatalf("%s re-homed from %s to %s though %s was not removed", key, owner, after, owner)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d", moved, kept)
+	}
+}
+
+func TestRingSpread(t *testing.T) {
+	r := NewRing("w1", "w2", "w3", "w4")
+	counts := map[string]int{}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("unit-%d", i))]++
+	}
+	for _, m := range r.Members() {
+		if counts[m] < n/16 {
+			t.Fatalf("member %s starved: %v", m, counts)
+		}
+	}
+}
+
+func TestRingEmptyAndReAdd(t *testing.T) {
+	r := NewRing()
+	if r.Owner("x") != "" || r.Len() != 0 {
+		t.Fatal("empty ring should own nothing")
+	}
+	r.Add("w1")
+	r.Add("w1") // idempotent
+	if r.Len() != 1 || r.Owner("x") != "w1" {
+		t.Fatalf("single-member ring: len=%d owner=%q", r.Len(), r.Owner("x"))
+	}
+	r.Remove("w1")
+	r.Remove("w1") // idempotent
+	if r.Len() != 0 || r.Owner("x") != "" {
+		t.Fatal("ring not empty after removal")
+	}
+}

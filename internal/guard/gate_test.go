@@ -201,3 +201,41 @@ func TestGateDrainWaitsForInFlight(t *testing.T) {
 		t.Fatalf("wedged drain = %v, want deadline exceeded", err)
 	}
 }
+
+// TestGateDoContextCanceledWhileQueued proves an abandoned caller stops
+// waiting for a slot: with the gate full, DoContext under a canceled context
+// returns the context error promptly, never runs fn, and leaves the gate's
+// accounting untouched.
+func TestGateDoContextCanceledWhileQueued(t *testing.T) {
+	g := NewGate(1)
+	if err := g.Acquire(nil); err != nil {
+		t.Fatal(err)
+	}
+	defer g.Release()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	ran := atomic.Bool{}
+	go func() {
+		done <- g.DoContext(ctx, StageServe, "abandoned.c", func() error {
+			ran.Store(true)
+			return nil
+		})
+	}()
+	time.Sleep(10 * time.Millisecond) // let the goroutine block on the full gate
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("DoContext = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("DoContext did not unblock on cancellation")
+	}
+	if ran.Load() {
+		t.Fatal("fn ran despite canceled acquisition")
+	}
+	if g.InFlight() != 1 {
+		t.Fatalf("in-flight = %d, want 1 (only the test's own slot)", g.InFlight())
+	}
+}

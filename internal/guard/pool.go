@@ -131,7 +131,17 @@ func (g *Gate) Release() {
 // surfaces as a *PanicError, as with Protect). The slot is released when fn
 // returns. Returns ErrGateDraining without running fn once Drain started.
 func (g *Gate) Do(stage Stage, unit string, fn func() error) error {
-	if err := g.Acquire(nil); err != nil {
+	return g.DoContext(nil, stage, unit, fn)
+}
+
+// DoContext is Do with a cancelable acquisition: a caller abandoned while
+// waiting for a slot (client disconnect, request deadline) unblocks with the
+// context's error instead of occupying the queue until a slot frees for work
+// nobody wants anymore. Once fn is running, cancellation no longer
+// interrupts it — the unit's own analysis budget bounds the slot hold time.
+// nil ctx means context.Background().
+func (g *Gate) DoContext(ctx context.Context, stage Stage, unit string, fn func() error) error {
+	if err := g.Acquire(ctx); err != nil {
 		return err
 	}
 	defer g.Release()

@@ -61,10 +61,18 @@ const (
 	// StatusRetry marks a non-terminal failed attempt that will be retried;
 	// recorded so a crash between attempts preserves the attempt count.
 	StatusRetry Status = "retry"
+	// StatusAssigned marks a unit handed to a cluster worker whose outcome
+	// is not yet known. Non-terminal: a coordinator that crashes between
+	// assignment and completion re-dispatches the unit on resume, which is
+	// exactly the at-least-once side of the cluster's exactly-once story
+	// (duplicate completions are suppressed by content hash on record).
+	StatusAssigned Status = "assigned"
 )
 
 // Terminal reports whether s ends a unit's processing.
-func (s Status) Terminal() bool { return s != StatusRetry && s != "" }
+func (s Status) Terminal() bool {
+	return s != StatusRetry && s != StatusAssigned && s != ""
+}
 
 // Record is one journal entry: the durable outcome of one attempt at one
 // unit.
@@ -87,8 +95,15 @@ type Record struct {
 	// Report is the full report JSON of a terminal ok/degraded outcome, so a
 	// resumed run can replay the unit's report without re-analysis.
 	Report json.RawMessage `json:"report,omitempty"`
+	// Paths is the unit's marshaled path database, recorded by cluster runs
+	// so a resumed coordinator replays pathdb bytes as well as report bytes.
+	Paths json.RawMessage `json:"paths,omitempty"`
 	// Diagnostics preserves the unit's degradation record for replay.
 	Diagnostics []guard.Diagnostic `json:"diagnostics,omitempty"`
+	// Worker names the cluster worker the record concerns: the assignee of
+	// a StatusAssigned record, the completer of a terminal one. Empty in
+	// single-process runs.
+	Worker string `json:"worker,omitempty"`
 }
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)

@@ -263,11 +263,49 @@ func TestDuplicateEntriesLastWins(t *testing.T) {
 func TestStatusTerminal(t *testing.T) {
 	for s, want := range map[Status]bool{
 		StatusOK: true, StatusDegraded: true, StatusFailed: true,
-		StatusQuarantined: true, StatusRetry: false, Status(""): false,
+		StatusQuarantined: true, StatusRetry: false, StatusAssigned: false,
+		Status(""): false,
 	} {
 		if s.Terminal() != want {
 			t.Errorf("Terminal(%q) = %v, want %v", s, !want, want)
 		}
+	}
+}
+
+// TestAssignedRecordRoundTrip pins the cluster fields: an assignment record
+// is non-terminal and survives reopen with its worker; a later completion
+// with report + paths wins and is terminal.
+func TestAssignedRecordRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Unit: "a.c", Hash: "h1", Status: StatusAssigned,
+		Attempt: 1, Worker: "127.0.0.1:9001"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Unit: "a.c", Hash: "h1", Status: StatusOK, Attempt: 1,
+		Worker: "127.0.0.1:9001", Report: []byte(`{"w":1}`), Paths: []byte(`{"p":2}`)}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	rec, ok := j2.Lookup("a.c")
+	if !ok || !rec.Status.Terminal() || rec.Worker != "127.0.0.1:9001" {
+		t.Fatalf("latest record: %+v, ok=%v", rec, ok)
+	}
+	if string(rec.Report) != `{"w":1}` || string(rec.Paths) != `{"p":2}` {
+		t.Fatalf("report/paths not preserved: %q %q", rec.Report, rec.Paths)
+	}
+	recs := j2.Records()
+	if len(recs) != 2 || recs[0].Status != StatusAssigned || recs[0].Status.Terminal() {
+		t.Fatalf("records: %+v", recs)
 	}
 }
 

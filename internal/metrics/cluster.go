@@ -1,0 +1,37 @@
+package metrics
+
+// Cluster metric names. The coordinator (internal/cluster) registers these
+// in its registry (metrics.Default for the CLI, so one scrape of the
+// coordinator's -status-addr covers the whole run); they are declared here,
+// next to the registry, so the full cluster instrument set is discoverable
+// in one place and name collisions with server/batch metrics are avoided by
+// inspection.
+const (
+	// MetricClusterWorkersLive gauges workers currently live (registered,
+	// heartbeating, not evicted).
+	MetricClusterWorkersLive = "pallas_cluster_workers_live"
+	// MetricClusterRequeues counts units re-dispatched after a worker
+	// failure, eviction, or transient analysis error.
+	MetricClusterRequeues = "pallas_cluster_requeues_total"
+	// MetricClusterHeartbeatMisses counts missed worker heartbeats (one per
+	// probe that failed or timed out; HeartbeatMisses consecutive misses
+	// evict the worker).
+	MetricClusterHeartbeatMisses = "pallas_cluster_heartbeat_misses_total"
+	// MetricClusterEvictions counts workers evicted for missed heartbeats
+	// or fatal transport failure.
+	MetricClusterEvictions = "pallas_cluster_evictions_total"
+	// MetricClusterDupCompletions counts completions suppressed because the
+	// unit's content hash was already recorded (a requeued unit finishing
+	// twice).
+	MetricClusterDupCompletions = "pallas_cluster_duplicate_completions_total"
+	// MetricClusterUnitsDone counts units whose terminal outcome was
+	// recorded (completed, failed, or quarantined — not skipped-on-resume).
+	MetricClusterUnitsDone = "pallas_cluster_units_done_total"
+	// MetricClusterBackpressure counts dispatches refused by a worker's
+	// overload layer (HTTP 503 + Retry-After) and requeued without spending
+	// an attempt.
+	MetricClusterBackpressure = "pallas_cluster_backpressure_total"
+	// MetricClusterWorkerRestarts counts crashed spawned workers restarted
+	// by the supervisor.
+	MetricClusterWorkerRestarts = "pallas_cluster_worker_restarts_total"
+)

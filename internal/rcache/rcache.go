@@ -52,6 +52,11 @@ type Entry struct {
 	Unit string `json:"unit"`
 	// Report is the marshaled report.Report JSON.
 	Report json.RawMessage `json:"report"`
+	// Paths is the marshaled path database of the producing analysis.
+	// Populated by cluster workers (whose completions must replay pathdb
+	// bytes as well as report bytes); empty for entries stored by plain
+	// serve/batch runs, which only replay reports.
+	Paths json.RawMessage `json:"paths,omitempty"`
 	// Diagnostics preserves the degradation record of the producing run.
 	Diagnostics []guard.Diagnostic `json:"diagnostics,omitempty"`
 	// Degraded mirrors Report.Degraded for consumers that do not unmarshal.
@@ -62,7 +67,7 @@ type Entry struct {
 
 // size approximates the entry's memory footprint for the LRU byte bound.
 func (e *Entry) size() int64 {
-	n := int64(len(e.Key) + len(e.Unit) + len(e.Report) + 64)
+	n := int64(len(e.Key) + len(e.Unit) + len(e.Report) + len(e.Paths) + 64)
 	for _, d := range e.Diagnostics {
 		n += int64(len(d.Unit) + len(d.Err) + len(d.Stage) + 32)
 	}

@@ -1,0 +1,185 @@
+package server
+
+// Cluster-worker endpoints: the same Server that fronts /v1/analyze also
+// speaks the coordinator's framed wire protocol, so a worker process is
+// just `pallas serve` with an advertised address — one admission-control
+// path, one gate, one cache for both kinds of traffic.
+//
+//	POST /v1/cluster/unit  one framed unit assignment → one framed result
+//	GET  /v1/cluster/ping  heartbeat (JSON; 503 while draining)
+//
+// Unit dispatches pass through the server's admission controller like any
+// analyze request: an overloaded worker sheds with 503 + Retry-After, which
+// the coordinator turns into backpressure (requeue without burning a retry,
+// pause the worker) instead of an eviction.
+
+import (
+	"errors"
+	"net/http"
+	"time"
+
+	"pallas"
+	"pallas/internal/cluster"
+	"pallas/internal/failpoint"
+	"pallas/internal/guard"
+	"pallas/internal/rcache"
+)
+
+// SetAdvertiseAddr records the address this worker reports in result frames
+// (the address the coordinator knows it by).
+func (s *Server) SetAdvertiseAddr(addr string) { s.advertise.Store(addr) }
+
+func (s *Server) advertiseAddr() string {
+	if v, ok := s.advertise.Load().(string); ok {
+		return v
+	}
+	return ""
+}
+
+// handleClusterPing is the coordinator's liveness probe. Draining answers
+// 503 so the coordinator stops assigning and re-homes this worker's queue
+// before the process exits.
+func (s *Server) handleClusterPing(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	status, code := "ok", http.StatusOK
+	if s.draining.Load() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, cluster.PongPayload{
+		Status:        status,
+		InFlight:      s.gate.InFlight(),
+		QueueDepth:    s.ctrl.QueueDepth(),
+		UnitsDone:     s.clusterDone.Load(),
+		UptimeSeconds: int64(time.Since(s.start).Seconds()),
+	})
+}
+
+// handleClusterUnit runs one coordinator assignment: framed AssignPayload
+// in, framed ResultPayload out. Malformed frames are 400, oversized 413,
+// admission sheds 503 — everything else, including failed analyses, is a
+// 200 carrying a result frame so the coordinator can tell "this input
+// fails" (terminal) from "this worker is sick" (requeue elsewhere).
+func (s *Server) handleClusterUnit(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.draining.Load() {
+		s.mShedDraining.Inc()
+		s.shed(w, http.StatusServiceUnavailable, time.Second, "draining")
+		return
+	}
+	var assign cluster.AssignPayload
+	if err := cluster.DecodeFrame(http.MaxBytesReader(w, r.Body, s.maxBody), cluster.FrameAssign, &assign); err != nil {
+		var tooBig *http.MaxBytesError
+		switch {
+		case errors.Is(err, cluster.ErrOversized) || errors.As(err, &tooBig):
+			s.fail(w, http.StatusRequestEntityTooLarge, "frame too large: %v", err)
+		default:
+			s.fail(w, http.StatusBadRequest, "bad frame: %v", err)
+		}
+		return
+	}
+	if assign.Source == "" {
+		s.fail(w, http.StatusBadRequest, "source is required")
+		return
+	}
+	s.mRequests.Inc()
+	s.gInFlight.Add(1)
+	defer func() {
+		s.gInFlight.Add(-1)
+		s.hLatency.Observe(time.Since(started).Seconds())
+	}()
+
+	// Admission control is the worker's own backpressure authority: the
+	// coordinator's pipeline depth is a hint, this queue is the law.
+	var deadline time.Time
+	if s.deadline > 0 {
+		deadline = started.Add(s.deadline)
+	}
+	if err := s.ctrl.Acquire(r.Context(), deadline); err != nil {
+		s.shedForReason(w, err)
+		s.syncGauges()
+		return
+	}
+	admitted := time.Now()
+	defer func() {
+		s.ctrl.Release(time.Since(admitted))
+		s.syncGauges()
+	}()
+	s.syncGauges()
+
+	unit := pallas.Unit{Name: assign.Unit, Source: assign.Source, Spec: assign.Spec}
+	entry, hit, err := s.clusterEntry(r, unit)
+	if err != nil && errors.Is(err, rcache.ErrPersist) && entry != nil {
+		s.mPersistFault.Inc()
+		err = nil
+	}
+	if err != nil {
+		s.mErrors.Inc()
+		s.writeResultFrame(w, cluster.ResultPayload{
+			Unit: assign.Unit, Hash: assign.Hash, Attempt: assign.Attempt,
+			Status: "failed", Err: err.Error(), Transient: transientClusterErr(err),
+			Worker: s.advertiseAddr(),
+		})
+		return
+	}
+	if hit {
+		s.mCacheHits.Inc()
+	} else {
+		s.mCacheMisses.Inc()
+	}
+	s.clusterDone.Add(1)
+	status, cacheState := "ok", "miss"
+	if entry.Degraded {
+		status = "degraded"
+	}
+	if hit {
+		cacheState = "hit"
+	}
+	s.writeResultFrame(w, cluster.ResultPayload{
+		Unit: assign.Unit, Hash: assign.Hash, Attempt: assign.Attempt,
+		Status: status, Report: entry.Report, Paths: entry.Paths,
+		Diagnostics: entry.Diagnostics, Degraded: entry.Degraded,
+		Warnings: entry.Warnings, Cache: cacheState, Worker: s.advertiseAddr(),
+	})
+}
+
+// clusterEntry produces a cache entry with path bytes for one unit. A
+// cached entry stored by plain serve traffic has no Paths (reports only);
+// such a hit is upgraded in place — recomputed with paths and re-stored —
+// so the shared cache converges to the richer shape.
+func (s *Server) clusterEntry(r *http.Request, unit pallas.Unit) (*rcache.Entry, bool, error) {
+	key := s.analyzer.CacheKey(unit)
+	entry, hit, err := s.cache.GetOrCompute(key, func() (*rcache.Entry, error) {
+		return s.analyzeUnit(r.Context(), unit, key, true)
+	})
+	if err != nil || !hit || len(entry.Paths) > 0 {
+		return entry, hit, err
+	}
+	upgraded, err := s.analyzeUnit(r.Context(), unit, key, true)
+	if err != nil {
+		return nil, false, err
+	}
+	if perr := s.cache.Put(upgraded); perr != nil && !errors.Is(perr, rcache.ErrPersist) {
+		return nil, false, perr
+	}
+	return upgraded, false, nil
+}
+
+func (s *Server) writeResultFrame(w http.ResponseWriter, res cluster.ResultPayload) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	cluster.WriteFrame(w, cluster.FrameResult, res)
+}
+
+// transientClusterErr mirrors the batch engine's retry classification:
+// recovered panics, budget violations and injected faults are worth a
+// retry; malformed input is not.
+func transientClusterErr(err error) bool {
+	var pe *guard.PanicError
+	return errors.As(err, &pe) || guard.IsBudget(err) || errors.Is(err, failpoint.ErrInjected)
+}

@@ -1,0 +1,336 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pallas"
+	"pallas/internal/cluster"
+	"pallas/internal/guard"
+	"pallas/internal/metrics"
+)
+
+func postUnit(t *testing.T, url string, a cluster.AssignPayload) *http.Response {
+	t.Helper()
+	body, err := cluster.EncodeFrame(cluster.FrameAssign, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/cluster/unit", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestClusterUnitEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2})
+	s.SetAdvertiseAddr("worker-a:1")
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	unit := pallas.Unit{Name: "a.c", Source: testSource, Spec: testSpec}
+	resp := postUnit(t, ts.URL, cluster.AssignPayload{
+		Unit: unit.Name, Hash: unit.Hash(), Source: unit.Source, Spec: unit.Spec, Attempt: 1,
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var res cluster.ResultPayload
+	if err := cluster.DecodeFrame(resp.Body, cluster.FrameResult, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != "ok" || res.Unit != "a.c" || res.Hash != unit.Hash() {
+		t.Fatalf("result: %+v", res)
+	}
+	if len(res.Report) == 0 || len(res.Paths) == 0 {
+		t.Fatalf("result missing report or paths: report=%d paths=%d bytes",
+			len(res.Report), len(res.Paths))
+	}
+	if res.Worker != "worker-a:1" {
+		t.Fatalf("worker echo: %q", res.Worker)
+	}
+	if res.Cache != "miss" {
+		t.Fatalf("first dispatch should miss, got %q", res.Cache)
+	}
+
+	// Same unit again: served from cache, same bytes.
+	resp2 := postUnit(t, ts.URL, cluster.AssignPayload{
+		Unit: unit.Name, Hash: unit.Hash(), Source: unit.Source, Spec: unit.Spec, Attempt: 1,
+	})
+	defer resp2.Body.Close()
+	var res2 cluster.ResultPayload
+	if err := cluster.DecodeFrame(resp2.Body, cluster.FrameResult, &res2); err != nil {
+		t.Fatal(err)
+	}
+	if res2.Cache != "hit" {
+		t.Fatalf("second dispatch should hit, got %q", res2.Cache)
+	}
+	if !bytes.Equal(res.Report, res2.Report) || !bytes.Equal(res.Paths, res2.Paths) {
+		t.Fatal("cached dispatch returned different bytes")
+	}
+}
+
+// TestClusterUnitUpgradesPathlessCacheEntry covers the shared-cache shape
+// mismatch: an entry stored by plain /v1/analyze traffic has no path bytes;
+// a cluster dispatch of the same unit must re-analyze and serve paths, not
+// return an empty pathdb.
+func TestClusterUnitUpgradesPathlessCacheEntry(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Seed the cache through the plain analyze path.
+	body, _ := json.Marshal(AnalyzeRequest{Name: "a.c", Source: testSource, Spec: testSpec})
+	resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed analyze: status %d", resp.StatusCode)
+	}
+
+	unit := pallas.Unit{Name: "a.c", Source: testSource, Spec: testSpec}
+	resp2 := postUnit(t, ts.URL, cluster.AssignPayload{
+		Unit: unit.Name, Hash: unit.Hash(), Source: unit.Source, Spec: unit.Spec, Attempt: 1,
+	})
+	defer resp2.Body.Close()
+	var res cluster.ResultPayload
+	if err := cluster.DecodeFrame(resp2.Body, cluster.FrameResult, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != "ok" || len(res.Paths) == 0 {
+		t.Fatalf("upgraded dispatch: status=%s paths=%d bytes", res.Status, len(res.Paths))
+	}
+	if res.Cache != "miss" {
+		t.Fatalf("upgrade must count as a miss, got %q", res.Cache)
+	}
+}
+
+func TestClusterUnitRejectsMalformedFrames(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(body []byte) int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/cluster/unit", "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+
+	good, _ := cluster.EncodeFrame(cluster.FrameAssign, cluster.AssignPayload{
+		Unit: "a.c", Hash: "h", Source: testSource})
+
+	if code := post(nil); code != http.StatusBadRequest {
+		t.Fatalf("empty body: %d, want 400", code)
+	}
+	if code := post([]byte("not a frame at all")); code != http.StatusBadRequest {
+		t.Fatalf("garbage: %d, want 400", code)
+	}
+	if code := post(good[:len(good)-4]); code != http.StatusBadRequest {
+		t.Fatalf("truncated: %d, want 400", code)
+	}
+	corrupted := append([]byte(nil), good...)
+	corrupted[len(corrupted)-1] ^= 0x01
+	if code := post(corrupted); code != http.StatusBadRequest {
+		t.Fatalf("checksum mismatch: %d, want 400", code)
+	}
+	// Oversized: a declared length beyond the frame limit must answer 413.
+	oversized := append([]byte(nil), good...)
+	oversized[5], oversized[6], oversized[7], oversized[8] = 0xff, 0xff, 0xff, 0xff
+	if code := post(oversized); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized: %d, want 413", code)
+	}
+	// The server must still be serving after the abuse.
+	unit := pallas.Unit{Name: "a.c", Source: testSource, Spec: testSpec}
+	resp := postUnit(t, ts.URL, cluster.AssignPayload{
+		Unit: unit.Name, Hash: unit.Hash(), Source: unit.Source, Spec: unit.Spec, Attempt: 1,
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-abuse dispatch: %d", resp.StatusCode)
+	}
+}
+
+func TestClusterUnitFailedAnalysisIsTerminalFrame(t *testing.T) {
+	// A deterministically malformed unit answers 200 with a failed,
+	// non-transient result frame — not an HTTP error (which would look like
+	// a sick worker and trigger requeue elsewhere).
+	s := newTestServer(t, Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := postUnit(t, ts.URL, cluster.AssignPayload{
+		Unit: "bad.c", Hash: "h-bad", Source: "int f( {", Attempt: 1,
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 with failed frame", resp.StatusCode)
+	}
+	var res cluster.ResultPayload
+	if err := cluster.DecodeFrame(resp.Body, cluster.FrameResult, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != "failed" || res.Err == "" {
+		t.Fatalf("result: %+v", res)
+	}
+	if res.Transient {
+		t.Fatal("parse failure misclassified as transient")
+	}
+}
+
+func TestClusterPing(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/cluster/ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ping: %d", resp.StatusCode)
+	}
+	var pong cluster.PongPayload
+	if err := json.NewDecoder(resp.Body).Decode(&pong); err != nil {
+		t.Fatal(err)
+	}
+	if pong.Status != "ok" {
+		t.Fatalf("pong: %+v", pong)
+	}
+
+	s.StartDrain()
+	resp2, err := http.Get(ts.URL + "/v1/cluster/ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining ping: %d, want 503", resp2.StatusCode)
+	}
+}
+
+// TestAnalyzeCanceledRequestReleasesGate is the client-disconnect
+// regression test: a request whose context is canceled while waiting for a
+// gate slot must abandon the analysis (context error surfaces) instead of
+// holding or leaking the slot.
+func TestAnalyzeCanceledRequestReleasesGate(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := newTestServer(t, Config{Workers: 1, MinWorkers: 1, Metrics: reg})
+
+	// Occupy the single gate slot so the next analysis queues on Acquire.
+	block := make(chan struct{})
+	entered := make(chan struct{})
+	go s.gate.Do(guard.StageServe, "blocker", func() error {
+		close(entered)
+		<-block
+		return nil
+	})
+	<-entered
+	defer close(block)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the client is already gone
+	unit := pallas.Unit{Name: "canceled.c", Source: testSource, Spec: testSpec}
+	start := time.Now()
+	_, err := s.analyzeOne(ctx, unit, s.analyzer.CacheKey(unit))
+	if err == nil {
+		t.Fatal("canceled request ran the analysis")
+	}
+	if !strings.Contains(err.Error(), context.Canceled.Error()) {
+		t.Fatalf("want context cancellation surfaced, got: %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("cancellation did not release promptly (%s)", time.Since(start))
+	}
+	if got := s.gate.InFlight(); got != 1 {
+		t.Fatalf("gate slots leaked: in-flight %d, want 1 (the blocker)", got)
+	}
+}
+
+// TestAnalyzeCanceledHTTPRequest drives the same property end to end over
+// HTTP: killing the connection mid-queue must not wedge the worker slot.
+func TestAnalyzeCanceledHTTPRequest(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, MinWorkers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	block := make(chan struct{})
+	entered := make(chan struct{})
+	go s.gate.Do(guard.StageServe, "blocker", func() error {
+		close(entered)
+		<-block
+		return nil
+	})
+	<-entered
+
+	body, _ := json.Marshal(AnalyzeRequest{Name: "x.c", Source: testSource, Spec: testSpec})
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/analyze", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		// The server may have answered an error before the cancel landed.
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	close(block)
+	// The blocker drains; the canceled request must not occupy the slot, so
+	// a fresh request succeeds promptly.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", bytes.NewReader(body))
+		if err == nil {
+			ok := resp.StatusCode == http.StatusOK
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if ok {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server wedged after canceled request")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func TestClusterMetricNamesRegistered(t *testing.T) {
+	// The cluster instrument names must render in Prometheus exposition
+	// when a coordinator uses a registry (guards against typo drift between
+	// the metrics constants and the dashboard names in the issue).
+	reg := metrics.NewRegistry()
+	reg.Gauge(metrics.MetricClusterWorkersLive, "t").Set(3)
+	reg.Counter(metrics.MetricClusterRequeues, "t").Inc()
+	reg.Counter(metrics.MetricClusterHeartbeatMisses, "t").Inc()
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+	for _, name := range []string{
+		"pallas_cluster_workers_live",
+		"pallas_cluster_requeues_total",
+		"pallas_cluster_heartbeat_misses_total",
+	} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("metric %s missing from exposition:\n%s", name, out)
+		}
+	}
+}

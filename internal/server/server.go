@@ -32,6 +32,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -166,6 +167,11 @@ type Server struct {
 	aworkers int           // Analyzer.AnalysisWorkers, surfaced by /healthz
 	draining atomic.Bool
 
+	// Cluster-worker state: the address this worker advertises in result
+	// frames, and how many cluster units it has completed (for heartbeats).
+	advertise   atomic.Value // string
+	clusterDone atomic.Int64
+
 	mRequests     *metrics.Counter
 	mErrors       *metrics.Counter
 	mCacheHits    *metrics.Counter
@@ -250,6 +256,8 @@ func New(cfg Config) (*Server, error) {
 	s.gEffLimit.Set(int64(limiter.Limit()))
 	s.mux.HandleFunc("/v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("/v1/report/", s.handleReport)
+	s.mux.HandleFunc("/v1/cluster/unit", s.handleClusterUnit)
+	s.mux.HandleFunc("/v1/cluster/ping", s.handleClusterPing)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s, nil
@@ -456,7 +464,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	unit := pallas.Unit{Name: req.Name, Source: req.Source, Spec: req.Spec}
 	key := s.analyzer.CacheKey(unit)
 	entry, hit, err := s.cache.GetOrCompute(key, func() (*rcache.Entry, error) {
-		return s.analyzeOne(unit, key)
+		return s.analyzeOne(r.Context(), unit, key)
 	})
 	if err != nil && errors.Is(err, rcache.ErrPersist) && entry != nil {
 		// The analysis succeeded and is memory-cached; only the disk tier
@@ -518,9 +526,19 @@ func (s *Server) shedForReason(w http.ResponseWriter, err error) {
 
 // analyzeOne runs one real analysis on the gate — bounded concurrency,
 // panic isolation, per-request budgets — and packages it as a cache entry.
-func (s *Server) analyzeOne(unit pallas.Unit, key string) (*rcache.Entry, error) {
+// The request context flows into the gate acquisition: a client that
+// disconnects while queued for a slot releases its place immediately
+// instead of running an analysis nobody will read. withPaths additionally
+// marshals the unit's path database into the entry (cluster dispatches need
+// it for the merged pathdb; plain serve responses do not carry paths, so
+// they skip the cost).
+func (s *Server) analyzeOne(ctx context.Context, unit pallas.Unit, key string) (*rcache.Entry, error) {
+	return s.analyzeUnit(ctx, unit, key, false)
+}
+
+func (s *Server) analyzeUnit(ctx context.Context, unit pallas.Unit, key string, withPaths bool) (*rcache.Entry, error) {
 	var res *pallas.Result
-	err := s.gate.Do(guard.StageServe, unit.Name, func() error {
+	err := s.gate.DoContext(ctx, guard.StageServe, unit.Name, func() error {
 		var aerr error
 		res, aerr = s.analyzer.AnalyzeSource(unit.Name, unit.Source, unit.Spec)
 		return aerr
@@ -536,14 +554,22 @@ func (s *Server) analyzeOne(unit pallas.Unit, key string) (*rcache.Entry, error)
 	if err != nil {
 		return nil, err
 	}
-	return &rcache.Entry{
+	entry := &rcache.Entry{
 		Key:         key,
 		Unit:        unit.Name,
 		Report:      b,
 		Diagnostics: res.Diagnostics,
 		Degraded:    res.Report.Degraded,
 		Warnings:    len(res.Report.Warnings),
-	}, nil
+	}
+	if withPaths {
+		pb, err := json.Marshal(res.Paths)
+		if err != nil {
+			return nil, err
+		}
+		entry.Paths = pb
+	}
+	return entry, nil
 }
 
 // handleReport serves a cached entry by content hash: 200 with the entry
