@@ -5,11 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math/rand"
 	"runtime"
 	"sync"
 	"time"
 
+	"pallas/internal/backoff"
 	"pallas/internal/failpoint"
 	"pallas/internal/guard"
 	"pallas/internal/journal"
@@ -96,9 +96,10 @@ type BatchOptions struct {
 	// error, an injected failpoint fault). Deterministic malformed-input
 	// errors are never retried. 0 disables retry.
 	Retries int
-	// RetryBackoff is the base delay before the first retry; each further
-	// retry doubles it, with ±50% jitter so a batch of retrying units does
-	// not stampede. Default 100ms.
+	// RetryBackoff is the base delay before the first retry; the window
+	// doubles per retry (capped at 30s) and the actual delay is drawn with
+	// full jitter — uniform over the whole window — so simultaneously
+	// failing units don't retry in lockstep. Default 100ms.
 	RetryBackoff time.Duration
 	// QuarantineAfter quarantines a unit after this many transient failures
 	// even if retries remain, bounding the cost of a poisoned unit. <= 0
@@ -333,7 +334,7 @@ func (a *Analyzer) AnalyzeBatch(units []Unit, opts BatchOptions) ([]UnitResult, 
 							guard.Diag(guard.StageStore, u.Name, jerr, true))
 					}
 				}
-				opts.Sleep(retryDelay(opts.RetryBackoff, attempt))
+				opts.Sleep(backoff.Delay(opts.RetryBackoff, attempt))
 				continue
 			}
 
@@ -367,19 +368,6 @@ func (a *Analyzer) AnalyzeBatch(units []Unit, opts BatchOptions) ([]UnitResult, 
 func transientErr(err error) bool {
 	var pe *guard.PanicError
 	return errors.As(err, &pe) || guard.IsBudget(err) || errors.Is(err, failpoint.ErrInjected)
-}
-
-// retryDelay computes the backoff before retrying after the given attempt:
-// base doubled per attempt (capped at 30s), with ±50% jitter.
-func retryDelay(base time.Duration, attempt int) time.Duration {
-	d := base
-	for i := 1; i < attempt && d < 30*time.Second; i++ {
-		d *= 2
-	}
-	if d > 30*time.Second {
-		d = 30 * time.Second
-	}
-	return d/2 + time.Duration(rand.Int63n(int64(d)))
 }
 
 // journalOutcome appends a terminal record for a completed unit; journal
@@ -451,6 +439,7 @@ func storeCacheEntry(cache *rcache.Cache, key, unit string, res *Result) error {
 		Diagnostics: res.Diagnostics,
 		Degraded:    res.Report.Degraded,
 		Warnings:    len(res.Report.Warnings),
+		Sum:         rcache.ContentSum(b, nil),
 	})
 }
 

@@ -139,6 +139,8 @@ func cmdCluster(args []string) error {
 	heartbeatMisses := fs.Int("heartbeat-misses", 0, "consecutive missed probes before a worker is evicted (0 = 3)")
 	requestTimeout := fs.Duration("request-timeout", 0, "end-to-end bound on one unit dispatch; a hung worker holds a unit at most this long (0 = 2m)")
 	retryBackoff := fs.Duration("retry-backoff", 0, "base delay before a requeued unit is re-dispatched, doubled per attempt with jitter (0 = 100ms)")
+	hedgeAfter := fs.Duration("hedge-after", time.Second, "floor of the hedge threshold: a unit in flight past max(this, p95x3) is speculatively re-dispatched to the next healthy worker (<=0 disables hedging)")
+	hedgeMax := fs.Int("hedge-max", 4, "maximum concurrently outstanding hedge dispatches (the speculative-work budget)")
 	workerRestarts := fs.Int("worker-restarts", 2, "restarts per spawned worker after a crash (negative = never restart)")
 	workerBinary := fs.String("worker-binary", "", "executable to spawn workers from (default: this binary)")
 	statusAddr := fs.String("status-addr", "", "serve coordinator /healthz (?verbose=1 adds the per-worker table) and /metrics on this address")
@@ -191,18 +193,24 @@ func cmdCluster(args []string) error {
 	logf := func(format string, a ...any) {
 		fmt.Fprintf(os.Stderr, "pallas: "+format+"\n", a...)
 	}
-	coord, err := cluster.NewCoordinator(cluster.Options{
+	copts := cluster.Options{
 		HeartbeatInterval: *heartbeat,
 		HeartbeatMisses:   *heartbeatMisses,
 		RequestTimeout:    *requestTimeout,
 		Inflight:          *inflight,
 		Retries:           *retries,
 		RetryBackoff:      *retryBackoff,
+		HedgeAfter:        *hedgeAfter,
+		HedgeMax:          *hedgeMax,
 		JournalPath:       *journalPath,
 		Resume:            *resume,
 		GroupCommit:       *groupCommit,
 		Logf:              logf,
-	})
+	}
+	if *hedgeAfter <= 0 {
+		copts.HedgeAfter = -1 // flag convention: <=0 disables; Options convention: negative disables
+	}
+	coord, err := cluster.NewCoordinator(copts)
 	if err != nil {
 		return err
 	}
@@ -265,8 +273,11 @@ func cmdCluster(args []string) error {
 			MaxRestarts: *workerRestarts,
 			OnUp:        coord.AddWorker,
 			OnDown:      coord.RemoveWorker,
-			Stderr:      os.Stderr,
-			Logf:        logf,
+			OnExhausted: func(slot int, err error) {
+				logf("cluster: worker slot %d exhausted its restart budget (%v); it will not return", slot, err)
+			},
+			Stderr: os.Stderr,
+			Logf:   logf,
 		})
 		sup.Start(*clusterWorkers)
 		defer sup.Stop()
@@ -318,6 +329,21 @@ func cmdCluster(args []string) error {
 		"pallas: cluster: %d unit(s): %d completed, %d resumed, %d failed, %d quarantined; %d requeue(s), %d eviction(s), %d duplicate(s) suppressed, %d cache hit(s)\n",
 		stats.Units, stats.Completed, stats.Skipped, stats.Failed, stats.Quarantined,
 		stats.Requeues, stats.Evictions, stats.DupCompletions, stats.CacheHits)
+	if stats.Hedges+stats.StaleCompletions+stats.IntegrityFailures+stats.Probations > 0 {
+		fmt.Fprintf(os.Stderr,
+			"pallas: cluster: gray-failure defenses: %d hedge(s) (%d won), %d stale completion(s) fenced, %d integrity failure(s), %d probation(s)\n",
+			stats.Hedges, stats.HedgeWins, stats.StaleCompletions, stats.IntegrityFailures, stats.Probations)
+	}
+	// PALLAS_STATS_OUT dumps the full run stats (counters and latency
+	// quantiles) as JSON for benchmarks and e2e assertions — a machine
+	// channel, so the human stderr lines above stay free to evolve.
+	if statsOut := os.Getenv("PALLAS_STATS_OUT"); statsOut != "" {
+		if b, jerr := json.MarshalIndent(stats, "", "  "); jerr == nil {
+			if werr := os.WriteFile(statsOut, append(b, '\n'), 0o644); werr != nil {
+				logf("cluster: stats out: %v", werr)
+			}
+		}
+	}
 	if *journalPath != "" {
 		if stats.JournalTornTail {
 			fmt.Fprintln(os.Stderr, "pallas: journal: recovered from a torn tail (crashed mid-checkpoint)")

@@ -1,0 +1,203 @@
+package main
+
+// Gray-failure acceptance against the real binary: one worker process is
+// alive by every probe but 10x slower than its peers (an injected stall on
+// every analysis — the classic gray failure no liveness check catches).
+// The run must stay byte-identical to a healthy fleet, and with hedging on
+// the completion-latency tail must stay in the healthy fleet's range
+// instead of inheriting the straggler's. The same runs feed BENCH_gray.json
+// (p50/p99 with the gray worker, hedging on vs off) when PALLAS_BENCH_OUT
+// is set.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"pallas/internal/cluster"
+	"pallas/internal/failpoint"
+)
+
+// startExternalWorker launches one `pallas worker` process with the given
+// extra env, waits for its announced listen address, and returns it. The
+// process is killed at test cleanup.
+func startExternalWorker(t *testing.T, bin string, env []string) string {
+	t.Helper()
+	cmd := exec.Command(bin, "worker", "-addr", "127.0.0.1:0")
+	cmd.Env = append(os.Environ(), env...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			if rest, ok := strings.CutPrefix(sc.Text(), cluster.ListenPrefix); ok {
+				addrCh <- strings.TrimSpace(rest)
+				break
+			}
+		}
+		// Keep draining so the worker never blocks on a full stderr pipe.
+		io.Copy(io.Discard, stderr)
+	}()
+	select {
+	case addr := <-addrCh:
+		return addr
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker never announced its listen address")
+		return ""
+	}
+}
+
+// runClusterExternal runs `pallas cluster` against already-running workers
+// and returns stdout, the parsed run stats, and the exit code.
+func runClusterExternal(t *testing.T, bin string, addrs []string, files []string,
+	extraArgs ...string) (string, cluster.Stats, int) {
+	t.Helper()
+	statsPath := filepath.Join(t.TempDir(), "stats.json")
+	args := []string{"cluster", "-heartbeat", "100ms", "-retry-backoff", "20ms"}
+	for _, a := range addrs {
+		args = append(args, "-worker", a)
+	}
+	args = append(args, extraArgs...)
+	args = append(args, files...)
+	stdout, stderr, code := runPallas(t, bin, []string{"PALLAS_STATS_OUT=" + statsPath}, args...)
+	b, err := os.ReadFile(statsPath)
+	if err != nil {
+		t.Fatalf("stats out missing: %v\nstderr:\n%s", err, stderr)
+	}
+	var stats cluster.Stats
+	if err := json.Unmarshal(b, &stats); err != nil {
+		t.Fatal(err)
+	}
+	return stdout, stats, code
+}
+
+// grayBench is the BENCH_gray.json schema: completion-latency quantiles for
+// the same corpus on a healthy 3-worker fleet, and on a fleet where one
+// worker is 10x slow — with hedging on and off.
+type grayBench struct {
+	Units       int     `json:"units"`
+	StallMS     int     `json:"gray_stall_ms"`
+	HedgeAfter  string  `json:"hedge_after"`
+	HostCPUs    int     `json:"host_cpus"`
+	HealthyP50  float64 `json:"healthy_p50_ms"`
+	HealthyP99  float64 `json:"healthy_p99_ms"`
+	HedgedP50   float64 `json:"gray_hedged_p50_ms"`
+	HedgedP99   float64 `json:"gray_hedged_p99_ms"`
+	UnhedgedP50 float64 `json:"gray_unhedged_p50_ms"`
+	UnhedgedP99 float64 `json:"gray_unhedged_p99_ms"`
+	Hedges      int     `json:"hedges"`
+	HedgeWins   int     `json:"hedge_wins"`
+	Identical   bool    `json:"identical_output"`
+}
+
+// TestClusterGrayWorkerHedgeBench is the gray-failure acceptance run: three
+// fleets over one corpus — all healthy; one worker stalled 300ms per unit
+// with hedging on; the same stall with hedging off. Output must be
+// byte-identical to `check` in every configuration, hedging must actually
+// fire and win against the straggler, and the hedged latency tail must stay
+// within 2x of the healthy fleet's (the unhedged tail shows what was
+// avoided: it carries the full stall). Fresh worker processes per run so no
+// result cache hides the stall.
+func TestClusterGrayWorkerHedgeBench(t *testing.T) {
+	benchOut := os.Getenv("PALLAS_BENCH_OUT")
+	bin := buildPallas(t)
+	dir := t.TempDir()
+	const nUnits = 18
+	const stall = 300 * time.Millisecond
+	files := writeCrashCorpus(t, dir, nUnits)
+
+	wantOut, _, wantCode := runCheck(t, bin, nil, append([]string{"-workers", "1"}, files...)...)
+	if wantCode != 1 {
+		t.Fatalf("reference check exit = %d, want 1", wantCode)
+	}
+	slowEnv := []string{failpoint.EnvVar + "=pre-extract=sleep:" + stall.String()}
+	freshFleet := func(grayWorker bool) []string {
+		addrs := []string{startExternalWorker(t, bin, nil), startExternalWorker(t, bin, nil)}
+		env := []string(nil)
+		if grayWorker {
+			env = slowEnv
+		}
+		return append(addrs, startExternalWorker(t, bin, env))
+	}
+	check := func(mode, out string, code int) {
+		t.Helper()
+		if code != wantCode {
+			t.Fatalf("[%s] exit = %d, want %d", mode, code, wantCode)
+		}
+		if out != wantOut {
+			t.Fatalf("[%s] stdout differs from check\n--- want ---\n%s\n--- got ---\n%s", mode, wantOut, out)
+		}
+	}
+
+	outH, healthy, code := runClusterExternal(t, bin, freshFleet(false), files, "-hedge-after", "100ms")
+	check("healthy", outH, code)
+	outG, hedged, code := runClusterExternal(t, bin, freshFleet(true), files, "-hedge-after", "100ms")
+	check("gray-hedged", outG, code)
+	outU, unhedged, code := runClusterExternal(t, bin, freshFleet(true), files, "-hedge-after", "0")
+	check("gray-unhedged", outU, code)
+
+	if hedged.Hedges == 0 || hedged.HedgeWins == 0 {
+		t.Fatalf("hedging never fired against the gray worker: %d hedges, %d wins (stats %+v)",
+			hedged.Hedges, hedged.HedgeWins, hedged)
+	}
+	if unhedged.Hedges != 0 {
+		t.Fatalf("-hedge-after 0 still hedged %d time(s)", unhedged.Hedges)
+	}
+	// The acceptance bound: a winning hedge records the rescuing worker's
+	// service time, so the gray fleet's tail must stay within 2x of the
+	// healthy fleet's. The small absolute floor keeps scheduler noise on
+	// sub-10ms baseline quantiles from failing the ratio.
+	allowed := 2 * healthy.LatencyP99MS
+	if allowed < 60 {
+		allowed = 60
+	}
+	if hedged.LatencyP99MS > allowed {
+		t.Errorf("hedged p99 %.1fms exceeds 2x healthy p99 %.1fms",
+			hedged.LatencyP99MS, healthy.LatencyP99MS)
+	}
+	if unhedged.LatencyP99MS <= hedged.LatencyP99MS {
+		t.Errorf("unhedged p99 %.1fms not worse than hedged %.1fms — the gray stall never reached the tail?",
+			unhedged.LatencyP99MS, hedged.LatencyP99MS)
+	}
+	t.Logf("gray bench: healthy p50/p99 %.1f/%.1fms; hedged %.1f/%.1fms (%d hedges, %d wins); unhedged %.1f/%.1fms",
+		healthy.LatencyP50MS, healthy.LatencyP99MS, hedged.LatencyP50MS, hedged.LatencyP99MS,
+		hedged.Hedges, hedged.HedgeWins, unhedged.LatencyP50MS, unhedged.LatencyP99MS)
+
+	if benchOut == "" {
+		return
+	}
+	bench := grayBench{
+		Units: nUnits, StallMS: int(stall.Milliseconds()), HedgeAfter: "100ms",
+		HostCPUs:   runtime.NumCPU(),
+		HealthyP50: healthy.LatencyP50MS, HealthyP99: healthy.LatencyP99MS,
+		HedgedP50: hedged.LatencyP50MS, HedgedP99: hedged.LatencyP99MS,
+		UnhedgedP50: unhedged.LatencyP50MS, UnhedgedP99: unhedged.LatencyP99MS,
+		Hedges: hedged.Hedges, HedgeWins: hedged.HedgeWins, Identical: true,
+	}
+	data, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(benchOut, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "gray bench written to %s\n", benchOut)
+}

@@ -70,13 +70,15 @@ func TestRetryTransientSucceeds(t *testing.T) {
 	if len(slept) != 2 {
 		t.Fatalf("backoff sleeps = %v, want 2", slept)
 	}
-	// Envelope: attempt n sleeps in [base·2ⁿ⁻¹/2, base·2ⁿ⁻¹·1.5].
+	// Full-jitter envelope: attempt n sleeps uniformly in (0, base·2ⁿ⁻¹]
+	// (backoff.Delay — the whole window is drawn, not just ±50% around the
+	// midpoint, so simultaneously retrying units decorrelate).
 	base := 10 * time.Millisecond
-	if slept[0] < base/2 || slept[0] > base*3/2 {
-		t.Errorf("first backoff %v outside [%v, %v]", slept[0], base/2, base*3/2)
+	if slept[0] <= 0 || slept[0] > base {
+		t.Errorf("first backoff %v outside (0, %v]", slept[0], base)
 	}
-	if slept[1] < base || slept[1] > base*3 {
-		t.Errorf("second backoff %v outside [%v, %v]", slept[1], base, base*3)
+	if slept[1] <= 0 || slept[1] > 2*base {
+		t.Errorf("second backoff %v outside (0, %v]", slept[1], 2*base)
 	}
 	if stats.Retried != 2 || stats.Recovered != 1 || stats.Analyzed != 2 {
 		t.Errorf("stats = %+v", stats)

@@ -1,0 +1,38 @@
+// Package backoff provides the retry delay curve shared by AnalyzeBatch and
+// the cluster coordinator: exponential growth with full jitter.
+//
+// Full jitter (delay = rand(0, min(cap, base·2^(attempt-1)))) decorrelates
+// retries across clients: when many workers fail at the same instant — a
+// shared disk stall, a coordinator restart, a network partition healing —
+// equal-jitter curves (d/2 + rand(d)) keep the fleet loosely synchronized
+// around the midpoint and re-thundering the same herd at the recovering
+// service, while full jitter spreads the retry instants uniformly over the
+// whole window. The cost is a lower mean delay per attempt, which the
+// exponential growth recovers within one extra round.
+package backoff
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Cap bounds the exponential growth of the jitter window.
+const Cap = 30 * time.Second
+
+// Delay returns the pause before retrying after the given 1-based attempt:
+// uniformly random in (0, min(Cap, base·2^(attempt-1))]. A non-positive base
+// or attempt yields zero (retry immediately — callers that want no backoff
+// pass base 0).
+func Delay(base time.Duration, attempt int) time.Duration {
+	if base <= 0 || attempt <= 0 {
+		return 0
+	}
+	d := base
+	for i := 1; i < attempt && d < Cap; i++ {
+		d *= 2
+	}
+	if d > Cap {
+		d = Cap
+	}
+	return time.Duration(1 + rand.Int63n(int64(d)))
+}

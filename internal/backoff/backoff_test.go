@@ -1,0 +1,60 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDelayWindow verifies the full-jitter contract: every sample falls in
+// (0, min(Cap, base·2^(attempt-1))], with the window doubling per attempt.
+func TestDelayWindow(t *testing.T) {
+	base := 100 * time.Millisecond
+	for attempt := 1; attempt <= 6; attempt++ {
+		max := base << (attempt - 1)
+		if max > Cap {
+			max = Cap
+		}
+		for i := 0; i < 200; i++ {
+			d := Delay(base, attempt)
+			if d <= 0 || d > max {
+				t.Fatalf("attempt %d: delay %v outside (0, %v]", attempt, d, max)
+			}
+		}
+	}
+}
+
+// TestDelayCap verifies the window stops growing at Cap even for huge
+// attempt counts (no overflow, no unbounded sleep).
+func TestDelayCap(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		if d := Delay(time.Second, 1000); d <= 0 || d > Cap {
+			t.Fatalf("capped delay %v outside (0, %v]", d, Cap)
+		}
+	}
+}
+
+// TestDelayZeroBase: callers that opt out of backoff get zero, not a panic
+// from rand.Int63n(0).
+func TestDelayZeroBase(t *testing.T) {
+	if d := Delay(0, 3); d != 0 {
+		t.Fatalf("zero base: got %v, want 0", d)
+	}
+	if d := Delay(-time.Second, 3); d != 0 {
+		t.Fatalf("negative base: got %v, want 0", d)
+	}
+	if d := Delay(time.Second, 0); d != 0 {
+		t.Fatalf("attempt 0: got %v, want 0", d)
+	}
+}
+
+// TestDelayJitters: full jitter must actually spread — 50 samples from the
+// same window landing on one value would mean the jitter is broken.
+func TestDelayJitters(t *testing.T) {
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 50; i++ {
+		seen[Delay(time.Second, 4)] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("50 samples produced only %d distinct delays — not jittering", len(seen))
+	}
+}

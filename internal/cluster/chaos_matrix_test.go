@@ -1,0 +1,336 @@
+package cluster
+
+// The network-fault chaos matrix: every frame-level fault mode the failpoint
+// layer can inject — delay, drop, corrupt, duplicate, slow-drip, on both the
+// dispatch path (coord-send, env/Arm-armed inside the coordinator's send)
+// and the result path (worker-send, scripted on the fake worker) — run over
+// the same corpus, asserting the two invariants that make the cluster safe
+// to put in front of CI:
+//
+//  1. the merged output (outcome order, report bytes, merged path database)
+//     is byte-identical to the undisturbed run, whatever the fault;
+//  2. the journal holds exactly one terminal record per unit — faults may
+//     add Assigned records, never a second terminal one.
+//
+// Plus the two faults the matrix exists for: a zombie worker revived after
+// eviction whose late completion must be fenced out, and a corrupting
+// worker whose payloads lie beneath an intact frame CRC.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"pallas"
+	"pallas/internal/failpoint"
+	"pallas/internal/journal"
+	"pallas/internal/rcache"
+)
+
+// chaosBaseline runs the corpus with no faults and returns the merged
+// paths bytes every fault-mode run must reproduce.
+func chaosBaseline(t *testing.T, units []pallas.Unit) ([]Outcome, []byte) {
+	t.Helper()
+	behave := func(a AssignPayload, seen int) (int, ResultPayload) {
+		return http.StatusOK, okResult(a, "")
+	}
+	w1, w2, w3 := newFakeWorker(t, behave), newFakeWorker(t, behave), newFakeWorker(t, behave)
+	outcomes, _, err := runCluster(t, testOpts(), []*fakeWorker{w1, w2, w3}, units)
+	if err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+	merged, err := WriteMergedPaths(outcomes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return outcomes, merged
+}
+
+// assertChaosInvariants checks byte-identity against the baseline and
+// exactly one terminal journal record per unit.
+func assertChaosInvariants(t *testing.T, mode string, units []pallas.Unit,
+	base []Outcome, baseMerged []byte, got []Outcome, journalPath string) {
+	t.Helper()
+	if len(got) != len(base) {
+		t.Fatalf("[%s] outcome count: got %d, want %d", mode, len(got), len(base))
+	}
+	for i := range got {
+		if got[i].Unit != base[i].Unit {
+			t.Fatalf("[%s] outcome %d order: got %s, want %s", mode, i, got[i].Unit, base[i].Unit)
+		}
+		if string(got[i].Report) != string(base[i].Report) {
+			t.Fatalf("[%s] %s report bytes diverged:\n got %s\nwant %s",
+				mode, got[i].Unit, got[i].Report, base[i].Report)
+		}
+		if got[i].Status != journal.StatusOK {
+			t.Fatalf("[%s] %s status: got %s, want ok", mode, got[i].Unit, got[i].Status)
+		}
+	}
+	merged, err := WriteMergedPaths(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(merged) != string(baseMerged) {
+		t.Fatalf("[%s] merged path database diverged from baseline", mode)
+	}
+	f, err := os.Open(journalPath)
+	if err != nil {
+		t.Fatalf("[%s] open journal: %v", mode, err)
+	}
+	defer f.Close()
+	recs, err := journal.ReadAll(f)
+	if err != nil {
+		t.Fatalf("[%s] read journal: %v", mode, err)
+	}
+	terminal := map[string]int{}
+	for _, rec := range recs {
+		if rec.Status.Terminal() {
+			terminal[rec.Unit]++
+		}
+	}
+	for _, u := range units {
+		if terminal[u.Name] != 1 {
+			t.Fatalf("[%s] unit %s has %d terminal journal records, want exactly 1",
+				mode, u.Name, terminal[u.Name])
+		}
+	}
+}
+
+// chaosIters returns the iteration count for the matrix: 1 by default, more
+// when PALLAS_CHAOS_ITERS is set (the nightly extended-chaos CI job cranks
+// it up under -race).
+func chaosIters() int {
+	if v := os.Getenv("PALLAS_CHAOS_ITERS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 1
+}
+
+// chaosJournalPath places a run's journal under PALLAS_CHAOS_JOURNAL_DIR
+// when set (CI uploads that directory as an artifact on failure) and under
+// the test's temp dir otherwise.
+func chaosJournalPath(t *testing.T, name string) string {
+	if dir := os.Getenv("PALLAS_CHAOS_JOURNAL_DIR"); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err == nil {
+			return filepath.Join(dir, name+".journal")
+		}
+	}
+	return filepath.Join(t.TempDir(), name+".journal")
+}
+
+// TestClusterChaosMatrix is the table: one run per fault mode, both sides
+// of the wire, all against one baseline.
+func TestClusterChaosMatrix(t *testing.T) {
+	units := mkUnits(10)
+	base, baseMerged := chaosBaseline(t, units)
+
+	// Worker-side faults hit every third unit's first delivery, once per
+	// unit across the whole fleet (the requeue must land on an unfaulted
+	// attempt, wherever it goes — the sendFault closure is shared by all
+	// three workers). A factory, because the faulted set must reset between
+	// iterations.
+	scripted := func(act failpoint.NetAction) func() func(a AssignPayload, seen int) failpoint.NetAction {
+		return func() func(a AssignPayload, seen int) failpoint.NetAction {
+			var mu sync.Mutex
+			faulted := map[string]bool{}
+			return func(a AssignPayload, seen int) failpoint.NetAction {
+				var n int
+				fmt.Sscanf(a.Unit, "u%02d.c", &n)
+				if n%3 != 0 {
+					return failpoint.NetNone
+				}
+				mu.Lock()
+				defer mu.Unlock()
+				if faulted[a.Unit] {
+					return failpoint.NetNone
+				}
+				faulted[a.Unit] = true
+				return act
+			}
+		}
+	}
+	cases := []struct {
+		mode      string
+		armSpec   string // coordinator-side coord-send fault, "" for none
+		sendFault func() func(a AssignPayload, seen int) failpoint.NetAction
+	}{
+		{mode: "delay-dispatch", armSpec: "coord-send=sleep:30ms@3"},
+		{mode: "drop-dispatch", armSpec: "coord-send=drop@3"},
+		{mode: "corrupt-dispatch", armSpec: "coord-send=corrupt@3"},
+		{mode: "duplicate-dispatch", armSpec: "coord-send=dup@3"},
+		{mode: "drip-dispatch", armSpec: "coord-send=drip:2ms@3"},
+		{mode: "drop-result", sendFault: scripted(failpoint.NetDrop)},
+		{mode: "corrupt-result-frame", sendFault: scripted(failpoint.NetCorrupt)},
+		{mode: "duplicate-result", sendFault: scripted(failpoint.NetDup)},
+		{mode: "drip-result", sendFault: scripted(failpoint.NetDrip)},
+	}
+	iters := chaosIters()
+	for _, tc := range cases {
+		t.Run(tc.mode, func(t *testing.T) {
+			for it := 0; it < iters; it++ {
+				runChaosCase(t, fmt.Sprintf("%s-%d", tc.mode, it),
+					tc.armSpec, tc.sendFault, units, base, baseMerged)
+			}
+		})
+	}
+}
+
+// runChaosCase is one armed run of the matrix: arm the coordinator-side
+// fault (if any), script the worker-side fault (if any), run the corpus and
+// hold it to the baseline.
+func runChaosCase(t *testing.T, name, armSpec string,
+	mkFault func() func(a AssignPayload, seen int) failpoint.NetAction,
+	units []pallas.Unit, base []Outcome, baseMerged []byte) {
+	t.Helper()
+	if armSpec != "" {
+		if err := failpoint.Arm(armSpec); err != nil {
+			t.Fatal(err)
+		}
+		defer failpoint.Disarm()
+	}
+	behave := func(a AssignPayload, seen int) (int, ResultPayload) {
+		return http.StatusOK, okResult(a, "")
+	}
+	w1, w2, w3 := newFakeWorker(t, behave), newFakeWorker(t, behave), newFakeWorker(t, behave)
+	if mkFault != nil {
+		fault := mkFault()
+		w1.sendFault, w2.sendFault, w3.sendFault = fault, fault, fault
+	}
+	opts := testOpts()
+	// Result-side drops and corruptions are transport failures and
+	// count toward eviction; the matrix injects several per run, so
+	// give the miss budget headroom — the invariants under test are
+	// byte-identity and journal shape, not eviction thresholds.
+	opts.HeartbeatMisses = 5
+	opts.JournalPath = chaosJournalPath(t, name)
+	got, stats, err := runCluster(t, opts, []*fakeWorker{w1, w2, w3}, units)
+	if err != nil {
+		t.Fatalf("[%s] run: %v (stats %+v)", name, err, stats)
+	}
+	assertChaosInvariants(t, name, units, base, baseMerged, got, opts.JournalPath)
+}
+
+// TestClusterZombieWorkerFenced is the fencing proof: a worker goes deaf to
+// heartbeats while holding a unit (the gray half-partition), is evicted,
+// and then its held completion arrives — after eviction invalidated its
+// lease, before the re-dispatch finished. The fence must reject it as
+// stale, count it, and let the re-dispatch (not the zombie) record the
+// unit, leaving the merged output byte-identical to the baseline.
+func TestClusterZombieWorkerFenced(t *testing.T) {
+	units := mkUnits(4)
+	base, baseMerged := chaosBaseline(t, units)
+
+	zombieHeld := make(chan struct{})    // closed when the zombie holds u00
+	zombieRelease := make(chan struct{}) // closed to let the zombie answer
+	redisHold := make(chan struct{})     // closed to let the re-dispatch finish
+
+	var w1, w2 *fakeWorker
+	w1 = newFakeWorker(t, func(a AssignPayload, seen int) (int, ResultPayload) {
+		if a.Unit == "u00.c" {
+			close(zombieHeld)
+			<-zombieRelease
+		}
+		return http.StatusOK, okResult(a, "")
+	})
+	w2 = newFakeWorker(t, func(a AssignPayload, seen int) (int, ResultPayload) {
+		if a.Unit == "u00.c" {
+			<-redisHold
+		}
+		return http.StatusOK, okResult(a, "")
+	})
+
+	opts := testOpts()
+	opts.JournalPath = filepath.Join(t.TempDir(), "zombie.journal")
+	opts.HedgeAfter = -1 // isolate the fence from hedging
+	c, err := NewCoordinator(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Route u00 to w1 by adding only w1 first; the rest drains after.
+	c.AddWorker(w1.addr())
+	go func() {
+		<-zombieHeld
+		w1.pingDead.Store(true) // deaf to liveness, still holding the unit
+		c.AddWorker(w2.addr())
+		// Wait for the eviction, then revive the zombie's answer while the
+		// re-dispatch is still held on w2.
+		for c.Stats().Evictions == 0 {
+			time.Sleep(10 * time.Millisecond)
+		}
+		close(zombieRelease)
+		for c.Stats().StaleCompletions == 0 {
+			time.Sleep(10 * time.Millisecond)
+		}
+		close(redisHold)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	got, stats, err := c.Run(ctx, units)
+	if err != nil {
+		t.Fatalf("run: %v (stats %+v)", err, stats)
+	}
+	if stats.StaleCompletions != 1 {
+		t.Fatalf("stale completions: got %d, want 1 (stats %+v)", stats.StaleCompletions, stats)
+	}
+	if stats.Evictions != 1 {
+		t.Fatalf("evictions: got %d, want 1", stats.Evictions)
+	}
+	if got[0].Worker != w2.addr() {
+		t.Fatalf("u00.c recorded by %s, want re-dispatch worker %s (the zombie must not win)",
+			got[0].Worker, w2.addr())
+	}
+	assertChaosInvariants(t, "zombie", units, base, baseMerged, got, opts.JournalPath)
+}
+
+// TestClusterIntegrityFailureQuarantinesWorker: a worker whose results lie
+// beneath an intact frame (payload mangled after the checksum was fixed)
+// is caught by the end-to-end content sum, its results discarded without
+// burning the units' retry budget, and the worker evicted at
+// IntegrityLimit offenses. The fleet's output is unchanged.
+func TestClusterIntegrityFailureQuarantinesWorker(t *testing.T) {
+	units := mkUnits(6)
+	base, baseMerged := chaosBaseline(t, units)
+
+	corrupt := newFakeWorker(t, func(a AssignPayload, seen int) (int, ResultPayload) {
+		res := okResult(a, "")
+		res.Report = failpoint.CorruptJSON(res.Report) // Sum now lies about the bytes
+		return http.StatusOK, res
+	})
+	honest := newFakeWorker(t, func(a AssignPayload, seen int) (int, ResultPayload) {
+		return http.StatusOK, okResult(a, "")
+	})
+
+	opts := testOpts()
+	opts.JournalPath = filepath.Join(t.TempDir(), "integrity.journal")
+	opts.IntegrityLimit = 2
+	got, stats, err := runCluster(t, opts, []*fakeWorker{corrupt, honest}, units)
+	if err != nil {
+		t.Fatalf("run: %v (stats %+v)", err, stats)
+	}
+	if stats.IntegrityFailures < 2 {
+		t.Fatalf("integrity failures: got %d, want >= 2 (stats %+v)", stats.IntegrityFailures, stats)
+	}
+	if stats.Evictions != 1 {
+		t.Fatalf("evictions: got %d, want 1 (the corrupting worker)", stats.Evictions)
+	}
+	if stats.Quarantined != 0 {
+		t.Fatalf("quarantined units: got %d, want 0 — integrity failures must refund the attempt", stats.Quarantined)
+	}
+	for _, o := range got {
+		if o.Worker != honest.addr() {
+			t.Fatalf("%s recorded by %s, want the honest worker %s", o.Unit, o.Worker, honest.addr())
+		}
+		if sum := rcache.ContentSum(o.Report, o.Paths); o.Report == nil || sum == "" {
+			t.Fatalf("%s: empty verified outcome", o.Unit)
+		}
+	}
+	assertChaosInvariants(t, "integrity", units, base, baseMerged, got, opts.JournalPath)
+}

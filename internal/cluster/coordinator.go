@@ -6,16 +6,19 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math/rand"
+	"io"
 	"net/http"
 	"strconv"
 	"sync"
 	"time"
 
 	"pallas"
+	"pallas/internal/backoff"
+	"pallas/internal/failpoint"
 	"pallas/internal/guard"
 	"pallas/internal/journal"
 	"pallas/internal/metrics"
+	"pallas/internal/rcache"
 )
 
 // Options configures a Coordinator. The zero value is usable: defaults are
@@ -44,12 +47,27 @@ type Options struct {
 	// AnalyzeBatch applies in-process. Default 2.
 	Retries int
 	// RetryBackoff is the base delay before a requeued unit is eligible for
-	// re-dispatch, doubled per attempt with ±50% jitter (AnalyzeBatch's
-	// curve). The unit waits in queue; no dispatcher sleeps. Default 100ms.
+	// re-dispatch; the window doubles per attempt with full jitter
+	// (backoff.Delay — uniform over the window, so simultaneously failing
+	// workers don't produce synchronized retry storms). The unit waits in
+	// queue; no dispatcher sleeps. Default 100ms.
 	RetryBackoff time.Duration
-	// JournalPath, when set, records every assignment (non-terminal) and
-	// completion (terminal, with report and pathdb bytes) in a checkpoint
-	// journal, making the coordinator itself crash-recoverable.
+	// HedgeAfter is the floor of the hedging threshold: a unit in flight
+	// longer than max(HedgeAfter, p95 × 3) is speculatively re-dispatched
+	// to the next healthy worker, first completion winning. Default 1s;
+	// negative disables hedging.
+	HedgeAfter time.Duration
+	// HedgeMax caps concurrently outstanding hedge dispatches across the
+	// run — the speculative-work budget. Default 4; <= -1 disables.
+	HedgeMax int
+	// IntegrityLimit evicts a worker after this many end-to-end content
+	// checksum failures (a corrupting worker is worse than a dead one: it
+	// lies). Default 2.
+	IntegrityLimit int
+	// JournalPath, when set, records every assignment (non-terminal, with
+	// its lease epoch) and completion (terminal, with report and pathdb
+	// bytes) in a checkpoint journal, making the coordinator itself
+	// crash-recoverable.
 	JournalPath string
 	// Resume replays units whose latest journal record is terminal and
 	// still matches their content hash instead of re-dispatching them.
@@ -63,7 +81,8 @@ type Options struct {
 	// Metrics receives the cluster instruments; nil means metrics.Default.
 	Metrics *metrics.Registry
 	// Logf, when non-nil, receives progress lines (evictions, requeues,
-	// duplicate completions) — the CLI points it at stderr.
+	// hedges, probations, rejected completions) — the CLI points it at
+	// stderr.
 	Logf func(format string, args ...any)
 }
 
@@ -83,12 +102,16 @@ type Outcome struct {
 	Diagnostics []guard.Diagnostic
 	// Err is the failure rendered as text for failed/quarantined units.
 	Err string
-	// Attempts counts dispatch attempts this run (0 for replayed units).
+	// Attempts counts dispatch attempts this run (0 for replayed units;
+	// hedges are not attempts).
 	Attempts int
 	// Skipped reports the unit was replayed from the journal on resume.
 	Skipped bool
 	// Worker is the worker that completed the unit (or was last assigned).
 	Worker string
+	// Epoch is the lease epoch of the winning completion (0 for replayed
+	// or quarantined units).
+	Epoch int64
 	// Degraded and Warnings mirror the report.
 	Degraded bool
 	Warnings int
@@ -109,6 +132,23 @@ type Stats struct {
 	DupCompletions  int
 	Backpressure    int
 	CacheHits       int
+	// Hedges counts speculative re-dispatches; HedgeWins counts the ones
+	// whose completion won the race.
+	Hedges    int
+	HedgeWins int
+	// StaleCompletions counts completions rejected by the lease fence: the
+	// epoch they carried was no longer valid and no outcome existed yet —
+	// the zombie-worker window, closed.
+	StaleCompletions int
+	// IntegrityFailures counts completions whose end-to-end content
+	// checksum did not match their bytes.
+	IntegrityFailures int
+	// Probations counts health-score demotions.
+	Probations int
+	// Completion latency quantiles (ms) over the most recent sample window.
+	LatencyP50MS float64
+	LatencyP95MS float64
+	LatencyP99MS float64
 	// Journal recovery, as in BatchStats.
 	JournalRecovered   int
 	JournalTornTail    bool
@@ -118,48 +158,65 @@ type Stats struct {
 // WorkerHealth is one row of the coordinator's per-worker table
 // (/healthz?verbose=1 on the status server).
 type WorkerHealth struct {
-	Addr            string `json:"addr"`
-	Live            bool   `json:"live"`
-	Queue           int    `json:"queue"`
-	InFlight        int    `json:"in_flight"`
-	Done            int64  `json:"done"`
-	Requeues        int64  `json:"requeues"`
-	HeartbeatMisses int64  `json:"heartbeat_misses"`
-	LastBeatAgeMS   int64  `json:"last_beat_age_ms"`
-	Paused          bool   `json:"paused"`
+	Addr            string  `json:"addr"`
+	Live            bool    `json:"live"`
+	State           string  `json:"state"` // healthy | probation | evicted
+	Score           float64 `json:"score"`
+	LatencyEWMAMS   float64 `json:"latency_ewma_ms"`
+	ErrorRate       float64 `json:"error_rate"`
+	Queue           int     `json:"queue"`
+	InFlight        int     `json:"in_flight"`
+	Done            int64   `json:"done"`
+	Requeues        int64   `json:"requeues"`
+	HeartbeatMisses int64   `json:"heartbeat_misses"`
+	IntegrityFails  int64   `json:"integrity_fails"`
+	LastBeatAgeMS   int64   `json:"last_beat_age_ms"`
+	Paused          bool    `json:"paused"`
 }
 
-// task states.
-const (
-	taskPending = iota
-	taskAssigned
-	taskDone
-)
+// lease is one fenced grant of one task to one worker. Every dispatch —
+// first attempt, retry, or hedge — gets a fresh lease with a monotonically
+// increasing epoch; the worker echoes the epoch in its result, and only a
+// completion whose lease is still valid may record an outcome. Eviction
+// and hedging invalidate leases without waiting for their connections, so
+// a zombie worker's late completion is rejected by the fence instead of
+// racing the re-dispatch.
+type lease struct {
+	epoch  int64
+	worker string
+	hedge  bool
+	start  time.Time
+	ctx    context.Context
+	cancel context.CancelFunc
+}
 
 type task struct {
 	idx       int
 	unit      pallas.Unit
 	hash      string
-	state     int
 	attempts  int
-	owner     string    // worker addr while assigned
-	queuedOn  string    // worker addr whose queue holds it while pending
-	notBefore time.Time // retry-backoff eligibility
+	hedges    int
+	owner     string           // worker addr of the most recent lease
+	queuedOn  string           // worker addr whose queue holds it while pending
+	notBefore time.Time        // retry-backoff eligibility
+	leases    map[int64]*lease // outstanding leases by epoch
 	outcome   *Outcome
 }
 
 type workerState struct {
-	addr        string
-	live        bool
-	queue       []*task
-	inflight    int
-	misses      int
-	lastBeat    time.Time
-	pausedUntil time.Time
-	done        int64
-	requeues    int64
-	hbMisses    int64
-	stop        chan struct{}
+	addr           string
+	live           bool
+	queue          []*task
+	inflight       int
+	misses         int
+	lastBeat       time.Time
+	pausedUntil    time.Time
+	done           int64
+	requeues       int64
+	hbMisses       int64
+	integrityFails int64
+	h              health
+	stop           chan struct{}
 }
 
 // Coordinator owns a cluster run: it shards units over workers, keeps them
@@ -172,29 +229,40 @@ type Coordinator struct {
 	reg    *metrics.Registry
 	jr     *journal.Journal
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	ring     *Ring
-	workers  map[string]*workerState
-	tasks    []*task
-	orphans  []*task // pending tasks with no live worker to queue on
-	pending  int
-	running  bool
-	closed   bool
-	fatalErr error
-	stats    Stats
+	mu        sync.Mutex
+	cond      *sync.Cond
+	ring      *Ring
+	workers   map[string]*workerState
+	tasks     []*task
+	orphans   []*task // pending tasks with no live worker to queue on
+	pending   int
+	running   bool
+	closed    bool
+	fatalErr  error
+	stats     Stats
+	epoch     int64 // lease epoch counter; monotonic across the run
+	hedgesOut int   // outstanding hedge leases
+	latWin    [latWindowSize]float64
+	latN      int
 
 	runCtx    context.Context
 	runCancel context.CancelFunc
 	wg        sync.WaitGroup
 
 	gWorkersLive *metrics.Gauge
+	gHealthMin   *metrics.Gauge
+	gProbation   *metrics.Gauge
 	mRequeues    *metrics.Counter
 	mHBMisses    *metrics.Counter
 	mEvictions   *metrics.Counter
 	mDups        *metrics.Counter
 	mUnitsDone   *metrics.Counter
 	mBackpress   *metrics.Counter
+	mHedges      *metrics.Counter
+	mHedgeWins   *metrics.Counter
+	mStale       *metrics.Counter
+	mIntegrity   *metrics.Counter
+	mProbations  *metrics.Counter
 }
 
 // NewCoordinator builds a coordinator (opening the journal when configured).
@@ -222,6 +290,15 @@ func NewCoordinator(opts Options) (*Coordinator, error) {
 	if opts.RetryBackoff <= 0 {
 		opts.RetryBackoff = 100 * time.Millisecond
 	}
+	if opts.HedgeAfter == 0 {
+		opts.HedgeAfter = time.Second
+	}
+	if opts.HedgeMax == 0 {
+		opts.HedgeMax = 4
+	}
+	if opts.IntegrityLimit <= 0 {
+		opts.IntegrityLimit = 2
+	}
 	if opts.WorkerlessGrace <= 0 {
 		opts.WorkerlessGrace = 15 * time.Second
 	}
@@ -237,12 +314,19 @@ func NewCoordinator(opts Options) (*Coordinator, error) {
 		workers: map[string]*workerState{},
 
 		gWorkersLive: reg.Gauge(metrics.MetricClusterWorkersLive, "cluster workers currently live"),
+		gHealthMin:   reg.Gauge(metrics.MetricClusterWorkerHealthMin, "lowest live-worker health score, x1000"),
+		gProbation:   reg.Gauge(metrics.MetricClusterWorkersProbation, "workers currently on probation"),
 		mRequeues:    reg.Counter(metrics.MetricClusterRequeues, "units requeued after worker failure or transient error"),
 		mHBMisses:    reg.Counter(metrics.MetricClusterHeartbeatMisses, "missed worker heartbeats"),
 		mEvictions:   reg.Counter(metrics.MetricClusterEvictions, "workers evicted"),
 		mDups:        reg.Counter(metrics.MetricClusterDupCompletions, "duplicate completions suppressed by content hash"),
 		mUnitsDone:   reg.Counter(metrics.MetricClusterUnitsDone, "units with a terminal outcome recorded"),
 		mBackpress:   reg.Counter(metrics.MetricClusterBackpressure, "dispatches shed by worker overload control and requeued"),
+		mHedges:      reg.Counter(metrics.MetricClusterHedges, "speculative hedge dispatches launched"),
+		mHedgeWins:   reg.Counter(metrics.MetricClusterHedgeWins, "hedge dispatches that won their race"),
+		mStale:       reg.Counter(metrics.MetricClusterStaleCompletions, "completions rejected for a stale lease epoch"),
+		mIntegrity:   reg.Counter(metrics.MetricClusterIntegrityFailures, "completions failing the end-to-end content checksum"),
+		mProbations:  reg.Counter(metrics.MetricClusterProbations, "health-score demotions to probation"),
 	}
 	c.cond = sync.NewCond(&c.mu)
 	if opts.JournalPath != "" {
@@ -343,11 +427,10 @@ func (c *Coordinator) Run(ctx context.Context, units []pallas.Unit) ([]Outcome, 
 
 	c.tasks = make([]*task, len(units))
 	for i, u := range units {
-		t := &task{idx: i, unit: u, hash: u.Hash(), state: taskPending}
+		t := &task{idx: i, unit: u, hash: u.Hash(), leases: map[int64]*lease{}}
 		c.tasks[i] = t
 		if c.jr != nil && c.opts.Resume {
 			if rec, ok := c.jr.Lookup(u.Name); ok && rec.Hash == t.hash && rec.Status.Terminal() {
-				t.state = taskDone
 				t.outcome = outcomeFromRecord(t, rec)
 				c.stats.Skipped++
 				continue
@@ -361,7 +444,8 @@ func (c *Coordinator) Run(ctx context.Context, units []pallas.Unit) ([]Outcome, 
 			c.startWorkerLocked(w)
 		}
 	}
-	// Wake ticker: re-checks retry-backoff eligibility and worker pauses.
+	// Scheduler tick: retry-backoff eligibility, worker pauses, health
+	// scores, hedge scans.
 	c.wg.Add(1)
 	go c.tick()
 	// Watchdogs: context cancellation and worker famine.
@@ -399,14 +483,20 @@ func (c *Coordinator) Run(ctx context.Context, units []pallas.Unit) ([]Outcome, 
 				Err: "cluster: run aborted before completion", Attempts: t.attempts}
 		}
 	}
+	// The returned snapshot carries the same latency quantiles Stats()
+	// reports, so callers need not race a second call after Run returns.
+	final := c.stats
+	final.LatencyP50MS, final.LatencyP95MS, final.LatencyP99MS = c.latQuantilesLocked()
 	if err != nil {
-		return out, c.stats, fmt.Errorf("cluster: run failed: %w", err)
+		return out, final, fmt.Errorf("cluster: run failed: %w", err)
 	}
-	return out, c.stats, nil
+	return out, final, nil
 }
 
-// tick periodically wakes dispatchers so retry-backoff eligibility and
-// backpressure pauses are re-evaluated without per-task timers.
+// tick is the scheduler heartbeat: every 25ms it wakes dispatchers (so
+// retry-backoff eligibility and backpressure pauses are re-evaluated
+// without per-task timers), refreshes health scores, and scans for units
+// past the hedge threshold.
 func (c *Coordinator) tick() {
 	defer c.wg.Done()
 	t := time.NewTicker(25 * time.Millisecond)
@@ -417,6 +507,11 @@ func (c *Coordinator) tick() {
 			return
 		case <-t.C:
 			c.mu.Lock()
+			if !c.closed {
+				now := time.Now()
+				c.updateHealthLocked(now)
+				c.hedgeScanLocked(now)
+			}
 			c.cond.Broadcast()
 			c.mu.Unlock()
 		}
@@ -465,16 +560,26 @@ func (c *Coordinator) watch() {
 }
 
 // enqueueLocked queues a pending task on its ring owner (or the
-// shortest-queued live worker when the owner is excluded/dead). exclude
-// names a worker to avoid — the one that just failed the task.
+// shortest-queued live worker when the owner is excluded, dead, or on
+// probation with a healthy alternative). exclude names a worker to avoid —
+// the one that just failed the task.
 func (c *Coordinator) enqueueLocked(t *task, exclude string) {
 	target := ""
 	if owner := c.ring.Owner(t.hash); owner != "" && owner != exclude {
-		target = owner
-	} else {
+		// Health bias: divert from a probation owner while any healthy
+		// worker exists; a fully degraded fleet keeps ring placement.
+		if w := c.workers[owner]; w == nil || !w.h.probation || !c.hasHealthyLocked(exclude) {
+			target = owner
+		}
+	}
+	if target == "" {
+		preferHealthy := c.hasHealthyLocked(exclude)
 		best := -1
 		for _, w := range c.workers {
 			if !w.live || w.addr == exclude {
+				continue
+			}
+			if preferHealthy && w.h.probation {
 				continue
 			}
 			if best < 0 || len(w.queue) < best {
@@ -524,25 +629,41 @@ func (c *Coordinator) dequeueLocked(t *task) {
 	}
 }
 
+// isQueuedLocked reports whether t currently sits in some worker's queue or
+// the orphan list.
+func (c *Coordinator) isQueuedLocked(t *task) bool {
+	if t.queuedOn != "" {
+		return true
+	}
+	for _, q := range c.orphans {
+		if q == t {
+			return true
+		}
+	}
+	return false
+}
+
 // next blocks until the worker has a unit to run (own queue first, then
 // stolen from the longest live queue), the worker dies, or the run ends.
-// Returns nil when the dispatcher should exit.
-func (c *Coordinator) next(w *workerState) *task {
+// A worker on probation runs at most one probe unit at a time and never
+// steals — load drains away from it until its score recovers. Returns a
+// fresh lease for the dispatch, or nils when the dispatcher should exit.
+func (c *Coordinator) next(w *workerState) (*task, *lease) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for {
 		if c.closed || !w.live || c.fatalErr != nil {
-			return nil
+			return nil, nil
 		}
 		now := time.Now()
-		if now.After(w.pausedUntil) {
+		if now.After(w.pausedUntil) && (!w.h.probation || w.inflight == 0) {
 			if t := c.popEligibleLocked(w, now); t != nil {
-				c.assignLocked(t, w)
-				return t
+				return t, c.newLeaseLocked(t, w, false)
 			}
-			if t := c.stealLocked(w, now); t != nil {
-				c.assignLocked(t, w)
-				return t
+			if !w.h.probation {
+				if t := c.stealLocked(w, now); t != nil {
+					return t, c.newLeaseLocked(t, w, false)
+				}
 			}
 		}
 		c.cond.Wait()
@@ -591,82 +712,168 @@ func (c *Coordinator) stealLocked(w *workerState, now time.Time) *task {
 	return nil
 }
 
-func (c *Coordinator) assignLocked(t *task, w *workerState) {
-	t.state = taskAssigned
+// newLeaseLocked grants t to w under a fresh epoch. Ordinary dispatches
+// consume an attempt; hedges consume the hedge budget instead.
+func (c *Coordinator) newLeaseLocked(t *task, w *workerState, hedge bool) *lease {
+	c.epoch++
+	ctx, cancel := context.WithCancel(c.runCtx)
+	ls := &lease{epoch: c.epoch, worker: w.addr, hedge: hedge,
+		start: time.Now(), ctx: ctx, cancel: cancel}
+	t.leases[ls.epoch] = ls
 	t.owner = w.addr
-	t.attempts++
+	if hedge {
+		c.hedgesOut++
+	} else {
+		t.attempts++
+	}
 	w.inflight++
+	return ls
 }
 
-// dispatchLoop is one dispatcher lane of one worker: take the next unit,
-// send it, classify the outcome. A worker has Options.Inflight lanes.
+// resolveLeaseLocked invalidates one lease: removes it from the task,
+// releases the worker's in-flight slot, and returns the hedge budget.
+// Returns false when the lease was already resolved — the caller's
+// response is stale and must not mutate task state. It does NOT cancel the
+// lease's connection: eviction deliberately leaves zombie connections
+// racing so the fence (not luck) is what rejects them; completion cancels
+// losers explicitly.
+func (c *Coordinator) resolveLeaseLocked(t *task, ls *lease) bool {
+	cur, ok := t.leases[ls.epoch]
+	if !ok || cur != ls {
+		return false
+	}
+	delete(t.leases, ls.epoch)
+	if w := c.workers[ls.worker]; w != nil {
+		w.inflight--
+	}
+	if ls.hedge {
+		c.hedgesOut--
+	}
+	return true
+}
+
+// dispatchLoop is one dispatcher lane of one worker: take the next unit
+// under a fresh lease, send it, classify the outcome. A worker has
+// Options.Inflight lanes; hedge dispatches run on extra goroutines.
 func (c *Coordinator) dispatchLoop(w *workerState) {
 	defer c.wg.Done()
 	for {
-		t := c.next(w)
+		t, ls := c.next(w)
 		if t == nil {
 			return
 		}
-		c.journalAssign(t, w)
-		payload, shed, retryAfter, err := c.send(t, w)
+		c.dispatchLease(w, t, ls)
+	}
+}
+
+// dispatchLease performs one leased dispatch end to end. When the
+// coord-send failpoint injects duplicate delivery, the same frame (same
+// epoch) is sent a second time and both responses are classified — the
+// fence must suppress the echo.
+func (c *Coordinator) dispatchLease(w *workerState, t *task, ls *lease) {
+	defer ls.cancel()
+	c.journalAssign(t, w, ls)
+	for sends := 0; ; sends++ {
+		payload, shed, retryAfter, dup, err := c.send(t, w, ls)
 		switch {
 		case err != nil:
-			c.transportFail(w, t, err)
+			c.transportFail(w, t, ls, err)
 		case shed:
-			c.backpressured(w, t, retryAfter)
+			c.backpressured(w, t, ls, retryAfter)
 		default:
-			c.finishResult(w, t, payload)
+			c.finishResult(w, t, ls, payload)
+		}
+		if !dup || err != nil || shed || sends > 0 {
+			return
 		}
 	}
 }
 
-func (c *Coordinator) journalAssign(t *task, w *workerState) {
+func (c *Coordinator) journalAssign(t *task, w *workerState, ls *lease) {
 	if c.jr == nil {
 		return
 	}
 	if err := c.jr.Append(journal.Record{
 		Unit: t.unit.Name, Hash: t.hash, Status: journal.StatusAssigned,
-		Attempt: t.attempts, Worker: w.addr,
+		Attempt: t.attempts, Worker: w.addr, Epoch: ls.epoch,
 	}); err != nil {
 		c.logf("cluster: journal assign %s: %v", t.unit.Name, err)
 	}
 }
 
-// send performs one framed dispatch. Returns the decoded result, or
-// shed=true with the worker's Retry-After hint, or a transport error.
-func (c *Coordinator) send(t *task, w *workerState) (ResultPayload, bool, time.Duration, error) {
+// slowReader drips its payload in small chunks with a pause between them —
+// the coord-send=drip fault: a trickling connection that never quite
+// stalls out.
+type slowReader struct {
+	r     io.Reader
+	chunk int
+	pause time.Duration
+}
+
+func (s *slowReader) Read(p []byte) (int, error) {
+	if len(p) > s.chunk {
+		p = p[:s.chunk]
+	}
+	n, err := s.r.Read(p)
+	if n > 0 {
+		time.Sleep(s.pause)
+	}
+	return n, err
+}
+
+// send performs one framed dispatch under ls. Returns the decoded result,
+// or shed=true with the worker's Retry-After hint, or a transport error.
+// dup=true means the coord-send failpoint asked for duplicate delivery and
+// the caller should send the same frame once more.
+func (c *Coordinator) send(t *task, w *workerState, ls *lease) (ResultPayload, bool, time.Duration, bool, error) {
 	var zero ResultPayload
 	body, err := EncodeFrame(FrameAssign, AssignPayload{
 		Unit: t.unit.Name, Hash: t.hash, Source: t.unit.Source, Spec: t.unit.Spec,
-		Attempt: t.attempts,
+		Attempt: t.attempts, Epoch: ls.epoch,
 	})
 	if err != nil {
-		return zero, false, 0, err
+		return zero, false, 0, false, err
 	}
-	ctx, cancel := context.WithTimeout(c.runCtx, c.opts.RequestTimeout)
+	dup := false
+	var reqBody io.Reader = bytes.NewReader(body)
+	switch f := failpoint.Net(failpoint.CoordSend, t.unit.Name); f.Act {
+	case failpoint.NetDrop:
+		return zero, false, 0, false, fmt.Errorf("cluster: injected link drop dispatching %s", t.unit.Name)
+	case failpoint.NetCorrupt:
+		reqBody = bytes.NewReader(failpoint.Corrupt(body))
+	case failpoint.NetDup:
+		dup = true
+	case failpoint.NetDrip:
+		reqBody = &slowReader{r: bytes.NewReader(body), chunk: 64, pause: f.Sleep}
+	}
+	ctx, cancel := context.WithTimeout(ls.ctx, c.opts.RequestTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		"http://"+w.addr+"/v1/cluster/unit", bytes.NewReader(body))
+		"http://"+w.addr+"/v1/cluster/unit", reqBody)
 	if err != nil {
-		return zero, false, 0, err
+		return zero, false, 0, dup, err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
 	resp, err := c.client.Do(req)
 	if err != nil {
-		return zero, false, 0, err
+		return zero, false, 0, dup, err
 	}
 	defer resp.Body.Close()
 	switch {
 	case resp.StatusCode == http.StatusOK:
 		var payload ResultPayload
 		if err := DecodeFrame(resp.Body, FrameResult, &payload); err != nil {
-			return zero, false, 0, err
+			return zero, false, 0, dup, err
 		}
 		if payload.Hash != t.hash {
-			return zero, false, 0, fmt.Errorf("result hash mismatch: got %s, want %s",
+			return zero, false, 0, dup, fmt.Errorf("result hash mismatch: got %s, want %s",
 				payload.Hash, t.hash)
 		}
-		return payload, false, 0, nil
+		if payload.Epoch != 0 && payload.Epoch != ls.epoch {
+			return zero, false, 0, dup, fmt.Errorf("result epoch mismatch: got %d, want %d",
+				payload.Epoch, ls.epoch)
+		}
+		return payload, false, 0, dup, nil
 	case resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode == http.StatusTooManyRequests:
 		retry := time.Second
 		if s := resp.Header.Get("Retry-After"); s != "" {
@@ -674,9 +881,20 @@ func (c *Coordinator) send(t *task, w *workerState) (ResultPayload, bool, time.D
 				retry = time.Duration(secs) * time.Second
 			}
 		}
-		return zero, true, retry, nil
+		// The header is whole seconds; the JSON body's retry_after_ms is
+		// the precise, jittered hint. Honor it at ms resolution so a fleet
+		// of shed dispatches doesn't re-hit the worker on one fixed cadence.
+		if body, rerr := io.ReadAll(io.LimitReader(resp.Body, 4096)); rerr == nil {
+			var eb struct {
+				RetryAfterMS int64 `json:"retry_after_ms"`
+			}
+			if json.Unmarshal(body, &eb) == nil && eb.RetryAfterMS > 0 {
+				retry = time.Duration(eb.RetryAfterMS) * time.Millisecond
+			}
+		}
+		return zero, true, retry, dup, nil
 	default:
-		return zero, false, 0, fmt.Errorf("worker %s: status %d", w.addr, resp.StatusCode)
+		return zero, false, 0, dup, fmt.Errorf("worker %s: status %d", w.addr, resp.StatusCode)
 	}
 }
 
@@ -684,15 +902,22 @@ func (c *Coordinator) send(t *task, w *workerState) (ResultPayload, bool, time.D
 // died, hung past RequestTimeout, or answered garbage. The unit is requeued
 // (bounded), and the miss counts toward the worker's eviction threshold —
 // a crashed worker is usually detected here first, before the heartbeat.
-func (c *Coordinator) transportFail(w *workerState, t *task, err error) {
+// A canceled loser or an already-fenced lease lands here too and is
+// dropped without penalty.
+func (c *Coordinator) transportFail(w *workerState, t *task, ls *lease, err error) {
 	c.mu.Lock()
-	w.inflight--
+	if !c.resolveLeaseLocked(t, ls) {
+		c.cond.Broadcast()
+		c.mu.Unlock()
+		return
+	}
 	w.misses++
 	c.stats.HeartbeatMisses++
 	w.hbMisses++
 	c.mHBMisses.Inc()
+	w.h.observeError()
 	evict := w.live && w.misses >= c.opts.HeartbeatMisses
-	c.requeueLocked(w, t, err)
+	c.requeueIfUnheldLocked(w, t, err)
 	if evict {
 		c.evictLocked(w, fmt.Errorf("dispatch failures: %w", err))
 	}
@@ -703,65 +928,83 @@ func (c *Coordinator) transportFail(w *workerState, t *task, err error) {
 
 // backpressured handles a 503/429 shed: the unit goes back to the queue
 // without spending an attempt, and the worker is paused for the hint.
-func (c *Coordinator) backpressured(w *workerState, t *task, retryAfter time.Duration) {
+func (c *Coordinator) backpressured(w *workerState, t *task, ls *lease, retryAfter time.Duration) {
 	if retryAfter > 2*time.Second {
 		retryAfter = 2 * time.Second
 	}
 	c.mu.Lock()
-	w.inflight--
-	if t.state == taskAssigned && t.owner == w.addr {
-		t.attempts-- // admission was refused; the analysis never started
-		t.state = taskPending
-		t.owner = ""
+	if c.resolveLeaseLocked(t, ls) {
+		if !ls.hedge {
+			t.attempts-- // admission was refused; the analysis never started
+		}
 		w.pausedUntil = time.Now().Add(retryAfter)
 		c.stats.Backpressure++
 		c.mBackpress.Inc()
-		c.enqueueLocked(t, "")
+		c.requeueShedLocked(t)
 	}
 	c.cond.Broadcast()
 	c.mu.Unlock()
 }
 
-// finishResult classifies a decoded worker result.
-func (c *Coordinator) finishResult(w *workerState, t *task, p ResultPayload) {
+// requeueShedLocked returns a shed task to the queue without the failure
+// bookkeeping (no requeue counter, no backoff — admission refused, nothing
+// ran).
+func (c *Coordinator) requeueShedLocked(t *task) {
+	if t.outcome != nil || len(t.leases) > 0 || c.isQueuedLocked(t) {
+		return
+	}
+	t.owner = ""
+	c.enqueueLocked(t, "")
+}
+
+// finishResult classifies a decoded worker result. Completions carrying a
+// content checksum are verified end to end before they may record an
+// outcome — the frame CRC protects the wire hop, the content checksum
+// protects the whole path from the producing analysis to the merge.
+func (c *Coordinator) finishResult(w *workerState, t *task, ls *lease, p ResultPayload) {
 	switch p.Status {
 	case "ok", "degraded":
-		c.complete(w, t, p)
+		if p.Sum != "" {
+			if got := rcache.ContentSum(p.Report, p.Paths); got != p.Sum {
+				c.integrityFail(w, t, ls, p.Sum, got)
+				return
+			}
+		}
+		c.complete(w, t, ls, p)
 	case "failed":
 		if p.Transient {
-			c.transientAnalysisFail(w, t, errors.New(p.Err))
+			c.transientAnalysisFail(w, t, ls, errors.New(p.Err))
 		} else {
-			c.terminalFail(w, t, p)
+			c.terminalFail(w, t, ls, p)
 		}
 	default:
-		c.transportFail(w, t, fmt.Errorf("worker %s: unknown result status %q", w.addr, p.Status))
+		c.transportFail(w, t, ls, fmt.Errorf("worker %s: unknown result status %q", w.addr, p.Status))
 	}
 }
 
-// complete records a successful analysis — exactly once per unit content.
-// A requeued unit that completes on two workers (the assignments echo the
-// same content hash) is recorded on the first completion; the second
-// increments the duplicate counter and is dropped, safe because worker
-// output is deterministic: both completions carry the same bytes.
-func (c *Coordinator) complete(w *workerState, t *task, p ResultPayload) {
+// complete records a successful analysis — exactly once per unit, enforced
+// by the lease fence. A completion whose lease is gone is classified: an
+// outcome already exists → duplicate (a hedge loser or injected duplicate
+// delivery; worker output is deterministic, the bytes match); no outcome →
+// stale (a zombie worker's late result after eviction) and rejected — the
+// re-dispatch, not the zombie, gets to record the unit.
+func (c *Coordinator) complete(w *workerState, t *task, ls *lease, p ResultPayload) {
 	c.mu.Lock()
-	w.inflight--
 	w.misses = 0
-	if t.outcome != nil {
-		c.stats.DupCompletions++
-		c.mDups.Inc()
-		c.cond.Broadcast()
-		c.mu.Unlock()
-		c.logf("cluster: duplicate completion of %s (hash %.12s) from %s suppressed",
-			t.unit.Name, t.hash, w.addr)
+	if !c.resolveLeaseLocked(t, ls) || t.outcome != nil {
+		c.rejectCompletionLocked(w, t, ls)
 		return
 	}
-	if t.state == taskPending {
-		// A late completion raced its own requeue: pull it back out of the
-		// queue so no third attempt dispatches.
-		c.dequeueLocked(t)
+	elapsed := time.Since(ls.start)
+	w.h.observeOK()
+	w.h.observeLatency(elapsed)
+	c.observeLatencyLocked(elapsed)
+	// Losers: invalidate and cancel any sibling leases still racing.
+	for _, sib := range siblings(t) {
+		c.resolveLeaseLocked(t, sib)
+		sib.cancel()
 	}
-	t.state = taskDone
+	c.dequeueLocked(t) // a late completion may race its own requeue
 	t.owner = ""
 	status := journal.StatusOK
 	if p.Status == "degraded" {
@@ -770,8 +1013,13 @@ func (c *Coordinator) complete(w *workerState, t *task, p ResultPayload) {
 	t.outcome = &Outcome{
 		Unit: t.unit.Name, Hash: t.hash, Status: status,
 		Report: p.Report, Paths: p.Paths, Diagnostics: p.Diagnostics,
-		Attempts: t.attempts, Worker: w.addr,
+		Attempts: t.attempts, Worker: w.addr, Epoch: ls.epoch,
 		Degraded: p.Degraded, Warnings: p.Warnings, CacheHit: p.Cache == "hit",
+	}
+	if ls.hedge {
+		c.stats.HedgeWins++
+		c.mHedgeWins.Inc()
+		c.logf("cluster: hedge won %s on %s (epoch %d)", t.unit.Name, w.addr, ls.epoch)
 	}
 	if p.Cache == "hit" {
 		c.stats.CacheHits++
@@ -785,27 +1033,56 @@ func (c *Coordinator) complete(w *workerState, t *task, p ResultPayload) {
 	c.journalTerminal(t)
 }
 
-// terminalFail records a deterministic analysis failure (no retry: the
-// input itself is bad, as in AnalyzeBatch).
-func (c *Coordinator) terminalFail(w *workerState, t *task, p ResultPayload) {
-	c.mu.Lock()
-	w.inflight--
-	w.misses = 0
+// siblings returns t's outstanding leases as a slice (safe to resolve while
+// iterating).
+func siblings(t *task) []*lease {
+	out := make([]*lease, 0, len(t.leases))
+	for _, l := range t.leases {
+		out = append(out, l)
+	}
+	return out
+}
+
+// rejectCompletionLocked classifies and drops a completion that lost the
+// fence. Caller holds c.mu; this releases it.
+func (c *Coordinator) rejectCompletionLocked(w *workerState, t *task, ls *lease) {
 	if t.outcome != nil {
 		c.stats.DupCompletions++
 		c.mDups.Inc()
 		c.cond.Broadcast()
 		c.mu.Unlock()
+		c.logf("cluster: duplicate completion of %s (hash %.12s) from %s suppressed",
+			t.unit.Name, t.hash, w.addr)
 		return
 	}
-	if t.state == taskPending {
-		c.dequeueLocked(t)
+	c.stats.StaleCompletions++
+	c.mStale.Inc()
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.logf("cluster: stale completion of %s (epoch %d) from %s rejected by lease fence",
+		t.unit.Name, ls.epoch, w.addr)
+}
+
+// terminalFail records a deterministic analysis failure (no retry: the
+// input itself is bad, as in AnalyzeBatch).
+func (c *Coordinator) terminalFail(w *workerState, t *task, ls *lease, p ResultPayload) {
+	c.mu.Lock()
+	w.misses = 0
+	if !c.resolveLeaseLocked(t, ls) || t.outcome != nil {
+		c.rejectCompletionLocked(w, t, ls)
+		return
 	}
-	t.state = taskDone
+	w.h.observeOK() // the worker answered correctly; the input is what failed
+	for _, sib := range siblings(t) {
+		c.resolveLeaseLocked(t, sib)
+		sib.cancel()
+	}
+	c.dequeueLocked(t)
 	t.owner = ""
 	t.outcome = &Outcome{
 		Unit: t.unit.Name, Hash: t.hash, Status: journal.StatusFailed,
-		Err: p.Err, Diagnostics: p.Diagnostics, Attempts: t.attempts, Worker: w.addr,
+		Err: p.Err, Diagnostics: p.Diagnostics, Attempts: t.attempts,
+		Worker: w.addr, Epoch: ls.epoch,
 	}
 	c.stats.Failed++
 	c.mUnitsDone.Inc()
@@ -817,26 +1094,59 @@ func (c *Coordinator) terminalFail(w *workerState, t *task, p ResultPayload) {
 }
 
 // transientAnalysisFail requeues after a worker-reported transient failure
-// (panic, budget blowout, injected fault), with AnalyzeBatch's backoff.
-func (c *Coordinator) transientAnalysisFail(w *workerState, t *task, err error) {
+// (panic, budget blowout, injected fault), with full-jitter backoff.
+func (c *Coordinator) transientAnalysisFail(w *workerState, t *task, ls *lease, err error) {
 	c.mu.Lock()
-	w.inflight--
 	w.misses = 0
-	c.requeueLocked(w, t, err)
+	if c.resolveLeaseLocked(t, ls) {
+		w.h.observeError()
+		c.requeueIfUnheldLocked(w, t, err)
+	}
 	c.cond.Broadcast()
 	c.mu.Unlock()
 }
 
-// requeueLocked returns a failed assignment to the pending queue, or
-// quarantines it when its attempts are spent. No-op when the task was
-// already completed elsewhere (late failure after duplicate dispatch) or
-// already requeued by an eviction sweep.
-func (c *Coordinator) requeueLocked(w *workerState, t *task, err error) {
-	if t.state != taskAssigned || t.owner != w.addr {
+// integrityFail handles a completion whose end-to-end content checksum did
+// not match its bytes: the result is discarded, the unit requeued with its
+// attempt refunded (the unit is innocent — the worker corrupted it), and
+// the worker evicted once its integrity failures reach IntegrityLimit. A
+// worker that lies about results is worse than one that crashes: nothing
+// downstream can tell good bytes from bad, so the response is quarantine-
+// the-worker, never trust-and-merge.
+func (c *Coordinator) integrityFail(w *workerState, t *task, ls *lease, want, got string) {
+	c.mu.Lock()
+	if !c.resolveLeaseLocked(t, ls) {
+		c.cond.Broadcast()
+		c.mu.Unlock()
+		return
+	}
+	w.h.observeError()
+	w.integrityFails++
+	c.stats.IntegrityFailures++
+	c.mIntegrity.Inc()
+	if !ls.hedge {
+		t.attempts--
+	}
+	evict := w.live && w.integrityFails >= int64(c.opts.IntegrityLimit)
+	c.requeueIfUnheldLocked(w, t, fmt.Errorf("content checksum mismatch: want %s, got %s", want, got))
+	if evict {
+		c.evictLocked(w, fmt.Errorf("%d integrity failure(s)", w.integrityFails))
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.logf("cluster: integrity failure on %s from %s (checksum want %s, got %s), result discarded",
+		t.unit.Name, w.addr, want, got)
+}
+
+// requeueIfUnheldLocked returns a failed task to the pending queue — but
+// only when nothing else holds it: no outcome, no outstanding lease (a
+// hedge may still be racing), not already queued. Quarantines when its
+// attempts are spent.
+func (c *Coordinator) requeueIfUnheldLocked(w *workerState, t *task, err error) {
+	if t.outcome != nil || len(t.leases) > 0 || c.isQueuedLocked(t) {
 		return
 	}
 	if t.attempts >= c.opts.Retries+1 {
-		t.state = taskDone
 		t.owner = ""
 		t.outcome = &Outcome{
 			Unit: t.unit.Name, Hash: t.hash, Status: journal.StatusQuarantined,
@@ -848,26 +1158,12 @@ func (c *Coordinator) requeueLocked(w *workerState, t *task, err error) {
 		c.journalTerminalAsync(t) // callers hold c.mu; Append must not
 		return
 	}
-	t.state = taskPending
 	t.owner = ""
-	t.notBefore = time.Now().Add(retryDelay(c.opts.RetryBackoff, t.attempts))
+	t.notBefore = time.Now().Add(backoff.Delay(c.opts.RetryBackoff, t.attempts))
 	c.stats.Requeues++
 	c.mRequeues.Inc()
 	w.requeues++
 	c.enqueueLocked(t, w.addr)
-}
-
-// retryDelay mirrors AnalyzeBatch's curve: base doubled per attempt (capped
-// at 30s) with ±50% jitter.
-func retryDelay(base time.Duration, attempt int) time.Duration {
-	d := base
-	for i := 1; i < attempt && d < 30*time.Second; i++ {
-		d *= 2
-	}
-	if d > 30*time.Second {
-		d = 30 * time.Second
-	}
-	return d/2 + time.Duration(rand.Int63n(int64(d)))
 }
 
 // journalTerminalAsync records a terminal outcome from a caller holding
@@ -894,7 +1190,7 @@ func (c *Coordinator) journalTerminal(t *task) {
 		Unit: o.Unit, Hash: o.Hash, Status: o.Status, Attempt: o.Attempts,
 		Err: o.Err, Degraded: o.Degraded, Warnings: o.Warnings,
 		Report: o.Report, Paths: o.Paths, Diagnostics: o.Diagnostics,
-		Worker: o.Worker,
+		Worker: o.Worker, Epoch: o.Epoch,
 	}
 	if err := c.jr.Append(rec); err != nil {
 		c.logf("cluster: journal %s: %v", o.Unit, err)
@@ -902,9 +1198,11 @@ func (c *Coordinator) journalTerminal(t *task) {
 }
 
 // evictLocked removes a worker from rotation and requeues everything it
-// held: queued units move to survivors immediately; in-flight units flip
-// back to pending so their eventual transport error (or late success) is
-// recognized as stale.
+// held: queued units move to survivors immediately; in-flight leases are
+// invalidated — NOT canceled — so the worker's late responses, if any,
+// arrive against a closed fence and are rejected as stale instead of
+// racing the re-dispatch. That is the zombie window, closed by epoch
+// fencing rather than by hoping the connection dies first.
 func (c *Coordinator) evictLocked(w *workerState, reason error) {
 	if !w.live {
 		return
@@ -923,13 +1221,22 @@ func (c *Coordinator) evictLocked(w *workerState, reason error) {
 		requeued++
 	}
 	w.queue = nil
-	// Then in-flight assignments.
+	// Then in-flight leases.
 	for _, t := range c.tasks {
-		if t.state != taskAssigned || t.owner != w.addr {
+		if t.outcome != nil {
+			continue
+		}
+		touched := false
+		for _, ls := range siblings(t) {
+			if ls.worker == w.addr {
+				c.resolveLeaseLocked(t, ls)
+				touched = true
+			}
+		}
+		if !touched || len(t.leases) > 0 || c.isQueuedLocked(t) {
 			continue
 		}
 		if t.attempts >= c.opts.Retries+1 {
-			t.state = taskDone
 			t.owner = ""
 			t.outcome = &Outcome{
 				Unit: t.unit.Name, Hash: t.hash, Status: journal.StatusQuarantined,
@@ -942,7 +1249,6 @@ func (c *Coordinator) evictLocked(w *workerState, reason error) {
 			c.journalTerminalAsync(t)
 			continue
 		}
-		t.state = taskPending
 		t.owner = ""
 		c.stats.Requeues++
 		c.mRequeues.Inc()
@@ -1009,11 +1315,14 @@ func (c *Coordinator) ping(w *workerState) bool {
 	return resp.StatusCode == http.StatusOK
 }
 
-// Stats returns a snapshot of the run's counters.
+// Stats returns a snapshot of the run's counters, including completion
+// latency quantiles over the recent sample window.
 func (c *Coordinator) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.stats
+	s := c.stats
+	s.LatencyP50MS, s.LatencyP95MS, s.LatencyP99MS = c.latQuantilesLocked()
+	return s
 }
 
 // Progress reports done vs total units.
@@ -1037,9 +1346,14 @@ func (c *Coordinator) WorkerTable() []WorkerHealth {
 			age = now.Sub(w.lastBeat).Milliseconds()
 		}
 		out = append(out, WorkerHealth{
-			Addr: w.addr, Live: w.live, Queue: len(w.queue), InFlight: w.inflight,
+			Addr: w.addr, Live: w.live, State: w.h.state(w.live),
+			Score:         float64(int(w.h.score*1000)) / 1000,
+			LatencyEWMAMS: float64(int(w.h.latEWMA*10)) / 10,
+			ErrorRate:     float64(int(w.h.errEWMA*1000)) / 1000,
+			Queue:         len(w.queue), InFlight: w.inflight,
 			Done: w.done, Requeues: w.requeues, HeartbeatMisses: w.hbMisses,
-			LastBeatAgeMS: age, Paused: now.Before(w.pausedUntil),
+			IntegrityFails: w.integrityFails,
+			LastBeatAgeMS:  age, Paused: now.Before(w.pausedUntil),
 		})
 	}
 	return out

@@ -14,8 +14,10 @@ import (
 	"time"
 
 	"pallas"
+	"pallas/internal/failpoint"
 	"pallas/internal/journal"
 	"pallas/internal/metrics"
+	"pallas/internal/rcache"
 )
 
 // fakeWorker is an httptest-backed cluster worker whose behavior per unit
@@ -29,19 +31,27 @@ type fakeWorker struct {
 	perUnit  map[string]int // dispatch count per unit name
 	requests int
 
-	dead atomic.Bool // drop every connection, as a SIGKILLed process would
+	dead     atomic.Bool // drop every connection, as a SIGKILLed process would
+	pingDead atomic.Bool // drop only heartbeats: the gray half-partition
 
 	// behave decides one dispatch: return (503, _) to shed, or (200, res).
 	// seen is how many times this unit has been dispatched here, 1-based.
 	behave func(a AssignPayload, seen int) (int, ResultPayload)
+
+	// sendFault, when non-nil, injects a network fault into the result's
+	// trip home (the worker-send fault set, scripted per dispatch instead
+	// of env-armed).
+	sendFault func(a AssignPayload, seen int) failpoint.NetAction
 }
 
 func okResult(a AssignPayload, worker string) ResultPayload {
+	report := json.RawMessage(fmt.Sprintf(`{"unit":%q,"warnings":[]}`, a.Unit))
+	paths := json.RawMessage(fmt.Sprintf(`{"unit":%q,"entries":{}}`, a.Unit))
 	return ResultPayload{
 		Unit: a.Unit, Hash: a.Hash, Attempt: a.Attempt, Status: "ok",
-		Report: json.RawMessage(fmt.Sprintf(`{"unit":%q,"warnings":[]}`, a.Unit)),
-		Paths:  json.RawMessage(fmt.Sprintf(`{"unit":%q,"entries":{}}`, a.Unit)),
-		Worker: worker,
+		Report: report, Paths: paths,
+		Worker: worker, Epoch: a.Epoch,
+		Sum: rcache.ContentSum(report, paths),
 	}
 }
 
@@ -50,7 +60,7 @@ func newFakeWorker(t *testing.T, behave func(a AssignPayload, seen int) (int, Re
 	fw := &fakeWorker{t: t, perUnit: map[string]int{}, behave: behave}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/cluster/ping", func(w http.ResponseWriter, r *http.Request) {
-		if fw.dead.Load() {
+		if fw.dead.Load() || fw.pingDead.Load() {
 			dropConn(w)
 			return
 		}
@@ -80,6 +90,48 @@ func newFakeWorker(t *testing.T, behave func(a AssignPayload, seen int) (int, Re
 		}
 		if res.Worker == "" {
 			res.Worker = fw.addr()
+		}
+		if fw.sendFault != nil {
+			switch fw.sendFault(a, seen) {
+			case failpoint.NetDrop:
+				dropConn(w)
+				return
+			case failpoint.NetCorrupt:
+				frame, err := EncodeFrame(FrameResult, res)
+				if err != nil {
+					fw.t.Errorf("fake worker encode frame: %v", err)
+					return
+				}
+				w.Write(failpoint.Corrupt(frame))
+				return
+			case failpoint.NetDup:
+				frame, err := EncodeFrame(FrameResult, res)
+				if err != nil {
+					fw.t.Errorf("fake worker encode frame: %v", err)
+					return
+				}
+				w.Write(frame)
+				w.Write(frame)
+				return
+			case failpoint.NetDrip:
+				frame, err := EncodeFrame(FrameResult, res)
+				if err != nil {
+					fw.t.Errorf("fake worker encode frame: %v", err)
+					return
+				}
+				for off := 0; off < len(frame); off += 16 {
+					end := off + 16
+					if end > len(frame) {
+						end = len(frame)
+					}
+					w.Write(frame[off:end])
+					if fl, ok := w.(http.Flusher); ok {
+						fl.Flush()
+					}
+					time.Sleep(time.Millisecond)
+				}
+				return
+			}
 		}
 		if err := WriteFrame(w, FrameResult, res); err != nil {
 			fw.t.Errorf("fake worker write frame: %v", err)

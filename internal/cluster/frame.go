@@ -171,6 +171,12 @@ type AssignPayload struct {
 	// Attempt is the coordinator's 1-based dispatch attempt for this unit,
 	// for worker-side logging and journal parity.
 	Attempt int `json:"attempt"`
+	// Epoch is the fenced lease epoch of this dispatch — monotonic across
+	// the run, unique per dispatch (retries and hedges each get a fresh
+	// one). The worker echoes it in its result; a completion whose epoch no
+	// longer names a valid lease is rejected, which is what makes a zombie
+	// worker's late answer harmless.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // ResultPayload is a FrameResult body: the worker's outcome for one
@@ -205,6 +211,15 @@ type ResultPayload struct {
 	Cache string `json:"cache,omitempty"`
 	// Worker is the responding worker's advertised address.
 	Worker string `json:"worker,omitempty"`
+	// Epoch echoes the assignment's lease epoch (0 from workers predating
+	// fencing; the coordinator then falls back to hash-keyed suppression).
+	Epoch int64 `json:"epoch,omitempty"`
+	// Sum is the end-to-end content checksum over Report and Paths
+	// (rcache.ContentSum), fixed when the analysis produced the bytes. The
+	// frame CRC covers one wire hop; Sum covers the whole journey — worker
+	// cache, serialization, transport, coordinator merge. Empty means the
+	// worker could not attest (old cache entry), not a failure.
+	Sum string `json:"sum,omitempty"`
 }
 
 // PongPayload is the worker's heartbeat answer (plain JSON over GET — the

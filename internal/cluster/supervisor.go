@@ -42,6 +42,12 @@ type SupervisorOptions struct {
 	// OnDown is called when a worker process exits, with the address it had
 	// (empty if it died before binding) — the coordinator's RemoveWorker.
 	OnDown func(addr string, err error)
+	// OnExhausted is called once when a slot's restart budget is spent and
+	// the supervisor gives up on it, with the final exit error. A fleet
+	// whose every slot is exhausted will never come back; the CLI surfaces
+	// this as a terminal condition instead of waiting out WorkerlessGrace
+	// in silence.
+	OnExhausted func(slot int, err error)
 	// Stderr receives the workers' stderr output (after the listen line);
 	// nil discards it.
 	Stderr io.Writer
@@ -138,6 +144,9 @@ func (s *Supervisor) runSlot(slot *workerSlot) {
 		if incarnation >= s.opts.MaxRestarts || s.opts.MaxRestarts < 0 {
 			s.logf("cluster: worker slot %d gave up after %d start(s): %v",
 				slot.id, incarnation+1, waitErr)
+			if s.opts.OnExhausted != nil {
+				s.opts.OnExhausted(slot.id, waitErr)
+			}
 			return
 		}
 		s.mRestarts.Inc()
@@ -165,7 +174,9 @@ func (s *Supervisor) runWorkerOnce(slot *workerSlot, env []string) (string, erro
 
 	// Scan stderr until the listen line, then forward the rest.
 	addrCh := make(chan string, 1)
+	scanDone := make(chan struct{})
 	go func() {
+		defer close(scanDone)
 		sc := bufio.NewScanner(stderr)
 		sc.Buffer(make([]byte, 64*1024), 1024*1024)
 		announced := false
@@ -195,6 +206,12 @@ func (s *Supervisor) runWorkerOnce(slot *workerSlot, env []string) (string, erro
 			s.opts.OnUp(addr)
 		}
 	}
+	// Drain stderr to EOF before reaping: Wait closes the pipe, and calling
+	// it with reads outstanding can discard the process's final lines (the
+	// exec package documents this ordering). The scanner reaches EOF when
+	// the process exits or closes stderr, so this does not outlive Wait's
+	// own blocking.
+	<-scanDone
 	waitErr := cmd.Wait()
 	return addr, waitErr
 }

@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pallas/internal/metrics"
+)
+
+// syncBuffer is a threadsafe bytes.Buffer for capturing forwarded worker
+// stderr (the forwarding goroutine races the test's reads).
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// fakeWorkerScript is a /bin/sh stand-in for a worker process: it announces
+// a listen address (so the supervisor counts it as up), reveals whether the
+// failpoint env survived into its environment, and dies.
+const fakeWorkerScript = `echo "pallas: worker listening on 127.0.0.1:1" >&2
+echo "env:[$PALLAS_FAILPOINTS]" >&2
+exit 1`
+
+// TestSupervisorRestartEnvScrubbed: the first incarnation runs with the
+// armed failpoint env; every restart must run with RestartEnv instead — a
+// crash-armed worker restarted with its bomb intact would crash-loop
+// through the whole restart budget without finishing a unit.
+func TestSupervisorRestartEnvScrubbed(t *testing.T) {
+	var buf syncBuffer
+	var mu sync.Mutex
+	ups := 0
+	exhausted := make(chan error, 1)
+	sup := NewSupervisor(SupervisorOptions{
+		Binary:       "/bin/sh",
+		Args:         []string{"-c", fakeWorkerScript},
+		Env:          []string{"PATH=/bin:/usr/bin", "PALLAS_FAILPOINTS=pre-parse=kill@1"},
+		RestartEnv:   []string{"PATH=/bin:/usr/bin"},
+		MaxRestarts:  2,
+		RestartDelay: 10 * time.Millisecond,
+		OnUp: func(addr string) {
+			mu.Lock()
+			ups++
+			mu.Unlock()
+		},
+		OnExhausted: func(slot int, err error) {
+			exhausted <- err
+		},
+		Stderr:  &buf,
+		Metrics: metrics.NewRegistry(),
+	})
+	sup.Start(1)
+	select {
+	case <-exhausted:
+	case <-time.After(10 * time.Second):
+		t.Fatal("slot never exhausted its restart budget")
+	}
+	sup.Stop()
+
+	mu.Lock()
+	gotUps := ups
+	mu.Unlock()
+	if gotUps != 3 { // initial start + MaxRestarts restarts
+		t.Fatalf("worker came up %d times, want 3", gotUps)
+	}
+	// The stderr forwarders are not synchronized with slot exit; wait for
+	// all three incarnations' env lines to land before counting.
+	deadline := time.Now().Add(5 * time.Second)
+	for strings.Count(buf.String(), "env:[") < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stderr never captured 3 env lines:\n%s", buf.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	out := buf.String()
+	if n := strings.Count(out, "env:[pre-parse=kill@1]"); n != 1 {
+		t.Fatalf("armed env seen %d times, want exactly 1 (first incarnation only):\n%s", n, out)
+	}
+	if n := strings.Count(out, "env:[]"); n != 2 {
+		t.Fatalf("scrubbed env seen %d times, want 2 (both restarts):\n%s", n, out)
+	}
+}
+
+// TestSupervisorBoundedRestartExhaustion: a worker that dies MaxRestarts+1
+// times surfaces a terminal OnExhausted callback — exactly once, with the
+// exit error — and the slot goroutine exits instead of spinning.
+func TestSupervisorBoundedRestartExhaustion(t *testing.T) {
+	var mu sync.Mutex
+	var exhaustions []int
+	done := make(chan struct{}, 4)
+	sup := NewSupervisor(SupervisorOptions{
+		Binary:       "/bin/sh",
+		Args:         []string{"-c", fakeWorkerScript},
+		Env:          []string{"PATH=/bin:/usr/bin"},
+		MaxRestarts:  1,
+		RestartDelay: 10 * time.Millisecond,
+		OnExhausted: func(slot int, err error) {
+			mu.Lock()
+			exhaustions = append(exhaustions, slot)
+			mu.Unlock()
+			if err == nil {
+				t.Error("OnExhausted called with nil error; want the exit error")
+			}
+			done <- struct{}{}
+		},
+		Metrics: metrics.NewRegistry(),
+	})
+	sup.Start(2)
+	for i := 0; i < 2; i++ {
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("slots never exhausted")
+		}
+	}
+	// No spin: nothing further may fire after exhaustion.
+	time.Sleep(100 * time.Millisecond)
+	sup.Stop()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(exhaustions) != 2 {
+		t.Fatalf("OnExhausted fired %d times, want exactly 2 (once per slot): %v", len(exhaustions), exhaustions)
+	}
+	if !(exhaustions[0] == 0 && exhaustions[1] == 1 || exhaustions[0] == 1 && exhaustions[1] == 0) {
+		t.Fatalf("exhausted slots %v, want {0, 1}", exhaustions)
+	}
+}

@@ -15,14 +15,24 @@
 //
 //	term   = point "=" action [ "@" count ] [ "/" match ]
 //	point  = "pre-parse" | "pre-extract" | "extract-func" | "pre-save" |
-//	         "mid-save" | "cache-load" | "cache-store"
-//	action = "error" | "panic" | "kill" | "sleep:" duration
+//	         "mid-save" | "cache-load" | "cache-store" | "coord-send" |
+//	         "worker-send" | "worker-ping" | "result-corrupt"
+//	action = "error" | "panic" | "kill" | "sleep:" duration |
+//	         "drop" | "corrupt" | "dup" | "drip:" duration
+//
+// The last four actions are network faults, consumed through Net at the
+// cluster's frame sites (coord-send, worker-send, worker-ping,
+// result-corrupt): drop severs the connection, corrupt flips frame bytes,
+// dup delivers twice, drip slow-writes the frame with the given pause
+// between chunks. At ordinary Hit sites they are no-ops.
 //
 // Examples:
 //
 //	PALLAS_FAILPOINTS="pre-parse=error@2"          first two parses fail transiently
 //	PALLAS_FAILPOINTS="mid-save=kill/c3.c"         SIGKILL while saving unit c3.c
 //	PALLAS_FAILPOINTS="pre-extract=sleep:50ms@1"   one slow extraction
+//	PALLAS_FAILPOINTS="worker-send=drop@1"         first result frame never arrives
+//	PALLAS_FAILPOINTS="coord-send=drip:5ms/c2.c"   slow-drip every dispatch of c2.c
 package failpoint
 
 import (
@@ -62,6 +72,23 @@ const (
 	// here models a full or failing disk under the cache's write path and is
 	// what trips the cache tier's circuit breaker in chaos tests.
 	CacheStore = "cache-store"
+	// CoordSend fires on the cluster coordinator as it dispatches one unit
+	// to a worker. Queried through Net: the network actions (drop, corrupt,
+	// dup, drip) and sleep model a flaky link on the coordinator's side.
+	CoordSend = "coord-send"
+	// WorkerSend fires on a cluster worker as it writes a result frame back
+	// to the coordinator. Queried through Net.
+	WorkerSend = "worker-send"
+	// WorkerPing fires on a cluster worker's heartbeat endpoint; "drop"
+	// severs the probe so tests can evict a worker whose unit connections
+	// are still alive — the zombie window.
+	WorkerPing = "worker-ping"
+	// ResultCorrupt fires on a cluster worker after the per-unit content
+	// checksum is fixed but before the result is framed; "corrupt" mangles
+	// the report bytes there, modeling bad RAM or a corrupting NIC that the
+	// frame CRC cannot catch (the frame is computed over the mangled bytes)
+	// — only the end-to-end content checksum detects it.
+	ResultCorrupt = "result-corrupt"
 )
 
 // EnvVar is the environment variable ArmFromEnv reads.
@@ -79,6 +106,10 @@ const (
 	actPanic
 	actKill
 	actSleep
+	actDrop
+	actCorrupt
+	actDup
+	actDrip
 )
 
 type point struct {
@@ -147,7 +178,8 @@ func parseTerm(term string) (*point, error) {
 		return nil, fmt.Errorf("failpoint: bad term %q (want point=action)", term)
 	}
 	switch name {
-	case PreParse, PreExtract, ExtractFunc, PreSave, MidSave, CacheLoad, CacheStore:
+	case PreParse, PreExtract, ExtractFunc, PreSave, MidSave, CacheLoad, CacheStore,
+		CoordSend, WorkerSend, WorkerPing, ResultCorrupt:
 	default:
 		return nil, fmt.Errorf("failpoint: unknown point %q", name)
 	}
@@ -169,12 +201,25 @@ func parseTerm(term string) (*point, error) {
 		p.act = actPanic
 	case rest == "kill":
 		p.act = actKill
+	case rest == "drop":
+		p.act = actDrop
+	case rest == "corrupt":
+		p.act = actCorrupt
+	case rest == "dup":
+		p.act = actDup
 	case strings.HasPrefix(rest, "sleep:"):
 		d, err := time.ParseDuration(strings.TrimPrefix(rest, "sleep:"))
 		if err != nil {
 			return nil, fmt.Errorf("failpoint: bad sleep duration in %q: %v", term, err)
 		}
 		p.act = actSleep
+		p.sleep = d
+	case strings.HasPrefix(rest, "drip:"):
+		d, err := time.ParseDuration(strings.TrimPrefix(rest, "drip:"))
+		if err != nil {
+			return nil, fmt.Errorf("failpoint: bad drip duration in %q: %v", term, err)
+		}
+		p.act = actDrip
 		p.sleep = d
 	default:
 		return nil, fmt.Errorf("failpoint: unknown action %q in %q", rest, term)
@@ -267,5 +312,112 @@ func hitSlow(name, unit string) error {
 	case actSleep:
 		time.Sleep(fire.sleep)
 	}
+	// Network actions (drop, corrupt, dup, drip) only make sense at frame
+	// sites, which query them through Net; at a Hit site they are no-ops.
 	return nil
+}
+
+// NetAction is the kind of network fault a frame site must apply. Sites
+// query with Net; a NetNone means "no fault, proceed normally".
+type NetAction int
+
+const (
+	// NetNone: no fault (disarmed, no match, or an inline action like sleep
+	// already performed by Net itself).
+	NetNone NetAction = iota
+	// NetDrop severs delivery: the site must abort without sending or
+	// receiving any bytes — a crashed connection, not an HTTP error.
+	NetDrop
+	// NetCorrupt flips bytes in the frame the site is about to transmit.
+	NetCorrupt
+	// NetDup delivers the frame (or dispatch) twice.
+	NetDup
+	// NetDrip slow-drips the transmission: the site writes in small chunks
+	// sleeping Sleep between them, holding the peer on a trickling
+	// connection that never quite stalls out.
+	NetDrip
+)
+
+// NetFault is what a frame site must do, as decided by the armed spec.
+type NetFault struct {
+	Act NetAction
+	// Sleep is the per-chunk pause for NetDrip.
+	Sleep time.Duration
+}
+
+// Net triggers the named failpoint at a frame (network) site. Disarmed, it
+// is a single atomic load returning NetNone. Armed, inline actions fire
+// immediately — sleep (the "delay" fault mode) blocks here, error returns
+// as NetDrop (a failed send is a severed send), panic and kill behave as in
+// Hit — while the byte-level actions (drop, corrupt, dup, drip) are
+// returned for the site to apply to its frame.
+func Net(name, unit string) NetFault {
+	if !armed.Load() {
+		return NetFault{}
+	}
+	mu.Lock()
+	var fire *point
+	for _, p := range points[name] {
+		if p.matches(unit) && p.take() {
+			fire = p
+			break
+		}
+	}
+	mu.Unlock()
+	if fire == nil {
+		return NetFault{}
+	}
+	switch fire.act {
+	case actSleep:
+		time.Sleep(fire.sleep)
+		return NetFault{}
+	case actError, actDrop:
+		return NetFault{Act: NetDrop}
+	case actCorrupt:
+		return NetFault{Act: NetCorrupt}
+	case actDup:
+		return NetFault{Act: NetDup}
+	case actDrip:
+		return NetFault{Act: NetDrip, Sleep: fire.sleep}
+	case actPanic:
+		panic(fmt.Sprintf("failpoint: injected panic at %s (%s)", name, unit))
+	case actKill:
+		p, err := os.FindProcess(os.Getpid())
+		if err == nil {
+			_ = p.Kill()
+		}
+		select {}
+	}
+	return NetFault{}
+}
+
+// Corrupt flips a byte near the middle of b, returning a mangled copy; the
+// original is never modified (callers may hold cached or shared slices).
+func Corrupt(b []byte) []byte {
+	out := append([]byte(nil), b...)
+	if len(out) > 0 {
+		out[len(out)/2] ^= 0xff
+	}
+	return out
+}
+
+// CorruptJSON changes one digit in b (the last one), returning a mangled
+// copy that is still well-formed JSON — a digit sits inside a string or a
+// number, never in structure. This is the corruption for faults injected
+// beneath re-marshaling layers (a result-corrupt payload must survive
+// json.Marshal on its way out; only an end-to-end content checksum can
+// catch it). Returns b unchanged when it holds no digit.
+func CorruptJSON(b []byte) []byte {
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] >= '0' && b[i] <= '9' {
+			out := append([]byte(nil), b...)
+			if out[i] == '9' {
+				out[i] = '0'
+			} else {
+				out[i]++
+			}
+			return out
+		}
+	}
+	return b
 }

@@ -143,3 +143,91 @@ func TestMultipleTerms(t *testing.T) {
 		t.Fatalf("second term inert: %v", err)
 	}
 }
+
+func TestNetActions(t *testing.T) {
+	t.Cleanup(Disarm)
+	if err := Arm("coord-send=drop@1;worker-send=corrupt;worker-ping=dup@2;result-corrupt=drip:3ms"); err != nil {
+		t.Fatal(err)
+	}
+	if f := Net(CoordSend, "u.c"); f.Act != NetDrop {
+		t.Fatalf("coord-send: got %v, want NetDrop", f.Act)
+	}
+	if f := Net(CoordSend, "u.c"); f.Act != NetNone {
+		t.Fatalf("coord-send count exhausted but still firing: %v", f.Act)
+	}
+	if f := Net(WorkerSend, "u.c"); f.Act != NetCorrupt {
+		t.Fatalf("worker-send: got %v, want NetCorrupt", f.Act)
+	}
+	for i := 0; i < 2; i++ {
+		if f := Net(WorkerPing, "u.c"); f.Act != NetDup {
+			t.Fatalf("worker-ping hit %d: got %v, want NetDup", i, f.Act)
+		}
+	}
+	f := Net(ResultCorrupt, "u.c")
+	if f.Act != NetDrip || f.Sleep != 3*time.Millisecond {
+		t.Fatalf("result-corrupt: got %+v, want drip 3ms", f)
+	}
+}
+
+func TestNetDisarmedIsFree(t *testing.T) {
+	Disarm()
+	if allocs := testing.AllocsPerRun(1000, func() {
+		_ = Net(CoordSend, "x.c")
+	}); allocs != 0 {
+		t.Fatalf("disarmed Net allocates: %v allocs/run", allocs)
+	}
+}
+
+func TestNetInlineActions(t *testing.T) {
+	t.Cleanup(Disarm)
+	// sleep at a net site is the "delay" fault mode: performed inline, the
+	// site proceeds normally afterwards.
+	if err := Arm("coord-send=sleep:30ms@1"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if f := Net(CoordSend, "u.c"); f.Act != NetNone {
+		t.Fatalf("sleep should be inline, got %v", f.Act)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("net sleep returned after %v, want >= 30ms", d)
+	}
+	// error at a net site is a severed send.
+	if err := Arm("worker-send=error@1"); err != nil {
+		t.Fatal(err)
+	}
+	if f := Net(WorkerSend, "u.c"); f.Act != NetDrop {
+		t.Fatalf("error at net site: got %v, want NetDrop", f.Act)
+	}
+}
+
+func TestNetActionsNoOpAtHitSites(t *testing.T) {
+	t.Cleanup(Disarm)
+	if err := Arm("pre-parse=drop;pre-save=corrupt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Hit(PreParse, "u.c"); err != nil {
+		t.Fatalf("drop at a Hit site should be a no-op, got %v", err)
+	}
+	if err := Hit(PreSave, "u.c"); err != nil {
+		t.Fatalf("corrupt at a Hit site should be a no-op, got %v", err)
+	}
+}
+
+func TestCorruptCopies(t *testing.T) {
+	orig := []byte("hello world frame bytes")
+	keep := string(orig)
+	got := Corrupt(orig)
+	if string(orig) != keep {
+		t.Fatal("Corrupt modified its input")
+	}
+	if string(got) == keep {
+		t.Fatal("Corrupt returned unmodified bytes")
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("Corrupt changed length: %d -> %d", len(orig), len(got))
+	}
+	if Corrupt(nil) != nil && len(Corrupt(nil)) != 0 {
+		t.Fatal("Corrupt(nil) should be empty")
+	}
+}

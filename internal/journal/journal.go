@@ -104,6 +104,13 @@ type Record struct {
 	// a StatusAssigned record, the completer of a terminal one. Empty in
 	// single-process runs.
 	Worker string `json:"worker,omitempty"`
+	// Epoch is the fenced lease epoch of a cluster assignment or completion:
+	// the coordinator stamps each dispatch with a monotonically increasing
+	// epoch and rejects completions bearing one it no longer recognizes, so
+	// an evicted-then-revived worker's late result can never displace the
+	// re-dispatched one. Zero in single-process runs and pre-fencing
+	// journals.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)

@@ -34,4 +34,31 @@ const (
 	// MetricClusterWorkerRestarts counts crashed spawned workers restarted
 	// by the supervisor.
 	MetricClusterWorkerRestarts = "pallas_cluster_worker_restarts_total"
+	// MetricClusterHedges counts speculative re-dispatches launched because
+	// a unit's in-flight time crossed the hedge threshold (p95 × factor,
+	// floor-clamped).
+	MetricClusterHedges = "pallas_cluster_hedges_total"
+	// MetricClusterHedgeWins counts hedged units whose winning completion
+	// came from the hedge rather than the original dispatch — the metric
+	// that justifies (or indicts) the hedging budget.
+	MetricClusterHedgeWins = "pallas_cluster_hedge_wins_total"
+	// MetricClusterStaleCompletions counts completions rejected because
+	// their lease epoch was no longer valid (zombie worker, cancelled
+	// hedge) — fencing at work.
+	MetricClusterStaleCompletions = "pallas_cluster_stale_completions_total"
+	// MetricClusterIntegrityFailures counts completions whose end-to-end
+	// content checksum did not match their bytes; the unit is requeued
+	// (attempt refunded) and the worker evicted after IntegrityLimit
+	// offenses.
+	MetricClusterIntegrityFailures = "pallas_cluster_integrity_failures_total"
+	// MetricClusterWorkerHealthMin gauges the lowest health score among live
+	// workers, scaled ×1000 (the registry is integer-valued): 1000 is a
+	// fully healthy fleet, low values flag a gray-failing straggler that
+	// liveness alone would miss.
+	MetricClusterWorkerHealthMin = "pallas_cluster_worker_health_min_x1000"
+	// MetricClusterProbations counts health-score demotions to probation
+	// (dispatch-biased-away, no stealing, single in-flight probe).
+	MetricClusterProbations = "pallas_cluster_worker_probations_total"
+	// MetricClusterWorkersProbation gauges workers currently on probation.
+	MetricClusterWorkersProbation = "pallas_cluster_workers_probation"
 )

@@ -23,9 +23,11 @@ package rcache
 
 import (
 	"container/list"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sync"
@@ -63,6 +65,31 @@ type Entry struct {
 	Degraded bool `json:"degraded,omitempty"`
 	// Warnings counts the warnings in Report.
 	Warnings int `json:"warnings"`
+	// Sum is the end-to-end content checksum over Report and Paths bytes
+	// (see ContentSum), fixed at analysis time. It travels with the entry
+	// through the cache tiers and the cluster wire so a consumer can verify
+	// the bytes it received are the bytes the analysis produced — catching
+	// corruption that per-hop CRCs cannot (bad RAM on a worker, a corrupt
+	// cache file re-served, a frame mangled after its CRC was computed).
+	// Empty on entries written before the field existed; consumers treat
+	// empty as "unverifiable", not as a failure.
+	Sum string `json:"sum,omitempty"`
+}
+
+// ContentSum computes the end-to-end checksum carried in Entry.Sum: CRC32C
+// over the length-framed concatenation of report and path bytes. Length
+// framing keeps (report, paths) pairs unambiguous — bytes cannot migrate
+// between the two fields without changing the sum.
+func ContentSum(report, paths []byte) string {
+	h := crc32.New(crc32.MakeTable(crc32.Castagnoli))
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], uint64(len(report)))
+	h.Write(n[:])
+	h.Write(report)
+	binary.BigEndian.PutUint64(n[:], uint64(len(paths)))
+	h.Write(n[:])
+	h.Write(paths)
+	return fmt.Sprintf("%08x", h.Sum32())
 }
 
 // size approximates the entry's memory footprint for the LRU byte bound.

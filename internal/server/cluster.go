@@ -25,6 +25,20 @@ import (
 	"pallas/internal/rcache"
 )
 
+// dropConn abandons an HTTP exchange mid-flight by hijacking and closing
+// the underlying connection — the worker-side network-fault injection for
+// "the link died": the coordinator sees a transport error, not a status
+// code. Falls back to an empty 500 when the ResponseWriter cannot hijack.
+func dropConn(w http.ResponseWriter) {
+	if hj, ok := w.(http.Hijacker); ok {
+		if conn, _, err := hj.Hijack(); err == nil {
+			conn.Close()
+			return
+		}
+	}
+	w.WriteHeader(http.StatusInternalServerError)
+}
+
 // SetAdvertiseAddr records the address this worker reports in result frames
 // (the address the coordinator knows it by).
 func (s *Server) SetAdvertiseAddr(addr string) { s.advertise.Store(addr) }
@@ -42,6 +56,13 @@ func (s *Server) advertiseAddr() string {
 func (s *Server) handleClusterPing(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		s.fail(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	// worker-ping=drop simulates a partition on the liveness plane only:
+	// heartbeats vanish while unit traffic still flows — the asymmetric
+	// half-failure that distinguishes eviction bugs from crash bugs.
+	if f := failpoint.Net(failpoint.WorkerPing, ""); f.Act == failpoint.NetDrop {
+		dropConn(w)
 		return
 	}
 	status, code := "ok", http.StatusOK
@@ -121,10 +142,10 @@ func (s *Server) handleClusterUnit(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		s.mErrors.Inc()
-		s.writeResultFrame(w, cluster.ResultPayload{
+		s.writeResultFrame(w, assign.Unit, cluster.ResultPayload{
 			Unit: assign.Unit, Hash: assign.Hash, Attempt: assign.Attempt,
 			Status: "failed", Err: err.Error(), Transient: transientClusterErr(err),
-			Worker: s.advertiseAddr(),
+			Worker: s.advertiseAddr(), Epoch: assign.Epoch,
 		})
 		return
 	}
@@ -141,11 +162,26 @@ func (s *Server) handleClusterUnit(w http.ResponseWriter, r *http.Request) {
 	if hit {
 		cacheState = "hit"
 	}
-	s.writeResultFrame(w, cluster.ResultPayload{
+	report, paths, sum := entry.Report, entry.Paths, entry.Sum
+	if sum == "" {
+		// Entry predates checksumming (old persistent tier): attest the
+		// bytes as read, so at least the hops from here are covered.
+		sum = rcache.ContentSum(report, paths)
+	}
+	// result-corrupt mangles the content bytes *after* the checksum is
+	// fixed — a worker whose frames are intact but whose payload is a lie.
+	// Only the end-to-end Sum, not the frame CRC, can catch this. The
+	// mangling must stay valid JSON (the payload is re-marshaled into the
+	// result frame), hence CorruptJSON rather than a raw byte flip.
+	if f := failpoint.Net(failpoint.ResultCorrupt, assign.Unit); f.Act == failpoint.NetCorrupt {
+		report = failpoint.CorruptJSON(report)
+	}
+	s.writeResultFrame(w, assign.Unit, cluster.ResultPayload{
 		Unit: assign.Unit, Hash: assign.Hash, Attempt: assign.Attempt,
-		Status: status, Report: entry.Report, Paths: entry.Paths,
+		Status: status, Report: report, Paths: paths,
 		Diagnostics: entry.Diagnostics, Degraded: entry.Degraded,
 		Warnings: entry.Warnings, Cache: cacheState, Worker: s.advertiseAddr(),
+		Epoch: assign.Epoch, Sum: sum,
 	})
 }
 
@@ -158,8 +194,17 @@ func (s *Server) clusterEntry(r *http.Request, unit pallas.Unit) (*rcache.Entry,
 	entry, hit, err := s.cache.GetOrCompute(key, func() (*rcache.Entry, error) {
 		return s.analyzeUnit(r.Context(), unit, key, true)
 	})
-	if err != nil || !hit || len(entry.Paths) > 0 {
+	if err != nil {
 		return entry, hit, err
+	}
+	// A hit that carries a checksum must still match it: the entry may have
+	// crossed a disk tier, a process restart, or a torn write since the
+	// analysis attested it. On mismatch the entry is not trusted — fall
+	// through to a fresh analysis, same as a path-less hit.
+	if hit && entry.Sum != "" && entry.Sum != rcache.ContentSum(entry.Report, entry.Paths) {
+		s.mSumMismatch.Inc()
+	} else if !hit || len(entry.Paths) > 0 {
+		return entry, hit, nil
 	}
 	upgraded, err := s.analyzeUnit(r.Context(), unit, key, true)
 	if err != nil {
@@ -171,9 +216,46 @@ func (s *Server) clusterEntry(r *http.Request, unit pallas.Unit) (*rcache.Entry,
 	return upgraded, false, nil
 }
 
-func (s *Server) writeResultFrame(w http.ResponseWriter, res cluster.ResultPayload) {
+// writeResultFrame frames and writes a result, with the worker-send
+// network-fault injection point in front: the four ways a result's trip
+// home can go wrong (link death, bit corruption, duplicate delivery, a
+// trickling connection), each of which the coordinator must absorb without
+// changing the merged bytes.
+func (s *Server) writeResultFrame(w http.ResponseWriter, unit string, res cluster.ResultPayload) {
 	w.Header().Set("Content-Type", "application/octet-stream")
-	cluster.WriteFrame(w, cluster.FrameResult, res)
+	f := failpoint.Net(failpoint.WorkerSend, unit)
+	if f.Act == failpoint.NetNone {
+		cluster.WriteFrame(w, cluster.FrameResult, res)
+		return
+	}
+	frame, err := cluster.EncodeFrame(cluster.FrameResult, res)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "encode result: %v", err)
+		return
+	}
+	switch f.Act {
+	case failpoint.NetDrop:
+		dropConn(w)
+	case failpoint.NetCorrupt:
+		w.Write(failpoint.Corrupt(frame)) // frame CRC catches this hop
+	case failpoint.NetDup:
+		w.Write(frame)
+		w.Write(frame) // trailing bytes past the first frame are ignored
+	case failpoint.NetDrip:
+		for off := 0; off < len(frame); off += 64 {
+			end := off + 64
+			if end > len(frame) {
+				end = len(frame)
+			}
+			if _, err := w.Write(frame[off:end]); err != nil {
+				return
+			}
+			if fl, ok := w.(http.Flusher); ok {
+				fl.Flush()
+			}
+			time.Sleep(f.Sleep)
+		}
+	}
 }
 
 // transientClusterErr mirrors the batch engine's retry classification:

@@ -13,8 +13,10 @@ import (
 
 	"pallas"
 	"pallas/internal/cluster"
+	"pallas/internal/failpoint"
 	"pallas/internal/guard"
 	"pallas/internal/metrics"
+	"pallas/internal/rcache"
 )
 
 func postUnit(t *testing.T, url string, a cluster.AssignPayload) *http.Response {
@@ -332,5 +334,256 @@ func TestClusterMetricNamesRegistered(t *testing.T) {
 		if !strings.Contains(out, name) {
 			t.Fatalf("metric %s missing from exposition:\n%s", name, out)
 		}
+	}
+}
+
+// TestClusterUnitResultAttested: every result frame carries the lease epoch
+// echoed from the assignment (the coordinator's fence token) and a content
+// checksum that actually covers the bytes in the frame — on both the
+// fresh-compute and the cache-hit path.
+func TestClusterUnitResultAttested(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	unit := pallas.Unit{Name: "a.c", Source: testSource, Spec: testSpec}
+	for i, epoch := range []int64{7, 8} { // miss, then hit
+		resp := postUnit(t, ts.URL, cluster.AssignPayload{
+			Unit: unit.Name, Hash: unit.Hash(), Source: unit.Source, Spec: unit.Spec,
+			Attempt: 1, Epoch: epoch,
+		})
+		var res cluster.ResultPayload
+		err := cluster.DecodeFrame(resp.Body, cluster.FrameResult, &res)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Epoch != epoch {
+			t.Fatalf("dispatch %d: epoch echo %d, want %d", i, res.Epoch, epoch)
+		}
+		if res.Sum == "" {
+			t.Fatalf("dispatch %d: result carries no content sum", i)
+		}
+		if got := rcache.ContentSum(res.Report, res.Paths); got != res.Sum {
+			t.Fatalf("dispatch %d: sum %s does not cover the payload bytes (computed %s)",
+				i, res.Sum, got)
+		}
+		wantCache := "miss"
+		if i == 1 {
+			wantCache = "hit"
+		}
+		if res.Cache != wantCache {
+			t.Fatalf("dispatch %d: cache %q, want %q", i, res.Cache, wantCache)
+		}
+	}
+}
+
+// TestClusterUnitCorruptCacheEntryReanalyzed: a cached entry whose bytes no
+// longer match its stored checksum (torn disk write, bad RAM, a buggy
+// persistence tier) must not be served. The mismatch is counted and the
+// unit re-analyzed, so the coordinator receives honest bytes.
+func TestClusterUnitCorruptCacheEntryReanalyzed(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	unit := pallas.Unit{Name: "a.c", Source: testSource, Spec: testSpec}
+	assign := cluster.AssignPayload{
+		Unit: unit.Name, Hash: unit.Hash(), Source: unit.Source, Spec: unit.Spec, Attempt: 1,
+	}
+	resp := postUnit(t, ts.URL, assign)
+	var honest cluster.ResultPayload
+	err := cluster.DecodeFrame(resp.Body, cluster.FrameResult, &honest)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rot the cached bytes in place; the stored Sum now lies about them.
+	entry, ok := s.cache.Get(s.analyzer.CacheKey(unit))
+	if !ok {
+		t.Fatal("seeded entry missing from cache")
+	}
+	entry.Report = failpoint.CorruptJSON(entry.Report)
+	if string(entry.Report) == string(honest.Report) {
+		t.Fatal("corruption was a no-op; test fixture needs a digit in the report")
+	}
+
+	resp = postUnit(t, ts.URL, assign)
+	var res cluster.ResultPayload
+	err = cluster.DecodeFrame(resp.Body, cluster.FrameResult, &res)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.mSumMismatch.Value(); got != 1 {
+		t.Fatalf("%s = %d, want 1", MetricCacheSumMismatch, got)
+	}
+	if res.Cache != "miss" {
+		t.Fatalf("corrupt hit served as %q, want re-analysis (miss)", res.Cache)
+	}
+	if string(res.Report) != string(honest.Report) {
+		t.Fatalf("re-analysis bytes diverged:\n got %s\nwant %s", res.Report, honest.Report)
+	}
+	if got := rcache.ContentSum(res.Report, res.Paths); got != res.Sum {
+		t.Fatalf("re-analyzed sum %s does not cover the bytes (computed %s)", res.Sum, got)
+	}
+}
+
+// TestClusterUnitResultCorruptFailpoint: the result-corrupt injection mangles
+// the payload *after* the checksum is fixed, leaving the frame CRC intact —
+// the lie only the end-to-end Sum can expose. This is the worker half of the
+// integrity pipeline; the coordinator half (quarantine) is proven in the
+// cluster package.
+func TestClusterUnitResultCorruptFailpoint(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if err := failpoint.Arm("result-corrupt=corrupt@1"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.Disarm()
+
+	unit := pallas.Unit{Name: "a.c", Source: testSource, Spec: testSpec}
+	assign := cluster.AssignPayload{
+		Unit: unit.Name, Hash: unit.Hash(), Source: unit.Source, Spec: unit.Spec, Attempt: 1,
+	}
+	resp := postUnit(t, ts.URL, assign)
+	var res cluster.ResultPayload
+	err := cluster.DecodeFrame(resp.Body, cluster.FrameResult, &res)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err) // frame must still decode: the corruption is beneath the CRC
+	}
+	if got := rcache.ContentSum(res.Report, res.Paths); got == res.Sum {
+		t.Fatal("corrupted payload still matches its sum — injection missed")
+	}
+
+	// The @1 cap is spent; the next dispatch is honest again.
+	resp = postUnit(t, ts.URL, assign)
+	err = cluster.DecodeFrame(resp.Body, cluster.FrameResult, &res)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rcache.ContentSum(res.Report, res.Paths); got != res.Sum {
+		t.Fatalf("post-injection sum %s does not cover the bytes (computed %s)", res.Sum, got)
+	}
+}
+
+// TestClusterUnitWorkerSendFaults drives the worker-send injection point on
+// the real handler: each fault mode produces exactly the failure shape the
+// coordinator's transport layer classifies — dead link, bad CRC, trailing
+// duplicate, slow trickle.
+func TestClusterUnitWorkerSendFaults(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	unit := pallas.Unit{Name: "a.c", Source: testSource, Spec: testSpec}
+	dispatch := func() (cluster.ResultPayload, []byte, error) {
+		body, err := cluster.EncodeFrame(cluster.FrameAssign, cluster.AssignPayload{
+			Unit: unit.Name, Hash: unit.Hash(), Source: unit.Source, Spec: unit.Spec, Attempt: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/cluster/unit", "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			return cluster.ResultPayload{}, nil, err
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return cluster.ResultPayload{}, nil, err
+		}
+		var res cluster.ResultPayload
+		err = cluster.DecodeFrame(bytes.NewReader(raw), cluster.FrameResult, &res)
+		return res, raw, err
+	}
+
+	t.Run("drop", func(t *testing.T) {
+		if err := failpoint.Arm("worker-send=drop@1"); err != nil {
+			t.Fatal(err)
+		}
+		defer failpoint.Disarm()
+		if _, _, err := dispatch(); err == nil {
+			t.Fatal("dropped result produced no transport error")
+		}
+	})
+	t.Run("corrupt", func(t *testing.T) {
+		if err := failpoint.Arm("worker-send=corrupt@1"); err != nil {
+			t.Fatal(err)
+		}
+		defer failpoint.Disarm()
+		if _, _, err := dispatch(); err == nil {
+			t.Fatal("corrupted frame decoded cleanly — CRC did not catch it")
+		}
+	})
+	t.Run("dup", func(t *testing.T) {
+		if err := failpoint.Arm("worker-send=dup@1"); err != nil {
+			t.Fatal(err)
+		}
+		defer failpoint.Disarm()
+		res, raw, err := dispatch()
+		if err != nil {
+			t.Fatalf("duplicate delivery broke the first frame: %v", err)
+		}
+		if res.Status != "ok" {
+			t.Fatalf("result: %+v", res)
+		}
+		if len(raw)%2 != 0 {
+			t.Fatalf("body is %d bytes, want an exact doubled frame", len(raw))
+		}
+		if !bytes.Equal(raw[:len(raw)/2], raw[len(raw)/2:]) {
+			t.Fatal("trailing bytes are not a duplicate of the first frame")
+		}
+	})
+	t.Run("drip", func(t *testing.T) {
+		if err := failpoint.Arm("worker-send=drip:1ms@1"); err != nil {
+			t.Fatal(err)
+		}
+		defer failpoint.Disarm()
+		res, _, err := dispatch()
+		if err != nil {
+			t.Fatalf("dripped frame failed to decode: %v", err)
+		}
+		if res.Status != "ok" {
+			t.Fatalf("result: %+v", res)
+		}
+	})
+	// And clean afterwards: no residual fault state.
+	res, _, err := dispatch()
+	if err != nil || res.Status != "ok" {
+		t.Fatalf("post-fault dispatch: %v %+v", err, res)
+	}
+}
+
+// TestClusterPingDropFailpoint: worker-ping=drop kills the liveness plane
+// only — the probe dies at the transport layer while the very next one
+// (past the @1 cap) answers normally. This is the knob the gray-failure
+// e2e uses to manufacture an asymmetric partition.
+func TestClusterPingDropFailpoint(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if err := failpoint.Arm("worker-ping=drop@1"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.Disarm()
+
+	if resp, err := http.Get(ts.URL + "/v1/cluster/ping"); err == nil {
+		resp.Body.Close()
+		t.Fatal("dropped ping answered")
+	}
+	resp, err := http.Get(ts.URL + "/v1/cluster/ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second ping: %d, want 200", resp.StatusCode)
 	}
 }

@@ -36,6 +36,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/http"
 	"strings"
@@ -85,6 +86,10 @@ const (
 	// MetricPersistFaults counts analyses whose report was served but could
 	// not be persisted to the cache's disk tier.
 	MetricPersistFaults = "pallas_cache_persist_faults_total"
+	// MetricCacheSumMismatch counts cache hits whose stored content checksum
+	// no longer matched their bytes (bit rot, torn write, hostile edit); the
+	// entry is discarded and the unit re-analyzed rather than served.
+	MetricCacheSumMismatch = "pallas_cache_sum_mismatch_total"
 )
 
 // DefaultMaxRequestBytes bounds an /v1/analyze body (16 MiB) — large enough
@@ -183,6 +188,7 @@ type Server struct {
 	mShedRate     *metrics.Counter
 	mShedDraining *metrics.Counter
 	mPersistFault *metrics.Counter
+	mSumMismatch  *metrics.Counter
 	gInFlight     *metrics.Gauge
 	gQueueDepth   *metrics.Gauge
 	gEffLimit     *metrics.Gauge
@@ -247,6 +253,7 @@ func New(cfg Config) (*Server, error) {
 		mShedRate:     reg.Counter(MetricShedRateLimited, "requests shed: rate limited"),
 		mShedDraining: reg.Counter(MetricShedDraining, "requests shed: draining"),
 		mPersistFault: reg.Counter(MetricPersistFaults, "served results that could not be persisted"),
+		mSumMismatch:  reg.Counter(MetricCacheSumMismatch, "cache entries failing their content checksum, recomputed"),
 		gInFlight:     reg.Gauge(MetricInFlight, "requests currently being served"),
 		gQueueDepth:   reg.Gauge(MetricQueueDepth, "requests waiting in the admission queue"),
 		gEffLimit:     reg.Gauge(MetricEffectiveLimit, "adaptive effective concurrency limit"),
@@ -366,6 +373,20 @@ func (s *Server) shed(w http.ResponseWriter, status int, retryAfter time.Duratio
 	})
 }
 
+// jitterRetry spreads a Retry-After hint uniformly over [d, 1.5d]. Every
+// shed during one overload spike carries the same base hint; without
+// jitter the whole rejected cohort retries on one edge and re-creates the
+// spike it was shed to relieve. Jitter is upward only — never earlier than
+// the base hint, so rate-limit waits stay honest. Draining sheds are not
+// jittered: their hint is a fixed contract (clients re-resolve, they don't
+// re-queue).
+func jitterRetry(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d + time.Duration(rand.Int63n(int64(d)/2+1))
+}
+
 // clientKey identifies the caller for rate limiting.
 func clientKey(r *http.Request) string {
 	if c := r.Header.Get(ClientHeader); c != "" {
@@ -407,7 +428,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	// too-chatty client must stay O(1).
 	if ok, wait := s.rate.Allow(clientKey(r)); !ok {
 		s.mShedRate.Inc()
-		s.shed(w, http.StatusTooManyRequests, wait, "rate limit exceeded for client %q", clientKey(r))
+		s.shed(w, http.StatusTooManyRequests, jitterRetry(wait), "rate limit exceeded for client %q", clientKey(r))
 		return
 	}
 	s.mRequests.Inc()
@@ -506,7 +527,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 // shedForReason maps an admission failure to its status code, metric, and
 // Retry-After hint.
 func (s *Server) shedForReason(w http.ResponseWriter, err error) {
-	retry := s.ctrl.RetryAfter()
+	retry := jitterRetry(s.ctrl.RetryAfter())
 	switch {
 	case errors.Is(err, overload.ErrQueueFull):
 		s.mShedQueue.Inc()
@@ -569,6 +590,10 @@ func (s *Server) analyzeUnit(ctx context.Context, unit pallas.Unit, key string, 
 		}
 		entry.Paths = pb
 	}
+	// The content checksum is fixed here, where the bytes are born: every
+	// downstream hop — cache tiers, result frames, the coordinator's merge —
+	// verifies against this, not against whatever it happens to receive.
+	entry.Sum = rcache.ContentSum(entry.Report, entry.Paths)
 	return entry, nil
 }
 
