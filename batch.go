@@ -153,6 +153,14 @@ type BatchStats struct {
 	// Both stay zero when no cache is configured.
 	CacheHits   int
 	CacheMisses int
+	// IncrFuncHits / IncrFuncMisses / IncrUnitHits / IncrUnitMisses are the
+	// function-level memo's activity during this batch (the delta of
+	// Analyzer.IncrStats across the run). All zero when Config.Incremental
+	// is off.
+	IncrFuncHits   int64
+	IncrFuncMisses int64
+	IncrUnitHits   int64
+	IncrUnitMisses int64
 	// JournalRecovered, JournalTornTail and JournalQuarantined echo what
 	// opening the journal had to repair (see journal.RecoveryReport).
 	JournalRecovered   int
@@ -218,6 +226,13 @@ func (a *Analyzer) AnalyzeBatch(units []Unit, opts BatchOptions) ([]UnitResult, 
 			return nil, stats, err
 		}
 	}
+	// An unopenable memo store is an infrastructure failure like an
+	// unopenable journal — surface it here instead of silently running the
+	// whole batch cold.
+	if err := a.EnsureIncremental(); err != nil {
+		return nil, stats, err
+	}
+	incrBefore, _ := a.IncrStats()
 	// Batch mode shares the process-wide metrics registry with `pallas
 	// serve`, so a mixed deployment (CLI warming a server's cache) shows up
 	// in one scrape.
@@ -359,6 +374,12 @@ func (a *Analyzer) AnalyzeBatch(units []Unit, opts BatchOptions) ([]UnitResult, 
 			return nil
 		}
 	})
+	if incrAfter, ok := a.IncrStats(); ok {
+		stats.IncrFuncHits = incrAfter.FuncHits - incrBefore.FuncHits
+		stats.IncrFuncMisses = incrAfter.FuncMisses - incrBefore.FuncMisses
+		stats.IncrUnitHits = incrAfter.UnitHits - incrBefore.UnitHits
+		stats.IncrUnitMisses = incrAfter.UnitMisses - incrBefore.UnitMisses
+	}
 	return out, stats, nil
 }
 

@@ -33,6 +33,8 @@ func cmdWorker(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:0", "listen address (port 0 picks an ephemeral port, announced on stderr)")
 	cacheBytes := fs.Int64("cache-bytes", 0, "memory result-cache budget in bytes (0 = default)")
 	cacheDir := fs.String("cache-dir", "", "persistent result-cache directory (shared across the cluster)")
+	incrDir := fs.String("incr-dir", "", "persistent function-level memo directory (shared with `check -incr-dir`)")
+	incrBytes := fs.Int64("incr-bytes", 0, "function memo byte budget, memory and disk (0 = default)")
 	workers := fs.Int("workers", 0, "concurrent analyses (0 = GOMAXPROCS)")
 	analysisWorkers := fs.Int("analysis-workers", 0, "goroutines per analysis (<=1 = serial; output is identical at any setting)")
 	minWorkers := fs.Int("min-workers", 0, "adaptive concurrency floor (0 = 1)")
@@ -62,6 +64,9 @@ func cmdWorker(args []string) error {
 	}
 	if *checker != "" {
 		acfg.Checkers = []string{*checker}
+	}
+	if *incrDir != "" || *incrBytes > 0 {
+		acfg.Incremental = &pallas.IncrementalOptions{Dir: *incrDir, MaxBytes: *incrBytes}
 	}
 	srv, err := server.New(server.Config{
 		Analyzer:   acfg,
@@ -133,6 +138,8 @@ func cmdCluster(args []string) error {
 	groupCommit := fs.Bool("group-commit", false, "batch journal fsyncs (higher throughput, same durability)")
 	cacheDir := fs.String("cache-dir", "", "persistent result cache shared by all workers")
 	cacheBytes := fs.Int64("cache-bytes", 0, "per-worker memory result-cache budget in bytes (0 = default)")
+	incrDir := fs.String("incr-dir", "", "persistent function-level memo shared by all workers (re-analyzes only edited functions and their transitive callers)")
+	incrBytes := fs.Int64("incr-bytes", 0, "per-worker function memo byte budget (0 = default)")
 	clusterWorkers := fs.Int("cluster-workers", 3, "worker processes to spawn (ignored when -worker addresses are given)")
 	inflight := fs.Int("inflight", 0, "units dispatched concurrently per worker (0 = 2)")
 	heartbeat := fs.Duration("heartbeat", 0, "worker liveness probe interval (0 = 500ms)")
@@ -243,6 +250,12 @@ func cmdCluster(args []string) error {
 		}
 		if *cacheBytes != 0 {
 			wargs = append(wargs, "-cache-bytes", strconv.FormatInt(*cacheBytes, 10))
+		}
+		if *incrDir != "" {
+			wargs = append(wargs, "-incr-dir", *incrDir)
+		}
+		if *incrBytes != 0 {
+			wargs = append(wargs, "-incr-bytes", strconv.FormatInt(*incrBytes, 10))
 		}
 		if *workers != 0 {
 			wargs = append(wargs, "-workers", strconv.Itoa(*workers))

@@ -1,0 +1,87 @@
+package main
+
+// End-to-end crash safety of the function-level memo store: a real
+// `pallas check -incr-dir` process is SIGKILLed at a memo save, and the next
+// run over the same store must load it cleanly — prior entries replay, the
+// interrupted unit re-analyzes, and stdout stays byte-identical to an
+// uninterrupted run. Also covers the -cache-stats flag end to end.
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pallas/internal/failpoint"
+)
+
+func TestIncrCrashMidSaveEndToEnd(t *testing.T) {
+	bin := buildPallas(t)
+	dir := t.TempDir()
+	files := writeCrashCorpus(t, dir, 3)
+	incrDir := filepath.Join(dir, "memo")
+
+	// Reference: an uninterrupted run without the memo.
+	wantOut, _, code := runCheck(t, bin, nil, append([]string{"-workers", "1"}, files...)...)
+	if code != 1 { // every unit carries a seeded warning
+		t.Fatalf("reference run exit = %d, want 1\n%s", code, wantOut)
+	}
+
+	// Populate the store with c1.c's entries only.
+	out, _, code := runCheck(t, bin, nil, "-workers", "1", "-incr-dir", incrDir, files[0])
+	if code != 1 {
+		t.Fatalf("populate run exit = %d, want 1\n%s", code, out)
+	}
+
+	// Crash run over all three units: c1.c replays its verdict, then the
+	// first persistent memo write for c2.c SIGKILLs the process mid-save.
+	_, crashErr, code := runCheck(t, bin,
+		[]string{failpoint.EnvVar + "=cache-store=kill"},
+		append([]string{"-workers", "1", "-incr-dir", incrDir}, files...)...)
+	if code != -1 {
+		t.Fatalf("crash run exit = %d, want -1 (SIGKILL)\nstderr:\n%s", code, crashErr)
+	}
+
+	// Recovery: the store must load with c1.c's entries intact and nothing
+	// torn — c1.c replays, c2.c and c3.c analyze, stdout matches reference.
+	gotOut, stderr, code := runCheck(t, bin, nil,
+		append([]string{"-workers", "1", "-incr-dir", incrDir, "-cache-stats"}, files...)...)
+	if code != 1 {
+		t.Fatalf("recovery run exit = %d, want 1\nstderr:\n%s", code, stderr)
+	}
+	if gotOut != wantOut {
+		t.Fatalf("recovery report differs from uninterrupted run\n--- want ---\n%s\n--- got ---\n%s", wantOut, gotOut)
+	}
+	if !strings.Contains(stderr, "unit verdicts: 1 hit(s), 2 miss(es)") {
+		t.Errorf("recovery -cache-stats should show c1.c's surviving verdict:\n%s", stderr)
+	}
+
+	// Fully warm re-run: every verdict replays, reuse is total.
+	gotOut2, stderr2, code := runCheck(t, bin, nil,
+		append([]string{"-workers", "1", "-incr-dir", incrDir, "-cache-stats"}, files...)...)
+	if code != 1 || gotOut2 != wantOut {
+		t.Fatalf("warm run drifted (exit %d)\nstderr:\n%s", code, stderr2)
+	}
+	for _, want := range []string{"unit verdicts: 3 hit(s), 0 miss(es)", "reuse 100%"} {
+		if !strings.Contains(stderr2, want) {
+			t.Errorf("warm -cache-stats missing %q:\n%s", want, stderr2)
+		}
+	}
+}
+
+// TestIncrCacheStatsWithoutStore: -cache-stats alone still prints the unit
+// cache line and points at -incr-dir for the memo.
+func TestIncrCacheStatsWithoutStore(t *testing.T) {
+	bin := buildPallas(t)
+	dir := t.TempDir()
+	files := writeCrashCorpus(t, dir, 1)
+
+	_, stderr, code := runCheck(t, bin, nil, "-cache-stats", files[0])
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr:\n%s", code, stderr)
+	}
+	for _, want := range []string{"unit cache:", "func memo: off"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("stderr missing %q:\n%s", want, stderr)
+		}
+	}
+}

@@ -19,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -84,12 +85,18 @@ commands:
   check    [-spec file] [-checker name] [-json] [-html out]
            [-timeout d] [-keep-going] [-workers n] [-analysis-workers n]
            [-journal file] [-resume] [-retries n] [-group-commit]
-           [-cache-dir dir] [-cache-bytes n] file.c...        run the checkers
+           [-cache-dir dir] [-cache-bytes n]
+           [-incr-dir dir] [-incr-bytes n] [-cache-stats]
+           file.c...                                          run the checkers
            (exit: 0 clean, 1 warnings, 2 degraded, 3 fatal;
             -journal checkpoints per-file outcomes, -resume skips files the
             journal already settled, -retries retries transient failures,
-            -cache-dir replays unchanged files from the result cache)
+            -cache-dir replays unchanged files from the result cache,
+            -incr-dir replays unchanged *functions* from the per-function
+            memo — only edited functions and their transitive callers are
+            re-analyzed — and -cache-stats prints hit/miss/reuse counts)
   serve    [-addr host:port] [-cache-dir dir] [-cache-bytes n]
+           [-incr-dir dir] [-incr-bytes n]
            [-workers n] [-analysis-workers n] [-timeout d] run the HTTP service
            (POST /v1/analyze, GET /v1/report/{key}, /healthz, /metrics;
             SIGTERM drains in-flight requests and exits 0)
@@ -129,6 +136,9 @@ func cmdCheck(args []string) error {
 	groupCommit := fs.Bool("group-commit", false, "batch journal fsyncs across workers (higher throughput, same durability)")
 	cacheDir := fs.String("cache-dir", "", "replay unchanged files from this persistent result cache (shared with serve)")
 	cacheBytes := fs.Int64("cache-bytes", 0, "memory result-cache budget in bytes (0 = default)")
+	incrDir := fs.String("incr-dir", "", "function-level incremental memo directory: unchanged functions replay memoized paths instead of re-extracting (output stays byte-identical)")
+	incrBytes := fs.Int64("incr-bytes", 0, "incremental memo budget in bytes, memory and disk (0 = default 64MiB; needs -incr-dir or enables a memory-only memo)")
+	cacheStats := fs.Bool("cache-stats", false, "print unit-cache and function-memo hit/miss/reuse counts to stderr at exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -146,6 +156,9 @@ func cmdCheck(args []string) error {
 	cfg := pallas.Config{Deadline: *timeout, KeepGoing: *keepGoing, AnalysisWorkers: *analysisWorkers}
 	if *checker != "" {
 		cfg.Checkers = []string{*checker}
+	}
+	if *incrDir != "" || *incrBytes > 0 {
+		cfg.Incremental = &pallas.IncrementalOptions{Dir: *incrDir, MaxBytes: *incrBytes}
 	}
 
 	units := make([]pallas.Unit, 0, fs.NArg())
@@ -166,7 +179,8 @@ func cmdCheck(args []string) error {
 		}
 		units = append(units, pallas.Unit{Name: filepath.Base(path), Source: string(b), Spec: specText})
 	}
-	results, stats, err := pallas.New(cfg).AnalyzeBatch(units, pallas.BatchOptions{
+	analyzer := pallas.New(cfg)
+	results, stats, err := analyzer.AnalyzeBatch(units, pallas.BatchOptions{
 		Workers:            *workers,
 		MinWorkers:         *minWorkers,
 		Retries:            *retries,
@@ -215,10 +229,33 @@ func cmdCheck(args []string) error {
 		fmt.Fprintf(os.Stderr, "pallas: cache %s: %d hit(s), %d miss(es)\n",
 			*cacheDir, stats.CacheHits, stats.CacheMisses)
 	}
+	if *cacheStats {
+		printCacheStats(os.Stderr, analyzer, stats)
+	}
 	if exit != 0 {
 		os.Exit(exit)
 	}
 	return nil
+}
+
+// printCacheStats renders the -cache-stats summary: the unit-level result
+// cache (batch path) and the function-level incremental memo, one line each,
+// so warm-run wins are visible without scraping /metrics.
+func printCacheStats(w io.Writer, a *pallas.Analyzer, stats pallas.BatchStats) {
+	fmt.Fprintf(w, "pallas: unit cache: %d hit(s), %d miss(es), %d analyzed\n",
+		stats.CacheHits, stats.CacheMisses, stats.Analyzed)
+	is, ok := a.IncrStats()
+	if !ok {
+		fmt.Fprintln(w, "pallas: func memo: off (enable with -incr-dir)")
+		return
+	}
+	total := is.FuncHits + is.FuncMisses + is.UnitHits + is.UnitMisses
+	reuse := int64(0)
+	if total > 0 {
+		reuse = (is.FuncHits + is.UnitHits) * 100 / total
+	}
+	fmt.Fprintf(w, "pallas: func memo: %d hit(s), %d miss(es), %d invalidation(s); unit verdicts: %d hit(s), %d miss(es); reuse %d%%\n",
+		is.FuncHits, is.FuncMisses, is.FuncInvalidations, is.UnitHits, is.UnitMisses, reuse)
 }
 
 // printOptions configures printUnitResults.

@@ -25,6 +25,8 @@ func cmdServe(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:7777", "listen address")
 	cacheBytes := fs.Int64("cache-bytes", 0, "memory result-cache budget in bytes (0 = default)")
 	cacheDir := fs.String("cache-dir", "", "persistent result-cache directory (shared with `check -cache-dir`)")
+	incrDir := fs.String("incr-dir", "", "persistent function-level memo directory (shared with `check -incr-dir`); re-analyzes only edited functions and their transitive callers")
+	incrBytes := fs.Int64("incr-bytes", 0, "function memo byte budget, memory and disk (0 = default)")
 	workers := fs.Int("workers", 0, "concurrent analyses (0 = GOMAXPROCS); ceiling of the adaptive limit")
 	analysisWorkers := fs.Int("analysis-workers", 0, "goroutines per analysis for per-function extraction and checkers (<=1 = serial; total concurrency is -workers times this)")
 	minWorkers := fs.Int("min-workers", 0, "adaptive concurrency floor under sustained latency inflation (0 = 1; equal to -workers disables adaptation)")
@@ -51,13 +53,17 @@ func cmdServe(args []string) error {
 		return fmt.Errorf("serve: unexpected arguments %v", fs.Args())
 	}
 
+	acfg := pallas.Config{
+		Deadline:        *timeout,
+		KeepGoing:       *keepGoing,
+		IncludeDirs:     includeDirs,
+		AnalysisWorkers: *analysisWorkers,
+	}
+	if *incrDir != "" || *incrBytes > 0 {
+		acfg.Incremental = &pallas.IncrementalOptions{Dir: *incrDir, MaxBytes: *incrBytes}
+	}
 	srv, err := server.New(server.Config{
-		Analyzer: pallas.Config{
-			Deadline:        *timeout,
-			KeepGoing:       *keepGoing,
-			IncludeDirs:     includeDirs,
-			AnalysisWorkers: *analysisWorkers,
-		},
+		Analyzer:         acfg,
 		Workers:          *workers,
 		MinWorkers:       *minWorkers,
 		MaxQueue:         *maxQueue,

@@ -1,0 +1,187 @@
+package pallas
+
+// Incremental analysis: the glue between the pipeline (analyze) and the
+// function-level memo engine (internal/incr). With Config.Incremental set,
+// each analysis fingerprints its unit over a dependency DAG, replays a
+// whole-unit verdict when nothing changed, seeds extraction with memoized
+// per-function path records for unchanged functions, and memoizes whatever a
+// clean run freshly produced. Output is byte-identical to a cold run at any
+// AnalysisWorkers count; degraded runs (diagnostics, budget truncation) are
+// never replayed or stored because their content is timing-dependent.
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"pallas/internal/cast"
+	"pallas/internal/incr"
+	"pallas/internal/pathdb"
+	"pallas/internal/paths"
+	"pallas/internal/report"
+	"pallas/internal/spec"
+)
+
+// IncrementalOptions configures the function-level memo store.
+type IncrementalOptions struct {
+	// Dir, when non-empty, persists the memo across processes at this
+	// directory (atomic writes; a crash mid-save never leaves a torn entry).
+	// Empty keeps the memo in memory only, scoped to the Analyzer.
+	Dir string
+	// MaxBytes bounds the store — the in-memory LRU tier and the persistent
+	// directory alike. <= 0 means incr.DefaultMaxBytes.
+	MaxBytes int64
+}
+
+// extractFingerprint renders only the configuration fields that determine
+// the content of a non-truncated extraction result. Budget fields (Deadline,
+// MaxSteps) are absent: they can only truncate, and truncated results are
+// never memoized. Preprocessor inputs (Defines, Includes) are absent too:
+// function memo keys hash the *parsed* unit, which already reflects every
+// macro expansion and include merge.
+func (c Config) extractFingerprint() string {
+	return fmt.Sprintf("x1|paths=%d|visits=%d|inline=%d", c.MaxPaths, c.MaxBlockVisits, c.InlineDepth)
+}
+
+// incrStore returns the memo store, opening it on first use; nil when
+// incremental analysis is off or the store failed to open (the analysis then
+// runs cold — EnsureIncremental surfaces the error to callers that care).
+func (a *Analyzer) incrStore() *incr.Store {
+	st, _ := a.incrOpen()
+	return st
+}
+
+func (a *Analyzer) incrOpen() (*incr.Store, error) {
+	if a.cfg.Incremental == nil {
+		return nil, nil
+	}
+	a.incrOnce.Do(func() {
+		a.incrMemo, a.incrErr = incr.Open(incr.Options{
+			Dir:      a.cfg.Incremental.Dir,
+			MaxBytes: a.cfg.Incremental.MaxBytes,
+		})
+	})
+	return a.incrMemo, a.incrErr
+}
+
+// EnsureIncremental eagerly opens the memo store so configuration problems
+// (an unwritable -incr-dir) surface as errors instead of silent cold runs.
+// It returns nil when incremental analysis is not configured.
+func (a *Analyzer) EnsureIncremental() error {
+	_, err := a.incrOpen()
+	return err
+}
+
+// IncrStats snapshots memo activity. ok is false when incremental analysis
+// is off or the store failed to open.
+func (a *Analyzer) IncrStats() (incr.Stats, bool) {
+	st := a.incrStore()
+	if st == nil {
+		return incr.Stats{}, false
+	}
+	return st.Stats(), true
+}
+
+// memoRun carries one analysis's incremental state: the unit's dependency
+// graph, the memo key and fingerprint computed per analyzed function, and
+// the seed of memo hits handed to extraction.
+type memoRun struct {
+	st     *incr.Store
+	g      *incr.Graph
+	unit   string
+	cfgXFP string // extraction-config fingerprint (function keys)
+	cfgUFP string // full analysis-config fingerprint (unit keys)
+	keys   map[string]string
+	fps    map[string]string
+	seeded map[string]*paths.FuncPaths
+	// unitKey is set by replayUnit; store reuses it for the verdict write.
+	unitKey string
+}
+
+func (a *Analyzer) newMemoRun(st *incr.Store, tu *cast.TranslationUnit) *memoRun {
+	xfp := a.cfg.extractFingerprint()
+	return &memoRun{
+		st:     st,
+		g:      incr.BuildGraph(tu),
+		unit:   tu.File,
+		cfgXFP: xfp,
+		cfgUFP: xfp + "|checkers=" + strings.Join(a.cfg.Checkers, ","),
+		keys:   map[string]string{},
+		fps:    map[string]string{},
+		seeded: map[string]*paths.FuncPaths{},
+	}
+}
+
+// replayUnit returns a complete Result when the whole-unit verdict memo
+// holds an entry for the unit's current fingerprint — the fast path for
+// no-op and formatting-only re-checks. The replayed report and path
+// database are the stored bytes of a previous clean run whose inputs were,
+// by construction of the key, identical to this one's.
+func (m *memoRun) replayUnit(tu *cast.TranslationUnit, sp *spec.Spec, merged string) *Result {
+	fp := m.g.UnitFingerprint()
+	m.unitKey = incr.UnitKey(m.cfgUFP, m.unit, sp.String(), fp)
+	rec := m.st.GetUnit(m.unitKey, m.unit, fp)
+	if rec == nil {
+		return nil
+	}
+	rep := &report.Report{}
+	if json.Unmarshal(rec.Report, rep) != nil {
+		return nil
+	}
+	db := &pathdb.DB{}
+	if json.Unmarshal(rec.PathDB, db) != nil {
+		return nil
+	}
+	if db.Entries == nil {
+		db.Entries = map[string]*pathdb.Entry{}
+	}
+	return &Result{Report: rep, Spec: sp, Paths: db, Merged: merged, tu: tu}
+}
+
+// seed looks up every analyzed function's memo entry and returns the hits
+// for paths.Config.Seed. Misses remember their key so store can memoize the
+// fresh extraction afterwards.
+func (m *memoRun) seed(sp *spec.Spec) map[string]*paths.FuncPaths {
+	for _, fn := range sp.AnalyzedFuncs() {
+		if !m.g.Defined(fn) {
+			continue
+		}
+		fp := m.g.Transitive(fn)
+		key := incr.FuncKey(m.cfgXFP, m.g.Ambient(), fp)
+		m.keys[fn], m.fps[fn] = key, fp
+		if p := m.st.GetFunc(key, m.unit, fn, fp); p != nil {
+			m.seeded[fn] = p
+		}
+	}
+	return m.seeded
+}
+
+// store memoizes a clean run: every freshly extracted function (the memo
+// refuses truncated results itself) and the whole-unit verdict. Callers
+// gate on a clean, non-degraded result; memo write failures are absorbed
+// inside the store so they can never perturb analysis output.
+func (m *memoRun) store(fps map[string]*paths.FuncPaths, rep *report.Report, db *pathdb.DB) {
+	for fn, fp := range fps {
+		if m.seeded[fn] != nil || m.keys[fn] == "" {
+			continue
+		}
+		m.st.PutFunc(m.keys[fn], m.unit, fn, m.fps[fn], fp)
+	}
+	if m.unitKey == "" {
+		return
+	}
+	repB, err := json.Marshal(rep)
+	if err != nil {
+		return
+	}
+	dbB, err := json.Marshal(db)
+	if err != nil {
+		return
+	}
+	m.st.PutUnit(m.unitKey, &incr.UnitRecord{
+		Unit:        m.unit,
+		Fingerprint: m.g.UnitFingerprint(),
+		Report:      repB,
+		PathDB:      dbB,
+	})
+}

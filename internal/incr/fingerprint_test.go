@@ -1,0 +1,248 @@
+package incr
+
+// Fingerprint semantics: which edits keep memo entries alive and which
+// invalidate them. The contract under test — formatting-only edits on the
+// same lines are stable; editing a callee invalidates every transitive
+// caller through the DAG; layout-shifting edits invalidate (replayed path
+// records carry absolute line numbers); golden tests pin the hash framing
+// and fingerprint values so accidental format changes are caught as test
+// failures, not as silently cold memo stores.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"testing"
+
+	"pallas/internal/cparse"
+)
+
+// graphSrc is the fixed golden unit: a three-level call chain plus an
+// unrelated sibling and ambient declarations.
+const graphSrc = `struct req { int len; };
+int limit = 8;
+int leaf(int a) { return a + 1; }
+int mid(int a) { return leaf(a) + 2; }
+int top(int a) { return mid(a) + leaf(a); }
+int sib(int a) { return a * 2; }
+`
+
+func mustGraph(t *testing.T, src string) *Graph {
+	t.Helper()
+	tu, err := cparse.Parse("g.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return BuildGraph(tu)
+}
+
+// TestIncrHashFormatPinned pins the Hash framing: hex SHA-256 over 8-byte
+// little-endian length-framed parts — the same framing as the root package's
+// ContentHash. The manual recomputation proves the framing; the literal pins
+// the format across refactors (changing it silently invalidates every
+// persisted memo store, so it must be a deliberate, versioned act).
+func TestIncrHashFormatPinned(t *testing.T) {
+	got := Hash("pallas", "incr")
+	h := sha256.New()
+	for _, s := range []string{"pallas", "incr"} {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+		h.Write(n[:])
+		h.Write([]byte(s))
+	}
+	if want := hex.EncodeToString(h.Sum(nil)); got != want {
+		t.Fatalf("Hash framing drifted: got %s, want %s", got, want)
+	}
+	const pinned = "e5bb32b3c4825c7ac6947e123e5622f53c505acec2ce1f25f15caaa3d3fd9d51"
+	if got != pinned {
+		t.Fatalf("Hash(\"pallas\", \"incr\") = %s, pinned %s", got, pinned)
+	}
+	// Framing distinguishes part boundaries: "ab"+"c" != "a"+"bc".
+	if Hash("ab", "c") == Hash("a", "bc") {
+		t.Fatal("length framing lost: part boundaries are ambiguous")
+	}
+}
+
+// TestIncrFingerprintFramingPinned pins the composed fingerprint values for
+// the golden unit. Any change to the frame constants, DeclString rendering,
+// walk order, or the line stream shows up here first.
+func TestIncrFingerprintFramingPinned(t *testing.T) {
+	g := mustGraph(t, graphSrc)
+	for _, tc := range []struct {
+		name, got, want string
+	}{
+		{"local(leaf)", g.Local("leaf"), "97f639be4197f8ee597b78aa52722a42c0cea3b56d19602fc6f43390c197fd3a"},
+		{"trans(top)", g.Transitive("top"), "65a28b45e6fe491925438c501816396fb314d61a41c79cd4e4df1dbca5519add"},
+		{"ambient", g.Ambient(), "2cf43b9921eaba87e85555d42d78b5c2eba2bdd89fb68a2c4ddce0c1f1dd22c8"},
+		{"unit", g.UnitFingerprint(), "0ced37b4e4d8ef10070632b32893f087a92865aa7b790c32d030299bcb1b8303"},
+	} {
+		if tc.got != tc.want {
+			t.Errorf("%s = %s, pinned %s", tc.name, tc.got, tc.want)
+		}
+	}
+}
+
+func TestGraphEdges(t *testing.T) {
+	g := mustGraph(t, graphSrc)
+	if got := g.Funcs(); len(got) != 4 {
+		t.Fatalf("Funcs() = %v, want 4 functions", got)
+	}
+	for fn, want := range map[string][]string{
+		"leaf": {},
+		"mid":  {"leaf"},
+		"top":  {"leaf", "mid"},
+		"sib":  {},
+	} {
+		got := g.Callees(fn)
+		if len(got) != len(want) {
+			t.Errorf("Callees(%s) = %v, want %v", fn, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("Callees(%s) = %v, want %v", fn, got, want)
+			}
+		}
+	}
+	if g.Defined("undefined_fn") {
+		t.Error("Defined(undefined_fn) = true")
+	}
+}
+
+// TestFingerprintDeterministic proves the whole fingerprint surface is a
+// pure function of the source: two parses of the same text agree everywhere.
+func TestFingerprintDeterministic(t *testing.T) {
+	a, b := mustGraph(t, graphSrc), mustGraph(t, graphSrc)
+	if a.Ambient() != b.Ambient() || a.UnitFingerprint() != b.UnitFingerprint() {
+		t.Fatal("unit-level fingerprints differ across identical parses")
+	}
+	for _, fn := range a.Funcs() {
+		if a.Local(fn) != b.Local(fn) || a.Transitive(fn) != b.Transitive(fn) {
+			t.Fatalf("fingerprints for %s differ across identical parses", fn)
+		}
+	}
+}
+
+// TestFingerprintFormattingStable: comments never reach the AST and
+// within-line whitespace does not change the canonical rendering, so
+// same-line formatting edits keep every fingerprint — local, transitive,
+// ambient, unit — stable. This is what makes `touch`-style and
+// comment-only edits full memo hits.
+func TestFingerprintFormattingStable(t *testing.T) {
+	base := mustGraph(t, graphSrc)
+	formatted := `struct req { int len; };
+int limit = 8;
+int leaf(int a) { return a + 1; } /* hot */
+int mid(int a) {   return   leaf(a) + 2; }  // fast path
+int top(int a) { return mid(a) + leaf(a); }
+int sib(int a) { return a * 2; }
+`
+	got := mustGraph(t, formatted)
+	if base.UnitFingerprint() != got.UnitFingerprint() {
+		t.Error("unit fingerprint changed on a formatting-only edit")
+	}
+	if base.Ambient() != got.Ambient() {
+		t.Error("ambient fingerprint changed on a formatting-only edit")
+	}
+	for _, fn := range base.Funcs() {
+		if base.Local(fn) != got.Local(fn) {
+			t.Errorf("local fingerprint of %s changed on a formatting-only edit", fn)
+		}
+		if base.Transitive(fn) != got.Transitive(fn) {
+			t.Errorf("transitive fingerprint of %s changed on a formatting-only edit", fn)
+		}
+	}
+}
+
+// TestFingerprintCalleeEditInvalidatesTransitiveCallers: editing leaf must
+// change the transitive fingerprints of leaf, mid (direct caller) and top
+// (transitive caller through mid AND direct caller), while sib — which calls
+// nothing — keeps both fingerprints. Locals of the callers stay stable: the
+// invalidation travels exclusively through the DAG.
+func TestFingerprintCalleeEditInvalidatesTransitiveCallers(t *testing.T) {
+	base := mustGraph(t, graphSrc)
+	edited := mustGraph(t, `struct req { int len; };
+int limit = 8;
+int leaf(int a) { return a + 7; }
+int mid(int a) { return leaf(a) + 2; }
+int top(int a) { return mid(a) + leaf(a); }
+int sib(int a) { return a * 2; }
+`)
+	if base.Local("leaf") == edited.Local("leaf") {
+		t.Error("leaf local fingerprint survived a body edit")
+	}
+	for _, fn := range []string{"mid", "top"} {
+		if base.Local(fn) != edited.Local(fn) {
+			t.Errorf("%s local fingerprint changed without an edit to %s", fn, fn)
+		}
+		if base.Transitive(fn) == edited.Transitive(fn) {
+			t.Errorf("%s transitive fingerprint survived a callee edit", fn)
+		}
+	}
+	if base.Local("sib") != edited.Local("sib") || base.Transitive("sib") != edited.Transitive("sib") {
+		t.Error("sib fingerprints changed; it does not call leaf")
+	}
+	if base.UnitFingerprint() == edited.UnitFingerprint() {
+		t.Error("unit fingerprint survived a function edit")
+	}
+}
+
+// TestFingerprintLineShiftInvalidates: inserting a line between mid and top
+// moves top and sib to new lines. Their renderings are unchanged, but
+// replayed path records embed absolute line numbers, so their local
+// fingerprints must change; leaf and mid, above the insertion, keep theirs.
+func TestFingerprintLineShiftInvalidates(t *testing.T) {
+	base := mustGraph(t, graphSrc)
+	shifted := mustGraph(t, `struct req { int len; };
+int limit = 8;
+int leaf(int a) { return a + 1; }
+int mid(int a) { return leaf(a) + 2; }
+
+int top(int a) { return mid(a) + leaf(a); }
+int sib(int a) { return a * 2; }
+`)
+	for _, fn := range []string{"leaf", "mid"} {
+		if base.Local(fn) != shifted.Local(fn) {
+			t.Errorf("%s local fingerprint changed; it did not move", fn)
+		}
+	}
+	for _, fn := range []string{"top", "sib"} {
+		if base.Local(fn) == shifted.Local(fn) {
+			t.Errorf("%s local fingerprint survived a line shift; replayed records would carry stale line numbers", fn)
+		}
+	}
+}
+
+// TestFingerprintAmbientEditInvalidatesKeys: a new global changes the
+// ambient fingerprint (and so every FuncKey and the unit fingerprint) while
+// function locals are untouched.
+func TestFingerprintAmbientEditInvalidatesKeys(t *testing.T) {
+	base := mustGraph(t, graphSrc)
+	edited := mustGraph(t, "int extra_global;\n"+graphSrc)
+	if base.Ambient() == edited.Ambient() {
+		t.Error("ambient fingerprint survived a new global")
+	}
+	if base.UnitFingerprint() == edited.UnitFingerprint() {
+		t.Error("unit fingerprint survived a new global")
+	}
+	if FuncKey("cfg", base.Ambient(), base.Transitive("sib")) ==
+		FuncKey("cfg", edited.Ambient(), edited.Transitive("sib")) {
+		t.Error("FuncKey survived an ambient change")
+	}
+}
+
+// TestKeySeparation: keys must differ across configs, units and specs.
+func TestKeySeparation(t *testing.T) {
+	g := mustGraph(t, graphSrc)
+	tr, am := g.Transitive("top"), g.Ambient()
+	if FuncKey("cfgA", am, tr) == FuncKey("cfgB", am, tr) {
+		t.Error("FuncKey ignores the extraction config")
+	}
+	ufp := g.UnitFingerprint()
+	if UnitKey("cfg", "a.c", "spec", ufp) == UnitKey("cfg", "b.c", "spec", ufp) {
+		t.Error("UnitKey ignores the unit name")
+	}
+	if UnitKey("cfg", "a.c", "spec1", ufp) == UnitKey("cfg", "a.c", "spec2", ufp) {
+		t.Error("UnitKey ignores the spec text")
+	}
+}

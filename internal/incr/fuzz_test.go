@@ -1,0 +1,68 @@
+package incr
+
+// FuzzFingerprint hammers the fingerprint pipeline with arbitrary token
+// streams: anything cparse accepts must fingerprint without panicking, two
+// fingerprinting passes over the same source must agree exactly (the memo
+// contract is meaningless otherwise), and a trailing comment must never
+// change any fingerprint.
+
+import (
+	"testing"
+
+	"pallas/internal/cparse"
+)
+
+func FuzzFingerprint(f *testing.F) {
+	f.Add("int f(int a) { return a; }")
+	f.Add(graphSrc)
+	f.Add("int g; int f(void) { if (g) { return g; } return 0; }")
+	f.Add("int a(int x) { return b(x); } int b(int x) { return a(x); }")
+	f.Add("struct s { int n; }; int f(struct s *p) { return p->n; }")
+	f.Add("int f(int a) { switch (a) { case 1: return 2; default: break; } return 0; }")
+	f.Add("int f(int a) { for (;;) { a++; if (a > 3) break; } return a; }")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		tu, err := cparse.Parse("fuzz.c", src)
+		if err != nil {
+			t.Skip()
+		}
+		g1, g2 := BuildGraph(tu), BuildGraph(tu)
+		if g1.Ambient() != g2.Ambient() || g1.UnitFingerprint() != g2.UnitFingerprint() {
+			t.Fatal("unit fingerprints differ across passes over one parse")
+		}
+		for _, fn := range g1.Funcs() {
+			for _, fp := range []string{g1.Local(fn), g1.Transitive(fn)} {
+				if len(fp) != 64 {
+					t.Fatalf("fingerprint of %s is %q, want 64 hex chars", fn, fp)
+				}
+			}
+			if g1.Local(fn) != g2.Local(fn) || g1.Transitive(fn) != g2.Transitive(fn) {
+				t.Fatalf("fingerprints of %s differ across passes over one parse", fn)
+			}
+		}
+
+		// Same source re-parsed: identical fingerprints (purity over text).
+		tu2, err := cparse.Parse("fuzz.c", src)
+		if err != nil {
+			t.Fatalf("re-parse of accepted source failed: %v", err)
+		}
+		g3 := BuildGraph(tu2)
+		if g3.UnitFingerprint() != g1.UnitFingerprint() {
+			t.Fatal("unit fingerprint differs across re-parses of one source")
+		}
+
+		// A trailing comment is invisible to the AST and shifts no lines, so
+		// every fingerprint must survive it. Skip sources the comment would
+		// change structurally (an unterminated block comment or a trailing
+		// line-comment start would swallow it).
+		tu3, err := cparse.Parse("fuzz.c", src+" // trailing note")
+		if err != nil {
+			return
+		}
+		g4 := BuildGraph(tu3)
+		if g4.UnitFingerprint() != g1.UnitFingerprint() {
+			t.Fatal("trailing comment changed the unit fingerprint")
+		}
+	})
+}

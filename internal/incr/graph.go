@@ -1,0 +1,158 @@
+package incr
+
+import (
+	"sort"
+	"strconv"
+
+	"pallas/internal/cast"
+)
+
+// Graph is the per-unit dependency DAG the memo engine fingerprints over:
+// one node per defined function, one edge per direct call to another defined
+// function. Fingerprints are memoized per instance. A Graph is built once
+// per analysis on a single goroutine and is not safe for concurrent use.
+type Graph struct {
+	tu      *cast.TranslationUnit
+	local   map[string]string   // function → local fingerprint
+	callees map[string][]string // function → sorted defined callees
+	trans   map[string]string   // function → transitive fingerprint (lazy)
+	ambient string              // lazy
+	unitFP  string              // lazy
+}
+
+// BuildGraph fingerprints every defined function of tu and records its call
+// edges. Only calls through a plain identifier to a function defined in the
+// unit become edges: those are the calls extraction summarizes, and an
+// undefined callee has no body to fingerprint (when it later gains one, the
+// new edge changes the caller's transitive fingerprint by itself).
+func BuildGraph(tu *cast.TranslationUnit) *Graph {
+	g := &Graph{
+		tu:      tu,
+		local:   map[string]string{},
+		callees: map[string][]string{},
+		trans:   map[string]string{},
+	}
+	for _, d := range tu.Decls {
+		fd, ok := d.(*cast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		g.local[fd.Name] = LocalFingerprint(fd)
+		g.callees[fd.Name] = calleeNames(tu, fd)
+	}
+	return g
+}
+
+// calleeNames collects the distinct defined functions fd calls directly.
+func calleeNames(tu *cast.TranslationUnit, fd *cast.FuncDecl) []string {
+	set := map[string]bool{}
+	cast.Walk(fd.Body, func(n cast.Node) bool {
+		call, ok := n.(*cast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*cast.IdentExpr); ok && id.Name != fd.Name && tu.Func(id.Name) != nil {
+			set[id.Name] = true
+		}
+		return true
+	})
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Defined reports whether fn is a defined function of the unit.
+func (g *Graph) Defined(fn string) bool { _, ok := g.local[fn]; return ok }
+
+// Funcs lists the defined functions, sorted.
+func (g *Graph) Funcs() []string {
+	out := make([]string, 0, len(g.local))
+	for n := range g.local {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Local returns fn's local fingerprint ("" when fn is not defined).
+func (g *Graph) Local(fn string) string { return g.local[fn] }
+
+// Callees returns fn's direct defined callees, sorted.
+func (g *Graph) Callees(fn string) []string { return g.callees[fn] }
+
+// Transitive returns fn's transitive fingerprint: a hash of its own local
+// fingerprint plus the sorted (name, local fingerprint) pairs of every
+// function reachable from it through call edges. The reachable-set closure
+// handles recursion and mutual cycles uniformly, and guarantees that editing
+// any transitive callee changes every transitive caller's fingerprint.
+func (g *Graph) Transitive(fn string) string {
+	if v, ok := g.trans[fn]; ok {
+		return v
+	}
+	seen := map[string]bool{}
+	stack := []string{fn}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		stack = append(stack, g.callees[n]...)
+	}
+	delete(seen, fn)
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, 3+2*len(names))
+	parts = append(parts, frameTrans, fn, g.local[fn])
+	for _, n := range names {
+		parts = append(parts, n, g.local[n])
+	}
+	v := Hash(parts...)
+	g.trans[fn] = v
+	return v
+}
+
+// Ambient fingerprints everything extraction and checking can consult
+// outside function bodies: every non-definition top-level declaration
+// (globals, enums, records, typedefs, prototypes) in declaration order, each
+// with its line number (checkers may report lines of ambient declarations).
+func (g *Graph) Ambient() string {
+	if g.ambient != "" {
+		return g.ambient
+	}
+	parts := []string{frameAmbient}
+	for _, d := range g.tu.Decls {
+		if fd, ok := d.(*cast.FuncDecl); ok && fd.Body != nil {
+			continue
+		}
+		parts = append(parts, cast.DeclString(d), strconv.Itoa(d.Pos().Line))
+	}
+	g.ambient = Hash(parts...)
+	return g.ambient
+}
+
+// UnitFingerprint hashes the whole unit's semantic state: the ambient
+// fingerprint plus every defined function's (name, local fingerprint) pair
+// in sorted order. Checkers read the translation unit beyond the analyzed
+// functions (callee bodies, return constants of slow paths), so whole-unit
+// verdict replay must be keyed on all of it, not just the analyzed set.
+func (g *Graph) UnitFingerprint() string {
+	if g.unitFP != "" {
+		return g.unitFP
+	}
+	names := g.Funcs()
+	parts := make([]string, 0, 2+2*len(names))
+	parts = append(parts, frameUnit, g.Ambient())
+	for _, n := range names {
+		parts = append(parts, n, g.local[n])
+	}
+	g.unitFP = Hash(parts...)
+	return g.unitFP
+}

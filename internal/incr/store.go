@@ -1,0 +1,360 @@
+package incr
+
+import (
+	"encoding/json"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pallas/internal/metrics"
+	"pallas/internal/paths"
+	"pallas/internal/rcache"
+)
+
+// RecordVersion is the memo record format version. Records with any other
+// version are treated as misses (never as corruption), so the format can
+// evolve without a migration. The layout of FuncRecord and UnitRecord is
+// pinned by TestIncrRecordFormatPinned.
+const RecordVersion = 1
+
+// DefaultMaxBytes bounds the memo store when Options.MaxBytes is unset.
+const DefaultMaxBytes = 64 << 20
+
+// FuncRecord is the persisted form of one memoized function extraction.
+type FuncRecord struct {
+	// Version is RecordVersion at write time.
+	Version int `json:"version"`
+	// Fn is the function name.
+	Fn string `json:"fn"`
+	// Fingerprint is the transitive fingerprint the record was stored under;
+	// lookups re-verify it even though the key already covers it.
+	Fingerprint string `json:"fingerprint"`
+	// Paths is the extraction result. Never truncated: budget-truncated
+	// extractions are timing-dependent and are not memoized.
+	Paths *paths.FuncPaths `json:"paths"`
+}
+
+// UnitRecord is the persisted form of one memoized whole-unit verdict: the
+// exact report and path-database bytes a clean (non-degraded) analysis of
+// the unit produced.
+type UnitRecord struct {
+	// Version is RecordVersion at write time.
+	Version int `json:"version"`
+	// Unit is the unit name the verdict belongs to.
+	Unit string `json:"unit"`
+	// Fingerprint is the unit fingerprint the record was stored under.
+	Fingerprint string `json:"fingerprint"`
+	// Report is the marshaled report.Report.
+	Report json.RawMessage `json:"report"`
+	// PathDB is the marshaled pathdb.DB.
+	PathDB json.RawMessage `json:"pathdb"`
+}
+
+// Options configures Open.
+type Options struct {
+	// Dir, when non-empty, persists the memo across processes at this
+	// directory (created if missing). Writes are atomic (temp + fsync +
+	// rename, via rcache), so a crash mid-save never leaves a torn entry.
+	Dir string
+	// MaxBytes bounds the store: it caps the in-memory tier's LRU (rcache)
+	// and the persistent tier's total size (oldest entries pruned once the
+	// directory outgrows it). <= 0 means DefaultMaxBytes.
+	MaxBytes int64
+	// Registry receives the pallas_incr_* instruments; nil means
+	// metrics.Default.
+	Registry *metrics.Registry
+}
+
+// Stats is a point-in-time snapshot of memo activity.
+type Stats struct {
+	// FuncHits / FuncMisses count per-function lookups by outcome.
+	FuncHits   int64
+	FuncMisses int64
+	// FuncInvalidations counts lookups whose fingerprint differed from the
+	// previous lookup of the same (unit, function) slot — memo entries
+	// invalidated by an edit reaching the function through the DAG.
+	FuncInvalidations int64
+	// UnitHits / UnitMisses count whole-unit verdict lookups by outcome.
+	UnitHits   int64
+	UnitMisses int64
+	// Pruned counts persistent-tier files removed to hold MaxBytes.
+	Pruned int64
+}
+
+// Store is the function-level memo store. All methods are safe for
+// concurrent use; the underlying tiers are an rcache (byte-bounded memory
+// LRU + atomic persistent writes, circuit breaker on disk faults) plus a
+// size-triggered prune that bounds the persistent directory.
+type Store struct {
+	cache    *rcache.Cache
+	dir      string
+	maxBytes int64
+
+	funcHits          atomic.Int64
+	funcMisses        atomic.Int64
+	funcInvalidations atomic.Int64
+	unitHits          atomic.Int64
+	unitMisses        atomic.Int64
+	pruned            atomic.Int64
+
+	mu                sync.Mutex
+	lastFP            map[string]string // unit\x00fn → last lookup fingerprint
+	writtenSincePrune int64
+	pruning           bool
+
+	mFuncHits, mFuncMisses, mFuncInval *metrics.Counter
+	mUnitHits, mUnitMisses             *metrics.Counter
+	mRatio                             *metrics.Gauge
+}
+
+// Open opens (or creates) a memo store.
+func Open(o Options) (*Store, error) {
+	if o.MaxBytes <= 0 {
+		o.MaxBytes = DefaultMaxBytes
+	}
+	c, err := rcache.Open(rcache.Options{Dir: o.Dir, MaxBytes: o.MaxBytes})
+	if err != nil {
+		return nil, err
+	}
+	reg := o.Registry
+	if reg == nil {
+		reg = metrics.Default
+	}
+	s := &Store{
+		cache:    c,
+		dir:      o.Dir,
+		maxBytes: o.MaxBytes,
+		lastFP:   map[string]string{},
+
+		mFuncHits:   reg.Counter(metrics.MetricIncrFuncHits, "function memo lookups replayed from the store"),
+		mFuncMisses: reg.Counter(metrics.MetricIncrFuncMisses, "function memo lookups that required extraction"),
+		mFuncInval:  reg.Counter(metrics.MetricIncrFuncInvalidations, "function memo entries invalidated by a fingerprint change"),
+		mUnitHits:   reg.Counter(metrics.MetricIncrUnitHits, "whole-unit verdict replays"),
+		mUnitMisses: reg.Counter(metrics.MetricIncrUnitMisses, "whole-unit verdict lookups that missed"),
+		mRatio:      reg.Gauge(metrics.MetricIncrReuseRatio, "memo reuse ratio x1000 (hits / lookups)"),
+	}
+	// A pre-existing directory may already exceed the bound (a previous run
+	// with a larger budget); trim it before serving.
+	s.prune()
+	return s, nil
+}
+
+// GetFunc returns the memoized extraction stored under key, or nil on a
+// miss. unit and fn identify the lookup slot for invalidation accounting;
+// fingerprint is re-verified against the record.
+func (s *Store) GetFunc(key, unit, fn, fingerprint string) *paths.FuncPaths {
+	rec := s.loadFunc(key, fn, fingerprint)
+	s.trackFunc(unit, fn, fingerprint, rec != nil)
+	if rec == nil {
+		return nil
+	}
+	return rec.Paths
+}
+
+func (s *Store) loadFunc(key, fn, fingerprint string) *FuncRecord {
+	e, ok := s.cache.Get(key)
+	if !ok {
+		return nil
+	}
+	var rec FuncRecord
+	if json.Unmarshal(e.Report, &rec) != nil {
+		return nil
+	}
+	if rec.Version != RecordVersion || rec.Fn != fn || rec.Fingerprint != fingerprint {
+		return nil
+	}
+	if rec.Paths == nil || rec.Paths.Truncated {
+		return nil
+	}
+	return &rec
+}
+
+// PutFunc memoizes one extraction result. Truncated results are refused:
+// truncation depends on the run's budget and deadline, so replaying one
+// would not be byte-identical to a cold (untruncated) run. Store failures
+// are absorbed — a memo store must never fail an analysis — and surface
+// only through the rcache disk-fault counters and breaker.
+func (s *Store) PutFunc(key, unit, fn, fingerprint string, fp *paths.FuncPaths) {
+	if fp == nil || fp.Truncated {
+		return
+	}
+	b, err := json.Marshal(FuncRecord{Version: RecordVersion, Fn: fn, Fingerprint: fingerprint, Paths: fp})
+	if err != nil {
+		return
+	}
+	_ = s.cache.Put(&rcache.Entry{
+		Key:    key,
+		Unit:   "incr-func:" + unit + "/" + fn,
+		Report: b,
+		Sum:    rcache.ContentSum(b, nil),
+	})
+	s.noteWrite(int64(len(b)))
+}
+
+// GetUnit returns the memoized whole-unit verdict stored under key, or nil.
+func (s *Store) GetUnit(key, unit, fingerprint string) *UnitRecord {
+	rec := s.loadUnit(key, unit, fingerprint)
+	if rec != nil {
+		s.unitHits.Add(1)
+		s.mUnitHits.Inc()
+	} else {
+		s.unitMisses.Add(1)
+		s.mUnitMisses.Inc()
+	}
+	s.updateRatio()
+	return rec
+}
+
+func (s *Store) loadUnit(key, unit, fingerprint string) *UnitRecord {
+	e, ok := s.cache.Get(key)
+	if !ok {
+		return nil
+	}
+	var rec UnitRecord
+	if json.Unmarshal(e.Report, &rec) != nil {
+		return nil
+	}
+	if rec.Version != RecordVersion || rec.Unit != unit || rec.Fingerprint != fingerprint {
+		return nil
+	}
+	if len(rec.Report) == 0 || len(rec.PathDB) == 0 {
+		return nil
+	}
+	return &rec
+}
+
+// PutUnit memoizes a whole-unit verdict. Like PutFunc, failures are absorbed.
+func (s *Store) PutUnit(key string, rec *UnitRecord) {
+	if rec == nil || len(rec.Report) == 0 || len(rec.PathDB) == 0 {
+		return
+	}
+	rec.Version = RecordVersion
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	_ = s.cache.Put(&rcache.Entry{
+		Key:    key,
+		Unit:   "incr-unit:" + rec.Unit,
+		Report: b,
+		Sum:    rcache.ContentSum(b, nil),
+	})
+	s.noteWrite(int64(len(b)))
+}
+
+// Stats returns a snapshot of memo activity since Open.
+func (s *Store) Stats() Stats {
+	return Stats{
+		FuncHits:          s.funcHits.Load(),
+		FuncMisses:        s.funcMisses.Load(),
+		FuncInvalidations: s.funcInvalidations.Load(),
+		UnitHits:          s.unitHits.Load(),
+		UnitMisses:        s.unitMisses.Load(),
+		Pruned:            s.pruned.Load(),
+	}
+}
+
+// CacheStats exposes the underlying tier activity (memory LRU, disk,
+// breaker) for diagnostics.
+func (s *Store) CacheStats() rcache.Stats { return s.cache.Stats() }
+
+// trackFunc records a function lookup outcome and detects invalidations: a
+// lookup whose fingerprint differs from the previous lookup of the same
+// (unit, function) slot means an edit reached the function through the DAG.
+func (s *Store) trackFunc(unit, fn, fingerprint string, hit bool) {
+	slot := unit + "\x00" + fn
+	s.mu.Lock()
+	prev, seen := s.lastFP[slot]
+	s.lastFP[slot] = fingerprint
+	s.mu.Unlock()
+	if seen && prev != fingerprint {
+		s.funcInvalidations.Add(1)
+		s.mFuncInval.Inc()
+	}
+	if hit {
+		s.funcHits.Add(1)
+		s.mFuncHits.Inc()
+	} else {
+		s.funcMisses.Add(1)
+		s.mFuncMisses.Inc()
+	}
+	s.updateRatio()
+}
+
+func (s *Store) updateRatio() {
+	hits := s.funcHits.Load() + s.unitHits.Load()
+	total := hits + s.funcMisses.Load() + s.unitMisses.Load()
+	if total > 0 {
+		s.mRatio.Set(hits * 1000 / total)
+	}
+}
+
+// noteWrite schedules a persistent-tier prune once enough new bytes landed
+// since the last one. The trigger is approximate by design: the bound is a
+// budget, not a hard limit, and scanning the directory on every put would
+// dominate small writes.
+func (s *Store) noteWrite(n int64) {
+	if s.dir == "" {
+		return
+	}
+	s.mu.Lock()
+	s.writtenSincePrune += n
+	due := s.writtenSincePrune > s.maxBytes/4 && !s.pruning
+	if due {
+		s.pruning = true
+		s.writtenSincePrune = 0
+	}
+	s.mu.Unlock()
+	if due {
+		s.prune()
+		s.mu.Lock()
+		s.pruning = false
+		s.mu.Unlock()
+	}
+}
+
+// prune bounds the persistent tier: when the directory's entry files exceed
+// MaxBytes, the oldest (by modification time) are removed until it fits.
+// Removing an entry at any moment is safe — entries are content-addressed
+// and written atomically, so a pruned entry is simply a future miss.
+func (s *Store) prune() {
+	if s.dir == "" {
+		return
+	}
+	type file struct {
+		path string
+		size int64
+		mod  time.Time
+	}
+	var files []file
+	var total int64
+	_ = filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".json" {
+			return nil
+		}
+		info, ierr := d.Info()
+		if ierr != nil {
+			return nil
+		}
+		files = append(files, file{path: path, size: info.Size(), mod: info.ModTime()})
+		total += info.Size()
+		return nil
+	})
+	if total <= s.maxBytes {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mod.Before(files[j].mod) })
+	for _, f := range files {
+		if total <= s.maxBytes {
+			break
+		}
+		if os.Remove(f.path) == nil {
+			total -= f.size
+			s.pruned.Add(1)
+		}
+	}
+}

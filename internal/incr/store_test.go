@@ -1,0 +1,265 @@
+package incr
+
+// Store contract: byte-bounded in both tiers, atomic persistent writes (a
+// torn or garbage entry is a miss, never an error), truncated extractions
+// refused, invalidations detected by fingerprint change. The end-to-end
+// SIGKILL-mid-save crash test lives in cmd/pallas.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pallas/internal/metrics"
+	"pallas/internal/paths"
+)
+
+func openStore(t *testing.T, o Options) *Store {
+	t.Helper()
+	if o.Registry == nil {
+		o.Registry = metrics.NewRegistry()
+	}
+	s, err := Open(o)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func funcPaths(fn string, n int) *paths.FuncPaths {
+	fp := &paths.FuncPaths{Fn: fn, Signature: fn + "(a)"}
+	for i := 0; i < n; i++ {
+		fp.Paths = append(fp.Paths, &paths.ExecPath{
+			Fn: fn, Signature: fn + "(a)", Index: i, Blocks: []int{0, i + 1},
+			Out: &paths.Output{Expr: "a", Sym: "a", Line: 3 + i},
+		})
+	}
+	return fp
+}
+
+func TestStoreFuncRoundTrip(t *testing.T) {
+	s := openStore(t, Options{Dir: t.TempDir()})
+	want := funcPaths("fast", 2)
+	s.PutFunc("key-aaa1", "u.c", "fast", "fp1", want)
+
+	got := s.GetFunc("key-aaa1", "u.c", "fast", "fp1")
+	if got == nil {
+		t.Fatal("stored entry missed")
+	}
+	gb, _ := json.Marshal(got)
+	wb, _ := json.Marshal(want)
+	if string(gb) != string(wb) {
+		t.Fatalf("round trip drifted:\n got %s\nwant %s", gb, wb)
+	}
+	if s.GetFunc("key-other", "u.c", "fast", "fp1") != nil {
+		t.Fatal("unknown key hit")
+	}
+	st := s.Stats()
+	if st.FuncHits != 1 || st.FuncMisses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+}
+
+// TestStoreRefusesTruncated: budget-truncated extractions are
+// timing-dependent, so the store must refuse them on write and on read.
+func TestStoreRefusesTruncated(t *testing.T) {
+	s := openStore(t, Options{})
+	fp := funcPaths("fast", 1)
+	fp.Truncated = true
+	s.PutFunc("key-aaa1", "u.c", "fast", "fp1", fp)
+	if s.GetFunc("key-aaa1", "u.c", "fast", "fp1") != nil {
+		t.Fatal("truncated extraction was memoized")
+	}
+	s.PutFunc("key-aaa2", "u.c", "fast", "fp1", nil)
+	if s.GetFunc("key-aaa2", "u.c", "fast", "fp1") != nil {
+		t.Fatal("nil extraction was memoized")
+	}
+}
+
+// TestStoreInvalidationAccounting: a lookup under a new fingerprint for a
+// slot seen before counts as an invalidation — the DAG carried an edit to
+// this function.
+func TestStoreInvalidationAccounting(t *testing.T) {
+	s := openStore(t, Options{})
+	s.PutFunc("key-aaa1", "u.c", "fast", "fp1", funcPaths("fast", 1))
+	s.GetFunc("key-aaa1", "u.c", "fast", "fp1") // hit, first sight of the slot
+	s.GetFunc("key-aaa2", "u.c", "fast", "fp2") // miss, fingerprint changed
+	s.GetFunc("key-aaa2", "u.c", "fast", "fp2") // miss, fingerprint stable
+	s.GetFunc("key-aaa9", "u.c", "slow", "fp1") // other slot, first sight
+
+	st := s.Stats()
+	if st.FuncInvalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1 (stats %+v)", st.FuncInvalidations, st)
+	}
+	if st.FuncHits != 1 || st.FuncMisses != 3 {
+		t.Fatalf("stats = %+v, want 1 hit / 3 misses", st)
+	}
+}
+
+func TestStoreUnitRoundTrip(t *testing.T) {
+	s := openStore(t, Options{Dir: t.TempDir()})
+	rec := &UnitRecord{
+		Unit:        "u.c",
+		Fingerprint: "ufp1",
+		Report:      json.RawMessage(`{"unit":"u.c"}`),
+		PathDB:      json.RawMessage(`{"target":"u.c"}`),
+	}
+	key := UnitKey("cfg", "u.c", "spec", "ufp1")
+	s.PutUnit(key, rec)
+
+	got := s.GetUnit(key, "u.c", "ufp1")
+	if got == nil {
+		t.Fatal("stored verdict missed")
+	}
+	if string(got.Report) != `{"unit":"u.c"}` || string(got.PathDB) != `{"target":"u.c"}` {
+		t.Fatalf("verdict bytes drifted: %+v", got)
+	}
+	if s.GetUnit(key, "u.c", "ufp2") != nil {
+		t.Fatal("stale fingerprint hit")
+	}
+	st := s.Stats()
+	if st.UnitHits != 1 || st.UnitMisses != 1 {
+		t.Fatalf("stats = %+v, want 1 unit hit / 1 unit miss", st)
+	}
+}
+
+// TestStorePersistsAcrossOpens: a second Open over the same directory serves
+// the first one's entries — the cross-process warm-start path.
+func TestStorePersistsAcrossOpens(t *testing.T) {
+	dir := t.TempDir()
+	s1 := openStore(t, Options{Dir: dir})
+	s1.PutFunc("key-aaa1", "u.c", "fast", "fp1", funcPaths("fast", 2))
+
+	s2 := openStore(t, Options{Dir: dir})
+	if s2.GetFunc("key-aaa1", "u.c", "fast", "fp1") == nil {
+		t.Fatal("persisted entry missed after reopen")
+	}
+}
+
+// TestStoreTornEntriesAreMisses: garbage, truncated JSON, and wrong-version
+// records in the persistent tier must read as misses. The store stays fully
+// usable — fresh writes land and read back.
+func TestStoreTornEntriesAreMisses(t *testing.T) {
+	dir := t.TempDir()
+	s1 := openStore(t, Options{Dir: dir})
+	s1.PutFunc("key-aaa1", "u.c", "fast", "fp1", funcPaths("fast", 1))
+
+	// Corrupt every persisted entry three ways: binary garbage, a torn JSON
+	// prefix, and a wrong record version.
+	var ents []string
+	filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && filepath.Ext(path) == ".json" {
+			ents = append(ents, path)
+		}
+		return nil
+	})
+	if len(ents) == 0 {
+		t.Fatal("no persisted entries to corrupt")
+	}
+	for i, p := range ents {
+		switch i % 3 {
+		case 0:
+			os.WriteFile(p, []byte("\x00\xffnot json"), 0o644)
+		case 1:
+			b, _ := os.ReadFile(p)
+			os.WriteFile(p, b[:len(b)/2], 0o644)
+		case 2:
+			os.WriteFile(p, []byte(`{"key":"key-aaa1","unit":"u","report":"eyJ2ZXJzaW9uIjo5OX0="}`), 0o644)
+		}
+	}
+
+	s2 := openStore(t, Options{Dir: dir})
+	if s2.GetFunc("key-aaa1", "u.c", "fast", "fp1") != nil {
+		t.Fatal("corrupted entry replayed")
+	}
+	s2.PutFunc("key-aaa2", "u.c", "slow", "fp2", funcPaths("slow", 1))
+	if s2.GetFunc("key-aaa2", "u.c", "slow", "fp2") == nil {
+		t.Fatal("store unusable after encountering torn entries")
+	}
+}
+
+// TestStorePruneBoundsDisk: the persistent tier converges to MaxBytes by
+// removing the oldest entries; pruned entries become misses, newest entries
+// survive.
+func TestStorePruneBoundsDisk(t *testing.T) {
+	dir := t.TempDir()
+	const maxBytes = 8 << 10
+	s := openStore(t, Options{Dir: dir, MaxBytes: maxBytes})
+	for i := 0; i < 64; i++ {
+		s.PutFunc(fmt.Sprintf("key-%03d", i), "u.c", fmt.Sprintf("f%d", i), "fp", funcPaths(fmt.Sprintf("f%d", i), 4))
+	}
+	s.prune()
+
+	var total int64
+	filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && filepath.Ext(path) == ".json" {
+			if info, ierr := d.Info(); ierr == nil {
+				total += info.Size()
+			}
+		}
+		return nil
+	})
+	if total > maxBytes {
+		t.Fatalf("persistent tier holds %d bytes, budget %d", total, maxBytes)
+	}
+	if s.Stats().Pruned == 0 {
+		t.Fatal("nothing pruned despite exceeding the budget")
+	}
+
+	// A fresh store over the pruned directory still serves what survived.
+	s2 := openStore(t, Options{Dir: dir, MaxBytes: maxBytes})
+	hits := 0
+	for i := 0; i < 64; i++ {
+		if s2.GetFunc(fmt.Sprintf("key-%03d", i), "u.c", fmt.Sprintf("f%d", i), "fp") != nil {
+			hits++
+		}
+	}
+	if hits == 0 || hits == 64 {
+		t.Fatalf("survivors = %d, want some but not all under an 8KiB budget", hits)
+	}
+}
+
+// TestStoreOpenPrunesOversizedDir: Open itself trims a directory left over
+// from a run with a larger budget.
+func TestStoreOpenPrunesOversizedDir(t *testing.T) {
+	dir := t.TempDir()
+	big := openStore(t, Options{Dir: dir, MaxBytes: 1 << 20})
+	for i := 0; i < 64; i++ {
+		big.PutFunc(fmt.Sprintf("key-%03d", i), "u.c", fmt.Sprintf("f%d", i), "fp", funcPaths(fmt.Sprintf("f%d", i), 4))
+	}
+
+	small := openStore(t, Options{Dir: dir, MaxBytes: 4 << 10})
+	if small.Stats().Pruned == 0 {
+		t.Fatal("Open left an oversized directory untrimmed")
+	}
+}
+
+// TestStoreMetricsRegistered: the pallas_incr_* instruments land in the
+// registry and move with activity.
+func TestStoreMetricsRegistered(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := openStore(t, Options{Registry: reg})
+	s.PutFunc("key-aaa1", "u.c", "fast", "fp1", funcPaths("fast", 1))
+	s.GetFunc("key-aaa1", "u.c", "fast", "fp1")
+	s.GetFunc("key-aaa2", "u.c", "fast", "fp2")
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		metrics.MetricIncrFuncHits + " 1",
+		metrics.MetricIncrFuncMisses + " 1",
+		metrics.MetricIncrFuncInvalidations + " 1",
+		metrics.MetricIncrReuseRatio + " 500",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+}

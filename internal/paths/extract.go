@@ -33,6 +33,12 @@ type Config struct {
 	// output is independent of the setting: the per-function result depends
 	// only on the function and the unit, never on scheduling.
 	Workers int
+	// Seed provides pre-extracted results replayed from the incremental memo
+	// (internal/incr): checkers.NewContext fills a seeded function's slot
+	// from here instead of extracting it. Seeded entries must be exactly
+	// what Extract would produce for the same unit — the memo's fingerprint
+	// keys guarantee that. The Extractor itself ignores Seed.
+	Seed map[string]*FuncPaths
 }
 
 // DefaultConfig mirrors the paper's bounded exploration.

@@ -227,8 +227,13 @@ func New(cfg Config) (*Server, error) {
 		minWorkers = 1
 	}
 	limiter := overload.NewLimiter(minWorkers, gate.Cap())
+	analyzer := pallas.New(cfg.Analyzer)
+	// An unusable -incr-dir should fail startup, not silently serve cold.
+	if err := analyzer.EnsureIncremental(); err != nil {
+		return nil, err
+	}
 	s := &Server{
-		analyzer: pallas.New(cfg.Analyzer),
+		analyzer: analyzer,
 		cache:    cache,
 		gate:     gate,
 		ctrl:     overload.NewController(limiter, maxQueue),

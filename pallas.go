@@ -32,6 +32,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"pallas/internal/cast"
@@ -42,6 +43,7 @@ import (
 	"pallas/internal/difftool"
 	"pallas/internal/failpoint"
 	"pallas/internal/guard"
+	"pallas/internal/incr"
 	"pallas/internal/infer"
 	"pallas/internal/pathdb"
 	"pallas/internal/paths"
@@ -139,6 +141,18 @@ type Config struct {
 	// AnalysisWorkers goroutines, so total CPU demand is bounded by
 	// outer × AnalysisWorkers. Keep the product near GOMAXPROCS.
 	AnalysisWorkers int
+	// Incremental, when non-nil, enables the function-level memo engine
+	// (internal/incr): every analyzed function is fingerprinted — its
+	// canonical post-preprocess rendering plus the fingerprints of all
+	// transitively called functions, over the unit's dependency DAG — and
+	// functions whose fingerprint is unchanged replay their memoized path
+	// records instead of being re-extracted; a unit where nothing changed
+	// replays its whole verdict. Reports, warning order, diagnostics and
+	// path databases stay byte-identical to a cold run at any
+	// AnalysisWorkers count. Like AnalysisWorkers, the field is absent from
+	// cache-key fingerprints: it changes how fast a result is produced,
+	// never what is produced.
+	Incremental *IncrementalOptions
 }
 
 // CheckerNames lists the five checker names in paper order.
@@ -153,6 +167,13 @@ func CheckerNames() []string {
 // Analyzer runs the Pallas pipeline.
 type Analyzer struct {
 	cfg Config
+
+	// Function-level memo store (Config.Incremental), opened lazily so a
+	// misconfigured directory degrades to cold analysis unless the caller
+	// checks EnsureIncremental.
+	incrOnce sync.Once
+	incrMemo *incr.Store
+	incrErr  error
 }
 
 // New returns an analyzer with the given configuration.
@@ -317,6 +338,20 @@ func (a *Analyzer) analyze(tu *cast.TranslationUnit, sp *spec.Spec, merged strin
 		}
 		selected = append(selected, c)
 	}
+	// Incremental memo: fingerprint the unit over its dependency DAG, replay
+	// the whole verdict when nothing changed, otherwise seed extraction with
+	// the per-function hits. Pipelines that already degraded run cold —
+	// their diagnostics and truncation are timing-dependent, so only clean
+	// state is replayed (and, below, stored).
+	var memo *memoRun
+	if st := a.incrStore(); st != nil {
+		memo = a.newMemoRun(st, tu)
+		if len(diags) == 0 && budget.Err() == nil {
+			if res := memo.replayUnit(tu, sp, merged); res != nil {
+				return res, nil
+			}
+		}
+	}
 	pcfg := paths.Config{
 		MaxPaths:       a.cfg.MaxPaths,
 		MaxBlockVisits: a.cfg.MaxBlockVisits,
@@ -326,6 +361,9 @@ func (a *Analyzer) analyze(tu *cast.TranslationUnit, sp *spec.Spec, merged strin
 	}
 	if pcfg.InlineDepth < 0 {
 		pcfg.InlineDepth = 0
+	}
+	if memo != nil {
+		pcfg.Seed = memo.seed(sp)
 	}
 	// Once any stage has degraded, the unit may be partial (functions the
 	// spec names can be missing), so extraction must tolerate gaps too.
@@ -365,6 +403,9 @@ func (a *Analyzer) analyze(tu *cast.TranslationUnit, sp *spec.Spec, merged strin
 	}
 	for _, d := range diags {
 		db.AddDiagnostic(d)
+	}
+	if memo != nil && len(diags) == 0 && !rep.Degraded {
+		memo.store(ctx.FuncPaths, rep, db)
 	}
 	return &Result{Report: rep, Spec: sp, Paths: db, Merged: merged, Diagnostics: diags, tu: tu}, nil
 }
