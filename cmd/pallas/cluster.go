@@ -43,6 +43,14 @@ func cmdWorker(args []string) error {
 	keepGoing := fs.Bool("keep-going", false, "degrade instead of failing on malformed input")
 	checker := fs.String("checker", "", "run only the named checker")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "maximum time to wait for in-flight requests on shutdown")
+	cacheReplicas := fs.Int("cache-replicas", 0, "shared-cache-tier replication factor (0 = 2)")
+	cacheStats := fs.Bool("cache-stats", false, "print unit-cache, function-memo and peer-tier summaries to stderr at exit")
+	var cachePeers []string
+	fs.Func("cache-peers", "peer cache endpoint host:port forming a static shared cache tier (repeatable; in cluster mode the coordinator pushes the map instead)",
+		func(addr string) error {
+			cachePeers = append(cachePeers, addr)
+			return nil
+		})
 	var includeDirs []string
 	fs.Func("include-dir", "serve #include files from this directory (repeatable)",
 		func(dir string) error {
@@ -69,12 +77,14 @@ func cmdWorker(args []string) error {
 		acfg.Incremental = &pallas.IncrementalOptions{Dir: *incrDir, MaxBytes: *incrBytes}
 	}
 	srv, err := server.New(server.Config{
-		Analyzer:   acfg,
-		Workers:    *workers,
-		MinWorkers: *minWorkers,
-		MaxQueue:   *maxQueue,
-		CacheBytes: *cacheBytes,
-		CacheDir:   *cacheDir,
+		Analyzer:      acfg,
+		Workers:       *workers,
+		MinWorkers:    *minWorkers,
+		MaxQueue:      *maxQueue,
+		CacheBytes:    *cacheBytes,
+		CacheDir:      *cacheDir,
+		CachePeers:    cachePeers,
+		CacheReplicas: *cacheReplicas,
 	})
 	if err != nil {
 		return err
@@ -112,6 +122,10 @@ func cmdWorker(args []string) error {
 	st := srv.Cache().Stats()
 	fmt.Fprintf(os.Stderr, "pallas: worker: drained cleanly (%d analyses, %d cache hits)\n",
 		st.Computes, st.Hits)
+	if *cacheStats {
+		printServerCacheStats(os.Stderr, srv)
+	}
+	srv.Close()
 	return nil
 }
 
@@ -140,6 +154,9 @@ func cmdCluster(args []string) error {
 	cacheBytes := fs.Int64("cache-bytes", 0, "per-worker memory result-cache budget in bytes (0 = default)")
 	incrDir := fs.String("incr-dir", "", "persistent function-level memo shared by all workers (re-analyzes only edited functions and their transitive callers)")
 	incrBytes := fs.Int64("incr-bytes", 0, "per-worker function memo byte budget (0 = default)")
+	clusterCachePeers := fs.Bool("cache-peers", false, "enable the shared peer cache tier: workers replicate cache entries to each other under a coordinator-pushed, epoch-fenced peer map")
+	clusterCacheReplicas := fs.Int("cache-replicas", 0, "shared-cache-tier replication factor (0 = 2)")
+	clusterCacheStats := fs.Bool("cache-stats", false, "spawned workers print unit-cache, function-memo and peer-tier summaries on drain")
 	clusterWorkers := fs.Int("cluster-workers", 3, "worker processes to spawn (ignored when -worker addresses are given)")
 	inflight := fs.Int("inflight", 0, "units dispatched concurrently per worker (0 = 2)")
 	heartbeat := fs.Duration("heartbeat", 0, "worker liveness probe interval (0 = 500ms)")
@@ -212,6 +229,8 @@ func cmdCluster(args []string) error {
 		JournalPath:       *journalPath,
 		Resume:            *resume,
 		GroupCommit:       *groupCommit,
+		CachePeers:        *clusterCachePeers,
+		CacheReplicas:     *clusterCacheReplicas,
 		Logf:              logf,
 	}
 	if *hedgeAfter <= 0 {
@@ -271,6 +290,12 @@ func cmdCluster(args []string) error {
 		}
 		if *checker != "" {
 			wargs = append(wargs, "-checker", *checker)
+		}
+		if *clusterCacheReplicas != 0 {
+			wargs = append(wargs, "-cache-replicas", strconv.Itoa(*clusterCacheReplicas))
+		}
+		if *clusterCacheStats {
+			wargs = append(wargs, "-cache-stats")
 		}
 		for _, dir := range includeDirs {
 			wargs = append(wargs, "-include-dir", dir)

@@ -97,15 +97,20 @@ commands:
             re-analyzed — and -cache-stats prints hit/miss/reuse counts)
   serve    [-addr host:port] [-cache-dir dir] [-cache-bytes n]
            [-incr-dir dir] [-incr-bytes n]
+           [-cache-peers host:port] [-cache-replicas n] [-cache-stats]
            [-workers n] [-analysis-workers n] [-timeout d] run the HTTP service
            (POST /v1/analyze, GET /v1/report/{key}, /healthz, /metrics;
-            SIGTERM drains in-flight requests and exits 0)
+            SIGTERM drains in-flight requests and exits 0; -cache-peers
+            joins a shared cache tier — misses are served by peer replicas,
+            verified end to end, degrading to local on any peer fault)
   cluster  [check flags] [-cluster-workers n] [-worker addr]
            [-journal file] [-resume] [-pathdb out.json]
+           [-cache-peers] [-cache-replicas n] [-cache-stats]
            [-status-addr host:port] file.c...      distribute check across
            worker processes with crash recovery; stdout and -pathdb output
            are byte-identical to a single-process check at any worker
-           count and under any crash schedule
+           count and under any crash schedule; -cache-peers makes worker
+           caches one replicated tier under a coordinator-pushed peer map
   worker   [-addr host:port] [serve flags]        run one cluster worker
            (prints "pallas: worker listening on ADDR" to stderr when bound)
   paths    -func name [-db out.json] file.c              print symbolic paths

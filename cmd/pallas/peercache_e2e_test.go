@@ -1,0 +1,399 @@
+package main
+
+// End-to-end acceptance for the shared cluster cache tier, against the real
+// binary: a mesh of worker processes forms one logical cache, and under
+// every peer-wire fault mode — severed fetches, severed replication, full
+// partition, served corruption, duplicated and dripped frames — a cluster
+// run's stdout and merged path database stay byte-identical to a
+// single-process `check`. The tier accelerates or it gets out of the way;
+// it never changes a byte. Plus the hinted-handoff proof: a peer SIGKILLed
+// through a round of writes receives them after restarting, without any
+// coordinator involvement.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"pallas/internal/rcache/peer"
+)
+
+// cacheWorker is one `pallas worker` process on a fixed port, meshed with
+// its fleet through static -cache-peers flags.
+type cacheWorker struct {
+	addr   string
+	cmd    *exec.Cmd
+	stderr *bytes.Buffer
+}
+
+func (w *cacheWorker) stop() {
+	if w.cmd.Process != nil {
+		w.cmd.Process.Kill()
+		w.cmd.Wait()
+	}
+}
+
+// startCacheWorker launches a worker on addr with the full mesh in its
+// static peer map and waits for /healthz.
+func startCacheWorker(t *testing.T, bin, addr string, mesh []string, env []string) *cacheWorker {
+	t.Helper()
+	args := []string{"worker", "-addr", addr}
+	for _, m := range mesh {
+		args = append(args, "-cache-peers", m)
+	}
+	cmd := exec.Command(bin, args...)
+	cmd.Env = append(os.Environ(), env...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	w := &cacheWorker{addr: addr, cmd: cmd, stderr: &stderr}
+	t.Cleanup(w.stop)
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			return w
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker %s never became healthy; stderr:\n%s", addr, stderr.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// startWorkerMesh reserves n ports, starts n workers all meshed together,
+// and returns them in port order.
+func startWorkerMesh(t *testing.T, bin string, n int, env []string) []*cacheWorker {
+	t.Helper()
+	mesh := make([]string, n)
+	for i := range mesh {
+		mesh[i] = freePort(t)
+	}
+	ws := make([]*cacheWorker, n)
+	for i, addr := range mesh {
+		ws[i] = startCacheWorker(t, bin, addr, mesh, env)
+	}
+	return ws
+}
+
+// peerStatsOf reads a worker's shared-tier counters from /healthz?verbose=1.
+func peerStatsOf(t *testing.T, addr string) peer.Stats {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/healthz?verbose=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hb struct {
+		PeerCache *peer.Stats `json:"peer_cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hb); err != nil {
+		t.Fatal(err)
+	}
+	if hb.PeerCache == nil {
+		t.Fatalf("worker %s reports no peer tier", addr)
+	}
+	return *hb.PeerCache
+}
+
+// clusterRunStats runs `cluster -worker addr` over files and returns stdout,
+// the merged pathdb bytes, and the coordinator's machine-readable stats.
+func clusterRunStats(t *testing.T, bin, workerAddr string, files []string) (string, []byte, struct{ CacheHits int64 }) {
+	t.Helper()
+	dir := t.TempDir()
+	db := filepath.Join(dir, "paths.json")
+	statsPath := filepath.Join(dir, "stats.json")
+	out, errOut, code := runPallas(t, bin, []string{"PALLAS_STATS_OUT=" + statsPath},
+		append([]string{"cluster", "-worker", workerAddr, "-pathdb", db}, files...)...)
+	if code != 1 { // every corpus unit carries a seeded warning
+		t.Fatalf("cluster run via %s exit = %d, want 1\nstderr:\n%s", workerAddr, code, errOut)
+	}
+	dbBytes, err := os.ReadFile(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct{ CacheHits int64 }
+	sb, err := os.ReadFile(statsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(sb, &st); err != nil {
+		t.Fatal(err)
+	}
+	return out, dbBytes, st
+}
+
+// TestClusterCachePeerChaosModes: for every peer-wire fault mode, analyze a
+// corpus through worker A (the cold run, populating A's cache and — when the
+// wire allows — replicating into B), then re-check through worker B (the
+// warm run, which can only be warm via the tier). Both runs must be
+// byte-identical to a single-process `check`, whatever the fault.
+func TestClusterCachePeerChaosModes(t *testing.T) {
+	bin := buildPallas(t)
+	dir := t.TempDir()
+	const nUnits = 8
+	files := writeCrashCorpus(t, dir, nUnits)
+
+	wantOut, _, wantCode := runCheck(t, bin, nil, append([]string{"-workers", "1"}, files...)...)
+	if wantCode != 1 {
+		t.Fatalf("reference check exit = %d, want 1", wantCode)
+	}
+
+	cases := []struct {
+		mode string
+		spec string // PALLAS_FAILPOINTS armed in both workers, "" for none
+		// check runs after the warm run with the cold worker (a), warm
+		// worker (b), and the warm run's coordinator cache-hit count.
+		check func(t *testing.T, a, b peer.Stats, warmHits int64)
+	}{
+		{mode: "control", spec: "", check: func(t *testing.T, a, b peer.Stats, warmHits int64) {
+			if a.Puts == 0 || a.PutBytes == 0 {
+				t.Errorf("cold run replicated nothing: %+v", a)
+			}
+			if warmHits == 0 {
+				t.Error("warm run on the replica hit nothing — replication never landed")
+			}
+		}},
+		// Fetch wire severed, replication intact: the warm worker was warmed
+		// by the cold run's replication, so a full get-side partition still
+		// re-checks at local-cache speed.
+		{mode: "fetch-severed", spec: "peer-get=drop", check: func(t *testing.T, a, b peer.Stats, warmHits int64) {
+			if warmHits == 0 {
+				t.Error("get-partitioned warm run should still hit its replicated local entries")
+			}
+		}},
+		// Replication severed: the warm worker's local cache is cold, so its
+		// hits can only come over the peer-get wire.
+		{mode: "replication-severed", spec: "peer-put=drop", check: func(t *testing.T, a, b peer.Stats, warmHits int64) {
+			if b.Hits == 0 {
+				t.Errorf("warm worker shows no peer hits — the re-check never used the tier: %+v", b)
+			}
+			if a.HandoffQueued == 0 {
+				t.Errorf("severed replication must queue hints: %+v", a)
+			}
+		}},
+		// Full partition: no replication, no fetches. The warm run simply
+		// re-analyzes — slower, never wrong, never hung.
+		{mode: "partition", spec: "peer-get=drop;peer-put=drop"},
+		// The answering worker serves rotted entries beneath a valid frame
+		// CRC; only the requester's content-sum check can catch it.
+		{mode: "serve-corrupt", spec: "peer-serve=corrupt;peer-put=drop", check: func(t *testing.T, a, b peer.Stats, warmHits int64) {
+			if b.RotRefusals == 0 {
+				t.Errorf("served corruption was never refused: %+v", b)
+			}
+			if b.Hits != 0 {
+				t.Errorf("a corrupted entry counted as a hit: %+v", b)
+			}
+		}},
+		// The requester's own frames are corrupted in flight: the peer
+		// answers 400, the requester degrades.
+		{mode: "get-corrupt", spec: "peer-get=corrupt"},
+		// Duplicate and slow-dripped response frames.
+		{mode: "serve-dup", spec: "peer-serve=dup;peer-put=drop"},
+		{mode: "serve-drip", spec: "peer-serve=drip:1ms;peer-put=drop"},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.mode, func(t *testing.T) {
+			var env []string
+			if tc.spec != "" {
+				env = []string{"PALLAS_FAILPOINTS=" + tc.spec}
+			}
+			ws := startWorkerMesh(t, bin, 2, env)
+			a, b := ws[0], ws[1]
+
+			coldOut, coldDB, _ := clusterRunStats(t, bin, a.addr, files)
+			if coldOut != wantOut {
+				t.Fatalf("[%s] cold stdout differs from check\n--- want ---\n%s\n--- got ---\n%s",
+					tc.mode, wantOut, coldOut)
+			}
+			warmOut, warmDB, warmStats := clusterRunStats(t, bin, b.addr, files)
+			if warmOut != wantOut {
+				t.Fatalf("[%s] warm stdout differs from check\n--- want ---\n%s\n--- got ---\n%s",
+					tc.mode, wantOut, warmOut)
+			}
+			if !bytes.Equal(coldDB, warmDB) {
+				t.Fatalf("[%s] merged path database differs between cold and warm runs", tc.mode)
+			}
+			if tc.check != nil {
+				tc.check(t, peerStatsOf(t, a.addr), peerStatsOf(t, b.addr), warmStats.CacheHits)
+			}
+			a.stop()
+			b.stop()
+		})
+	}
+}
+
+// TestClusterCachePeerHandoffAcrossSIGKILL: worker B is SIGKILLed before a
+// run, so every replicated write owed to it queues as a hint on A. B then
+// restarts on the same port, A's drain loop (behind its per-peer breaker
+// cooldown) delivers the queue, and a re-check through B is warm — entries
+// that traveled only through hinted handoff.
+func TestClusterCachePeerHandoffAcrossSIGKILL(t *testing.T) {
+	bin := buildPallas(t)
+	dir := t.TempDir()
+	const nUnits = 6
+	files := writeCrashCorpus(t, dir, nUnits)
+
+	wantOut, _, wantCode := runCheck(t, bin, nil, append([]string{"-workers", "1"}, files...)...)
+	if wantCode != 1 {
+		t.Fatalf("reference check exit = %d, want 1", wantCode)
+	}
+
+	ws := startWorkerMesh(t, bin, 2, nil)
+	a, b := ws[0], ws[1]
+	b.stop() // SIGKILL: no drain, no goodbye
+
+	coldOut, _, _ := clusterRunStats(t, bin, a.addr, files)
+	if coldOut != wantOut {
+		t.Fatalf("cold stdout differs from check\n--- want ---\n%s\n--- got ---\n%s", wantOut, coldOut)
+	}
+	if st := peerStatsOf(t, a.addr); st.HandoffQueued == 0 {
+		t.Fatalf("writes owed to the dead peer never queued: %+v", st)
+	}
+
+	// The peer returns on the same address; A's drain loop must deliver once
+	// its breaker cooldown lets a probe through.
+	b2 := startCacheWorker(t, bin, b.addr, []string{a.addr, b.addr}, nil)
+	deadline := time.Now().Add(45 * time.Second)
+	for {
+		if st := peerStatsOf(t, a.addr); st.HandoffDrained > 0 && st.HandoffPending == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("hints never drained to the restarted peer: %+v", peerStatsOf(t, a.addr))
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// The re-check through the restarted peer is warm purely via handoff.
+	warmOut, _, warmStats := clusterRunStats(t, bin, b2.addr, files)
+	if warmOut != wantOut {
+		t.Fatalf("warm stdout differs from check\n--- want ---\n%s\n--- got ---\n%s", wantOut, warmOut)
+	}
+	if warmStats.CacheHits == 0 {
+		t.Error("re-check on the handoff-restored peer hit nothing")
+	}
+}
+
+// sharedCacheBench is the BENCH_sharedcache.json schema: for each fleet
+// size, a cold run on one half of a 2n-worker mesh and a warm re-check on
+// the other half — every warm answer travels through the tier (replication
+// or peer fetch), so the speedup is the tier's, not the local cache's.
+type sharedCacheBench struct {
+	Units     int              `json:"units"`
+	StallMS   int              `json:"stall_ms"`
+	HostCPUs  int              `json:"host_cpus"`
+	Runs      []sharedCacheRun `json:"runs"`
+	Identical bool             `json:"identical_output"`
+}
+
+type sharedCacheRun struct {
+	Workers         int     `json:"workers"`
+	ColdSeconds     float64 `json:"cold_seconds"`
+	WarmSeconds     float64 `json:"warm_seconds"`
+	WarmSpeedup     float64 `json:"warm_speedup"`
+	PeerHits        int64   `json:"peer_hits"`
+	ReplicatedPuts  int64   `json:"replicated_puts"`
+	ReplicatedBytes int64   `json:"replicated_bytes"`
+}
+
+// TestSharedCacheBenchArtifact times a stalled corpus cold (fresh fleet
+// half) versus warm-via-peer (the other half of the same mesh) at 1, 2 and
+// 4 workers, and writes BENCH_sharedcache.json when PALLAS_BENCH_OUT_SHARED
+// is set. The injected 100ms stall puts a hard floor under every real
+// analysis, so a warm run being materially faster can only mean the tier
+// served the entries.
+func TestSharedCacheBenchArtifact(t *testing.T) {
+	out := os.Getenv("PALLAS_BENCH_OUT_SHARED")
+	if testing.Short() && out == "" {
+		t.Skip("short mode")
+	}
+	bin := buildPallas(t)
+	dir := t.TempDir()
+	const nUnits = 12
+	files := writeCrashCorpus(t, dir, nUnits)
+	env := []string{"PALLAS_FAILPOINTS=pre-parse=sleep:100ms"}
+
+	wantOut, _, wantCode := runCheck(t, bin, nil, append([]string{"-workers", "1"}, files...)...)
+	if wantCode != 1 {
+		t.Fatalf("reference check exit = %d, want 1", wantCode)
+	}
+
+	bench := sharedCacheBench{Units: nUnits, StallMS: 100, HostCPUs: runtime.NumCPU(), Identical: true}
+	for _, n := range []int{1, 2, 4} {
+		ws := startWorkerMesh(t, bin, 2*n, env)
+		coldAddrs, warmAddrs := ws[:n], ws[n:]
+
+		runHalf := func(half []*cacheWorker) (string, time.Duration) {
+			args := []string{"cluster"}
+			for _, w := range half {
+				args = append(args, "-worker", w.addr)
+			}
+			start := time.Now()
+			stdout, stderr, code := runPallas(t, bin, nil, append(args, files...)...)
+			if code != 1 {
+				t.Fatalf("%d-worker run exit = %d, want 1\nstderr:\n%s", len(half), code, stderr)
+			}
+			return stdout, time.Since(start)
+		}
+
+		coldOut, coldWall := runHalf(coldAddrs)
+		warmOut, warmWall := runHalf(warmAddrs)
+		if coldOut != wantOut || warmOut != wantOut {
+			bench.Identical = false
+			t.Errorf("%d-worker output diverged from check", n)
+		}
+
+		run := sharedCacheRun{
+			Workers:     n,
+			ColdSeconds: coldWall.Seconds(),
+			WarmSeconds: warmWall.Seconds(),
+			WarmSpeedup: float64(coldWall.Nanoseconds()) / float64(warmWall.Nanoseconds()),
+		}
+		for _, w := range warmAddrs {
+			st := peerStatsOf(t, w.addr)
+			run.PeerHits += st.Hits
+		}
+		for _, w := range ws {
+			st := peerStatsOf(t, w.addr)
+			run.ReplicatedPuts += st.Puts
+			run.ReplicatedBytes += st.PutBytes
+		}
+		bench.Runs = append(bench.Runs, run)
+		t.Logf("shared cache bench, %d worker(s): cold %.2fs, warm-via-peer %.2fs (%.2fx), %d peer hit(s), %d put(s) / %d bytes replicated",
+			n, run.ColdSeconds, run.WarmSeconds, run.WarmSpeedup, run.PeerHits, run.ReplicatedPuts, run.ReplicatedBytes)
+		if run.ReplicatedPuts == 0 {
+			t.Errorf("%d-worker mesh replicated nothing — the tier never engaged", n)
+		}
+		if n == 4 && warmWall >= coldWall {
+			t.Errorf("4-worker warm-via-peer re-check (%.2fs) not faster than cold (%.2fs) despite the %dms injected stall floor",
+				warmWall.Seconds(), coldWall.Seconds(), bench.StallMS)
+		}
+		for _, w := range ws {
+			w.stop()
+		}
+	}
+
+	if out == "" {
+		return
+	}
+	data, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "shared cache bench written to %s\n", out)
+}

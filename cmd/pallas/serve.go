@@ -5,6 +5,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -40,6 +41,14 @@ func cmdServe(args []string) error {
 	timeout := fs.Duration("timeout", 0, "per-request deadline covering admission wait and analysis; expiry sheds queued requests and degrades running ones (0 = none)")
 	keepGoing := fs.Bool("keep-going", false, "degrade instead of failing on malformed input (matches `check -keep-going`)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "maximum time to wait for in-flight requests on shutdown")
+	cacheReplicas := fs.Int("cache-replicas", 0, "shared-cache-tier replication factor (0 = 2)")
+	cacheStats := fs.Bool("cache-stats", false, "print unit-cache, function-memo and peer-tier summaries to stderr at exit")
+	var cachePeers []string
+	fs.Func("cache-peers", "peer cache endpoint host:port forming a static shared cache tier (repeatable; include or omit this server's own -addr, it is excluded from its own remote ops either way)",
+		func(addr string) error {
+			cachePeers = append(cachePeers, addr)
+			return nil
+		})
 	var includeDirs []string
 	fs.Func("include-dir", "serve #include files from this directory (repeatable; match `check` inputs' directories to share cache entries)",
 		func(dir string) error {
@@ -75,6 +84,9 @@ func cmdServe(args []string) error {
 		CacheDir:         *cacheDir,
 		BreakerThreshold: *breakerThreshold,
 		BreakerCooldown:  *breakerCooldown,
+		CachePeers:       cachePeers,
+		CacheReplicas:    *cacheReplicas,
+		CacheSelf:        *addr,
 	})
 	if err != nil {
 		return err
@@ -107,5 +119,33 @@ func cmdServe(args []string) error {
 	st := srv.Cache().Stats()
 	fmt.Fprintf(os.Stderr, "pallas: serve: drained cleanly (%d analyses, %d cache hits)\n",
 		st.Computes, st.Hits)
+	if *cacheStats {
+		printServerCacheStats(os.Stderr, srv)
+	}
+	srv.Close()
 	return nil
+}
+
+// printServerCacheStats renders the serve/worker -cache-stats exit dump: the
+// unit result cache, the function memo, and the shared peer tier, one line
+// each — the same numbers /healthz?verbose=1 reports, without scraping.
+func printServerCacheStats(w io.Writer, srv *server.Server) {
+	cs := srv.Cache().Stats()
+	fmt.Fprintf(w, "pallas: unit cache: %d hit(s) (%d mem, %d disk), %d miss(es), %d compute(s), %d disk-full prune(s)\n",
+		cs.Hits, cs.MemHits, cs.DiskHits, cs.Misses, cs.Computes, cs.DiskFullPrunes)
+	if is, ok := srv.IncrStats(); ok {
+		fmt.Fprintf(w, "pallas: func memo: %d hit(s), %d miss(es), %d invalidation(s); unit verdicts: %d hit(s), %d miss(es)\n",
+			is.FuncHits, is.FuncMisses, is.FuncInvalidations, is.UnitHits, is.UnitMisses)
+	} else {
+		fmt.Fprintln(w, "pallas: func memo: off (enable with -incr-dir)")
+	}
+	ps := srv.PeerTier().Stats()
+	if ps.Peers == 0 && ps.Epoch == 0 {
+		fmt.Fprintln(w, "pallas: peer cache: off (enable with -cache-peers or cluster mode)")
+		return
+	}
+	fmt.Fprintf(w, "pallas: peer cache: epoch %d, %d peer(s): %d hit(s), %d miss(es), %d rot refusal(s), %d read repair(s), %d timeout(s)\n",
+		ps.Epoch, ps.Peers, ps.Hits, ps.Misses, ps.RotRefusals, ps.Repairs, ps.Timeouts)
+	fmt.Fprintf(w, "pallas: peer cache: %d put(s) (%d bytes replicated); handoff %d queued, %d drained, %d dropped, %d pending; %d breaker trip(s), %d stale-epoch refusal(s)\n",
+		ps.Puts, ps.PutBytes, ps.HandoffQueued, ps.HandoffDrained, ps.HandoffDropped, ps.HandoffPending, ps.BreakerTrips, ps.StaleRefusals)
 }

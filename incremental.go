@@ -31,6 +31,10 @@ type IncrementalOptions struct {
 	// MaxBytes bounds the store — the in-memory LRU tier and the persistent
 	// directory alike. <= 0 means incr.DefaultMaxBytes.
 	MaxBytes int64
+	// Shared, when non-nil, rides the memo on the cluster's shared cache
+	// tier (internal/rcache/peer): local tiers first, fleet replicas
+	// second, so one edit re-checked on any worker warms them all.
+	Shared incr.SharedTier
 }
 
 // extractFingerprint renders only the configuration fields that determine
@@ -59,6 +63,7 @@ func (a *Analyzer) incrOpen() (*incr.Store, error) {
 		a.incrMemo, a.incrErr = incr.Open(incr.Options{
 			Dir:      a.cfg.Incremental.Dir,
 			MaxBytes: a.cfg.Incremental.MaxBytes,
+			Shared:   a.cfg.Incremental.Shared,
 		})
 	})
 	return a.incrMemo, a.incrErr

@@ -78,6 +78,13 @@ type Options struct {
 	// live workers while units are pending (covering supervisor restarts)
 	// before failing the run. Default 15s.
 	WorkerlessGrace time.Duration
+	// CachePeers enables the shared cache tier: every worker's serve engine
+	// doubles as a cache endpoint, and the coordinator distributes the
+	// epoch-fenced peer map to all live workers on each membership change.
+	CachePeers bool
+	// CacheReplicas is the tier's replication factor, forwarded in the peer
+	// map. <= 0 means the tier default.
+	CacheReplicas int
 	// Metrics receives the cluster instruments; nil means metrics.Default.
 	Metrics *metrics.Registry
 	// Logf, when non-nil, receives progress lines (evictions, requeues,
@@ -241,6 +248,7 @@ type Coordinator struct {
 	fatalErr  error
 	stats     Stats
 	epoch     int64 // lease epoch counter; monotonic across the run
+	peerEpoch int64 // shared-cache-tier map epoch; bumped per membership change
 	hedgesOut int   // outstanding hedge leases
 	latWin    [latWindowSize]float64
 	latN      int
@@ -373,10 +381,64 @@ func (c *Coordinator) AddWorker(addr string) {
 		w.queue = append(w.queue, t)
 	}
 	c.orphans = nil
+	c.pushPeerMapLocked()
 	if c.running {
 		c.startWorkerLocked(w)
 	}
 	c.cond.Broadcast()
+}
+
+// pushPeerMapLocked distributes a freshly fenced peer map to every live
+// worker after a membership change. Best-effort and asynchronous: a worker
+// that misses a push refuses nothing locally — it keeps serving under its
+// older epoch until the next push reaches it (or it is evicted), and
+// requesters holding the newer map still content-verify every byte they get
+// from it. A worker that rejoins after eviction gets the then-current epoch
+// with everyone else, which is what fences its zombie twin: any process
+// still running under the old epoch is refused by every peer.
+func (c *Coordinator) pushPeerMapLocked() {
+	if !c.opts.CachePeers || c.closed {
+		return
+	}
+	c.peerEpoch++
+	pm := PeerMap{Epoch: c.peerEpoch, Replicas: c.opts.CacheReplicas}
+	for _, addr := range sortedWorkerAddrs(c.workers) {
+		if w := c.workers[addr]; w != nil && w.live {
+			pm.Peers = append(pm.Peers, addr)
+		}
+	}
+	body, err := json.Marshal(pm)
+	if err != nil {
+		return
+	}
+	targets := append([]string(nil), pm.Peers...)
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		for _, addr := range targets {
+			c.postPeerMap(addr, body)
+		}
+	}()
+}
+
+// postPeerMap delivers one peer-map push; failures are logged, not acted on
+// (the next membership change re-pushes, and the tier is safe under a stale
+// map by construction).
+func (c *Coordinator) postPeerMap(addr string, body []byte) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		"http://"+addr+PeerMapPath, bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.logf("cluster: peer map push to %s: %v", addr, err)
+		return
+	}
+	resp.Body.Close()
 }
 
 // RemoveWorker evicts a worker (the supervisor calls it when a worker
@@ -1213,6 +1275,7 @@ func (c *Coordinator) evictLocked(w *workerState, reason error) {
 	c.stats.Evictions++
 	c.mEvictions.Inc()
 	c.gWorkersLive.Set(c.liveCountLocked())
+	c.pushPeerMapLocked()
 	requeued := 0
 	// Queued units first.
 	for _, t := range w.queue {

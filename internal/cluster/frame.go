@@ -43,7 +43,27 @@ const (
 	// outcome of one assignment (including failed analyses — transport
 	// errors are HTTP-level, not frames).
 	FrameResult = byte(0x02)
+	// FramePeerGet carries a PeerGetPayload: one peer asking another for a
+	// cache entry by key.
+	FramePeerGet = byte(0x03)
+	// FramePeerEntry carries a PeerEntryPayload: the answer to a peer get —
+	// found-or-not plus the entry bytes.
+	FramePeerEntry = byte(0x04)
+	// FramePeerPut carries a PeerPutPayload: a replicated (or read-repair,
+	// or hinted-handoff) cache write from one peer to another.
+	FramePeerPut = byte(0x05)
 )
+
+// validFrameType reports whether typ names a known frame type. Both encode
+// and decode enforce it, so an unknown type byte can never be produced or
+// accepted — a corrupt type byte fails before the length is trusted.
+func validFrameType(typ byte) bool {
+	switch typ {
+	case FrameAssign, FrameResult, FramePeerGet, FramePeerEntry, FramePeerPut:
+		return true
+	}
+	return false
+}
 
 // MaxFramePayload bounds a frame's payload (64 MiB): large enough for any
 // merged translation unit's report plus path database, small enough that a
@@ -76,7 +96,7 @@ const frameHeaderLen = 13
 
 // EncodeFrame frames v (JSON-marshaled) as one wire frame.
 func EncodeFrame(typ byte, v any) ([]byte, error) {
-	if typ != FrameAssign && typ != FrameResult {
+	if !validFrameType(typ) {
 		return nil, fmt.Errorf("%w: 0x%02x", ErrBadType, typ)
 	}
 	payload, err := json.Marshal(v)
@@ -121,7 +141,7 @@ func ReadFrame(r io.Reader) (byte, []byte, error) {
 		return 0, nil, ErrBadMagic
 	}
 	typ := hdr[4]
-	if typ != FrameAssign && typ != FrameResult {
+	if !validFrameType(typ) {
 		return 0, nil, fmt.Errorf("%w: 0x%02x", ErrBadType, typ)
 	}
 	n := binary.BigEndian.Uint32(hdr[5:9])
@@ -220,6 +240,75 @@ type ResultPayload struct {
 	// cache, serialization, transport, coordinator merge. Empty means the
 	// worker could not attest (old cache entry), not a failure.
 	Sum string `json:"sum,omitempty"`
+}
+
+// PeerGetPayload is a FramePeerGet body: one peer asking another for a
+// cache entry.
+type PeerGetPayload struct {
+	// Key is the cache key (rcache content key or incr memo key).
+	Key string `json:"key"`
+	// Space names which cache the key lives in: "unit" (the rcache result
+	// cache) or "incr" (the function memo). Empty means "unit".
+	Space string `json:"space,omitempty"`
+	// Epoch is the requester's ring epoch. A receiver whose epoch is newer
+	// refuses the request (HTTP 409), fencing a zombie peer that is routing
+	// on a stale ring; a receiver whose epoch is older adopts nothing — it
+	// answers anyway, since serving a cache read on a slightly stale ring is
+	// harmless (content-addressed keys cannot alias).
+	Epoch int64 `json:"epoch,omitempty"`
+	// From is the requesting peer's advertised cache address, for logging.
+	From string `json:"from,omitempty"`
+}
+
+// PeerEntryPayload is a FramePeerEntry body: the answer to a peer get.
+type PeerEntryPayload struct {
+	Key   string `json:"key"`
+	Found bool   `json:"found"`
+	// Entry is the marshaled rcache entry JSON (the persistent-tier disk
+	// format), present when Found. Its embedded Sum is re-verified by the
+	// requester against the entry content — the frame CRC covers this hop,
+	// the content sum covers the entry's whole life.
+	Entry json.RawMessage `json:"entry,omitempty"`
+	// Epoch is the responder's ring epoch, so a requester can learn it is
+	// stale and stop trusting its routing until the next peer-map push.
+	Epoch int64 `json:"epoch,omitempty"`
+}
+
+// PeerPutPayload is a FramePeerPut body: a replicated cache write.
+type PeerPutPayload struct {
+	Key string `json:"key"`
+	// Space names which cache the key lives in ("unit" or "incr"; empty
+	// means "unit").
+	Space string `json:"space,omitempty"`
+	// Entry is the marshaled rcache entry JSON, same format as
+	// PeerEntryPayload.Entry.
+	Entry json.RawMessage `json:"entry"`
+	// Epoch is the sender's ring epoch; stale senders are refused (409) so a
+	// zombie peer cannot seed rotted or misrouted entries after eviction.
+	Epoch int64 `json:"epoch,omitempty"`
+	// From is the sending peer's advertised cache address, for logging.
+	From string `json:"from,omitempty"`
+}
+
+// PeerMapPath is the worker endpoint that accepts coordinator PeerMap
+// pushes (plain JSON over POST). Defined here rather than in rcache/peer so
+// the coordinator can address it without importing the tier.
+const PeerMapPath = "/v1/cluster/cachemap"
+
+// PeerMap is the coordinator-distributed routing state of the shared cache
+// tier: the set of cache endpoints and the replication factor, fenced by a
+// monotonic epoch. Workers replace their tier's routing atomically on each
+// push and refuse pushes whose epoch is not newer than what they hold.
+type PeerMap struct {
+	// Epoch is bumped by the coordinator on every membership change. A
+	// rejoining zombie worker holds an old epoch; its peer ops carry that
+	// epoch and are refused by peers holding a newer map.
+	Epoch int64 `json:"epoch"`
+	// Peers are the cache endpoints (host:port of each worker's serve
+	// engine), sorted for deterministic ring construction.
+	Peers []string `json:"peers"`
+	// Replicas is the replication factor (how many owners each key has).
+	Replicas int `json:"replicas"`
 }
 
 // PongPayload is the worker's heartbeat answer (plain JSON over GET — the

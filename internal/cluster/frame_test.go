@@ -144,3 +144,42 @@ func FuzzClusterFrame(f *testing.F) {
 		}
 	})
 }
+
+func TestPeerFrameRoundTrips(t *testing.T) {
+	get := PeerGetPayload{Key: "k1", Space: "unit", Epoch: 7, From: "127.0.0.1:1"}
+	var get2 PeerGetPayload
+	if err := DecodeFrame(bytes.NewReader(mustEncode(t, FramePeerGet, get)), FramePeerGet, &get2); err != nil {
+		t.Fatal(err)
+	}
+	if get2 != get {
+		t.Fatalf("PeerGet round trip: got %+v, want %+v", get2, get)
+	}
+
+	ent := PeerEntryPayload{Key: "k1", Found: true, Entry: []byte(`{"key":"k1"}`), Epoch: 7}
+	var ent2 PeerEntryPayload
+	if err := DecodeFrame(bytes.NewReader(mustEncode(t, FramePeerEntry, ent)), FramePeerEntry, &ent2); err != nil {
+		t.Fatal(err)
+	}
+	if ent2.Key != ent.Key || !ent2.Found || string(ent2.Entry) != string(ent.Entry) || ent2.Epoch != 7 {
+		t.Fatalf("PeerEntry round trip: got %+v", ent2)
+	}
+
+	put := PeerPutPayload{Key: "k1", Space: "incr", Entry: []byte(`{"key":"k1"}`), Epoch: 9, From: "127.0.0.1:2"}
+	var put2 PeerPutPayload
+	if err := DecodeFrame(bytes.NewReader(mustEncode(t, FramePeerPut, put)), FramePeerPut, &put2); err != nil {
+		t.Fatal(err)
+	}
+	if put2.Key != put.Key || put2.Space != put.Space || string(put2.Entry) != string(put.Entry) || put2.Epoch != 9 {
+		t.Fatalf("PeerPut round trip: got %+v", put2)
+	}
+}
+
+func TestPeerFrameTypesAreDistinct(t *testing.T) {
+	// A peer-get frame must not decode as a peer-put (and so on): the type
+	// byte, not the payload shape, is the authority.
+	buf := mustEncode(t, FramePeerGet, PeerGetPayload{Key: "k"})
+	var put PeerPutPayload
+	if err := DecodeFrame(bytes.NewReader(buf), FramePeerPut, &put); !errors.Is(err, ErrBadType) {
+		t.Fatalf("cross-type decode = %v, want ErrBadType", err)
+	}
+}

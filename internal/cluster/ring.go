@@ -93,6 +93,39 @@ func (r *Ring) Owner(key string) string {
 	return r.points[i].member
 }
 
+// Owners returns the first n distinct members encountered walking the ring
+// clockwise from key's point: the key's replica set, in preference order.
+// The first element is Owner(key); successors are the natural re-home
+// targets if it fails, which is what makes the set stable under membership
+// churn. Fewer than n members on the ring returns them all.
+func (r *Ring) Owners(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for range r.points {
+		if i == len(r.points) {
+			i = 0
+		}
+		m := r.points[i].member
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+			if len(out) == n {
+				break
+			}
+		}
+		i++
+	}
+	return out
+}
+
 // Members returns the current member set (sorted, for deterministic
 // reporting).
 func (r *Ring) Members() []string {

@@ -74,3 +74,58 @@ func TestRingEmptyAndReAdd(t *testing.T) {
 		t.Fatal("ring not empty after removal")
 	}
 }
+
+func TestRingOwnersPrefixAndDistinct(t *testing.T) {
+	r := NewRing("w1", "w2", "w3", "w4")
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("unit-%d", i)
+		owners := r.Owners(key, 2)
+		if len(owners) != 2 {
+			t.Fatalf("Owners(%s, 2) = %v, want 2 members", key, owners)
+		}
+		if owners[0] != r.Owner(key) {
+			t.Fatalf("Owners(%s)[0] = %s, want primary %s", key, owners[0], r.Owner(key))
+		}
+		if owners[0] == owners[1] {
+			t.Fatalf("Owners(%s) repeats a member: %v", key, owners)
+		}
+	}
+}
+
+func TestRingOwnersClampsAndEmpty(t *testing.T) {
+	if got := NewRing().Owners("x", 2); got != nil {
+		t.Fatalf("empty ring Owners = %v, want nil", got)
+	}
+	r := NewRing("w1", "w2")
+	if got := r.Owners("x", 0); got != nil {
+		t.Fatalf("Owners(n=0) = %v, want nil", got)
+	}
+	got := r.Owners("x", 5)
+	if len(got) != 2 || got[0] == got[1] {
+		t.Fatalf("Owners(n>members) = %v, want both members once", got)
+	}
+}
+
+// TestRingOwnersStableUnderUnrelatedChurn: the replica set of a key only
+// changes when one of its own owners joins or leaves — the property hinted
+// handoff and warm re-checks rely on.
+func TestRingOwnersStableUnderUnrelatedChurn(t *testing.T) {
+	r := NewRing("w1", "w2", "w3", "w4", "w5")
+	type pair [2]string
+	before := map[string]pair{}
+	for i := 0; i < 300; i++ {
+		key := fmt.Sprintf("unit-%d", i)
+		o := r.Owners(key, 2)
+		before[key] = pair{o[0], o[1]}
+	}
+	r.Remove("w5")
+	for key, was := range before {
+		if was[0] == "w5" || was[1] == "w5" {
+			continue // re-homed by design
+		}
+		o := r.Owners(key, 2)
+		if o[0] != was[0] {
+			t.Fatalf("%s primary moved %s -> %s though neither owner was removed", key, was[0], o[0])
+		}
+	}
+}

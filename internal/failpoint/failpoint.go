@@ -16,7 +16,8 @@
 //	term   = point "=" action [ "@" count ] [ "/" match ]
 //	point  = "pre-parse" | "pre-extract" | "extract-func" | "pre-save" |
 //	         "mid-save" | "cache-load" | "cache-store" | "coord-send" |
-//	         "worker-send" | "worker-ping" | "result-corrupt"
+//	         "worker-send" | "worker-ping" | "result-corrupt" |
+//	         "peer-get" | "peer-put" | "peer-serve"
 //	action = "error" | "panic" | "kill" | "sleep:" duration |
 //	         "drop" | "corrupt" | "dup" | "drip:" duration
 //
@@ -89,6 +90,21 @@ const (
 	// frame CRC cannot catch (the frame is computed over the mangled bytes)
 	// — only the end-to-end content checksum detects it.
 	ResultCorrupt = "result-corrupt"
+	// PeerGet fires on the shared cache tier as a peer fetch is issued (the
+	// hit's unit argument is the target peer address). Queried through Net:
+	// drop severs the fetch, sleep stalls it against the per-op deadline,
+	// corrupt mangles the returned frame — every mode must degrade the read
+	// to a local miss, never fail the analysis.
+	PeerGet = "peer-get"
+	// PeerPut fires on the shared cache tier as a replicated write is issued
+	// (the hit's unit argument is the target peer address). Queried through
+	// Net; a dropped put must queue a hinted handoff, not lose the entry.
+	PeerPut = "peer-put"
+	// PeerServe fires on the worker answering a peer cache request, before
+	// the response frame is written (the hit's unit argument is the cache
+	// key). Queried through Net: corrupt mangles the outgoing entry frame so
+	// the requester's content-sum verification must catch it.
+	PeerServe = "peer-serve"
 )
 
 // EnvVar is the environment variable ArmFromEnv reads.
@@ -179,7 +195,7 @@ func parseTerm(term string) (*point, error) {
 	}
 	switch name {
 	case PreParse, PreExtract, ExtractFunc, PreSave, MidSave, CacheLoad, CacheStore,
-		CoordSend, WorkerSend, WorkerPing, ResultCorrupt:
+		CoordSend, WorkerSend, WorkerPing, ResultCorrupt, PeerGet, PeerPut, PeerServe:
 	default:
 		return nil, fmt.Errorf("failpoint: unknown point %q", name)
 	}

@@ -54,6 +54,24 @@ type UnitRecord struct {
 	PathDB json.RawMessage `json:"pathdb"`
 }
 
+// SharedTier is the cluster-wide cache tier the memo can ride on (the peer
+// tier, internal/rcache/peer — named abstractly here to avoid an import
+// cycle through the analyzer). Register attaches the memo's own rcache as
+// the local backing store of the named space; Get and Put then consult the
+// local tiers first and the fleet's replicas second, so a function memoized
+// on any worker warms every worker. The tier's contract matches the memo's:
+// remote failures degrade to local, never error an analysis.
+type SharedTier interface {
+	Register(space string, local *rcache.Cache)
+	Get(space, key string) (*rcache.Entry, bool)
+	Put(space string, e *rcache.Entry) error
+}
+
+// sharedSpace is the key space the memo occupies on the shared tier
+// (peer.SpaceIncr; keys are fingerprint hashes, disjoint from unit-cache
+// content hashes by construction).
+const sharedSpace = "incr"
+
 // Options configures Open.
 type Options struct {
 	// Dir, when non-empty, persists the memo across processes at this
@@ -67,6 +85,12 @@ type Options struct {
 	// Registry receives the pallas_incr_* instruments; nil means
 	// metrics.Default.
 	Registry *metrics.Registry
+	// Shared, when non-nil, routes memo reads and writes through the
+	// cluster's shared cache tier: the store's own tiers stay the local
+	// layer (registered as the tier's "incr" space), with remote replicas
+	// behind them. Function-memo keys exclude the unit name, so one edit
+	// re-checked on any worker warms the whole fleet.
+	Shared SharedTier
 }
 
 // Stats is a point-in-time snapshot of memo activity.
@@ -91,6 +115,7 @@ type Stats struct {
 // size-triggered prune that bounds the persistent directory.
 type Store struct {
 	cache    *rcache.Cache
+	shared   SharedTier // nil: local tiers only
 	dir      string
 	maxBytes int64
 
@@ -126,6 +151,7 @@ func Open(o Options) (*Store, error) {
 	}
 	s := &Store{
 		cache:    c,
+		shared:   o.Shared,
 		dir:      o.Dir,
 		maxBytes: o.MaxBytes,
 		lastFP:   map[string]string{},
@@ -137,10 +163,33 @@ func Open(o Options) (*Store, error) {
 		mUnitMisses: reg.Counter(metrics.MetricIncrUnitMisses, "whole-unit verdict lookups that missed"),
 		mRatio:      reg.Gauge(metrics.MetricIncrReuseRatio, "memo reuse ratio x1000 (hits / lookups)"),
 	}
+	if s.shared != nil {
+		s.shared.Register(sharedSpace, c)
+	}
 	// A pre-existing directory may already exceed the bound (a previous run
 	// with a larger budget); trim it before serving.
 	s.prune()
 	return s, nil
+}
+
+// get reads one memo entry: local tiers first, then — when the store rides
+// the shared tier — the key's remote replicas.
+func (s *Store) get(key string) (*rcache.Entry, bool) {
+	if s.shared != nil {
+		return s.shared.Get(sharedSpace, key)
+	}
+	return s.cache.Get(key)
+}
+
+// put writes one memo entry locally and, when the store rides the shared
+// tier, replicates it to the key's owners. Failures are absorbed either
+// way — a memo store must never fail an analysis.
+func (s *Store) put(e *rcache.Entry) {
+	if s.shared != nil {
+		_ = s.shared.Put(sharedSpace, e)
+		return
+	}
+	_ = s.cache.Put(e)
 }
 
 // GetFunc returns the memoized extraction stored under key, or nil on a
@@ -156,7 +205,7 @@ func (s *Store) GetFunc(key, unit, fn, fingerprint string) *paths.FuncPaths {
 }
 
 func (s *Store) loadFunc(key, fn, fingerprint string) *FuncRecord {
-	e, ok := s.cache.Get(key)
+	e, ok := s.get(key)
 	if !ok {
 		return nil
 	}
@@ -186,7 +235,7 @@ func (s *Store) PutFunc(key, unit, fn, fingerprint string, fp *paths.FuncPaths) 
 	if err != nil {
 		return
 	}
-	_ = s.cache.Put(&rcache.Entry{
+	s.put(&rcache.Entry{
 		Key:    key,
 		Unit:   "incr-func:" + unit + "/" + fn,
 		Report: b,
@@ -210,7 +259,7 @@ func (s *Store) GetUnit(key, unit, fingerprint string) *UnitRecord {
 }
 
 func (s *Store) loadUnit(key, unit, fingerprint string) *UnitRecord {
-	e, ok := s.cache.Get(key)
+	e, ok := s.get(key)
 	if !ok {
 		return nil
 	}
@@ -237,7 +286,7 @@ func (s *Store) PutUnit(key string, rec *UnitRecord) {
 	if err != nil {
 		return
 	}
-	_ = s.cache.Put(&rcache.Entry{
+	s.put(&rcache.Entry{
 		Key:    key,
 		Unit:   "incr-unit:" + rec.Unit,
 		Report: b,

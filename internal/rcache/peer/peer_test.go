@@ -1,0 +1,449 @@
+package peer
+
+// Tier semantics under a live (httptest-backed) wire: routing, end-to-end
+// verification, read repair, hinted handoff, epoch fencing, and breaker
+// isolation. Each "node" is a real Tier serving the real frame protocol, so
+// these tests cover the same code paths the server handlers drive.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pallas/internal/cluster"
+	"pallas/internal/metrics"
+	"pallas/internal/rcache"
+)
+
+// node is one tier plus the HTTP endpoints a real worker would host for it.
+type node struct {
+	tier  *Tier
+	cache *rcache.Cache
+	addr  string
+	srv   *httptest.Server
+}
+
+// serveTier exposes a tier's ServeGet/ServePut over the real frame wire —
+// a minimal stand-in for internal/server's peercache handlers.
+func serveTier(t *Tier) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(GetPath, func(w http.ResponseWriter, r *http.Request) {
+		var get cluster.PeerGetPayload
+		if err := cluster.DecodeFrame(r.Body, cluster.FramePeerGet, &get); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		entry, found, stale := t.ServeGet(get.Space, get.Key, get.Epoch)
+		if stale {
+			http.Error(w, "stale epoch", http.StatusConflict)
+			return
+		}
+		cluster.WriteFrame(w, cluster.FramePeerEntry, cluster.PeerEntryPayload{
+			Key: get.Key, Found: found, Entry: entry, Epoch: t.Epoch(),
+		})
+	})
+	mux.HandleFunc(PutPath, func(w http.ResponseWriter, r *http.Request) {
+		var put cluster.PeerPutPayload
+		if err := cluster.DecodeFrame(r.Body, cluster.FramePeerPut, &put); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		stale, err := t.ServePut(put.Space, put.Key, put.Entry, put.Epoch)
+		if stale {
+			http.Error(w, "stale epoch", http.StatusConflict)
+			return
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	return mux
+}
+
+func newNode(t *testing.T, opts Options) *node {
+	t.Helper()
+	c, err := rcache.Open(rcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Registry == nil {
+		opts.Registry = metrics.NewRegistry()
+	}
+	if opts.DrainInterval == 0 {
+		opts.DrainInterval = time.Hour // tests drain explicitly via DrainOnce
+	}
+	tier := New(c, opts)
+	srv := httptest.NewServer(serveTier(tier))
+	addr := strings.TrimPrefix(srv.URL, "http://")
+	tier.SetSelf(addr)
+	t.Cleanup(func() { srv.Close(); tier.Close() })
+	return &node{tier: tier, cache: c, addr: addr, srv: srv}
+}
+
+// mesh updates every node with one map over all the nodes' addresses.
+func mesh(epoch int64, replicas int, nodes ...*node) {
+	addrs := make([]string, len(nodes))
+	for i, n := range nodes {
+		addrs[i] = n.addr
+	}
+	for _, n := range nodes {
+		n.tier.Update(cluster.PeerMap{Epoch: epoch, Peers: addrs, Replicas: replicas})
+	}
+}
+
+func mkEntry(key, report string) *rcache.Entry {
+	e := &rcache.Entry{Key: key, Unit: key[:8] + ".c", Report: []byte(report), Warnings: 1}
+	e.Sum = rcache.ContentSum(e.Report, e.Paths)
+	return e
+}
+
+func key64(seed string) string { return (seed + strings.Repeat("0", 64))[:64] }
+
+// keyWithOwners searches for a key whose remote owner set, from viewer's
+// perspective, is exactly want (in ring order).
+func keyWithOwners(t *testing.T, viewer *node, want ...string) string {
+	t.Helper()
+	for i := 0; i < 100000; i++ {
+		k := key64(fmt.Sprintf("%x", i))
+		owners, _ := viewer.tier.owners(k)
+		if len(owners) != len(want) {
+			continue
+		}
+		match := true
+		for j := range want {
+			if owners[j] != want[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return k
+		}
+	}
+	t.Fatalf("no key found with owners %v", want)
+	return ""
+}
+
+func TestInertTierDegradesToLocal(t *testing.T) {
+	n := newNode(t, Options{})
+	if n.tier.Enabled() {
+		t.Fatal("tier with no peers reports enabled")
+	}
+	k := key64("aa")
+	if _, ok := n.tier.Get(SpaceUnit, k); ok {
+		t.Fatal("inert tier invented an entry")
+	}
+	e := mkEntry(k, `{"w":1}`)
+	if err := n.tier.Put(SpaceUnit, e); err != nil {
+		t.Fatalf("inert put: %v", err)
+	}
+	if got, ok := n.tier.Get(SpaceUnit, k); !ok || got.Key != k {
+		t.Fatal("local round trip through inert tier failed")
+	}
+	if st := n.tier.Stats(); st.Puts != 0 || st.Hits != 0 {
+		t.Fatalf("inert tier counted remote activity: %+v", st)
+	}
+}
+
+func TestRemoteHitVerifiedAndPromoted(t *testing.T) {
+	a := newNode(t, Options{})
+	b := newNode(t, Options{})
+	mesh(1, 2, a, b)
+
+	k := key64("ab")
+	e := mkEntry(k, `{"warnings":["w"]}`)
+	if err := a.cache.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := b.tier.Get(SpaceUnit, k)
+	if !ok || string(got.Report) != string(e.Report) || got.Sum != e.Sum {
+		t.Fatalf("remote hit: ok=%v entry=%+v", ok, got)
+	}
+	if st := b.tier.Stats(); st.Hits != 1 || st.RotRefusals != 0 {
+		t.Fatalf("stats after verified hit: %+v", st)
+	}
+	// Promoted: a second Get is served locally, no new remote hit.
+	if _, ok := b.tier.Get(SpaceUnit, k); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if st := b.tier.Stats(); st.Hits != 1 {
+		t.Fatalf("second get went remote: %+v", st)
+	}
+}
+
+func TestRottedEntryRefusedAsMiss(t *testing.T) {
+	a := newNode(t, Options{})
+	b := newNode(t, Options{})
+	mesh(1, 2, a, b)
+
+	k := key64("cd")
+	rot := mkEntry(k, `{"warnings":["w"]}`)
+	rot.Sum = "deadbeef" // sum no longer matches the content
+	if err := a.cache.Put(rot); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.tier.Get(SpaceUnit, k); ok {
+		t.Fatal("rotted remote entry was accepted")
+	}
+	st := b.tier.Stats()
+	if st.RotRefusals != 1 || st.Hits != 0 || st.Misses != 1 {
+		t.Fatalf("rot must count refusal+miss, got %+v", st)
+	}
+}
+
+func TestReplicationAndReadRepair(t *testing.T) {
+	a := newNode(t, Options{})
+	b := newNode(t, Options{})
+	c := newNode(t, Options{})
+	mesh(1, 2, a, b, c)
+
+	// A key whose owners from c's view are [a, b]: a misses, b will hit, and
+	// the hit must repair a.
+	k := keyWithOwners(t, c, a.addr, b.addr)
+	e := mkEntry(k, `{"warnings":[]}`)
+	if err := b.cache.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.tier.Get(SpaceUnit, k); !ok {
+		t.Fatal("second replica should have answered")
+	}
+	st := c.tier.Stats()
+	if st.Hits != 1 || st.Repairs != 1 {
+		t.Fatalf("want 1 hit + 1 repair, got %+v", st)
+	}
+	if _, ok := a.cache.Get(k); !ok {
+		t.Fatal("read repair did not restore the first replica")
+	}
+
+	// Put replicates to both remote owners (opposite ring order, so it is a
+	// different key than the read-repair one).
+	k2 := keyWithOwners(t, c, b.addr, a.addr)
+	e2 := mkEntry(k2, `{"warnings":["x"]}`)
+	if err := c.tier.Put(SpaceUnit, e2); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.cache.Get(k2); !ok {
+		t.Fatal("replicated put missing on first owner")
+	}
+	if _, ok := b.cache.Get(k2); !ok {
+		t.Fatal("replicated put missing on second owner")
+	}
+}
+
+func TestEpochFencing(t *testing.T) {
+	n := newNode(t, Options{})
+	if !n.tier.Update(cluster.PeerMap{Epoch: 5, Peers: []string{n.addr, "127.0.0.1:1"}, Replicas: 2}) {
+		t.Fatal("fresh epoch refused")
+	}
+	if n.tier.Update(cluster.PeerMap{Epoch: 5, Peers: []string{n.addr}}) {
+		t.Fatal("equal epoch applied")
+	}
+	if n.tier.Update(cluster.PeerMap{Epoch: 4, Peers: []string{n.addr}}) {
+		t.Fatal("older epoch applied")
+	}
+	if n.tier.Epoch() != 5 {
+		t.Fatalf("epoch = %d, want 5", n.tier.Epoch())
+	}
+
+	// Serve side: a sender with an older epoch is refused (zombie fencing);
+	// a newer one is served.
+	if _, _, stale := n.tier.ServeGet(SpaceUnit, key64("aa"), 4); !stale {
+		t.Fatal("older sender epoch not refused")
+	}
+	if _, _, stale := n.tier.ServeGet(SpaceUnit, key64("aa"), 6); stale {
+		t.Fatal("newer sender epoch refused")
+	}
+	if stale, _ := n.tier.ServePut(SpaceUnit, key64("aa"), []byte(`{}`), 3); !stale {
+		t.Fatal("older sender put not refused")
+	}
+	if st := n.tier.Stats(); st.StaleRefusals != 2 {
+		t.Fatalf("StaleRefusals = %d, want 2", st.StaleRefusals)
+	}
+}
+
+func TestServePutRefusesRotAndSumless(t *testing.T) {
+	n := newNode(t, Options{})
+	k := key64("ee")
+
+	rot := mkEntry(k, `{"warnings":[]}`)
+	rot.Sum = "feedface"
+	if _, err := n.tier.ServePut(SpaceUnit, k, mustJSON(t, rot), 0); err == nil {
+		t.Fatal("rotted replicated write accepted")
+	}
+	sumless := &rcache.Entry{Key: k, Report: []byte(`{"warnings":[]}`)}
+	if _, err := n.tier.ServePut(SpaceUnit, k, mustJSON(t, sumless), 0); err == nil {
+		t.Fatal("sumless replicated write accepted (replication wire always carries sums)")
+	}
+	if _, ok := n.cache.Get(k); ok {
+		t.Fatal("refused write reached the local cache")
+	}
+	good := mkEntry(k, `{"warnings":[]}`)
+	if _, err := n.tier.ServePut(SpaceUnit, k, mustJSON(t, good), 0); err != nil {
+		t.Fatalf("valid replicated write refused: %v", err)
+	}
+	if _, ok := n.cache.Get(k); !ok {
+		t.Fatal("valid write missing from local cache")
+	}
+	if st := n.tier.Stats(); st.RotRefusals != 2 {
+		t.Fatalf("RotRefusals = %d, want 2", st.RotRefusals)
+	}
+}
+
+func TestHintedHandoffDrainsWhenPeerReturns(t *testing.T) {
+	// Reserve an address for the peer, then shut it down before any write.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+
+	writer := newNode(t, Options{BreakerThreshold: -1})
+	peerCache, err := rcache.Open(rcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peerTier := New(peerCache, Options{Registry: metrics.NewRegistry(), DrainInterval: time.Hour})
+	defer peerTier.Close()
+	for _, tr := range []*Tier{writer.tier, peerTier} {
+		tr.Update(cluster.PeerMap{Epoch: 1, Peers: []string{writer.addr, deadAddr}, Replicas: 2})
+	}
+
+	k := key64("ba")
+	e := mkEntry(k, `{"warnings":["h"]}`)
+	writer.tier.Put(SpaceUnit, e)
+	st := writer.tier.Stats()
+	if st.HandoffQueued != 1 || st.HandoffPending != 1 {
+		t.Fatalf("write to dead peer must queue a hint, got %+v", st)
+	}
+
+	// Coalesce: a newer write of the same key replaces the queued hint.
+	writer.tier.Put(SpaceUnit, mkEntry(k, `{"warnings":["h2"]}`))
+	if st := writer.tier.Stats(); st.HandoffQueued != 1 || st.HandoffPending != 1 {
+		t.Fatalf("same-key hint must coalesce, got %+v", st)
+	}
+
+	// Peer returns on the reserved address; a drain pass delivers the hint.
+	ln2, err := net.Listen("tcp", deadAddr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", deadAddr, err)
+	}
+	revived := &http.Server{Handler: serveTier(peerTier)}
+	go revived.Serve(ln2)
+	defer revived.Close()
+	peerTier.SetSelf(deadAddr)
+
+	if n := writer.tier.DrainOnce(); n != 1 {
+		t.Fatalf("DrainOnce delivered %d, want 1", n)
+	}
+	got, ok := peerCache.Get(k)
+	if !ok || string(got.Report) != `{"warnings":["h2"]}` {
+		t.Fatalf("drained hint must carry the latest write, got ok=%v %+v", ok, got)
+	}
+	st = writer.tier.Stats()
+	if st.HandoffDrained != 1 || st.HandoffPending != 0 {
+		t.Fatalf("after drain: %+v", st)
+	}
+}
+
+func TestHandoffByteBoundDropsOldest(t *testing.T) {
+	n := newNode(t, Options{BreakerThreshold: -1, HandoffMaxBytes: 600})
+	n.tier.Update(cluster.PeerMap{Epoch: 1, Peers: []string{n.addr, "127.0.0.1:1"}, Replicas: 2})
+	for i := 0; i < 10; i++ {
+		n.tier.ReplicateRemote(SpaceUnit, mkEntry(key64(fmt.Sprintf("%02x", i)), `{"warnings":["padpadpadpad"]}`))
+	}
+	st := n.tier.Stats()
+	if st.HandoffDropped == 0 {
+		t.Fatalf("byte bound never dropped: %+v", st)
+	}
+	if st.HandoffBytes > 600 {
+		t.Fatalf("HandoffBytes %d exceeds bound", st.HandoffBytes)
+	}
+	if st.HandoffPending == 0 {
+		t.Fatal("bound must keep the newest hints, not empty the queue")
+	}
+}
+
+func TestBreakerSkipsDeadPeerAfterTrips(t *testing.T) {
+	n := newNode(t, Options{BreakerThreshold: 2, BreakerCooldown: time.Hour, OpTimeout: 50 * time.Millisecond})
+	n.tier.Update(cluster.PeerMap{Epoch: 1, Peers: []string{n.addr, "127.0.0.1:1"}, Replicas: 2})
+
+	k := key64("dd")
+	for i := 0; i < 4; i++ {
+		n.tier.Get(SpaceUnit, k)
+	}
+	st := n.tier.Stats()
+	if st.BreakerTrips == 0 {
+		t.Fatalf("dead peer never tripped its breaker: %+v", st)
+	}
+	if st.BreakerSkips == 0 {
+		t.Fatalf("tripped breaker never skipped an op: %+v", st)
+	}
+	if st.Misses != 4 {
+		t.Fatalf("every lookup must still complete as a miss, got %+v", st)
+	}
+}
+
+func TestUpdateDropsHintsOfRemovedPeers(t *testing.T) {
+	n := newNode(t, Options{BreakerThreshold: -1})
+	gone := "127.0.0.1:1"
+	n.tier.Update(cluster.PeerMap{Epoch: 1, Peers: []string{n.addr, gone}, Replicas: 2})
+	n.tier.ReplicateRemote(SpaceUnit, mkEntry(key64("aa"), `{"w":1}`))
+	if st := n.tier.Stats(); st.HandoffPending != 1 {
+		t.Fatalf("setup: want 1 pending hint, got %+v", st)
+	}
+	n.tier.Update(cluster.PeerMap{Epoch: 2, Peers: []string{n.addr}, Replicas: 2})
+	st := n.tier.Stats()
+	if st.HandoffPending != 0 || st.HandoffDropped != 1 || st.HandoffBytes != 0 {
+		t.Fatalf("removed peer's hints must drop, got %+v", st)
+	}
+}
+
+func TestIncrSpaceSharesTheWire(t *testing.T) {
+	a := newNode(t, Options{})
+	b := newNode(t, Options{})
+	incrA, err := rcache.Open(rcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	incrB, err := rcache.Open(rcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.tier.Register(SpaceIncr, incrA)
+	b.tier.Register(SpaceIncr, incrB)
+	mesh(1, 2, a, b)
+
+	k := key64("fe")
+	e := mkEntry(k, `{"funcs":{}}`)
+	if err := a.tier.Put(SpaceIncr, e); err != nil {
+		t.Fatal(err)
+	}
+	// The entry landed in a's incr cache and replicated into b's — not into
+	// either unit cache.
+	if _, ok := b.tier.Get(SpaceIncr, k); !ok {
+		t.Fatal("incr entry not shared across the tier")
+	}
+	if _, ok := a.cache.Get(k); ok {
+		t.Fatal("incr entry leaked into the unit space")
+	}
+	if _, ok := b.cache.Get(k); ok {
+		t.Fatal("incr entry leaked into the remote unit space")
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

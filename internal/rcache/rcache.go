@@ -28,9 +28,13 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"pallas/internal/failpoint"
@@ -150,6 +154,10 @@ type Stats struct {
 	// DiskFaults counts persistent-tier I/O failures (reads and writes;
 	// missing files are not faults).
 	DiskFaults int64
+	// DiskFullPrunes counts ENOSPC recoveries: a write hit a full disk, the
+	// oldest persistent entries were pruned, and the write was retried. A
+	// full disk degrades to a smaller cache instead of tripping the breaker.
+	DiskFullPrunes int64
 	// BreakerSkips counts persistent-tier operations skipped because the
 	// circuit breaker was open (memory-only mode).
 	BreakerSkips int64
@@ -464,12 +472,78 @@ func (c *Cache) storeDisk(e *Entry) error {
 		return nil
 	}
 	err := c.storeDiskRaw(e)
+	if err != nil && diskFull(err) {
+		// ENOSPC is capacity, not damage: prune the oldest persistent
+		// entries once to make room and retry, so a full disk degrades to a
+		// smaller cache instead of tripping the breaker into memory-only
+		// mode permanently. Only an ENOSPC on the retry (or a prune that
+		// freed nothing) counts as a fault.
+		if c.pruneOldest() > 0 {
+			c.mu.Lock()
+			c.stats.DiskFullPrunes++
+			c.mu.Unlock()
+			err = c.storeDiskRaw(e)
+		}
+	}
 	if err != nil {
 		c.diskFault(err)
 		return fmt.Errorf("%w: %w", ErrPersist, err)
 	}
 	c.diskOK()
 	return nil
+}
+
+// diskFull reports a write failure caused by a full filesystem. A var so
+// tests can widen it to injected faults without filling a real disk.
+var diskFull = func(err error) bool { return errors.Is(err, syscall.ENOSPC) }
+
+// pruneFraction is how much of the persistent tier pruneOldest removes:
+// enough that one ENOSPC buys headroom for many writes, small enough that
+// most of the warm set survives.
+const pruneFraction = 4 // one quarter
+
+// pruneOldest removes roughly 1/pruneFraction of the persistent tier's
+// entry files, oldest mtime first (plus any leftover temp files, which are
+// pure garbage), returning how many files it deleted. Concurrent readers
+// are safe: a pruned entry is just a future miss.
+func (c *Cache) pruneOldest() int {
+	type file struct {
+		path string
+		mod  time.Time
+	}
+	var entries []file
+	removed := 0
+	filepath.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		if strings.Contains(d.Name(), ".tmp") {
+			if os.Remove(path) == nil {
+				removed++
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".json") {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil
+		}
+		entries = append(entries, file{path: path, mod: info.ModTime()})
+		return nil
+	})
+	sort.Slice(entries, func(i, j int) bool { return entries[i].mod.Before(entries[j].mod) })
+	n := len(entries) / pruneFraction
+	if n == 0 && len(entries) > 0 {
+		n = 1
+	}
+	for _, f := range entries[:n] {
+		if os.Remove(f.path) == nil {
+			removed++
+		}
+	}
+	return removed
 }
 
 func (c *Cache) storeDiskRaw(e *Entry) error {

@@ -23,6 +23,7 @@ import (
 	"pallas/internal/failpoint"
 	"pallas/internal/guard"
 	"pallas/internal/rcache"
+	"pallas/internal/rcache/peer"
 )
 
 // dropConn abandons an HTTP exchange mid-flight by hijacking and closing
@@ -40,8 +41,13 @@ func dropConn(w http.ResponseWriter) {
 }
 
 // SetAdvertiseAddr records the address this worker reports in result frames
-// (the address the coordinator knows it by).
-func (s *Server) SetAdvertiseAddr(addr string) { s.advertise.Store(addr) }
+// (the address the coordinator knows it by). The shared cache tier uses the
+// same identity, so coordinator-pushed peer maps that include this worker
+// exclude it from its own remote operations.
+func (s *Server) SetAdvertiseAddr(addr string) {
+	s.advertise.Store(addr)
+	s.peers.SetSelf(addr)
+}
 
 func (s *Server) advertiseAddr() string {
 	if v, ok := s.advertise.Load().(string); ok {
@@ -192,7 +198,7 @@ func (s *Server) handleClusterUnit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) clusterEntry(r *http.Request, unit pallas.Unit) (*rcache.Entry, bool, error) {
 	key := s.analyzer.CacheKey(unit)
 	entry, hit, err := s.cache.GetOrCompute(key, func() (*rcache.Entry, error) {
-		return s.analyzeUnit(r.Context(), unit, key, true)
+		return s.computeUnit(r.Context(), unit, key, true)
 	})
 	if err != nil {
 		return entry, hit, err
@@ -213,6 +219,7 @@ func (s *Server) clusterEntry(r *http.Request, unit pallas.Unit) (*rcache.Entry,
 	if perr := s.cache.Put(upgraded); perr != nil && !errors.Is(perr, rcache.ErrPersist) {
 		return nil, false, perr
 	}
+	s.peers.ReplicateRemote(peer.SpaceUnit, upgraded)
 	return upgraded, false, nil
 }
 

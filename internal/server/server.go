@@ -44,10 +44,13 @@ import (
 	"time"
 
 	"pallas"
+	"pallas/internal/cluster"
 	"pallas/internal/guard"
+	"pallas/internal/incr"
 	"pallas/internal/metrics"
 	"pallas/internal/overload"
 	"pallas/internal/rcache"
+	"pallas/internal/rcache/peer"
 )
 
 // Server-specific metric names; the cache/analysis counters are the shared
@@ -148,6 +151,22 @@ type Config struct {
 	// threshold disables it.
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+	// CachePeers lists the members of a static shared cache tier (worker
+	// cache endpoints, host:port). Cluster workers usually leave this empty
+	// and receive their peer map from the coordinator instead; a static
+	// serve fleet lists every member here (self included or not — it is
+	// added). Empty with no pushes means the tier is inert: pure local
+	// caching, the tier's own degraded mode.
+	CachePeers []string
+	// CacheReplicas is the tier's replication factor (how many ring owners
+	// each key has); <= 0 means peer.DefaultReplicas.
+	CacheReplicas int
+	// CacheSelf is this process's own cache address on the tier; workers
+	// bind ephemeral ports and fix it later via SetAdvertiseAddr.
+	CacheSelf string
+	// CachePeerTimeout overrides the tier's per-op deadline (tests; <= 0
+	// means peer.DefaultOpTimeout).
+	CachePeerTimeout time.Duration
 	// Metrics receives the server's instruments; nil means metrics.Default.
 	Metrics *metrics.Registry
 	// MaxRequestBytes caps an analyze body; <= 0 means
@@ -159,6 +178,7 @@ type Config struct {
 type Server struct {
 	analyzer *pallas.Analyzer
 	cache    *rcache.Cache
+	peers    *peer.Tier
 	gate     *guard.Gate
 	ctrl     *overload.Controller
 	limiter  *overload.Limiter
@@ -227,14 +247,45 @@ func New(cfg Config) (*Server, error) {
 		minWorkers = 1
 	}
 	limiter := overload.NewLimiter(minWorkers, gate.Cap())
-	analyzer := pallas.New(cfg.Analyzer)
+	// The shared cache tier exists unconditionally — with no peers it is
+	// inert (every op short-circuits to the local cache), which is also its
+	// degraded mode under a full partition, so the two paths stay one code
+	// path. The function memo rides the same tier as its own key space.
+	tier := peer.New(cache, peer.Options{
+		Self:      cfg.CacheSelf,
+		Replicas:  cfg.CacheReplicas,
+		OpTimeout: cfg.CachePeerTimeout,
+		Registry:  reg,
+	})
+	acfg := cfg.Analyzer
+	if acfg.Incremental != nil {
+		inc := *acfg.Incremental
+		inc.Shared = tier
+		acfg.Incremental = &inc
+	}
+	analyzer := pallas.New(acfg)
 	// An unusable -incr-dir should fail startup, not silently serve cold.
 	if err := analyzer.EnsureIncremental(); err != nil {
+		tier.Close()
 		return nil, err
+	}
+	if len(cfg.CachePeers) > 0 {
+		members := append([]string(nil), cfg.CachePeers...)
+		if cfg.CacheSelf != "" {
+			present := false
+			for _, m := range members {
+				present = present || m == cfg.CacheSelf
+			}
+			if !present {
+				members = append(members, cfg.CacheSelf)
+			}
+		}
+		tier.Update(cluster.PeerMap{Epoch: 1, Peers: members, Replicas: cfg.CacheReplicas})
 	}
 	s := &Server{
 		analyzer: analyzer,
 		cache:    cache,
+		peers:    tier,
 		gate:     gate,
 		ctrl:     overload.NewController(limiter, maxQueue),
 		limiter:  limiter,
@@ -270,6 +321,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/report/", s.handleReport)
 	s.mux.HandleFunc("/v1/cluster/unit", s.handleClusterUnit)
 	s.mux.HandleFunc("/v1/cluster/ping", s.handleClusterPing)
+	s.mux.HandleFunc(peer.GetPath, s.handleCacheGet)
+	s.mux.HandleFunc(peer.PutPath, s.handleCachePut)
+	s.mux.HandleFunc(peer.MapPath, s.handleCacheMap)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s, nil
@@ -280,6 +334,18 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Cache exposes the result cache (tests and the CLI stats line).
 func (s *Server) Cache() *rcache.Cache { return s.cache }
+
+// PeerTier exposes the shared cache tier (stats lines, map pushes in
+// tests, and the CLI's -cache-stats dump).
+func (s *Server) PeerTier() *peer.Tier { return s.peers }
+
+// IncrStats surfaces the function-memo counters (false when incremental
+// analysis is off).
+func (s *Server) IncrStats() (incr.Stats, bool) { return s.analyzer.IncrStats() }
+
+// Close releases background resources (the peer tier's handoff drain
+// loop). The HTTP handler must not be used afterwards.
+func (s *Server) Close() { s.peers.Close() }
 
 // InFlight reports how many analyses currently hold a gate slot.
 func (s *Server) InFlight() int64 { return s.gate.InFlight() }
@@ -559,7 +625,28 @@ func (s *Server) shedForReason(w http.ResponseWriter, err error) {
 // it for the merged pathdb; plain serve responses do not carry paths, so
 // they skip the cost).
 func (s *Server) analyzeOne(ctx context.Context, unit pallas.Unit, key string) (*rcache.Entry, error) {
-	return s.analyzeUnit(ctx, unit, key, false)
+	return s.computeUnit(ctx, unit, key, false)
+}
+
+// computeUnit is the miss path behind the cache's singleflight: before
+// paying for a real analysis it asks the shared cache tier whether another
+// worker already has the entry (verified remote hit), and replicates what
+// it freshly produced to the key's ring owners. Every remote failure mode
+// degrades to the local analysis below it.
+func (s *Server) computeUnit(ctx context.Context, unit pallas.Unit, key string, withPaths bool) (*rcache.Entry, error) {
+	if e, ok := s.peers.FetchRemote(peer.SpaceUnit, key); ok {
+		if !withPaths || len(e.Paths) > 0 {
+			return e, nil
+		}
+		// A path-less remote entry cannot serve a cluster dispatch; fall
+		// through to the analysis and let the richer entry win.
+	}
+	e, err := s.analyzeUnit(ctx, unit, key, withPaths)
+	if err != nil {
+		return nil, err
+	}
+	s.peers.ReplicateRemote(peer.SpaceUnit, e)
+	return e, nil
 }
 
 func (s *Server) analyzeUnit(ctx context.Context, unit pallas.Unit, key string, withPaths bool) (*rcache.Entry, error) {
@@ -648,7 +735,14 @@ type healthVerbose struct {
 	RateDenied      int64              `json:"rate_denied_total"`
 	CacheTier       string             `json:"cache_tier"`
 	CacheDiskFaults int64              `json:"cache_disk_faults"`
+	CacheDiskPrunes int64              `json:"cache_disk_full_prunes"`
 	BreakerTrips    int64              `json:"cache_breaker_trips"`
+	// PeerCache summarizes the shared cache tier (omitted while inert: no
+	// peers configured or pushed).
+	PeerCache *peer.Stats `json:"peer_cache,omitempty"`
+	// Incr summarizes the function memo (omitted when incremental analysis
+	// is off).
+	Incr *incr.Stats `json:"incr,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -671,7 +765,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := s.cache.Stats()
-	writeJSON(w, code, healthVerbose{
+	body := healthVerbose{
 		healthBody:      base,
 		QueueDepth:      s.ctrl.QueueDepth(),
 		EffectiveLimit:  s.ctrl.EffectiveLimit(),
@@ -683,8 +777,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		RateDenied:      s.rate.Denied(),
 		CacheTier:       s.cache.TierHealth(),
 		CacheDiskFaults: st.DiskFaults,
+		CacheDiskPrunes: st.DiskFullPrunes,
 		BreakerTrips:    st.BreakerTrips,
-	})
+	}
+	if s.peers.Enabled() || s.peers.Epoch() > 0 {
+		ps := s.peers.Stats()
+		body.PeerCache = &ps
+	}
+	if ist, ok := s.analyzer.IncrStats(); ok {
+		body.Incr = &ist
+	}
+	writeJSON(w, code, body)
 }
 
 // maxQueue reports the admission queue bound (for health reporting).
