@@ -161,6 +161,11 @@ type BatchStats struct {
 	IncrFuncMisses int64
 	IncrUnitHits   int64
 	IncrUnitMisses int64
+	// FeasPruned / FeasContradictions are the feasibility layer's activity
+	// during this batch (the delta of Analyzer.FeasStats across the run).
+	// Both stay zero on the fast tier, which never prunes.
+	FeasPruned         int64
+	FeasContradictions int64
 	// JournalRecovered, JournalTornTail and JournalQuarantined echo what
 	// opening the journal had to repair (see journal.RecoveryReport).
 	JournalRecovered   int
@@ -233,6 +238,7 @@ func (a *Analyzer) AnalyzeBatch(units []Unit, opts BatchOptions) ([]UnitResult, 
 		return nil, stats, err
 	}
 	incrBefore, _ := a.IncrStats()
+	feasBefore := a.FeasStats()
 	// Batch mode shares the process-wide metrics registry with `pallas
 	// serve`, so a mixed deployment (CLI warming a server's cache) shows up
 	// in one scrape.
@@ -380,6 +386,9 @@ func (a *Analyzer) AnalyzeBatch(units []Unit, opts BatchOptions) ([]UnitResult, 
 		stats.IncrUnitHits = incrAfter.UnitHits - incrBefore.UnitHits
 		stats.IncrUnitMisses = incrAfter.UnitMisses - incrBefore.UnitMisses
 	}
+	feasAfter := a.FeasStats()
+	stats.FeasPruned = feasAfter.Pruned - feasBefore.Pruned
+	stats.FeasContradictions = feasAfter.Contradictions - feasBefore.Contradictions
 	return out, stats, nil
 }
 

@@ -7,6 +7,8 @@
 //	pallas-eval -table N        reproduce Table N (1-8)
 //	pallas-eval -figure N       reproduce Figure N (1-9)
 //	pallas-eval -fp             reproduce the §5.3 false-positive analysis
+//	pallas-eval -feas           feasibility-pruning experiment across
+//	                            precision tiers (fast/balanced/strict)
 //	pallas-eval -adversarial [-journal f [-resume]]
 //	                            robustness sweep; with -journal the sweep
 //	                            checkpoints outcomes and -resume skips
@@ -31,6 +33,7 @@ func main() {
 	ablation := flag.Bool("ablation", false, "per-checker contribution to Table 1")
 	bigfile := flag.Bool("bigfile", false, "analyze the three subsystem-scale units")
 	findings := flag.Bool("findings", false, "print the §3 finding/rule boxes")
+	feasFlag := flag.Bool("feas", false, "feasibility-pruning experiment: precision tiers over the seeded infeasible-path corpus")
 	adversarial := flag.Bool("adversarial", false, "robustness sweep over the hostile mini-corpus")
 	journalPath := flag.String("journal", "", "checkpoint adversarial-sweep outcomes to this journal so a killed run resumes (with -adversarial)")
 	resume := flag.Bool("resume", false, "skip units the journal already settled (requires -journal)")
@@ -73,6 +76,14 @@ func main() {
 	case *ablation:
 		run("ablation", func() (string, error) {
 			r, err := eval.RunAblation()
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		})
+	case *feasFlag:
+		run("feas", func() (string, error) {
+			r, err := eval.RunFeas()
 			if err != nil {
 				return "", err
 			}

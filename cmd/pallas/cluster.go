@@ -18,6 +18,7 @@ import (
 
 	"pallas"
 	"pallas/internal/cluster"
+	"pallas/internal/feas"
 	"pallas/internal/journal"
 	"pallas/internal/metrics"
 	"pallas/internal/server"
@@ -42,6 +43,7 @@ func cmdWorker(args []string) error {
 	timeout := fs.Duration("timeout", 0, "per-request deadline (0 = none)")
 	keepGoing := fs.Bool("keep-going", false, "degrade instead of failing on malformed input")
 	checker := fs.String("checker", "", "run only the named checker")
+	precision := fs.String("precision", "", "feasibility tier: fast (default), balanced, strict (matches `check -precision`)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "maximum time to wait for in-flight requests on shutdown")
 	cacheReplicas := fs.Int("cache-replicas", 0, "shared-cache-tier replication factor (0 = 2)")
 	cacheStats := fs.Bool("cache-stats", false, "print unit-cache, function-memo and peer-tier summaries to stderr at exit")
@@ -63,12 +65,16 @@ func cmdWorker(args []string) error {
 	if fs.NArg() != 0 {
 		return fmt.Errorf("worker: unexpected arguments %v", fs.Args())
 	}
+	if _, err := feas.ParseTier(*precision); err != nil {
+		return fmt.Errorf("worker: %w", err)
+	}
 
 	acfg := pallas.Config{
 		Deadline:        *timeout,
 		KeepGoing:       *keepGoing,
 		IncludeDirs:     includeDirs,
 		AnalysisWorkers: *analysisWorkers,
+		Precision:       *precision,
 	}
 	if *checker != "" {
 		acfg.Checkers = []string{*checker}
@@ -142,6 +148,7 @@ func cmdCluster(args []string) error {
 	checker := fs.String("checker", "", "run only the named checker")
 	asJSON := fs.Bool("json", false, "emit JSON")
 	htmlOut := fs.String("html", "", "additionally write an HTML report to this file")
+	precision := fs.String("precision", "", "feasibility tier on workers: fast (default), balanced, strict (matches `check -precision`)")
 	timeout := fs.Duration("timeout", 0, "per-file analysis deadline on workers (0 = none)")
 	keepGoing := fs.Bool("keep-going", false, "keep analyzing past malformed input, reporting per-file diagnostics")
 	workers := fs.Int("workers", 0, "concurrent analyses inside each worker process (0 = GOMAXPROCS)")
@@ -183,6 +190,9 @@ func cmdCluster(args []string) error {
 	}
 	if *resume && *journalPath == "" {
 		return fmt.Errorf("cluster: -resume requires -journal")
+	}
+	if _, err := feas.ParseTier(*precision); err != nil {
+		return fmt.Errorf("cluster: %w", err)
 	}
 
 	specText := ""
@@ -290,6 +300,9 @@ func cmdCluster(args []string) error {
 		}
 		if *checker != "" {
 			wargs = append(wargs, "-checker", *checker)
+		}
+		if *precision != "" {
+			wargs = append(wargs, "-precision", *precision)
 		}
 		if *clusterCacheReplicas != 0 {
 			wargs = append(wargs, "-cache-replicas", strconv.Itoa(*clusterCacheReplicas))

@@ -30,6 +30,7 @@ import (
 	"pallas/internal/cparse"
 	"pallas/internal/difftool"
 	"pallas/internal/failpoint"
+	"pallas/internal/feas"
 	"pallas/internal/infer"
 )
 
@@ -83,6 +84,7 @@ func usage() {
 
 commands:
   check    [-spec file] [-checker name] [-json] [-html out]
+           [-precision fast|balanced|strict]
            [-timeout d] [-keep-going] [-workers n] [-analysis-workers n]
            [-journal file] [-resume] [-retries n] [-group-commit]
            [-cache-dir dir] [-cache-bytes n]
@@ -94,7 +96,10 @@ commands:
             -cache-dir replays unchanged files from the result cache,
             -incr-dir replays unchanged *functions* from the per-function
             memo — only edited functions and their transitive callers are
-            re-analyzed — and -cache-stats prints hit/miss/reuse counts)
+            re-analyzed — and -cache-stats prints hit/miss/reuse counts;
+            -precision selects the feasibility tier: fast explores every
+            structural path, balanced prunes interval-contradictory paths,
+            strict adds budgeted cross-condition equality reasoning)
   serve    [-addr host:port] [-cache-dir dir] [-cache-bytes n]
            [-incr-dir dir] [-incr-bytes n]
            [-cache-peers host:port] [-cache-replicas n] [-cache-stats]
@@ -130,6 +135,7 @@ func cmdCheck(args []string) error {
 	checker := fs.String("checker", "", "run only the named checker")
 	asJSON := fs.Bool("json", false, "emit JSON")
 	htmlOut := fs.String("html", "", "additionally write an HTML report to this file")
+	precision := fs.String("precision", "", "feasibility tier: fast (default; every structural path), balanced (prune interval-contradictory paths), strict (balanced plus budgeted cross-condition equality reasoning)")
 	timeout := fs.Duration("timeout", 0, "per-file analysis deadline; expiry degrades, not fails (0 = none)")
 	keepGoing := fs.Bool("keep-going", false, "keep analyzing past malformed input, reporting per-file diagnostics")
 	workers := fs.Int("workers", 0, "parallel workers for multiple files (0 = GOMAXPROCS)")
@@ -150,6 +156,9 @@ func cmdCheck(args []string) error {
 	if fs.NArg() < 1 {
 		return fmt.Errorf("check: want at least one C file")
 	}
+	if _, err := feas.ParseTier(*precision); err != nil {
+		return fmt.Errorf("check: %w", err)
+	}
 	specText := ""
 	if *specPath != "" {
 		b, err := os.ReadFile(*specPath)
@@ -158,7 +167,7 @@ func cmdCheck(args []string) error {
 		}
 		specText = string(b)
 	}
-	cfg := pallas.Config{Deadline: *timeout, KeepGoing: *keepGoing, AnalysisWorkers: *analysisWorkers}
+	cfg := pallas.Config{Deadline: *timeout, KeepGoing: *keepGoing, AnalysisWorkers: *analysisWorkers, Precision: *precision}
 	if *checker != "" {
 		cfg.Checkers = []string{*checker}
 	}
@@ -235,7 +244,7 @@ func cmdCheck(args []string) error {
 			*cacheDir, stats.CacheHits, stats.CacheMisses)
 	}
 	if *cacheStats {
-		printCacheStats(os.Stderr, analyzer, stats)
+		printCacheStats(os.Stderr, analyzer, stats, *precision)
 	}
 	if exit != 0 {
 		os.Exit(exit)
@@ -244,23 +253,31 @@ func cmdCheck(args []string) error {
 }
 
 // printCacheStats renders the -cache-stats summary: the unit-level result
-// cache (batch path) and the function-level incremental memo, one line each,
-// so warm-run wins are visible without scraping /metrics.
-func printCacheStats(w io.Writer, a *pallas.Analyzer, stats pallas.BatchStats) {
+// cache (batch path), the function-level incremental memo, and the
+// feasibility layer, one line each, so warm-run wins and pruning activity
+// are visible without scraping /metrics.
+func printCacheStats(w io.Writer, a *pallas.Analyzer, stats pallas.BatchStats, precision string) {
 	fmt.Fprintf(w, "pallas: unit cache: %d hit(s), %d miss(es), %d analyzed\n",
 		stats.CacheHits, stats.CacheMisses, stats.Analyzed)
 	is, ok := a.IncrStats()
 	if !ok {
 		fmt.Fprintln(w, "pallas: func memo: off (enable with -incr-dir)")
-		return
+	} else {
+		total := is.FuncHits + is.FuncMisses + is.UnitHits + is.UnitMisses
+		reuse := int64(0)
+		if total > 0 {
+			reuse = (is.FuncHits + is.UnitHits) * 100 / total
+		}
+		fmt.Fprintf(w, "pallas: func memo: %d hit(s), %d miss(es), %d invalidation(s); unit verdicts: %d hit(s), %d miss(es); reuse %d%%\n",
+			is.FuncHits, is.FuncMisses, is.FuncInvalidations, is.UnitHits, is.UnitMisses, reuse)
 	}
-	total := is.FuncHits + is.FuncMisses + is.UnitHits + is.UnitMisses
-	reuse := int64(0)
-	if total > 0 {
-		reuse = (is.FuncHits + is.UnitHits) * 100 / total
+	if tier, err := feas.ParseTier(precision); err == nil && tier != feas.Fast {
+		fst := a.FeasStats()
+		fmt.Fprintf(w, "pallas: feas (%s): %d path(s) pruned, %d contradiction(s)\n",
+			tier, fst.Pruned, fst.Contradictions)
+	} else {
+		fmt.Fprintln(w, "pallas: feas: off (fast tier; enable with -precision balanced|strict)")
 	}
-	fmt.Fprintf(w, "pallas: func memo: %d hit(s), %d miss(es), %d invalidation(s); unit verdicts: %d hit(s), %d miss(es); reuse %d%%\n",
-		is.FuncHits, is.FuncMisses, is.FuncInvalidations, is.UnitHits, is.UnitMisses, reuse)
 }
 
 // printOptions configures printUnitResults.

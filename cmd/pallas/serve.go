@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"pallas"
+	"pallas/internal/feas"
 	"pallas/internal/server"
 )
 
@@ -40,6 +41,7 @@ func cmdServe(args []string) error {
 	breakerCooldown := fs.Duration("breaker-cooldown", 0, "how long a tripped cache tier stays memory-only before probing recovery (0 = 5s)")
 	timeout := fs.Duration("timeout", 0, "per-request deadline covering admission wait and analysis; expiry sheds queued requests and degrades running ones (0 = none)")
 	keepGoing := fs.Bool("keep-going", false, "degrade instead of failing on malformed input (matches `check -keep-going`)")
+	precision := fs.String("precision", "", "feasibility tier: fast (default), balanced, strict (matches `check -precision`; tiers never share cache entries)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "maximum time to wait for in-flight requests on shutdown")
 	cacheReplicas := fs.Int("cache-replicas", 0, "shared-cache-tier replication factor (0 = 2)")
 	cacheStats := fs.Bool("cache-stats", false, "print unit-cache, function-memo and peer-tier summaries to stderr at exit")
@@ -61,12 +63,16 @@ func cmdServe(args []string) error {
 	if fs.NArg() != 0 {
 		return fmt.Errorf("serve: unexpected arguments %v", fs.Args())
 	}
+	if _, err := feas.ParseTier(*precision); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
 
 	acfg := pallas.Config{
 		Deadline:        *timeout,
 		KeepGoing:       *keepGoing,
 		IncludeDirs:     includeDirs,
 		AnalysisWorkers: *analysisWorkers,
+		Precision:       *precision,
 	}
 	if *incrDir != "" || *incrBytes > 0 {
 		acfg.Incremental = &pallas.IncrementalOptions{Dir: *incrDir, MaxBytes: *incrBytes}
@@ -127,8 +133,9 @@ func cmdServe(args []string) error {
 }
 
 // printServerCacheStats renders the serve/worker -cache-stats exit dump: the
-// unit result cache, the function memo, and the shared peer tier, one line
-// each — the same numbers /healthz?verbose=1 reports, without scraping.
+// unit result cache, the function memo, the feasibility layer, and the
+// shared peer tier, one line each — the same numbers /healthz?verbose=1
+// reports, without scraping.
 func printServerCacheStats(w io.Writer, srv *server.Server) {
 	cs := srv.Cache().Stats()
 	fmt.Fprintf(w, "pallas: unit cache: %d hit(s) (%d mem, %d disk), %d miss(es), %d compute(s), %d disk-full prune(s)\n",
@@ -138,6 +145,13 @@ func printServerCacheStats(w io.Writer, srv *server.Server) {
 			is.FuncHits, is.FuncMisses, is.FuncInvalidations, is.UnitHits, is.UnitMisses)
 	} else {
 		fmt.Fprintln(w, "pallas: func memo: off (enable with -incr-dir)")
+	}
+	if tier := srv.FeasTier(); tier != feas.Fast {
+		fst := srv.FeasStats()
+		fmt.Fprintf(w, "pallas: feas (%s): %d path(s) pruned, %d contradiction(s)\n",
+			tier, fst.Pruned, fst.Contradictions)
+	} else {
+		fmt.Fprintln(w, "pallas: feas: off (fast tier; enable with -precision balanced|strict)")
 	}
 	ps := srv.PeerTier().Stats()
 	if ps.Peers == 0 && ps.Epoch == 0 {

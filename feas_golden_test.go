@@ -1,0 +1,68 @@
+package pallas_test
+
+// Differential guard for the fast tier: analyzing the full corpus with
+// -precision fast (and with the zero-value Config, which means fast) must
+// produce byte-identical output to the engine as it stood before the
+// feasibility layer landed — report JSON, path database JSON, and cache key,
+// for every case. testdata/corpus_fast_golden.txt holds the pre-layer
+// engine's hash over exactly this recipe; if this test fails, the fast tier
+// has drifted and every warm cache and memo store goes stale with it. Do not
+// update the golden without that migration story.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"pallas"
+	"pallas/internal/corpus"
+)
+
+// corpusOutputHash renders every corpus case's analysis output under cfg and
+// hashes the concatenation in sorted-ID order.
+func corpusOutputHash(t *testing.T, cfg pallas.Config) string {
+	t.Helper()
+	reg := corpus.Generate()
+	a := pallas.New(cfg)
+	h := sha256.New()
+	for _, id := range reg.SortIDs() {
+		c := reg.Get(id)
+		res, err := a.AnalyzeSource(c.File, c.Source, c.Spec)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		var rb bytes.Buffer
+		if err := res.Report.WriteJSON(&rb); err != nil {
+			t.Fatal(err)
+		}
+		pb, err := json.Marshal(res.Paths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := a.CacheKey(pallas.Unit{Name: c.File, Source: c.Source, Spec: c.Spec})
+		fmt.Fprintf(h, "%s\n%s\n%s\n%s\n", id, rb.String(), pb, key)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func TestPrecisionFastMatchesSeedGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: full-corpus differential")
+	}
+	b, err := os.ReadFile("testdata/corpus_fast_golden.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.TrimSpace(string(b))
+	if got := corpusOutputHash(t, pallas.Config{}); got != want {
+		t.Errorf("zero-config corpus output drifted from the pre-layer seed: got %s, want %s", got, want)
+	}
+	if got := corpusOutputHash(t, pallas.Config{Precision: "fast"}); got != want {
+		t.Errorf("-precision fast corpus output drifted from the pre-layer seed: got %s, want %s", got, want)
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"pallas/internal/feas"
 )
 
 // ContentHash is the canonical Pallas content hash: the hex SHA-256 of the
@@ -78,5 +80,23 @@ func (c Config) fingerprint() string {
 	for _, k := range names {
 		fmt.Fprintf(&sb, "%s=%s;", k, ContentHash(c.Includes[k]))
 	}
+	sb.WriteString(precisionSuffix(c.Precision))
 	return sb.String()
+}
+
+// precisionSuffix renders the feasibility tier's fingerprint contribution.
+// The fast tier (and the zero value) contributes nothing, so keys computed
+// before the feasibility layer existed stay valid and caches stay warm;
+// balanced/strict append a suffix so tiers never share cache or memo
+// entries. An unparseable tier is keyed verbatim — the analysis itself will
+// reject it before producing anything to cache.
+func precisionSuffix(precision string) string {
+	tier, err := feas.ParseTier(precision)
+	if err != nil {
+		return "|precision=" + precision
+	}
+	if tier == feas.Fast {
+		return ""
+	}
+	return "|precision=" + tier.String()
 }

@@ -50,16 +50,17 @@ func TestCacheKeyCoversConfig(t *testing.T) {
 	base := New(Config{}).CacheKey(u)
 
 	variants := map[string]Config{
-		"checkers": {Checkers: []string{"path-state"}},
-		"defines":  {Defines: map[string]string{"CONFIG_X": "1"}},
-		"includes": {Includes: map[string]string{"x.h": "int y;"}},
-		"deadline": {Deadline: 1},
-		"paths":    {MaxPaths: 7},
-		"visits":   {MaxBlockVisits: 9},
-		"inline":   {InlineDepth: 1},
-		"macros":   {MaxMacroExpansions: 11},
-		"steps":    {MaxSteps: 13},
-		"keep":     {KeepGoing: true},
+		"checkers":  {Checkers: []string{"path-state"}},
+		"defines":   {Defines: map[string]string{"CONFIG_X": "1"}},
+		"includes":  {Includes: map[string]string{"x.h": "int y;"}},
+		"deadline":  {Deadline: 1},
+		"paths":     {MaxPaths: 7},
+		"visits":    {MaxBlockVisits: 9},
+		"inline":    {InlineDepth: 1},
+		"macros":    {MaxMacroExpansions: 11},
+		"steps":     {MaxSteps: 13},
+		"keep":      {KeepGoing: true},
+		"precision": {Precision: "balanced"},
 	}
 	for name, cfg := range variants {
 		if got := New(cfg).CacheKey(u); got == base {
@@ -89,6 +90,36 @@ func TestCacheKeyCoversConfig(t *testing.T) {
 	}
 	if New(Config{}).CacheKey(Unit{Name: "a.c", Source: u.Source, Spec: "fastpath g\n"}) == base {
 		t.Error("spec does not change the cache key")
+	}
+}
+
+// TestPrecisionFingerprintTiering pins the tier/cache-key contract: the
+// fast tier (spelled "" or "fast") keeps the pre-feasibility fingerprint so
+// existing caches and memo stores stay warm, while balanced and strict key
+// distinctly — tiers never share entries.
+func TestPrecisionFingerprintTiering(t *testing.T) {
+	u := Unit{Name: "a.c", Source: "int f(void) { return 0; }", Spec: "fastpath f\n"}
+	base := New(Config{}).CacheKey(u)
+	if got := New(Config{Precision: "fast"}).CacheKey(u); got != base {
+		t.Error("explicit fast must share the historical cache key")
+	}
+	bal := New(Config{Precision: "balanced"}).CacheKey(u)
+	strict := New(Config{Precision: "strict"}).CacheKey(u)
+	if bal == base || strict == base || bal == strict {
+		t.Errorf("tiers must key distinctly: base=%s balanced=%s strict=%s", base, bal, strict)
+	}
+	// Same contract for the extraction fingerprint behind incr memo keys.
+	xBase := Config{}.extractFingerprint()
+	if got := (Config{Precision: "fast"}).extractFingerprint(); got != xBase {
+		t.Error("fast must keep the historical extract fingerprint")
+	}
+	xBal := (Config{Precision: "balanced"}).extractFingerprint()
+	xStrict := (Config{Precision: "strict"}).extractFingerprint()
+	if xBal == xBase || xStrict == xBase || xBal == xStrict {
+		t.Errorf("extract fingerprints must tier: %q %q %q", xBase, xBal, xStrict)
+	}
+	if xBase != "x1|paths=0|visits=0|inline=0" {
+		t.Errorf("fast extract fingerprint changed: %q", xBase)
 	}
 }
 

@@ -42,9 +42,12 @@ type IncrementalOptions struct {
 // MaxSteps) are absent: they can only truncate, and truncated results are
 // never memoized. Preprocessor inputs (Defines, Includes) are absent too:
 // function memo keys hash the *parsed* unit, which already reflects every
-// macro expansion and include merge.
+// macro expansion and include merge. The precision tier IS present (for
+// non-fast tiers): pruning changes which paths a function's record holds,
+// so tiers must never share memo entries.
 func (c Config) extractFingerprint() string {
-	return fmt.Sprintf("x1|paths=%d|visits=%d|inline=%d", c.MaxPaths, c.MaxBlockVisits, c.InlineDepth)
+	return fmt.Sprintf("x1|paths=%d|visits=%d|inline=%d", c.MaxPaths, c.MaxBlockVisits, c.InlineDepth) +
+		precisionSuffix(c.Precision)
 }
 
 // incrStore returns the memo store, opening it on first use; nil when

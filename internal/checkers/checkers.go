@@ -200,6 +200,13 @@ func Run(ctx *Context, list ...Checker) *report.Report {
 	if len(ctx.Diagnostics) > 0 {
 		r.Degraded = true
 	}
+	// Pruned-path accounting: surface how many continuations the
+	// feasibility layer discarded before any checker ran. Seeded (memo-
+	// replayed) functions carry their tally in the record, so the report is
+	// byte-identical between cold and incremental runs.
+	for _, fp := range ctx.FuncPaths {
+		r.PathsPruned += fp.Pruned
+	}
 	for i := range r.Warnings {
 		r.Warnings[i].LikelyConsequence = likelyConsequence(r.Warnings[i].Aspect())
 	}

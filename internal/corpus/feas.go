@@ -1,0 +1,97 @@
+package corpus
+
+// Feasibility cases: deliberately infeasible-path false positives, kept
+// OUTSIDE Generate() so the Table-1 counts the registry pins stay exact.
+// Each case guards a rule violation behind branch conditions that can never
+// hold together, reproducing the paper's §5.3 "infeasible path" FP source:
+// the fast tier walks every structural path and warns; a precision tier that
+// accumulates the path's branch conditions proves the contradiction, prunes
+// the path before any checker runs, and reports nothing.
+
+// FeasCase is one seeded infeasible-path false positive.
+type FeasCase struct {
+	// ID is unique among feasibility cases ("feas/interval/0").
+	ID string
+	// Source is the C translation unit to analyze.
+	Source string
+	// Spec holds the semantic directives.
+	Spec string
+	// Finding is the false warning the fast tier reports (report.Find*).
+	Finding string
+	// MinTier is the weakest precision tier that prunes the infeasible
+	// path and silences the false positive ("balanced" or "strict").
+	MinTier string
+	// FPSource describes the §5.3 false-positive source.
+	FPSource string
+}
+
+// FeasCases returns the feasibility mini-corpus. Every case is a trap: the
+// expected behavior is a warning on the fast tier and silence from MinTier
+// upward, with the layer's pruned-path counter going nonzero.
+func FeasCases() []FeasCase {
+	return []FeasCase{
+		{
+			// mode > 3 and mode < 2 cannot both hold: the immutable write is
+			// dead code, but a structural walk still reaches it. A single
+			// variable's interval suffices, so balanced already prunes it.
+			ID: "feas/interval/0",
+			Source: `struct req { int len; };
+int f(struct req *r, int mode) {
+	if (mode > 3) {
+		if (mode < 2) {
+			mode = 0;
+		}
+	}
+	return r->len;
+}
+`,
+			Spec:     "fastpath f\nimmutable mode\n",
+			Finding:  "state-overwrite",
+			MinTier:  "balanced",
+			FPSource: "infeasible path (single-variable interval contradiction)",
+		},
+		{
+			// mode >= 8 bounds the interval away from the inner equality's
+			// point value. Environment refinement binds mode := 3 on the
+			// inner taken edge but never re-examines the outer bound, so the
+			// fast tier walks the arm; balanced intersects [8, +inf) with
+			// {3} and prunes it.
+			ID: "feas/equality/0",
+			Source: `int g(int limit, int mode) {
+	if (limit >= 8) {
+		if (limit == 3) {
+			mode = 1;
+		}
+	}
+	return limit + mode;
+}
+`,
+			Spec:     "fastpath g\nimmutable mode\n",
+			Finding:  "state-overwrite",
+			MinTier:  "balanced",
+			FPSource: "infeasible path (interval excludes the equality's value)",
+		},
+		{
+			// a == b ties two variables whose later bounds are disjoint
+			// (a > 5 while b < 3). No single variable's interval is empty —
+			// balanced keeps the path — but strict's equality unification
+			// propagates the bounds across the class and proves it dead.
+			ID: "feas/cross-term/0",
+			Source: `int h(int a, int b, int mode) {
+	if (a == b) {
+		if (a > 5) {
+			if (b < 3) {
+				mode = 0;
+			}
+		}
+	}
+	return a + mode;
+}
+`,
+			Spec:     "fastpath h\nimmutable mode\n",
+			Finding:  "state-overwrite",
+			MinTier:  "strict",
+			FPSource: "infeasible path (cross-condition equality contradiction)",
+		},
+	}
+}

@@ -1,0 +1,61 @@
+package eval
+
+import "testing"
+
+// tierRow indexes a RunFeas result by tier name.
+func tierRow(t *testing.T, res *FeasResult, tier string) FeasTierResult {
+	t.Helper()
+	for _, row := range res.Tiers {
+		if row.Tier == tier {
+			return row
+		}
+	}
+	t.Fatalf("no %q tier in result", tier)
+	return FeasTierResult{}
+}
+
+// TestRunFeas pins the pruning experiment's shape: every seeded false
+// positive fires on the fast tier, balanced silences the single-variable
+// cases, and strict silences the cross-term case too — each by pruning the
+// infeasible path, never by weakening a checker.
+func TestRunFeas(t *testing.T) {
+	res, err := RunFeas()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cases != 3 {
+		t.Fatalf("cases = %d, want 3", res.Cases)
+	}
+
+	fast := tierRow(t, res, "fast")
+	if len(fast.FalsePositives) != res.Cases {
+		t.Errorf("fast tier fired %d/%d seeded FPs: %v", len(fast.FalsePositives), res.Cases, fast.FalsePositives)
+	}
+	if fast.Pruned != 0 || fast.Contradictions != 0 {
+		t.Errorf("fast tier must not prune: pruned=%d contradictions=%d", fast.Pruned, fast.Contradictions)
+	}
+
+	bal := tierRow(t, res, "balanced")
+	if bal.Pruned < 2 {
+		t.Errorf("balanced pruned %d path(s), want >= 2", bal.Pruned)
+	}
+	if len(bal.FalsePositives) != 1 || bal.FalsePositives[0] != "feas/cross-term/0" {
+		t.Errorf("balanced FPs = %v, want only feas/cross-term/0", bal.FalsePositives)
+	}
+
+	strict := tierRow(t, res, "strict")
+	if strict.Pruned < 3 {
+		t.Errorf("strict pruned %d path(s), want >= 3", strict.Pruned)
+	}
+	if len(strict.FalsePositives) != 0 {
+		t.Errorf("strict FPs = %v, want none", strict.FalsePositives)
+	}
+
+	if !(fast.PathsChecked > bal.PathsChecked && bal.PathsChecked > strict.PathsChecked) {
+		t.Errorf("paths checked must shrink with precision: fast=%d balanced=%d strict=%d",
+			fast.PathsChecked, bal.PathsChecked, strict.PathsChecked)
+	}
+	if fast.Warnings <= strict.Warnings {
+		t.Errorf("pruning must remove warnings: fast=%d strict=%d", fast.Warnings, strict.Warnings)
+	}
+}

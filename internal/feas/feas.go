@@ -1,0 +1,513 @@
+// Package feas is a lightweight path-feasibility layer over the symbolic
+// domain of internal/sym. It accumulates, per execution path, an interval
+// domain (lo/hi over int64 with ±∞ open ends) and a disequality set for
+// every stable term a branch condition constrains, and reports when the
+// accumulated conditions become mutually contradictory — at which point the
+// path extractor can discard the continuation before any checker sees it.
+//
+// The layer mirrors the paper's observation (§5.3) that infeasible paths
+// dominate the false-positive taxonomy: conditions like `x > 3` followed by
+// `x < 2` on the same path can never execute together, so warnings found on
+// such paths are noise.
+//
+// Three precision tiers share the implementation:
+//
+//	Fast      — the layer is disabled entirely (callers hold a nil *State);
+//	            analysis behaves byte-identically to a build without it.
+//	Balanced  — interval and disequality propagation against integer
+//	            constants, plus &&/||/! distribution.
+//	Strict    — adds cross-condition equality unification (term classes
+//	            merged by `a == b` facts) under a per-function step budget
+//	            from internal/guard; when the budget is exhausted the state
+//	            freezes and simply stops learning, which prunes less but is
+//	            never unsound.
+//
+// Soundness rests on term stability: facts are only recorded for terms
+// built from concrete integers, free symbols and pure operators (see
+// sym.Value.Stable). Temporaries and call results render identically across
+// occurrences that may hold different values, so they are never constrained.
+package feas
+
+import (
+	"fmt"
+	"math"
+
+	"pallas/internal/guard"
+	"pallas/internal/sym"
+)
+
+// Tier selects how much feasibility work the extractor performs.
+type Tier int
+
+// The precision tiers, cheapest first.
+const (
+	// Fast disables the feasibility layer: today's behavior, byte-identical.
+	Fast Tier = iota
+	// Balanced prunes on interval/disequality contradictions vs constants.
+	Balanced
+	// Strict adds cross-condition equality unification under a step budget.
+	Strict
+)
+
+// String renders the tier as its flag spelling.
+func (t Tier) String() string {
+	switch t {
+	case Fast:
+		return "fast"
+	case Balanced:
+		return "balanced"
+	case Strict:
+		return "strict"
+	}
+	return fmt.Sprintf("Tier(%d)", int(t))
+}
+
+// ParseTier parses a -precision flag value. The empty string means Fast, so
+// zero-valued configurations keep the historical behavior.
+func ParseTier(s string) (Tier, error) {
+	switch s {
+	case "", "fast":
+		return Fast, nil
+	case "balanced":
+		return Balanced, nil
+	case "strict":
+		return Strict, nil
+	}
+	return Fast, fmt.Errorf("feas: unknown precision tier %q (want fast, balanced or strict)", s)
+}
+
+// DefaultStrictSteps is the per-function step budget of the strict tier:
+// one step per condition node the layer inspects. Exhaustion freezes the
+// state (no further learning) rather than failing the function, so the
+// bound only ever reduces pruning. The value is a constant, not wall-clock,
+// so strict-tier output is deterministic at any worker count.
+const DefaultStrictSteps = 1 << 14
+
+// Interval is a closed integer interval with independently-open ends.
+// The zero value is (-∞, +∞).
+type Interval struct {
+	Lo, Hi       int64
+	HasLo, HasHi bool
+}
+
+// Empty reports whether no integer satisfies the interval.
+func (iv Interval) Empty() bool { return iv.HasLo && iv.HasHi && iv.Lo > iv.Hi }
+
+// Contains reports whether n satisfies the interval.
+func (iv Interval) Contains(n int64) bool {
+	if iv.HasLo && n < iv.Lo {
+		return false
+	}
+	if iv.HasHi && n > iv.Hi {
+		return false
+	}
+	return true
+}
+
+// String renders the interval with ∞ for open ends.
+func (iv Interval) String() string {
+	lo, hi := "-inf", "+inf"
+	if iv.HasLo {
+		lo = fmt.Sprintf("%d", iv.Lo)
+	}
+	if iv.HasHi {
+		hi = fmt.Sprintf("%d", iv.Hi)
+	}
+	return "[" + lo + ", " + hi + "]"
+}
+
+func intersect(a, b Interval) Interval {
+	out := a
+	if b.HasLo && (!out.HasLo || b.Lo > out.Lo) {
+		out.Lo, out.HasLo = b.Lo, true
+	}
+	if b.HasHi && (!out.HasHi || b.Hi < out.Hi) {
+		out.Hi, out.HasHi = b.Hi, true
+	}
+	return out
+}
+
+// State is the feasibility state of one path prefix. It is not safe for
+// concurrent use; the extractor clones it per branch edge, exactly like the
+// symbolic environment. A nil *State is the Fast tier: every method is a
+// no-op and Contradiction reports false.
+type State struct {
+	tier Tier
+	// iv and ne are keyed by class representative (the term rendering
+	// itself outside Strict, where find is the identity).
+	iv map[string]Interval
+	ne map[string]map[int64]bool
+	// eq holds the Strict tier's union-find parent pointers over term
+	// renderings; absent keys are their own class.
+	eq map[string]string
+	// budget bounds Strict-tier work; shared across clones deliberately, so
+	// the whole function's feasibility work — not each path's — is bounded.
+	budget *guard.Budget
+	// contraN counts contradiction events, shared across clones of one
+	// function's root state.
+	contraN *int64
+	contra  bool
+	frozen  bool
+}
+
+// New returns the root feasibility state for one function walk, or nil for
+// the Fast tier. For Strict, budget bounds the total feasibility work of
+// the function; nil applies DefaultStrictSteps.
+func New(tier Tier, budget *guard.Budget) *State {
+	if tier == Fast {
+		return nil
+	}
+	s := &State{
+		tier:    tier,
+		iv:      map[string]Interval{},
+		ne:      map[string]map[int64]bool{},
+		contraN: new(int64),
+	}
+	if tier == Strict {
+		s.eq = map[string]string{}
+		if budget == nil {
+			budget = guard.NewBudget(nil, guard.Limits{MaxSteps: DefaultStrictSteps})
+		}
+		s.budget = budget
+	}
+	return s
+}
+
+// Clone returns an independently-mutable copy sharing the function-level
+// budget and contradiction tally.
+func (s *State) Clone() *State {
+	if s == nil {
+		return nil
+	}
+	c := &State{tier: s.tier, budget: s.budget, contraN: s.contraN, contra: s.contra, frozen: s.frozen}
+	c.iv = make(map[string]Interval, len(s.iv))
+	for k, v := range s.iv {
+		c.iv[k] = v
+	}
+	c.ne = make(map[string]map[int64]bool, len(s.ne))
+	for k, set := range s.ne {
+		cp := make(map[int64]bool, len(set))
+		for n := range set {
+			cp[n] = true
+		}
+		c.ne[k] = cp
+	}
+	if s.eq != nil {
+		c.eq = make(map[string]string, len(s.eq))
+		for k, v := range s.eq {
+			c.eq[k] = v
+		}
+	}
+	return c
+}
+
+// Contradiction reports whether the accumulated conditions are mutually
+// unsatisfiable — the path prefix can never execute.
+func (s *State) Contradiction() bool { return s != nil && s.contra }
+
+// Contradictions returns the number of contradiction events recorded across
+// this state and every clone sharing its root.
+func (s *State) Contradictions() int64 {
+	if s == nil || s.contraN == nil {
+		return 0
+	}
+	return *s.contraN
+}
+
+func (s *State) contradict() {
+	if !s.contra {
+		s.contra = true
+		if s.contraN != nil {
+			*s.contraN++
+		}
+	}
+}
+
+// step charges one unit of strict-tier work; it reports true when the state
+// just froze (budget exhausted). Balanced states carry no budget and never
+// freeze.
+func (s *State) step() bool {
+	if s.budget == nil {
+		return false
+	}
+	if s.budget.Step() != nil {
+		s.frozen = true
+		return true
+	}
+	return false
+}
+
+// Assert records that condition v evaluated to truth on this path and
+// propagates: negation flips, conjunctions distribute on the true edge,
+// disjunctions on the false edge, comparisons against integer constants
+// narrow the term's interval or disequality set, and (Strict only)
+// equalities between two stable terms unify their constraint classes.
+// A contradiction with previously recorded facts sets Contradiction.
+func (s *State) Assert(v *sym.Value, truth bool) {
+	if s == nil || s.contra || s.frozen {
+		return
+	}
+	if s.step() {
+		return
+	}
+	if v == nil {
+		return
+	}
+	switch v.Kind {
+	case sym.Int:
+		if (v.N != 0) != truth {
+			s.contradict()
+		}
+	case sym.Sym:
+		s.assertTruthy(v, truth)
+	case sym.Expr:
+		switch {
+		case v.Op == "!" && len(v.Args) == 1:
+			s.Assert(v.Args[0], !truth)
+		case v.Op == "&&" && len(v.Args) == 2:
+			// A false conjunction is a disjunction of refutations; nothing
+			// sound can be learned about either operand alone.
+			if truth {
+				s.Assert(v.Args[0], true)
+				s.Assert(v.Args[1], true)
+			}
+		case v.Op == "||" && len(v.Args) == 2:
+			if !truth {
+				s.Assert(v.Args[0], false)
+				s.Assert(v.Args[1], false)
+			}
+		case isCmp(v.Op) && len(v.Args) == 2:
+			op := v.Op
+			if !truth {
+				op = negate(op)
+			}
+			s.assertCmp(op, v.Args[0], v.Args[1])
+		default:
+			s.assertTruthy(v, truth)
+		}
+	}
+	// Temp and Str carry no constrainable integer value.
+}
+
+// assertTruthy records `term != 0` (taken) or `term == 0` (not taken).
+func (s *State) assertTruthy(v *sym.Value, truth bool) {
+	if !v.Stable() {
+		return
+	}
+	op := "=="
+	if truth {
+		op = "!="
+	}
+	s.assertConst(v.String(), op, 0)
+}
+
+// assertCmp handles a binary comparison with the already-negated operator.
+func (s *State) assertCmp(op string, l, r *sym.Value) {
+	ln, lConst := l.ConcreteInt()
+	rn, rConst := r.ConcreteInt()
+	switch {
+	case lConst && rConst:
+		// Normally folded away by sym.NewExpr; decide directly if reached.
+		if !cmpInts(op, ln, rn) {
+			s.contradict()
+		}
+	case rConst:
+		if l.Stable() {
+			s.assertConst(l.String(), op, rn)
+		}
+	case lConst:
+		if r.Stable() {
+			s.assertConst(r.String(), mirror(op), ln)
+		}
+	default:
+		if s.tier != Strict || !l.Stable() || !r.Stable() {
+			return
+		}
+		lk, rk := l.String(), r.String()
+		switch op {
+		case "==":
+			s.unify(lk, rk)
+		case "!=", "<", ">":
+			// Strict comparisons and disequality refute themselves over one
+			// class: x < x (or a != b with a == b recorded) cannot hold.
+			if s.find(lk) == s.find(rk) {
+				s.contradict()
+			}
+		}
+	}
+}
+
+// assertConst narrows the constraints of one stable term against an
+// integer constant: `term op K`.
+func (s *State) assertConst(term, op string, k int64) {
+	rep := s.find(term)
+	iv := s.iv[rep]
+	switch op {
+	case "==":
+		if s.ne[rep][k] {
+			s.contradict()
+			return
+		}
+		iv = intersect(iv, Interval{Lo: k, Hi: k, HasLo: true, HasHi: true})
+	case "!=":
+		if iv.HasLo && iv.HasHi && iv.Lo == iv.Hi && iv.Lo == k {
+			s.contradict()
+			return
+		}
+		if s.ne[rep] == nil {
+			s.ne[rep] = map[int64]bool{}
+		}
+		s.ne[rep][k] = true
+		return
+	case "<":
+		if k == math.MinInt64 {
+			s.contradict()
+			return
+		}
+		iv = intersect(iv, Interval{Hi: k - 1, HasHi: true})
+	case "<=":
+		iv = intersect(iv, Interval{Hi: k, HasHi: true})
+	case ">":
+		if k == math.MaxInt64 {
+			s.contradict()
+			return
+		}
+		iv = intersect(iv, Interval{Lo: k + 1, HasLo: true})
+	case ">=":
+		iv = intersect(iv, Interval{Lo: k, HasLo: true})
+	default:
+		return
+	}
+	if iv.Empty() {
+		s.contradict()
+		return
+	}
+	if iv.HasLo && iv.HasHi && iv.Lo == iv.Hi && s.ne[rep][iv.Lo] {
+		s.contradict()
+		return
+	}
+	s.iv[rep] = iv
+}
+
+// find returns the constraint-class representative of a term. Outside the
+// Strict tier every term is its own class.
+func (s *State) find(term string) string {
+	if s.eq == nil {
+		return term
+	}
+	root := term
+	for {
+		p, ok := s.eq[root]
+		if !ok {
+			break
+		}
+		root = p
+	}
+	// Path compression keeps repeated lookups cheap; it never changes which
+	// representative is found, so determinism is unaffected.
+	for term != root {
+		next, ok := s.eq[term]
+		if !ok {
+			break
+		}
+		s.eq[term] = root
+		term = next
+	}
+	return root
+}
+
+// unify merges the constraint classes of two terms (Strict tier): their
+// intervals intersect and their disequality sets union. The
+// lexicographically smaller representative wins, keeping merges
+// deterministic regardless of assertion order.
+func (s *State) unify(a, b string) {
+	ra, rb := s.find(a), s.find(b)
+	if ra == rb {
+		return
+	}
+	if rb < ra {
+		ra, rb = rb, ra
+	}
+	s.eq[rb] = ra
+	iv := intersect(s.iv[ra], s.iv[rb])
+	delete(s.iv, rb)
+	if neb := s.ne[rb]; neb != nil {
+		if s.ne[ra] == nil {
+			s.ne[ra] = map[int64]bool{}
+		}
+		for n := range neb {
+			s.ne[ra][n] = true
+		}
+		delete(s.ne, rb)
+	}
+	if iv.Empty() {
+		s.contradict()
+		return
+	}
+	if iv.HasLo && iv.HasHi && iv.Lo == iv.Hi && s.ne[ra][iv.Lo] {
+		s.contradict()
+		return
+	}
+	s.iv[ra] = iv
+}
+
+func isCmp(op string) bool {
+	switch op {
+	case "==", "!=", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+// negate returns the comparison holding when `l op r` is false.
+func negate(op string) string {
+	switch op {
+	case "==":
+		return "!="
+	case "!=":
+		return "=="
+	case "<":
+		return ">="
+	case "<=":
+		return ">"
+	case ">":
+		return "<="
+	case ">=":
+		return "<"
+	}
+	return op
+}
+
+// mirror returns the comparison with swapped operands: `K op x` ⇔
+// `x mirror(op) K`.
+func mirror(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op // == and != are symmetric
+}
+
+func cmpInts(op string, l, r int64) bool {
+	switch op {
+	case "==":
+		return l == r
+	case "!=":
+		return l != r
+	case "<":
+		return l < r
+	case "<=":
+		return l <= r
+	case ">":
+		return l > r
+	case ">=":
+		return l >= r
+	}
+	return true
+}

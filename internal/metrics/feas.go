@@ -1,0 +1,25 @@
+package metrics
+
+// Feasibility-layer metric names. The path extractor (internal/paths)
+// registers these in metrics.Default when the balanced or strict precision
+// tier discards an infeasible path continuation, so one /metrics scrape of
+// a serve, worker, or batch process shows how much work the feasibility
+// layer (internal/feas) avoided. Declared here, next to the registry, like
+// the incremental and cluster sets.
+const (
+	// MetricFeasPathsPruned counts path continuations discarded because the
+	// branch conditions accumulated along them were mutually contradictory.
+	// It is a lower bound on the paths avoided: one discarded edge can hide
+	// a whole subtree of enumerations.
+	MetricFeasPathsPruned = "pallas_feas_paths_pruned_total"
+	// MetricFeasContradictions counts contradictory condition accumulations
+	// the feasibility layer detected during path walks.
+	MetricFeasContradictions = "pallas_feas_contradictions_total"
+)
+
+// Help strings, shared by the writer (internal/paths) and every reader so
+// the idempotent registration always agrees.
+const (
+	HelpFeasPathsPruned    = "Path continuations discarded as infeasible by the feasibility layer."
+	HelpFeasContradictions = "Contradictory branch-condition accumulations detected during path walks."
+)

@@ -6,11 +6,14 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"pallas/internal/cast"
 	"pallas/internal/cfg"
 	"pallas/internal/ctok"
+	"pallas/internal/feas"
 	"pallas/internal/guard"
+	"pallas/internal/metrics"
 	"pallas/internal/sym"
 )
 
@@ -39,6 +42,15 @@ type Config struct {
 	// what Extract would produce for the same unit — the memo's fingerprint
 	// keys guarantee that. The Extractor itself ignores Seed.
 	Seed map[string]*FuncPaths
+	// Precision selects the feasibility tier (internal/feas): Fast (the zero
+	// value) walks exactly as before the layer existed; Balanced prunes path
+	// continuations whose accumulated branch conditions are interval- or
+	// disequality-contradictory; Strict adds cross-condition equality
+	// unification under a per-function step budget. Pruning only ever
+	// removes paths no real execution can take, and the walk stays
+	// single-goroutine per function, so output per tier is deterministic at
+	// any Workers setting.
+	Precision feas.Tier
 }
 
 // DefaultConfig mirrors the paper's bounded exploration.
@@ -61,6 +73,25 @@ type Extractor struct {
 	mu     sync.Mutex
 	sums   map[string]*sumEntry
 	graphs map[string]*cfg.Graph
+	// Feasibility tallies, accumulated atomically across Extract calls (the
+	// per-function walks may run on concurrent workers).
+	feasPruned atomic.Int64
+	feasContra atomic.Int64
+}
+
+// FeasStats reports the extractor's cumulative feasibility activity.
+type FeasStats struct {
+	// Pruned counts path continuations discarded because their accumulated
+	// branch conditions were contradictory — a lower bound on the paths
+	// avoided, since one discarded edge can hide a whole subtree.
+	Pruned int64
+	// Contradictions counts contradictory condition accumulations detected.
+	Contradictions int64
+}
+
+// FeasStats returns the feasibility tallies of every Extract so far.
+func (ex *Extractor) FeasStats() FeasStats {
+	return FeasStats{Pruned: ex.feasPruned.Load(), Contradictions: ex.feasContra.Load()}
 }
 
 // NewExtractor returns an extractor over tu.
@@ -132,9 +163,20 @@ func (ex *Extractor) Extract(name string) (*FuncPaths, error) {
 	for _, v := range ex.tu.Globals() {
 		env.Set(v.Name, sym.NewSym(v.Name))
 	}
-	st.walk(g.Entry, env, &pathBuild{visits: map[int]int{}})
+	// Feasibility state rides alongside the environment; nil in the Fast
+	// tier, where the walk must stay byte-identical to the pre-layer
+	// behavior. Strict's step budget is per function (walk is one
+	// goroutine), so its pruning decisions are deterministic too.
+	fs := feas.New(ex.cfg.Precision, nil)
+	st.walk(g.Entry, env, fs, &pathBuild{visits: map[int]int{}})
 	for i, p := range fp.Paths {
 		p.Index = i
+	}
+	if fp.Pruned > 0 || fs.Contradictions() > 0 {
+		ex.feasPruned.Add(int64(fp.Pruned))
+		ex.feasContra.Add(fs.Contradictions())
+		metrics.Default.Counter(metrics.MetricFeasPathsPruned, metrics.HelpFeasPathsPruned).Add(int64(fp.Pruned))
+		metrics.Default.Counter(metrics.MetricFeasContradictions, metrics.HelpFeasContradictions).Add(fs.Contradictions())
 	}
 	return fp, nil
 }
@@ -185,7 +227,7 @@ type walkState struct {
 	fp *FuncPaths
 }
 
-func (st *walkState) walk(b *cfg.Block, env *sym.Env, pb *pathBuild) {
+func (st *walkState) walk(b *cfg.Block, env *sym.Env, fs *feas.State, pb *pathBuild) {
 	if st.fp.Truncated {
 		// Already degraded (budget exhaustion or the path cap); never clear
 		// the flag — a budget-truncated function with room left under
@@ -229,7 +271,7 @@ func (st *walkState) walk(b *cfg.Block, env *sym.Env, pb *pathBuild) {
 
 	if b.Cond == nil {
 		// Unconditional: single successor expected.
-		st.walk(b.Succs[0].To, env, pb)
+		st.walk(b.Succs[0].To, env, fs, pb)
 		return
 	}
 
@@ -261,30 +303,56 @@ func (st *walkState) walk(b *cfg.Block, env *sym.Env, pb *pathBuild) {
 			}
 		}
 		branchEnv := env.Clone()
-		// Branch refinement applies to boolean edges only; Case/Default
-		// edges carry a switch tag, not a truth value.
-		if e.Kind == cfg.True || e.Kind == cfg.False {
-			refineEnv(branchEnv, b.Cond, e.Kind == cfg.True)
-		} else if e.Kind == cfg.Case {
+		branchFS := fs.Clone()
+		// Branch refinement: boolean edges learn the condition's truth
+		// value, Case edges bind the switch tag to the matched label, and
+		// Default edges learn that the tag matches no label.
+		switch e.Kind {
+		case cfg.True, cfg.False:
+			taken := e.Kind == cfg.True
+			refineEnv(branchEnv, b.Cond, taken)
+			branchFS.Assert(symv, taken)
+		case cfg.Case:
 			refineCaseEnv(branchEnv, b.Cond, e.Label)
+			if n, ok := caseLabelInt(e.Label); ok {
+				branchFS.Assert(sym.NewExpr("==", symv, sym.NewInt(n)), true)
+			}
+		case cfg.Default:
+			refineDefaultEnv(branchEnv, b.Cond, b.Succs)
+			for _, sib := range b.Succs {
+				if sib.Kind != cfg.Case {
+					continue
+				}
+				if n, ok := caseLabelInt(sib.Label); ok {
+					branchFS.Assert(sym.NewExpr("!=", symv, sym.NewInt(n)), true)
+				}
+			}
+		}
+		// Feasibility pruning runs after the concrete and exclusion prunes
+		// above, so it only ever discards continuations the Fast tier would
+		// still have walked; with a nil state (Fast) nothing is ever pruned.
+		if branchFS.Contradiction() {
+			st.fp.Pruned++
+			continue
 		}
 		branchPB := pb.clone()
 		branchPB.conds = append(branchPB.conds, Condition{
 			Expr: condText, Sym: symv.String(), Outcome: outcome,
 			Vars: vars, Fields: fields, Line: line,
 		})
-		st.walk(e.To, branchEnv, branchPB)
+		st.walk(e.To, branchEnv, branchFS, branchPB)
 	}
 }
 
 // refineEnv narrows the symbolic environment with what a taken branch
 // implies, so later conditions over the same variable fold concretely and
-// infeasible continuations are pruned. Only equalities and plain truthiness
-// are learned — sound and cheap:
+// infeasible continuations are pruned. Only equalities, disequalities and
+// plain truthiness are learned — sound and cheap:
 //
 //	if (x == K) taken      →  x = K
 //	if (x != K) not taken  →  x = K
 //	if (x) not taken       →  x = 0
+//	if (x) taken           →  x ≠ 0 (recorded via Exclude)
 //	if (!x) taken          →  x = 0
 //
 // Conjunctions distribute on the true edge (a && b true implies both), and
@@ -292,7 +360,11 @@ func (st *walkState) walk(b *cfg.Block, env *sym.Env, pb *pathBuild) {
 func refineEnv(env *sym.Env, cond cast.Expr, taken bool) {
 	switch x := cond.(type) {
 	case *cast.IdentExpr:
-		if !taken {
+		if taken {
+			// The taken edge of a truthiness branch proves x ≠ 0, so a later
+			// `if (x == 0)` inside the branch is refuted by exclusion.
+			env.Exclude(x.Name, 0)
+		} else {
 			env.Set(x.Name, sym.NewInt(0))
 		}
 	case *cast.UnaryExpr:
@@ -360,24 +432,71 @@ func refineCaseEnv(env *sym.Env, tag cast.Expr, label string) {
 	if !ok {
 		return
 	}
-	n, err := strconv.ParseInt(label, 0, 64)
-	if err != nil {
+	n, ok := caseLabelInt(label)
+	if !ok {
 		return // enum-named labels would need the TU; leave symbolic
 	}
 	env.Set(id.Name, sym.NewInt(n))
 }
 
+// refineDefaultEnv records, on a switch default edge, that the tag equals
+// none of the sibling case labels, so a later `if (tag == CASE_K)` under
+// default is refuted by exclusion.
+func refineDefaultEnv(env *sym.Env, tag cast.Expr, succs []cfg.Edge) {
+	id, ok := tag.(*cast.IdentExpr)
+	if !ok {
+		return
+	}
+	for _, e := range succs {
+		if e.Kind != cfg.Case {
+			continue
+		}
+		if n, ok := caseLabelInt(e.Label); ok {
+			env.Exclude(id.Name, n)
+		}
+	}
+}
+
+// caseLabelInt parses a case label's rendered text as an integer (decimal,
+// hex or octal, as ExprString renders literal labels).
+func caseLabelInt(label string) (int64, bool) {
+	n, err := strconv.ParseInt(label, 0, 64)
+	return n, err == nil
+}
+
+// intConst extracts the value of a constant comparison operand: integer
+// literals, single-byte character constants, and unary minus over either —
+// so `x == -1` and `-1 == x` refine identically.
+func intConst(e cast.Expr) (int64, bool) {
+	switch x := e.(type) {
+	case *cast.IntExpr:
+		return x.Value, true
+	case *cast.CharExpr:
+		if len(x.Value) == 1 {
+			return int64(x.Value[0]), true
+		}
+	case *cast.UnaryExpr:
+		if x.Op == ctok.Minus {
+			if n, ok := intConst(x.X); ok {
+				return -n, true
+			}
+		}
+	}
+	return 0, false
+}
+
 // equalityOperands extracts (ident, constant) from `x == K` / `K == x`
-// shaped comparisons; returns "" when the shape does not match.
+// shaped comparisons; returns "" when the shape does not match. The shapes
+// are checked in both operand orders, so refinement is order-independent.
 func equalityOperands(x *cast.BinaryExpr) (string, int64) {
 	if id, ok := x.L.(*cast.IdentExpr); ok {
-		if c, ok2 := x.R.(*cast.IntExpr); ok2 {
-			return id.Name, c.Value
+		if c, ok2 := intConst(x.R); ok2 {
+			return id.Name, c
 		}
 	}
 	if id, ok := x.R.(*cast.IdentExpr); ok {
-		if c, ok2 := x.L.(*cast.IntExpr); ok2 {
-			return id.Name, c.Value
+		if c, ok2 := intConst(x.L); ok2 {
+			return id.Name, c
 		}
 	}
 	return "", 0

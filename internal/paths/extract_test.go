@@ -359,7 +359,8 @@ int f(int a) {
 // TestSwitchCaseBindsTag is the regression for a bug found by self-review:
 // Case/Default edges were treated as boolean-false edges, binding the switch
 // tag to 0 on every case arm. A case arm must instead bind the tag to the
-// matched label; the default arm must leave it symbolic.
+// matched label; the default arm excludes every case label, so equality
+// tests against a label under default are refuted.
 func TestSwitchCaseBindsTag(t *testing.T) {
 	fp := extract(t, `
 int f(int x) {
@@ -372,7 +373,7 @@ int f(int x) {
 		return 20;
 	default:
 		if (x == 1)
-			return 30; /* tag symbolic here; both arms survive */
+			return 30; /* infeasible: default implies x != 1 */
 		return 0;
 	}
 }`, "f")
@@ -386,8 +387,9 @@ int f(int x) {
 	if got["(I#10)"] != 1 || got["(I#20)"] != 1 {
 		t.Fatalf("case arms wrong: %v", got)
 	}
-	// Default arm keeps x symbolic: both the ==1 and !=1 continuations exist.
-	if got["(I#30)"] != 1 || got["(I#0)"] != 1 {
+	// Default arm excludes the case labels: the ==1 continuation is refuted
+	// and only the fallthrough to return 0 survives.
+	if got["(I#30)"] != 0 || got["(I#0)"] != 1 {
 		t.Fatalf("default arm refinement wrong: %v", got)
 	}
 }

@@ -233,4 +233,10 @@ type FuncPaths struct {
 	Paths     []*ExecPath
 	// Truncated reports that MaxPaths was hit and the enumeration stopped.
 	Truncated bool
+	// Pruned counts path continuations the feasibility layer discarded
+	// because their accumulated branch conditions were contradictory
+	// (Config.Precision balanced/strict; always 0 under fast). Zero values
+	// are omitted so fast-tier serializations are byte-identical to builds
+	// that predate the field.
+	Pruned int `json:"Pruned,omitempty"`
 }

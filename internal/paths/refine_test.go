@@ -1,0 +1,422 @@
+package paths
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+
+	"pallas/internal/cparse"
+	"pallas/internal/feas"
+)
+
+// extractTier extracts fn at the given precision tier.
+func extractTier(t *testing.T, src, fn string, tier feas.Tier) *FuncPaths {
+	t.Helper()
+	tu, err := cparse.Parse("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	cfg := DefaultConfig()
+	cfg.Precision = tier
+	fp, err := NewExtractor(tu, cfg).Extract(fn)
+	if err != nil {
+		t.Fatalf("extract: %v", err)
+	}
+	return fp
+}
+
+// outs tallies the symbolic outputs of a function's paths.
+func outs(fp *FuncPaths) map[string]int {
+	got := map[string]int{}
+	for _, p := range fp.Paths {
+		if p.Out != nil {
+			got[p.Out.Sym]++
+		}
+	}
+	return got
+}
+
+// TestTruthinessTakenEdgeExcludesZero pins the satellite bugfix: the taken
+// edge of `if (x)` proves x != 0, so a later `if (x == 0)` inside the
+// branch is refuted by exclusion.
+func TestTruthinessTakenEdgeExcludesZero(t *testing.T) {
+	fp := extract(t, `
+int f(int x) {
+	if (x) {
+		if (x == 0)
+			return 9; /* infeasible: x proven nonzero */
+		return 1;
+	}
+	return 0;
+}`, "f")
+	got := outs(fp)
+	if got["(I#9)"] != 0 {
+		t.Fatalf("x == 0 under if (x) must be refuted: %v", got)
+	}
+	if got["(I#1)"] != 1 || got["(I#0)"] != 1 {
+		t.Fatalf("want the two feasible paths: %v", got)
+	}
+}
+
+// TestEqualityOperandOrder pins that refinement is independent of which
+// side of ==/!= carries the constant, including negative and character
+// constants.
+func TestEqualityOperandOrder(t *testing.T) {
+	cases := []struct {
+		name string
+		cond string // equality that binds x on the taken edge
+		then string // comparison refuted inside the branch
+	}{
+		{"const-right", "x == 5", "x != 5"},
+		{"const-left", "5 == x", "x != 5"},
+		{"neg-const-right", "x == -1", "x != -1"},
+		{"neg-const-left", "-1 == x", "x != -1"},
+		{"neg-const-left-flip", "-1 == x", "-1 != x"},
+		{"char-const-right", "x == 'a'", "x != 'a'"},
+		{"char-const-left", "'a' == x", "x != 'a'"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			src := fmt.Sprintf(`
+int f(int x) {
+	if (%s) {
+		if (%s)
+			return 9; /* infeasible: x is bound by the outer equality */
+		return 1;
+	}
+	return 0;
+}`, c.cond, c.then)
+			got := outs(extract(t, src, "f"))
+			if got["(I#9)"] != 0 {
+				t.Fatalf("inner test must fold false: %v", got)
+			}
+			if got["(I#1)"] != 1 || got["(I#0)"] != 1 {
+				t.Fatalf("want the two feasible paths: %v", got)
+			}
+		})
+	}
+}
+
+// TestDeMorganRefinement pins that negation distributes through refineEnv:
+// the false edge of !(a && b) implies both conjuncts, the true edge of
+// !(a || b) refutes both disjuncts, and nested negation unwraps.
+func TestDeMorganRefinement(t *testing.T) {
+	cases := []struct {
+		name    string
+		src     string
+		banned  []string // symbolic outputs that must not appear
+		present []string // symbolic outputs that must appear exactly once
+	}{
+		{
+			name: "not-and-false-edge",
+			src: `
+int f(int a, int b) {
+	if (!(a && b))
+		return 0;
+	/* here a && b held: both are nonzero */
+	if (a == 0)
+		return 9;
+	if (b == 0)
+		return 8;
+	return 3;
+}`,
+			banned:  []string{"(I#9)", "(I#8)"},
+			present: []string{"(I#0)", "(I#3)"},
+		},
+		{
+			name: "not-or-true-edge",
+			src: `
+int f(int a, int b) {
+	if (!(a || b)) {
+		/* here a || b was refuted: both are zero */
+		if (a)
+			return 9;
+		return a + b;
+	}
+	return 1;
+}`,
+			banned:  []string{"(I#9)"},
+			present: []string{"(I#0)", "(I#1)"}, // a + b folds to 0
+		},
+		{
+			name: "nested-negation",
+			src: `
+int f(int x) {
+	if (!!(x == 5)) {
+		if (x != 5)
+			return 9;
+		return 1;
+	}
+	return 0;
+}`,
+			banned:  []string{"(I#9)"},
+			present: []string{"(I#1)", "(I#0)"},
+		},
+		{
+			name: "mixed-and-or",
+			src: `
+int f(int a, int b, int c) {
+	if (!(a && (b || c)))
+		return 0;
+	/* a nonzero; b || c held but neither disjunct is pinned */
+	if (a == 0)
+		return 9;
+	if (b == 0)
+		return 7;
+	return 3;
+}`,
+			banned:  []string{"(I#9)"},
+			present: []string{"(I#0)", "(I#7)", "(I#3)"},
+		},
+		{
+			name: "or-false-edge-pins-equalities",
+			src: `
+int f(int a, int b) {
+	if (a == 3 || b == 4) {
+		return 1;
+	}
+	/* both disjuncts refuted */
+	if (a == 3)
+		return 9;
+	if (b == 4)
+		return 8;
+	return 0;
+}`,
+			banned:  []string{"(I#9)", "(I#8)"},
+			present: []string{"(I#1)", "(I#0)"},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := outs(extract(t, c.src, "f"))
+			for _, s := range c.banned {
+				if got[s] != 0 {
+					t.Fatalf("infeasible output %s survived: %v", s, got)
+				}
+			}
+			for _, s := range c.present {
+				if got[s] != 1 {
+					t.Fatalf("expected output %s once: %v", s, got)
+				}
+			}
+		})
+	}
+}
+
+// TestDeMorganRefinementParallelWorkers re-runs the De Morgan extraction
+// concurrently from one shared extractor at 1, 4 and 16 workers and
+// requires byte-identical results — refinement holds no shared mutable
+// state, and the race detector patrols the shared CFG/summary caches.
+func TestDeMorganRefinementParallelWorkers(t *testing.T) {
+	src := `
+int f(int a, int b) {
+	if (!(a && b))
+		return 0;
+	if (a == 0)
+		return 9;
+	return 3;
+}
+int g(int a, int b) {
+	if (!(a || b)) {
+		if (a)
+			return 9;
+		return a + b;
+	}
+	return 1;
+}
+int h(int x) {
+	if (x) {
+		if (x == 0)
+			return 9;
+		return 1;
+	}
+	return 0;
+}`
+	tu, err := cparse.Parse("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fns := []string{"f", "g", "h"}
+	want := map[string]string{}
+	{
+		ex := NewExtractor(tu, DefaultConfig())
+		for _, fn := range fns {
+			fp, err := ex.Extract(fn)
+			if err != nil {
+				t.Fatalf("serial extract %s: %v", fn, err)
+			}
+			b, _ := json.Marshal(fp)
+			want[fn] = string(b)
+		}
+	}
+	for _, workers := range []int{1, 4, 16} {
+		t.Run(fmt.Sprintf("workers-%d", workers), func(t *testing.T) {
+			ex := NewExtractor(tu, DefaultConfig())
+			var wg sync.WaitGroup
+			got := make([]map[string]string, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					out := map[string]string{}
+					for _, fn := range fns {
+						fp, err := ex.Extract(fn)
+						if err != nil {
+							t.Errorf("worker %d extract %s: %v", w, fn, err)
+							return
+						}
+						b, _ := json.Marshal(fp)
+						out[fn] = string(b)
+					}
+					got[w] = out
+				}(w)
+			}
+			wg.Wait()
+			for w := 0; w < workers; w++ {
+				for _, fn := range fns {
+					if got[w] == nil {
+						t.Fatalf("worker %d produced nothing", w)
+					}
+					if got[w][fn] != want[fn] {
+						t.Fatalf("worker %d diverged on %s:\n got %s\nwant %s", w, fn, got[w][fn], want[fn])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFeasTierPruning pins the tentpole: interval contradictions prune
+// under balanced/strict but never under fast, and the pruned tally is
+// recorded on the function and the extractor.
+func TestFeasTierPruning(t *testing.T) {
+	src := `
+int f(int x) {
+	if (x > 3) {
+		if (x < 2)
+			return 9; /* infeasible: x > 3 and x < 2 */
+		return 1;
+	}
+	return 0;
+}`
+	fast := extractTier(t, src, "f", feas.Fast)
+	if got := outs(fast); got["(I#9)"] != 1 || fast.Pruned != 0 {
+		t.Fatalf("fast tier must not prune: %v pruned=%d", got, fast.Pruned)
+	}
+	for _, tier := range []feas.Tier{feas.Balanced, feas.Strict} {
+		fp := extractTier(t, src, "f", tier)
+		got := outs(fp)
+		if got["(I#9)"] != 0 {
+			t.Fatalf("%v: interval-contradictory path survived: %v", tier, got)
+		}
+		if got["(I#1)"] != 1 || got["(I#0)"] != 1 {
+			t.Fatalf("%v: feasible paths wrong: %v", tier, got)
+		}
+		if fp.Pruned != 1 {
+			t.Fatalf("%v: Pruned = %d, want 1", tier, fp.Pruned)
+		}
+	}
+}
+
+// TestFeasStrictCrossTermPruning pins the strict tier's equality
+// unification: a == b propagates interval facts across the pair.
+func TestFeasStrictCrossTermPruning(t *testing.T) {
+	src := `
+int f(int a, int b) {
+	if (a == b) {
+		if (a > 5) {
+			if (b < 3)
+				return 9; /* infeasible under strict: b == a > 5 */
+			return 1;
+		}
+		return 2;
+	}
+	return 0;
+}`
+	bal := extractTier(t, src, "f", feas.Balanced)
+	if got := outs(bal); got["(I#9)"] != 1 || bal.Pruned != 0 {
+		t.Fatalf("balanced must not unify cross-term equalities: %v pruned=%d", got, bal.Pruned)
+	}
+	fp := extractTier(t, src, "f", feas.Strict)
+	got := outs(fp)
+	if got["(I#9)"] != 0 {
+		t.Fatalf("strict: cross-term contradictory path survived: %v", got)
+	}
+	if fp.Pruned != 1 {
+		t.Fatalf("strict: Pruned = %d, want 1", fp.Pruned)
+	}
+}
+
+// TestFeasSwitchDefaultPruning: the default arm's disequalities reach the
+// feasibility layer even when the tag is a compound (non-identifier)
+// expression the Env-level refinement cannot track.
+func TestFeasSwitchDefaultPruning(t *testing.T) {
+	src := `
+int f(int x) {
+	switch (x + 1) {
+	case 1:
+		return 10;
+	case 2:
+		return 20;
+	default:
+		if (x + 1 == 2)
+			return 9; /* infeasible: default excludes both labels */
+		return 0;
+	}
+}`
+	fast := extractTier(t, src, "f", feas.Fast)
+	if got := outs(fast); got["(I#9)"] != 1 {
+		t.Fatalf("fast keeps the compound-tag default arm symbolic: %v", got)
+	}
+	fp := extractTier(t, src, "f", feas.Balanced)
+	got := outs(fp)
+	if got["(I#9)"] != 0 {
+		t.Fatalf("balanced: default-arm equality must be refuted: %v", got)
+	}
+	if got["(I#10)"] != 1 || got["(I#20)"] != 1 || got["(I#0)"] != 1 {
+		t.Fatalf("balanced: feasible arms wrong: %v", got)
+	}
+}
+
+// TestFeasFastTierByteIdentical extracts a condition-heavy unit at fast
+// tier and requires the serialized result to be byte-identical to an
+// extractor built before the feasibility layer existed — i.e. the zero
+// Config value keeps historical behavior exactly (Pruned serializes away).
+func TestFeasFastTierByteIdentical(t *testing.T) {
+	src := `
+int f(int x, int y) {
+	if (x > 3) {
+		if (x < 2)
+			return 9;
+		if (y)
+			return 1;
+	}
+	switch (y) {
+	case 1: return 10;
+	default: return 0;
+	}
+}`
+	tu, err := cparse.Parse("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	zero, err := NewExtractor(tu, DefaultConfig()).Extract("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Precision = feas.Fast
+	explicit, err := NewExtractor(tu, cfg).Extract("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	zb, _ := json.Marshal(zero)
+	eb, _ := json.Marshal(explicit)
+	if string(zb) != string(eb) {
+		t.Fatalf("fast tier diverged from zero config:\n%s\n%s", zb, eb)
+	}
+	if zero.Pruned != 0 {
+		t.Fatalf("fast tier recorded pruning: %d", zero.Pruned)
+	}
+}

@@ -168,6 +168,11 @@ type Report struct {
 	// budget, crashed, or the input was malformed, so absence of a warning is
 	// not evidence of absence of a bug.
 	Degraded bool `json:"degraded,omitempty"`
+	// PathsPruned counts the path continuations the feasibility layer
+	// discarded as contradictory across every analyzed function (precision
+	// balanced/strict; always 0 — and omitted — under fast, so fast-tier
+	// report bytes are unchanged from builds without the layer).
+	PathsPruned int `json:"paths_pruned,omitempty"`
 }
 
 // Add appends warnings.

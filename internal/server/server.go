@@ -45,6 +45,7 @@ import (
 
 	"pallas"
 	"pallas/internal/cluster"
+	"pallas/internal/feas"
 	"pallas/internal/guard"
 	"pallas/internal/incr"
 	"pallas/internal/metrics"
@@ -190,6 +191,7 @@ type Server struct {
 	maxQ     int
 	deadline time.Duration // default admission deadline (Analyzer.Deadline)
 	aworkers int           // Analyzer.AnalysisWorkers, surfaced by /healthz
+	feasTier feas.Tier     // Analyzer.Precision, surfaced by /healthz and stats
 	draining atomic.Bool
 
 	// Cluster-worker state: the address this worker advertises in result
@@ -269,6 +271,19 @@ func New(cfg Config) (*Server, error) {
 		tier.Close()
 		return nil, err
 	}
+	// An unknown precision tier would otherwise fail every request.
+	feasTier, err := feas.ParseTier(cfg.Analyzer.Precision)
+	if err != nil {
+		tier.Close()
+		return nil, err
+	}
+	if feasTier != feas.Fast {
+		// Pre-register the feasibility counters so /metrics exposes them
+		// from the first scrape, not the first pruned path. The fast tier
+		// never prunes, so it keeps the historical exposition byte-for-byte.
+		reg.Counter(metrics.MetricFeasPathsPruned, metrics.HelpFeasPathsPruned)
+		reg.Counter(metrics.MetricFeasContradictions, metrics.HelpFeasContradictions)
+	}
 	if len(cfg.CachePeers) > 0 {
 		members := append([]string(nil), cfg.CachePeers...)
 		if cfg.CacheSelf != "" {
@@ -297,6 +312,7 @@ func New(cfg Config) (*Server, error) {
 		maxQ:     maxQueue,
 		deadline: cfg.Analyzer.Deadline,
 		aworkers: cfg.Analyzer.AnalysisWorkers,
+		feasTier: feasTier,
 
 		mRequests:     reg.Counter(MetricRequests, "accepted analyze requests"),
 		mErrors:       reg.Counter(MetricRequestErrors, "analyze requests answered with an error"),
@@ -342,6 +358,13 @@ func (s *Server) PeerTier() *peer.Tier { return s.peers }
 // IncrStats surfaces the function-memo counters (false when incremental
 // analysis is off).
 func (s *Server) IncrStats() (incr.Stats, bool) { return s.analyzer.IncrStats() }
+
+// FeasTier reports the feasibility tier this server's analyses run under.
+func (s *Server) FeasTier() feas.Tier { return s.feasTier }
+
+// FeasStats surfaces the feasibility layer's cumulative pruning counters
+// (always zero on the fast tier).
+func (s *Server) FeasStats() pallas.FeasStats { return s.analyzer.FeasStats() }
 
 // Close releases background resources (the peer tier's handoff drain
 // loop). The HTTP handler must not be used afterwards.
@@ -743,6 +766,10 @@ type healthVerbose struct {
 	// Incr summarizes the function memo (omitted when incremental analysis
 	// is off).
 	Incr *incr.Stats `json:"incr,omitempty"`
+	// Precision names the feasibility tier and Feas its pruning counters
+	// (both omitted on the default fast tier, which never prunes).
+	Precision string            `json:"precision,omitempty"`
+	Feas      *pallas.FeasStats `json:"feas,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -786,6 +813,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if ist, ok := s.analyzer.IncrStats(); ok {
 		body.Incr = &ist
+	}
+	if s.feasTier != feas.Fast {
+		body.Precision = s.feasTier.String()
+		fst := s.analyzer.FeasStats()
+		body.Feas = &fst
 	}
 	writeJSON(w, code, body)
 }

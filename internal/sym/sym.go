@@ -176,6 +176,58 @@ func isInfix(op string) bool {
 	return false
 }
 
+// Pure reports whether op at the given arity is one of the pure operators
+// of the symbolic domain: an application whose value is determined by its
+// rendered operands. Call results, memory reads (deref, member access,
+// indexing) and address-taking are not pure — two occurrences that render
+// identically may hold different values at different program points.
+func Pure(op string, arity int) bool {
+	switch arity {
+	case 1:
+		switch op {
+		case "+", "-", "~", "!":
+			return true
+		}
+	case 2:
+		switch op {
+		case "+", "-", "*", "/", "%", "<<", ">>", "&", "|", "^",
+			"==", "!=", "<", "<=", ">", ">=", "&&", "||":
+			return true
+		}
+	case 3:
+		return op == "?:"
+	}
+	return false
+}
+
+// Stable reports whether v denotes a value that is fixed along one
+// execution path: a term built only from concrete integers, free symbols
+// (which are bound once and never mutate — reassignment rebinds the
+// environment to a new term instead), and pure operators. Temporaries (V#),
+// strings, call results and memory reads are not stable: constraint layers
+// must never accumulate facts about them, because two occurrences with the
+// same rendering may denote different runtime values.
+func (v *Value) Stable() bool {
+	if v == nil {
+		return false
+	}
+	switch v.Kind {
+	case Int, Sym:
+		return true
+	case Expr:
+		if !Pure(v.Op, len(v.Args)) {
+			return false
+		}
+		for _, a := range v.Args {
+			if !a.Stable() {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
 // Equal reports structural equality.
 func Equal(a, b *Value) bool {
 	if a == nil || b == nil {

@@ -33,6 +33,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pallas/internal/cast"
@@ -42,6 +43,7 @@ import (
 	"pallas/internal/cpp"
 	"pallas/internal/difftool"
 	"pallas/internal/failpoint"
+	"pallas/internal/feas"
 	"pallas/internal/guard"
 	"pallas/internal/incr"
 	"pallas/internal/infer"
@@ -141,6 +143,18 @@ type Config struct {
 	// AnalysisWorkers goroutines, so total CPU demand is bounded by
 	// outer × AnalysisWorkers. Keep the product near GOMAXPROCS.
 	AnalysisWorkers int
+	// Precision selects the path-feasibility tier (internal/feas): "fast"
+	// (or empty — the default) analyzes exactly as before the feasibility
+	// layer existed, byte-identically; "balanced" prunes path continuations
+	// whose accumulated branch conditions are interval- or disequality-
+	// contradictory before any checker runs; "strict" adds cross-condition
+	// equality unification under a per-function step budget. Unlike
+	// AnalysisWorkers, the tier CAN change analysis output (pruned paths
+	// disappear from path databases and pruned-path counts appear in
+	// reports), so non-fast tiers are part of the cache-key fingerprint —
+	// tiers never share cache or memo entries — while "fast" keeps the
+	// historical fingerprint so existing caches stay warm.
+	Precision string
 	// Incremental, when non-nil, enables the function-level memo engine
 	// (internal/incr): every analyzed function is fingerprinted — its
 	// canonical post-preprocess rendering plus the fingerprints of all
@@ -174,6 +188,22 @@ type Analyzer struct {
 	incrOnce sync.Once
 	incrMemo *incr.Store
 	incrErr  error
+
+	// Feasibility tallies across this analyzer's lifetime (see FeasStats).
+	feasPruned atomic.Int64
+	feasContra atomic.Int64
+}
+
+// FeasStats is the cumulative feasibility activity of one analyzer.
+type FeasStats = paths.FeasStats
+
+// FeasStats reports how much work the feasibility layer avoided across
+// every analysis this analyzer ran: pruned counts discarded path
+// continuations (including those replayed from memoized verdicts),
+// contradictions counts contradiction events seen during fresh extraction.
+// Both are always zero at precision "fast".
+func (a *Analyzer) FeasStats() FeasStats {
+	return FeasStats{Pruned: a.feasPruned.Load(), Contradictions: a.feasContra.Load()}
 }
 
 // New returns an analyzer with the given configuration.
@@ -338,6 +368,10 @@ func (a *Analyzer) analyze(tu *cast.TranslationUnit, sp *spec.Spec, merged strin
 		}
 		selected = append(selected, c)
 	}
+	tier, terr := feas.ParseTier(a.cfg.Precision)
+	if terr != nil {
+		return nil, fmt.Errorf("pallas: %w", terr)
+	}
 	// Incremental memo: fingerprint the unit over its dependency DAG, replay
 	// the whole verdict when nothing changed, otherwise seed extraction with
 	// the per-function hits. Pipelines that already degraded run cold —
@@ -348,6 +382,9 @@ func (a *Analyzer) analyze(tu *cast.TranslationUnit, sp *spec.Spec, merged strin
 		memo = a.newMemoRun(st, tu)
 		if len(diags) == 0 && budget.Err() == nil {
 			if res := memo.replayUnit(tu, sp, merged); res != nil {
+				// Replayed verdicts carry the pruned tally of the clean run
+				// they memoized; keep the analyzer-level counters moving.
+				a.feasPruned.Add(int64(res.Report.PathsPruned))
 				return res, nil
 			}
 		}
@@ -358,6 +395,7 @@ func (a *Analyzer) analyze(tu *cast.TranslationUnit, sp *spec.Spec, merged strin
 		InlineDepth:    a.cfg.InlineDepth,
 		Budget:         budget,
 		Workers:        a.cfg.AnalysisWorkers,
+		Precision:      tier,
 	}
 	if pcfg.InlineDepth < 0 {
 		pcfg.InlineDepth = 0
@@ -381,6 +419,9 @@ func (a *Analyzer) analyze(tu *cast.TranslationUnit, sp *spec.Spec, merged strin
 		}
 	}
 	rep := checkers.Run(ctx, selected...)
+	fstats := ctx.Extractor.FeasStats()
+	a.feasPruned.Add(int64(rep.PathsPruned))
+	a.feasContra.Add(fstats.Contradictions)
 	diags = append(diags, ctx.Diagnostics...)
 	if err := budget.Err(); err != nil && !hasDiagFor(diags, err) {
 		diags = append(diags, guard.Diag(guard.StageExtract, tu.File, err, true))
